@@ -1,0 +1,102 @@
+package elsa
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchOp is one self-attention operation in a batch.
+type BatchOp struct {
+	Q, K, V [][]float32
+}
+
+// AttendBatch runs a batch of approximate-attention operations
+// concurrently across worker goroutines — the software analogue of the
+// paper's batch-level parallelism over replicated accelerators (§IV-D).
+// workers <= 0 selects GOMAXPROCS. Results are returned in input order; the
+// first error aborts the batch.
+func (e *Engine) AttendBatch(ops []BatchOp, thr Threshold, workers int) ([]*Output, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	outs := make([]*Output, len(ops))
+	errs := make([]error, len(ops))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, thr)
+				outs[i], errs[i] = out, err
+			}
+		}()
+	}
+	for i := range ops {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("elsa: batch op %d: %w", i, err)
+		}
+	}
+	return outs, nil
+}
+
+// SimulateBatch simulates a batch of operations on a fleet of accelerators
+// (twelve in the paper's evaluation) and reports the aggregate schedule:
+// per-op reports plus the fleet makespan, throughput and utilization.
+type BatchReport struct {
+	// Ops holds each operation's individual hardware report.
+	Ops []*HardwareReport
+	// MakespanSeconds is when the last accelerator finishes the batch.
+	MakespanSeconds float64
+	// ThroughputOpsPerSec is the batch throughput.
+	ThroughputOpsPerSec float64
+	// Utilization is mean fleet busy fraction over the makespan.
+	Utilization float64
+	// Accelerators echoes the fleet size used.
+	Accelerators int
+}
+
+// SimulateBatch runs every op through the cycle simulator and dispatches
+// the resulting durations onto `accelerators` replicated units
+// (earliest-available-first). accelerators <= 0 selects the paper's 12.
+func (e *Engine) SimulateBatch(ops []BatchOp, thr Threshold, accelerators int) (*BatchReport, error) {
+	if accelerators <= 0 {
+		accelerators = 12
+	}
+	rep := &BatchReport{Ops: make([]*HardwareReport, len(ops)), Accelerators: accelerators}
+	cycles := make([]int64, len(ops))
+	for i, op := range ops {
+		r, err := e.Simulate(op.Q, op.K, op.V, thr)
+		if err != nil {
+			return nil, fmt.Errorf("elsa: batch op %d: %w", i, err)
+		}
+		rep.Ops[i] = r
+		cycles[i] = r.TotalCycles
+	}
+	fleet, err := e.fleet(accelerators)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := fleet.Dispatch(cycles)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	freq := e.sim.Config().FreqHz
+	rep.MakespanSeconds = float64(sched.MakespanCycles) / freq
+	rep.ThroughputOpsPerSec = sched.Throughput(len(ops), freq)
+	rep.Utilization = sched.Utilization(accelerators)
+	return rep, nil
+}

@@ -1,0 +1,118 @@
+package elsa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func makeBatch(rng *rand.Rand, ops, n, d int) []BatchOp {
+	batch := make([]BatchOp, ops)
+	for i := range batch {
+		q, k, v := genData(rng, n, n, d)
+		batch[i] = BatchOp{Q: q, K: k, V: v}
+	}
+	return batch
+}
+
+func TestAttendBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	e := newEngine(t, Options{Seed: 20})
+	batch := makeBatch(rng, 6, 32, 64)
+	par, err := e.AttendBatch(batch, Exact(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != 6 {
+		t.Fatalf("got %d outputs", len(par))
+	}
+	for i, op := range batch {
+		seq, err := e.Attend(op.Q, op.K, op.V, Exact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range seq.Context {
+			for c := range seq.Context[r] {
+				if seq.Context[r][c] != par[i].Context[r][c] {
+					t.Fatalf("op %d: parallel result differs from sequential at %d,%d", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAttendBatchEdgeCases(t *testing.T) {
+	e := newEngine(t, Options{Seed: 21})
+	out, err := e.AttendBatch(nil, Exact(), 4)
+	if err != nil || out != nil {
+		t.Error("empty batch should return nil, nil")
+	}
+	rng := rand.New(rand.NewSource(21))
+	batch := makeBatch(rng, 3, 16, 64)
+	// workers <= 0 and workers > len(ops) must both work.
+	if _, err := e.AttendBatch(batch, Exact(), 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := e.AttendBatch(batch, Exact(), 99); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttendBatchPropagatesErrors(t *testing.T) {
+	e := newEngine(t, Options{Seed: 22})
+	rng := rand.New(rand.NewSource(22))
+	batch := makeBatch(rng, 3, 16, 64)
+	batch[1].Q = [][]float32{{1, 2}} // wrong dimension
+	if _, err := e.AttendBatch(batch, Exact(), 2); err == nil {
+		t.Error("bad op should fail the batch")
+	}
+}
+
+func TestSimulateBatchFleetBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	e := newEngine(t, Options{Seed: 23})
+	batch := makeBatch(rng, 24, 64, 64)
+	rep, err := e.SimulateBatch(batch, Exact(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ops) != 24 || rep.Accelerators != 12 {
+		t.Fatalf("report shape wrong: %d ops, %d accels", len(rep.Ops), rep.Accelerators)
+	}
+	if rep.MakespanSeconds <= 0 || rep.ThroughputOpsPerSec <= 0 {
+		t.Error("timing must be positive")
+	}
+	if rep.Utilization <= 0.5 || rep.Utilization > 1 {
+		t.Errorf("uniform batch should fill the fleet well, utilization %g", rep.Utilization)
+	}
+	// A single accelerator must be ~12x slower on a uniform batch.
+	rep1, err := e.SimulateBatch(batch, Exact(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep1.MakespanSeconds / rep.MakespanSeconds
+	if ratio < 10 || ratio > 13 {
+		t.Errorf("fleet scaling ratio %g, want ~12", ratio)
+	}
+}
+
+func TestSimulateBatchDefaultsToTwelve(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	e := newEngine(t, Options{Seed: 24})
+	rep, err := e.SimulateBatch(makeBatch(rng, 2, 32, 64), Exact(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accelerators != 12 {
+		t.Errorf("default fleet size = %d, want the paper's 12", rep.Accelerators)
+	}
+}
+
+func TestSimulateBatchPropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	e := newEngine(t, Options{Seed: 25})
+	batch := makeBatch(rng, 2, 32, 64)
+	batch[0].K = batch[0].K[:1] // key/value mismatch
+	if _, err := e.SimulateBatch(batch, Exact(), 4); err == nil {
+		t.Error("bad op should fail the batch")
+	}
+}

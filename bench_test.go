@@ -1,0 +1,343 @@
+package elsa
+
+// This file is the benchmark harness required by the reproduction: one
+// testing.B benchmark per paper table/figure (each runs the corresponding
+// internal/experiments runner and reports its headline metrics), plus
+// microbenchmarks of the primitive operations the accelerator pipelines.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// or print full tables with cmd/elsabench.
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/experiments"
+	"elsa/internal/kron"
+	"elsa/internal/model"
+	"elsa/internal/srp"
+	"elsa/internal/tensor"
+	"elsa/internal/transformer"
+	"elsa/internal/workload"
+)
+
+func benchOpt() experiments.Options {
+	opt := experiments.Quick()
+	opt.Instances = 1
+	opt.CalibInstances = 1
+	return opt
+}
+
+// BenchmarkFig2RuntimePortion regenerates Fig 2 (self-attention's share of
+// model runtime on the GPU model).
+func BenchmarkFig2RuntimePortion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.SummarizeFig2(rows)
+		b.ReportMetric(100*s.MeanShareDefault, "%attn-default")
+		b.ReportMetric(100*s.MeanShare4xSeq, "%attn-4xseq")
+	}
+}
+
+// BenchmarkFig10Approximation regenerates Fig 10 (candidate fraction and
+// accuracy-proxy loss versus p).
+func BenchmarkFig10Approximation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.SummarizeFig10(rows)
+		b.ReportMetric(100*s.MeanFractionP1, "%cand-p1")
+		b.ReportMetric(s.MeanLossP1, "%loss-p1")
+	}
+}
+
+// BenchmarkFig11Throughput regenerates Fig 11 (normalized throughput and
+// latency across devices).
+func BenchmarkFig11Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s, err := experiments.Fig11(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.ThroughputGeomean[experiments.Base], "x-base")
+		b.ReportMetric(s.ThroughputGeomean[experiments.Conservative], "x-conservative")
+		b.ReportMetric(s.LatencyGeomean[experiments.Conservative], "lat-vs-ideal")
+	}
+}
+
+// BenchmarkFig13Energy regenerates Fig 13 (energy efficiency vs GPU and
+// the per-module breakdown).
+func BenchmarkFig13Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s, err := experiments.Fig13(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.EfficiencyGeomean[experiments.Base], "x-base")
+		b.ReportMetric(s.EfficiencyGeomean[experiments.Conservative], "x-conservative")
+	}
+}
+
+// BenchmarkTable1AreaPower verifies the Table I aggregates (a constant
+// computation; the benchmark form keeps every artifact regenerable through
+// one command).
+func BenchmarkTable1AreaPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := New(Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// BenchmarkA3Comparison regenerates the §V-E A³ head-to-head.
+func BenchmarkA3Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A3Compare(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ElsaSpeedupOverBase[experiments.Conservative], "x-cons-over-base")
+		b.ReportMetric(res.A3ModeledSpeedup, "x-a3-modeled")
+	}
+}
+
+// BenchmarkTPUComparison regenerates the §V-E TPUv2 comparison.
+func BenchmarkTPUComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TPUCompare(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].ElsaVsTPUIsoPeak[experiments.Base], "x-base-squad11")
+	}
+}
+
+// --- Microbenchmarks of the accelerator's primitive operations ---
+
+// BenchmarkKroneckerHash measures the fast-path hash computation (768
+// multiplications for d = k = 64, §III-C).
+func BenchmarkKroneckerHash(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	proj, err := kron.NewRandomOrthogonal(rng, kron.StandardShapes(64)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.RandomNormal(rng, 1, 64).Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srp.HashFromProjection(proj.Apply(x))
+	}
+}
+
+// BenchmarkDenseHash measures the unstructured k×d projection for
+// comparison (4096 multiplications).
+func BenchmarkDenseHash(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	h, err := srp.NewHasher(64, 64, srp.Orthogonal, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.RandomNormal(rng, 1, 64).Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Hash(x)
+	}
+}
+
+// BenchmarkHammingDistance measures the candidate-selection primitive.
+func BenchmarkHammingDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	h, _ := srp.NewHasher(64, 64, srp.Orthogonal, rng)
+	x := h.Hash(tensor.RandomNormal(rng, 1, 64).Row(0))
+	y := h.Hash(tensor.RandomNormal(rng, 1, 64).Row(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srp.Hamming(x, y)
+	}
+}
+
+// BenchmarkExactAttention measures the software reference operator at the
+// paper's full size (n = 512, d = 64).
+func BenchmarkExactAttention(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Exact(inst.Q, inst.K, inst.V, attention.DefaultScale(64))
+	}
+}
+
+// BenchmarkApproximateAttention measures the software approximate operator
+// with a conservative threshold at n = 512.
+func BenchmarkApproximateAttention(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 300, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	calib := workload.SQuAD11.GenerateLen(rng, 64, 512)
+	tt, _ := attention.NewThresholdTrainer(1, eng.Config().Scale)
+	if err := tt.Observe(calib.Q, calib.K); err != nil {
+		b.Fatal(err)
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 512)
+	pre, err := eng.Preprocess(inst.K, inst.V)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Attend(inst.Q, pre, thr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineSimulation measures the cycle-level simulator itself at
+// the paper's full configuration.
+func BenchmarkPipelineSimulation(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 300, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := elsasim.New(elsasim.Default(), eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(inst.Q, inst.K, inst.V, attention.ExactThresholdNoApprox)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.TotalCycles()), "sim-cycles")
+		}
+	}
+}
+
+// BenchmarkPublicAPIAttend measures the end-to-end public API path.
+func BenchmarkPublicAPIAttend(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	eng, err := New(Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, k, v := genData(rng, 128, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Attend(q, k, v, Exact()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSpeedup regenerates the §V-C end-to-end analysis.
+func BenchmarkEndToEndSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EndToEnd(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.SummarizeEndToEnd(rows)
+		b.ReportMetric(s.GeomeanDefault, "x-e2e-default")
+		b.ReportMetric(s.Geomean4x, "x-e2e-4x")
+	}
+}
+
+// BenchmarkTransformerForward measures a full multi-head encoder layer
+// stack with ELSA attention inside.
+func BenchmarkTransformerForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	spec := model.SASRec
+	m, err := transformer.NewRandom(rng, spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := attention.NewEngine(attention.Config{D: spec.HeadDim, BiasSamples: 300, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.RandomNormal(rng, 160, spec.Hidden)
+	be := &transformer.ELSABackend{Engine: eng, Default: attention.ExactThresholdNoApprox}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Forward(x, be); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetDispatch measures the batch-level scheduler.
+func BenchmarkFleetDispatch(b *testing.B) {
+	fleet, err := elsasim.NewFleet(12, elsasim.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ops := make([]int64, 1000)
+	for i := range ops {
+		ops[i] = int64(1000 + rng.Intn(60000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Dispatch(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttendBatchParallel measures the public batched API at 8
+// workers.
+func BenchmarkAttendBatchParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	eng, err := New(Options{Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]BatchOp, 16)
+	for i := range batch {
+		q, k, v := genData(rng, 64, 128, 64)
+		batch[i] = BatchOp{Q: q, K: k, V: v}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AttendBatch(batch, Exact(), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSuite regenerates the DESIGN.md §5 ablation studies.
+func BenchmarkAblationSuite(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateHashKind(opt); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblateKron(opt); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblateQuantization(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command elsacalib runs the paper's two calibration procedures and prints
+// the learned constants:
+//
+//   - θ_bias calibration (§III-B): the percentile of the SRP angular
+//     estimator's error subtracted so the corrected estimator
+//     underestimates angles in a chosen fraction of cases (the paper
+//     reports 0.127 at d = k = 64, 80th percentile);
+//   - layer-threshold learning (§III-E, Fig 6): the per-layer candidate
+//     selection threshold for a sweep of the degree-of-approximation
+//     hyperparameter p.
+//
+// Usage:
+//
+//	elsacalib [-d 64] [-k 64] [-percentile 80] [-samples 4000] [-dataset SQuADv1.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"elsa/internal/attention"
+	"elsa/internal/srp"
+	"elsa/internal/workload"
+)
+
+func main() {
+	d := flag.Int("d", 64, "vector dimension")
+	k := flag.Int("k", 64, "hash bits")
+	percentile := flag.Float64("percentile", srp.DefaultBiasPercentile, "bias percentile")
+	samples := flag.Int("samples", 4000, "calibration sample pairs")
+	dataset := flag.String("dataset", "SQuADv1.1", "workload for threshold learning")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*d, *k, *percentile, *samples, *dataset, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "elsacalib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(d, k int, percentile float64, samples int, dsName string, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+
+	fmt.Printf("== θ_bias calibration (d=%d, k=%d, %g-th percentile, %d samples) ==\n",
+		d, k, percentile, samples)
+	for _, kind := range []srp.ProjectionKind{srp.Orthogonal, srp.Gaussian} {
+		cal, err := srp.CalibrateBias(d, k, kind, percentile, samples, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-11s %s\n", kind, cal)
+	}
+	if d == 64 && k == 64 {
+		fmt.Printf("paper reports θ_bias = %.3f for this configuration\n", srp.PaperBiasD64K64)
+	}
+
+	var ds workload.Dataset
+	found := false
+	for _, cand := range workload.AllDatasets() {
+		if cand.Name == dsName {
+			ds, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+
+	fmt.Printf("\n== layer thresholds on %s (Fig 6 procedure) ==\n", ds.Name)
+	fmt.Printf("%6s %12s %10s\n", "p", "threshold", "queries")
+	for _, p := range []float64{0.5, 1, 2, 4, 8} {
+		tt, err := attention.NewThresholdTrainer(p, attention.DefaultScale(d))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			inst := ds.Generate(rng, d)
+			if err := tt.Observe(inst.Q, inst.K); err != nil {
+				return err
+			}
+		}
+		thr, err := tt.Threshold()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6.1f %12.4f %10d\n", p, thr, tt.Count())
+	}
+	return nil
+}

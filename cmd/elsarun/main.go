@@ -1,0 +1,164 @@
+// Command elsarun executes a single self-attention operation — exact,
+// approximate, and on the simulated accelerator — and prints candidates,
+// fidelity, cycles, bottlenecks and energy. It is the quickest way to see
+// the whole ELSA stack end to end.
+//
+// Usage:
+//
+//	elsarun [-n 256] [-d 64] [-p 1.0] [-dataset SQuADv1.1] [-quantized] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/energy"
+	"elsa/internal/stats"
+	"elsa/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 256, "number of input entities (rows of Q/K/V)")
+	d := flag.Int("d", 64, "head dimension")
+	p := flag.Float64("p", 1.0, "degree of approximation (0 = exact)")
+	dataset := flag.String("dataset", "SQuADv1.1", "synthetic workload: SQuADv1.1|SQuADv2.0|RACE|IMDB|MovieLens-1M")
+	quantized := flag.Bool("quantized", false, "run with the accelerator's fixed-point numerics")
+	causal := flag.Bool("causal", false, "decoder-style causal masking (query i sees keys 0..i)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*n, *d, *p, *dataset, *quantized, *causal, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "elsarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, d int, p float64, dsName string, quantized, causal bool, seed int64) error {
+	var ds workload.Dataset
+	found := false
+	for _, cand := range workload.AllDatasets() {
+		if cand.Name == dsName {
+			ds, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	eng, err := attention.NewEngine(attention.Config{D: d, Quantized: quantized, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := elsasim.Default()
+	cfg.D = d
+	cfg.K = eng.Config().K
+	if n > cfg.N {
+		cfg.N = n
+	}
+	sim, err := elsasim.New(cfg, eng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("ELSA single-op run: n=%d d=%d k=%d p=%g dataset=%s quantized=%v causal=%v\n",
+		n, d, eng.Config().K, p, ds.Name, quantized, causal)
+	fmt.Printf("calibrated θ_bias = %.4f (paper: 0.127 for d=k=64)\n", eng.Bias())
+
+	// Learn the layer threshold on a calibration invocation.
+	thr := attention.ExactThresholdNoApprox
+	if p > 0 {
+		calib := ds.GenerateLen(rng, d, n)
+		tt, err := attention.NewThresholdTrainer(p, eng.Config().Scale)
+		if err != nil {
+			return err
+		}
+		if err := tt.Observe(calib.Q, calib.K); err != nil {
+			return err
+		}
+		if thr, err = tt.Threshold(); err != nil {
+			return err
+		}
+		fmt.Printf("learned threshold t = %.4f from %d calibration queries\n", thr, n)
+	}
+
+	inst := ds.GenerateLen(rng, d, n)
+	var res *elsasim.Result
+	if causal {
+		res, err = sim.RunCausal(inst.Q, inst.K, inst.V, thr)
+	} else {
+		res, err = sim.Run(inst.Q, inst.K, inst.V, thr)
+	}
+	if err != nil {
+		return err
+	}
+
+	fidelityLine := ""
+	if causal {
+		// Fidelity vs the causal reference.
+		want := attention.ExactCausal(inst.Q, inst.K, inst.V, eng.Config().Scale)
+		var cosSum float64
+		for i := 0; i < n; i++ {
+			cosSum += cosineRows(want.Row(i), res.Attention.Output.Row(i))
+		}
+		fidelityLine = fmt.Sprintf("fidelity vs exact-causal: cos=%.4f", cosSum/float64(n))
+	} else {
+		exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
+		fid, err := attention.Compare(exactOut, exactScores, res.Attention)
+		if err != nil {
+			return err
+		}
+		fidelityLine = fmt.Sprintf("fidelity vs exact: %s", fid)
+	}
+
+	fmt.Printf("\n-- approximation --\n")
+	fmt.Printf("candidates: %d of %d key-query pairs (%.1f%%), %d fallback queries\n",
+		res.TotalCandidates, int64(n)*int64(n),
+		100*res.Attention.CandidateFraction(n), res.Attention.FallbackQueries)
+	fmt.Println(fidelityLine)
+
+	fmt.Printf("\n-- accelerator timing (%.2g GHz) --\n", cfg.FreqHz/1e9)
+	fmt.Printf("preprocess %d + execute %d + drain %d = %d cycles (%.3g s)\n",
+		res.PreprocessCycles, res.ExecutionCycles, res.DrainCycles,
+		res.TotalCycles(), res.Seconds(cfg.FreqHz))
+	fmt.Printf("per-query bottlenecks: compute=%d scan=%d hash=%d divide=%d; max queue depth %d\n",
+		res.Bottlenecks.Compute, res.Bottlenecks.Scan, res.Bottlenecks.Hash,
+		res.Bottlenecks.Divide, res.MaxQueueDepth)
+	lat := make([]float64, len(res.PerQueryCycles))
+	for i, c := range res.PerQueryCycles {
+		lat[i] = float64(c)
+	}
+	fmt.Printf("per-query service cycles: %s\n", stats.Summarize(lat))
+
+	bd, err := energy.Estimate(res.Activity, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- energy --\n")
+	fmt.Printf("total %.3g J, average power %.3f W (peak %.2f W)\n",
+		bd.TotalJ(), bd.AveragePowerWatts(), energy.PeakPowerWatts())
+	for _, m := range bd.Modules {
+		fmt.Printf("  %-28s %8.3g J (busy %4.1f%%)\n", m.Name, m.TotalJ(), 100*m.BusyFraction)
+	}
+	return nil
+}
+
+// cosineRows is a local cosine similarity over float32 rows.
+func cosineRows(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,44 @@
+// Package elsa is a software reproduction of ELSA — the
+// hardware-software co-designed approximate self-attention accelerator
+// from "ELSA: Hardware-Software Co-design for Efficient, Lightweight
+// Self-Attention Mechanism in Neural Networks" (ISCA 2021).
+//
+// The package exposes four capabilities:
+//
+//   - Exact self-attention — the reference operator
+//     softmax(scale·Q·Kᵀ)·V.
+//
+//   - Approximate self-attention — ELSA's algorithm: sign-random-projection
+//     binary hashes computed through Kronecker-structured orthogonal
+//     projections, Hamming-distance angle estimation with a calibrated
+//     θ_bias, norm-weighted approximate similarities, and a learned
+//     per-layer threshold that filters irrelevant keys before any exact
+//     dot product is spent on them.
+//
+//   - Threshold calibration — the paper's automatic scheme that converts a
+//     single user hyperparameter p (degree of approximation) into
+//     layer-specific thresholds by inspecting attention distributions on
+//     calibration data.
+//
+//   - Hardware simulation — a cycle-level model of the ELSA accelerator
+//     (hash/norm units, banked candidate-selection modules,
+//     longest-queue-first arbitration, parallel attention modules, output
+//     division) with an energy model seeded by the paper's Table I
+//     synthesis numbers.
+//
+// # Quick start
+//
+//	eng, err := elsa.New(elsa.Options{HeadDim: 64, Seed: 1})
+//	if err != nil { ... }
+//	thr, err := eng.Calibrate(1.0, calibrationSamples) // p = 1, conservative
+//	out, err := eng.Attend(q, k, v, thr)
+//	rep, err := eng.Simulate(q, k, v, thr) // cycles, joules, bottlenecks
+//
+// The internal packages implement every substrate from scratch: dense
+// linear algebra, SRP hashing, Kronecker projections, fixed-point
+// arithmetic and LUT functional units, transformer model configurations,
+// synthetic dataset workloads, device comparators (V100, TPUv2, A³, an
+// ideal accelerator), and runners for every table and figure in the
+// paper's evaluation (see internal/experiments, cmd/elsabench, and
+// EXPERIMENTS.md).
+package elsa

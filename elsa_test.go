@@ -1,0 +1,309 @@
+package elsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genData builds a clustered self-attention workload through the public
+// API's [][]float32 types.
+func genData(rng *rand.Rand, nq, n, d int) (q, k, v [][]float32) {
+	k = make([][]float32, n)
+	v = make([][]float32, n)
+	for i := range k {
+		k[i] = make([]float32, d)
+		v[i] = make([]float32, d)
+		for j := 0; j < d; j++ {
+			k[i][j] = float32(rng.NormFloat64())
+			v[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	q = make([][]float32, nq)
+	for i := range q {
+		q[i] = make([]float32, d)
+		t := k[rng.Intn(n)]
+		for j := 0; j < d; j++ {
+			q[i][j] = 1.5*t[j] + 0.4*float32(rng.NormFloat64())
+		}
+	}
+	return q, k, v
+}
+
+func newEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewDefaults(t *testing.T) {
+	e := newEngine(t, Options{})
+	o := e.Options()
+	if o.HeadDim != 64 || o.HashBits != 64 {
+		t.Errorf("defaults: d=%d k=%d, want 64/64", o.HeadDim, o.HashBits)
+	}
+	if math.Abs(o.Scale-0.125) > 1e-12 {
+		t.Errorf("default scale %g, want 1/8", o.Scale)
+	}
+	if o.Hardware != DefaultHardware() {
+		t.Errorf("default hardware not applied: %+v", o.Hardware)
+	}
+	if e.Bias() <= 0.05 || e.Bias() >= 0.3 {
+		t.Errorf("bias %g far from the paper's 0.127", e.Bias())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{HeadDim: -1}); err == nil {
+		t.Error("negative head dim should error")
+	}
+	bad := DefaultHardware()
+	bad.AttentionModules = 0
+	if _, err := New(Options{Hardware: bad}); err == nil {
+		t.Error("invalid hardware should error")
+	}
+}
+
+func TestExactAttentionMatchesManual(t *testing.T) {
+	e := newEngine(t, Options{HeadDim: 2, Scale: 1})
+	out, err := e.ExactAttention(
+		[][]float32{{10, 0}},
+		[][]float32{{1, 0}, {-1, 0}},
+		[][]float32{{1, 2}, {3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores 10 and -10: the first key takes essentially all mass.
+	if math.Abs(float64(out[0][0])-1) > 1e-3 || math.Abs(float64(out[0][1])-2) > 1e-3 {
+		t.Errorf("output %v, want ~[1 2]", out[0])
+	}
+}
+
+func TestExactAttentionValidation(t *testing.T) {
+	e := newEngine(t, Options{HeadDim: 4})
+	good := [][]float32{{1, 2, 3, 4}}
+	if _, err := e.ExactAttention(nil, good, good); err == nil {
+		t.Error("nil queries should error")
+	}
+	if _, err := e.ExactAttention([][]float32{{1}}, good, good); err == nil {
+		t.Error("wrong dim should error")
+	}
+	if _, err := e.ExactAttention(good, good, [][]float32{{1, 2, 3, 4}, {1, 2, 3, 4}}); err == nil {
+		t.Error("key/value count mismatch should error")
+	}
+}
+
+func TestCalibrateAndAttendRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := newEngine(t, Options{Seed: 1})
+	cq, ck, _ := genData(rng, 48, 96, 64)
+	thr, err := e.Calibrate(1, []Sample{{Q: cq, K: ck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.P != 1 || thr.Queries != 48 {
+		t.Errorf("threshold metadata wrong: %+v", thr)
+	}
+	q, k, v := genData(rng, 48, 96, 64)
+	out, fid, err := e.Evaluate(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CandidateFraction >= 1 || out.CandidateFraction <= 0 {
+		t.Errorf("candidate fraction %g out of range", out.CandidateFraction)
+	}
+	if fid.MeanCosine < 0.9 {
+		t.Errorf("fidelity too low: %+v", fid)
+	}
+	if len(out.Context) != 48 || len(out.Context[0]) != 64 {
+		t.Error("output shape wrong")
+	}
+	if len(out.CandidatesPerQuery) != 48 {
+		t.Error("per-query candidates missing")
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	e := newEngine(t, Options{Seed: 2})
+	if _, err := e.Calibrate(-1, nil); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := e.Calibrate(1, nil); err == nil {
+		t.Error("p>0 with no samples should error")
+	}
+	if _, err := e.Calibrate(1, []Sample{{Q: [][]float32{{1}}, K: [][]float32{{1}}}}); err == nil {
+		t.Error("wrong-dimension samples should error")
+	}
+}
+
+func TestCalibrateP0NeedsNoSamples(t *testing.T) {
+	e := newEngine(t, Options{Seed: 3})
+	thr, err := e.Calibrate(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != Exact() {
+		t.Errorf("p=0 should return the exact threshold, got %+v", thr)
+	}
+}
+
+func TestAttendExactThresholdMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := newEngine(t, Options{Seed: 4})
+	q, k, v := genData(rng, 16, 32, 64)
+	approx, err := e.Attend(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.CandidateFraction != 1 {
+		t.Errorf("exact threshold should admit every key, fraction %g", approx.CandidateFraction)
+	}
+	exact, err := e.ExactAttention(q, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		for j := range exact[i] {
+			if math.Abs(float64(exact[i][j]-approx.Context[i][j])) > 1e-4 {
+				t.Fatalf("mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestSimulateReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := newEngine(t, Options{Seed: 5})
+	q, k, v := genData(rng, 64, 128, 64)
+	rep, err := e.Simulate(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != rep.PreprocessCycles+rep.ExecutionCycles+(rep.TotalCycles-rep.PreprocessCycles-rep.ExecutionCycles) {
+		t.Error("cycle accounting inconsistent")
+	}
+	if rep.PreprocessCycles != 3*129 {
+		t.Errorf("preprocess cycles %d, want 387 (3 per vector)", rep.PreprocessCycles)
+	}
+	if rep.ExecutionCycles != 64*32 {
+		t.Errorf("execution cycles %d, want 2048 (n/Pa per query)", rep.ExecutionCycles)
+	}
+	if rep.Seconds <= 0 || rep.EnergyJ <= 0 || rep.AvgPowerW <= 0 {
+		t.Error("timing/energy must be positive")
+	}
+	if rep.AvgPowerW > 1.5 {
+		t.Errorf("average power %g W exceeds the accelerator's ~1.49 W peak", rep.AvgPowerW)
+	}
+	if len(rep.EnergyBreakdownJ) == 0 {
+		t.Error("energy breakdown missing")
+	}
+	if rep.BottleneckCounts.Compute != 64 {
+		t.Errorf("all 64 queries should be compute-bound in base mode: %+v", rep.BottleneckCounts)
+	}
+	if rep.Output == nil || len(rep.Output.Context) != 64 {
+		t.Error("functional output missing")
+	}
+}
+
+func TestSimulateApproximationSavesTimeAndEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := newEngine(t, Options{Seed: 6})
+	cq, ck, _ := genData(rng, 64, 128, 64)
+	thr, err := e.Calibrate(1, []Sample{{Q: cq, K: ck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k, v := genData(rng, 64, 128, 64)
+	base, err := e.Simulate(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := e.Simulate(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.TotalCycles >= base.TotalCycles {
+		t.Errorf("approximation should save cycles: %d vs %d", approx.TotalCycles, base.TotalCycles)
+	}
+	if approx.EnergyJ >= base.EnergyJ {
+		t.Errorf("approximation should save energy: %g vs %g", approx.EnergyJ, base.EnergyJ)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := newEngine(t, Options{Seed: 7})
+	q, k, v := genData(rng, 4, 600, 64) // exceeds MaxSeq 512
+	if _, err := e.Simulate(q, k, v, Exact()); err == nil {
+		t.Error("oversized input should error")
+	}
+	if _, err := e.Simulate(nil, k, v, Exact()); err == nil {
+		t.Error("nil queries should error")
+	}
+}
+
+func TestQuantizedEngineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := newEngine(t, Options{Seed: 8, Quantized: true})
+	q, k, v := genData(rng, 16, 32, 64)
+	out, fid, err := e.Evaluate(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no output")
+	}
+	// Quantization costs a little fidelity but must stay close (<0.2%
+	// metric impact per the paper; cosine stays high).
+	if fid.MeanCosine < 0.97 {
+		t.Errorf("quantized fidelity too low: %+v", fid)
+	}
+}
+
+func TestCustomHardwareConfig(t *testing.T) {
+	hw := Hardware{MaxSeq: 128, AttentionModules: 2, SelectorsPerBank: 4,
+		HashMultipliers: 64, DivMultipliers: 8, FreqHz: 2e9}
+	e := newEngine(t, Options{Seed: 9, Hardware: hw})
+	rng := rand.New(rand.NewSource(9))
+	q, k, v := genData(rng, 32, 64, 64)
+	rep, err := e.Simulate(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base mode, n=64, Pa=2: 32 cycles per query.
+	if rep.ExecutionCycles != 32*32 {
+		t.Errorf("execution cycles %d, want 1024", rep.ExecutionCycles)
+	}
+	// 2 GHz halves the wall clock relative to cycles.
+	if math.Abs(rep.Seconds-float64(rep.TotalCycles)/2e9) > 1e-15 {
+		t.Error("frequency not applied")
+	}
+}
+
+func TestAttendCausalPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	e := newEngine(t, Options{Seed: 60})
+	q, k, v := genData(rng, 16, 16, 64)
+	out, err := e.AttendCausal(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First query sees only key 0: output equals value row 0.
+	for j := range out.Context[0] {
+		if math.Abs(float64(out.Context[0][j]-v[0][j])) > 1e-5 {
+			t.Fatal("causal query 0 must equal value row 0")
+		}
+	}
+	// Triangle fraction: (n+1)/(2n) of all pairs.
+	want := float64(16+1) / float64(2*16)
+	if math.Abs(out.CandidateFraction-want) > 1e-9 {
+		t.Errorf("causal fraction = %g, want %g", out.CandidateFraction, want)
+	}
+	if _, err := e.AttendCausal(q[:4], k, v, Exact()); err == nil {
+		t.Error("nq != n should error")
+	}
+}

@@ -1,0 +1,113 @@
+package elsa_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"elsa"
+)
+
+// randomWorkload builds a clustered attention workload for the examples.
+func randomWorkload(seed int64, n, d int) (q, k, v [][]float32) {
+	rng := rand.New(rand.NewSource(seed))
+	k = make([][]float32, n)
+	v = make([][]float32, n)
+	q = make([][]float32, n)
+	for i := 0; i < n; i++ {
+		k[i] = make([]float32, d)
+		v[i] = make([]float32, d)
+		for j := 0; j < d; j++ {
+			k[i][j] = float32(rng.NormFloat64())
+			v[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	for i := 0; i < n; i++ {
+		target := k[rng.Intn(n)]
+		q[i] = make([]float32, d)
+		for j := 0; j < d; j++ {
+			q[i][j] = 2*target[j] + 0.3*float32(rng.NormFloat64())
+		}
+	}
+	return q, k, v
+}
+
+// Calibrate a conservative threshold and run approximate attention.
+func Example() {
+	eng, err := elsa.New(elsa.Options{HeadDim: 64, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cq, ck, _ := randomWorkload(1, 128, 64)
+	thr, err := eng.Calibrate(1.0, []elsa.Sample{{Q: cq, K: ck}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, k, v := randomWorkload(2, 128, 64)
+	out, fid, err := eng.Evaluate(q, k, v, thr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pruned most keys:", out.CandidateFraction < 0.5)
+	fmt.Println("high fidelity:", fid.MeanCosine > 0.95)
+	// Output:
+	// pruned most keys: true
+	// high fidelity: true
+}
+
+// The p = 0 threshold disables filtering, reproducing exact attention.
+func ExampleExact() {
+	eng, err := elsa.New(elsa.Options{HeadDim: 64, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, k, v := randomWorkload(3, 32, 64)
+	out, err := eng.Attend(q, k, v, elsa.Exact())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all keys inspected:", out.CandidateFraction == 1)
+	// Output:
+	// all keys inspected: true
+}
+
+// Simulate an operation on the modeled accelerator and inspect its cycle
+// count against the paper's base-mode law (n/Pa cycles per query).
+func ExampleEngine_Simulate() {
+	eng, err := elsa.New(elsa.Options{HeadDim: 64, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, k, v := randomWorkload(4, 128, 64)
+	rep, err := eng.Simulate(q, k, v, elsa.Exact())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("execution cycles:", rep.ExecutionCycles) // 128 queries x 32 cycles
+	// Output:
+	// execution cycles: 4096
+}
+
+// Stream keys token by token and query the growing prefix.
+func ExampleEngine_NewStream() {
+	eng, err := elsa.New(elsa.Options{HeadDim: 64, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, k, v := randomWorkload(5, 16, 64)
+	st := eng.NewStream(16)
+	for i := range k {
+		if err := st.Append(k[i], v[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_, stats, err := st.Query(q[0], elsa.Exact())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prefix length:", st.Len())
+	fmt.Println("candidates:", stats.Candidates)
+	// Output:
+	// prefix length: 16
+	// candidates: 16
+}

@@ -1,0 +1,89 @@
+// Quickstart: run ELSA approximate self-attention through the public API.
+//
+// It generates a random attention workload, calibrates a conservative
+// threshold (p = 1), runs approximate attention, compares it against the
+// exact operator, and simulates the run on the modeled accelerator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"elsa"
+)
+
+func main() {
+	const (
+		nTokens = 192
+		headDim = 64
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. Build an engine (draws the hash projection, calibrates θ_bias).
+	eng, err := elsa.New(elsa.Options{HeadDim: headDim, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine ready: θ_bias = %.4f\n", eng.Bias())
+
+	// 2. Calibrate the layer threshold at degree of approximation p = 1
+	//    (the paper's "conservative" operating point) on one
+	//    representative invocation.
+	cq, ck, _ := randomAttention(rng, nTokens, headDim)
+	thr, err := eng.Calibrate(1.0, []elsa.Sample{{Q: cq, K: ck}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned threshold t = %.4f from %d queries\n", thr.T, thr.Queries)
+
+	// 3. Run approximate attention on fresh data and measure fidelity.
+	q, k, v := randomAttention(rng, nTokens, headDim)
+	out, fid, err := eng.Evaluate(q, k, v, thr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inspected %.1f%% of keys; cosine vs exact %.4f; retained softmax mass %.4f\n",
+		100*out.CandidateFraction, fid.MeanCosine, fid.RetainedMass)
+
+	// 4. Simulate the same op on the ELSA accelerator.
+	rep, err := eng.Simulate(q, k, v, thr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := eng.Simulate(q, k, v, elsa.Exact())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accelerator: %d cycles (%.3g s), %.3g J, %.2f W avg\n",
+		rep.TotalCycles, rep.Seconds, rep.EnergyJ, rep.AvgPowerW)
+	fmt.Printf("speedup from approximation: %.2fx cycles, %.2fx energy\n",
+		float64(base.TotalCycles)/float64(rep.TotalCycles),
+		base.EnergyJ/rep.EnergyJ)
+}
+
+// randomAttention builds a clustered workload: each query points at one
+// key so the softmax rows are concentrated, like real attention heads.
+func randomAttention(rng *rand.Rand, n, d int) (q, k, v [][]float32) {
+	k = make([][]float32, n)
+	v = make([][]float32, n)
+	for i := range k {
+		k[i] = make([]float32, d)
+		v[i] = make([]float32, d)
+		for j := 0; j < d; j++ {
+			k[i][j] = float32(rng.NormFloat64())
+			v[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	q = make([][]float32, n)
+	for i := range q {
+		q[i] = make([]float32, d)
+		target := k[rng.Intn(n)]
+		for j := 0; j < d; j++ {
+			q[i][j] = 1.2*target[j] + 0.5*float32(rng.NormFloat64())
+		}
+	}
+	return q, k, v
+}

@@ -1,0 +1,3 @@
+module elsa
+
+go 1.22

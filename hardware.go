@@ -1,0 +1,100 @@
+package elsa
+
+import (
+	"fmt"
+
+	"elsa/internal/elsasim"
+	"elsa/internal/energy"
+)
+
+// fleet builds a replicated-accelerator dispatcher for SimulateBatch.
+func (e *Engine) fleet(size int) (*elsasim.Fleet, error) {
+	f, err := elsasim.NewFleet(size, e.sim.Config())
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	return f, nil
+}
+
+// HardwareReport is the outcome of simulating one self-attention operation
+// on the modeled ELSA accelerator: the functional output plus cycle-level
+// timing and an energy estimate derived from the paper's Table I
+// synthesis numbers.
+type HardwareReport struct {
+	// Output is the functional result (identical selection logic to
+	// Attend).
+	Output *Output
+
+	// PreprocessCycles covers key hashing/norms and the first query hash.
+	PreprocessCycles int64
+	// ExecutionCycles covers the per-query pipeline.
+	ExecutionCycles int64
+	// TotalCycles is the end-to-end count including pipeline drain.
+	TotalCycles int64
+	// Seconds is wall-clock time at the configured frequency.
+	Seconds float64
+
+	// EnergyJ is the run's total energy; AvgPowerW its mean power.
+	EnergyJ   float64
+	AvgPowerW float64
+	// EnergyBreakdownJ maps Table I module names to joules.
+	EnergyBreakdownJ map[string]float64
+
+	// MaxQueueDepth is the deepest candidate queue observed — the
+	// hardware queue-sizing statistic.
+	MaxQueueDepth int
+	// BottleneckCounts tallies which pipeline stage paced each query.
+	BottleneckCounts struct {
+		Hash, Scan, Compute, Divide int
+	}
+}
+
+// Simulate runs one self-attention operation through the cycle-level
+// accelerator model. The key count must not exceed the configured
+// Hardware.MaxSeq.
+func (e *Engine) Simulate(q, k, v [][]float32, thr Threshold) (*HardwareReport, error) {
+	qm, err := toMatrix("queries", q, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	km, err := toMatrix("keys", k, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := toMatrix("values", v, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.sim.Run(qm, km, vm, thr.T)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	bd, err := energy.Estimate(res.Activity, e.sim.Config())
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	rep := &HardwareReport{
+		Output: &Output{
+			Context:            fromMatrix(res.Attention.Output),
+			CandidateFraction:  res.Attention.CandidateFraction(km.Rows),
+			CandidatesPerQuery: res.Attention.CandidateCounts,
+			FallbackQueries:    res.Attention.FallbackQueries,
+		},
+		PreprocessCycles: res.PreprocessCycles,
+		ExecutionCycles:  res.ExecutionCycles,
+		TotalCycles:      res.TotalCycles(),
+		Seconds:          res.Seconds(e.sim.Config().FreqHz),
+		EnergyJ:          bd.TotalJ(),
+		AvgPowerW:        bd.AveragePowerWatts(),
+		EnergyBreakdownJ: make(map[string]float64, len(bd.Modules)),
+		MaxQueueDepth:    res.MaxQueueDepth,
+	}
+	for _, m := range bd.Modules {
+		rep.EnergyBreakdownJ[m.Name] = m.TotalJ()
+	}
+	rep.BottleneckCounts.Hash = res.Bottlenecks.Hash
+	rep.BottleneckCounts.Scan = res.Bottlenecks.Scan
+	rep.BottleneckCounts.Compute = res.Bottlenecks.Compute
+	rep.BottleneckCounts.Divide = res.Bottlenecks.Divide
+	return rep, nil
+}

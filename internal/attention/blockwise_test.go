@@ -1,0 +1,154 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsa/internal/tensor"
+)
+
+func TestBlockwiseNoApproxEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := newTestEngine(t, Config{D: 16, Seed: 1})
+	q := tensor.RandomNormal(rng, 8, 16)
+	k := tensor.RandomNormal(rng, 50, 16)
+	v := tensor.RandomNormal(rng, 50, 16)
+	for _, bs := range []int{7, 16, 50, 100} {
+		res, err := e.BlockwiseAttend(q, k, v, bs, ExactThresholdNoApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Exact(q, k, v, e.Config().Scale)
+		if d := tensor.MaxAbsDiff(want, res.Output); d > 1e-4 {
+			t.Errorf("block size %d: diverges from exact by %g", bs, d)
+		}
+		if res.TotalCandidates != 8*50 {
+			t.Errorf("block size %d: candidates %d, want all pairs", bs, res.TotalCandidates)
+		}
+	}
+}
+
+func TestBlockwiseSingleBlockEqualsAttend(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := newTestEngine(t, Config{D: 16, Seed: 2})
+	q, k, v, _ := clustered(rng, 12, 30, 16, 1.5)
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const thr = 0.15
+	direct, err := e.Attend(q, pre, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := e.BlockwiseAttend(q, k, v, 30, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same single block, same candidates: outputs match except for
+	// fallback queries (Attend falls back per call; blockwise after all
+	// blocks).
+	for i := 0; i < q.Rows; i++ {
+		if direct.CandidateCounts[i] == 0 {
+			continue
+		}
+		for j := range direct.Output.Row(i) {
+			if math.Abs(float64(direct.Output.At(i, j)-block.Output.At(i, j))) > 1e-5 {
+				t.Fatalf("query %d diverges between Attend and single-block BlockwiseAttend", i)
+			}
+		}
+	}
+}
+
+func TestBlockwiseValidation(t *testing.T) {
+	e := newTestEngine(t, Config{D: 16, Seed: 3})
+	q := tensor.New(2, 16)
+	k := tensor.New(8, 16)
+	if _, err := e.BlockwiseAttend(q, k, k.Clone(), 0, 0); err == nil {
+		t.Error("zero block size should error")
+	}
+	if _, err := e.BlockwiseAttend(q, k, tensor.New(7, 16), 4, 0); err == nil {
+		t.Error("key/value mismatch should error")
+	}
+	if _, err := e.BlockwiseAttend(tensor.New(2, 8), k, k.Clone(), 4, 0); err == nil {
+		t.Error("wrong query dim should error")
+	}
+}
+
+func TestBlockwiseFallbackWhenNothingSelected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := newTestEngine(t, Config{D: 16, Seed: 4})
+	q := tensor.RandomNormal(rng, 3, 16)
+	k := tensor.RandomNormal(rng, 24, 16)
+	v := tensor.RandomNormal(rng, 24, 16)
+	res, err := e.BlockwiseAttend(q, k, v, 8, 10) // impossible threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackQueries != 3 {
+		t.Errorf("FallbackQueries = %d, want 3", res.FallbackQueries)
+	}
+	for i := 0; i < 3; i++ {
+		if len(res.Candidates[i]) != 1 {
+			t.Errorf("query %d: fallback should yield one candidate", i)
+		}
+		y := res.Candidates[i][0]
+		for j, got := range res.Output.Row(i) {
+			if math.Abs(float64(got-v.At(y, j))) > 1e-6 {
+				t.Fatalf("fallback output should equal value row %d", y)
+			}
+		}
+	}
+}
+
+// Property: the blockwise merge is block-size invariant — any partition of
+// the keys yields the same output with filtering disabled.
+func TestBlockwiseBlockSizeInvariance(t *testing.T) {
+	e := newTestEngine(t, Config{D: 16, Seed: 5})
+	f := func(seed int64, bsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		q := tensor.RandomNormal(rng, 3, 16)
+		k := tensor.RandomNormal(rng, n, 16)
+		v := tensor.RandomNormal(rng, n, 16)
+		bs := 1 + int(bsRaw)%n
+		a, err := e.BlockwiseAttend(q, k, v, bs, ExactThresholdNoApprox)
+		if err != nil {
+			return false
+		}
+		b, err := e.BlockwiseAttend(q, k, v, n, ExactThresholdNoApprox)
+		if err != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(a.Output, b.Output) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Candidate indices from blockwise runs must be globally indexed and
+// within range.
+func TestBlockwiseCandidateIndexing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := newTestEngine(t, Config{D: 16, Seed: 6})
+	q, k, v, _ := clustered(rng, 8, 40, 16, 1.5)
+	res, err := e.BlockwiseAttend(q, k, v, 13, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, cand := range res.Candidates {
+		seen := map[int]bool{}
+		for _, y := range cand {
+			if y < 0 || y >= 40 {
+				t.Fatalf("query %d: candidate %d out of range", qi, y)
+			}
+			if seen[y] {
+				t.Fatalf("query %d: duplicate candidate %d", qi, y)
+			}
+			seen[y] = true
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"elsa/internal/fixed"
+	"elsa/internal/srp"
+	"elsa/internal/tensor"
+)
+
+// ExactCausal computes the causally-masked reference attention: query i
+// attends only keys 0..i. Decoder-style models (SASRec, GPT-family
+// generators) use this masking; q, k and v must have equal row counts.
+func ExactCausal(q, k, v *tensor.Matrix, scale float64) *tensor.Matrix {
+	checkShapes(q, k, v)
+	if q.Rows != k.Rows {
+		panic(fmt.Sprintf("attention: causal attention needs one query per key (%d vs %d)", q.Rows, k.Rows))
+	}
+	out := tensor.New(q.Rows, v.Cols)
+	scores := make([]float32, k.Rows)
+	for i := 0; i < q.Rows; i++ {
+		qrow := q.Row(i)
+		prefix := scores[:i+1]
+		for y := 0; y <= i; y++ {
+			prefix[y] = float32(float64(tensor.Dot(qrow, k.Row(y))) * scale)
+		}
+		tensor.Softmax(prefix)
+		orow := out.Row(i)
+		for y, w := range prefix {
+			vrow := v.Row(y)
+			for j := range orow {
+				orow[j] += w * vrow[j]
+			}
+		}
+	}
+	return out
+}
+
+// AttendCausal runs ELSA approximate attention with causal masking: the
+// candidate filter for query i only inspects keys 0..i, exactly what the
+// hardware's candidate-selection modules do when the host programs a
+// per-query key limit. q must have one row per key. The threshold is
+// compared against the running prefix maximum key norm, matching the
+// norm-computation module's state after ingesting i+1 keys.
+func (e *Engine) AttendCausal(q *tensor.Matrix, p *Preprocessed, t float64) (*Result, error) {
+	if q.Cols != e.cfg.D {
+		return nil, fmt.Errorf("attention: query dim %d, engine built for %d", q.Cols, e.cfg.D)
+	}
+	if q.Rows != p.N() {
+		return nil, fmt.Errorf("attention: causal attention needs one query per key (%d vs %d)",
+			q.Rows, p.N())
+	}
+	if err := validateFinite("query matrix", q); err != nil {
+		return nil, err
+	}
+	qm := q
+	if e.cfg.Quantized {
+		qm = q.Clone()
+		fixed.QKV.QuantizeSlice(qm.Data)
+	}
+	res := &Result{
+		Output:          tensor.New(q.Rows, e.cfg.D),
+		CandidateCounts: make([]int, q.Rows),
+		Candidates:      make([][]int, q.Rows),
+	}
+	scratch := make([]int, 0, p.N())
+	scores := make([]float64, 0, p.N())
+	runningMax := 0.0
+	for i := 0; i < qm.Rows; i++ {
+		if p.Norms[i] > runningMax {
+			runningMax = p.Norms[i]
+		}
+		qrow := qm.Row(i)
+		qHash := e.HashVector(qrow)
+		cut := t * runningMax
+		scratch = scratch[:0]
+		best, bestSim := 0, math.Inf(-1)
+		for y := 0; y <= i; y++ {
+			sim := e.cosLUT[srp.Hamming(qHash, p.Hashes[y])] * p.Norms[y]
+			if sim > cut {
+				scratch = append(scratch, y)
+			}
+			if sim > bestSim {
+				best, bestSim = y, sim
+			}
+		}
+		if len(scratch) == 0 {
+			res.FallbackQueries++
+			scratch = append(scratch, best)
+		}
+		res.CandidateCounts[i] = len(scratch)
+		res.TotalCandidates += len(scratch)
+		res.Candidates[i] = append([]int(nil), scratch...)
+		scores = scores[:0]
+		for _, y := range scratch {
+			scores = append(scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+		}
+		e.weightedSum(res.Output.Row(i), scratch, scores, p)
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestExactCausalFirstRowAttendsItself(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandomNormal(rng, 4, 8)
+	k := tensor.RandomNormal(rng, 4, 8)
+	v := tensor.RandomNormal(rng, 4, 8)
+	out := ExactCausal(q, k, v, DefaultScale(8))
+	// Query 0 can only see key 0: its output is exactly value row 0.
+	for j, got := range out.Row(0) {
+		if math.Abs(float64(got-v.At(0, j))) > 1e-6 {
+			t.Fatalf("row 0 should equal value row 0 at col %d", j)
+		}
+	}
+}
+
+func TestExactCausalMatchesMaskedFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, d := 12, 8
+	q := tensor.RandomNormal(rng, n, d)
+	k := tensor.RandomNormal(rng, n, d)
+	v := tensor.RandomNormal(rng, n, d)
+	causal := ExactCausal(q, k, v, DefaultScale(d))
+	// Reference: full attention with -inf masking via manual computation.
+	for i := 0; i < n; i++ {
+		sub := Exact(
+			&tensor.Matrix{Rows: 1, Cols: d, Data: q.Row(i)},
+			&tensor.Matrix{Rows: i + 1, Cols: d, Data: k.Data[:(i+1)*d]},
+			&tensor.Matrix{Rows: i + 1, Cols: d, Data: v.Data[:(i+1)*d]},
+			DefaultScale(d))
+		for j := 0; j < d; j++ {
+			if math.Abs(float64(causal.At(i, j)-sub.At(0, j))) > 1e-5 {
+				t.Fatalf("causal row %d differs from prefix attention", i)
+			}
+		}
+	}
+}
+
+func TestExactCausalPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nq != n")
+		}
+	}()
+	ExactCausal(tensor.New(3, 8), tensor.New(4, 8), tensor.New(4, 8), 1)
+}
+
+func TestAttendCausalNoApproxMatchesExactCausal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := newTestEngine(t, Config{D: 16, Seed: 3})
+	n := 24
+	q := tensor.RandomNormal(rng, n, 16)
+	k := tensor.RandomNormal(rng, n, 16)
+	v := tensor.RandomNormal(rng, n, 16)
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AttendCausal(q, pre, ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExactCausal(q, k, v, e.Config().Scale)
+	if d := tensor.MaxAbsDiff(want, res.Output); d > 1e-4 {
+		t.Errorf("causal no-approx diverges by %g", d)
+	}
+	// Candidate counts form the causal triangle: i+1 keys for query i.
+	for i, c := range res.CandidateCounts {
+		if c != i+1 {
+			t.Errorf("query %d: candidates %d, want %d", i, c, i+1)
+		}
+	}
+}
+
+func TestAttendCausalRespectsMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := newTestEngine(t, Config{D: 16, Seed: 4})
+	n := 20
+	q, k, v, _ := clustered(rng, n, n, 16, 1.5)
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AttendCausal(q, pre, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cand := range res.Candidates {
+		for _, y := range cand {
+			if y > i {
+				t.Fatalf("query %d selected future key %d", i, y)
+			}
+		}
+		if len(cand) == 0 {
+			t.Fatalf("query %d has no candidates (fallback must supply one)", i)
+		}
+	}
+}
+
+func TestAttendCausalValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := newTestEngine(t, Config{D: 16, Seed: 5})
+	k := tensor.RandomNormal(rng, 8, 16)
+	pre, err := e.Preprocess(k, k.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AttendCausal(tensor.New(4, 16), pre, 0); err == nil {
+		t.Error("nq != n should error")
+	}
+	if _, err := e.AttendCausal(tensor.New(8, 8), pre, 0); err == nil {
+		t.Error("wrong dim should error")
+	}
+}
+
+func TestAttendCausalFallbackOnHighThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := newTestEngine(t, Config{D: 16, Seed: 6})
+	n := 10
+	q := tensor.RandomNormal(rng, n, 16)
+	k := tensor.RandomNormal(rng, n, 16)
+	pre, err := e.Preprocess(k, k.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AttendCausal(q, pre, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackQueries != n {
+		t.Errorf("FallbackQueries = %d, want %d", res.FallbackQueries, n)
+	}
+	// Query 0's only possible candidate is key 0.
+	if res.Candidates[0][0] != 0 {
+		t.Error("query 0's fallback must be key 0")
+	}
+}
+
+func TestAttendCausalQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := newTestEngine(t, Config{D: 16, Quantized: true, Seed: 7})
+	n := 12
+	q, k, v, _ := clustered(rng, n, n, 16, 1.5)
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AttendCausal(q, pre, ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range res.Output.Data {
+		if math.IsNaN(float64(x)) {
+			t.Fatal("NaN in quantized causal output")
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/fixed"
+	"elsa/internal/kron"
+	"elsa/internal/srp"
+	"elsa/internal/tensor"
+)
+
+// Config parameterizes an approximate-attention Engine. Zero values select
+// the paper's defaults where meaningful.
+type Config struct {
+	// D is the head dimension (paper: 64). Required.
+	D int
+	// K is the hash width in bits. Defaults to D, the paper's
+	// recommendation (§IV-E).
+	K int
+	// KronShapes lists the Kronecker factor shapes for each full d→d hash
+	// projection batch, outermost first. Defaults to kron.StandardShapes(D)
+	// — the (4×4)^⊗3 configuration for d = 64. Set to [][2]int{{D, D}} for
+	// an unstructured dense projection (ablation). When K > D, ceil(K/D)
+	// batches of orthogonal vectors are stacked (super-bit, §IV-E); a
+	// partial final batch always uses a dense (K mod D)×D projection.
+	KronShapes [][2]int
+	// BiasPercentile is the percentile of the raw angular-estimate error
+	// subtracted as θ_bias. Defaults to srp.DefaultBiasPercentile (80).
+	BiasPercentile float64
+	// BiasSamples is the sample count for θ_bias calibration. Default 2000.
+	BiasSamples int
+	// Scale is the softmax scale; defaults to 1/√D (scaled dot-product
+	// attention). Set to 1 for unscaled models.
+	Scale float64
+	// Quantized enables hardware-accurate numerics: Q(1,5,3) inputs,
+	// LUT exponent/reciprocal/sqrt units, EFloat accumulator rounding.
+	Quantized bool
+	// Seed drives all randomness (projection factors, bias calibration).
+	Seed int64
+}
+
+func (c *Config) setDefaults() error {
+	if c.D < 1 {
+		return fmt.Errorf("attention: config requires D >= 1, got %d", c.D)
+	}
+	if c.K == 0 {
+		c.K = c.D
+	}
+	if c.K < 1 {
+		return fmt.Errorf("attention: config requires K >= 1, got %d", c.K)
+	}
+	if len(c.KronShapes) == 0 {
+		c.KronShapes = kron.StandardShapes(c.D)
+	}
+	if c.BiasPercentile == 0 {
+		c.BiasPercentile = srp.DefaultBiasPercentile
+	}
+	if c.BiasSamples == 0 {
+		c.BiasSamples = 2000
+	}
+	if c.Scale == 0 {
+		c.Scale = DefaultScale(c.D)
+	}
+	return nil
+}
+
+// Engine performs ELSA approximate self-attention. It is immutable after
+// construction and safe for concurrent use.
+type Engine struct {
+	cfg Config
+	// projs are the hash projection batches: full d→d Kronecker batches
+	// followed by an optional partial dense batch, totalling K rows.
+	projs []*kron.Projection
+	bias  float64
+	// cosLUT is the hardware's (k+1)-entry lookup table (§IV-C): entry h
+	// holds cos(max(0, π·h/k − θ_bias)). The approximate similarity is a
+	// deterministic function of the Hamming distance, so the table is
+	// exact, not an approximation.
+	cosLUT []float64
+	expU   *fixed.ExpUnit
+	recpU  *fixed.RecipUnit
+	sqrtU  *fixed.SqrtUnit
+}
+
+// NewEngine builds an engine: it draws the Kronecker-structured orthogonal
+// hash projection batches and calibrates θ_bias on synthetic normal
+// vectors, both seeded from cfg.Seed.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var projs []*kron.Projection
+	for remaining := cfg.K; remaining > 0; {
+		var p *kron.Projection
+		var err error
+		if remaining >= cfg.D {
+			p, err = kron.NewRandomOrthogonal(rng, cfg.KronShapes...)
+			if err == nil && (p.D != cfg.D || p.K != cfg.D) {
+				err = fmt.Errorf("attention: kron shapes produce %d->%d projection, want %d->%d",
+					p.D, p.K, cfg.D, cfg.D)
+			}
+			remaining -= cfg.D
+		} else {
+			p, err = kron.NewRandomOrthogonal(rng, [2]int{remaining, cfg.D})
+			remaining = 0
+		}
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, p)
+	}
+	cal, err := srp.CalibrateBias(cfg.D, cfg.K, srp.Orthogonal, cfg.BiasPercentile, cfg.BiasSamples, rng)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		projs:  projs,
+		bias:   cal.Bias,
+		cosLUT: make([]float64, cfg.K+1),
+		expU:   fixed.NewExpUnit(),
+		recpU:  fixed.NewRecipUnit(),
+		sqrtU:  fixed.NewSqrtUnit(),
+	}
+	for h := range e.cosLUT {
+		e.cosLUT[h] = math.Cos(srp.CorrectedAngle(h, cfg.K, e.bias))
+	}
+	return e, nil
+}
+
+// CosLUT returns the candidate-selection lookup table: entry h is
+// cos(max(0, π·h/k − θ_bias)), the value the hardware multiplies by
+// ‖K_y‖. The returned slice must not be mutated.
+func (e *Engine) CosLUT() []float64 { return e.cosLUT }
+
+// Config returns the resolved configuration (defaults filled in).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Bias returns the calibrated θ_bias.
+func (e *Engine) Bias() float64 { return e.bias }
+
+// HashMuls is the multiplication count of one full hash computation across
+// all projection batches (768 = 3·d^{4/3} for the default d = k = 64
+// configuration); the hardware simulator divides it by m_h for the hash
+// module's cycle count.
+func (e *Engine) HashMuls() int {
+	total := 0
+	for _, p := range e.projs {
+		total += p.MulCount()
+	}
+	return total
+}
+
+// HashVector computes the k-bit sign hash of x through the Kronecker fast
+// path: each batch costs its factor mode-products (768 multiplications for
+// the (4×4)^⊗3, d = 64 configuration) instead of k·d.
+func (e *Engine) HashVector(x []float32) srp.BitVec {
+	if len(e.projs) == 1 {
+		return srp.HashFromProjection(e.projs[0].Apply(x))
+	}
+	out := srp.NewBitVec(e.cfg.K)
+	bit := 0
+	for _, p := range e.projs {
+		for _, v := range p.Apply(x) {
+			out.SetBit(bit, v >= 0)
+			bit++
+		}
+	}
+	return out
+}
+
+// Preprocessed holds the per-key state computed once per attention
+// invocation (§III-D preprocessing): key hashes, key norms, the maximum
+// norm, and the (possibly quantized) key/value matrices.
+type Preprocessed struct {
+	Keys, Values *tensor.Matrix
+	Hashes       []srp.BitVec
+	Norms        []float64
+	MaxNorm      float64
+}
+
+// N returns the number of keys.
+func (p *Preprocessed) N() int { return p.Keys.Rows }
+
+// validateFinite rejects NaN/Inf inputs: they would silently corrupt
+// norms, hashes and softmax sums deep inside the pipeline, so the engine
+// fails fast at the boundary instead.
+func validateFinite(name string, m *tensor.Matrix) error {
+	for _, v := range m.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("attention: %s contains a non-finite value", name)
+		}
+	}
+	return nil
+}
+
+// Preprocess hashes every key and computes key norms. In Quantized mode the
+// key and value matrices are first rounded to the Q(1,5,3) input format and
+// norms pass through the tabulate-and-multiply square-root unit, mirroring
+// the accelerator's norm-computation module.
+func (e *Engine) Preprocess(keys, values *tensor.Matrix) (*Preprocessed, error) {
+	p, err := e.preprocessSetup(keys, values)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.Keys.Rows; i++ {
+		e.preprocessKey(p, i)
+		if p.Norms[i] > p.MaxNorm {
+			p.MaxNorm = p.Norms[i]
+		}
+	}
+	return p, nil
+}
+
+// preprocessSetup validates shapes and finiteness and applies input
+// quantization, returning a Preprocessed with empty per-key slots.
+func (e *Engine) preprocessSetup(keys, values *tensor.Matrix) (*Preprocessed, error) {
+	if keys.Cols != e.cfg.D {
+		return nil, fmt.Errorf("attention: key dim %d, engine built for %d", keys.Cols, e.cfg.D)
+	}
+	if values.Rows != keys.Rows || values.Cols != keys.Cols {
+		return nil, fmt.Errorf("attention: value shape %dx%d does not match keys %dx%d",
+			values.Rows, values.Cols, keys.Rows, keys.Cols)
+	}
+	if err := validateFinite("key matrix", keys); err != nil {
+		return nil, err
+	}
+	if err := validateFinite("value matrix", values); err != nil {
+		return nil, err
+	}
+	if e.cfg.Quantized {
+		keys = keys.Clone()
+		values = values.Clone()
+		fixed.QKV.QuantizeSlice(keys.Data)
+		fixed.QKV.QuantizeSlice(values.Data)
+	}
+	return &Preprocessed{
+		Keys:   keys,
+		Values: values,
+		Hashes: make([]srp.BitVec, keys.Rows),
+		Norms:  make([]float64, keys.Rows),
+	}, nil
+}
+
+// preprocessKey hashes key i and computes its norm (§IV-C's hash and norm
+// modules). In Quantized mode the norm passes through the
+// tabulate-and-multiply sqrt unit and is stored in the 8-bit key-norm SRAM
+// format (§IV-C(3): "n bytes assuming an 8-bit representation").
+func (e *Engine) preprocessKey(p *Preprocessed, i int) {
+	row := p.Keys.Row(i)
+	p.Hashes[i] = e.HashVector(row)
+	sq := float64(tensor.Dot(row, row))
+	if e.cfg.Quantized {
+		p.Norms[i] = normFormat.Quantize(e.sqrtU.Sqrt(sq))
+	} else {
+		p.Norms[i] = math.Sqrt(sq)
+	}
+}
+
+// normFormat is the 8-bit unsigned key-norm storage format: 5 integer and
+// 3 fraction bits, matching the Q(1,5,3) element format's magnitude range.
+var normFormat = fixed.Format{IntBits: 5, FracBits: 3}
+
+// SelectCandidates returns the indices of keys whose approximate
+// (query-normalized) similarity to the hashed query exceeds t·‖K_max‖
+// (§III-E). It evaluates exactly what one candidate-selection module does
+// per key per cycle: Hamming distance, a cos-LUT read, one multiply by
+// ‖K_y‖, one compare. The result is appended to dst to allow reuse across
+// queries.
+func (e *Engine) SelectCandidates(qHash srp.BitVec, p *Preprocessed, t float64, dst []int) []int {
+	cut := t * p.MaxNorm
+	for y := range p.Hashes {
+		ham := srp.Hamming(qHash, p.Hashes[y])
+		if e.cosLUT[ham]*p.Norms[y] > cut {
+			dst = append(dst, y)
+		}
+	}
+	return dst
+}
+
+// Result is the outcome of an approximate attention invocation.
+type Result struct {
+	// Output is the n_q×d attention output.
+	Output *tensor.Matrix
+	// CandidateCounts[i] is the number of keys selected for query i.
+	CandidateCounts []int
+	// TotalCandidates is the sum of CandidateCounts.
+	TotalCandidates int
+	// FallbackQueries counts queries for which the filter selected nothing
+	// and the engine fell back to the single best approximate key.
+	FallbackQueries int
+	// Candidates[i] lists the selected key indices for query i (including
+	// the fallback key when the filter came up empty).
+	Candidates [][]int
+}
+
+// CandidateFraction is the mean fraction of keys inspected per query — the
+// bar metric of the paper's Fig 10.
+func (r *Result) CandidateFraction(n int) float64 {
+	if len(r.CandidateCounts) == 0 || n == 0 {
+		return 0
+	}
+	return float64(r.TotalCandidates) / float64(len(r.CandidateCounts)*n)
+}
+
+// Attend runs the full approximate self-attention (§III-D) for every row of
+// q against the preprocessed keys with the layer threshold t: hash the
+// query, select candidates, compute exact dot products for the candidates
+// only, softmax over the candidates, and take the weighted sum of the
+// corresponding value rows.
+//
+// A query whose filter selects no key falls back to the key with the
+// highest approximate similarity so the output row is always defined; such
+// queries are counted in Result.FallbackQueries.
+func (e *Engine) Attend(q *tensor.Matrix, p *Preprocessed, t float64) (*Result, error) {
+	if q.Cols != e.cfg.D {
+		return nil, fmt.Errorf("attention: query dim %d, engine built for %d", q.Cols, e.cfg.D)
+	}
+	if err := validateFinite("query matrix", q); err != nil {
+		return nil, err
+	}
+	if e.cfg.Quantized {
+		q = q.Clone()
+		fixed.QKV.QuantizeSlice(q.Data)
+	}
+	res := &Result{
+		Output:          tensor.New(q.Rows, e.cfg.D),
+		CandidateCounts: make([]int, q.Rows),
+		Candidates:      make([][]int, q.Rows),
+	}
+	scratch := make([]int, 0, p.N())
+	scores := make([]float64, 0, p.N())
+	for i := 0; i < q.Rows; i++ {
+		qrow := q.Row(i)
+		qHash := e.HashVector(qrow)
+		scratch = e.SelectCandidates(qHash, p, t, scratch[:0])
+		if len(scratch) == 0 {
+			res.FallbackQueries++
+			scratch = append(scratch, e.bestApproxKey(qHash, p))
+		}
+		res.CandidateCounts[i] = len(scratch)
+		res.TotalCandidates += len(scratch)
+		res.Candidates[i] = append([]int(nil), scratch...)
+		scores = scores[:0]
+		for _, y := range scratch {
+			scores = append(scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+		}
+		e.weightedSum(res.Output.Row(i), scratch, scores, p)
+	}
+	return res, nil
+}
+
+// bestApproxKey returns the key index with maximum approximate similarity.
+func (e *Engine) bestApproxKey(qHash srp.BitVec, p *Preprocessed) int {
+	best, bestSim := 0, math.Inf(-1)
+	for y := range p.Hashes {
+		sim := e.cosLUT[srp.Hamming(qHash, p.Hashes[y])] * p.Norms[y]
+		if sim > bestSim {
+			best, bestSim = y, sim
+		}
+	}
+	return best
+}
+
+// weightedSum computes softmax over the candidate scores and accumulates
+// score-weighted value rows into out, emulating the attention-computation
+// and output-division modules. In Quantized mode the exponent, accumulation
+// and reciprocal all pass through the LUT units and EFloat rounding.
+func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Preprocessed) {
+	if e.cfg.Quantized {
+		// The hardware has no max-subtraction: it relies on the EFloat
+		// range. We mirror that but guard the float64 carrier against
+		// overflow by clamping into the EFloat-representable band.
+		sumexp := 0.0
+		acc := make([]float64, len(out))
+		for ci, y := range cand {
+			ev := e.expU.Exp(scores[ci])
+			sumexp = fixed.RoundEFloat(sumexp + ev)
+			vrow := p.Values.Row(y)
+			for j := range acc {
+				acc[j] += ev * float64(vrow[j])
+			}
+		}
+		inv := e.recpU.Recip(sumexp)
+		for j := range out {
+			out[j] = float32(acc[j] * inv)
+		}
+		return
+	}
+	// Float path: numerically-stable softmax over the candidate subset.
+	maxs := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxs {
+			maxs = s
+		}
+	}
+	sumexp := 0.0
+	w := make([]float64, len(scores))
+	for ci, s := range scores {
+		w[ci] = math.Exp(s - maxs)
+		sumexp += w[ci]
+	}
+	inv := 1 / sumexp
+	for ci, y := range cand {
+		wy := w[ci] * inv
+		vrow := p.Values.Row(y)
+		for j := range out {
+			out[j] += float32(wy * float64(vrow[j]))
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package attention implements the paper's subject: the self-attention
+// operator, both the exact reference (§II-A) and ELSA's approximate variant
+// (§III) with SRP candidate filtering, Kronecker-structured hash
+// computation, learned layer thresholds, and optional hardware-accurate
+// fixed-point numerics.
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"elsa/internal/tensor"
+)
+
+// DefaultScale returns the conventional scaled-dot-product factor 1/√d.
+func DefaultScale(d int) float64 { return 1 / math.Sqrt(float64(d)) }
+
+// Exact computes the reference self-attention output
+// O = softmax(scale·Q·Kᵀ)·V. Q is n_q×d, K and V are n×d; the result is
+// n_q×d. It panics on shape mismatch (static model configuration).
+func Exact(q, k, v *tensor.Matrix, scale float64) *tensor.Matrix {
+	out, _ := ExactWithScores(q, k, v, scale)
+	return out
+}
+
+// ExactWithScores additionally returns the softmax-normalized attention
+// score matrix S′ (n_q×n), which the threshold learner and the fidelity
+// metrics both need.
+func ExactWithScores(q, k, v *tensor.Matrix, scale float64) (*tensor.Matrix, *tensor.Matrix) {
+	checkShapes(q, k, v)
+	scores := tensor.MatMulT(q, k)
+	if scale != 1 {
+		scores.Scale(float32(scale))
+	}
+	tensor.SoftmaxRows(scores)
+	return tensor.MatMul(scores, v), scores
+}
+
+func checkShapes(q, k, v *tensor.Matrix) {
+	if q.Cols != k.Cols {
+		panic(fmt.Sprintf("attention: query dim %d != key dim %d", q.Cols, k.Cols))
+	}
+	if k.Rows != v.Rows {
+		panic(fmt.Sprintf("attention: %d keys but %d values", k.Rows, v.Rows))
+	}
+	if k.Cols != v.Cols {
+		panic(fmt.Sprintf("attention: key dim %d != value dim %d", k.Cols, v.Cols))
+	}
+}
+
+// FLOPs accounting for the exact operator (§II-B): n²d MACs for Q·Kᵀ, n²
+// exponent ops for softmax, and n²d MACs for S′·V. One MAC counts as two
+// floating-point operations.
+type FLOPs struct {
+	ScoreMACs    int64 // Q·Kᵀ multiply-accumulates
+	SoftmaxExps  int64 // exponent evaluations
+	WeightedMACs int64 // S′·V multiply-accumulates
+}
+
+// ExactFLOPs returns the cost of exact attention with n_q queries over n
+// keys of dimension d.
+func ExactFLOPs(nq, n, d int) FLOPs {
+	return FLOPs{
+		ScoreMACs:    int64(nq) * int64(n) * int64(d),
+		SoftmaxExps:  int64(nq) * int64(n),
+		WeightedMACs: int64(nq) * int64(n) * int64(d),
+	}
+}
+
+// Total returns the total FLOP count, counting a MAC as two operations and
+// an exponent as one.
+func (f FLOPs) Total() int64 {
+	return 2*(f.ScoreMACs+f.WeightedMACs) + f.SoftmaxExps
+}

@@ -1,0 +1,114 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestExactTinyHandComputed(t *testing.T) {
+	// One query, two keys chosen so softmax weights are e/(e+1) and
+	// 1/(e+1).
+	q, _ := tensor.FromRows([][]float32{{1, 0}})
+	k, _ := tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	v, _ := tensor.FromRows([][]float32{{10, 0}, {0, 10}})
+	out := Exact(q, k, v, 1)
+	w1 := math.E / (math.E + 1)
+	w2 := 1 / (math.E + 1)
+	if math.Abs(float64(out.At(0, 0))-10*w1) > 1e-5 {
+		t.Errorf("out[0][0] = %g, want %g", out.At(0, 0), 10*w1)
+	}
+	if math.Abs(float64(out.At(0, 1))-10*w2) > 1e-5 {
+		t.Errorf("out[0][1] = %g, want %g", out.At(0, 1), 10*w2)
+	}
+}
+
+func TestExactWithScoresRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandomNormal(rng, 6, 8)
+	k := tensor.RandomNormal(rng, 10, 8)
+	v := tensor.RandomNormal(rng, 10, 8)
+	out, scores := ExactWithScores(q, k, v, DefaultScale(8))
+	if out.Rows != 6 || out.Cols != 8 {
+		t.Fatalf("output shape %dx%d", out.Rows, out.Cols)
+	}
+	if scores.Rows != 6 || scores.Cols != 10 {
+		t.Fatalf("scores shape %dx%d", scores.Rows, scores.Cols)
+	}
+	for i := 0; i < scores.Rows; i++ {
+		sum := float32(0)
+		for _, s := range scores.Row(i) {
+			if s < 0 {
+				t.Fatal("softmax scores must be non-negative")
+			}
+			sum += s
+		}
+		if math.Abs(float64(sum)-1) > 1e-5 {
+			t.Errorf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestExactScaleChangesConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := tensor.RandomNormal(rng, 4, 16)
+	k := tensor.RandomNormal(rng, 32, 16)
+	v := tensor.RandomNormal(rng, 32, 16)
+	_, sharp := ExactWithScores(q, k, v, 1)
+	_, flat := ExactWithScores(q, k, v, 0.01)
+	maxOf := func(m *tensor.Matrix) float64 {
+		mx := 0.0
+		for _, x := range m.Data {
+			if float64(x) > mx {
+				mx = float64(x)
+			}
+		}
+		return mx
+	}
+	if maxOf(sharp) <= maxOf(flat) {
+		t.Error("larger scale should concentrate the softmax")
+	}
+}
+
+func TestExactShapePanics(t *testing.T) {
+	q := tensor.New(2, 4)
+	for _, pair := range [][2]*tensor.Matrix{
+		{tensor.New(3, 5), tensor.New(3, 5)}, // q dim mismatch
+		{tensor.New(3, 4), tensor.New(2, 4)}, // keys vs values rows
+		{tensor.New(3, 4), tensor.New(3, 5)}, // key vs value dim
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			Exact(q, pair[0], pair[1], 1)
+		}()
+	}
+}
+
+func TestExactFLOPs(t *testing.T) {
+	f := ExactFLOPs(512, 512, 64)
+	if f.ScoreMACs != 512*512*64 {
+		t.Errorf("ScoreMACs = %d", f.ScoreMACs)
+	}
+	if f.SoftmaxExps != 512*512 {
+		t.Errorf("SoftmaxExps = %d", f.SoftmaxExps)
+	}
+	if f.WeightedMACs != 512*512*64 {
+		t.Errorf("WeightedMACs = %d", f.WeightedMACs)
+	}
+	want := int64(2*(512*512*64+512*512*64) + 512*512)
+	if f.Total() != want {
+		t.Errorf("Total = %d, want %d", f.Total(), want)
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	if math.Abs(DefaultScale(64)-0.125) > 1e-12 {
+		t.Errorf("DefaultScale(64) = %g, want 0.125", DefaultScale(64))
+	}
+}

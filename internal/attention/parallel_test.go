@@ -1,0 +1,92 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestAttendParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	e := newTestEngine(t, Config{D: 16, Seed: 40})
+	q, k, v, _ := clustered(rng, 33, 50, 16, 1.5)
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, thr := range []float64{ExactThresholdNoApprox, 0.15, 10} {
+		serial, err := e.Attend(q, pre, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 5, 64} {
+			par, err := e.AttendParallel(q, pre, thr, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tensor.MaxAbsDiff(serial.Output, par.Output) != 0 {
+				t.Fatalf("thr=%g workers=%d: outputs differ", thr, workers)
+			}
+			if par.TotalCandidates != serial.TotalCandidates ||
+				par.FallbackQueries != serial.FallbackQueries {
+				t.Fatalf("thr=%g workers=%d: stats differ", thr, workers)
+			}
+			for i := range serial.CandidateCounts {
+				if par.CandidateCounts[i] != serial.CandidateCounts[i] {
+					t.Fatalf("thr=%g workers=%d: per-query counts differ at %d", thr, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAttendParallelValidation(t *testing.T) {
+	e := newTestEngine(t, Config{D: 16, Seed: 41})
+	rng := rand.New(rand.NewSource(41))
+	k := tensor.RandomNormal(rng, 8, 16)
+	pre, err := e.Preprocess(k, k.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AttendParallel(tensor.New(2, 8), pre, 0, 2); err == nil {
+		t.Error("wrong query dim should error")
+	}
+}
+
+func TestPreprocessParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, quant := range []bool{false, true} {
+		e := newTestEngine(t, Config{D: 16, Quantized: quant, Seed: 42})
+		keys := tensor.RandomNormal(rng, 53, 16)
+		vals := tensor.RandomNormal(rng, 53, 16)
+		serial, err := e.Preprocess(keys, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 64} {
+			par, err := e.PreprocessParallel(keys, vals, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.MaxNorm != serial.MaxNorm {
+				t.Fatalf("quant=%v workers=%d: MaxNorm differs", quant, workers)
+			}
+			for i := range serial.Hashes {
+				if !par.Hashes[i].Equal(serial.Hashes[i]) {
+					t.Fatalf("quant=%v workers=%d: hash %d differs", quant, workers, i)
+				}
+				if par.Norms[i] != serial.Norms[i] {
+					t.Fatalf("quant=%v workers=%d: norm %d differs", quant, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPreprocessParallelValidation(t *testing.T) {
+	e := newTestEngine(t, Config{D: 16, Seed: 43})
+	if _, err := e.PreprocessParallel(tensor.New(4, 8), tensor.New(4, 8), 4); err == nil {
+		t.Error("wrong key dim should error")
+	}
+}

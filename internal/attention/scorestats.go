@@ -1,0 +1,96 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elsa/internal/tensor"
+)
+
+// ScoreStats summarizes the shape of a softmax-normalized attention score
+// matrix — the properties §II-C's approximation argument rests on (most
+// rows concentrate their mass on a few keys) and the ones the synthetic
+// workloads must reproduce for the Fig 10 curves to transfer.
+type ScoreStats struct {
+	// MeanEntropy is the mean per-row Shannon entropy in nats.
+	MeanEntropy float64
+	// MeanEffectiveSupport is the mean per-row perplexity e^H — "how many
+	// keys effectively receive mass".
+	MeanEffectiveSupport float64
+	// Keys is the row width n.
+	Keys int
+	// Top10Mass and Top25Mass are the mean softmax mass captured by the
+	// top 10% / 25% of keys per row.
+	Top10Mass, Top25Mass float64
+	// AboveUniform is the mean fraction of keys whose score exceeds 1/n —
+	// exactly the population the p = 1 threshold rule targets (§III-E).
+	AboveUniform float64
+}
+
+func (s ScoreStats) String() string {
+	return fmt.Sprintf("n=%d H=%.3f eff=%.1f top10%%=%.3f top25%%=%.3f >1/n=%.1f%%",
+		s.Keys, s.MeanEntropy, s.MeanEffectiveSupport, s.Top10Mass, s.Top25Mass, 100*s.AboveUniform)
+}
+
+// AnalyzeScores computes ScoreStats over a softmax-normalized score matrix
+// (each row non-negative, summing to ~1), e.g. the second return of
+// ExactWithScores.
+func AnalyzeScores(scores *tensor.Matrix) (ScoreStats, error) {
+	if scores.Rows == 0 || scores.Cols == 0 {
+		return ScoreStats{}, fmt.Errorf("attention: empty score matrix")
+	}
+	n := scores.Cols
+	st := ScoreStats{Keys: n}
+	top10 := topCount(n, 0.10)
+	top25 := topCount(n, 0.25)
+	row := make([]float64, n)
+	uniform := 1 / float64(n)
+	for i := 0; i < scores.Rows; i++ {
+		src := scores.Row(i)
+		var entropy float64
+		above := 0
+		for j, v := range src {
+			p := float64(v)
+			row[j] = p
+			if p > 0 {
+				entropy -= p * math.Log(p)
+			}
+			if p > uniform {
+				above++
+			}
+		}
+		st.MeanEntropy += entropy
+		st.MeanEffectiveSupport += math.Exp(entropy)
+		st.AboveUniform += float64(above) / float64(n)
+		sort.Sort(sort.Reverse(sort.Float64Slice(row)))
+		var m float64
+		for j := 0; j < top10; j++ {
+			m += row[j]
+		}
+		st.Top10Mass += m
+		for j := top10; j < top25; j++ {
+			m += row[j]
+		}
+		st.Top25Mass += m
+	}
+	inv := 1 / float64(scores.Rows)
+	st.MeanEntropy *= inv
+	st.MeanEffectiveSupport *= inv
+	st.Top10Mass *= inv
+	st.Top25Mass *= inv
+	st.AboveUniform *= inv
+	return st, nil
+}
+
+// topCount is ceil(frac·n), at least 1.
+func topCount(n int, frac float64) int {
+	c := int(math.Ceil(frac * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}

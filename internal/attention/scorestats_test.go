@@ -1,0 +1,90 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestAnalyzeScoresUniform(t *testing.T) {
+	n := 16 // power of two: 1/n is exact in float32, so no key exceeds it
+	m := tensor.New(3, n)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, float32(1.0/float64(n)))
+		}
+	}
+	st, err := AnalyzeScores(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanEntropy-math.Log(float64(n))) > 1e-5 {
+		t.Errorf("uniform entropy = %g, want ln(%d)", st.MeanEntropy, n)
+	}
+	if math.Abs(st.MeanEffectiveSupport-float64(n)) > 1e-3 {
+		t.Errorf("uniform effective support = %g, want %d", st.MeanEffectiveSupport, n)
+	}
+	if st.AboveUniform != 0 {
+		t.Errorf("no key strictly exceeds 1/n in a uniform row, got %g", st.AboveUniform)
+	}
+	if math.Abs(st.Top10Mass-2.0/16) > 1e-5 { // ceil(0.1*16)=2 keys
+		t.Errorf("uniform top-10%% mass = %g, want 2/16", st.Top10Mass)
+	}
+}
+
+func TestAnalyzeScoresOneHot(t *testing.T) {
+	m := tensor.New(2, 8)
+	m.Set(0, 3, 1)
+	m.Set(1, 0, 1)
+	st, err := AnalyzeScores(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanEntropy != 0 {
+		t.Errorf("one-hot entropy = %g, want 0", st.MeanEntropy)
+	}
+	if st.MeanEffectiveSupport != 1 {
+		t.Errorf("one-hot effective support = %g, want 1", st.MeanEffectiveSupport)
+	}
+	if st.Top10Mass != 1 {
+		t.Errorf("one-hot top mass = %g, want 1", st.Top10Mass)
+	}
+	if math.Abs(st.AboveUniform-1.0/8) > 1e-9 {
+		t.Errorf("one key above uniform, got %g", st.AboveUniform)
+	}
+}
+
+func TestAnalyzeScoresValidation(t *testing.T) {
+	if _, err := AnalyzeScores(&tensor.Matrix{}); err == nil {
+		t.Error("empty matrix should error")
+	}
+}
+
+func TestAnalyzeScoresOrderingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandomNormal(rng, 16, 16)
+	k := tensor.RandomNormal(rng, 64, 16)
+	v := tensor.RandomNormal(rng, 64, 16)
+	_, scores := ExactWithScores(q, k, v, DefaultScale(16))
+	st, err := AnalyzeScores(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Top25Mass < st.Top10Mass {
+		t.Error("top-25% mass cannot be below top-10%")
+	}
+	if st.Top25Mass > 1+1e-6 || st.Top10Mass <= 0 {
+		t.Error("top-mass out of range")
+	}
+	if st.MeanEntropy <= 0 || st.MeanEntropy > math.Log(64)+1e-9 {
+		t.Errorf("entropy %g outside (0, ln n]", st.MeanEntropy)
+	}
+	if st.MeanEffectiveSupport < 1 || st.MeanEffectiveSupport > 64 {
+		t.Errorf("effective support %g outside [1, n]", st.MeanEffectiveSupport)
+	}
+	if st.String() == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,136 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"elsa/internal/fixed"
+	"elsa/internal/srp"
+	"elsa/internal/tensor"
+)
+
+// Stream supports autoregressive decoding workloads (the GPT-style text
+// generation the paper's introduction cites): keys and values arrive one
+// token at a time as the model generates, and each new query attends over
+// the prefix so far. ELSA's preprocessing is naturally incremental — each
+// appended key is hashed once through the Kronecker fast path
+// (3·d^{4/3} multiplications) and its norm computed once — so the
+// per-token preprocessing cost is constant instead of O(n).
+//
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	engine *Engine
+	// Growing backing stores; keys/values hold len·d elements.
+	keys, values []float32
+	hashes       []srp.BitVec
+	norms        []float64
+	maxNorm      float64
+	n            int
+}
+
+// NewStream creates an empty key/value stream with storage preallocated
+// for capacity tokens (it grows beyond that as needed).
+func (e *Engine) NewStream(capacity int) *Stream {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Stream{
+		engine: e,
+		keys:   make([]float32, 0, capacity*e.cfg.D),
+		values: make([]float32, 0, capacity*e.cfg.D),
+		hashes: make([]srp.BitVec, 0, capacity),
+		norms:  make([]float64, 0, capacity),
+	}
+}
+
+// Len returns the number of tokens appended so far.
+func (s *Stream) Len() int { return s.n }
+
+// MaxNorm returns the largest key norm seen so far (the running ‖K_max‖
+// the hardware's norm module maintains).
+func (s *Stream) MaxNorm() float64 { return s.maxNorm }
+
+// Append adds one token's key and value, hashing the key incrementally.
+func (s *Stream) Append(key, value []float32) error {
+	d := s.engine.cfg.D
+	if len(key) != d || len(value) != d {
+		return fmt.Errorf("attention: stream append with dims %d/%d, engine built for %d",
+			len(key), len(value), d)
+	}
+	for _, v := range key {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return fmt.Errorf("attention: stream key contains a non-finite value")
+		}
+	}
+	for _, v := range value {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return fmt.Errorf("attention: stream value contains a non-finite value")
+		}
+	}
+	kq := append([]float32(nil), key...)
+	vq := append([]float32(nil), value...)
+	if s.engine.cfg.Quantized {
+		fixed.QKV.QuantizeSlice(kq)
+		fixed.QKV.QuantizeSlice(vq)
+	}
+	s.keys = append(s.keys, kq...)
+	s.values = append(s.values, vq...)
+	s.hashes = append(s.hashes, s.engine.HashVector(kq))
+	sq := float64(tensor.Dot(kq, kq))
+	var norm float64
+	if s.engine.cfg.Quantized {
+		norm = s.engine.sqrtU.Sqrt(sq)
+	} else {
+		norm = math.Sqrt(sq)
+	}
+	s.norms = append(s.norms, norm)
+	if norm > s.maxNorm {
+		s.maxNorm = norm
+	}
+	s.n++
+	return nil
+}
+
+// snapshot views the current prefix as a Preprocessed without copying.
+func (s *Stream) snapshot() *Preprocessed {
+	d := s.engine.cfg.D
+	return &Preprocessed{
+		Keys:    &tensor.Matrix{Rows: s.n, Cols: d, Data: s.keys[:s.n*d]},
+		Values:  &tensor.Matrix{Rows: s.n, Cols: d, Data: s.values[:s.n*d]},
+		Hashes:  s.hashes[:s.n],
+		Norms:   s.norms[:s.n],
+		MaxNorm: s.maxNorm,
+	}
+}
+
+// QueryStats reports one streamed query's work.
+type QueryStats struct {
+	// Candidates is the number of prefix keys that survived the filter.
+	Candidates int
+	// Fallback reports whether the filter selected nothing and the best
+	// approximate key was used instead.
+	Fallback bool
+}
+
+// Query attends the single query vector q over the current prefix with
+// threshold t and returns the context vector. It is equivalent to calling
+// Attend with a one-row query matrix against the prefix, but without
+// re-preprocessing the keys.
+func (s *Stream) Query(q []float32, t float64) ([]float32, QueryStats, error) {
+	if s.n == 0 {
+		return nil, QueryStats{}, fmt.Errorf("attention: query on an empty stream")
+	}
+	if len(q) != s.engine.cfg.D {
+		return nil, QueryStats{}, fmt.Errorf("attention: stream query dim %d, engine built for %d",
+			len(q), s.engine.cfg.D)
+	}
+	qm := &tensor.Matrix{Rows: 1, Cols: s.engine.cfg.D, Data: q}
+	res, err := s.engine.Attend(qm, s.snapshot(), t)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return res.Output.Row(0), QueryStats{
+		Candidates: res.CandidateCounts[0],
+		Fallback:   res.FallbackQueries > 0,
+	}, nil
+}

@@ -1,0 +1,170 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := newTestEngine(t, Config{D: 16, Seed: 1})
+	st := e.NewStream(8)
+	k := tensor.RandomNormal(rng, 20, 16)
+	v := tensor.RandomNormal(rng, 20, 16)
+	for i := 0; i < 20; i++ {
+		if err := st.Append(k.Row(i), v.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 20 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	pre, err := e.Preprocess(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MaxNorm()-pre.MaxNorm) > 1e-9 {
+		t.Errorf("stream MaxNorm %g vs batch %g", st.MaxNorm(), pre.MaxNorm)
+	}
+	q := tensor.RandomNormal(rng, 5, 16)
+	for _, thr := range []float64{ExactThresholdNoApprox, 0.2, 10} {
+		batch, err := e.Attend(q, pre, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < q.Rows; i++ {
+			out, stats, err := st.Query(q.Row(i), thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, want := range batch.Output.Row(i) {
+				if math.Abs(float64(out[j]-want)) > 1e-6 {
+					t.Fatalf("thr=%g query %d: stream diverges from batch at %d", thr, i, j)
+				}
+			}
+			if stats.Candidates != batch.CandidateCounts[i] {
+				t.Errorf("thr=%g query %d: stream candidates %d vs batch %d",
+					thr, i, stats.Candidates, batch.CandidateCounts[i])
+			}
+		}
+	}
+}
+
+func TestStreamIncrementalPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := newTestEngine(t, Config{D: 16, Seed: 2})
+	st := e.NewStream(0)
+	q := tensor.RandomNormal(rng, 1, 16).Row(0)
+	for n := 1; n <= 12; n++ {
+		key := tensor.RandomNormal(rng, 1, 16).Row(0)
+		val := tensor.RandomNormal(rng, 1, 16).Row(0)
+		if err := st.Append(key, val); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := st.Query(q, ExactThresholdNoApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 16 {
+			t.Fatalf("n=%d: output len %d", n, len(out))
+		}
+		for _, v := range out {
+			if math.IsNaN(float64(v)) {
+				t.Fatalf("n=%d: NaN in output", n)
+			}
+		}
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	e := newTestEngine(t, Config{D: 8, Seed: 3})
+	st := e.NewStream(-5) // negative capacity clamps
+	if err := st.Append(make([]float32, 7), make([]float32, 8)); err == nil {
+		t.Error("wrong key dim should error")
+	}
+	if err := st.Append(make([]float32, 8), make([]float32, 7)); err == nil {
+		t.Error("wrong value dim should error")
+	}
+	bad := make([]float32, 8)
+	bad[3] = float32(math.NaN())
+	if err := st.Append(bad, make([]float32, 8)); err == nil {
+		t.Error("NaN key should error")
+	}
+	if err := st.Append(make([]float32, 8), bad); err == nil {
+		t.Error("NaN value should error")
+	}
+	if _, _, err := st.Query(make([]float32, 8), 0); err == nil {
+		t.Error("query on empty stream should error")
+	}
+	if err := st.Append(make([]float32, 8), make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Query(make([]float32, 7), 0); err == nil {
+		t.Error("wrong query dim should error")
+	}
+}
+
+func TestStreamQuantizedMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := newTestEngine(t, Config{D: 16, Quantized: true, Seed: 4})
+	st := e.NewStream(4)
+	for i := 0; i < 6; i++ {
+		if err := st.Append(rng4Vec(rng), rng4Vec(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, stats, err := st.Query(rng4Vec(rng), ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates != 6 {
+		t.Errorf("candidates = %d, want all 6", stats.Candidates)
+	}
+	for _, v := range out {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("NaN in quantized stream output")
+		}
+	}
+}
+
+func rng4Vec(rng *rand.Rand) []float32 {
+	v := make([]float32, 16)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestStreamAppendDoesNotAliasCaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := newTestEngine(t, Config{D: 16, Seed: 5})
+	st := e.NewStream(2)
+	key := rng4Vec(rng)
+	val := rng4Vec(rng)
+	if err := st.Append(key, val); err != nil {
+		t.Fatal(err)
+	}
+	query := rng4Vec(rng)
+	before, _, err := st.Query(query, ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeCopy := append([]float32(nil), before...)
+	// Caller mutates their buffers after Append; the stream's stored
+	// copies must be unaffected, so the same query reproduces the same
+	// output.
+	key[0] = 999
+	val[0] = 999
+	after, _, err := st.Query(query, ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range beforeCopy {
+		if beforeCopy[j] != after[j] {
+			t.Fatal("Append must copy its inputs; caller mutation leaked into the stream")
+		}
+	}
+}

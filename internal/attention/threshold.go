@@ -1,0 +1,119 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"elsa/internal/tensor"
+)
+
+// ThresholdTrainer learns the layer-specific candidate-selection threshold t
+// from calibration data by the paper's Fig 6 procedure. For every query of
+// every observed invocation:
+//
+//  1. identify the keys whose softmax-normalized attention score exceeds
+//     p·(1/n), where p is the user's degree-of-approximation
+//     hyperparameter and n the number of keys;
+//  2. among those keys take the one with the minimum softmax-normalized
+//     score (or, when no key qualifies — possible for p > 1 — the maximum-
+//     scoring key);
+//  3. normalize that key's original attention score by ‖q‖·‖K_max‖;
+//
+// and average the resulting value over all queries seen. During inference
+// the learned t multiplied by ‖K_max‖ is compared against the approximate
+// query-normalized similarity.
+//
+// The zero value is not usable; construct with NewThresholdTrainer.
+type ThresholdTrainer struct {
+	// P is the degree-of-approximation hyperparameter (paper: 0 disables
+	// approximation; 1 ≈ conservative, 2 ≈ moderate, larger = aggressive).
+	P float64
+	// Scale is the softmax scale the model applies to attention scores;
+	// must match the Engine's Scale.
+	Scale float64
+
+	sum   float64
+	count int
+}
+
+// NewThresholdTrainer creates a trainer for hyperparameter p and softmax
+// scale scale.
+func NewThresholdTrainer(p, scale float64) (*ThresholdTrainer, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("attention: approximation hyperparameter p must be >= 0, got %g", p)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("attention: scale must be positive, got %g", scale)
+	}
+	return &ThresholdTrainer{P: p, Scale: scale}, nil
+}
+
+// Observe runs one calibration invocation: exact attention scores for q
+// against keys, accumulating the per-query threshold statistic.
+func (tt *ThresholdTrainer) Observe(q, keys *tensor.Matrix) error {
+	if q.Cols != keys.Cols {
+		return fmt.Errorf("attention: query dim %d != key dim %d", q.Cols, keys.Cols)
+	}
+	n := keys.Rows
+	maxNorm := 0.0
+	for y := 0; y < n; y++ {
+		if nv := float64(tensor.Norm(keys.Row(y))); nv > maxNorm {
+			maxNorm = nv
+		}
+	}
+	if maxNorm == 0 {
+		return fmt.Errorf("attention: all-zero key matrix in calibration")
+	}
+	cut := tt.P / float64(n)
+	raw := make([]float64, n)
+	soft := make([]float32, n)
+	for i := 0; i < q.Rows; i++ {
+		qrow := q.Row(i)
+		qNorm := float64(tensor.Norm(qrow))
+		if qNorm == 0 {
+			continue // a zero query attends uniformly; it carries no threshold signal
+		}
+		for y := 0; y < n; y++ {
+			raw[y] = float64(tensor.Dot(qrow, keys.Row(y)))
+			soft[y] = float32(raw[y] * tt.Scale)
+		}
+		tensor.Softmax(soft)
+		// Find the minimum-scoring key above the cut; fall back to the
+		// global maximum when none qualifies (footnote 1 of the paper).
+		selIdx, selScore := -1, math.Inf(1)
+		maxIdx, maxScore := 0, math.Inf(-1)
+		for y := 0; y < n; y++ {
+			s := float64(soft[y])
+			if s > maxScore {
+				maxIdx, maxScore = y, s
+			}
+			if s > cut && s < selScore {
+				selIdx, selScore = y, s
+			}
+		}
+		if selIdx < 0 {
+			selIdx = maxIdx
+		}
+		tt.sum += raw[selIdx] / (qNorm * maxNorm)
+		tt.count++
+	}
+	return nil
+}
+
+// Count returns the number of queries observed so far.
+func (tt *ThresholdTrainer) Count() int { return tt.count }
+
+// Threshold returns the learned layer threshold t. It errors when no
+// calibration data has been observed: silently using an unlearned threshold
+// would disable filtering in a way that is hard to debug.
+func (tt *ThresholdTrainer) Threshold() (float64, error) {
+	if tt.count == 0 {
+		return 0, fmt.Errorf("attention: threshold requested before any calibration data was observed")
+	}
+	return tt.sum / float64(tt.count), nil
+}
+
+// ExactThresholdNoApprox is a threshold that admits every key, used for the
+// p = 0 "fall back to exact" mode (§IV-E): approximate similarities satisfy
+// sim >= -‖K_max‖, so any t < -1 disables filtering.
+const ExactThresholdNoApprox = -2.0

@@ -1,0 +1,208 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestNewThresholdTrainerValidation(t *testing.T) {
+	if _, err := NewThresholdTrainer(-1, 0.125); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := NewThresholdTrainer(1, 0); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := NewThresholdTrainer(1, -0.1); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestThresholdBeforeObserveErrors(t *testing.T) {
+	tt, err := NewThresholdTrainer(1, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.Threshold(); err == nil {
+		t.Error("threshold without observations should error")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	tt, _ := NewThresholdTrainer(1, 0.125)
+	if err := tt.Observe(tensor.New(2, 4), tensor.New(3, 8)); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if err := tt.Observe(tensor.New(2, 4), tensor.New(3, 4)); err == nil {
+		t.Error("all-zero keys should error")
+	}
+}
+
+func TestObserveSkipsZeroQueries(t *testing.T) {
+	tt, _ := NewThresholdTrainer(1, 1)
+	k, _ := tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	q := tensor.New(2, 2) // two all-zero queries
+	if err := tt.Observe(q, k); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Count() != 0 {
+		t.Errorf("zero queries should not count, got %d", tt.Count())
+	}
+}
+
+// Hand-computable case: one query, two keys, unit scale.
+func TestThresholdHandComputed(t *testing.T) {
+	q, _ := tensor.FromRows([][]float32{{2, 0}})
+	k, _ := tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	// Raw scores: [2, 0]; softmax: [e²/(e²+1), 1/(e²+1)] ≈ [0.881, 0.119].
+	// With p = 0, cut = 0, both keys qualify; the min-scoring qualifying
+	// key is key 1 with raw score 0. ‖q‖ = 2, ‖K_max‖ = 1 → t = 0.
+	tt, _ := NewThresholdTrainer(0, 1)
+	if err := tt.Observe(q, k); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr) > 1e-7 {
+		t.Errorf("threshold = %g, want 0", thr)
+	}
+	// With p = 1, cut = 0.5: only key 0 qualifies (0.881 > 0.5); its raw
+	// score is 2 → t = 2/(2·1) = 1.
+	tt2, _ := NewThresholdTrainer(1, 1)
+	if err := tt2.Observe(q, k); err != nil {
+		t.Fatal(err)
+	}
+	thr2, _ := tt2.Threshold()
+	if math.Abs(thr2-1) > 1e-7 {
+		t.Errorf("threshold = %g, want 1", thr2)
+	}
+}
+
+// Footnote-1 case: p large enough that no key passes the cut — trainer must
+// use the maximum-scoring key.
+func TestThresholdFallsBackToMaxKey(t *testing.T) {
+	q, _ := tensor.FromRows([][]float32{{2, 0}})
+	k, _ := tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	tt, _ := NewThresholdTrainer(10, 1) // cut = 5 > any softmax score
+	if err := tt.Observe(q, k); err != nil {
+		t.Fatal(err)
+	}
+	thr, _ := tt.Threshold()
+	// Max key is key 0, raw score 2, t = 1.
+	if math.Abs(thr-1) > 1e-7 {
+		t.Errorf("threshold = %g, want 1", thr)
+	}
+}
+
+func TestThresholdMonotoneInP(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	q, k, _, _ := clustered(rng, 64, 128, 64, 1.5)
+	prev := math.Inf(-1)
+	for _, p := range []float64{0.5, 1, 2, 4} {
+		tt, err := NewThresholdTrainer(p, DefaultScale(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tt.Observe(q, k); err != nil {
+			t.Fatal(err)
+		}
+		thr, err := tt.Threshold()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thr < prev {
+			t.Errorf("threshold should be non-decreasing in p: p=%g gave %g < %g", p, thr, prev)
+		}
+		prev = thr
+	}
+}
+
+func TestThresholdAveragesAcrossInvocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tt, _ := NewThresholdTrainer(1, DefaultScale(32))
+	total := 0
+	for inv := 0; inv < 3; inv++ {
+		q, k, _, _ := clustered(rng, 8, 16, 32, 1.5)
+		if err := tt.Observe(q, k); err != nil {
+			t.Fatal(err)
+		}
+		total += 8
+	}
+	if tt.Count() != total {
+		t.Errorf("Count = %d, want %d", tt.Count(), total)
+	}
+	if _, err := tt.Threshold(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	ok := tensor.New(2, 4)
+	res := &Result{Output: tensor.New(2, 4), Candidates: make([][]int, 2)}
+	if _, err := Compare(tensor.New(3, 4), tensor.New(3, 5), res); err == nil {
+		t.Error("output shape mismatch should error")
+	}
+	if _, err := Compare(ok, tensor.New(3, 5), res); err == nil {
+		t.Error("score rows mismatch should error")
+	}
+	badRes := &Result{Output: tensor.New(2, 4), Candidates: make([][]int, 1)}
+	if _, err := Compare(ok, tensor.New(2, 5), badRes); err == nil {
+		t.Error("candidate list mismatch should error")
+	}
+}
+
+func TestComparePerfectMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	out := tensor.RandomNormal(rng, 3, 4)
+	scores, _ := tensor.FromRows([][]float32{{0.5, 0.5}, {1, 0}, {0.25, 0.75}})
+	res := &Result{
+		Output:     out.Clone(),
+		Candidates: [][]int{{0, 1}, {0, 1}, {0, 1}},
+	}
+	fid, err := Compare(out, scores, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fid.MeanCosine-1) > 1e-6 || math.Abs(fid.MinCosine-1) > 1e-6 {
+		t.Errorf("perfect match should have cosine 1: %v", fid)
+	}
+	if fid.MeanAbsErr != 0 {
+		t.Errorf("perfect match should have zero error: %v", fid)
+	}
+	if math.Abs(fid.RetainedMass-1) > 1e-6 {
+		t.Errorf("full candidate sets retain all mass: %v", fid)
+	}
+	if fid.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestCompareRetainedMassPartial(t *testing.T) {
+	out := tensor.New(1, 2)
+	scores, _ := tensor.FromRows([][]float32{{0.9, 0.1}})
+	res := &Result{Output: tensor.New(1, 2), Candidates: [][]int{{0}}}
+	fid, err := Compare(out, scores, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fid.RetainedMass-0.9) > 1e-6 {
+		t.Errorf("RetainedMass = %g, want 0.9", fid.RetainedMass)
+	}
+}
+
+func TestProxyAccuracyLoss(t *testing.T) {
+	fid := Fidelity{RetainedMass: 0.96}
+	if got := ProxyAccuracyLoss(fid, 0.25); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("loss = %g, want 1.0 (25%% of 4 points)", got)
+	}
+	if got := ProxyAccuracyLoss(Fidelity{RetainedMass: 1.01}, 0.25); got != 0 {
+		t.Errorf("loss must clamp at 0, got %g", got)
+	}
+	if got := ProxyAccuracyLoss(Fidelity{RetainedMass: 1}, 0.25); got != 0 {
+		t.Errorf("no lost mass means no loss, got %g", got)
+	}
+}

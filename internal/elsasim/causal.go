@@ -1,0 +1,103 @@
+package elsasim
+
+import (
+	"fmt"
+
+	"elsa/internal/tensor"
+)
+
+// RunCausal simulates a causally-masked self-attention operation (decoder
+// style: query i sees keys 0..i). The candidate-selection modules only
+// scan the prefix, so both the scan and compute stages shrink — base-mode
+// execution drops to roughly half of the unmasked operation (the causal
+// triangle), which is how decoder workloads actually load the hardware.
+func (s *Simulator) RunCausal(q, keys, values *tensor.Matrix, t float64) (*Result, error) {
+	n := keys.Rows
+	if n > s.cfg.N {
+		return nil, fmt.Errorf("elsasim: %d keys exceed hardware size n=%d", n, s.cfg.N)
+	}
+	if n < s.cfg.Pa {
+		return nil, fmt.Errorf("elsasim: %d keys fewer than %d banks", n, s.cfg.Pa)
+	}
+	pre, err := s.engine.Preprocess(keys, values)
+	if err != nil {
+		return nil, err
+	}
+	attRes, err := s.engine.AttendCausal(q, pre, t)
+	if err != nil {
+		return nil, err
+	}
+
+	hashCyc := s.cfg.HashCyclesPerVector(s.engine.HashMuls())
+	divCyc := s.cfg.DivCyclesPerQuery()
+	act := Activity{Queries: q.Rows}
+	perQuery := make([]int64, 0, q.Rows)
+	act.PreprocessCycles = hashCyc * int64(n+1)
+	act.HashBusy += act.PreprocessCycles
+	act.NormBusy += ceilDiv(int64(n), int64(s.cfg.Pa))
+
+	perBankSel := make([][]bool, s.cfg.Pa)
+	for b := range perBankSel {
+		perBankSel[b] = make([]bool, s.cfg.BankSize(n, b))
+	}
+	for qi := 0; qi < q.Rows; qi++ {
+		for b := 0; b < s.cfg.Pa; b++ {
+			sel := perBankSel[b]
+			for i := range sel {
+				sel[i] = false
+			}
+		}
+		for _, y := range attRes.Candidates[qi] {
+			b, off := s.cfg.BankOf(y)
+			perBankSel[b][off] = true
+		}
+		act.TotalCandidates += int64(len(attRes.Candidates[qi]))
+
+		var bankMax, maxScan int64
+		for b := 0; b < s.cfg.Pa; b++ {
+			// Prefix length within this bank: keys y <= qi with
+			// y ≡ b (mod Pa).
+			prefixLen := 0
+			if qi >= b {
+				prefixLen = (qi-b)/s.cfg.Pa + 1
+			}
+			scan := ceilDiv(int64(prefixLen), int64(s.cfg.Pc))
+			if scan > maxScan {
+				maxScan = scan
+			}
+			if prefixLen == 0 {
+				continue
+			}
+			finish, consumed, depth := simulateBank(perBankSel[b][:prefixLen], s.cfg.Pc)
+			if finish > bankMax {
+				bankMax = finish
+			}
+			act.AttnBusy += consumed
+			act.CandBusy += scan * int64(s.cfg.Pc)
+			if depth > act.MaxQueueDepth {
+				act.MaxQueueDepth = depth
+			}
+		}
+
+		perQ := bankMax
+		bott := &act.Bottlenecks.Compute
+		if bankMax <= maxScan {
+			bott = &act.Bottlenecks.Scan
+		}
+		if hashCyc > perQ {
+			perQ = hashCyc
+			bott = &act.Bottlenecks.Hash
+		}
+		if divCyc > perQ {
+			perQ = divCyc
+			bott = &act.Bottlenecks.Divide
+		}
+		*bott++
+		act.ExecutionCycles += perQ
+		perQuery = append(perQuery, perQ)
+		act.HashBusy += hashCyc
+		act.DivBusy += divCyc
+	}
+	act.DrainCycles = divCyc + pipelineLatency(s.cfg.D)
+	return &Result{Activity: act, Attention: attRes, PerQueryCycles: perQuery, Config: s.cfg}, nil
+}

@@ -1,0 +1,78 @@
+package elsasim
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+)
+
+func TestRunCausalBaseTriangle(t *testing.T) {
+	// In base mode the causal run is compute/divide-bound with exactly
+	// i+1 candidates for query i split across banks: per-query cycles are
+	// max(ceil((prefix in slowest bank)), hash, div).
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	q := tensor.RandomNormal(rng, n, 64)
+	k := tensor.RandomNormal(rng, n, 64)
+	v := tensor.RandomNormal(rng, n, 64)
+	res, err := s.RunCausal(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate triangle: sum_{i=0}^{n-1} (i+1) = n(n+1)/2.
+	if want := int64(n) * int64(n+1) / 2; res.TotalCandidates != want {
+		t.Errorf("TotalCandidates = %d, want %d", res.TotalCandidates, want)
+	}
+	// The causal run must cost meaningfully less than the full run.
+	full, err := s.Run(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.ExecutionCycles) / float64(full.ExecutionCycles)
+	if ratio < 0.4 || ratio > 0.75 {
+		t.Errorf("causal/full execution ratio %g, want ~0.5 (triangle)", ratio)
+	}
+	// Early queries are bounded by the div/hash floor, later ones by
+	// compute.
+	if res.Bottlenecks.Compute == 0 {
+		t.Error("later queries should be compute-bound")
+	}
+}
+
+func TestRunCausalMatchesEngineOutput(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(2))
+	n := 48
+	q := tensor.RandomNormal(rng, n, 64)
+	k := tensor.RandomNormal(rng, n, 64)
+	v := tensor.RandomNormal(rng, n, 64)
+	res, err := s.RunCausal(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attention.ExactCausal(q, k, v, s.Engine().Config().Scale)
+	if d := tensor.MaxAbsDiff(want, res.Attention.Output); d > 1e-4 {
+		t.Errorf("causal simulator output diverges by %g", d)
+	}
+}
+
+func TestRunCausalValidation(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(3))
+	big := tensor.RandomNormal(rng, 600, 64)
+	if _, err := s.RunCausal(big, big, big, 0); err == nil {
+		t.Error("oversized input should error")
+	}
+	tiny := tensor.RandomNormal(rng, 2, 64)
+	if _, err := s.RunCausal(tiny, tiny, tiny, 0); err == nil {
+		t.Error("fewer keys than banks should error")
+	}
+	q := tensor.RandomNormal(rng, 4, 64)
+	k := tensor.RandomNormal(rng, 8, 64)
+	if _, err := s.RunCausal(q, k, k.Clone(), 0); err == nil {
+		t.Error("nq != n should error (propagated from the engine)")
+	}
+}

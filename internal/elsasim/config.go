@@ -1,0 +1,129 @@
+// Package elsasim is a cycle-level simulator of the ELSA accelerator
+// pipeline (§IV of the paper): the hash-computation module, the norm
+// module, the banked candidate-selection modules with their output queues
+// and longest-queue-first arbiter, the attention-computation modules, and
+// the output-division module.
+//
+// The simulator is functional and timed: it produces the same attention
+// output as the software engine (internal/attention) while counting the
+// exact cycles each module is busy, the per-query bottlenecks, and queue
+// occupancies. Those activity counters feed the energy model
+// (internal/energy) exactly the way the paper's own custom simulator feeds
+// its Table I power numbers to produce Fig 13.
+package elsasim
+
+import (
+	"fmt"
+)
+
+// Config is the accelerator's pipeline configuration (§IV-D).
+type Config struct {
+	// N is the maximum number of input entities the hardware is sized for
+	// (paper: 512). Inputs with fewer entities run faster; more is an
+	// error.
+	N int
+	// D is the head dimension (paper: 64).
+	D int
+	// K is the hash width in bits (paper: 64).
+	K int
+	// Pa is the number of parallel attention-computation modules, each
+	// paired with one memory bank holding N/Pa keys (paper: 4).
+	Pa int
+	// Pc is the number of candidate-selection modules per bank (paper: 8;
+	// 32 selectors total at Pa = 4).
+	Pc int
+	// Mh is the multiplier count of the hash-computation module
+	// (paper: 256).
+	Mh int
+	// Mo is the multiplier count of the output-division module (paper: 16).
+	Mo int
+	// FreqHz is the clock (paper: 1 GHz).
+	FreqHz float64
+}
+
+// Default returns the paper's evaluation configuration: n = 512, d = k =
+// 64, Pa = 4, Pc = 8, m_h = 256, m_o = 16 at 1 GHz.
+func Default() Config {
+	return Config{N: 512, D: 64, K: 64, Pa: 4, Pc: 8, Mh: 256, Mo: 16, FreqHz: 1e9}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("elsasim: N must be positive, got %d", c.N)
+	case c.D < 1:
+		return fmt.Errorf("elsasim: D must be positive, got %d", c.D)
+	case c.K < 1:
+		return fmt.Errorf("elsasim: K must be positive, got %d", c.K)
+	case c.Pa < 1:
+		return fmt.Errorf("elsasim: Pa must be positive, got %d", c.Pa)
+	case c.Pc < 1:
+		return fmt.Errorf("elsasim: Pc must be positive, got %d", c.Pc)
+	case c.Mh < 1:
+		return fmt.Errorf("elsasim: Mh must be positive, got %d", c.Mh)
+	case c.Mo < 1:
+		return fmt.Errorf("elsasim: Mo must be positive, got %d", c.Mo)
+	case c.FreqHz <= 0:
+		return fmt.Errorf("elsasim: FreqHz must be positive, got %g", c.FreqHz)
+	case c.Pa > c.N:
+		return fmt.Errorf("elsasim: more banks (%d) than entities (%d)", c.Pa, c.N)
+	}
+	return nil
+}
+
+// HashCyclesPerVector is the cycles the hash module needs per key/query
+// vector: ceil(hashMuls / m_h), where hashMuls is the Kronecker fast-path
+// multiplication count (768 = 3·d^{4/3} for the (4×4)^⊗3, d = 64
+// configuration, giving 3 cycles at m_h = 256).
+func (c Config) HashCyclesPerVector(hashMuls int) int64 {
+	return ceilDiv(int64(hashMuls), int64(c.Mh))
+}
+
+// DivCyclesPerQuery is the output-division module's occupancy per query:
+// ceil(d / m_o) (§IV-C).
+func (c Config) DivCyclesPerQuery() int64 {
+	return ceilDiv(int64(c.D), int64(c.Mo))
+}
+
+// Multipliers counts the accelerator's multipliers the way the paper
+// counts them for the ideal-accelerator comparison (§V-C): each attention
+// computation module has 2d (d for the dot product, d for the weighted
+// sum), plus the output-division module's m_o. The paper's 528 for
+// Pa = 4, d = 64, m_o = 16.
+func (c Config) Multipliers() int {
+	return c.Pa*2*c.D + c.Mo
+}
+
+// PeakOpsPerSecond is the peak throughput in operations per second: two
+// operations (multiply + add) per cycle per MAC lane. The paper reports
+// 1.088 TOPS per accelerator for the default configuration, i.e. 544 MAC
+// lanes at 1 GHz — the 528 multipliers of Multipliers plus the output
+// division module's m_o lanes counted again for their accumulate side.
+func (c Config) PeakOpsPerSecond() float64 {
+	return 2 * float64(c.Multipliers()+c.Mo) * c.FreqHz
+}
+
+// BankSize returns the number of keys held in bank b when n keys are
+// loaded. Keys are interleaved round-robin (key y lives in bank y mod Pa):
+// attention maps have strong positional locality, so contiguous banking
+// would pile a query's whole neighborhood into one bank and leave the
+// other attention modules idle. Round-robin spreads every neighborhood
+// evenly.
+func (c Config) BankSize(n, b int) int {
+	base := n / c.Pa
+	if b < n%c.Pa {
+		return base + 1
+	}
+	return base
+}
+
+// BankOf maps key index y to its (bank, offset) under round-robin
+// interleaving.
+func (c Config) BankOf(y int) (bank, offset int) {
+	return y % c.Pa, y / c.Pa
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,138 @@
+package elsasim
+
+import "testing"
+
+func TestDefaultConfigIsPaperConfig(t *testing.T) {
+	c := Default()
+	if c.N != 512 || c.D != 64 || c.K != 64 || c.Pa != 4 || c.Pc != 8 || c.Mh != 256 || c.Mo != 16 {
+		t.Errorf("default config %+v does not match the paper", c)
+	}
+	if c.FreqHz != 1e9 {
+		t.Errorf("default frequency %g, want 1 GHz", c.FreqHz)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.D = 0 },
+		func(c *Config) { c.K = -1 },
+		func(c *Config) { c.Pa = 0 },
+		func(c *Config) { c.Pc = 0 },
+		func(c *Config) { c.Mh = 0 },
+		func(c *Config) { c.Mo = 0 },
+		func(c *Config) { c.FreqHz = 0 },
+		func(c *Config) { c.N = 2; c.Pa = 4 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+func TestHashCyclesPerVector(t *testing.T) {
+	c := Default()
+	// Paper: 768 multiplications at m_h = 256 -> 3 cycles per vector.
+	if got := c.HashCyclesPerVector(768); got != 3 {
+		t.Errorf("hash cycles = %d, want 3", got)
+	}
+	// m_h = 64 (the single-pipeline example in §IV-C) -> 12 cycles.
+	c.Mh = 64
+	if got := c.HashCyclesPerVector(768); got != 12 {
+		t.Errorf("hash cycles = %d, want 12", got)
+	}
+	// Non-divisible counts round up.
+	c.Mh = 100
+	if got := c.HashCyclesPerVector(768); got != 8 {
+		t.Errorf("hash cycles = %d, want 8", got)
+	}
+}
+
+func TestDivCyclesPerQuery(t *testing.T) {
+	c := Default()
+	if got := c.DivCyclesPerQuery(); got != 4 {
+		t.Errorf("div cycles = %d, want 4 (64/16)", got)
+	}
+	c.Mo = 7
+	if got := c.DivCyclesPerQuery(); got != 10 {
+		t.Errorf("div cycles = %d, want ceil(64/7)=10", got)
+	}
+}
+
+func TestMultipliersMatchPaper(t *testing.T) {
+	// §V-C: the ideal accelerator has the same 528 multipliers as
+	// ELSA-base.
+	if got := Default().Multipliers(); got != 528 {
+		t.Errorf("multipliers = %d, want 528", got)
+	}
+}
+
+func TestPeakOpsMatchesPaperTOPS(t *testing.T) {
+	// §V-C: 1.088 TOPS per accelerator.
+	got := Default().PeakOpsPerSecond()
+	if got != 1.088e12 {
+		t.Errorf("peak = %g, want 1.088e12", got)
+	}
+}
+
+func TestBankPartitioning(t *testing.T) {
+	c := Default()
+	for _, n := range []int{512, 500, 13, 4} {
+		total := 0
+		for b := 0; b < c.Pa; b++ {
+			size := c.BankSize(n, b)
+			if size < n/c.Pa || size > n/c.Pa+1 {
+				t.Errorf("n=%d bank %d size %d not balanced", n, b, size)
+			}
+			total += size
+		}
+		if total != n {
+			t.Errorf("n=%d: banks cover %d keys", n, total)
+		}
+	}
+}
+
+func TestBankOfInterleaving(t *testing.T) {
+	c := Default()
+	for _, n := range []int{512, 509, 17, 4} {
+		counts := make([]int, c.Pa)
+		seen := map[[2]int]bool{}
+		for y := 0; y < n; y++ {
+			b, off := c.BankOf(y)
+			if b != y%c.Pa || off != y/c.Pa {
+				t.Fatalf("BankOf(%d) = (%d,%d), want round-robin", y, b, off)
+			}
+			key := [2]int{b, off}
+			if seen[key] {
+				t.Fatalf("n=%d: slot %v assigned twice", n, key)
+			}
+			seen[key] = true
+			if off >= c.BankSize(n, b) {
+				t.Fatalf("n=%d key %d offset %d exceeds bank %d size %d", n, y, off, b, c.BankSize(n, b))
+			}
+			counts[b]++
+		}
+		for b, cnt := range counts {
+			if cnt != c.BankSize(n, b) {
+				t.Errorf("n=%d bank %d holds %d keys, want %d", n, b, cnt, c.BankSize(n, b))
+			}
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {768, 256, 3},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package elsasim
+
+import (
+	"elsa/internal/tensor"
+)
+
+// DetailedResult is the outcome of the event-driven pipeline simulation,
+// which tracks the exact inter-query dependencies the fast per-query model
+// (Run) folds into a max():
+//
+//   - the hash unit streams query hashes through a one-entry query-hash
+//     buffer (§IV-C: the module "computes the hash value for the next
+//     query while the rest of the pipeline is processing the current
+//     query"), so it can run at most one query ahead;
+//   - the banks (selectors + attention module) process one query at a
+//     time and can only release their partial-sum registers to the output
+//     division module when it is free (§IV-C: "when other modules are
+//     processing the i-th query, this module is processing the i−1-th");
+//   - division takes d/m_o cycles per query.
+//
+// Comparing DetailedRun against Run validates that the fast model's
+// steady-state formula max(hash, scan, compute, divide) captures the
+// pipeline: the two agree except for rare stall interleavings.
+type DetailedResult struct {
+	Result
+	// HashStallCycles counts cycles a query waited on its hash.
+	HashStallCycles int64
+	// DivStallCycles counts cycles banks waited for the division module
+	// to free the partial-sum hand-off.
+	DivStallCycles int64
+}
+
+// DetailedRun executes the event-driven simulation. Functional output and
+// candidate selection are identical to Run; ExecutionCycles and
+// DrainCycles reflect the event-driven schedule, while the per-module busy
+// counters (HashBusy etc.) are inherited from the fast model — busy work
+// is schedule-independent, only its placement in time moves.
+func (s *Simulator) DetailedRun(q, keys, values *tensor.Matrix, t float64) (*DetailedResult, error) {
+	fast, err := s.Run(q, keys, values, t)
+	if err != nil {
+		return nil, err
+	}
+	n := keys.Rows
+	hashCyc := s.cfg.HashCyclesPerVector(s.engine.HashMuls())
+	divCyc := s.cfg.DivCyclesPerQuery()
+
+	// Per-query bank service times (independent of scheduling).
+	bankCycles := make([]int64, q.Rows)
+	perBankSel := make([][]bool, s.cfg.Pa)
+	for b := range perBankSel {
+		perBankSel[b] = make([]bool, s.cfg.BankSize(n, b))
+	}
+	for qi := 0; qi < q.Rows; qi++ {
+		for b := 0; b < s.cfg.Pa; b++ {
+			sel := perBankSel[b]
+			for i := range sel {
+				sel[i] = false
+			}
+		}
+		for _, y := range fast.Attention.Candidates[qi] {
+			b, off := s.cfg.BankOf(y)
+			perBankSel[b][off] = true
+		}
+		var bankMax int64
+		for b := 0; b < s.cfg.Pa; b++ {
+			finish, _, _ := simulateBank(perBankSel[b], s.cfg.Pc)
+			if finish > bankMax {
+				bankMax = finish
+			}
+		}
+		bankCycles[qi] = bankMax
+	}
+
+	// Event-driven schedule. Time zero is the start of the execution
+	// phase (preprocessing, including the first query's hash, precedes
+	// it).
+	res := &DetailedResult{Result: *fast}
+	var (
+		hashDone  int64 // when the current query's hash became available
+		bankEnd   int64 // when the banks finished the previous query
+		divEnd    int64 // when the division module frees up
+		prevStart int64 // when the previous query entered the banks
+	)
+	hashDone = 0 // first query hash computed during preprocessing
+	for qi := 0; qi < q.Rows; qi++ {
+		if qi > 0 {
+			// The hash unit starts on query qi once the buffer frees
+			// (query qi entered... i.e. once query qi-1 left the buffer
+			// by starting in the banks) and the unit finished qi-1's
+			// hash.
+			start := hashDone
+			if prevStart > start {
+				start = prevStart
+			}
+			hashDone = start + hashCyc
+		}
+		// Banks need: their own availability, the query hash, and the
+		// previous query's partial sums handed to division.
+		start := bankEnd
+		if hashDone > start {
+			res.HashStallCycles += hashDone - start
+			start = hashDone
+		}
+		// Partial-sum hand-off: query qi-1's division must have *started*
+		// (accepted the registers) before qi can use the attention
+		// modules. Division for qi-1 started at max(bankEnd, divEnd of
+		// qi-2); by construction that is <= current divEnd - divCyc.
+		if handoff := divEnd - divCyc; handoff > start {
+			res.DivStallCycles += handoff - start
+			start = handoff
+		}
+		prevStart = start
+		bankEnd = start + bankCycles[qi]
+		// Division of query qi starts when banks finish and the divider
+		// is free.
+		divStart := bankEnd
+		if divEnd > divStart {
+			divStart = divEnd
+		}
+		divEnd = divStart + divCyc
+	}
+	res.ExecutionCycles = bankEnd
+	res.DrainCycles = (divEnd - bankEnd) + pipelineLatency(s.cfg.D)
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package elsasim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+	"elsa/internal/workload"
+)
+
+func TestDetailedRunBaseMatchesFastModel(t *testing.T) {
+	// In base mode every query is compute-bound for n/Pa cycles, far above
+	// the hash and divide stages, so the detailed schedule has no stalls
+	// and agrees with the fast model exactly.
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandomNormal(rng, 256, 64)
+	k := tensor.RandomNormal(rng, 256, 64)
+	v := tensor.RandomNormal(rng, 256, 64)
+	fast, err := s.Run(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := s.DetailedRun(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.ExecutionCycles != fast.ExecutionCycles {
+		t.Errorf("detailed %d vs fast %d execution cycles in base mode",
+			det.ExecutionCycles, fast.ExecutionCycles)
+	}
+	if det.HashStallCycles != 0 || det.DivStallCycles != 0 {
+		t.Errorf("base mode should have no stalls: hash=%d div=%d",
+			det.HashStallCycles, det.DivStallCycles)
+	}
+	if det.PreprocessCycles != fast.PreprocessCycles {
+		t.Error("preprocessing identical by construction")
+	}
+}
+
+func TestDetailedRunCloseToFastModelOnRealWorkload(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(2))
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 384)
+	tt, err := attention.NewThresholdTrainer(1, s.Engine().Config().Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib := workload.SQuAD11.GenerateLen(rng, 64, 384)
+	if err := tt.Observe(calib.Q, calib.K); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.Run(inst.Q, inst.K, inst.V, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := s.DetailedRun(inst.Q, inst.K, inst.V, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(float64(det.TotalCycles())-float64(fast.TotalCycles())) / float64(fast.TotalCycles())
+	if rel > 0.05 {
+		t.Errorf("detailed (%d) and fast (%d) models diverge by %.1f%%",
+			det.TotalCycles(), fast.TotalCycles(), 100*rel)
+	}
+	// Functional results are shared.
+	if tensor.MaxAbsDiff(det.Attention.Output, fast.Attention.Output) != 0 {
+		t.Error("functional outputs must be identical")
+	}
+}
+
+// Property: the detailed schedule is never faster than the work-conserving
+// lower bound (sum of per-query bank maxima) and never slower than the
+// fully serialized upper bound.
+func TestDetailedRunBoundsProperty(t *testing.T) {
+	cfg := Config{N: 64, D: 16, K: 16, Pa: 2, Pc: 4, Mh: 64, Mo: 8, FreqHz: 1e9}
+	eng, err := attention.NewEngine(attention.Config{D: 16, BiasSamples: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashCyc := cfg.HashCyclesPerVector(eng.HashMuls())
+	divCyc := cfg.DivCyclesPerQuery()
+	f := func(seed int64, thrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := cfg.Pa + rng.Intn(cfg.N-cfg.Pa)
+		q := tensor.RandomNormal(rng, 1+rng.Intn(12), 16)
+		k := tensor.RandomNormal(rng, n, 16)
+		v := tensor.RandomNormal(rng, n, 16)
+		thr := float64(thrRaw)/128 - 1
+		det, err := s.DetailedRun(q, k, v, thr)
+		if err != nil {
+			return false
+		}
+		// Lower bound: banks must spend at least max(scan, ceil(c/Pa))
+		// per query, strictly serialized.
+		var lower int64
+		scan := ceilDiv(int64(cfg.BankSize(n, 0)), int64(cfg.Pc))
+		for _, c := range det.Attention.CandidateCounts {
+			perQ := scan
+			if v := ceilDiv(int64(c), int64(cfg.Pa)); v > perQ {
+				perQ = v
+			}
+			lower += perQ
+		}
+		// Upper bound: full serialization of every stage per query.
+		var upper int64
+		for _, c := range det.Attention.CandidateCounts {
+			upper += scan + int64(c) + hashCyc + divCyc
+		}
+		return det.ExecutionCycles >= lower && det.ExecutionCycles <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A division-limited configuration must exhibit division stalls in the
+// detailed model.
+func TestDetailedRunDivisionStalls(t *testing.T) {
+	// m_o = 1 makes division take d = 16 cycles per query while the banks
+	// (with an impossible threshold -> 1 fallback candidate) finish in
+	// scan = 2 cycles: the divider throttles the pipeline.
+	cfg := Config{N: 32, D: 16, K: 16, Pa: 2, Pc: 8, Mh: 256, Mo: 1, FreqHz: 1e9}
+	eng, err := attention.NewEngine(attention.Config{D: 16, BiasSamples: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	q := tensor.RandomNormal(rng, 16, 16)
+	k := tensor.RandomNormal(rng, 32, 16)
+	v := tensor.RandomNormal(rng, 32, 16)
+	det, err := s.DetailedRun(q, k, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.DivStallCycles == 0 {
+		t.Error("division-limited configuration should stall the banks")
+	}
+	// The fast model classifies those queries as divide-bound; both
+	// models should land close regardless.
+	fast, err := s.Run(q, k, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Bottlenecks.Divide == 0 {
+		t.Error("fast model should see divide-bound queries too")
+	}
+	rel := math.Abs(float64(det.TotalCycles())-float64(fast.TotalCycles())) / float64(fast.TotalCycles())
+	if rel > 0.25 {
+		t.Errorf("models diverge by %.0f%% even on a pathological config", 100*rel)
+	}
+}
+
+// A hash-limited configuration (tiny m_h) must exhibit hash stalls.
+func TestDetailedRunHashStalls(t *testing.T) {
+	cfg := Config{N: 32, D: 16, K: 16, Pa: 2, Pc: 8, Mh: 1, Mo: 8, FreqHz: 1e9}
+	eng, err := attention.NewEngine(attention.Config{D: 16, BiasSamples: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	q := tensor.RandomNormal(rng, 16, 16)
+	k := tensor.RandomNormal(rng, 32, 16)
+	v := tensor.RandomNormal(rng, 32, 16)
+	det, err := s.DetailedRun(q, k, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.HashStallCycles == 0 {
+		t.Error("hash-limited configuration should stall on query hashes")
+	}
+}

@@ -1,0 +1,36 @@
+package elsasim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/tensor"
+)
+
+// Simulate one base-mode self-attention op at the paper's configuration:
+// n/Pa = 32 cycles per query for n = 128 keys.
+func Example() {
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 200, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	sim, err := elsasim.New(elsasim.Default(), eng)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandomNormal(rng, 128, 64)
+	k := tensor.RandomNormal(rng, 128, 64)
+	v := tensor.RandomNormal(rng, 128, 64)
+	res, err := sim.Run(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("execution cycles:", res.ExecutionCycles)
+	fmt.Println("preprocess cycles:", res.PreprocessCycles)
+	// Output:
+	// execution cycles: 4096
+	// preprocess cycles: 387
+}

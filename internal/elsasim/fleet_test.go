@@ -1,0 +1,179 @@
+package elsasim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(0, Default()); err == nil {
+		t.Error("zero-size fleet should error")
+	}
+	bad := Default()
+	bad.N = 0
+	if _, err := NewFleet(2, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestDispatchSingleAccelerator(t *testing.T) {
+	f, err := NewFleet(1, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Dispatch([]int64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 60 {
+		t.Errorf("makespan = %d, want serial 60", s.MakespanCycles)
+	}
+	if s.Utilization(1) != 1 {
+		t.Errorf("single accelerator utilization = %g, want 1", s.Utilization(1))
+	}
+}
+
+func TestDispatchBalancesUniformOps(t *testing.T) {
+	f, err := NewFleet(12, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]int64, 24)
+	for i := range ops {
+		ops[i] = 100
+	}
+	s, err := f.Dispatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 equal ops on 12 units: exactly 2 each, makespan 200.
+	if s.MakespanCycles != 200 {
+		t.Errorf("makespan = %d, want 200", s.MakespanCycles)
+	}
+	for i, busy := range s.PerAccelerator {
+		if busy != 200 {
+			t.Errorf("accelerator %d busy %d, want 200", i, busy)
+		}
+	}
+	if u := s.Utilization(12); u != 1 {
+		t.Errorf("utilization = %g, want 1", u)
+	}
+}
+
+func TestDispatchThroughputScalesWithFleet(t *testing.T) {
+	ops := make([]int64, 120)
+	for i := range ops {
+		ops[i] = 1000
+	}
+	f1, _ := NewFleet(1, Default())
+	f12, _ := NewFleet(12, Default())
+	s1, err := f1.Dispatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s12, err := f12.Dispatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := s1.Throughput(len(ops), 1e9)
+	t12 := s12.Throughput(len(ops), 1e9)
+	if ratio := t12 / t1; ratio < 11.9 || ratio > 12.1 {
+		t.Errorf("12 accelerators should give ~12x throughput, got %gx", ratio)
+	}
+}
+
+func TestDispatchRejectsNegative(t *testing.T) {
+	f, _ := NewFleet(2, Default())
+	if _, err := f.Dispatch([]int64{5, -1}); err == nil {
+		t.Error("negative duration should error")
+	}
+}
+
+func TestDispatchEmptyBatch(t *testing.T) {
+	f, _ := NewFleet(3, Default())
+	s, err := f.Dispatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 0 || s.Utilization(3) != 0 || s.Throughput(0, 1e9) != 0 {
+		t.Error("empty batch should be all zeros")
+	}
+}
+
+// Property: the makespan is bounded below by both the mean load and the
+// largest single op, and above by mean load + largest op (greedy list
+// scheduling bound).
+func TestDispatchMakespanBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(16)
+		fleet, err := NewFleet(size, Default())
+		if err != nil {
+			return false
+		}
+		ops := make([]int64, rng.Intn(50))
+		var total, maxOp int64
+		for i := range ops {
+			ops[i] = int64(rng.Intn(10000))
+			total += ops[i]
+			if ops[i] > maxOp {
+				maxOp = ops[i]
+			}
+		}
+		s, err := fleet.Dispatch(ops)
+		if err != nil {
+			return false
+		}
+		lower := total / int64(size)
+		if maxOp > lower {
+			lower = maxOp
+		}
+		upper := total/int64(size) + maxOp
+		if len(ops) == 0 {
+			return s.MakespanCycles == 0
+		}
+		return s.MakespanCycles >= lower && s.MakespanCycles <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assignments are valid and per-accelerator busy sums match.
+func TestDispatchAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(8)
+		fleet, err := NewFleet(size, Default())
+		if err != nil {
+			return false
+		}
+		ops := make([]int64, 1+rng.Intn(40))
+		for i := range ops {
+			ops[i] = int64(rng.Intn(500))
+		}
+		s, err := fleet.Dispatch(ops)
+		if err != nil {
+			return false
+		}
+		sums := make([]int64, size)
+		for i, a := range s.Assignments {
+			if a < 0 || a >= size {
+				return false
+			}
+			sums[a] += ops[i]
+		}
+		var total int64
+		for i, want := range s.PerAccelerator {
+			if sums[i] != want {
+				return false
+			}
+			total += want
+		}
+		return total == s.TotalWorkCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package elsasim
+
+// MemorySizes reports the accelerator's SRAM requirements (§IV-C(3)).
+type MemorySizes struct {
+	// KeyHashBytes is the key-hash SRAM: n·k/8 bytes (4 KB at n = 512,
+	// k = 64).
+	KeyHashBytes int
+	// KeyNormBytes is the key-norm SRAM at the paper's 8-bit norm
+	// representation: n bytes (512 B at n = 512).
+	KeyNormBytes int
+	// MatrixBytes is the size of each of the query/key/value/output
+	// matrix memories at the paper's 9-bit Q(1,5,3) element format:
+	// n·d·9/8 bytes (36 KB at n = 512, d = 64).
+	MatrixBytes int
+}
+
+// MatrixElementBits is the Q(1,5,3) storage width for matrix elements.
+const MatrixElementBits = 9
+
+// NormBits is the storage width of a key norm.
+const NormBits = 8
+
+// Memories computes the SRAM sizing for the configuration.
+func (c Config) Memories() MemorySizes {
+	return MemorySizes{
+		KeyHashBytes: c.N * c.K / 8,
+		KeyNormBytes: c.N * NormBits / 8,
+		MatrixBytes:  c.N * c.D * MatrixElementBits / 8,
+	}
+}
+
+// TotalInternalBytes is the SRAM inside the accelerator proper (key hash +
+// key norm memories).
+func (m MemorySizes) TotalInternalBytes() int {
+	return m.KeyHashBytes + m.KeyNormBytes
+}
+
+// TotalExternalBytes is the four matrix memories (query, key, value,
+// output) that may live in a host device's scratchpad instead (§IV-C(3)).
+func (m MemorySizes) TotalExternalBytes() int {
+	return 4 * m.MatrixBytes
+}
+
+// MergeAdders is the extra adder count the output-division module needs to
+// sum the Pa attention modules' partial outputs: (Pa − 1)·m_o (§IV-D,
+// "Parallel Pipeline").
+func (c Config) MergeAdders() int {
+	return (c.Pa - 1) * c.Mo
+}

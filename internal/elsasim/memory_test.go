@@ -1,0 +1,51 @@
+package elsasim
+
+import "testing"
+
+// §IV-C(3): at n = 512, k = 64, d = 64 the paper reports 4 KB key-hash
+// SRAM, 512 B key-norm SRAM, and ~36 KB per matrix memory at 9-bit
+// elements.
+func TestMemorySizesMatchPaper(t *testing.T) {
+	m := Default().Memories()
+	if m.KeyHashBytes != 4096 {
+		t.Errorf("key hash SRAM = %d B, paper says 4 KB", m.KeyHashBytes)
+	}
+	if m.KeyNormBytes != 512 {
+		t.Errorf("key norm SRAM = %d B, paper says 512 B", m.KeyNormBytes)
+	}
+	if m.MatrixBytes != 36864 {
+		t.Errorf("matrix memory = %d B, paper says ~36 KB (36864)", m.MatrixBytes)
+	}
+	if m.TotalInternalBytes() != 4096+512 {
+		t.Errorf("internal total = %d", m.TotalInternalBytes())
+	}
+	if m.TotalExternalBytes() != 4*36864 {
+		t.Errorf("external total = %d", m.TotalExternalBytes())
+	}
+}
+
+func TestMemorySizesScaleWithConfig(t *testing.T) {
+	c := Default()
+	c.N = 1024
+	c.K = 128
+	m := c.Memories()
+	if m.KeyHashBytes != 1024*128/8 {
+		t.Errorf("key hash SRAM = %d", m.KeyHashBytes)
+	}
+	if m.KeyNormBytes != 1024 {
+		t.Errorf("key norm SRAM = %d", m.KeyNormBytes)
+	}
+}
+
+// §IV-D: merging Pa partial outputs needs (Pa-1)·m_o extra adders — 48 at
+// the paper's configuration.
+func TestMergeAdders(t *testing.T) {
+	if got := Default().MergeAdders(); got != 48 {
+		t.Errorf("merge adders = %d, want 48", got)
+	}
+	c := Default()
+	c.Pa = 1
+	if c.MergeAdders() != 0 {
+		t.Error("single-module pipeline needs no merge adders")
+	}
+}

@@ -1,0 +1,261 @@
+package elsasim
+
+import (
+	"fmt"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+)
+
+// Activity aggregates the cycle-level counters of one accelerator run.
+// Busy counters are in module-cycles: AttnBusy sums over the Pa attention
+// modules, CandBusy over all Pa·Pc selectors' scan cycles, so dividing by
+// (modules × TotalCycles) yields per-module utilization.
+type Activity struct {
+	// PreprocessCycles covers key hashing, key norms and the first query
+	// hash (3d^{4/3}(n+1)/m_h in the paper's closed form).
+	PreprocessCycles int64
+	// ExecutionCycles covers the per-query pipeline after preprocessing.
+	ExecutionCycles int64
+	// DrainCycles is the pipeline flush after the last query (final
+	// output division plus the attention adder-tree latency).
+	DrainCycles int64
+
+	// Per-module busy counters (module-cycles).
+	HashBusy int64 // hash-computation module
+	NormBusy int64 // norm-computation module (borrows attention multipliers)
+	CandBusy int64 // all candidate-selection modules
+	AttnBusy int64 // all attention-computation modules
+	DivBusy  int64 // output-division module
+
+	// Queries is the number of query rows processed.
+	Queries int
+	// TotalCandidates is the number of keys that reached the attention
+	// modules across all queries.
+	TotalCandidates int64
+	// MaxQueueDepth is the deepest any selector output queue got under the
+	// longest-queue-first arbiter — the hardware queue-sizing statistic.
+	MaxQueueDepth int
+
+	// Bottlenecks counts, per query, which pipeline stage set the pace.
+	Bottlenecks BottleneckCounts
+}
+
+// BottleneckCounts tallies which module bounded each query's service time
+// (§IV-D: max(3d^{4/3}/m_h, n/(Pa·Pc) scan, c compute, d/m_o divide)).
+type BottleneckCounts struct {
+	Hash, Scan, Compute, Divide int
+}
+
+// TotalCycles is the end-to-end cycle count.
+func (a Activity) TotalCycles() int64 {
+	return a.PreprocessCycles + a.ExecutionCycles + a.DrainCycles
+}
+
+// Seconds converts cycles to wall-clock time at the given frequency.
+func (a Activity) Seconds(freqHz float64) float64 {
+	return float64(a.TotalCycles()) / freqHz
+}
+
+// Result is a full simulation outcome: timing plus the functional output.
+type Result struct {
+	Activity
+	// Attention is the functional result (output matrix, candidate lists)
+	// produced by the same selection logic the timing model replayed.
+	Attention *attention.Result
+	// PerQueryCycles is each query's service time in the execution phase
+	// (the summands of ExecutionCycles) — the latency-distribution data
+	// behind pipeline tuning.
+	PerQueryCycles []int64
+	// Config echoes the simulated configuration.
+	Config Config
+}
+
+// Simulator executes self-attention operations on a modeled ELSA
+// accelerator. It wraps an attention.Engine (which supplies hashes,
+// candidate selection and the functional datapath) and adds cycle-level
+// timing. Safe for concurrent use.
+type Simulator struct {
+	cfg    Config
+	engine *attention.Engine
+}
+
+// New builds a simulator. The engine's head dimension and hash width must
+// match the hardware configuration.
+func New(cfg Config, engine *attention.Engine) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ec := engine.Config()
+	if ec.D != cfg.D || ec.K != cfg.K {
+		return nil, fmt.Errorf("elsasim: engine is d=%d k=%d, hardware is d=%d k=%d",
+			ec.D, ec.K, cfg.D, cfg.K)
+	}
+	return &Simulator{cfg: cfg, engine: engine}, nil
+}
+
+// Config returns the hardware configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Engine returns the wrapped functional engine.
+func (s *Simulator) Engine() *attention.Engine { return s.engine }
+
+// Run simulates one self-attention operation: queries q (n_q×d) against
+// keys/values (n×d) with candidate-selection threshold t. n must not
+// exceed the configured hardware size.
+func (s *Simulator) Run(q, keys, values *tensor.Matrix, t float64) (*Result, error) {
+	n := keys.Rows
+	if n > s.cfg.N {
+		return nil, fmt.Errorf("elsasim: %d keys exceed hardware size n=%d", n, s.cfg.N)
+	}
+	if n < s.cfg.Pa {
+		return nil, fmt.Errorf("elsasim: %d keys fewer than %d banks", n, s.cfg.Pa)
+	}
+	pre, err := s.engine.Preprocess(keys, values)
+	if err != nil {
+		return nil, err
+	}
+	attRes, err := s.engine.Attend(q, pre, t)
+	if err != nil {
+		return nil, err
+	}
+
+	hashMuls := s.engine.HashMuls()
+	hashCyc := s.cfg.HashCyclesPerVector(hashMuls)
+	divCyc := s.cfg.DivCyclesPerQuery()
+
+	act := Activity{Queries: q.Rows}
+	perQuery := make([]int64, 0, q.Rows)
+
+	// Preprocessing phase: hash all n keys plus the first query
+	// (3d^{4/3}(n+1)/m_h), with norm computation overlapped on the
+	// attention modules' multipliers.
+	act.PreprocessCycles = hashCyc * int64(n+1)
+	act.HashBusy += act.PreprocessCycles
+	act.NormBusy += ceilDiv(int64(n), int64(s.cfg.Pa))
+
+	// Execution phase: per query, banks scan and consume candidates while
+	// the hash module prepares the next query and the division module
+	// finishes the previous one.
+	perBankSel := make([][]bool, s.cfg.Pa)
+	for b := range perBankSel {
+		perBankSel[b] = make([]bool, s.cfg.BankSize(n, b))
+	}
+	for qi := 0; qi < q.Rows; qi++ {
+		for b := 0; b < s.cfg.Pa; b++ {
+			sel := perBankSel[b]
+			for i := range sel {
+				sel[i] = false
+			}
+		}
+		for _, y := range attRes.Candidates[qi] {
+			b, off := s.cfg.BankOf(y)
+			perBankSel[b][off] = true
+		}
+		act.TotalCandidates += int64(len(attRes.Candidates[qi]))
+
+		var bankMax int64
+		for b := 0; b < s.cfg.Pa; b++ {
+			finish, consumed, depth := simulateBank(perBankSel[b], s.cfg.Pc)
+			if finish > bankMax {
+				bankMax = finish
+			}
+			act.AttnBusy += consumed
+			act.CandBusy += ceilDiv(int64(len(perBankSel[b])), int64(s.cfg.Pc)) * int64(s.cfg.Pc)
+			if depth > act.MaxQueueDepth {
+				act.MaxQueueDepth = depth
+			}
+		}
+
+		// The query's service time is the slowest of: its banks, hashing
+		// the next query, and dividing the previous query's output.
+		perQ := bankMax
+		bott := &act.Bottlenecks.Compute
+		scanCyc := ceilDiv(int64(s.cfg.BankSize(n, 0)), int64(s.cfg.Pc))
+		if bankMax <= scanCyc {
+			bott = &act.Bottlenecks.Scan
+		}
+		if hashCyc > perQ {
+			perQ = hashCyc
+			bott = &act.Bottlenecks.Hash
+		}
+		if divCyc > perQ {
+			perQ = divCyc
+			bott = &act.Bottlenecks.Divide
+		}
+		*bott++
+		act.ExecutionCycles += perQ
+		perQuery = append(perQuery, perQ)
+		act.HashBusy += hashCyc // next-query hash overlaps this query
+		act.DivBusy += divCyc   // previous-query division overlaps this query
+	}
+
+	// Drain: the last query's division plus the attention module's
+	// dot-product/exponent pipeline latency (adder tree depth ~ log2(d),
+	// plus exponent and accumulate stages — a small constant).
+	act.DrainCycles = divCyc + pipelineLatency(s.cfg.D)
+
+	return &Result{Activity: act, Attention: attRes, PerQueryCycles: perQuery, Config: s.cfg}, nil
+}
+
+// pipelineLatency approximates the attention-computation module's depth:
+// the d-input adder tree, the exponent lookup, and the accumulate stage.
+func pipelineLatency(d int) int64 {
+	depth := int64(2) // exponent + accumulate
+	for v := d; v > 1; v >>= 1 {
+		depth++
+	}
+	return depth
+}
+
+// simulateBank runs one bank's candidate-selection/attention pipeline for
+// a single query at cycle granularity. selected[i] marks bank-local key i
+// as a candidate. Keys are strided across the Pc selectors (selector s
+// evaluates keys s, s+Pc, ...), each selector pushes hits into its own
+// output queue, and the arbiter forwards one candidate per cycle to the
+// attention module, picking the longest queue first (§IV-C).
+//
+// It returns the cycle at which the bank finished (all keys scanned and
+// all candidates consumed), the number of candidates consumed, and the
+// maximum per-selector queue depth observed.
+func simulateBank(selected []bool, pc int) (finish int64, consumed int64, maxDepth int) {
+	nb := len(selected)
+	queues := make([]int, pc)
+	total := int64(0)
+	for _, s := range selected {
+		if s {
+			total++
+		}
+	}
+	scanCycles := ceilDiv(int64(nb), int64(pc))
+	var cycle int64
+	for cycle = 0; ; cycle++ {
+		if cycle >= scanCycles && consumed == total {
+			break
+		}
+		// Selection stage: each selector evaluates its key for this cycle.
+		if cycle < scanCycles {
+			for s := 0; s < pc; s++ {
+				idx := int(cycle)*pc + s
+				if idx < nb && selected[idx] {
+					queues[s]++
+					if queues[s] > maxDepth {
+						maxDepth = queues[s]
+					}
+				}
+			}
+		}
+		// Arbitration: longest queue first, one candidate per cycle.
+		best, bestLen := -1, 0
+		for s, l := range queues {
+			if l > bestLen {
+				best, bestLen = s, l
+			}
+		}
+		if best >= 0 {
+			queues[best]--
+			consumed++
+		}
+	}
+	return cycle, consumed, maxDepth
+}

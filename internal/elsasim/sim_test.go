@@ -1,0 +1,426 @@
+package elsasim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+	"elsa/internal/workload"
+)
+
+func newSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	eng, err := attention.NewEngine(attention.Config{D: cfg.D, K: cfg.K, BiasSamples: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.N = 0
+	if _, err := New(bad, eng); err == nil {
+		t.Error("invalid config should error")
+	}
+	mismatch := Default()
+	mismatch.D = 32
+	if _, err := New(mismatch, eng); err == nil {
+		t.Error("engine/hardware dimension mismatch should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(1))
+	big := tensor.RandomNormal(rng, 600, 64)
+	if _, err := s.Run(big, big, big, 0); err == nil {
+		t.Error("n > hardware size should error")
+	}
+	tiny := tensor.RandomNormal(rng, 2, 64)
+	if _, err := s.Run(tiny, tiny, tiny, 0); err == nil {
+		t.Error("n < banks should error")
+	}
+}
+
+func TestSimulateBankNoCandidates(t *testing.T) {
+	finish, consumed, depth := simulateBank(make([]bool, 64), 8)
+	if finish != 8 {
+		t.Errorf("finish = %d, want scan time 8", finish)
+	}
+	if consumed != 0 || depth != 0 {
+		t.Errorf("consumed=%d depth=%d, want 0,0", consumed, depth)
+	}
+}
+
+func TestSimulateBankAllCandidates(t *testing.T) {
+	sel := make([]bool, 64)
+	for i := range sel {
+		sel[i] = true
+	}
+	finish, consumed, depth := simulateBank(sel, 8)
+	// One candidate consumed per cycle: 64 cycles to drain 64 candidates.
+	if finish != 64 {
+		t.Errorf("finish = %d, want 64 (compute-bound)", finish)
+	}
+	if consumed != 64 {
+		t.Errorf("consumed = %d", consumed)
+	}
+	if depth < 1 {
+		t.Error("queues must have backed up")
+	}
+}
+
+func TestSimulateBankSingleEarlyCandidate(t *testing.T) {
+	sel := make([]bool, 64)
+	sel[0] = true
+	finish, consumed, _ := simulateBank(sel, 8)
+	// Scan still dominates: 8 cycles.
+	if finish != 8 || consumed != 1 {
+		t.Errorf("finish=%d consumed=%d, want 8,1", finish, consumed)
+	}
+}
+
+func TestSimulateBankLateCandidate(t *testing.T) {
+	sel := make([]bool, 64)
+	sel[63] = true
+	finish, consumed, _ := simulateBank(sel, 8)
+	// Candidate appears in the last scan cycle and is consumed that cycle.
+	if finish != 8 || consumed != 1 {
+		t.Errorf("finish=%d consumed=%d, want 8,1", finish, consumed)
+	}
+}
+
+func TestSimulateBankShortBank(t *testing.T) {
+	sel := []bool{true, false, true}
+	finish, consumed, _ := simulateBank(sel, 8)
+	if finish != 2 || consumed != 2 {
+		t.Errorf("finish=%d consumed=%d, want 2,2", finish, consumed)
+	}
+}
+
+// Property: bank finish time is bounded below by max(scan cycles,
+// candidate count) and above by the exact queueing recurrence
+// finish = max_t (arrival-adjusted backlog): a candidate arriving in scan
+// cycle t cannot be consumed before cycle t, and the single consumer
+// retires at most one per cycle thereafter.
+func TestSimulateBankClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + rng.Intn(200)
+		pc := 1 + rng.Intn(16)
+		sel := make([]bool, nb)
+		count := int64(0)
+		for i := range sel {
+			if rng.Float64() < 0.3 {
+				sel[i] = true
+				count++
+			}
+		}
+		finish, consumed, _ := simulateBank(sel, pc)
+		scan := ceilDiv(int64(nb), int64(pc))
+		lower := scan
+		if count > lower {
+			lower = count
+		}
+		// Exact single-server completion: for each scan cycle t, the
+		// remaining (count - arrivedBy(t)) candidates all arrive at t or
+		// later, so finish >= t + 1 + remaining - 1 ... equivalently
+		// finish = max(scan, max_t(t + 1 + remaining_after_t)) when the
+		// server never idles with work queued.
+		arrived := int64(0)
+		exact := scan
+		for tcyc := int64(0); tcyc < scan; tcyc++ {
+			for s := 0; s < pc; s++ {
+				idx := int(tcyc)*int(pc) + s
+				if idx < nb && sel[idx] {
+					arrived++
+				}
+			}
+			if v := tcyc + 1 + (count - arrived); arrived < count && v > exact {
+				exact = v
+			}
+		}
+		if count > exact {
+			exact = count
+		}
+		return consumed == count && finish >= lower && finish == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBaseMatchesPaperLatencyModel(t *testing.T) {
+	// ELSA-base (no approximation, threshold admits everything) on the
+	// full n = 512: every query is compute-bound at n/Pa = 128 cycles.
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(2))
+	q := tensor.RandomNormal(rng, 512, 64)
+	k := tensor.RandomNormal(rng, 512, 64)
+	v := tensor.RandomNormal(rng, 512, 64)
+	res, err := s.Run(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 513); res.PreprocessCycles != want {
+		t.Errorf("preprocess cycles = %d, want %d (= 3·(n+1))", res.PreprocessCycles, want)
+	}
+	if want := int64(512 * 128); res.ExecutionCycles != want {
+		t.Errorf("execution cycles = %d, want %d (= n·n/Pa)", res.ExecutionCycles, want)
+	}
+	if res.Bottlenecks.Compute != 512 {
+		t.Errorf("all 512 queries should be compute-bound: %+v", res.Bottlenecks)
+	}
+	if res.TotalCandidates != 512*512 {
+		t.Errorf("TotalCandidates = %d, want all keys for all queries", res.TotalCandidates)
+	}
+	if res.Seconds(1e9) <= 0 {
+		t.Error("Seconds must be positive")
+	}
+}
+
+func TestRunApproxSpeedupCappedAtEight(t *testing.T) {
+	// With an impossible threshold, every query falls back to a single
+	// candidate; the scan stage becomes the bottleneck at
+	// n/(Pa·Pc) = 16 cycles per query — the paper's 8× cap over base.
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(3))
+	q := tensor.RandomNormal(rng, 512, 64)
+	k := tensor.RandomNormal(rng, 512, 64)
+	v := tensor.RandomNormal(rng, 512, 64)
+	res, err := s.Run(q, k, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(512 * 16); res.ExecutionCycles != want {
+		t.Errorf("execution cycles = %d, want %d (scan-bound)", res.ExecutionCycles, want)
+	}
+	if res.Bottlenecks.Scan != 512 {
+		t.Errorf("all queries should be scan-bound: %+v", res.Bottlenecks)
+	}
+	base := int64(512 * 128)
+	if got := float64(base) / float64(res.ExecutionCycles); got != 8 {
+		t.Errorf("speedup = %g, want exactly 8 (min(n/c, 8) law)", got)
+	}
+}
+
+func TestRunFunctionalOutputMatchesExact(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(4))
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 96)
+	res, err := s.Run(inst.Q, inst.K, inst.V, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attention.Exact(inst.Q, inst.K, inst.V, s.Engine().Config().Scale)
+	if d := tensor.MaxAbsDiff(want, res.Attention.Output); d > 1e-4 {
+		t.Errorf("simulator functional output diverges from exact by %g", d)
+	}
+}
+
+func TestRunShorterInputsRunFaster(t *testing.T) {
+	// §V-C: ELSA skips padded rows, so real-length inputs finish sooner.
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(5))
+	long := workload.SQuAD11.GenerateLen(rng, 64, 512)
+	short := workload.SQuAD11.GenerateLen(rng, 64, 128)
+	rl, err := s.Run(long.Q, long.K, long.V, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Run(short.Q, short.K, short.V, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TotalCycles() >= rl.TotalCycles() {
+		t.Errorf("short input (%d cycles) should beat padded-size input (%d cycles)",
+			rs.TotalCycles(), rl.TotalCycles())
+	}
+}
+
+func TestRunApproximationReducesCycles(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(6))
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 384)
+
+	tt, err := attention.NewThresholdTrainer(1, s.Engine().Config().Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib := workload.SQuAD11.GenerateLen(rng, 64, 384)
+	if err := tt.Observe(calib.Q, calib.K); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := s.Run(inst.Q, inst.K, inst.V, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := s.Run(inst.Q, inst.K, inst.V, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.ExecutionCycles >= base.ExecutionCycles {
+		t.Errorf("approximation should cut cycles: base %d, approx %d",
+			base.ExecutionCycles, approx.ExecutionCycles)
+	}
+	if approx.TotalCandidates >= base.TotalCandidates {
+		t.Error("approximation should cut candidates")
+	}
+	// Fidelity must stay high.
+	exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, s.Engine().Config().Scale)
+	fid, err := attention.Compare(exactOut, exactScores, approx.Attention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.MeanCosine < 0.9 {
+		t.Errorf("approximate fidelity too low: %v", fid)
+	}
+}
+
+// Interleaved banking must balance positionally-local candidate sets: a
+// contiguous run of candidate keys spreads (nearly) evenly across banks.
+func TestInterleavedBankingBalancesLocalRuns(t *testing.T) {
+	cfg := Default()
+	counts := make([]int, cfg.Pa)
+	for y := 40; y < 72; y++ { // a 32-key local neighborhood
+		b, _ := cfg.BankOf(y)
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != 8 {
+			t.Errorf("bank %d got %d of the 32 local candidates, want 8", b, c)
+		}
+	}
+}
+
+func TestActivityBusyCountersConsistent(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(7))
+	inst := workload.SQuAD11.GenerateLen(rng, 64, 128)
+	res, err := s.Run(inst.Q, inst.K, inst.V, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attention busy cycles equal total candidates (one per cycle each).
+	if res.AttnBusy != res.TotalCandidates {
+		t.Errorf("AttnBusy %d != TotalCandidates %d", res.AttnBusy, res.TotalCandidates)
+	}
+	// Division runs once per query.
+	if want := int64(res.Queries) * s.cfg.DivCyclesPerQuery(); res.DivBusy != want {
+		t.Errorf("DivBusy = %d, want %d", res.DivBusy, want)
+	}
+	// Hash busy covers preprocessing plus one hash per query.
+	hc := s.cfg.HashCyclesPerVector(s.Engine().HashMuls())
+	if want := res.PreprocessCycles + int64(res.Queries)*hc; res.HashBusy != want {
+		t.Errorf("HashBusy = %d, want %d", res.HashBusy, want)
+	}
+	if res.TotalCycles() != res.PreprocessCycles+res.ExecutionCycles+res.DrainCycles {
+		t.Error("TotalCycles mismatch")
+	}
+	if res.DrainCycles <= 0 {
+		t.Error("drain must be positive")
+	}
+}
+
+// Property: execution cycles are always bounded below by the closed-form
+// per-query bottleneck formula and above by the sum of stage times.
+func TestExecutionCyclesBoundsProperty(t *testing.T) {
+	cfg := Config{N: 64, D: 16, K: 16, Pa: 2, Pc: 4, Mh: 64, Mo: 8, FreqHz: 1e9}
+	eng, err := attention.NewEngine(attention.Config{D: 16, BiasSamples: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, thrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := cfg.Pa + rng.Intn(cfg.N-cfg.Pa)
+		q := tensor.RandomNormal(rng, 1+rng.Intn(16), 16)
+		k := tensor.RandomNormal(rng, n, 16)
+		v := tensor.RandomNormal(rng, n, 16)
+		thr := float64(thrRaw)/128 - 1
+		res, err := s.Run(q, k, v, thr)
+		if err != nil {
+			return false
+		}
+		hc := cfg.HashCyclesPerVector(eng.HashMuls())
+		dc := cfg.DivCyclesPerQuery()
+		scan := ceilDiv(int64(cfg.BankSize(n, 0)), int64(cfg.Pc))
+		var lower, upper int64
+		for _, c := range res.Attention.CandidateCounts {
+			perQLower := scan
+			// Candidates split across Pa banks; the slowest bank holds at
+			// least ceil(c/Pa) of them.
+			if minBankMax := ceilDiv(int64(c), int64(cfg.Pa)); minBankMax > perQLower {
+				perQLower = minBankMax
+			}
+			if hc > perQLower {
+				perQLower = hc
+			}
+			if dc > perQLower {
+				perQLower = dc
+			}
+			lower += perQLower
+			upper += scan + int64(c) + hc + dc
+		}
+		return res.ExecutionCycles >= lower && res.ExecutionCycles <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerQueryCyclesAccounting(t *testing.T) {
+	s := newSim(t, Default())
+	rng := rand.New(rand.NewSource(70))
+	q := tensor.RandomNormal(rng, 40, 64)
+	k := tensor.RandomNormal(rng, 80, 64)
+	v := tensor.RandomNormal(rng, 80, 64)
+	res, err := s.Run(q, k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQueryCycles) != 40 {
+		t.Fatalf("PerQueryCycles has %d entries, want 40", len(res.PerQueryCycles))
+	}
+	var sum int64
+	for _, c := range res.PerQueryCycles {
+		if c <= 0 {
+			t.Fatal("non-positive per-query cycles")
+		}
+		sum += c
+	}
+	if sum != res.ExecutionCycles {
+		t.Errorf("per-query cycles sum to %d, execution is %d", sum, res.ExecutionCycles)
+	}
+	causal, err := s.RunCausal(
+		tensor.RandomNormal(rng, 80, 64), k, v, attention.ExactThresholdNoApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, c := range causal.PerQueryCycles {
+		sum += c
+	}
+	if sum != causal.ExecutionCycles {
+		t.Error("causal per-query accounting inconsistent")
+	}
+}

@@ -1,0 +1,194 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/tensor"
+)
+
+func TestTableIMatchesPaperAggregates(t *testing.T) {
+	tot := Totals()
+	if math.Abs(tot.InternalAreaMM2-PaperAcceleratorAreaMM2) > 1e-9 {
+		t.Errorf("internal area %g, paper %g", tot.InternalAreaMM2, PaperAcceleratorAreaMM2)
+	}
+	if math.Abs(tot.InternalDynamicMW-PaperAcceleratorDynamicMW) > 1e-6 {
+		t.Errorf("internal dynamic %g, paper %g", tot.InternalDynamicMW, PaperAcceleratorDynamicMW)
+	}
+	if math.Abs(tot.InternalStaticMW-PaperAcceleratorStaticMW) > 1e-6 {
+		t.Errorf("internal static %g, paper %g", tot.InternalStaticMW, PaperAcceleratorStaticMW)
+	}
+	if math.Abs(tot.ExternalAreaMM2-PaperExternalAreaMM2) > 1e-9 {
+		t.Errorf("external area %g, paper %g", tot.ExternalAreaMM2, PaperExternalAreaMM2)
+	}
+	if math.Abs(tot.ExternalDynamicMW-PaperExternalDynamicMW) > 1e-6 {
+		t.Errorf("external dynamic %g, paper %g", tot.ExternalDynamicMW, PaperExternalDynamicMW)
+	}
+	if math.Abs(tot.ExternalStaticMW-PaperExternalStaticMW) > 1e-6 {
+		t.Errorf("external static %g, paper %g", tot.ExternalStaticMW, PaperExternalStaticMW)
+	}
+}
+
+func TestPeakPowerMatchesPaper(t *testing.T) {
+	// Paper: "a single ELSA accelerator consumes about 1.49W (including
+	// ... external memory modules)".
+	if p := PeakPowerWatts(); math.Abs(p-1.49) > 0.01 {
+		t.Errorf("peak power %g W, paper reports ~1.49 W", p)
+	}
+}
+
+func TestRowByName(t *testing.T) {
+	row, err := RowByName("4x Attention Computation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Copies != 4 || row.DynamicMW != 566.42 {
+		t.Errorf("unexpected row %+v", row)
+	}
+	if _, err := RowByName("nope"); err == nil {
+		t.Error("unknown row should error")
+	}
+}
+
+func TestCandidateSelectionAreaIsSmall(t *testing.T) {
+	// §V-D: "candidate selection modules (32 copies) utilize a relatively
+	// little area" — under a third of the attention modules'.
+	cand, _ := RowByName("32x Candidate Selection")
+	attn, _ := RowByName("4x Attention Computation")
+	if cand.AreaMM2 >= attn.AreaMM2/3 {
+		t.Errorf("candidate selection area %g not small vs attention %g", cand.AreaMM2, attn.AreaMM2)
+	}
+}
+
+func runSim(t *testing.T, threshold float64) (elsasim.Activity, elsasim.Config) {
+	t.Helper()
+	cfg := elsasim.Default()
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := elsasim.New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	q := tensor.RandomNormal(rng, 256, 64)
+	k := tensor.RandomNormal(rng, 256, 64)
+	v := tensor.RandomNormal(rng, 256, 64)
+	res, err := sim.Run(q, k, v, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Activity, cfg
+}
+
+func TestEstimateBasics(t *testing.T) {
+	act, cfg := runSim(t, attention.ExactThresholdNoApprox)
+	b, err := Estimate(act, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seconds <= 0 || b.TotalJ() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	if len(b.Modules) != len(TableI) {
+		t.Errorf("breakdown has %d modules, want %d", len(b.Modules), len(TableI))
+	}
+	for _, m := range b.Modules {
+		if m.BusyFraction < 0 || m.BusyFraction > 1 {
+			t.Errorf("%s: busy fraction %g out of range", m.Name, m.BusyFraction)
+		}
+		if m.DynamicJ < 0 || m.StaticJ <= 0 {
+			t.Errorf("%s: bad energies %g/%g", m.Name, m.DynamicJ, m.StaticJ)
+		}
+	}
+	// Average power can never exceed peak.
+	if b.AveragePowerWatts() > PeakPowerWatts() {
+		t.Errorf("average power %g exceeds peak %g", b.AveragePowerWatts(), PeakPowerWatts())
+	}
+	if _, err := b.Module("4x Attention Computation"); err != nil {
+		t.Error(err)
+	}
+	if _, err := b.Module("nope"); err == nil {
+		t.Error("unknown module should error")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	bad := elsasim.Default()
+	bad.N = 0
+	if _, err := Estimate(elsasim.Activity{}, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Estimate(elsasim.Activity{}, elsasim.Default()); err == nil {
+		t.Error("zero-cycle activity should error")
+	}
+}
+
+// The headline of Fig 13(b): approximation reduces total energy because the
+// attention-computation and memory energy drops with the candidate count,
+// even though the approximation modules stay busy.
+func TestApproximationReducesEnergy(t *testing.T) {
+	actBase, cfg := runSim(t, attention.ExactThresholdNoApprox)
+	actApprox, _ := runSim(t, 0.35)
+	bBase, err := Estimate(actBase, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bApprox, err := Estimate(actApprox, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bApprox.TotalJ() >= bBase.TotalJ() {
+		t.Errorf("approximation should reduce energy: base %g J, approx %g J",
+			bBase.TotalJ(), bApprox.TotalJ())
+	}
+	// Attention-module energy specifically must drop.
+	mB, _ := bBase.Module("4x Attention Computation")
+	mA, _ := bApprox.Module("4x Attention Computation")
+	if mA.DynamicJ >= mB.DynamicJ {
+		t.Errorf("attention dynamic energy should drop: %g -> %g", mB.DynamicJ, mA.DynamicJ)
+	}
+}
+
+func TestAttentionModuleDominatesBaseEnergy(t *testing.T) {
+	// In the paper's Fig 13(b) the attention computation and memories
+	// dominate the base configuration's energy; the approximation-specific
+	// modules are minor.
+	act, cfg := runSim(t, attention.ExactThresholdNoApprox)
+	b, err := Estimate(act, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attn, _ := b.Module("4x Attention Computation")
+	norm, _ := b.Module("Norm Computation")
+	if attn.TotalJ() <= norm.TotalJ() {
+		t.Error("attention module should dominate norm module energy")
+	}
+	if b.Modules[0].Name != "4x Attention Computation" {
+		t.Errorf("largest consumer should be attention computation, got %s", b.Modules[0].Name)
+	}
+}
+
+func TestGPUEnergyAndEfficiencyGain(t *testing.T) {
+	if g := GPUEnergyJ(2); math.Abs(g-480) > 1e-9 {
+		t.Errorf("GPU energy = %g, want 480 J", g)
+	}
+	act, cfg := runSim(t, attention.ExactThresholdNoApprox)
+	b, err := Estimate(act, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same op taking the same time on GPU would be ~160x less
+	// efficient (240W vs ~1.5W); with any real speedup the gain is larger.
+	gain := EfficiencyGain(b, b.Seconds)
+	if gain < 100 {
+		t.Errorf("iso-time efficiency gain %g implausibly low", gain)
+	}
+	if EfficiencyGain(Breakdown{}, 1) != 0 {
+		t.Error("empty breakdown should give zero gain")
+	}
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+
+	"elsa/internal/elsasim"
+)
+
+// ModuleEnergy is one module's energy over a run, split by source.
+type ModuleEnergy struct {
+	Name           string
+	DynamicJ       float64
+	StaticJ        float64
+	BusyFraction   float64
+	ExternalMemory bool
+}
+
+// TotalJ is the module's total energy.
+func (m ModuleEnergy) TotalJ() float64 { return m.DynamicJ + m.StaticJ }
+
+// Breakdown is the per-module energy decomposition of a simulated run —
+// the data behind Fig 13(b).
+type Breakdown struct {
+	Modules []ModuleEnergy
+	// Seconds is the run's wall-clock duration.
+	Seconds float64
+}
+
+// TotalJ sums all module energies.
+func (b Breakdown) TotalJ() float64 {
+	t := 0.0
+	for _, m := range b.Modules {
+		t += m.TotalJ()
+	}
+	return t
+}
+
+// AveragePowerWatts is the run's mean power draw.
+func (b Breakdown) AveragePowerWatts() float64 {
+	if b.Seconds == 0 {
+		return 0
+	}
+	return b.TotalJ() / b.Seconds
+}
+
+// Module returns the named module's energy entry.
+func (b Breakdown) Module(name string) (ModuleEnergy, error) {
+	for _, m := range b.Modules {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ModuleEnergy{}, fmt.Errorf("energy: module %q not in breakdown", name)
+}
+
+// Estimate converts a simulated run's activity counters into a per-module
+// energy breakdown: each Table I row draws its static power for the whole
+// run and its dynamic power scaled by the module's busy fraction, with
+// memory rows keyed to the pipeline stage that accesses them (hash/norm
+// memories during candidate scans, key/value memories during attention
+// computation, query/output memories during query fetch and output
+// division).
+func Estimate(act elsasim.Activity, cfg elsasim.Config) (Breakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	total := act.TotalCycles()
+	if total <= 0 {
+		return Breakdown{}, fmt.Errorf("energy: run has no cycles")
+	}
+	seconds := float64(total) / cfg.FreqHz
+	ft := float64(total)
+
+	frac := func(busy int64, copies int) float64 {
+		f := float64(busy) / (float64(copies) * ft)
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+
+	hashFrac := frac(act.HashBusy, 1)
+	normFrac := frac(act.NormBusy, 1)
+	candFrac := frac(act.CandBusy, cfg.Pa*cfg.Pc)
+	attnFrac := frac(act.AttnBusy, cfg.Pa)
+	divFrac := frac(act.DivBusy, 1)
+	// Query/Output memory: one query-vector read per query plus the output
+	// writes performed by the division module.
+	qoFrac := frac(int64(act.Queries)+act.DivBusy, 1)
+
+	fractions := map[string]float64{
+		"Hash Computation (mh=256)":  hashFrac,
+		"Norm Computation":           normFrac,
+		"32x Candidate Selection":    candFrac,
+		"4x Attention Computation":   attnFrac,
+		"Output Division (mo=16)":    divFrac,
+		"Key Hash Memory (4KB)":      candFrac,
+		"Key Norm Memory (512B)":     candFrac,
+		"Key/Value Mem (36KB ea)":    attnFrac,
+		"Query/Output Mem (36KB ea)": qoFrac,
+	}
+
+	b := Breakdown{Seconds: seconds}
+	for _, row := range TableI {
+		f, ok := fractions[row.Name]
+		if !ok {
+			return Breakdown{}, fmt.Errorf("energy: no activity mapping for module %q", row.Name)
+		}
+		inst := float64(row.Instances)
+		b.Modules = append(b.Modules, ModuleEnergy{
+			Name:           row.Name,
+			DynamicJ:       row.DynamicMW / 1000 * inst * f * seconds,
+			StaticJ:        row.StaticMW / 1000 * inst * seconds,
+			BusyFraction:   f,
+			ExternalMemory: row.External,
+		})
+	}
+	sort.Slice(b.Modules, func(i, j int) bool { return b.Modules[i].TotalJ() > b.Modules[j].TotalJ() })
+	return b, nil
+}
+
+// GPUEnergyJ is the energy a V100 spends running for the given seconds at
+// the paper's measured self-attention power draw.
+func GPUEnergyJ(seconds float64) float64 {
+	return PaperGPUMeasuredWatts * seconds
+}
+
+// EfficiencyGain returns the performance-per-watt ratio of an accelerator
+// run versus a GPU run of the same operation: (opsElsa/J) / (opsGPU/J)
+// for one operation each, i.e. gpuEnergy / elsaEnergy.
+func EfficiencyGain(elsa Breakdown, gpuSeconds float64) float64 {
+	e := elsa.TotalJ()
+	if e == 0 {
+		return 0
+	}
+	return GPUEnergyJ(gpuSeconds) / e
+}

@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"elsa/internal/elsasim"
+)
+
+// This file extrapolates Table I — synthesized for the paper's default
+// configuration (n=512, d=64, k=64, Pa=4, Pc=8, m_h=256, m_o=16) — to
+// arbitrary pipeline configurations, so design-space sweeps can trade
+// throughput against area and peak power. Each row scales with the
+// hardware quantity it is made of: multipliers for the datapath modules,
+// selector count for candidate selection, SRAM bits for the memories.
+// Synthesis does not scale perfectly linearly, but over the 2–4× ranges
+// the sweeps explore, linear extrapolation is the standard first-order
+// model.
+
+// referenceConfig is the configuration Table I was synthesized for.
+func referenceConfig() elsasim.Config { return elsasim.Default() }
+
+// scaleFactor returns how much a module grows from the reference to cfg.
+func scaleFactor(name string, cfg elsasim.Config) float64 {
+	ref := referenceConfig()
+	switch name {
+	case "Hash Computation (mh=256)":
+		return float64(cfg.Mh) / float64(ref.Mh)
+	case "Norm Computation":
+		// Square-root units scale with bank parallelism.
+		return float64(cfg.Pa) / float64(ref.Pa)
+	case "32x Candidate Selection":
+		return float64(cfg.Pa*cfg.Pc) / float64(ref.Pa*ref.Pc)
+	case "4x Attention Computation":
+		return float64(cfg.Pa*cfg.D) / float64(ref.Pa*ref.D)
+	case "Output Division (mo=16)":
+		// m_o multipliers plus the (Pa-1)·m_o merge adders.
+		refUnits := float64(ref.Mo + ref.MergeAdders())
+		return float64(cfg.Mo+cfg.MergeAdders()) / refUnits
+	case "Key Hash Memory (4KB)":
+		return float64(cfg.N*cfg.K) / float64(ref.N*ref.K)
+	case "Key Norm Memory (512B)":
+		return float64(cfg.N) / float64(ref.N)
+	case "Key/Value Mem (36KB ea)", "Query/Output Mem (36KB ea)":
+		return float64(cfg.N*cfg.D) / float64(ref.N*ref.D)
+	default:
+		return 1
+	}
+}
+
+// ScaledModule returns the Table I row extrapolated to cfg.
+func ScaledModule(row ModulePower, cfg elsasim.Config) ModulePower {
+	f := scaleFactor(row.Name, cfg)
+	row.AreaMM2 *= f
+	row.DynamicMW *= f
+	row.StaticMW *= f
+	return row
+}
+
+// ScaledTotals extrapolates the accelerator's aggregate area/power to cfg.
+// At the default configuration it reproduces Totals exactly.
+func ScaledTotals(cfg elsasim.Config) AcceleratorTotals {
+	var t AcceleratorTotals
+	for _, m := range TableI {
+		s := ScaledModule(m, cfg)
+		inst := float64(s.Instances)
+		if s.External {
+			t.ExternalAreaMM2 += s.AreaMM2 * inst
+			t.ExternalDynamicMW += s.DynamicMW * inst
+			t.ExternalStaticMW += s.StaticMW * inst
+		} else {
+			t.InternalAreaMM2 += s.AreaMM2 * inst
+			t.InternalDynamicMW += s.DynamicMW * inst
+			t.InternalStaticMW += s.StaticMW * inst
+		}
+	}
+	return t
+}
+
+// ScaledPeakPowerWatts is the extrapolated total peak power.
+func ScaledPeakPowerWatts(cfg elsasim.Config) float64 {
+	t := ScaledTotals(cfg)
+	return (t.InternalDynamicMW + t.InternalStaticMW + t.ExternalDynamicMW + t.ExternalStaticMW) / 1000
+}

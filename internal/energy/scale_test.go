@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"elsa/internal/elsasim"
+)
+
+func TestScaledTotalsIdentityAtDefault(t *testing.T) {
+	def := ScaledTotals(elsasim.Default())
+	want := Totals()
+	if math.Abs(def.InternalAreaMM2-want.InternalAreaMM2) > 1e-9 ||
+		math.Abs(def.InternalDynamicMW-want.InternalDynamicMW) > 1e-6 ||
+		math.Abs(def.ExternalAreaMM2-want.ExternalAreaMM2) > 1e-9 {
+		t.Errorf("scaling at the reference config must be the identity: %+v vs %+v", def, want)
+	}
+	if math.Abs(ScaledPeakPowerWatts(elsasim.Default())-PeakPowerWatts()) > 1e-9 {
+		t.Error("scaled peak power must match at default")
+	}
+}
+
+func TestScaledTotalsGrowWithHardware(t *testing.T) {
+	big := elsasim.Default()
+	big.Pa = 8
+	big.Pc = 16
+	big.Mh = 512
+	big.Mo = 32
+	bt := ScaledTotals(big)
+	dt := Totals()
+	if bt.InternalAreaMM2 <= dt.InternalAreaMM2 {
+		t.Error("doubling the pipeline must grow area")
+	}
+	if ScaledPeakPowerWatts(big) <= PeakPowerWatts() {
+		t.Error("doubling the pipeline must grow power")
+	}
+}
+
+func TestScaledModuleProportions(t *testing.T) {
+	cfg := elsasim.Default()
+	cfg.Mh = 512 // double the hash multipliers
+	row, err := RowByName("Hash Computation (mh=256)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ScaledModule(row, cfg)
+	if math.Abs(s.AreaMM2-2*row.AreaMM2) > 1e-9 {
+		t.Errorf("hash area should double: %g vs %g", s.AreaMM2, row.AreaMM2)
+	}
+	// Other modules unaffected by m_h.
+	attn, _ := RowByName("4x Attention Computation")
+	if ScaledModule(attn, cfg).AreaMM2 != attn.AreaMM2 {
+		t.Error("attention modules must not scale with m_h")
+	}
+}
+
+func TestScaledMemoriesTrackSRAMBits(t *testing.T) {
+	cfg := elsasim.Default()
+	cfg.N = 1024 // double the entities
+	hash, _ := RowByName("Key Hash Memory (4KB)")
+	if got := ScaledModule(hash, cfg).AreaMM2; math.Abs(got-2*hash.AreaMM2) > 1e-9 {
+		t.Errorf("hash SRAM should double with n: %g", got)
+	}
+	kv, _ := RowByName("Key/Value Mem (36KB ea)")
+	if got := ScaledModule(kv, cfg).AreaMM2; math.Abs(got-2*kv.AreaMM2) > 1e-9 {
+		t.Errorf("matrix SRAM should double with n: %g", got)
+	}
+}
+
+func TestScaledDivisionIncludesMergeAdders(t *testing.T) {
+	// Going from Pa=4 to Pa=1 removes the 48 merge adders: the division
+	// row must shrink by more than the m_o ratio alone.
+	cfg := elsasim.Default()
+	cfg.Pa = 1
+	div, _ := RowByName("Output Division (mo=16)")
+	scaled := ScaledModule(div, cfg)
+	// Reference units: 16 + 48 = 64; new: 16 + 0 = 16 -> factor 0.25.
+	if math.Abs(scaled.AreaMM2-div.AreaMM2*0.25) > 1e-9 {
+		t.Errorf("division scaling wrong: %g vs %g", scaled.AreaMM2, div.AreaMM2*0.25)
+	}
+}

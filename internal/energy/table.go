@@ -1,0 +1,109 @@
+// Package energy models the ELSA accelerator's area, power and energy
+// (§V-D of the paper). The per-module area and peak-power numbers are the
+// paper's Table I values (TSMC 40 nm, 1 GHz, Synopsys DC post-synthesis);
+// the energy model combines them with the cycle-level activity counters
+// from internal/elsasim exactly the way the paper produces Fig 13:
+// dynamic power × busy fraction + static power, integrated over the run.
+package energy
+
+import "fmt"
+
+// ModulePower is one row of Table I.
+type ModulePower struct {
+	// Name matches the paper's row label.
+	Name string
+	// Copies is the number of physical instances the row aggregates (e.g.
+	// the candidate-selection row covers all 32 selectors).
+	Copies int
+	// AreaMM2 is the row's total silicon area in mm².
+	AreaMM2 float64
+	// DynamicMW is the row's total peak dynamic power in milliwatts.
+	DynamicMW float64
+	// StaticMW is the row's total static (leakage) power in milliwatts.
+	StaticMW float64
+	// External marks the row as one of the external on-chip memories that
+	// may live in the host device's scratchpad instead (§IV-C(3)).
+	External bool
+	// PerInstanceRows: the Key/Value and Query/Output rows list values per
+	// single memory while two instances exist (key+value, query+output).
+	Instances int
+}
+
+// Table I of the paper. Key/Value and Query/Output rows are per single
+// memory (two instances each), matching the paper's "36KB ea." annotation;
+// TotalDynamicMW etc. account for the instance counts.
+var TableI = []ModulePower{
+	{Name: "Hash Computation (mh=256)", Copies: 1, AreaMM2: 0.202, DynamicMW: 115.08, StaticMW: 2.23, Instances: 1},
+	{Name: "Norm Computation", Copies: 1, AreaMM2: 0.006, DynamicMW: 9.91, StaticMW: 0.07, Instances: 1},
+	{Name: "32x Candidate Selection", Copies: 32, AreaMM2: 0.180, DynamicMW: 78.41, StaticMW: 1.95, Instances: 1},
+	{Name: "4x Attention Computation", Copies: 4, AreaMM2: 0.666, DynamicMW: 566.42, StaticMW: 7.53, Instances: 1},
+	{Name: "Output Division (mo=16)", Copies: 1, AreaMM2: 0.022, DynamicMW: 11.42, StaticMW: 0.19, Instances: 1},
+	{Name: "Key Hash Memory (4KB)", Copies: 1, AreaMM2: 0.141, DynamicMW: 139.91, StaticMW: 1.05, Instances: 1},
+	{Name: "Key Norm Memory (512B)", Copies: 1, AreaMM2: 0.038, DynamicMW: 34.9, StaticMW: 0.29, Instances: 1},
+	{Name: "Key/Value Mem (36KB ea)", Copies: 1, AreaMM2: 0.253, DynamicMW: 167.39, StaticMW: 2.29, External: true, Instances: 2},
+	{Name: "Query/Output Mem (36KB ea)", Copies: 1, AreaMM2: 0.193, DynamicMW: 91.03, StaticMW: 1.72, External: true, Instances: 2},
+}
+
+// Paper-reported aggregates for cross-checking.
+const (
+	// PaperAcceleratorAreaMM2 is the single-accelerator internal area.
+	PaperAcceleratorAreaMM2 = 1.255
+	// PaperAcceleratorDynamicMW is the single-accelerator peak dynamic
+	// power.
+	PaperAcceleratorDynamicMW = 956.05
+	// PaperAcceleratorStaticMW is the single-accelerator static power.
+	PaperAcceleratorStaticMW = 13.31
+	// PaperExternalAreaMM2 is the external memory area per accelerator.
+	PaperExternalAreaMM2 = 0.892
+	// PaperExternalDynamicMW is the external memory dynamic power.
+	PaperExternalDynamicMW = 516.84
+	// PaperExternalStaticMW is the external memory static power.
+	PaperExternalStaticMW = 8.02
+	// PaperGPUTDPWatts is the V100 thermal design power.
+	PaperGPUTDPWatts = 250.0
+	// PaperGPUMeasuredWatts is the actual power the paper measured with
+	// nvidia-smi while running self-attention ("240W+").
+	PaperGPUMeasuredWatts = 240.0
+)
+
+// AcceleratorTotals sums Table I for one accelerator, split into internal
+// logic+SRAM and external memory modules.
+type AcceleratorTotals struct {
+	InternalAreaMM2, InternalDynamicMW, InternalStaticMW float64
+	ExternalAreaMM2, ExternalDynamicMW, ExternalStaticMW float64
+}
+
+// Totals computes the Table I aggregates from the row data.
+func Totals() AcceleratorTotals {
+	var t AcceleratorTotals
+	for _, m := range TableI {
+		inst := float64(m.Instances)
+		if m.External {
+			t.ExternalAreaMM2 += m.AreaMM2 * inst
+			t.ExternalDynamicMW += m.DynamicMW * inst
+			t.ExternalStaticMW += m.StaticMW * inst
+		} else {
+			t.InternalAreaMM2 += m.AreaMM2 * inst
+			t.InternalDynamicMW += m.DynamicMW * inst
+			t.InternalStaticMW += m.StaticMW * inst
+		}
+	}
+	return t
+}
+
+// PeakPowerWatts is one accelerator's total peak power including external
+// memories — the paper's "about 1.49W" figure.
+func PeakPowerWatts() float64 {
+	t := Totals()
+	return (t.InternalDynamicMW + t.InternalStaticMW + t.ExternalDynamicMW + t.ExternalStaticMW) / 1000
+}
+
+// RowByName retrieves a Table I row.
+func RowByName(name string) (ModulePower, error) {
+	for _, m := range TableI {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ModulePower{}, fmt.Errorf("energy: unknown module %q", name)
+}

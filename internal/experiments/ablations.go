@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/kron"
+	"elsa/internal/model"
+	"elsa/internal/srp"
+	"elsa/internal/tensor"
+	"elsa/internal/workload"
+)
+
+// modelBERT is the model the single-workload ablations run on.
+func modelBERT() model.Spec { return model.BERTLarge }
+
+// This file implements the ablation studies DESIGN.md flags for the
+// design choices the paper argues for: orthogonal vs Gaussian SRP, the
+// θ_bias correction, Kronecker factorization depth, hash length k,
+// fixed-point quantization, and threshold- vs sorting-based selection.
+
+// HashKindAblation compares angular-estimation error of orthogonal and
+// plain Gaussian projections (paper §III-B: orthogonalization reduces
+// error).
+type HashKindAblation struct {
+	Kind       string
+	MeanAbsErr float64
+	Bias       float64
+}
+
+// AblateHashKind measures both projection kinds at d = k = 64.
+func AblateHashKind(opt Options) ([]HashKindAblation, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []HashKindAblation
+	for _, kind := range []srp.ProjectionKind{srp.Orthogonal, srp.Gaussian} {
+		cal, err := srp.CalibrateBias(64, 64, kind, srp.DefaultBiasPercentile, opt.BiasSamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HashKindAblation{Kind: kind.String(), MeanAbsErr: cal.MeanAbsErr, Bias: cal.Bias})
+	}
+	return out, nil
+}
+
+// BiasAblation measures the effect of the θ_bias correction on what the
+// filter keeps: without the correction the estimator overestimates angles
+// half the time and silently drops relevant keys.
+type BiasAblation struct {
+	BiasEnabled       bool
+	RetainedMass      float64
+	CandidateFraction float64
+}
+
+// AblateBias runs the same workload with and without θ_bias at p = 1.
+func AblateBias(opt Options) ([]BiasAblation, error) {
+	combo := workload.Combo{Model: modelBERT(), Dataset: workload.SQuAD11}
+	var out []BiasAblation
+	for _, enabled := range []bool{true, false} {
+		cfg := attention.Config{D: 64, BiasSamples: opt.BiasSamples, Seed: opt.Seed}
+		if !enabled {
+			// A percentile of ~50 makes the correction ≈ the median error
+			// ≈ 0: effectively the uncorrected estimator.
+			cfg.BiasPercentile = 50
+		}
+		eng, err := attention.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		tt, err := attention.NewThresholdTrainer(1, eng.Config().Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opt.CalibInstances; i++ {
+			inst := combo.Dataset.Generate(calibRng, 64)
+			if err := tt.Observe(inst.Q, inst.K); err != nil {
+				return nil, err
+			}
+		}
+		thr, err := tt.Threshold()
+		if err != nil {
+			return nil, err
+		}
+		row := BiasAblation{BiasEnabled: enabled}
+		for i := 0; i < opt.Instances; i++ {
+			inst := combo.Dataset.Generate(evalRng, 64)
+			pre, err := eng.Preprocess(inst.K, inst.V)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Attend(inst.Q, pre, thr)
+			if err != nil {
+				return nil, err
+			}
+			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
+			fid, err := attention.Compare(exactOut, exactScores, res)
+			if err != nil {
+				return nil, err
+			}
+			row.RetainedMass += fid.RetainedMass
+			row.CandidateFraction += res.CandidateFraction(inst.RealLen)
+		}
+		row.RetainedMass /= float64(opt.Instances)
+		row.CandidateFraction /= float64(opt.Instances)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// KronAblation compares hash-computation structures: dense k×d, two-factor
+// and three-factor Kronecker (§III-C: 4096 vs 1024 vs 768 multiplications
+// for d = k = 64), with the preprocessing cycles each implies at m_h = 256.
+type KronAblation struct {
+	Structure        string
+	Multiplications  int
+	HashCyclesPerVec int64
+	// AngleErr is the mean absolute angular-estimation error with this
+	// projection, confirming the structure does not hurt estimation.
+	AngleErr float64
+}
+
+// AblateKron measures the three structures.
+func AblateKron(opt Options) ([]KronAblation, error) {
+	cfg := elsasim.Default()
+	cases := []struct {
+		name   string
+		shapes [][2]int
+	}{
+		{"dense 64x64", [][2]int{{64, 64}}},
+		{"kron 8x8 (x2)", [][2]int{{8, 8}, {8, 8}}},
+		{"kron 4x4 (x3)", [][2]int{{4, 4}, {4, 4}, {4, 4}}},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []KronAblation
+	for _, c := range cases {
+		proj, err := kron.NewRandomOrthogonal(rng, c.shapes...)
+		if err != nil {
+			return nil, err
+		}
+		muls := proj.MulCount()
+		row := KronAblation{
+			Structure:        c.name,
+			Multiplications:  muls,
+			HashCyclesPerVec: cfg.HashCyclesPerVector(muls),
+		}
+		// Estimation error through this projection.
+		const pairs = 300
+		sum := 0.0
+		for i := 0; i < pairs; i++ {
+			x := tensor.RandomNormal(rng, 1, 64).Row(0)
+			y := tensor.RandomNormal(rng, 1, 64).Row(0)
+			hx := srp.HashFromProjection(proj.Apply(x))
+			hy := srp.HashFromProjection(proj.Apply(y))
+			est := srp.EstimateAngle(srp.Hamming(hx, hy), 64)
+			sum += math.Abs(est - tensor.Angle(x, y))
+		}
+		row.AngleErr = sum / pairs
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// KAblation sweeps the hash length k (§IV-E: higher k estimates better but
+// costs more hash computation, storage, and selector area).
+type KAblation struct {
+	K                 int
+	CandidateFraction float64
+	RetainedMass      float64
+	HashMuls          int
+	KeyHashBytes      int
+}
+
+// AblateK sweeps k ∈ {16, 32, 64, 128} at p = 1 on SQuAD-like data.
+func AblateK(opt Options) ([]KAblation, error) {
+	combo := workload.Combo{Model: modelBERT(), Dataset: workload.SQuAD11}
+	var out []KAblation
+	for _, k := range []int{16, 32, 64, 128} {
+		eng, err := attention.NewEngine(attention.Config{
+			D: 64, K: k, BiasSamples: opt.BiasSamples, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		tt, err := attention.NewThresholdTrainer(1, eng.Config().Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opt.CalibInstances; i++ {
+			inst := combo.Dataset.Generate(calibRng, 64)
+			if err := tt.Observe(inst.Q, inst.K); err != nil {
+				return nil, err
+			}
+		}
+		thr, err := tt.Threshold()
+		if err != nil {
+			return nil, err
+		}
+		row := KAblation{K: k, HashMuls: eng.HashMuls(), KeyHashBytes: 512 * k / 8}
+		for i := 0; i < opt.Instances; i++ {
+			inst := combo.Dataset.Generate(evalRng, 64)
+			pre, err := eng.Preprocess(inst.K, inst.V)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Attend(inst.Q, pre, thr)
+			if err != nil {
+				return nil, err
+			}
+			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
+			fid, err := attention.Compare(exactOut, exactScores, res)
+			if err != nil {
+				return nil, err
+			}
+			row.CandidateFraction += res.CandidateFraction(inst.RealLen)
+			row.RetainedMass += fid.RetainedMass
+		}
+		row.CandidateFraction /= float64(opt.Instances)
+		row.RetainedMass /= float64(opt.Instances)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// QuantAblation compares float32 and hardware-format datapaths (§IV-E:
+// the paper reports <0.2% metric impact).
+type QuantAblation struct {
+	Quantized    bool
+	MeanCosine   float64
+	RetainedMass float64
+}
+
+// AblateQuantization runs the same instances through both datapaths.
+func AblateQuantization(opt Options) ([]QuantAblation, error) {
+	combo := workload.Combo{Model: modelBERT(), Dataset: workload.SQuAD11}
+	var out []QuantAblation
+	for _, quant := range []bool{false, true} {
+		eng, err := attention.NewEngine(attention.Config{
+			D: 64, Quantized: quant, BiasSamples: opt.BiasSamples, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		thr, err := func() (float64, error) {
+			tt, err := attention.NewThresholdTrainer(1, eng.Config().Scale)
+			if err != nil {
+				return 0, err
+			}
+			for i := 0; i < opt.CalibInstances; i++ {
+				inst := combo.Dataset.Generate(calibRng, 64)
+				if err := tt.Observe(inst.Q, inst.K); err != nil {
+					return 0, err
+				}
+			}
+			return tt.Threshold()
+		}()
+		if err != nil {
+			return nil, err
+		}
+		row := QuantAblation{Quantized: quant}
+		for i := 0; i < opt.Instances; i++ {
+			inst := combo.Dataset.Generate(evalRng, 64)
+			pre, err := eng.Preprocess(inst.K, inst.V)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Attend(inst.Q, pre, thr)
+			if err != nil {
+				return nil, err
+			}
+			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
+			fid, err := attention.Compare(exactOut, exactScores, res)
+			if err != nil {
+				return nil, err
+			}
+			row.MeanCosine += fid.MeanCosine
+			row.RetainedMass += fid.RetainedMass
+		}
+		row.MeanCosine /= float64(opt.Instances)
+		row.RetainedMass /= float64(opt.Instances)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SelectionAblation compares threshold-based selection against an oracle
+// top-c sort at the same candidate budget (§III-E argues sorting is
+// O(n log n) and hardware-unfriendly; this quantifies how much quality the
+// threshold gives up for its O(n) scan).
+type SelectionAblation struct {
+	Method            string
+	CandidateFraction float64
+	RetainedMass      float64
+}
+
+// AblateSelection runs threshold selection, then re-runs with an exact
+// top-c oracle using the same per-query candidate counts.
+func AblateSelection(opt Options) ([]SelectionAblation, error) {
+	combo := workload.Combo{Model: modelBERT(), Dataset: workload.SQuAD11}
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: opt.BiasSamples, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	calibRng := comboSeed(opt.Seed, combo, "calib")
+	evalRng := comboSeed(opt.Seed, combo, "eval")
+	tt, err := attention.NewThresholdTrainer(1, eng.Config().Scale)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opt.CalibInstances; i++ {
+		inst := combo.Dataset.Generate(calibRng, 64)
+		if err := tt.Observe(inst.Q, inst.K); err != nil {
+			return nil, err
+		}
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		return nil, err
+	}
+	var thrRow, oracleRow SelectionAblation
+	thrRow.Method = "threshold (ELSA)"
+	oracleRow.Method = "oracle top-c sort"
+	for i := 0; i < opt.Instances; i++ {
+		inst := combo.Dataset.Generate(evalRng, 64)
+		pre, err := eng.Preprocess(inst.K, inst.V)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Attend(inst.Q, pre, thr)
+		if err != nil {
+			return nil, err
+		}
+		_, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
+		thrMass, oracleMass := 0.0, 0.0
+		for qi := 0; qi < inst.Q.Rows; qi++ {
+			srow := exactScores.Row(qi)
+			for _, y := range res.Candidates[qi] {
+				thrMass += float64(srow[y])
+			}
+			// Oracle: the c highest exact scores.
+			c := len(res.Candidates[qi])
+			sorted := append([]float32(nil), srow...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+			for _, s := range sorted[:c] {
+				oracleMass += float64(s)
+			}
+		}
+		nq := float64(inst.Q.Rows)
+		thrRow.RetainedMass += thrMass / nq
+		oracleRow.RetainedMass += oracleMass / nq
+		f := res.CandidateFraction(inst.RealLen)
+		thrRow.CandidateFraction += f
+		oracleRow.CandidateFraction += f
+	}
+	inv := 1 / float64(opt.Instances)
+	thrRow.RetainedMass *= inv
+	thrRow.CandidateFraction *= inv
+	oracleRow.RetainedMass *= inv
+	oracleRow.CandidateFraction *= inv
+	return []SelectionAblation{thrRow, oracleRow}, nil
+}
+
+// ProbeAblation is one point of the downstream-probe accuracy study: a
+// live classification task whose inputs are the attention outputs, scored
+// at the exact operator and at each approximation mode.
+type ProbeAblation struct {
+	Mode              string
+	P                 float64
+	Accuracy          float64
+	CandidateFraction float64
+}
+
+// AblateProbe measures nearest-centroid probe accuracy (workload.Probe*)
+// for exact attention and the three ELSA modes on SQuAD-like instances —
+// the task-level counterpart to the retained-mass proxy of Fig 10.
+func AblateProbe(opt Options) ([]ProbeAblation, error) {
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: opt.BiasSamples, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	const classes = 6
+	combo := workload.Combo{Model: modelBERT(), Dataset: workload.SQuAD11}
+	calibRng := comboSeed(opt.Seed, combo, "probe-calib")
+	evalRng := comboSeed(opt.Seed, combo, "probe-eval")
+
+	thresholds := make(map[Mode]float64, 4)
+	for _, m := range Modes() {
+		if m == Base {
+			thresholds[m] = attention.ExactThresholdNoApprox
+			continue
+		}
+		tt, err := attention.NewThresholdTrainer(m.P(), eng.Config().Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opt.CalibInstances; i++ {
+			pi, err := combo.Dataset.GenerateProbe(calibRng, 64, 128, classes)
+			if err != nil {
+				return nil, err
+			}
+			if err := tt.Observe(pi.Q, pi.K); err != nil {
+				return nil, err
+			}
+		}
+		thr, err := tt.Threshold()
+		if err != nil {
+			return nil, err
+		}
+		thresholds[m] = thr
+	}
+
+	insts := make([]workload.ProbeInstance, opt.Instances+2)
+	for i := range insts {
+		pi, err := combo.Dataset.GenerateProbe(evalRng, 64, 128, classes)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = pi
+	}
+	var out []ProbeAblation
+	for _, m := range Modes() {
+		row := ProbeAblation{Mode: m.String(), P: m.P()}
+		for _, pi := range insts {
+			pre, err := eng.Preprocess(pi.K, pi.V)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Attend(pi.Q, pre, thresholds[m])
+			if err != nil {
+				return nil, err
+			}
+			acc, err := workload.ProbeAccuracy(res.Output, pi.Centroids, pi.Labels)
+			if err != nil {
+				return nil, err
+			}
+			row.Accuracy += acc
+			row.CandidateFraction += res.CandidateFraction(pi.RealLen)
+		}
+		row.Accuracy /= float64(len(insts))
+		row.CandidateFraction /= float64(len(insts))
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import "testing"
+
+func TestAblateHashKind(t *testing.T) {
+	rows, err := AblateHashKind(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	var orth, gauss HashKindAblation
+	for _, r := range rows {
+		switch r.Kind {
+		case "orthogonal":
+			orth = r
+		case "gaussian":
+			gauss = r
+		}
+	}
+	// §III-B / ref [40]: orthogonalization reduces estimation error.
+	if orth.MeanAbsErr >= gauss.MeanAbsErr {
+		t.Errorf("orthogonal error %g should beat gaussian %g", orth.MeanAbsErr, gauss.MeanAbsErr)
+	}
+	if orth.Bias <= 0 || gauss.Bias <= 0 {
+		t.Error("biases must be positive")
+	}
+}
+
+func TestAblateBias(t *testing.T) {
+	rows, err := AblateBias(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	var on, off BiasAblation
+	for _, r := range rows {
+		if r.BiasEnabled {
+			on = r
+		} else {
+			off = r
+		}
+	}
+	// The correction biases the filter toward inclusion: more candidates,
+	// more retained mass.
+	if on.RetainedMass <= off.RetainedMass {
+		t.Errorf("bias on should retain more mass: %g vs %g", on.RetainedMass, off.RetainedMass)
+	}
+	if on.CandidateFraction <= off.CandidateFraction {
+		t.Errorf("bias on should keep more candidates: %g vs %g", on.CandidateFraction, off.CandidateFraction)
+	}
+}
+
+func TestAblateKron(t *testing.T) {
+	rows, err := AblateKron(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// Paper §III-C multiplication counts and cycle implications.
+	wantMuls := map[string]int{
+		"dense 64x64":   4096,
+		"kron 8x8 (x2)": 1024,
+		"kron 4x4 (x3)": 768,
+	}
+	wantCycles := map[string]int64{
+		"dense 64x64":   16,
+		"kron 8x8 (x2)": 4,
+		"kron 4x4 (x3)": 3,
+	}
+	for _, r := range rows {
+		if r.Multiplications != wantMuls[r.Structure] {
+			t.Errorf("%s: %d muls, want %d", r.Structure, r.Multiplications, wantMuls[r.Structure])
+		}
+		if r.HashCyclesPerVec != wantCycles[r.Structure] {
+			t.Errorf("%s: %d cycles, want %d", r.Structure, r.HashCyclesPerVec, wantCycles[r.Structure])
+		}
+		// The structured projections must not meaningfully hurt angular
+		// estimation (they are still orthogonal).
+		if r.AngleErr <= 0 || r.AngleErr > 0.2 {
+			t.Errorf("%s: angle error %g implausible", r.Structure, r.AngleErr)
+		}
+	}
+}
+
+func TestAblateK(t *testing.T) {
+	rows, err := AblateK(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	// Longer hashes estimate angles more sharply, so at a fixed threshold
+	// the filter admits fewer borderline keys: candidate fraction must be
+	// non-increasing in k.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].K <= rows[i-1].K {
+			t.Fatal("rows not ordered by k")
+		}
+		if rows[i].CandidateFraction > rows[i-1].CandidateFraction+0.02 {
+			t.Errorf("fraction should not grow with k: k=%d %g -> k=%d %g",
+				rows[i-1].K, rows[i-1].CandidateFraction, rows[i].K, rows[i].CandidateFraction)
+		}
+	}
+	// Storage scales linearly with k (n·k/8 bytes at n = 512).
+	for _, r := range rows {
+		if r.KeyHashBytes != 512*r.K/8 {
+			t.Errorf("k=%d: hash SRAM %d bytes, want %d", r.K, r.KeyHashBytes, 512*r.K/8)
+		}
+	}
+	// At k = 64 the Kronecker fast path must be in force (768, not 4096).
+	for _, r := range rows {
+		if r.K == 64 && r.HashMuls != 768 {
+			t.Errorf("k=64 should use the 768-mult Kronecker path, got %d", r.HashMuls)
+		}
+		if r.K == 128 && r.HashMuls != 2*768 {
+			t.Errorf("k=128 should stack two Kronecker batches (1536 mults), got %d", r.HashMuls)
+		}
+	}
+}
+
+func TestAblateQuantization(t *testing.T) {
+	rows, err := AblateQuantization(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	var fl, qt QuantAblation
+	for _, r := range rows {
+		if r.Quantized {
+			qt = r
+		} else {
+			fl = r
+		}
+	}
+	// §IV-E: the custom number formats cost <0.2% — here, the cosine gap
+	// between datapaths must be tiny.
+	if diff := fl.MeanCosine - qt.MeanCosine; diff > 0.01 || diff < -0.01 {
+		t.Errorf("quantization cosine gap %g exceeds the paper's negligible-impact claim", diff)
+	}
+}
+
+func TestAblateSelection(t *testing.T) {
+	rows, err := AblateSelection(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	thr, oracle := rows[0], rows[1]
+	if thr.Method == "oracle top-c sort" {
+		thr, oracle = oracle, thr
+	}
+	// Same candidate budget by construction.
+	if thr.CandidateFraction != oracle.CandidateFraction {
+		t.Errorf("budgets differ: %g vs %g", thr.CandidateFraction, oracle.CandidateFraction)
+	}
+	// The oracle upper-bounds the threshold scheme, but the threshold must
+	// stay within a modest gap — that is why ELSA can afford the O(n)
+	// hardware-friendly scan instead of an O(n log n) sort.
+	if thr.RetainedMass > oracle.RetainedMass+1e-9 {
+		t.Error("oracle cannot lose to the threshold scheme")
+	}
+	if oracle.RetainedMass-thr.RetainedMass > 0.15 {
+		t.Errorf("threshold gives up too much mass vs oracle: %g vs %g",
+			thr.RetainedMass, oracle.RetainedMass)
+	}
+}
+
+func TestAblatePipeline(t *testing.T) {
+	points, err := AblatePipeline(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 { // 4 Pa x 3 Pc
+		t.Fatalf("got %d points, want 12", len(points))
+	}
+	byKey := map[[2]int]PipelinePoint{}
+	for _, p := range points {
+		if p.BaseCycles <= 0 || p.ConsCycles <= 0 {
+			t.Errorf("Pa=%d Pc=%d: non-positive cycles", p.Pa, p.Pc)
+		}
+		if p.ApproxSpeedup <= 1 {
+			t.Errorf("Pa=%d Pc=%d: approximation speedup %g should exceed 1", p.Pa, p.Pc, p.ApproxSpeedup)
+		}
+		if p.Selectors != p.Pa*p.Pc {
+			t.Errorf("selector accounting wrong")
+		}
+		if p.ScanBoundFrac < 0 || p.ScanBoundFrac > 1 {
+			t.Errorf("scan-bound fraction %g out of range", p.ScanBoundFrac)
+		}
+		byKey[[2]int{p.Pa, p.Pc}] = p
+	}
+	// More banks cut base cycles (near-linearly).
+	if byKey[[2]int{8, 8}].BaseCycles >= byKey[[2]int{1, 8}].BaseCycles {
+		t.Error("Pa=8 base should beat Pa=1 base")
+	}
+	// More selectors never increase conservative cycles at fixed Pa.
+	for _, pa := range []int{1, 2, 4, 8} {
+		if byKey[[2]int{pa, 16}].ConsCycles > byKey[[2]int{pa, 4}].ConsCycles {
+			t.Errorf("Pa=%d: Pc=16 should not be slower than Pc=4", pa)
+		}
+		// The scan bottleneck recedes as Pc grows.
+		if byKey[[2]int{pa, 16}].ScanBoundFrac > byKey[[2]int{pa, 4}].ScanBoundFrac+1e-9 {
+			t.Errorf("Pa=%d: scan-bound fraction should shrink with Pc", pa)
+		}
+	}
+}
+
+func TestAblatePipelineAreaColumns(t *testing.T) {
+	points, err := AblatePipeline(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def PipelinePoint
+	for _, p := range points {
+		if p.AreaMM2 <= 0 || p.ThroughputPerArea <= 0 {
+			t.Errorf("Pa=%d Pc=%d: missing area metrics", p.Pa, p.Pc)
+		}
+		if p.Pa == 4 && p.Pc == 8 {
+			def = p
+		}
+	}
+	// The default configuration's extrapolated area must equal Table I's
+	// 1.255 + 0.892 mm².
+	if def.AreaMM2 < 2.1 || def.AreaMM2 > 2.2 {
+		t.Errorf("default config area %g, want ~2.147 mm²", def.AreaMM2)
+	}
+}
+
+func TestAblateProbe(t *testing.T) {
+	rows, err := AblateProbe(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	var base ProbeAblation
+	for _, r := range rows {
+		if r.Accuracy <= 1.0/6 {
+			t.Errorf("%s: probe accuracy %g at or below chance", r.Mode, r.Accuracy)
+		}
+		if r.Mode == "base" {
+			base = r
+			if r.CandidateFraction != 1 {
+				t.Errorf("base fraction %g, want 1", r.CandidateFraction)
+			}
+		}
+	}
+	// Approximation must not collapse the task: every mode stays within
+	// 10 accuracy points of exact on this easy probe.
+	for _, r := range rows {
+		if base.Accuracy-r.Accuracy > 0.10 {
+			t.Errorf("%s: probe accuracy %g dropped more than 10 points from %g",
+				r.Mode, r.Accuracy, base.Accuracy)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elsa/internal/device"
+	"elsa/internal/elsasim"
+	"elsa/internal/model"
+	"elsa/internal/stats"
+	"elsa/internal/workload"
+)
+
+// EndToEndRow is one model's end-to-end inference speedup from offloading
+// self-attention to ELSA accelerators while the GPU keeps the projections
+// and FFN (§V-C "Impact on End-to-End Performance"; the paper reports
+// 1.4–2.5× at default input lengths and 2.4–5.0× at 4× lengths with
+// ELSA-conservative).
+type EndToEndRow struct {
+	Model   string
+	SeqMult int
+	// AttnShareGPU is self-attention's share of GPU-only runtime.
+	AttnShareGPU float64
+	// AttnSpeedup is the measured ELSA-conservative attention speedup
+	// versus the GPU (twelve accelerators).
+	AttnSpeedup float64
+	// Speedup is the end-to-end model speedup with attention offloaded.
+	Speedup float64
+	// SpeedupFastRest assumes the non-attention operators also run on a
+	// specialized accelerator 5× faster than the GPU (the paper's note
+	// that pairing ELSA with an FC accelerator raises its impact).
+	SpeedupFastRest float64
+}
+
+// primaryDataset maps each model to its headline evaluation dataset.
+func primaryDataset(spec model.Spec) workload.Dataset {
+	if spec.Kind == model.Recommender {
+		return workload.MovieLens
+	}
+	return workload.SQuAD11
+}
+
+// fastRestFactor is the assumed speedup of a companion accelerator for the
+// non-attention operators in the SpeedupFastRest column.
+const fastRestFactor = 5.0
+
+// EndToEnd measures end-to-end inference speedups for every model at 1×
+// and 4× the published input length, combining the GPU model (for the
+// projections/FFN and the attention baseline) with the cycle simulator
+// (for ELSA-conservative attention). For the 4× rows, the accelerator is
+// re-sized to hold the longer sequences, as §IV-E permits ("ELSA
+// accelerator can be designed for any n").
+func EndToEnd(opt Options) ([]EndToEndRow, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return nil, err
+	}
+	gpu := device.V100()
+
+	var rows []EndToEndRow
+	for _, spec := range model.All() {
+		baseDS := primaryDataset(spec)
+		for _, seqMult := range []int{1, 4} {
+			ds := baseDS.Scaled(seqMult)
+			combo := workload.Combo{Model: spec, Dataset: ds}
+
+			// Size the hardware for the (possibly longer) sequences.
+			cfg := elsasim.Default()
+			if ds.CapLen > cfg.N {
+				cfg.N = ds.CapLen
+			}
+			sim, err := elsasim.New(cfg, l.engine)
+			if err != nil {
+				return nil, err
+			}
+
+			calibRng := comboSeed(opt.Seed, combo, fmt.Sprintf("e2e-calib-%d", seqMult))
+			evalRng := comboSeed(opt.Seed, combo, fmt.Sprintf("e2e-eval-%d", seqMult))
+			thr, err := l.learnThreshold(combo, Conservative.P(), calibRng)
+			if err != nil {
+				return nil, err
+			}
+
+			gpuHeadSec, err := gpu.HeadOpSeconds(spec, ds.CapLen)
+			if err != nil {
+				return nil, err
+			}
+			var elsaHeadSec float64
+			for i := 0; i < opt.Instances; i++ {
+				inst := ds.Generate(evalRng, 64)
+				res, err := sim.Run(inst.Q, inst.K, inst.V, thr)
+				if err != nil {
+					return nil, err
+				}
+				elsaHeadSec += res.Seconds(cfg.FreqHz)
+			}
+			elsaHeadSec /= float64(opt.Instances)
+
+			headOps := float64(spec.Layers * spec.Heads)
+			attnGPU := headOps * gpuHeadSec
+			attnELSA := headOps * elsaHeadSec / float64(NumAccelerators)
+			otherGPU := gpu.OpSeconds(float64(spec.Model(ds.CapLen, 1).Other()), gpu.ModelDenseEfficiency(spec))
+
+			rows = append(rows, EndToEndRow{
+				Model:           spec.Name,
+				SeqMult:         seqMult,
+				AttnShareGPU:    attnGPU / (attnGPU + otherGPU),
+				AttnSpeedup:     attnGPU / attnELSA,
+				Speedup:         (attnGPU + otherGPU) / (attnELSA + otherGPU),
+				SpeedupFastRest: (attnGPU + otherGPU) / (attnELSA + otherGPU/fastRestFactor),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// EndToEndSummary aggregates the §V-C headline ranges.
+type EndToEndSummary struct {
+	// Min/Max/Geomean speedup at the published input lengths (paper:
+	// 1.4–2.5×).
+	MinDefault, MaxDefault, GeomeanDefault float64
+	// Min/Max/Geomean at 4× input lengths (paper: 2.4–5.0×).
+	Min4x, Max4x, Geomean4x float64
+}
+
+// SummarizeEndToEnd computes the summary.
+func SummarizeEndToEnd(rows []EndToEndRow) EndToEndSummary {
+	var def, x4 []float64
+	for _, r := range rows {
+		if r.SeqMult == 1 {
+			def = append(def, r.Speedup)
+		} else {
+			x4 = append(x4, r.Speedup)
+		}
+	}
+	var s EndToEndSummary
+	if len(def) > 0 {
+		s.MinDefault, s.MaxDefault = stats.Min(def), stats.Max(def)
+		s.GeomeanDefault = stats.MustGeoMean(def)
+	}
+	if len(x4) > 0 {
+		s.Min4x, s.Max4x = stats.Min(x4), stats.Max(x4)
+		s.Geomean4x = stats.MustGeoMean(x4)
+	}
+	return s
+}
+
+// RepresentativeOpSeconds simulates one ELSA-conservative self-attention
+// op at the paper's full n = 512 configuration and returns its wall-clock
+// time — the compute side of the host-integration analysis (§IV-B).
+func RepresentativeOpSeconds(opt Options) (float64, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return 0, err
+	}
+	combo := workload.Combo{Model: model.BERTLarge, Dataset: workload.SQuAD11}
+	calibRng := comboSeed(opt.Seed, combo, "host-calib")
+	evalRng := comboSeed(opt.Seed, combo, "host-eval")
+	thr, err := l.learnThreshold(combo, Conservative.P(), calibRng)
+	if err != nil {
+		return 0, err
+	}
+	inst := combo.Dataset.GenerateLen(evalRng, 64, l.cfg.N)
+	res, err := l.sim.Run(inst.Q, inst.K, inst.V, thr)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds(l.cfg.FreqHz), nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+
+	"elsa/internal/model"
+)
+
+func TestEndToEndShape(t *testing.T) {
+	rows, err := EndToEnd(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(model.All())*2 {
+		t.Fatalf("got %d rows, want %d (5 models x 2 lengths)", len(rows), len(model.All())*2)
+	}
+	byModel := map[string]map[int]EndToEndRow{}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("%s %dx: end-to-end speedup %g must exceed 1", r.Model, r.SeqMult, r.Speedup)
+		}
+		if r.AttnShareGPU <= 0 || r.AttnShareGPU >= 1 {
+			t.Errorf("%s %dx: attention share %g out of range", r.Model, r.SeqMult, r.AttnShareGPU)
+		}
+		if r.AttnSpeedup <= 1 {
+			t.Errorf("%s %dx: attention speedup %g must exceed 1", r.Model, r.SeqMult, r.AttnSpeedup)
+		}
+		// Amdahl bound: end-to-end speedup cannot exceed 1/(1-share).
+		if bound := 1 / (1 - r.AttnShareGPU); r.Speedup > bound+1e-9 {
+			t.Errorf("%s %dx: speedup %g exceeds the Amdahl bound %g", r.Model, r.SeqMult, r.Speedup, bound)
+		}
+		// Accelerating the rest must help further.
+		if r.SpeedupFastRest <= r.Speedup {
+			t.Errorf("%s %dx: fast-rest speedup %g should exceed plain %g",
+				r.Model, r.SeqMult, r.SpeedupFastRest, r.Speedup)
+		}
+		if byModel[r.Model] == nil {
+			byModel[r.Model] = map[int]EndToEndRow{}
+		}
+		byModel[r.Model][r.SeqMult] = r
+	}
+	// §V-C: longer inputs raise attention's share and hence the win.
+	for name, ms := range byModel {
+		if ms[4].Speedup <= ms[1].Speedup {
+			t.Errorf("%s: 4x speedup %g should exceed default %g", name, ms[4].Speedup, ms[1].Speedup)
+		}
+		if ms[4].AttnShareGPU <= ms[1].AttnShareGPU {
+			t.Errorf("%s: 4x attention share should grow", name)
+		}
+	}
+	s := SummarizeEndToEnd(rows)
+	// Paper bands: 1.4-2.5x default, 2.4-5.0x at 4x. Allow the synthetic
+	// workloads some slack around the bands' edges.
+	if s.GeomeanDefault < 1.1 || s.GeomeanDefault > 3 {
+		t.Errorf("default geomean %g far from the paper's 1.4-2.5x band", s.GeomeanDefault)
+	}
+	if s.Geomean4x < 1.5 || s.Geomean4x > 6 {
+		t.Errorf("4x geomean %g far from the paper's 2.4-5.0x band", s.Geomean4x)
+	}
+	if s.Geomean4x <= s.GeomeanDefault {
+		t.Error("4x geomean must exceed default geomean")
+	}
+	if s.Min4x > s.Max4x || s.MinDefault > s.MaxDefault {
+		t.Error("summary min/max inverted")
+	}
+}
+
+func TestSummarizeEndToEndEmpty(t *testing.T) {
+	s := SummarizeEndToEnd(nil)
+	if s.GeomeanDefault != 0 || s.Geomean4x != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPrimaryDataset(t *testing.T) {
+	if primaryDataset(model.BERTLarge).Name != "SQuADv1.1" {
+		t.Error("NLP models evaluate on SQuAD")
+	}
+	if primaryDataset(model.SASRec).Name != "MovieLens-1M" {
+		t.Error("recommenders evaluate on MovieLens")
+	}
+}
+
+func TestRepresentativeOpSeconds(t *testing.T) {
+	sec, err := RepresentativeOpSeconds(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A conservative n=512 op at 1 GHz lands in the tens of microseconds.
+	if sec < 1e-6 || sec > 1e-3 {
+		t.Errorf("representative op time %g s implausible", sec)
+	}
+}
+
+func TestModelSchedule(t *testing.T) {
+	rows, err := ModelSchedule(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(model.All()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MakespanSeconds <= 0 || r.PerfectSeconds <= 0 {
+			t.Errorf("%s: non-positive schedule times", r.Model)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1+1e-9 {
+			t.Errorf("%s: utilization %g out of range", r.Model, r.Utilization)
+		}
+		if r.MakespanSeconds < r.PerfectSeconds-1e-12 {
+			t.Errorf("%s: makespan beats the perfect-division bound", r.Model)
+		}
+		switch r.Model {
+		case "BERT-large", "RoBERTa-large", "ALBERT-large":
+			// 16 heads on 12 accelerators: two waves per layer, so
+			// utilization is capped near 16/24.
+			if r.WavesPerLayer != 2 {
+				t.Errorf("%s: waves = %d, want 2", r.Model, r.WavesPerLayer)
+			}
+			if r.Utilization > 0.75 {
+				t.Errorf("%s: utilization %g should be throttled by the second wave", r.Model, r.Utilization)
+			}
+		case "SASRec":
+			if r.WavesPerLayer != 1 {
+				t.Errorf("SASRec: waves = %d, want 1", r.WavesPerLayer)
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"elsa/internal/workload"
+)
+
+// testOpt keeps experiment tests fast while preserving shape.
+func testOpt() Options {
+	opt := Quick()
+	opt.Instances = 1
+	opt.CalibInstances = 1
+	return opt
+}
+
+func TestModeStringsAndP(t *testing.T) {
+	if Base.String() != "base" || Aggressive.String() != "aggressive" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+	if Base.P() != 0 {
+		t.Error("base mode must disable approximation")
+	}
+	prev := 0.0
+	for _, m := range ApproxModes() {
+		if m.P() <= prev {
+			t.Error("approximate modes must have increasing p")
+		}
+		prev = m.P()
+	}
+	if len(Modes()) != 4 || len(ApproxModes()) != 3 {
+		t.Error("mode lists wrong")
+	}
+}
+
+func TestComboSeedStability(t *testing.T) {
+	c := workload.Combos()[0]
+	a := comboSeed(1, c, "calib").Int63()
+	b := comboSeed(1, c, "calib").Int63()
+	if a != b {
+		t.Error("comboSeed must be deterministic")
+	}
+	if comboSeed(1, c, "eval").Int63() == a {
+		t.Error("different purposes should get different streams")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows, err := Fig2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 { // 5 models x 2 seq x 2 ffn
+		t.Fatalf("got %d rows, want 20", len(rows))
+	}
+	byKey := map[[3]string]float64{}
+	for _, r := range rows {
+		if r.AttnShare <= 0 || r.AttnShare >= 1 {
+			t.Errorf("%s: share %g out of range", r.Model, r.AttnShare)
+		}
+		if r.AttnShare <= r.AttnFLOPShare {
+			t.Errorf("%s: time share %g should exceed raw FLOP share %g (attention runs less efficiently)",
+				r.Model, r.AttnShare, r.AttnFLOPShare)
+		}
+		byKey[[3]string{r.Model, string(rune('0' + r.SeqMult)), string(rune('0' + r.FFNDiv))}] = r.AttnShare
+	}
+	for _, m := range []string{"BERT-large", "SASRec"} {
+		if byKey[[3]string{m, "4", "1"}] <= byKey[[3]string{m, "1", "1"}] {
+			t.Errorf("%s: share must grow with sequence length", m)
+		}
+		if byKey[[3]string{m, "1", "4"}] <= byKey[[3]string{m, "1", "1"}] {
+			t.Errorf("%s: share must grow when FFN shrinks", m)
+		}
+	}
+	s := SummarizeFig2(rows)
+	if s.MeanShareDefault < 0.25 || s.MeanShareDefault > 0.55 {
+		t.Errorf("default mean share %g far from paper's ~38%%", s.MeanShareDefault)
+	}
+	if s.MeanShare4xSeq < 0.5 || s.MeanShare4xSeq > 0.8 {
+		t.Errorf("4x mean share %g far from paper's ~64%%", s.MeanShare4xSeq)
+	}
+	if s.MeanShare4xSeqFFN4 <= s.MeanShare4xSeq {
+		t.Error("reduced FFN must raise the share further")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.Combos())*len(Fig10P) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Per combo: candidate fraction must be non-increasing in p, and
+	// retained mass must shrink with p.
+	byCombo := map[string][]Fig10Row{}
+	for _, r := range rows {
+		byCombo[r.Combo] = append(byCombo[r.Combo], r)
+		if r.CandidateFraction <= 0 || r.CandidateFraction > 1 {
+			t.Errorf("%s p=%g: fraction %g out of range", r.Combo, r.P, r.CandidateFraction)
+		}
+		if r.RetainedMass <= 0.3 || r.RetainedMass > 1 {
+			t.Errorf("%s p=%g: retained mass %g implausible", r.Combo, r.P, r.RetainedMass)
+		}
+		if r.MeanCosine < 0.6 {
+			t.Errorf("%s p=%g: cosine %g too low", r.Combo, r.P, r.MeanCosine)
+		}
+	}
+	for combo, rs := range byCombo {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].P <= rs[i-1].P {
+				t.Fatalf("%s: rows not ordered by p", combo)
+			}
+			if rs[i].CandidateFraction > rs[i-1].CandidateFraction+0.02 {
+				t.Errorf("%s: fraction must not grow with p (%g -> %g)",
+					combo, rs[i-1].CandidateFraction, rs[i].CandidateFraction)
+			}
+			if rs[i].RetainedMass > rs[i-1].RetainedMass+0.02 {
+				t.Errorf("%s: mass must not grow with p", combo)
+			}
+		}
+	}
+	s := SummarizeFig10(rows)
+	if s.MeanFractionP1 >= 0.45 {
+		t.Errorf("p=1 mean fraction %g, paper reports <40%%", s.MeanFractionP1)
+	}
+	if s.MeanLossP1 >= 2 {
+		t.Errorf("p=1 mean proxy loss %g%%, paper reports sub-1%%", s.MeanLossP1)
+	}
+	if s.MeanFractionP2 >= s.MeanFractionP1 {
+		t.Error("p=2 must inspect fewer candidates than p=1")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, s, err := Fig11(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.Combos()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ThroughputNorm[Base] <= 1 {
+			t.Errorf("%s: ELSA-base must beat the GPU, got %gx", r.Combo, r.ThroughputNorm[Base])
+		}
+		if r.ThroughputNorm[Conservative] <= r.ThroughputNorm[Base] {
+			t.Errorf("%s: approximation must increase throughput", r.Combo)
+		}
+		if r.LatencyVsIdeal[Base] < 1.0 || r.LatencyVsIdeal[Base] > 1.25 {
+			t.Errorf("%s: base latency vs ideal %g, paper reports ~1.03", r.Combo, r.LatencyVsIdeal[Base])
+		}
+		if r.LatencyVsIdeal[Conservative] >= 1 {
+			t.Errorf("%s: conservative latency must beat ideal", r.Combo)
+		}
+		for _, m := range Modes() {
+			// Aggressive approximation shrinks execution until
+			// preprocessing approaches ~40% (§V-C suggests raising m_h
+			// when that matters).
+			if r.PreprocessFrac[m] <= 0 || r.PreprocessFrac[m] > 0.45 {
+				t.Errorf("%s/%s: preprocessing fraction %g implausible", r.Combo, m, r.PreprocessFrac[m])
+			}
+		}
+		if r.CandidateFrac[Base] != 1 {
+			t.Errorf("%s: base candidate fraction %g, want 1", r.Combo, r.CandidateFrac[Base])
+		}
+		if r.IdealThroughputNorm <= 1 {
+			t.Errorf("%s: ideal accelerator should beat the GPU", r.Combo)
+		}
+	}
+	// Geomean ordering: base < conservative < moderate < aggressive.
+	if !(s.ThroughputGeomean[Base] < s.ThroughputGeomean[Conservative] &&
+		s.ThroughputGeomean[Conservative] < s.ThroughputGeomean[Moderate] &&
+		s.ThroughputGeomean[Moderate] < s.ThroughputGeomean[Aggressive]) {
+		t.Errorf("throughput geomeans not ordered: %v", s.ThroughputGeomean)
+	}
+	if s.ThroughputGeomean[Base] < 5 || s.ThroughputGeomean[Base] > 50 {
+		t.Errorf("base geomean %g outside the paper's band", s.ThroughputGeomean[Base])
+	}
+	if s.SpeedupOverBase[Conservative] < 1.8 || s.SpeedupOverBase[Conservative] > 4 {
+		t.Errorf("conservative speedup over base %g, paper reports 2.76", s.SpeedupOverBase[Conservative])
+	}
+	if !(s.LatencyGeomean[Aggressive] < s.LatencyGeomean[Moderate] &&
+		s.LatencyGeomean[Moderate] < s.LatencyGeomean[Conservative] &&
+		s.LatencyGeomean[Conservative] < s.LatencyGeomean[Base]) {
+		t.Errorf("latency geomeans not ordered: %v", s.LatencyGeomean)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, s, err := Fig13(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.Combos()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.EfficiencyGain[Base] < 50 {
+			t.Errorf("%s: base efficiency gain %g implausibly low", r.Combo, r.EfficiencyGain[Base])
+		}
+		if r.EfficiencyGain[Conservative] <= r.EfficiencyGain[Base] {
+			t.Errorf("%s: approximation must improve energy efficiency", r.Combo)
+		}
+		if r.GPUEnergyPerOpJ <= 0 {
+			t.Errorf("%s: GPU energy missing", r.Combo)
+		}
+		for _, m := range Modes() {
+			if r.EnergyPerOpJ[m] <= 0 {
+				t.Errorf("%s/%s: energy missing", r.Combo, m)
+			}
+			sum := 0.0
+			for _, j := range r.BreakdownJ[m] {
+				sum += j
+			}
+			if math.Abs(sum-r.EnergyPerOpJ[m]) > 1e-9*math.Max(1, sum) {
+				t.Errorf("%s/%s: breakdown sums to %g, total %g", r.Combo, m, sum, r.EnergyPerOpJ[m])
+			}
+		}
+	}
+	// Geomean ordering and magnitude (paper: 442x -> 2093x).
+	if !(s.EfficiencyGeomean[Base] < s.EfficiencyGeomean[Conservative] &&
+		s.EfficiencyGeomean[Conservative] < s.EfficiencyGeomean[Moderate] &&
+		s.EfficiencyGeomean[Moderate] < s.EfficiencyGeomean[Aggressive]) {
+		t.Errorf("efficiency geomeans not ordered: %v", s.EfficiencyGeomean)
+	}
+	if s.EfficiencyGeomean[Base] < 100 {
+		t.Errorf("base efficiency geomean %g; paper reports over two orders of magnitude", s.EfficiencyGeomean[Base])
+	}
+	// Breakdown shares per mode sum to ~1.
+	for _, m := range Modes() {
+		sum := 0.0
+		for _, v := range s.BreakdownShare[m] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: breakdown shares sum to %g", m, sum)
+		}
+	}
+}
+
+func TestA3CompareShape(t *testing.T) {
+	res, err := A3Compare(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElsaSpeedupOverBase[Base] != 1 {
+		t.Errorf("base speedup over itself = %g, want 1", res.ElsaSpeedupOverBase[Base])
+	}
+	if res.ElsaSpeedupOverBase[Conservative] < 1.8 {
+		t.Errorf("conservative speedup %g too low (paper 2.76)", res.ElsaSpeedupOverBase[Conservative])
+	}
+	if res.ElsaSpeedupOverBase[Moderate] <= res.ElsaSpeedupOverBase[Conservative] {
+		t.Error("moderate must beat conservative")
+	}
+	// The analytical A3 model must land near its published speedup when
+	// fed our candidate counts.
+	if math.Abs(res.A3ModeledSpeedup-res.A3PublishedSpeedup) > 0.25 {
+		t.Errorf("A3 modeled speedup %g vs published %g", res.A3ModeledSpeedup, res.A3PublishedSpeedup)
+	}
+	// ELSA's approximation must beat A3's (the paper's headline: 5.96x
+	// raw advantage for conservative).
+	if res.RawSpeedupRatio[Conservative] < 3 {
+		t.Errorf("raw advantage over A3 %g too low", res.RawSpeedupRatio[Conservative])
+	}
+}
+
+func TestTPUCompareShape(t *testing.T) {
+	rows, err := TPUCompare(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 ALBERT workloads, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TPURawVsGPU <= 1 {
+			t.Errorf("%s: TPU should beat GPU raw", r.Dataset)
+		}
+		if r.ElsaVsTPUIsoPeak[Base] <= 1 {
+			t.Errorf("%s: ELSA-base should beat TPU iso-peak (paper: 2.4-8.3x)", r.Dataset)
+		}
+		if r.ElsaVsTPUIsoPeak[Moderate] <= r.ElsaVsTPUIsoPeak[Base] {
+			t.Errorf("%s: moderate must extend the advantage", r.Dataset)
+		}
+	}
+}
+
+func TestWorkloadDiagnostics(t *testing.T) {
+	rows, err := WorkloadDiagnostics(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.AllDatasets()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinLen < 1 || r.MaxLen < r.MinLen || r.MeanLen < float64(r.MinLen) || r.MeanLen > float64(r.MaxLen) {
+			t.Errorf("%s: inconsistent length stats %+v", r.Dataset, r)
+		}
+		// The approximation's premise: far fewer keys effectively matter
+		// than exist.
+		if r.Stats.MeanEffectiveSupport >= float64(r.Stats.Keys)/2 {
+			t.Errorf("%s: effective support %g of %d keys — not concentrated",
+				r.Dataset, r.Stats.MeanEffectiveSupport, r.Stats.Keys)
+		}
+		if r.Stats.Top10Mass < 0.5 {
+			t.Errorf("%s: top-10%% mass %g too flat", r.Dataset, r.Stats.Top10Mass)
+		}
+		// But not degenerate either: a healthy mid-range exists (the p
+		// sweep needs keys between 1/n and the peak).
+		if r.Stats.AboveUniform < 0.02 {
+			t.Errorf("%s: only %.1f%% of keys above 1/n — Fig 10's p sweep would be trivial",
+				r.Dataset, 100*r.Stats.AboveUniform)
+		}
+	}
+}
+
+func TestModelFidelity(t *testing.T) {
+	rows, err := ModelFidelity(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.CandidateFraction <= 0 || r.CandidateFraction >= 1 {
+			t.Errorf("p=%g: fraction %g out of (0,1)", r.P, r.CandidateFraction)
+		}
+		if r.MeanCosine < 0.9 {
+			t.Errorf("p=%g: whole-model cosine %g too low", r.P, r.MeanCosine)
+		}
+		if r.ThresholdSpread < 0 {
+			t.Errorf("p=%g: negative threshold spread", r.P)
+		}
+		if i > 0 && r.CandidateFraction > rows[i-1].CandidateFraction+0.03 {
+			t.Errorf("fraction should not grow with p: %g -> %g", rows[i-1].CandidateFraction, r.CandidateFraction)
+		}
+	}
+	// Different sub-layers see the same activations here (shared weights'
+	// statistics), so the spread is small but must be measurable for a
+	// randomly-initialized model.
+	if rows[1].ThresholdSpread == 0 {
+		t.Error("per-sub-layer thresholds should differ")
+	}
+}

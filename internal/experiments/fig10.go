@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"elsa/internal/attention"
+	"elsa/internal/workload"
+)
+
+// Fig10P is the hyperparameter sweep of Fig 10.
+var Fig10P = []float64{0.5, 1, 2, 4, 8}
+
+// Fig10Row is one (combo, p) point of Fig 10: the fraction of keys
+// selected as candidates (the figure's bars) and the accuracy-proxy loss
+// (the figure's lines).
+type Fig10Row struct {
+	Combo string
+	P     float64
+	// Threshold is the learned layer threshold.
+	Threshold float64
+	// CandidateFraction is the mean fraction of real keys inspected.
+	CandidateFraction float64
+	// RetainedMass is the mean exact softmax mass of the selected keys.
+	RetainedMass float64
+	// AccuracyLossPct is the proxy task-metric loss in percentage points.
+	AccuracyLossPct float64
+	// MeanCosine is the output-fidelity cosine.
+	MeanCosine float64
+	// Metric names the dataset's task metric and MetricAfter projects the
+	// proxy loss onto it: the absolute value the paper's lines would show
+	// (e.g. F1 93.2 → 92.4).
+	Metric      string
+	MetricAfter float64
+}
+
+// Fig10 reproduces the approximation-impact study: for every model-dataset
+// combination and every p, learn the threshold on calibration invocations
+// and measure candidate fraction plus fidelity proxies on held-out
+// instances.
+func Fig10(opt Options) ([]Fig10Row, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for _, combo := range workload.Combos() {
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		// Pre-generate the held-out instances so every p sees identical
+		// data.
+		insts := make([]workload.Instance, opt.Instances)
+		for i := range insts {
+			insts[i] = combo.Dataset.Generate(evalRng, 64)
+		}
+		for _, p := range Fig10P {
+			thr, err := l.learnThreshold(combo, p, calibRng)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig10Row{Combo: combo.Name(), P: p, Threshold: thr, Metric: combo.Dataset.Metric}
+			for _, inst := range insts {
+				pre, err := l.engine.Preprocess(inst.K, inst.V)
+				if err != nil {
+					return nil, err
+				}
+				res, err := l.engine.Attend(inst.Q, pre, thr)
+				if err != nil {
+					return nil, err
+				}
+				exactOut, exactScores := attention.ExactWithScores(
+					inst.Q, inst.K, inst.V, l.engine.Config().Scale)
+				fid, err := attention.Compare(exactOut, exactScores, res)
+				if err != nil {
+					return nil, err
+				}
+				row.CandidateFraction += res.CandidateFraction(inst.RealLen)
+				row.RetainedMass += fid.RetainedMass
+				row.MeanCosine += fid.MeanCosine
+				row.AccuracyLossPct += attention.ProxyAccuracyLoss(fid, attention.DefaultSensitivity)
+			}
+			inv := 1 / float64(len(insts))
+			row.CandidateFraction *= inv
+			row.RetainedMass *= inv
+			row.MeanCosine *= inv
+			row.AccuracyLossPct *= inv
+			row.MetricAfter = projectMetric(combo.Dataset, row.AccuracyLossPct)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// projectMetric converts a proxy loss (percentage points) into the
+// dataset's absolute task metric: percentage-scale metrics (F1, accuracy)
+// lose the points directly; fraction-scale metrics (NDCG@10) lose
+// proportionally.
+func projectMetric(ds workload.Dataset, lossPct float64) float64 {
+	if ds.BaselineMetric <= 1 { // fraction-scale metric
+		v := ds.BaselineMetric * (1 - lossPct/100)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	v := ds.BaselineMetric - lossPct
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Fig10Summary holds the figure's headline claims.
+type Fig10Summary struct {
+	// MeanFractionP1 is the mean candidate fraction at p = 1 (paper:
+	// sub-1% accuracy loss while inspecting <40% of entities).
+	MeanFractionP1 float64
+	// MeanLossP1 is the mean proxy accuracy loss at p = 1.
+	MeanLossP1 float64
+	// MeanFractionP2 is the mean candidate fraction at p = 2 (paper:
+	// ~26% on average at sub-2% loss).
+	MeanFractionP2 float64
+	// MeanLossP2 is the mean proxy loss at p = 2.
+	MeanLossP2 float64
+}
+
+// SummarizeFig10 aggregates rows into the headline numbers.
+func SummarizeFig10(rows []Fig10Row) Fig10Summary {
+	var s Fig10Summary
+	var n1, n2 int
+	for _, r := range rows {
+		switch r.P {
+		case 1:
+			s.MeanFractionP1 += r.CandidateFraction
+			s.MeanLossP1 += r.AccuracyLossPct
+			n1++
+		case 2:
+			s.MeanFractionP2 += r.CandidateFraction
+			s.MeanLossP2 += r.AccuracyLossPct
+			n2++
+		}
+	}
+	if n1 > 0 {
+		s.MeanFractionP1 /= float64(n1)
+		s.MeanLossP1 /= float64(n1)
+	}
+	if n2 > 0 {
+		s.MeanFractionP2 /= float64(n2)
+		s.MeanLossP2 /= float64(n2)
+	}
+	return s
+}

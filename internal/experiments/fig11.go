@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"elsa/internal/device"
+	"elsa/internal/stats"
+	"elsa/internal/workload"
+)
+
+// Fig11Row is one model-dataset group of Fig 11: self-attention throughput
+// normalized to the GPU (=1) and latency normalized to the ideal
+// accelerator, for the ideal accelerator and the four ELSA modes.
+type Fig11Row struct {
+	Combo string
+	// IdealThroughputNorm is the ideal accelerator's throughput vs GPU,
+	// with the same replication factor as ELSA.
+	IdealThroughputNorm float64
+	// ThroughputNorm[mode] is the twelve-accelerator ELSA throughput vs
+	// GPU (Fig 11a).
+	ThroughputNorm [4]float64
+	// LatencyVsIdeal[mode] is single-accelerator per-op latency divided by
+	// the ideal accelerator's (Fig 11b; base ≈ 1.03, approximate modes
+	// below 1).
+	LatencyVsIdeal [4]float64
+	// PreprocessFrac[mode] is the fraction of ELSA time in preprocessing
+	// (the hatched area of Fig 11b).
+	PreprocessFrac [4]float64
+	// CandidateFrac[mode] is the measured mean candidate fraction.
+	CandidateFrac [4]float64
+}
+
+// Fig11Summary carries the figure's geomean headlines (paper: base
+// 7.99–43.93× with the approximate modes reaching geomeans of 57×, 73×,
+// 81×; latency geomeans 1.03×, 0.38×, 0.29×, 0.26× of ideal).
+type Fig11Summary struct {
+	// ThroughputGeomean[mode] is the geomean normalized throughput.
+	ThroughputGeomean [4]float64
+	// ThroughputMin/Max[mode] bound the per-combo spread.
+	ThroughputMin, ThroughputMax [4]float64
+	// LatencyGeomean[mode] is the geomean latency vs ideal.
+	LatencyGeomean [4]float64
+	// SpeedupOverBase[mode] is ThroughputGeomean[mode]/ThroughputGeomean[Base].
+	SpeedupOverBase [4]float64
+}
+
+// Fig11 reproduces the throughput and latency comparison: for every
+// model-dataset combination it runs the cycle simulator in all four modes
+// on held-out instances and normalizes against the analytical V100 and
+// ideal-accelerator models.
+func Fig11(opt Options) ([]Fig11Row, Fig11Summary, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return nil, Fig11Summary{}, err
+	}
+	gpu := device.V100()
+	ideal := device.NewIdeal(l.cfg.Multipliers(), l.cfg.FreqHz)
+
+	var rows []Fig11Row
+	for _, combo := range workload.Combos() {
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		thresholds := make(map[Mode]float64, 4)
+		for _, m := range Modes() {
+			thr, err := l.learnThreshold(combo, m.P(), calibRng)
+			if err != nil {
+				return nil, Fig11Summary{}, err
+			}
+			thresholds[m] = thr
+		}
+		gpuSec, err := gpu.HeadOpSeconds(combo.Model, combo.Dataset.CapLen)
+		if err != nil {
+			return nil, Fig11Summary{}, err
+		}
+		row := Fig11Row{Combo: combo.Name()}
+		for i := 0; i < opt.Instances; i++ {
+			inst := combo.Dataset.Generate(evalRng, 64)
+			idealSec := ideal.OpSeconds(inst.RealLen, 64)
+			row.IdealThroughputNorm += float64(NumAccelerators) * gpuSec / idealSec
+			for _, m := range Modes() {
+				res, err := l.sim.Run(inst.Q, inst.K, inst.V, thresholds[m])
+				if err != nil {
+					return nil, Fig11Summary{}, err
+				}
+				sec := res.Seconds(l.cfg.FreqHz)
+				row.ThroughputNorm[m] += float64(NumAccelerators) * gpuSec / sec
+				row.LatencyVsIdeal[m] += sec / idealSec
+				row.PreprocessFrac[m] += float64(res.PreprocessCycles) / float64(res.TotalCycles())
+				row.CandidateFrac[m] += res.Attention.CandidateFraction(inst.RealLen)
+			}
+		}
+		inv := 1 / float64(opt.Instances)
+		row.IdealThroughputNorm *= inv
+		for _, m := range Modes() {
+			row.ThroughputNorm[m] *= inv
+			row.LatencyVsIdeal[m] *= inv
+			row.PreprocessFrac[m] *= inv
+			row.CandidateFrac[m] *= inv
+		}
+		rows = append(rows, row)
+	}
+	return rows, summarizeFig11(rows), nil
+}
+
+func summarizeFig11(rows []Fig11Row) Fig11Summary {
+	var s Fig11Summary
+	for _, m := range Modes() {
+		thr := make([]float64, 0, len(rows))
+		lat := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			thr = append(thr, r.ThroughputNorm[m])
+			lat = append(lat, r.LatencyVsIdeal[m])
+		}
+		s.ThroughputGeomean[m] = stats.MustGeoMean(thr)
+		s.LatencyGeomean[m] = stats.MustGeoMean(lat)
+		s.ThroughputMin[m] = stats.Min(thr)
+		s.ThroughputMax[m] = stats.Max(thr)
+	}
+	for _, m := range Modes() {
+		s.SpeedupOverBase[m] = s.ThroughputGeomean[m] / s.ThroughputGeomean[Base]
+	}
+	return s
+}

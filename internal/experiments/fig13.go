@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"elsa/internal/device"
+	"elsa/internal/energy"
+	"elsa/internal/stats"
+	"elsa/internal/workload"
+)
+
+// Fig13Row is one model-dataset group of Fig 13: energy efficiency
+// (performance per watt) normalized to the GPU, and the per-module energy
+// breakdown, for each ELSA mode.
+type Fig13Row struct {
+	Combo string
+	// EfficiencyGain[mode] is (ops/J on ELSA) / (ops/J on the GPU).
+	EfficiencyGain [4]float64
+	// EnergyPerOpJ[mode] is the accelerator energy per head op.
+	EnergyPerOpJ [4]float64
+	// BreakdownJ[mode] maps Table I module names to joules per op.
+	BreakdownJ [4]map[string]float64
+	// GPUEnergyPerOpJ is the V100 energy for the same op.
+	GPUEnergyPerOpJ float64
+}
+
+// Fig13Summary carries the figure's geomean headlines (paper: 442× base,
+// 1265× conservative, 1726× moderate, 2093× aggressive).
+type Fig13Summary struct {
+	EfficiencyGeomean [4]float64
+	// BreakdownShare[mode] is the fleet-wide mean share of energy per
+	// module group, for the Fig 13(b) stacked bars.
+	BreakdownShare [4]map[string]float64
+}
+
+// Fig13 reproduces the energy-efficiency comparison by feeding the cycle
+// simulator's activity counters through the Table I power model and
+// comparing against the V100's measured draw.
+func Fig13(opt Options) ([]Fig13Row, Fig13Summary, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return nil, Fig13Summary{}, err
+	}
+	gpu := device.V100()
+
+	var rows []Fig13Row
+	for _, combo := range workload.Combos() {
+		calibRng := comboSeed(opt.Seed, combo, "calib")
+		evalRng := comboSeed(opt.Seed, combo, "eval")
+		thresholds := make(map[Mode]float64, 4)
+		for _, m := range Modes() {
+			thr, err := l.learnThreshold(combo, m.P(), calibRng)
+			if err != nil {
+				return nil, Fig13Summary{}, err
+			}
+			thresholds[m] = thr
+		}
+		gpuSec, err := gpu.HeadOpSeconds(combo.Model, combo.Dataset.CapLen)
+		if err != nil {
+			return nil, Fig13Summary{}, err
+		}
+		row := Fig13Row{Combo: combo.Name(), GPUEnergyPerOpJ: gpu.PowerWatts * gpuSec}
+		for m := range row.BreakdownJ {
+			row.BreakdownJ[m] = make(map[string]float64)
+		}
+		for i := 0; i < opt.Instances; i++ {
+			inst := combo.Dataset.Generate(evalRng, 64)
+			for _, m := range Modes() {
+				res, err := l.sim.Run(inst.Q, inst.K, inst.V, thresholds[m])
+				if err != nil {
+					return nil, Fig13Summary{}, err
+				}
+				bd, err := energy.Estimate(res.Activity, l.cfg)
+				if err != nil {
+					return nil, Fig13Summary{}, err
+				}
+				row.EnergyPerOpJ[m] += bd.TotalJ()
+				for _, me := range bd.Modules {
+					row.BreakdownJ[m][me.Name] += me.TotalJ()
+				}
+			}
+		}
+		inv := 1 / float64(opt.Instances)
+		for _, m := range Modes() {
+			row.EnergyPerOpJ[m] *= inv
+			for name := range row.BreakdownJ[m] {
+				row.BreakdownJ[m][name] *= inv
+			}
+			row.EfficiencyGain[m] = row.GPUEnergyPerOpJ / row.EnergyPerOpJ[m]
+		}
+		rows = append(rows, row)
+	}
+	return rows, summarizeFig13(rows), nil
+}
+
+func summarizeFig13(rows []Fig13Row) Fig13Summary {
+	var s Fig13Summary
+	for _, m := range Modes() {
+		gains := make([]float64, 0, len(rows))
+		share := make(map[string]float64)
+		var totalJ float64
+		for _, r := range rows {
+			gains = append(gains, r.EfficiencyGain[m])
+			for name, j := range r.BreakdownJ[m] {
+				share[name] += j
+			}
+			totalJ += r.EnergyPerOpJ[m]
+		}
+		s.EfficiencyGeomean[m] = stats.MustGeoMean(gains)
+		if totalJ > 0 {
+			for name := range share {
+				share[name] /= totalJ
+			}
+		}
+		s.BreakdownShare[m] = share
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"elsa/internal/device"
+	"elsa/internal/model"
+)
+
+// Fig2Row is one bar of Fig 2: the fraction of a model's GPU inference
+// runtime spent inside the self-attention operator, for a sequence-length
+// multiplier and a feed-forward-dimension divisor.
+type Fig2Row struct {
+	Model string
+	// SeqMult scales the published maximum sequence length (1 or 4).
+	SeqMult int
+	// FFNDiv divides the feed-forward inner dimension (1 or 4, the
+	// reduced-FFN variants of the figure's right side).
+	FFNDiv int
+	// AttnShare is self-attention's share of modeled GPU runtime.
+	AttnShare float64
+	// AttnFLOPShare is the raw FLOP share, before GPU-efficiency
+	// weighting, for reference.
+	AttnFLOPShare float64
+}
+
+// Fig2 reproduces the runtime-share analysis: per model, the attention
+// operator's FLOPs run at the model's attention-kernel efficiency while
+// the projections and FFN run at dense-GEMM efficiency, and the share of
+// total time is reported for the four (seq, FFN) corners the figure shows.
+func Fig2(opt Options) ([]Fig2Row, error) {
+	gpu := device.V100()
+	var rows []Fig2Row
+	for _, spec := range model.All() {
+		eff, ok := gpu.AttnEfficiency[spec.Name]
+		if !ok {
+			continue
+		}
+		for _, seqMult := range []int{1, 4} {
+			for _, ffnDiv := range []int{1, 4} {
+				n := spec.MaxSeq * seqMult
+				fl := spec.Model(n, ffnDiv)
+				attnT := gpu.OpSeconds(float64(fl.Attention()), eff)
+				otherT := gpu.OpSeconds(float64(fl.Other()), gpu.ModelDenseEfficiency(spec))
+				rows = append(rows, Fig2Row{
+					Model:         spec.Name,
+					SeqMult:       seqMult,
+					FFNDiv:        ffnDiv,
+					AttnShare:     attnT / (attnT + otherT),
+					AttnFLOPShare: spec.AttentionFLOPShare(n, ffnDiv),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig2Summary aggregates the figure's headline numbers: the mean attention
+// share at the published configuration, at 4× sequence length, and at 4×
+// sequence length with quarter FFN (the paper reports ≈38%, ≈64% and ≈73%).
+type Fig2Summary struct {
+	MeanShareDefault   float64
+	MeanShare4xSeq     float64
+	MeanShare4xSeqFFN4 float64
+	MeanShareDefFFNQtr float64
+}
+
+// SummarizeFig2 computes the summary from Fig2 rows.
+func SummarizeFig2(rows []Fig2Row) Fig2Summary {
+	var s Fig2Summary
+	var nDef, n4x, n4xF, nDefF int
+	for _, r := range rows {
+		switch {
+		case r.SeqMult == 1 && r.FFNDiv == 1:
+			s.MeanShareDefault += r.AttnShare
+			nDef++
+		case r.SeqMult == 4 && r.FFNDiv == 1:
+			s.MeanShare4xSeq += r.AttnShare
+			n4x++
+		case r.SeqMult == 4 && r.FFNDiv == 4:
+			s.MeanShare4xSeqFFN4 += r.AttnShare
+			n4xF++
+		case r.SeqMult == 1 && r.FFNDiv == 4:
+			s.MeanShareDefFFNQtr += r.AttnShare
+			nDefF++
+		}
+	}
+	if nDef > 0 {
+		s.MeanShareDefault /= float64(nDef)
+	}
+	if n4x > 0 {
+		s.MeanShare4xSeq /= float64(n4x)
+	}
+	if n4xF > 0 {
+		s.MeanShare4xSeqFFN4 /= float64(n4xF)
+	}
+	if nDefF > 0 {
+		s.MeanShareDefFFNQtr /= float64(nDefF)
+	}
+	return s
+}

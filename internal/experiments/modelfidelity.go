@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"elsa/internal/attention"
+	"elsa/internal/model"
+	"elsa/internal/tensor"
+	"elsa/internal/transformer"
+)
+
+// ModelFidelityRow measures what per-sub-layer ELSA filtering does to a
+// whole transformer's output representations — the integration the paper
+// performs on real models (§V-B), run here on a randomly-initialized
+// truncated BERT-style encoder with per-(layer, head) thresholds learned
+// by the Fig 6 procedure from a single p.
+type ModelFidelityRow struct {
+	P float64
+	// CandidateFraction is the model-wide fraction of (query, key) pairs
+	// computed exactly.
+	CandidateFraction float64
+	// MeanCosine compares final-layer token representations against the
+	// exact-attention forward pass.
+	MeanCosine float64
+	// ThresholdSpread is max−min over the learned sub-layer thresholds —
+	// evidence that different sub-layers genuinely need different
+	// thresholds, the paper's motivation for automating them.
+	ThresholdSpread float64
+}
+
+// modelFidelitySpec is the truncated encoder used for the study: BERT
+// head geometry (d = 64) at a depth/width that keeps the experiment fast.
+var modelFidelitySpec = model.Spec{
+	Name: "BERT-trunc", Kind: model.NLP,
+	Layers: 2, Heads: 4, HeadDim: 64, Hidden: 256, FFNDim: 1024, MaxSeq: 128,
+}
+
+// ModelFidelity sweeps p over whole-model forward passes.
+func ModelFidelity(opt Options) ([]ModelFidelityRow, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	m, err := transformer.NewRandom(rng, modelFidelitySpec, 0)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := attention.NewEngine(attention.Config{
+		D: modelFidelitySpec.HeadDim, BiasSamples: opt.BiasSamples, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	input := func(r *rand.Rand) *tensor.Matrix {
+		centers := tensor.RandomNormal(r, 6, modelFidelitySpec.Hidden)
+		x := tensor.New(96, modelFidelitySpec.Hidden)
+		for i := 0; i < x.Rows; i++ {
+			c := centers.Row(r.Intn(6))
+			row := x.Row(i)
+			for j := range row {
+				row[j] = 1.5*c[j] + 0.5*float32(r.NormFloat64())
+			}
+		}
+		return x
+	}
+	var calib []*tensor.Matrix
+	for i := 0; i < opt.CalibInstances+1; i++ {
+		calib = append(calib, input(rng))
+	}
+	evals := make([]*tensor.Matrix, opt.Instances)
+	for i := range evals {
+		evals[i] = input(rng)
+	}
+
+	var rows []ModelFidelityRow
+	for _, p := range []float64{0.5, 1, 2.5, 6} {
+		thresholds, err := m.Calibrate(eng, p, calib)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := 1e18, -1e18
+		for _, t := range thresholds {
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		be := &transformer.ELSABackend{
+			Engine:     eng,
+			Thresholds: thresholds,
+			Default:    attention.ExactThresholdNoApprox,
+		}
+		row := ModelFidelityRow{P: p, ThresholdSpread: hi - lo}
+		for _, x := range evals {
+			exactOut, _, err := m.Forward(x, transformer.ExactBackend{})
+			if err != nil {
+				return nil, err
+			}
+			approxOut, stats, err := m.Forward(x, be)
+			if err != nil {
+				return nil, err
+			}
+			var cos float64
+			for i := 0; i < x.Rows; i++ {
+				cos += tensor.CosineSim(exactOut.Row(i), approxOut.Row(i))
+			}
+			row.MeanCosine += cos / float64(x.Rows)
+			row.CandidateFraction += stats.CandidateFraction()
+		}
+		inv := 1 / float64(len(evals))
+		row.MeanCosine *= inv
+		row.CandidateFraction *= inv
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"elsa/internal/attention"
+	"elsa/internal/elsasim"
+	"elsa/internal/energy"
+	"elsa/internal/model"
+	"elsa/internal/workload"
+)
+
+// PipelinePoint is one configuration of the §IV-D design-space sweep:
+// how the pipeline-balance parameters trade hardware (multipliers and
+// selectors, the area proxies) for throughput.
+type PipelinePoint struct {
+	Pa, Pc, Mh, Mo int
+	// Multipliers is the attention-datapath multiplier count (the
+	// ideal-accelerator comparison basis); HashMultipliers is m_h.
+	Multipliers int
+	// Selectors is the total candidate-selection module count Pa·Pc.
+	Selectors int
+	// BaseCycles and ConsCycles are mean per-op totals in the two modes.
+	BaseCycles, ConsCycles int64
+	// ApproxSpeedup is BaseCycles/ConsCycles for this configuration.
+	ApproxSpeedup float64
+	// ScanBoundFrac is the fraction of conservative-mode queries bounded
+	// by the selector scan — the §IV-D signal that P_c is too small.
+	ScanBoundFrac float64
+	// AreaMM2 is the extrapolated accelerator area (internal + external
+	// memories) from the Table I scaling model.
+	AreaMM2 float64
+	// ThroughputPerArea is conservative-mode ops/s/mm² — the Pareto axis
+	// a designer optimizes.
+	ThroughputPerArea float64
+}
+
+// AblatePipeline sweeps P_a and P_c (with m_h and m_o scaled the way the
+// paper scales them: m_h = 64·P_a, m_o = 4·P_a) on a BERT/SQuAD workload
+// and reports how the approximation speedup and the scan bottleneck move.
+func AblatePipeline(opt Options) ([]PipelinePoint, error) {
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: opt.BiasSamples, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	combo := workload.Combo{Model: model.BERTLarge, Dataset: workload.SQuAD11}
+	calibRng := comboSeed(opt.Seed, combo, "pipe-calib")
+	tt, err := attention.NewThresholdTrainer(Conservative.P(), eng.Config().Scale)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opt.CalibInstances; i++ {
+		inst := combo.Dataset.Generate(calibRng, 64)
+		if err := tt.Observe(inst.Q, inst.K); err != nil {
+			return nil, err
+		}
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		return nil, err
+	}
+
+	evalRng := comboSeed(opt.Seed, combo, "pipe-eval")
+	insts := make([]workload.Instance, opt.Instances)
+	for i := range insts {
+		insts[i] = combo.Dataset.Generate(evalRng, 64)
+	}
+
+	var points []PipelinePoint
+	for _, pa := range []int{1, 2, 4, 8} {
+		for _, pc := range []int{4, 8, 16} {
+			cfg := elsasim.Default()
+			cfg.Pa = pa
+			cfg.Pc = pc
+			cfg.Mh = 64 * pa
+			cfg.Mo = 4 * pa
+			sim, err := elsasim.New(cfg, eng)
+			if err != nil {
+				return nil, err
+			}
+			pt := PipelinePoint{
+				Pa: pa, Pc: pc, Mh: cfg.Mh, Mo: cfg.Mo,
+				Multipliers: cfg.Multipliers(),
+				Selectors:   pa * pc,
+			}
+			var scanBound, queries int
+			for _, inst := range insts {
+				base, err := sim.Run(inst.Q, inst.K, inst.V, attention.ExactThresholdNoApprox)
+				if err != nil {
+					return nil, err
+				}
+				cons, err := sim.Run(inst.Q, inst.K, inst.V, thr)
+				if err != nil {
+					return nil, err
+				}
+				pt.BaseCycles += base.TotalCycles()
+				pt.ConsCycles += cons.TotalCycles()
+				scanBound += cons.Bottlenecks.Scan
+				queries += cons.Queries
+			}
+			pt.BaseCycles /= int64(len(insts))
+			pt.ConsCycles /= int64(len(insts))
+			pt.ApproxSpeedup = float64(pt.BaseCycles) / float64(pt.ConsCycles)
+			if queries > 0 {
+				pt.ScanBoundFrac = float64(scanBound) / float64(queries)
+			}
+			tot := energy.ScaledTotals(cfg)
+			pt.AreaMM2 = tot.InternalAreaMM2 + tot.ExternalAreaMM2
+			pt.ThroughputPerArea = cfg.FreqHz / float64(pt.ConsCycles) / pt.AreaMM2
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"elsa/internal/elsasim"
+	"elsa/internal/model"
+	"elsa/internal/workload"
+)
+
+// ModelScheduleRow is one model's full-inference attention schedule on the
+// accelerator fleet: heads within a layer run in parallel across the
+// twelve units, layers serialize (layer l+1's inputs depend on layer l's
+// outputs). The row exposes a deployment effect the per-op numbers hide —
+// a 16-head layer on 12 accelerators runs in two waves, idling a third of
+// the fleet in the second.
+type ModelScheduleRow struct {
+	Model string
+	// HeadOps is layers × heads.
+	HeadOps int
+	// MakespanSeconds is the summed per-layer fleet makespan for one
+	// sequence's attention work (conservative mode).
+	MakespanSeconds float64
+	// PerfectSeconds is total work / fleet size — the makespan a
+	// perfectly divisible schedule would achieve.
+	PerfectSeconds float64
+	// Utilization is PerfectSeconds / MakespanSeconds.
+	Utilization float64
+	// WavesPerLayer is ceil(heads / fleet size).
+	WavesPerLayer int
+}
+
+// ModelSchedule simulates every attention head-op of one inference per
+// model (conservative thresholds) and dispatches them layer by layer onto
+// the fleet.
+func ModelSchedule(opt Options) ([]ModelScheduleRow, error) {
+	l, err := newLab(opt)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := elsasim.NewFleet(NumAccelerators, l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ModelScheduleRow
+	for _, spec := range model.All() {
+		ds := primaryDataset(spec)
+		combo := workload.Combo{Model: spec, Dataset: ds}
+		calibRng := comboSeed(opt.Seed, combo, "sched-calib")
+		evalRng := comboSeed(opt.Seed, combo, "sched-eval")
+		thr, err := l.learnThreshold(combo, Conservative.P(), calibRng)
+		if err != nil {
+			return nil, err
+		}
+		// One sequence: all heads of a layer see the same token length;
+		// different layers get fresh synthetic activations.
+		seqLen := ds.SampleLength(evalRng)
+		row := ModelScheduleRow{
+			Model:         spec.Name,
+			HeadOps:       spec.Layers * spec.Heads,
+			WavesPerLayer: (spec.Heads + NumAccelerators - 1) / NumAccelerators,
+		}
+		var totalWork int64
+		for layer := 0; layer < spec.Layers; layer++ {
+			cycles := make([]int64, spec.Heads)
+			for h := 0; h < spec.Heads; h++ {
+				inst := ds.GenerateLen(evalRng, 64, seqLen)
+				res, err := l.sim.Run(inst.Q, inst.K, inst.V, thr)
+				if err != nil {
+					return nil, err
+				}
+				cycles[h] = res.TotalCycles()
+				totalWork += res.TotalCycles()
+			}
+			sched, err := fleet.Dispatch(cycles)
+			if err != nil {
+				return nil, err
+			}
+			row.MakespanSeconds += float64(sched.MakespanCycles) / l.cfg.FreqHz
+		}
+		row.PerfectSeconds = float64(totalWork) / float64(NumAccelerators) / l.cfg.FreqHz
+		if row.MakespanSeconds > 0 {
+			row.Utilization = row.PerfectSeconds / row.MakespanSeconds
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

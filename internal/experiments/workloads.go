@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"elsa/internal/attention"
+	"elsa/internal/workload"
+)
+
+// WorkloadRow characterizes one synthetic dataset's attention
+// distributions — the evidence that the surrogates reproduce the
+// near-sparse softmax structure the paper's approximation exploits
+// (§II-C), which is what makes the Fig 10/11 shapes transferable.
+type WorkloadRow struct {
+	Dataset string
+	// MeanLen/MinLen/MaxLen summarize sampled real-token lengths.
+	MeanLen float64
+	MinLen  int
+	MaxLen  int
+	// Stats are the attention-score shape statistics at a representative
+	// length.
+	Stats attention.ScoreStats
+}
+
+// WorkloadDiagnostics samples every dataset and reports lengths plus
+// score-shape statistics.
+func WorkloadDiagnostics(opt Options) ([]WorkloadRow, error) {
+	var rows []WorkloadRow
+	for _, ds := range workload.AllDatasets() {
+		rng := comboSeed(opt.Seed, workload.Combo{Model: modelBERT(), Dataset: ds}, "diag")
+		row := WorkloadRow{Dataset: ds.Name, MinLen: 1 << 30}
+		const lengthSamples = 200
+		sum := 0
+		for i := 0; i < lengthSamples; i++ {
+			n := ds.SampleLength(rng)
+			sum += n
+			if n < row.MinLen {
+				row.MinLen = n
+			}
+			if n > row.MaxLen {
+				row.MaxLen = n
+			}
+		}
+		row.MeanLen = float64(sum) / lengthSamples
+		// Score shape at a mid-distribution length.
+		var agg attention.ScoreStats
+		for i := 0; i < opt.Instances; i++ {
+			inst := ds.GenerateLen(rng, 64, int(row.MeanLen))
+			_, scores := attention.ExactWithScores(inst.Q, inst.K, inst.V, attention.DefaultScale(64))
+			st, err := attention.AnalyzeScores(scores)
+			if err != nil {
+				return nil, err
+			}
+			agg.Keys = st.Keys
+			agg.MeanEntropy += st.MeanEntropy
+			agg.MeanEffectiveSupport += st.MeanEffectiveSupport
+			agg.Top10Mass += st.Top10Mass
+			agg.Top25Mass += st.Top25Mass
+			agg.AboveUniform += st.AboveUniform
+		}
+		inv := 1 / float64(opt.Instances)
+		agg.MeanEntropy *= inv
+		agg.MeanEffectiveSupport *= inv
+		agg.Top10Mass *= inv
+		agg.Top25Mass *= inv
+		agg.AboveUniform *= inv
+		row.Stats = agg
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,94 @@
+package fixed
+
+import "math"
+
+// EFloat is the accelerator's custom 16-bit floating-point format: 1 sign
+// bit, 10 exponent bits (bias 511) and 5 fraction bits. It represents the
+// output of the exponent unit and the running sum of exponentiated scores,
+// whose dynamic range far exceeds what a fixed-point register could hold.
+//
+// Encoding: seeeeeeeeeefffff. Exponent 0 encodes zero (denormals are
+// flushed); the maximum exponent is an ordinary normal value, and encoding
+// saturates rather than producing infinities because the hardware
+// accumulator saturates.
+type EFloat uint16
+
+const (
+	efExpBits  = 10
+	efFracBits = 5
+	efBias     = 511
+	efExpMax   = 1<<efExpBits - 1 // 1023
+)
+
+// MaxEFloat is the largest representable magnitude.
+var MaxEFloat = efValue(false, efExpMax, 1<<efFracBits-1)
+
+// MinPositiveEFloat is the smallest positive normal value.
+var MinPositiveEFloat = efValue(false, 1, 0)
+
+func efValue(neg bool, exp, frac int) float64 {
+	m := 1 + float64(frac)/(1<<efFracBits)
+	v := m * math.Exp2(float64(exp-efBias))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// EncodeEFloat rounds x to the nearest EFloat. Values below the smallest
+// normal flush to zero; values beyond the largest normal saturate. NaN maps
+// to zero (the hardware never produces NaN).
+func EncodeEFloat(x float64) EFloat {
+	if math.IsNaN(x) || x == 0 {
+		return 0
+	}
+	neg := math.Signbit(x)
+	ax := math.Abs(x)
+	if ax >= MaxEFloat {
+		return pack(neg, efExpMax, 1<<efFracBits-1)
+	}
+	exp := int(math.Floor(math.Log2(ax)))
+	m := ax / math.Exp2(float64(exp)) // in [1, 2)
+	frac := int(math.Round((m - 1) * (1 << efFracBits)))
+	if frac == 1<<efFracBits { // rounded up into the next binade
+		frac = 0
+		exp++
+	}
+	e := exp + efBias
+	if e < 1 {
+		return 0 // flush denormals
+	}
+	if e > efExpMax {
+		return pack(neg, efExpMax, 1<<efFracBits-1)
+	}
+	return pack(neg, e, frac)
+}
+
+func pack(neg bool, exp, frac int) EFloat {
+	v := EFloat(exp)<<efFracBits | EFloat(frac)
+	if neg {
+		v |= 1 << 15
+	}
+	return v
+}
+
+// Float64 decodes the EFloat to a float64.
+func (e EFloat) Float64() float64 {
+	exp := int(e>>efFracBits) & efExpMax
+	frac := int(e) & (1<<efFracBits - 1)
+	if exp == 0 {
+		return 0
+	}
+	return efValue(e&(1<<15) != 0, exp, frac)
+}
+
+// IsZero reports whether the value is (positive or negative) zero.
+func (e EFloat) IsZero() bool { return e&(1<<15-1) == 0 }
+
+// RoundEFloat is the round-trip quantization EncodeEFloat followed by
+// Float64 — what a value loses by passing through the custom format.
+func RoundEFloat(x float64) float64 { return EncodeEFloat(x).Float64() }
+
+// EFloatRelError is the worst-case relative rounding error of the format
+// for in-range values: half a unit in the last place of a 5-bit mantissa.
+const EFloatRelError = 1.0 / (2 * (1 << efFracBits)) // 1/64 ≈ 1.6%

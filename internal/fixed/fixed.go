@@ -1,0 +1,87 @@
+// Package fixed models the number representations and special functional
+// units of the ELSA accelerator (§IV-E of the paper):
+//
+//   - fixed-point formats — Q(1,5,3) (sign, five integer bits, three
+//     fraction bits) for the key/query/value matrices and Q(1,0,5) for the
+//     pre-defined hash-computation matrices;
+//   - a custom 16-bit floating-point format (1 sign, 10 exponent, 5
+//     fraction bits) covering the huge range of exponentiated attention
+//     scores;
+//   - the lookup-table exponent unit (e^x = 2^frac((log₂e)·x) ·
+//     2^floor((log₂e)·x) with a 32-entry fractional-power table), the
+//     32-entry reciprocal unit, and the tabulate-and-multiply square-root
+//     unit.
+//
+// The package exists so the functional simulator can execute attention with
+// bit-realistic arithmetic and so the tests can verify the paper's claim
+// that these representations cost <0.2% model fidelity.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed fixed-point representation with a sign bit,
+// IntBits integer bits and FracBits fraction bits. Values are multiples of
+// 2^-FracBits in [-2^IntBits, 2^IntBits - 2^-FracBits].
+type Format struct {
+	IntBits, FracBits int
+}
+
+// Standard formats from the paper.
+var (
+	// QKV is the key/query/value element format: 1 sign, 5 integer, 3
+	// fraction bits.
+	QKV = Format{IntBits: 5, FracBits: 3}
+	// HashMat is the format of the pre-defined hash matrices: 1 sign bit
+	// and 5 fraction bits.
+	HashMat = Format{IntBits: 0, FracBits: 5}
+)
+
+// Step returns the quantization step 2^-FracBits.
+func (f Format) Step() float64 { return math.Exp2(-float64(f.FracBits)) }
+
+// Max returns the largest representable value.
+func (f Format) Max() float64 { return math.Exp2(float64(f.IntBits)) - f.Step() }
+
+// Min returns the smallest (most negative) representable value.
+func (f Format) Min() float64 { return -math.Exp2(float64(f.IntBits)) }
+
+// Bits returns the total width including the sign bit.
+func (f Format) Bits() int { return 1 + f.IntBits + f.FracBits }
+
+// String renders the format in the paper's (sign, int, frac) convention.
+func (f Format) String() string { return fmt.Sprintf("Q(1,%d,%d)", f.IntBits, f.FracBits) }
+
+// QuantizeRaw rounds x to the nearest representable raw integer code,
+// saturating at the format bounds.
+func (f Format) QuantizeRaw(x float64) int32 {
+	r := math.Round(x / f.Step())
+	lo := -math.Exp2(float64(f.IntBits + f.FracBits))
+	hi := math.Exp2(float64(f.IntBits+f.FracBits)) - 1
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	return int32(r)
+}
+
+// FromRaw converts a raw code back to its real value.
+func (f Format) FromRaw(r int32) float64 { return float64(r) * f.Step() }
+
+// Quantize rounds x to the nearest representable value, saturating.
+func (f Format) Quantize(x float64) float64 { return f.FromRaw(f.QuantizeRaw(x)) }
+
+// QuantizeSlice quantizes every element of xs in place.
+func (f Format) QuantizeSlice(xs []float32) {
+	for i, x := range xs {
+		xs[i] = float32(f.Quantize(float64(x)))
+	}
+}
+
+// MaxQuantError returns the worst-case rounding error for in-range inputs,
+// half the quantization step.
+func (f Format) MaxQuantError() float64 { return f.Step() / 2 }

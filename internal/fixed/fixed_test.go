@@ -1,0 +1,291 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatConstants(t *testing.T) {
+	if QKV.Bits() != 9 {
+		t.Errorf("QKV width = %d, want 9 (paper: 9-bit representation incl. sign)", QKV.Bits())
+	}
+	if HashMat.Bits() != 6 {
+		t.Errorf("HashMat width = %d, want 6", HashMat.Bits())
+	}
+	if QKV.Step() != 0.125 {
+		t.Errorf("QKV step = %g, want 0.125", QKV.Step())
+	}
+	if QKV.Max() != 31.875 {
+		t.Errorf("QKV max = %g, want 31.875", QKV.Max())
+	}
+	if QKV.Min() != -32 {
+		t.Errorf("QKV min = %g, want -32", QKV.Min())
+	}
+	if QKV.String() != "Q(1,5,3)" {
+		t.Errorf("String = %q", QKV.String())
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{0.0624, 0.0625 - 0.0625}, // rounds to 0
+		{0.063, 0.125},            // rounds up to one step
+		{1.06, 1.0},
+		{1.07, 1.125},
+		{-1.06, -1.0},
+		{100, 31.875},  // saturate high
+		{-100, -32},    // saturate low
+		{31.9, 31.875}, // just over max rounds down to max
+	}
+	for _, c := range cases {
+		if got := QKV.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeRawRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		q := QKV.Quantize(x)
+		// Idempotence: quantizing a quantized value is a no-op.
+		return QKV.Quantize(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x > QKV.Max() || x < QKV.Min() {
+			return true
+		}
+		return math.Abs(QKV.Quantize(x)-x) <= QKV.MaxQuantError()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	xs := []float32{0.07, -0.07, 50}
+	QKV.QuantizeSlice(xs)
+	want := []float32{0.125, -0.125, 31.875}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("slice[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestHashMatFormatRange(t *testing.T) {
+	// Orthonormal 4x4 factor entries lie in [-1, 1]; the format saturates 1
+	// to its max.
+	if got := HashMat.Quantize(1.0); got != HashMat.Max() {
+		t.Errorf("Quantize(1) = %g, want %g", got, HashMat.Max())
+	}
+	if got := HashMat.Quantize(-1.0); got != -1.0 {
+		t.Errorf("Quantize(-1) = %g, want -1", got)
+	}
+	if HashMat.Max() != 0.96875 {
+		t.Errorf("HashMat max = %g", HashMat.Max())
+	}
+}
+
+func TestEFloatZeroAndNaN(t *testing.T) {
+	if EncodeEFloat(0) != 0 {
+		t.Error("zero must encode to zero")
+	}
+	if !EncodeEFloat(0).IsZero() {
+		t.Error("IsZero failed")
+	}
+	if EncodeEFloat(math.NaN()) != 0 {
+		t.Error("NaN flushes to zero")
+	}
+	if EFloat(0).Float64() != 0 {
+		t.Error("zero decodes to zero")
+	}
+}
+
+func TestEFloatSaturation(t *testing.T) {
+	huge := math.Exp2(600)
+	if got := RoundEFloat(huge); got != MaxEFloat {
+		t.Errorf("huge value should saturate to %g, got %g", MaxEFloat, got)
+	}
+	if got := RoundEFloat(-huge); got != -MaxEFloat {
+		t.Errorf("negative saturation: got %g", got)
+	}
+	tiny := math.Exp2(-600)
+	if got := RoundEFloat(tiny); got != 0 {
+		t.Errorf("tiny value should flush to zero, got %g", got)
+	}
+}
+
+func TestEFloatRelativeError(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		ax := math.Abs(x)
+		if ax < MinPositiveEFloat*2 || ax > MaxEFloat/2 {
+			return true
+		}
+		got := RoundEFloat(x)
+		return math.Abs(got-x) <= math.Abs(x)*(EFloatRelError+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEFloatSignPreserved(t *testing.T) {
+	if RoundEFloat(-3.5) >= 0 {
+		t.Error("negative values must stay negative")
+	}
+	if RoundEFloat(3.5) <= 0 {
+		t.Error("positive values must stay positive")
+	}
+}
+
+func TestEFloatMantissaCarry(t *testing.T) {
+	// A value just below a power of two must round up into the next binade
+	// without corrupting the encoding.
+	x := 2.0 - 1e-9
+	got := RoundEFloat(x)
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("RoundEFloat(%g) = %g, want 2", x, got)
+	}
+}
+
+func TestEFloatRangeCoversAttentionSums(t *testing.T) {
+	// n=512 keys each contributing e^s with scores up to ~32*8 in Q(5,3)
+	// pre-softmax units is astronomically large; verify the format covers
+	// e^100 and sums of 512 of them.
+	v := math.Exp(100) * 512
+	if RoundEFloat(v) == 0 || math.IsInf(RoundEFloat(v), 0) {
+		t.Error("format must cover large attention sums")
+	}
+	if MaxEFloat < math.Exp(300) {
+		t.Errorf("MaxEFloat = %g too small", MaxEFloat)
+	}
+}
+
+func TestExpUnitAccuracy(t *testing.T) {
+	u := NewExpUnit()
+	for x := -20.0; x <= 20; x += 0.0617 {
+		got := u.Exp(x)
+		want := math.Exp(x)
+		rel := math.Abs(got-want) / want
+		if rel > ExpRelErrBound+0.01 {
+			t.Fatalf("Exp(%g): rel error %g exceeds bound %g", x, rel, ExpRelErrBound)
+		}
+	}
+}
+
+func TestExpUnitMonotoneOnGrid(t *testing.T) {
+	u := NewExpUnit()
+	prev := 0.0
+	for x := -10.0; x <= 10; x += 0.25 {
+		got := u.Exp(x)
+		if got < prev {
+			t.Fatalf("Exp must be non-decreasing: Exp(%g)=%g < %g", x, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRecipUnitAccuracy(t *testing.T) {
+	u := NewRecipUnit()
+	for _, x := range []float64{1e-6, 0.001, 0.5, 1, 1.5, 2, 3.999, 7, 100, 1e8} {
+		got := u.Recip(x)
+		want := 1 / x
+		rel := math.Abs(got-want) / want
+		if rel > RecipRelErrBound+1e-9 {
+			t.Errorf("Recip(%g): rel error %g exceeds %g", x, rel, RecipRelErrBound)
+		}
+	}
+}
+
+func TestRecipUnitPanicsOnNonPositive(t *testing.T) {
+	u := NewRecipUnit()
+	for _, x := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Recip(%g) should panic", x)
+				}
+			}()
+			u.Recip(x)
+		}()
+	}
+}
+
+func TestSqrtUnitAccuracy(t *testing.T) {
+	u := NewSqrtUnit()
+	for _, x := range []float64{1e-8, 0.001, 0.25, 1, 2, 3, 4, 5, 64, 1000, 123456.789} {
+		got := u.Sqrt(x)
+		want := math.Sqrt(x)
+		rel := math.Abs(got-want) / want
+		if rel > SqrtRelErrBound+1e-6 {
+			t.Errorf("Sqrt(%g): rel error %g exceeds %g", x, rel, SqrtRelErrBound)
+		}
+	}
+}
+
+func TestSqrtUnitEdges(t *testing.T) {
+	u := NewSqrtUnit()
+	if u.Sqrt(0) != 0 {
+		t.Error("Sqrt(0) must be 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sqrt(-1) should panic")
+			}
+		}()
+		u.Sqrt(-1)
+	}()
+}
+
+// Property: the sqrt unit respects monotonicity closely enough for
+// threshold comparisons (allowing one table-bin of slack).
+func TestSqrtUnitApproxMonotone(t *testing.T) {
+	u := NewSqrtUnit()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if b > a*(1+4*SqrtRelErrBound)+1e-300 {
+			return u.Sqrt(a) <= u.Sqrt(b)*(1+1e-12)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Recip composed twice approximately returns the input.
+func TestRecipInvolutionProperty(t *testing.T) {
+	u := NewRecipUnit()
+	f := func(x float64) bool {
+		x = math.Abs(x)
+		if x < 1e-100 || x > 1e100 || math.IsNaN(x) {
+			return true
+		}
+		rr := u.Recip(u.Recip(x))
+		return math.Abs(rr-x)/x < 2*RecipRelErrBound+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

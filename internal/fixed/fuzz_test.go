@@ -1,0 +1,89 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantize checks quantization invariants on arbitrary inputs:
+// idempotence, bounds, and error limits for in-range values.
+func FuzzQuantize(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.0625)
+	f.Add(-31.9)
+	f.Add(1e300)
+	f.Add(-1e300)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) {
+			return
+		}
+		for _, format := range []Format{QKV, HashMat} {
+			q := format.Quantize(x)
+			if q < format.Min() || q > format.Max() {
+				t.Fatalf("%v.Quantize(%g) = %g outside [%g, %g]", format, x, q, format.Min(), format.Max())
+			}
+			if format.Quantize(q) != q {
+				t.Fatalf("%v: quantization not idempotent at %g", format, x)
+			}
+			if x >= format.Min() && x <= format.Max() {
+				if math.Abs(q-x) > format.MaxQuantError()+1e-12 {
+					t.Fatalf("%v.Quantize(%g) error %g exceeds bound", format, x, math.Abs(q-x))
+				}
+			}
+		}
+	})
+}
+
+// FuzzEFloat checks the custom float's round-trip invariants: decoded
+// values are finite, idempotent under re-encoding, and sign-correct.
+func FuzzEFloat(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(-123456.789)
+	f.Add(math.Exp(300))
+	f.Add(math.Exp(-300))
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) {
+			return
+		}
+		r := RoundEFloat(x)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("RoundEFloat(%g) = %g not finite", x, r)
+		}
+		if math.Abs(r) > MaxEFloat {
+			t.Fatalf("RoundEFloat(%g) = %g beyond saturation", x, r)
+		}
+		if r != 0 && !math.IsInf(x, 0) && math.Signbit(r) != math.Signbit(x) {
+			t.Fatalf("RoundEFloat(%g) = %g flipped sign", x, r)
+		}
+		if RoundEFloat(r) != r {
+			t.Fatalf("EFloat rounding not idempotent at %g", x)
+		}
+	})
+}
+
+// FuzzUnits checks the LUT units never panic or produce non-finite output
+// for valid inputs.
+func FuzzUnits(f *testing.F) {
+	f.Add(1.0)
+	f.Add(1e-30)
+	f.Add(1e30)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return
+		}
+		if ax := math.Abs(x); ax > 0 {
+			if r := NewRecipUnit().Recip(ax); math.IsNaN(r) || r <= 0 {
+				t.Fatalf("Recip(%g) = %g", ax, r)
+			}
+			if s := NewSqrtUnit().Sqrt(ax); math.IsNaN(s) || s < 0 {
+				t.Fatalf("Sqrt(%g) = %g", ax, s)
+			}
+		}
+		if x > -700 && x < 700 {
+			if e := NewExpUnit().Exp(x); math.IsNaN(e) || e < 0 {
+				t.Fatalf("Exp(%g) = %g", x, e)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpUnit models the accelerator's exponent functional unit:
+// e^x = 2^((log₂e)·x) = 2^frac((log₂e)·x) · 2^floor((log₂e)·x), with the
+// fractional power taken from a 32-entry lookup table. The table stores the
+// value at each bin midpoint, which halves the worst-case error relative to
+// truncation; the hardware can bake the same values into its ROM.
+type ExpUnit struct {
+	table [32]float64
+}
+
+// NewExpUnit builds the 32-entry 2^frac table.
+func NewExpUnit() *ExpUnit {
+	u := &ExpUnit{}
+	for i := range u.table {
+		u.table[i] = math.Exp2((float64(i) + 0.5) / 32)
+	}
+	return u
+}
+
+// Exp approximates e^x with one table lookup and one power-of-two scale,
+// then rounds the result through the EFloat output format, exactly as the
+// hardware pipeline does.
+func (u *ExpUnit) Exp(x float64) float64 {
+	y := x * math.Log2E
+	fl := math.Floor(y)
+	fr := y - fl
+	idx := int(fr * 32)
+	if idx > 31 {
+		idx = 31
+	}
+	return RoundEFloat(u.table[idx] * math.Exp2(fl))
+}
+
+// ExpRelErrBound is the worst-case relative error of the exponent unit:
+// the table contributes up to 2^(1/64)-1 and the EFloat rounding up to
+// 1/64.
+var ExpRelErrBound = (math.Exp2(1.0/64) - 1) + EFloatRelError + 1e-12
+
+// RecipUnit models the 32-entry reciprocal lookup table used by the output
+// division module: the input is normalized to m·2^e with m ∈ [1,2), the
+// table supplies 1/m at 5-bit mantissa resolution, and the exponent is
+// negated.
+type RecipUnit struct {
+	table [32]float64
+}
+
+// NewRecipUnit builds the reciprocal table at bin midpoints.
+func NewRecipUnit() *RecipUnit {
+	u := &RecipUnit{}
+	for i := range u.table {
+		m := 1 + (float64(i)+0.5)/32
+		u.table[i] = 1 / m
+	}
+	return u
+}
+
+// Recip approximates 1/x for x > 0. It panics on x <= 0: the only divisor
+// in the pipeline is the sum of exponentiated scores, which is positive by
+// construction, so a non-positive input indicates a simulator bug.
+func (u *RecipUnit) Recip(x float64) float64 {
+	if x <= 0 {
+		panic(fmt.Sprintf("fixed: reciprocal of non-positive %g", x))
+	}
+	exp := math.Floor(math.Log2(x))
+	m := x / math.Exp2(exp) // in [1, 2)
+	idx := int((m - 1) * 32)
+	if idx > 31 {
+		idx = 31
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return u.table[idx] * math.Exp2(-exp)
+}
+
+// RecipRelErrBound is the worst-case relative error of the reciprocal unit
+// (half a bin of the 5-bit mantissa table).
+const RecipRelErrBound = 1.0 / 64
+
+// SqrtUnit models the tabulate-and-multiply square-root scheme (Takagi; the
+// paper's refs [36], [81]): the input is normalized to m·4^t with m ∈ [1,4),
+// a 64-entry table supplies √m, and the result is the table value scaled by
+// 2^t — one lookup and one multiplication.
+type SqrtUnit struct {
+	table [64]float64
+}
+
+// NewSqrtUnit builds the √m table at bin midpoints over [1, 4).
+func NewSqrtUnit() *SqrtUnit {
+	u := &SqrtUnit{}
+	for i := range u.table {
+		m := 1 + 3*(float64(i)+0.5)/64
+		u.table[i] = math.Sqrt(m)
+	}
+	return u
+}
+
+// Sqrt approximates √x for x >= 0; Sqrt(0) is 0. Negative inputs panic —
+// the unit only ever sees K·K dot products, which are non-negative.
+func (u *SqrtUnit) Sqrt(x float64) float64 {
+	if x < 0 {
+		panic(fmt.Sprintf("fixed: sqrt of negative %g", x))
+	}
+	if x == 0 {
+		return 0
+	}
+	// Normalize to m·4^t with m in [1,4).
+	t := math.Floor(math.Log2(x) / 2)
+	m := x / math.Exp2(2*t)
+	if m >= 4 { // guard against floating rounding at binade edges
+		m /= 4
+		t++
+	}
+	if m < 1 {
+		m *= 4
+		t--
+	}
+	idx := int((m - 1) * 64 / 3)
+	if idx > 63 {
+		idx = 63
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return u.table[idx] * math.Exp2(t)
+}
+
+// SqrtRelErrBound is the worst-case relative error of the square-root unit:
+// half a bin of width 3/64 in m, and √ halves relative error.
+const SqrtRelErrBound = 3.0 / (64 * 2 * 2)

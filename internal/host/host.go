@@ -1,0 +1,111 @@
+// Package host models the integration of ELSA accelerators with a host
+// device (§IV-B of the paper): the host issues a command with the
+// key/query/value matrices and n, the accelerator runs, and the output
+// matrix comes back. When the host has scratchpad memory (a GPU or NN
+// accelerator), matrices are passed by reference and no copies are made;
+// over an interconnect, the matrix transfers cost real time.
+//
+// The package quantifies that design argument: it turns a link choice and
+// an operation shape into transfer time and integration overhead.
+package host
+
+import (
+	"fmt"
+
+	"elsa/internal/elsasim"
+)
+
+// Link is a host-accelerator data path.
+type Link struct {
+	Name string
+	// BandwidthBytesPerSec is the sustained transfer rate; zero means
+	// pass-by-reference (shared scratchpad, no copies).
+	BandwidthBytesPerSec float64
+	// LatencySec is the fixed per-transfer command/DMA setup cost.
+	LatencySec float64
+}
+
+// ByReference is the paper's preferred integration: the accelerator reads
+// the matrices directly from the host device's scratchpad (e.g. GPU shared
+// memory), so inputs cost nothing to "transfer".
+func ByReference() Link {
+	return Link{Name: "by-reference (shared scratchpad)"}
+}
+
+// PCIe3x16 models a PCIe 3.0 ×16 link at its practical ~12.8 GB/s with a
+// microsecond-class DMA setup.
+func PCIe3x16() Link {
+	return Link{Name: "PCIe 3.0 x16", BandwidthBytesPerSec: 12.8e9, LatencySec: 2e-6}
+}
+
+// NVLink2 models an NVLink 2.0 path at ~150 GB/s.
+func NVLink2() Link {
+	return Link{Name: "NVLink 2.0", BandwidthBytesPerSec: 150e9, LatencySec: 1e-6}
+}
+
+// TransferSeconds is the time to move the given bytes across the link.
+// A by-reference link always returns zero.
+func (l Link) TransferSeconds(bytes int) float64 {
+	if l.BandwidthBytesPerSec == 0 {
+		return 0
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencySec + float64(bytes)/l.BandwidthBytesPerSec
+}
+
+// OpBytes is the data volume of one self-attention op at the accelerator's
+// 9-bit Q(1,5,3) element format: the query, key and value matrices in and
+// the output matrix back (§IV-C(3)).
+func OpBytes(n, d int) int {
+	perMatrix := n * d * elsasim.MatrixElementBits / 8
+	return 4 * perMatrix
+}
+
+// Integration is the cost analysis of running one op across a link.
+type Integration struct {
+	Link Link
+	// ComputeSec is the accelerator's own run time.
+	ComputeSec float64
+	// TransferSec is the input+output movement time.
+	TransferSec float64
+}
+
+// Analyze combines a link, an op shape, and a simulated compute time.
+func Analyze(link Link, n, d int, computeSec float64) (Integration, error) {
+	if n < 1 || d < 1 {
+		return Integration{}, fmt.Errorf("host: invalid op shape %dx%d", n, d)
+	}
+	if computeSec < 0 {
+		return Integration{}, fmt.Errorf("host: negative compute time %g", computeSec)
+	}
+	return Integration{
+		Link:        link,
+		ComputeSec:  computeSec,
+		TransferSec: link.TransferSeconds(OpBytes(n, d)),
+	}, nil
+}
+
+// TotalSec is compute plus transfer (no overlap — the conservative bound;
+// double-buffered designs hide part of the transfer).
+func (i Integration) TotalSec() float64 { return i.ComputeSec + i.TransferSec }
+
+// Overhead is the fraction of total time spent moving data.
+func (i Integration) Overhead() float64 {
+	t := i.TotalSec()
+	if t == 0 {
+		return 0
+	}
+	return i.TransferSec / t
+}
+
+// EffectiveSpeedup rescales a compute-only speedup by the integration
+// overhead: speedup · (compute / total).
+func (i Integration) EffectiveSpeedup(computeOnlySpeedup float64) float64 {
+	t := i.TotalSec()
+	if t == 0 {
+		return computeOnlySpeedup
+	}
+	return computeOnlySpeedup * i.ComputeSec / t
+}

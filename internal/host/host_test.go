@@ -1,0 +1,125 @@
+package host
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpBytesPaperConfig(t *testing.T) {
+	// Four 36 KB matrices at n = 512, d = 64 (§IV-C(3)).
+	if got := OpBytes(512, 64); got != 4*36864 {
+		t.Errorf("OpBytes = %d, want %d", got, 4*36864)
+	}
+}
+
+func TestByReferenceIsFree(t *testing.T) {
+	l := ByReference()
+	if l.TransferSeconds(1<<30) != 0 {
+		t.Error("by-reference transfers must cost nothing")
+	}
+	in, err := Analyze(l, 512, 64, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Overhead() != 0 {
+		t.Errorf("by-reference overhead = %g, want 0", in.Overhead())
+	}
+	if in.EffectiveSpeedup(50) != 50 {
+		t.Error("by-reference must preserve the compute-only speedup")
+	}
+}
+
+func TestPCIeTransferTime(t *testing.T) {
+	l := PCIe3x16()
+	bytes := OpBytes(512, 64)
+	got := l.TransferSeconds(bytes)
+	want := 2e-6 + float64(bytes)/12.8e9
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("transfer = %g, want %g", got, want)
+	}
+	if l.TransferSeconds(0) != 0 {
+		t.Error("zero bytes should be free")
+	}
+}
+
+func TestLinkOrdering(t *testing.T) {
+	bytes := OpBytes(512, 64)
+	pcie := PCIe3x16().TransferSeconds(bytes)
+	nvlink := NVLink2().TransferSeconds(bytes)
+	if nvlink >= pcie {
+		t.Errorf("NVLink (%g) must beat PCIe (%g)", nvlink, pcie)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(PCIe3x16(), 0, 64, 1e-4); err == nil {
+		t.Error("bad n should error")
+	}
+	if _, err := Analyze(PCIe3x16(), 512, 0, 1e-4); err == nil {
+		t.Error("bad d should error")
+	}
+	if _, err := Analyze(PCIe3x16(), 512, 64, -1); err == nil {
+		t.Error("negative compute should error")
+	}
+}
+
+// The §IV-B design argument in numbers: at the paper's op size and the
+// accelerator's ~67 µs base run, PCIe transfers add noticeable overhead
+// while by-reference adds none — so ELSA is designed to share the host's
+// scratchpad.
+func TestIntegrationArgument(t *testing.T) {
+	const computeSec = 67e-6
+	pcie, err := Analyze(PCIe3x16(), 512, 64, computeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcie.Overhead() < 0.05 || pcie.Overhead() > 0.5 {
+		t.Errorf("PCIe overhead %g should be noticeable but not dominant", pcie.Overhead())
+	}
+	ref, err := Analyze(ByReference(), 512, 64, computeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalSec() != computeSec {
+		t.Error("by-reference total must equal compute")
+	}
+	if pcie.EffectiveSpeedup(57) >= 57 {
+		t.Error("PCIe must erode the compute-only speedup")
+	}
+}
+
+// Property: overhead is in [0, 1) and total >= compute for any link.
+func TestOverheadBoundsProperty(t *testing.T) {
+	f := func(nRaw, dRaw uint8, computeRaw uint16) bool {
+		n := 1 + int(nRaw)
+		d := 1 + int(dRaw)
+		compute := float64(computeRaw) * 1e-7
+		for _, l := range []Link{ByReference(), PCIe3x16(), NVLink2()} {
+			in, err := Analyze(l, n, d, compute)
+			if err != nil {
+				return false
+			}
+			if in.Overhead() < 0 || in.Overhead() >= 1.0000001 {
+				return false
+			}
+			if in.TotalSec() < compute {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadZeroTotal(t *testing.T) {
+	in := Integration{Link: ByReference()}
+	if in.Overhead() != 0 {
+		t.Error("zero-time integration overhead should be 0")
+	}
+	if in.EffectiveSpeedup(10) != 10 {
+		t.Error("zero-time integration keeps the speedup")
+	}
+}

@@ -1,0 +1,24 @@
+package kron_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elsa/internal/kron"
+)
+
+// The paper's hash-computation trick: a 64x64 orthogonal projection as a
+// Kronecker product of three 4x4 factors costs 768 multiplications
+// instead of 4096.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	p, err := kron.NewRandomOrthogonal(rng, kron.StandardShapes(64)...)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("multiplications:", p.MulCount())
+	fmt.Println("dense would cost:", kron.DenseMulCount(64, 64))
+	// Output:
+	// multiplications: 768
+	// dense would cost: 4096
+}

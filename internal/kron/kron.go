@@ -1,0 +1,207 @@
+// Package kron implements the Kronecker-product-structured orthogonal
+// projections ELSA uses for cheap hash computation (§III-C of the paper).
+//
+// A k×d projection matrix A expressed as a Kronecker product of F small
+// factors A = A₁ ⊗ A₂ ⊗ … ⊗ A_F can be applied to a vector with
+// successive mode products instead of a dense k·d multiply. For d = k = 64
+// the paper's two-factor (8×8 ⊗ 8×8) form costs 1024 = 2·d^{3/2}
+// multiplications and the three-factor (4×4)^⊗3 form costs 768 = 3·d^{4/3},
+// versus 4096 = d² dense.
+package kron
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elsa/internal/tensor"
+)
+
+// Kronecker returns the explicit Kronecker product A ⊗ B. Used for
+// verification and for expanding a structured projection to its dense
+// equivalent; the fast path never materializes it.
+func Kronecker(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for ia := 0; ia < a.Rows; ia++ {
+		for ja := 0; ja < a.Cols; ja++ {
+			av := a.At(ia, ja)
+			if av == 0 {
+				continue
+			}
+			for ib := 0; ib < b.Rows; ib++ {
+				row := out.Row(ia*b.Rows + ib)
+				brow := b.Row(ib)
+				base := ja * b.Cols
+				for jb, bv := range brow {
+					row[base+jb] += av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Projection is a k×d orthogonal projection represented as a Kronecker
+// product of small factors. It is immutable after construction and safe for
+// concurrent use.
+type Projection struct {
+	factors []*tensor.Matrix
+	inDims  []int // column counts of each factor; product == D
+	outDims []int // row counts of each factor; product == K
+	D, K    int
+}
+
+// NewProjection wraps the given factors (outermost first). Each factor may
+// be rectangular; the composite maps prod(cols) dimensions to prod(rows)
+// hash bits.
+func NewProjection(factors ...*tensor.Matrix) (*Projection, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("kron: need at least one factor")
+	}
+	p := &Projection{factors: factors, D: 1, K: 1}
+	for _, f := range factors {
+		p.inDims = append(p.inDims, f.Cols)
+		p.outDims = append(p.outDims, f.Rows)
+		p.D *= f.Cols
+		p.K *= f.Rows
+	}
+	return p, nil
+}
+
+// NewRandomOrthogonal builds a projection whose factors are independent
+// random matrices with orthonormal rows, so the composite also has
+// orthonormal rows (Kronecker products of orthogonal matrices are
+// orthogonal). shapes lists (rows, cols) per factor, outermost first; every
+// factor needs rows <= cols.
+func NewRandomOrthogonal(rng *rand.Rand, shapes ...[2]int) (*Projection, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("kron: need at least one factor shape")
+	}
+	factors := make([]*tensor.Matrix, len(shapes))
+	for i, s := range shapes {
+		f, err := tensor.RandomOrthonormal(rng, s[0], s[1])
+		if err != nil {
+			return nil, fmt.Errorf("kron: factor %d: %w", i, err)
+		}
+		factors[i] = f
+	}
+	return NewProjection(factors...)
+}
+
+// StandardShapes returns the paper's preferred factorization for a square
+// k = d projection: three equal factors when d is a perfect cube, two when
+// it is a perfect square, otherwise a single dense factor. For d = 64 this
+// yields the (4×4)^⊗3 configuration used by the hash computation module.
+func StandardShapes(d int) [][2]int {
+	if r, ok := intRoot(d, 3); ok {
+		return [][2]int{{r, r}, {r, r}, {r, r}}
+	}
+	if r, ok := intRoot(d, 2); ok {
+		return [][2]int{{r, r}, {r, r}}
+	}
+	return [][2]int{{d, d}}
+}
+
+func intRoot(n, p int) (int, bool) {
+	for r := 1; ; r++ {
+		v := 1
+		for i := 0; i < p; i++ {
+			v *= r
+		}
+		if v == n {
+			return r, true
+		}
+		if v > n {
+			return 0, false
+		}
+	}
+}
+
+// Factors returns the underlying factor matrices (outermost first). The
+// returned slice must not be mutated.
+func (p *Projection) Factors() []*tensor.Matrix { return p.factors }
+
+// Apply computes A·x via successive mode products. The input x is treated
+// as a row-major tensor of shape inDims; each factor contracts its mode.
+func (p *Projection) Apply(x []float32) []float32 {
+	if len(x) != p.D {
+		panic(fmt.Sprintf("kron: input length %d, want %d", len(x), p.D))
+	}
+	dims := make([]int, len(p.inDims))
+	copy(dims, p.inDims)
+	data := make([]float32, len(x))
+	copy(data, x)
+	for mode, f := range p.factors {
+		data = modeProduct(data, dims, mode, f)
+		dims[mode] = f.Rows
+	}
+	return data
+}
+
+// modeProduct contracts factor a against dimension `mode` of the row-major
+// tensor `data` with shape `dims`, returning the new flat tensor whose
+// mode-size becomes a.Rows.
+func modeProduct(data []float32, dims []int, mode int, a *tensor.Matrix) []float32 {
+	pre, post := 1, 1
+	for i := 0; i < mode; i++ {
+		pre *= dims[i]
+	}
+	for i := mode + 1; i < len(dims); i++ {
+		post *= dims[i]
+	}
+	cur := dims[mode]
+	if a.Cols != cur {
+		panic(fmt.Sprintf("kron: factor cols %d, mode size %d", a.Cols, cur))
+	}
+	out := make([]float32, pre*a.Rows*post)
+	for pi := 0; pi < pre; pi++ {
+		for r := 0; r < a.Rows; r++ {
+			arow := a.Row(r)
+			dst := out[(pi*a.Rows+r)*post : (pi*a.Rows+r+1)*post]
+			for c := 0; c < cur; c++ {
+				av := arow[c]
+				if av == 0 {
+					continue
+				}
+				src := data[(pi*cur+c)*post : (pi*cur+c+1)*post]
+				for q, sv := range src {
+					dst[q] += av * sv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulCount returns the exact number of scalar multiplications Apply performs
+// (ignoring zero-skipping), matching the paper's accounting: for the
+// three-factor (4×4)^⊗3 case on d = 64 this is 768 = 3·d^{4/3}.
+func (p *Projection) MulCount() int {
+	dims := make([]int, len(p.inDims))
+	copy(dims, p.inDims)
+	total := 0
+	for mode, f := range p.factors {
+		pre, post := 1, 1
+		for i := 0; i < mode; i++ {
+			pre *= dims[i]
+		}
+		for i := mode + 1; i < len(dims); i++ {
+			post *= dims[i]
+		}
+		total += pre * post * f.Rows * f.Cols
+		dims[mode] = f.Rows
+	}
+	return total
+}
+
+// DenseMulCount is the multiplication cost of the unstructured k×d projection.
+func DenseMulCount(k, d int) int { return k * d }
+
+// Dense expands the projection to its explicit k×d matrix by chaining
+// Kronecker products. Intended for tests and cross-validation only.
+func (p *Projection) Dense() *tensor.Matrix {
+	out := p.factors[0]
+	for _, f := range p.factors[1:] {
+		out = Kronecker(out, f)
+	}
+	return out
+}

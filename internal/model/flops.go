@@ -1,0 +1,75 @@
+package model
+
+// LayerFLOPs decomposes one transformer layer's inference cost at sequence
+// length n into the operator classes whose GPU efficiencies differ. Counts
+// are floating-point operations (a multiply-accumulate counts as two).
+type LayerFLOPs struct {
+	// QKVProj is the cost of the three input projections (Q, K, V).
+	QKVProj int64
+	// AttnScore is Q·Kᵀ across all heads.
+	AttnScore int64
+	// AttnSoftmax is the softmax over the n×n score matrix per head.
+	AttnSoftmax int64
+	// AttnWeighted is S′·V across all heads.
+	AttnWeighted int64
+	// OutProj is the attention output projection.
+	OutProj int64
+	// FFN is the two feed-forward matrix multiplications.
+	FFN int64
+}
+
+// Attention returns the FLOPs of the self-attention operator itself — the
+// part ELSA accelerates (score + softmax + weighted sum, §II-B).
+func (l LayerFLOPs) Attention() int64 { return l.AttnScore + l.AttnSoftmax + l.AttnWeighted }
+
+// Other returns the FLOPs of everything surrounding the attention operator.
+func (l LayerFLOPs) Other() int64 { return l.QKVProj + l.OutProj + l.FFN }
+
+// Total returns the layer's complete FLOP count.
+func (l LayerFLOPs) Total() int64 { return l.Attention() + l.Other() }
+
+// Layer computes the FLOP decomposition of one layer of s at sequence
+// length n with the feed-forward inner dimension divided by ffnDiv
+// (ffnDiv = 1 is the published model; ffnDiv = 4 models the reduced-FFN
+// variants of the paper's Fig 2 right-hand side). ffnDiv < 1 is treated
+// as 1.
+func (s Spec) Layer(n int, ffnDiv int) LayerFLOPs {
+	if ffnDiv < 1 {
+		ffnDiv = 1
+	}
+	nn := int64(n)
+	h := int64(s.Hidden)
+	f := int64(s.FFNDim) / int64(ffnDiv)
+	heads := int64(s.Heads)
+	d := int64(s.HeadDim)
+	return LayerFLOPs{
+		QKVProj:      2 * 3 * nn * h * h,
+		AttnScore:    2 * heads * nn * nn * d,
+		AttnSoftmax:  heads * nn * nn,
+		AttnWeighted: 2 * heads * nn * nn * d,
+		OutProj:      2 * nn * h * h,
+		FFN:          2 * 2 * nn * h * f,
+	}
+}
+
+// Model sums the decomposition over all layers.
+func (s Spec) Model(n int, ffnDiv int) LayerFLOPs {
+	l := s.Layer(n, ffnDiv)
+	mul := int64(s.Layers)
+	return LayerFLOPs{
+		QKVProj:      l.QKVProj * mul,
+		AttnScore:    l.AttnScore * mul,
+		AttnSoftmax:  l.AttnSoftmax * mul,
+		AttnWeighted: l.AttnWeighted * mul,
+		OutProj:      l.OutProj * mul,
+		FFN:          l.FFN * mul,
+	}
+}
+
+// AttentionFLOPShare returns the raw FLOP fraction of the attention
+// operator, before any hardware-efficiency weighting (the device package
+// converts FLOPs into time).
+func (s Spec) AttentionFLOPShare(n int, ffnDiv int) float64 {
+	m := s.Model(n, ffnDiv)
+	return float64(m.Attention()) / float64(m.Total())
+}

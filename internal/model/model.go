@@ -1,0 +1,111 @@
+// Package model defines the self-attention-oriented neural-network
+// configurations the paper evaluates (§V-A) — BERT-large, RoBERTa-large,
+// ALBERT-large, SASRec, BERT4Rec — and the per-operator FLOP decomposition
+// used to reproduce Fig 2 (the fraction of model runtime spent in
+// self-attention).
+//
+// Only the shapes matter for this reproduction: ELSA's behaviour depends on
+// n, d, the number of heads and layers, and the relative cost of the
+// surrounding projections and feed-forward blocks, not on trained weights.
+package model
+
+import "fmt"
+
+// Kind distinguishes task families, which choose different accuracy proxies
+// and dataset length distributions.
+type Kind int
+
+const (
+	// NLP models run question answering / classification workloads.
+	NLP Kind = iota
+	// Recommender models run sequential recommendation workloads.
+	Recommender
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NLP:
+		return "nlp"
+	case Recommender:
+		return "recommender"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is a transformer-style model configuration.
+type Spec struct {
+	Name    string
+	Kind    Kind
+	Layers  int
+	Heads   int
+	HeadDim int // d: per-head dimension (64 for all evaluated models)
+	Hidden  int // model width, Heads·HeadDim
+	FFNDim  int // feed-forward inner dimension
+	MaxSeq  int // n: maximum number of input entities
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.Layers < 1 || s.Heads < 1 || s.HeadDim < 1 || s.MaxSeq < 1 {
+		return fmt.Errorf("model %q: non-positive dimension", s.Name)
+	}
+	if s.Hidden != s.Heads*s.HeadDim {
+		return fmt.Errorf("model %q: hidden %d != heads %d × head dim %d",
+			s.Name, s.Hidden, s.Heads, s.HeadDim)
+	}
+	if s.FFNDim < 1 {
+		return fmt.Errorf("model %q: non-positive FFN dim", s.Name)
+	}
+	return nil
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(L=%d H=%d d=%d ffn=%d n=%d)",
+		s.Name, s.Layers, s.Heads, s.HeadDim, s.FFNDim, s.MaxSeq)
+}
+
+// The evaluated model zoo. Shapes follow the published configurations; all
+// use d = 64 per head, as the paper notes (§IV-E).
+var (
+	BERTLarge = Spec{
+		Name: "BERT-large", Kind: NLP,
+		Layers: 24, Heads: 16, HeadDim: 64, Hidden: 1024, FFNDim: 4096, MaxSeq: 512,
+	}
+	RoBERTaLarge = Spec{
+		Name: "RoBERTa-large", Kind: NLP,
+		Layers: 24, Heads: 16, HeadDim: 64, Hidden: 1024, FFNDim: 4096, MaxSeq: 512,
+	}
+	ALBERTLarge = Spec{
+		Name: "ALBERT-large", Kind: NLP,
+		Layers: 24, Heads: 16, HeadDim: 64, Hidden: 1024, FFNDim: 4096, MaxSeq: 512,
+	}
+	SASRec = Spec{
+		Name: "SASRec", Kind: Recommender,
+		Layers: 3, Heads: 1, HeadDim: 64, Hidden: 64, FFNDim: 256, MaxSeq: 200,
+	}
+	BERT4Rec = Spec{
+		Name: "BERT4Rec", Kind: Recommender,
+		Layers: 3, Heads: 2, HeadDim: 64, Hidden: 128, FFNDim: 512, MaxSeq: 200,
+	}
+)
+
+// All lists the evaluated models in the paper's presentation order.
+func All() []Spec {
+	return []Spec{BERTLarge, RoBERTaLarge, ALBERTLarge, SASRec, BERT4Rec}
+}
+
+// ByName looks a model up by its display name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// AttentionSublayers returns the total number of attention sub-layers
+// (layers × heads), e.g. 384 for BERT-large — the count the paper cites
+// when motivating automatic threshold learning (§III-E).
+func (s Spec) AttentionSublayers() int { return s.Layers * s.Heads }

@@ -1,0 +1,133 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.HeadDim != 64 {
+			t.Errorf("%s: head dim %d, paper uses 64 everywhere", s.Name, s.HeadDim)
+		}
+		if s.String() == "" {
+			t.Errorf("%s: empty String", s.Name)
+		}
+	}
+	if len(All()) != 5 {
+		t.Errorf("paper evaluates 5 models, got %d", len(All()))
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Layers: 0, Heads: 1, HeadDim: 1, Hidden: 1, FFNDim: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Heads: 2, HeadDim: 3, Hidden: 5, FFNDim: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Heads: 1, HeadDim: 1, Hidden: 1, FFNDim: 0, MaxSeq: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("BERT-large")
+	if err != nil || s.Layers != 24 {
+		t.Errorf("ByName failed: %v %v", s, err)
+	}
+	if _, err := ByName("GPT-9"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestBERTLargeSublayerCount(t *testing.T) {
+	// The paper cites BERT-large's 384 attention sub-layers (§III-E).
+	if got := BERTLarge.AttentionSublayers(); got != 384 {
+		t.Errorf("BERT-large sublayers = %d, want 384", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NLP.String() != "nlp" || Recommender.String() != "recommender" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestLayerFLOPsBERTLarge(t *testing.T) {
+	l := BERTLarge.Layer(512, 1)
+	// QKV: 2·3·512·1024² = 3.221 GFLOP.
+	if want := int64(2 * 3 * 512 * 1024 * 1024); l.QKVProj != want {
+		t.Errorf("QKVProj = %d, want %d", l.QKVProj, want)
+	}
+	// Attention score: 2·16·512²·64 = 0.537 GFLOP; weighted the same.
+	if want := int64(2 * 16 * 512 * 512 * 64); l.AttnScore != want || l.AttnWeighted != want {
+		t.Errorf("attention matmuls = %d/%d, want %d", l.AttnScore, l.AttnWeighted, want)
+	}
+	if want := int64(16 * 512 * 512); l.AttnSoftmax != want {
+		t.Errorf("softmax = %d, want %d", l.AttnSoftmax, want)
+	}
+	if want := int64(2 * 2 * 512 * 1024 * 4096); l.FFN != want {
+		t.Errorf("FFN = %d, want %d", l.FFN, want)
+	}
+	if l.Total() != l.Attention()+l.Other() {
+		t.Error("Total must equal Attention+Other")
+	}
+}
+
+func TestModelScalesLayer(t *testing.T) {
+	l := BERTLarge.Layer(512, 1)
+	m := BERTLarge.Model(512, 1)
+	if m.Total() != l.Total()*24 {
+		t.Errorf("Model total %d != 24×layer %d", m.Total(), l.Total()*24)
+	}
+}
+
+func TestFFNDivReducesOnlyFFN(t *testing.T) {
+	full := BERTLarge.Layer(512, 1)
+	quarter := BERTLarge.Layer(512, 4)
+	if quarter.FFN*4 != full.FFN {
+		t.Errorf("ffnDiv=4 should quarter FFN: %d vs %d", quarter.FFN, full.FFN)
+	}
+	if quarter.Attention() != full.Attention() || quarter.QKVProj != full.QKVProj {
+		t.Error("ffnDiv must not touch other operators")
+	}
+	if zero := BERTLarge.Layer(512, 0); zero.FFN != full.FFN {
+		t.Error("ffnDiv < 1 should clamp to 1")
+	}
+}
+
+// The quadratic-vs-linear scaling behind Fig 2: quadrupling the sequence
+// quadruples attention's relative weight versus the linear operators.
+func TestAttentionShareGrowsQuadratically(t *testing.T) {
+	base := BERTLarge.AttentionFLOPShare(512, 1)
+	long := BERTLarge.AttentionFLOPShare(2048, 1)
+	if long <= base {
+		t.Errorf("share must grow with n: %g -> %g", base, long)
+	}
+	// Reducing FFN dimension raises the attention share further.
+	reduced := BERTLarge.AttentionFLOPShare(2048, 4)
+	if reduced <= long {
+		t.Errorf("share must grow when FFN shrinks: %g -> %g", long, reduced)
+	}
+	if base <= 0 || base >= 1 || reduced >= 1 {
+		t.Errorf("shares out of range: %g %g", base, reduced)
+	}
+}
+
+// Recommendation models are attention-heavier relative to their tiny FFNs
+// at equal sequence occupancy.
+func TestAttentionShareAcrossModels(t *testing.T) {
+	for _, s := range All() {
+		share := s.AttentionFLOPShare(s.MaxSeq, 1)
+		if share <= 0 || share >= 1 {
+			t.Errorf("%s: share %g out of range", s.Name, share)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package plot is a minimal, dependency-free SVG chart renderer used to
+// draw the reproduction's figures (grouped bars for Fig 11/13, lines over
+// p for Fig 10) from the experiment rows. It intentionally supports only
+// what those figures need: grouped bar charts with optional log scale and
+// multi-series line charts, with axes, ticks and a legend.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette holds the series colors (colorblind-safe defaults).
+var palette = []string{"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB"}
+
+// Series is one named sequence of values.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart: one group per XLabel, one bar per
+// series within each group.
+type BarChart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// LogY plots log10(value); all values must be positive.
+	LogY          bool
+	Width, Height int
+}
+
+// LineChart plots Series over shared X coordinates.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Width  int
+	Height int
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 70
+)
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() (string, error) {
+	if len(c.XLabels) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: bar chart needs labels and series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d labels", s.Name, len(s.Values), len(c.XLabels))
+		}
+		if c.LogY {
+			for _, v := range s.Values {
+				if v <= 0 {
+					return "", fmt.Errorf("plot: log scale requires positive values (series %q)", s.Name)
+				}
+			}
+		}
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 900
+	}
+	if h == 0 {
+		h = 420
+	}
+	maxV := math.Inf(-1)
+	minV := 0.0
+	tf := func(v float64) float64 { return v }
+	if c.LogY {
+		tf = math.Log10
+		minV = math.Inf(1)
+	}
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if tf(v) > maxV {
+				maxV = tf(v)
+			}
+			if c.LogY && tf(v) < minV {
+				minV = tf(v)
+			}
+		}
+	}
+	if c.LogY {
+		minV = math.Floor(minV)
+		maxV = math.Ceil(maxV)
+	} else if maxV <= 0 {
+		maxV = 1
+	}
+
+	var b strings.Builder
+	svgHeader(&b, w, h, c.Title, c.YLabel)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	yPix := func(v float64) float64 {
+		return float64(marginTop) + plotH*(1-(tf(v)-minV)/(maxV-minV))
+	}
+	// Gridlines and y ticks.
+	ticks := 5
+	if c.LogY {
+		ticks = int(maxV - minV)
+		if ticks < 1 {
+			ticks = 1
+		}
+	}
+	for i := 0; i <= ticks; i++ {
+		tv := minV + (maxV-minV)*float64(i)/float64(ticks)
+		y := float64(marginTop) + plotH*(1-float64(i)/float64(ticks))
+		label := fmt.Sprintf("%.3g", tv)
+		if c.LogY {
+			label = fmt.Sprintf("%.3g", math.Pow(10, tv))
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11">%s</text>`,
+			marginLeft-6, y+4, label)
+	}
+	// Bars.
+	groupW := plotW / float64(len(c.XLabels))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, label := range c.XLabels {
+		gx := float64(marginLeft) + groupW*float64(gi)
+		for si, s := range c.Series {
+			x := gx + groupW*0.1 + barW*float64(si)
+			top := yPix(s.Values[gi])
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, top, barW*0.92, float64(marginTop)+plotH-top, palette[si%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="end" font-size="11" transform="rotate(-30 %.1f %d)">%s</text>`,
+			gx+groupW/2, h-marginBottom+16, gx+groupW/2, h-marginBottom+16, escape(label))
+	}
+	legend(&b, w, c.Series)
+	b.WriteString("</svg>")
+	return b.String(), nil
+}
+
+// SVG renders the line chart.
+func (c LineChart) SVG() (string, error) {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: line chart needs x values and series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.X) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d x points", s.Name, len(s.Values), len(c.X))
+		}
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 900
+	}
+	if h == 0 {
+		h = 420
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range c.X {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	var b strings.Builder
+	svgHeader(&b, w, h, c.Title, c.YLabel)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(x float64) float64 {
+		return float64(marginLeft) + plotW*(x-minX)/(maxX-minX)
+	}
+	py := func(v float64) float64 {
+		return float64(marginTop) + plotH*(1-(v-minY)/(maxY-minY))
+	}
+	for i := 0; i <= 5; i++ {
+		tv := minY + (maxY-minY)*float64(i)/5
+		y := py(tv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11">%.3g</text>`,
+			marginLeft-6, y+4, tv)
+	}
+	for _, x := range c.X {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11">%.3g</text>`,
+			px(x), h-marginBottom+16, x)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="12">%s</text>`,
+		marginLeft+int(plotW/2), h-marginBottom+38, escape(c.XLabel))
+	for si, s := range c.Series {
+		var pts []string
+		for i, v := range s.Values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(c.X[i]), py(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), palette[si%len(palette)])
+		for i, v := range s.Values {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				px(c.X[i]), py(v), palette[si%len(palette)])
+		}
+	}
+	legend(&b, w, c.Series)
+	b.WriteString("</svg>")
+	return b.String(), nil
+}
+
+func svgHeader(b *strings.Builder, w, h int, title, ylabel string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(b, `<text x="%d" y="22" text-anchor="middle" font-size="15" font-weight="bold">%s</text>`,
+		w/2, escape(title))
+	fmt.Fprintf(b, `<text x="16" y="%d" text-anchor="middle" font-size="12" transform="rotate(-90 16 %d)">%s</text>`,
+		h/2, h/2, escape(ylabel))
+}
+
+func legend(b *strings.Builder, w int, series []Series) {
+	x := marginLeft
+	y := 30
+	for si, s := range series {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+			x, y, palette[si%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`, x+14, y+9, escape(s.Name))
+		x += 14 + 8*len(s.Name) + 20
+		if x > w-150 {
+			x = marginLeft
+			y += 16
+		}
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

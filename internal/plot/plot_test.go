@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRenders(t *testing.T) {
+	c := BarChart{
+		Title:   "Fig 11a",
+		YLabel:  "normalized throughput",
+		XLabels: []string{"BERT/SQuAD", "SASRec/ML"},
+		Series: []Series{
+			{Name: "base", Values: []float64{18, 55}},
+			{Name: "conservative", Values: []float64{48, 120}},
+		},
+		LogY: true,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	// 2 groups x 2 series = 4 bars plus the background rect and legend
+	// swatches (2).
+	if got := strings.Count(svg, "<rect"); got != 1+4+2 {
+		t.Errorf("rect count = %d, want 7", got)
+	}
+	for _, want := range []string{"Fig 11a", "BERT/SQuAD", "conservative", "normalized throughput"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (BarChart{}).SVG(); err == nil {
+		t.Error("empty chart should error")
+	}
+	c := BarChart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{1}}},
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Error("length mismatch should error")
+	}
+	c2 := BarChart{
+		XLabels: []string{"a"},
+		Series:  []Series{{Name: "s", Values: []float64{0}}},
+		LogY:    true,
+	}
+	if _, err := c2.SVG(); err == nil {
+		t.Error("log scale with non-positive value should error")
+	}
+}
+
+func TestLineChartRenders(t *testing.T) {
+	c := LineChart{
+		Title:  "Fig 10",
+		XLabel: "p",
+		YLabel: "candidate fraction",
+		X:      []float64{0.5, 1, 2, 4, 8},
+		Series: []Series{
+			{Name: "mean", Values: []float64{0.35, 0.27, 0.19, 0.12, 0.08}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("missing polyline")
+	}
+	if got := strings.Count(svg, "<circle"); got != 5 {
+		t.Errorf("marker count = %d, want 5", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (LineChart{}).SVG(); err == nil {
+		t.Error("empty chart should error")
+	}
+	c := LineChart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "s", Values: []float64{1}}},
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := BarChart{
+		Title:   `a<b & "c"`,
+		XLabels: []string{"x"},
+		Series:  []Series{{Name: "s", Values: []float64{1}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Constant series and single x points must not divide by zero.
+	lc := LineChart{
+		X:      []float64{3},
+		Series: []Series{{Name: "s", Values: []float64{0}}},
+	}
+	if _, err := lc.SVG(); err != nil {
+		t.Fatal(err)
+	}
+	bc := BarChart{
+		XLabels: []string{"x"},
+		Series:  []Series{{Name: "s", Values: []float64{0}}},
+	}
+	if _, err := bc.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package srp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elsa/internal/stats"
+	"elsa/internal/tensor"
+)
+
+// DefaultBiasPercentile is the percentile of the raw estimator error the
+// paper subtracts so that the corrected estimator underestimates angles in
+// 80% of cases (§III-B).
+const DefaultBiasPercentile = 80
+
+// PaperBiasD64K64 is the θ_bias value the paper reports for d = k = 64.
+// Calibration in this package reproduces it to within a few thousandths.
+const PaperBiasD64K64 = 0.127
+
+// BiasCalibration summarizes a θ_bias calibration run.
+type BiasCalibration struct {
+	D, K       int
+	Percentile float64
+	Samples    int
+	// Bias is the percentile of (estimated − true) angle error.
+	Bias float64
+	// MeanAbsErr is the mean absolute raw estimation error, a quality
+	// figure for the hash configuration.
+	MeanAbsErr float64
+	// UnderestimateRate is the fraction of samples for which the corrected
+	// estimate is at or below the true angle; should approximate
+	// Percentile/100 by construction.
+	UnderestimateRate float64
+}
+
+func (c BiasCalibration) String() string {
+	return fmt.Sprintf("d=%d k=%d p%.0f bias=%.4f meanAbsErr=%.4f underEst=%.3f",
+		c.D, c.K, c.Percentile, c.Bias, c.MeanAbsErr, c.UnderestimateRate)
+}
+
+// CalibrateBias reproduces the paper's θ_bias experiment: draw pairs of
+// standard random normal vectors, compare the SRP angle estimate against the
+// true angle, and return the given percentile of the signed error. A fresh
+// hasher is drawn per pair block so the statistic covers hyperplane
+// randomness as well as input randomness.
+func CalibrateBias(d, k int, kind ProjectionKind, percentile float64, samples int, rng *rand.Rand) (BiasCalibration, error) {
+	if samples < 2 {
+		return BiasCalibration{}, fmt.Errorf("srp: need at least 2 samples, got %d", samples)
+	}
+	const pairsPerHasher = 64
+	errs := make([]float64, 0, samples)
+	absSum := 0.0
+	var hasher *Hasher
+	for i := 0; i < samples; i++ {
+		if i%pairsPerHasher == 0 {
+			var err error
+			hasher, err = NewHasher(d, k, kind, rng)
+			if err != nil {
+				return BiasCalibration{}, err
+			}
+		}
+		x := randVec(rng, d)
+		y := randVec(rng, d)
+		trueAngle := tensor.Angle(x, y)
+		est := EstimateAngle(Hamming(hasher.Hash(x), hasher.Hash(y)), k)
+		e := est - trueAngle
+		errs = append(errs, e)
+		if e < 0 {
+			absSum -= e
+		} else {
+			absSum += e
+		}
+	}
+	bias, err := stats.Percentile(errs, percentile)
+	if err != nil {
+		return BiasCalibration{}, err
+	}
+	under := 0
+	for _, e := range errs {
+		if e-bias <= 0 {
+			under++
+		}
+	}
+	return BiasCalibration{
+		D:                 d,
+		K:                 k,
+		Percentile:        percentile,
+		Samples:           samples,
+		Bias:              bias,
+		MeanAbsErr:        absSum / float64(samples),
+		UnderestimateRate: float64(under) / float64(samples),
+	}, nil
+}
+
+func randVec(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}

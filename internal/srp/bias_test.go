@@ -1,0 +1,87 @@
+package srp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrateBiasValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := CalibrateBias(8, 8, Orthogonal, 80, 1, rng); err == nil {
+		t.Error("too few samples should error")
+	}
+	if _, err := CalibrateBias(0, 8, Orthogonal, 80, 10, rng); err == nil {
+		t.Error("bad dims should propagate hasher error")
+	}
+	if _, err := CalibrateBias(8, 8, Orthogonal, 200, 10, rng); err == nil {
+		t.Error("percentile out of range should error")
+	}
+}
+
+// The headline number: at d = k = 64, the 80th-percentile bias should land
+// near the paper's 0.127.
+func TestCalibrateBiasMatchesPaperValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cal, err := CalibrateBias(64, 64, Orthogonal, DefaultBiasPercentile, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.Bias-PaperBiasD64K64) > 0.03 {
+		t.Errorf("bias = %g, paper reports %g (tolerance 0.03)", cal.Bias, PaperBiasD64K64)
+	}
+	if cal.MeanAbsErr <= 0 {
+		t.Error("mean abs error should be positive")
+	}
+	if cal.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+// By construction, subtracting the q-th percentile error should make the
+// corrected estimator underestimate ~q% of the time on the calibration set.
+func TestUnderestimateRateMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range []float64{50, 80, 95} {
+		cal, err := CalibrateBias(32, 32, Orthogonal, q, 2000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cal.UnderestimateRate-q/100) > 0.03 {
+			t.Errorf("q=%g: underestimate rate %g, want ~%g", q, cal.UnderestimateRate, q/100)
+		}
+	}
+}
+
+// Longer hashes estimate angles more accurately, so the bias needed shrinks.
+func TestBiasShrinksWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cal16, err := CalibrateBias(64, 16, Orthogonal, 80, 2500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal128, err := CalibrateBias(64, 128, Orthogonal, 80, 2500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal128.Bias >= cal16.Bias {
+		t.Errorf("bias should shrink with k: k=16 %g vs k=128 %g", cal16.Bias, cal128.Bias)
+	}
+	if cal128.MeanAbsErr >= cal16.MeanAbsErr {
+		t.Errorf("mean abs error should shrink with k: %g vs %g", cal16.MeanAbsErr, cal128.MeanAbsErr)
+	}
+}
+
+func TestCalibrationDeterministicForSeed(t *testing.T) {
+	a, err := CalibrateBias(16, 16, Orthogonal, 80, 500, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CalibrateBias(16, 16, Orthogonal, 80, 500, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bias != b.Bias {
+		t.Error("same seed must reproduce the same calibration")
+	}
+}

@@ -1,0 +1,97 @@
+// Package srp implements sign random projection (SRP) binary hashing as used
+// by ELSA (§III-B, §III-C of the paper): k-bit binary embeddings of
+// d-dimensional vectors whose Hamming distance is an unbiased estimator of
+// angular distance, the orthogonalized variant that lowers estimation error,
+// and the θ_bias correction that makes the corrected estimator underestimate
+// angles a chosen fraction of the time.
+package srp
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BitVec is a fixed-width binary hash packed into 64-bit words. Bit i of the
+// hash lives at word i/64, bit position i%64.
+type BitVec struct {
+	K     int // number of meaningful bits
+	Words []uint64
+}
+
+// NewBitVec allocates a zeroed k-bit vector. It panics if k < 1: hash width
+// is a static configuration constant.
+func NewBitVec(k int) BitVec {
+	if k < 1 {
+		panic(fmt.Sprintf("srp: invalid hash width %d", k))
+	}
+	return BitVec{K: k, Words: make([]uint64, (k+63)/64)}
+}
+
+// SetBit sets bit i to v.
+func (b BitVec) SetBit(i int, v bool) {
+	if i < 0 || i >= b.K {
+		panic(fmt.Sprintf("srp: bit index %d out of range [0,%d)", i, b.K))
+	}
+	if v {
+		b.Words[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		b.Words[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Bit reports whether bit i is set.
+func (b BitVec) Bit(i int) bool {
+	if i < 0 || i >= b.K {
+		panic(fmt.Sprintf("srp: bit index %d out of range [0,%d)", i, b.K))
+	}
+	return b.Words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// OnesCount returns the population count of the vector.
+func (b BitVec) OnesCount() int {
+	n := 0
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Hamming returns the Hamming distance between two equal-width hashes. This
+// is the accelerator's candidate-selection primitive: a k-bit XOR followed
+// by an adder tree (§IV-C), modeled here as XOR + POPCNT per word.
+func Hamming(a, b BitVec) int {
+	if a.K != b.K {
+		panic(fmt.Sprintf("srp: hamming width mismatch %d vs %d", a.K, b.K))
+	}
+	d := 0
+	for i, w := range a.Words {
+		d += bits.OnesCount64(w ^ b.Words[i])
+	}
+	return d
+}
+
+// String renders the bits most-significant-last (bit 0 first), e.g. "0110".
+func (b BitVec) String() string {
+	buf := make([]byte, b.K)
+	for i := 0; i < b.K; i++ {
+		if b.Bit(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Equal reports whether two bit vectors have identical width and contents.
+func (b BitVec) Equal(o BitVec) bool {
+	if b.K != o.K {
+		return false
+	}
+	for i, w := range b.Words {
+		if w != o.Words[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package srp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBitVec(t *testing.T) {
+	b := NewBitVec(64)
+	if len(b.Words) != 1 {
+		t.Errorf("64-bit vector should use 1 word, got %d", len(b.Words))
+	}
+	b = NewBitVec(65)
+	if len(b.Words) != 2 {
+		t.Errorf("65-bit vector should use 2 words, got %d", len(b.Words))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewBitVec(0) should panic")
+			}
+		}()
+		NewBitVec(0)
+	}()
+}
+
+func TestSetBitGetBit(t *testing.T) {
+	b := NewBitVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Bit(i) {
+			t.Errorf("bit %d should start clear", i)
+		}
+		b.SetBit(i, true)
+		if !b.Bit(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+		b.SetBit(i, false)
+		if b.Bit(i) {
+			t.Errorf("bit %d should be cleared", i)
+		}
+	}
+}
+
+func TestBitBounds(t *testing.T) {
+	b := NewBitVec(8)
+	for _, f := range []func(){
+		func() { b.SetBit(8, true) },
+		func() { b.SetBit(-1, true) },
+		func() { b.Bit(8) },
+		func() { b.Bit(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range bit access should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	b := NewBitVec(100)
+	if b.OnesCount() != 0 {
+		t.Error("fresh vector should have no ones")
+	}
+	for i := 0; i < 100; i += 3 {
+		b.SetBit(i, true)
+	}
+	if got := b.OnesCount(); got != 34 {
+		t.Errorf("OnesCount = %d, want 34", got)
+	}
+}
+
+func TestHammingKnown(t *testing.T) {
+	a := NewBitVec(8)
+	b := NewBitVec(8)
+	a.SetBit(0, true)
+	a.SetBit(3, true)
+	b.SetBit(3, true)
+	b.SetBit(7, true)
+	if got := Hamming(a, b); got != 2 {
+		t.Errorf("Hamming = %d, want 2", got)
+	}
+}
+
+func TestHammingMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	Hamming(NewBitVec(8), NewBitVec(9))
+}
+
+func TestStringAndEqual(t *testing.T) {
+	b := NewBitVec(4)
+	b.SetBit(1, true)
+	if b.String() != "0100" {
+		t.Errorf("String = %q", b.String())
+	}
+	c := NewBitVec(4)
+	c.SetBit(1, true)
+	if !b.Equal(c) {
+		t.Error("equal vectors reported unequal")
+	}
+	c.SetBit(0, true)
+	if b.Equal(c) {
+		t.Error("different vectors reported equal")
+	}
+	if b.Equal(NewBitVec(5)) {
+		t.Error("different widths reported equal")
+	}
+}
+
+// Property: Hamming is a metric — symmetric, zero iff equal (on random
+// vectors), and satisfies the triangle inequality.
+func TestHammingMetricProperty(t *testing.T) {
+	gen := func(rng *rand.Rand, k int) BitVec {
+		b := NewBitVec(k)
+		for i := 0; i < k; i++ {
+			if rng.Intn(2) == 1 {
+				b.SetBit(i, true)
+			}
+		}
+		return b
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(200)
+		a, b, c := gen(rng, k), gen(rng, k), gen(rng, k)
+		if Hamming(a, b) != Hamming(b, a) {
+			return false
+		}
+		if Hamming(a, a) != 0 {
+			return false
+		}
+		if (Hamming(a, b) == 0) != a.Equal(b) {
+			return false
+		}
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hamming distance equals popcount of the XOR computed naively
+// bit by bit — mirrors the accelerator's XOR + adder tree.
+func TestHammingMatchesBitwiseXOR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(130)
+		a, b := NewBitVec(k), NewBitVec(k)
+		for i := 0; i < k; i++ {
+			a.SetBit(i, rng.Intn(2) == 1)
+			b.SetBit(i, rng.Intn(2) == 1)
+		}
+		naive := 0
+		for i := 0; i < k; i++ {
+			if a.Bit(i) != b.Bit(i) {
+				naive++
+			}
+		}
+		return Hamming(a, b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

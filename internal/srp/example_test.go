@@ -1,0 +1,30 @@
+package srp_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/srp"
+)
+
+// Hash two nearby vectors and estimate their angle from the Hamming
+// distance — the primitive behind ELSA's candidate filter.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	h, err := srp.NewHasher(64, 64, srp.Orthogonal, rng)
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float32, 64)
+	y := make([]float32, 64)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		y[i] = x[i] + 0.2*float32(rng.NormFloat64()) // ~11 degrees away
+	}
+	ham := srp.Hamming(h.Hash(x), h.Hash(y))
+	est := srp.EstimateAngle(ham, 64)
+	fmt.Println("estimate within 15 degrees of truth:", math.Abs(est) < 15*math.Pi/180+0.3)
+	// Output:
+	// estimate within 15 degrees of truth: true
+}

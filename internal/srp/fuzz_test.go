@@ -1,0 +1,55 @@
+package srp
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// bitVecFromBytes builds a k-bit vector from fuzz bytes.
+func bitVecFromBytes(k int, data []byte) BitVec {
+	b := NewBitVec(k)
+	for i := 0; i < k; i++ {
+		if i/8 < len(data) && data[i/8]&(1<<(i%8)) != 0 {
+			b.SetBit(i, true)
+		}
+	}
+	return b
+}
+
+// FuzzHamming checks metric invariants on arbitrary bit patterns.
+func FuzzHamming(f *testing.F) {
+	f.Add(uint8(64), []byte{0xFF, 0x00}, []byte{0x0F, 0xF0})
+	f.Add(uint8(1), []byte{1}, []byte{0})
+	f.Add(uint8(130), []byte{}, []byte{0xAA})
+	f.Fuzz(func(t *testing.T, kRaw uint8, a, b []byte) {
+		k := 1 + int(kRaw)
+		x := bitVecFromBytes(k, a)
+		y := bitVecFromBytes(k, b)
+		d := Hamming(x, y)
+		if d < 0 || d > k {
+			t.Fatalf("Hamming = %d outside [0, %d]", d, k)
+		}
+		if Hamming(y, x) != d {
+			t.Fatal("Hamming not symmetric")
+		}
+		if (d == 0) != x.Equal(y) {
+			t.Fatal("zero distance iff equal violated")
+		}
+		// Cross-check against per-word popcount.
+		want := 0
+		for i, w := range x.Words {
+			want += bits.OnesCount64(w ^ y.Words[i])
+		}
+		if d != want {
+			t.Fatalf("Hamming = %d, popcount cross-check %d", d, want)
+		}
+		// Angle estimates stay in [0, π+ε] and similarity respects the
+		// norm bound.
+		if a := EstimateAngle(d, k); a < 0 || a > 3.1416 {
+			t.Fatalf("EstimateAngle = %g out of range", a)
+		}
+		if s := ApproxSimilarity(d, k, 0.127, 2.0); s > 2.0 || s < -2.0 {
+			t.Fatalf("ApproxSimilarity = %g violates |s| <= norm", s)
+		}
+	})
+}

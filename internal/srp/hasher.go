@@ -1,0 +1,140 @@
+package srp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/tensor"
+)
+
+// ProjectionKind selects how the k random hyperplanes are generated.
+type ProjectionKind int
+
+const (
+	// Gaussian uses plain i.i.d. N(0,1) rows — classic SRP (Charikar).
+	Gaussian ProjectionKind = iota
+	// Orthogonal runs modified Gram-Schmidt over Gaussian rows, the variant
+	// ELSA adopts (§III-B) because orthogonal hyperplanes reduce the
+	// variance of the angular estimate. When k > d the rows are generated
+	// in batches of at most d orthogonal vectors (super-bit LSH, ref [40]).
+	Orthogonal
+)
+
+func (p ProjectionKind) String() string {
+	switch p {
+	case Gaussian:
+		return "gaussian"
+	case Orthogonal:
+		return "orthogonal"
+	default:
+		return fmt.Sprintf("ProjectionKind(%d)", int(p))
+	}
+}
+
+// Hasher maps d-dimensional float32 vectors to k-bit binary hashes by sign
+// random projection. A Hasher is immutable after construction and safe for
+// concurrent use.
+type Hasher struct {
+	D, K int
+	Kind ProjectionKind
+	// Proj is the k×d projection matrix whose row signs define the hash
+	// bits. Exposed read-only so the Kronecker-structured hash path and the
+	// hardware simulator can validate against the dense reference.
+	Proj *tensor.Matrix
+}
+
+// NewHasher builds a hasher with k hyperplanes in d dimensions drawn from
+// rng. For Orthogonal kind with k > d, ceil(k/d) independent orthonormal
+// batches are stacked.
+func NewHasher(d, k int, kind ProjectionKind, rng *rand.Rand) (*Hasher, error) {
+	if d < 1 || k < 1 {
+		return nil, fmt.Errorf("srp: invalid dimensions d=%d k=%d", d, k)
+	}
+	proj := tensor.New(k, d)
+	switch kind {
+	case Gaussian:
+		for i := range proj.Data {
+			proj.Data[i] = float32(rng.NormFloat64())
+		}
+	case Orthogonal:
+		for start := 0; start < k; start += d {
+			rows := d
+			if start+rows > k {
+				rows = k - start
+			}
+			batch, err := tensor.RandomOrthonormal(rng, rows, d)
+			if err != nil {
+				return nil, fmt.Errorf("srp: orthogonal batch: %w", err)
+			}
+			copy(proj.Data[start*d:(start+rows)*d], batch.Data)
+		}
+	default:
+		return nil, fmt.Errorf("srp: unknown projection kind %d", kind)
+	}
+	return &Hasher{D: d, K: k, Kind: kind, Proj: proj}, nil
+}
+
+// Hash computes the k-bit sign hash of x: bit i is 1 iff row_i(Proj)·x >= 0.
+func (h *Hasher) Hash(x []float32) BitVec {
+	if len(x) != h.D {
+		panic(fmt.Sprintf("srp: hash input dim %d, want %d", len(x), h.D))
+	}
+	out := NewBitVec(h.K)
+	for i := 0; i < h.K; i++ {
+		if tensor.Dot(h.Proj.Row(i), x) >= 0 {
+			out.SetBit(i, true)
+		}
+	}
+	return out
+}
+
+// HashFromProjection packs an already-projected k-vector into sign bits.
+// The Kronecker fast path (internal/kron) produces the projected vector with
+// fewer multiplications; the sign-extraction step is identical.
+func HashFromProjection(projected []float32) BitVec {
+	out := NewBitVec(len(projected))
+	for i, v := range projected {
+		if v >= 0 {
+			out.SetBit(i, true)
+		}
+	}
+	return out
+}
+
+// HashMatrix hashes every row of m, the preprocessing step applied to the
+// key matrix.
+func (h *Hasher) HashMatrix(m *tensor.Matrix) []BitVec {
+	if m.Cols != h.D {
+		panic(fmt.Sprintf("srp: matrix cols %d, want %d", m.Cols, h.D))
+	}
+	out := make([]BitVec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = h.Hash(m.Row(i))
+	}
+	return out
+}
+
+// EstimateAngle converts a Hamming distance into the paper's angular
+// estimate θ ≈ π/k · hamming(h(x), h(y)).
+func EstimateAngle(hamming, k int) float64 {
+	return math.Pi / float64(k) * float64(hamming)
+}
+
+// CorrectedAngle applies the θ_bias subtraction with clamping at zero:
+// max(0, π/k·hamming − bias). With bias chosen as the q-th percentile of the
+// raw estimator error, the corrected estimate underestimates the true angle
+// in q% of cases, which biases the filter toward keeping keys (§III-B).
+func CorrectedAngle(hamming, k int, bias float64) float64 {
+	a := EstimateAngle(hamming, k) - bias
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// ApproxSimilarity is the paper's query-normalized similarity estimate:
+// ‖K_y‖ · cos(max(0, π/k·hamming − θ_bias)).
+func ApproxSimilarity(hamming, k int, bias, keyNorm float64) float64 {
+	return keyNorm * math.Cos(CorrectedAngle(hamming, k, bias))
+}

@@ -1,0 +1,299 @@
+package srp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsa/internal/tensor"
+)
+
+func TestNewHasherValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewHasher(0, 8, Gaussian, rng); err == nil {
+		t.Error("d=0 should error")
+	}
+	if _, err := NewHasher(8, 0, Gaussian, rng); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewHasher(8, 8, ProjectionKind(99), rng); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestProjectionKindString(t *testing.T) {
+	if Gaussian.String() != "gaussian" || Orthogonal.String() != "orthogonal" {
+		t.Error("kind names wrong")
+	}
+	if ProjectionKind(7).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestOrthogonalHasherRowsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h, err := NewHasher(64, 64, Orthogonal, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.IsOrthonormalRows(h.Proj, 1e-4) {
+		t.Error("orthogonal hasher rows must be orthonormal")
+	}
+}
+
+func TestSuperBitBatchesForKGreaterThanD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, k := 16, 40 // batches of 16, 16, 8
+	h, err := NewHasher(d, k, Orthogonal, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Proj.Rows != k || h.Proj.Cols != d {
+		t.Fatalf("proj shape %dx%d", h.Proj.Rows, h.Proj.Cols)
+	}
+	// Each batch must be internally orthonormal.
+	for start := 0; start < k; start += d {
+		rows := d
+		if start+rows > k {
+			rows = k - start
+		}
+		batch := tensor.New(rows, d)
+		copy(batch.Data, h.Proj.Data[start*d:(start+rows)*d])
+		if !tensor.IsOrthonormalRows(batch, 1e-4) {
+			t.Errorf("batch at %d not orthonormal", start)
+		}
+	}
+}
+
+func TestHashSignSemantics(t *testing.T) {
+	// Construct a deterministic hasher by overwriting the projection.
+	rng := rand.New(rand.NewSource(4))
+	h, err := NewHasher(2, 2, Gaussian, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tensor.FromRows([][]float32{{1, 0}, {0, -1}})
+	h.Proj = p
+	got := h.Hash([]float32{3, 5})
+	// row0·x = 3 >= 0 -> bit0 = 1; row1·x = -5 < 0 -> bit1 = 0.
+	if !got.Bit(0) || got.Bit(1) {
+		t.Errorf("hash = %s, want 10", got)
+	}
+	// Zero dot product counts as set (sign(x) = 1 if x >= 0).
+	got = h.Hash([]float32{0, 0})
+	if !got.Bit(0) || !got.Bit(1) {
+		t.Errorf("hash of zero vector = %s, want 11", got)
+	}
+}
+
+func TestHashDimPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h, _ := NewHasher(4, 4, Gaussian, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input dim should panic")
+		}
+	}()
+	h.Hash([]float32{1, 2})
+}
+
+func TestHashMatrixMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h, _ := NewHasher(8, 16, Orthogonal, rng)
+	m := tensor.RandomNormal(rng, 5, 8)
+	hashes := h.HashMatrix(m)
+	if len(hashes) != 5 {
+		t.Fatalf("got %d hashes", len(hashes))
+	}
+	for i := range hashes {
+		if !hashes[i].Equal(h.Hash(m.Row(i))) {
+			t.Errorf("row %d hash mismatch", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong matrix width should panic")
+			}
+		}()
+		h.HashMatrix(tensor.New(3, 7))
+	}()
+}
+
+func TestHashFromProjectionMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, _ := NewHasher(8, 8, Orthogonal, rng)
+	x := make([]float32, 8)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	projected := h.Proj.MulVec(x)
+	if !HashFromProjection(projected).Equal(h.Hash(x)) {
+		t.Error("HashFromProjection must agree with Hash")
+	}
+}
+
+func TestEstimateAngleIdentityAndOpposite(t *testing.T) {
+	if EstimateAngle(0, 64) != 0 {
+		t.Error("zero hamming is zero angle")
+	}
+	if math.Abs(EstimateAngle(64, 64)-math.Pi) > 1e-12 {
+		t.Error("full hamming is pi")
+	}
+	if math.Abs(EstimateAngle(32, 64)-math.Pi/2) > 1e-12 {
+		t.Error("half hamming is pi/2")
+	}
+}
+
+func TestCorrectedAngleClampsAtZero(t *testing.T) {
+	if CorrectedAngle(0, 64, 0.127) != 0 {
+		t.Error("corrected angle must clamp at zero")
+	}
+	want := math.Pi/64*10 - 0.127
+	if got := CorrectedAngle(10, 64, 0.127); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CorrectedAngle = %g, want %g", got, want)
+	}
+}
+
+func TestApproxSimilarityMonotoneInHamming(t *testing.T) {
+	prev := math.Inf(1)
+	for h := 0; h <= 64; h++ {
+		s := ApproxSimilarity(h, 64, 0.127, 2.5)
+		if s > prev+1e-12 {
+			t.Fatalf("similarity must be non-increasing in hamming (h=%d)", h)
+		}
+		prev = s
+	}
+	// At hamming 0 the similarity should be the full key norm.
+	if got := ApproxSimilarity(0, 64, 0.127, 2.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("similarity at hamming 0 = %g, want 2.5", got)
+	}
+}
+
+// Statistical property: the SRP estimate is close to unbiased — over many
+// random pairs the mean signed error is near zero.
+func TestSRPEstimatorNearUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const d, k, pairs = 32, 256, 400
+	sum := 0.0
+	for i := 0; i < pairs; i++ {
+		h, err := NewHasher(d, k, Gaussian, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y := randVec(rng, d), randVec(rng, d)
+		sum += EstimateAngle(Hamming(h.Hash(x), h.Hash(y)), k) - tensor.Angle(x, y)
+	}
+	if mean := sum / pairs; math.Abs(mean) > 0.02 {
+		t.Errorf("mean signed error = %g, want ~0", mean)
+	}
+}
+
+// Statistical property from the paper: orthogonal projections estimate
+// angles with lower error than plain Gaussian ones.
+func TestOrthogonalBeatsGaussianError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	meanAbs := func(kind ProjectionKind) float64 {
+		sum := 0.0
+		const pairs = 600
+		for i := 0; i < pairs; i++ {
+			h, err := NewHasher(64, 64, kind, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := randVec(rng, 64), randVec(rng, 64)
+			e := EstimateAngle(Hamming(h.Hash(x), h.Hash(y)), 64) - tensor.Angle(x, y)
+			sum += math.Abs(e)
+		}
+		return sum / pairs
+	}
+	g := meanAbs(Gaussian)
+	o := meanAbs(Orthogonal)
+	if o >= g {
+		t.Errorf("orthogonal mean abs error %g should beat gaussian %g", o, g)
+	}
+}
+
+// Property: identical vectors always hash identically, so hamming 0.
+func TestIdenticalVectorsHashEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHasher(16, 32, Orthogonal, rng)
+		if err != nil {
+			return false
+		}
+		x := randVec(rng, 16)
+		return Hamming(h.Hash(x), h.Hash(x)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hashing is scale-invariant for positive scales — SRP depends
+// only on direction.
+func TestHashScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHasher(8, 24, Orthogonal, rng)
+		if err != nil {
+			return false
+		}
+		x := randVec(rng, 8)
+		scaled := make([]float32, len(x))
+		s := float32(0.01 + rng.Float64()*100)
+		for i := range x {
+			scaled[i] = x[i] * s
+		}
+		return h.Hash(x).Equal(h.Hash(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: antipodal vectors hash to complementary bits (hamming == k)
+// whenever no projection lands exactly on zero.
+func TestAntipodalVectorsComplementary(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h, _ := NewHasher(8, 32, Orthogonal, rng)
+	x := randVec(rng, 8)
+	neg := make([]float32, len(x))
+	for i := range x {
+		neg[i] = -x[i]
+	}
+	if got := Hamming(h.Hash(x), h.Hash(neg)); got != 32 {
+		t.Errorf("antipodal hamming = %d, want 32", got)
+	}
+}
+
+// Statistical property: the raw estimator's standard deviation tracks the
+// binomial theory sqrt(θ(π−θ)/k)·(π/k scaling): each hash bit differs
+// with probability θ/π independently, so hamming ~ Binomial(k, θ/π) and
+// std(θ̂) = π·sqrt(p(1-p)/k) with p = θ/π.
+func TestEstimatorStdMatchesBinomialTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const d, k, pairs = 32, 64, 1200
+	var sumSq, sumTheory float64
+	n := 0
+	for i := 0; i < pairs; i++ {
+		h, err := NewHasher(d, k, Gaussian, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y := randVec(rng, d), randVec(rng, d)
+		theta := tensor.Angle(x, y)
+		est := EstimateAngle(Hamming(h.Hash(x), h.Hash(y)), k)
+		e := est - theta
+		sumSq += e * e
+		p := theta / math.Pi
+		sumTheory += math.Pi * math.Pi * p * (1 - p) / k
+		n++
+	}
+	measured := math.Sqrt(sumSq / float64(n))
+	theory := math.Sqrt(sumTheory / float64(n))
+	if rel := math.Abs(measured-theory) / theory; rel > 0.12 {
+		t.Errorf("estimator std %g vs binomial theory %g (rel %g)", measured, theory, rel)
+	}
+}

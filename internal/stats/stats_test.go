@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %g, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(g, 10, 1e-9) {
+		t.Errorf("GeoMean(1,100) = %g, want 10", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) should error")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("GeoMean with negative should error")
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGeoMean should panic on invalid input")
+		}
+	}()
+	MustGeoMean([]float64{-1})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{40, 29}, // interpolated: rank 1.6 -> 20 + 0.6*(35-20)
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile of empty should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile out of range should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should error")
+	}
+	one, err := Percentile([]float64{7}, 80)
+	if err != nil || one != 7 {
+		t.Errorf("Percentile singleton = %g, %v; want 7, nil", one, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -2, 8, 0}
+	if Min(xs) != -2 {
+		t.Errorf("Min = %g", Min(xs))
+	}
+	if Max(xs) != 8 {
+		t.Errorf("Max = %g", Max(xs))
+	}
+	if Sum(xs) != 9 {
+		t.Errorf("Sum = %g", Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +/-Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -1, 0, 1.9 in bin 0; 2 in bin 1; 5 in bin 2; 9.9, 10, 42 in bin 4.
+	want := []int{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if !almostEq(h.Fraction(0), 3.0/8, 1e-12) {
+		t.Errorf("Fraction(0) = %g", h.Fraction(0))
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %g", h.BinCenter(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}
+
+// Property: mean lies within [min, max] for any non-empty sample.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in q.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		qa := float64(a) / 255 * 100
+		qb := float64(b) / 255 * 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		pa, err1 := Percentile(clean, qa)
+		pb, err2 := Percentile(clean, qb)
+		return err1 == nil && err2 == nil && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestRNGNormVecMoments(t *testing.T) {
+	g := NewRNG(7)
+	v := g.NormVec(20000)
+	xs := make([]float64, len(v))
+	for i, x := range v {
+		xs[i] = float64(x)
+	}
+	if m := Mean(xs); math.Abs(m) > 0.05 {
+		t.Errorf("normal mean = %g, want ~0", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-1) > 0.05 {
+		t.Errorf("normal sd = %g, want ~1", sd)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(11)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[g.Zipf(1.5, 100)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf should be head-heavy: head=%d mid=%d", counts[0], counts[50])
+	}
+	if g.Zipf(1.5, 1) != 0 {
+		t.Error("Zipf with n=1 must return 0")
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	g := NewRNG(3)
+	if n := g.Intn(10); n < 0 || n >= 10 {
+		t.Errorf("Intn out of range: %d", n)
+	}
+	if g.Int63() < 0 {
+		t.Error("Int63 must be non-negative")
+	}
+	p := g.Perm(5)
+	seen := make(map[int]bool)
+	for _, x := range p {
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Perm not a permutation: %v", p)
+	}
+	if g.Split() == nil {
+		t.Error("Split returned nil")
+	}
+}

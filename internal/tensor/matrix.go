@@ -1,0 +1,259 @@
+// Package tensor implements the dense linear-algebra substrate the ELSA
+// reproduction is built on: row-major float32 matrices, the handful of BLAS
+// kernels self-attention needs (matmul, transposed matmul, dot products,
+// norms, row softmax), and orthogonalization helpers for sign random
+// projection.
+//
+// The package is deliberately small and dependency-free: the paper's
+// workloads use d = 64 and n <= 512 per attention head, so cache-friendly
+// straightforward loops are fast enough, and keeping every numeric step
+// visible makes the fixed-point and simulator cross-checks auditable.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New allocates a zero matrix of the given shape. It panics on non-positive
+// dimensions, which indicate a programming error rather than bad input data.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// data.
+func FromRows(rows [][]float32) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("tensor: FromRows needs at least one non-empty row")
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("tensor: ragged row %d: got %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage. Mutating the
+// returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// String renders a compact shape-tagged description, not the full contents.
+func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul returns a*b. It panics on shape mismatch: shapes are static
+// properties of the model configuration, so a mismatch is a bug, not input
+// error.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a*bᵀ without materializing the transpose; this is the
+// similarity-computation shape Q·Kᵀ from the paper's step one.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *Matrix) MulVec(x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: mulvec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float32) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Normalize scales v to unit norm in place and returns its original norm.
+// A zero vector is left unchanged.
+func Normalize(v []float32) float32 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// Angle returns the angle in radians between vectors a and b, clamped into
+// [0, π] against floating-point drift.
+func Angle(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return math.Pi / 2
+	}
+	c := float64(Dot(a, b)) / (float64(na) * float64(nb))
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Softmax overwrites row with its softmax, using the max-subtraction trick
+// for numerical stability, and returns the sum of exponentials (useful for
+// cross-checking the accelerator's sum-of-exponent register).
+func Softmax(row []float32) float64 {
+	if len(row) == 0 {
+		return 0
+	}
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range row {
+		e := math.Exp(float64(v - maxv))
+		row[i] = float32(e)
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] = float32(float64(row[i]) * inv)
+	}
+	return sum
+}
+
+// SoftmaxRows applies Softmax to every row of m.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		Softmax(m.Row(i))
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between two
+// equally-shaped matrices.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	maxd := 0.0
+	for i, v := range a.Data {
+		d := math.Abs(float64(v) - float64(b.Data[i]))
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// CosineSim returns the cosine similarity between two equal-length vectors,
+// the fidelity metric used to compare approximate and exact attention
+// outputs.
+func CosineSim(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(Dot(a, b)) / (float64(na) * float64(nb))
+}

@@ -1,0 +1,325 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if r, c := m.Shape(); r != 2 || c != 3 {
+		t.Fatalf("shape = %dx%d", r, c)
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if m.String() != "Matrix(2x3)" {
+		t.Errorf("String = %q", m.String())
+	}
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Error("Row must alias storage")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", shape[0], shape[1])
+				}
+			}()
+			New(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float32{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("FromRows layout wrong")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FromRows([][]float32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged input should error")
+	}
+	if _, err := FromRows([][]float32{{}}); err == nil {
+		t.Error("empty row should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float32{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float32{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomNormal(rng, 4, 4)
+	id := Identity(4)
+	if MaxAbsDiff(MatMul(a, id), a) != 0 {
+		t.Error("A·I != A")
+	}
+	if MaxAbsDiff(MatMul(id, a), a) != 0 {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomNormal(rng, 5, 7)
+	b := RandomNormal(rng, 6, 7)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if d := MaxAbsDiff(got, want); d > 1e-5 {
+		t.Errorf("MatMulT diverges from MatMul by %g", d)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MatMul shape mismatch should panic")
+			}
+		}()
+		MatMul(a, b)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MatMulT shape mismatch should panic")
+			}
+		}()
+		MatMulT(a, New(2, 4))
+	}()
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 0}, {0, 2}, {1, 1}})
+	got := m.MulVec([]float32{3, 4})
+	want := []float32{3, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MulVec length mismatch should panic")
+			}
+		}()
+		m.MulVec([]float32{1})
+	}()
+}
+
+func TestScale(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, -2}})
+	m.Scale(3)
+	if m.At(0, 0) != 3 || m.At(0, 1) != -6 {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float32{1, 2, 3}, []float32{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm([]float32{3, 4}) != 5 {
+		t.Error("Norm wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Dot length mismatch should panic")
+			}
+		}()
+		Dot([]float32{1}, []float32{1, 2})
+	}()
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	n := Normalize(v)
+	if n != 5 {
+		t.Errorf("Normalize returned %g, want 5", n)
+	}
+	if math.Abs(float64(Norm(v))-1) > 1e-6 {
+		t.Error("normalized vector should be unit")
+	}
+	z := []float32{0, 0}
+	if Normalize(z) != 0 || z[0] != 0 {
+		t.Error("zero vector must be left alone")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float64
+	}{
+		{[]float32{1, 0}, []float32{1, 0}, 0},
+		{[]float32{1, 0}, []float32{0, 1}, math.Pi / 2},
+		{[]float32{1, 0}, []float32{-1, 0}, math.Pi},
+		{[]float32{0, 0}, []float32{1, 0}, math.Pi / 2}, // degenerate
+	}
+	for _, c := range cases {
+		if got := Angle(c.a, c.b); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Angle(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	row := []float32{1, 2, 3}
+	Softmax(row)
+	sum := float32(0)
+	for _, v := range row {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-6 {
+		t.Errorf("softmax must sum to 1, got %g", sum)
+	}
+	if !(row[2] > row[1] && row[1] > row[0]) {
+		t.Error("softmax must preserve order")
+	}
+	if Softmax(nil) != 0 {
+		t.Error("empty softmax should return 0")
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	row := []float32{1000, 1001, 1002}
+	Softmax(row)
+	for _, v := range row {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed on large inputs")
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m, _ := FromRows([][]float32{{0, 0}, {1, 3}})
+	SoftmaxRows(m)
+	if math.Abs(float64(m.At(0, 0))-0.5) > 1e-6 {
+		t.Error("uniform row should softmax to 0.5")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := FromRows([][]float32{{1, 2}})
+	b, _ := FromRows([][]float32{{1.5, 2}})
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("MaxAbsDiff = %g", d)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch should panic")
+			}
+		}()
+		MaxAbsDiff(a, New(2, 2))
+	}()
+}
+
+func TestCosineSim(t *testing.T) {
+	if CosineSim([]float32{1, 0}, []float32{2, 0}) != 1 {
+		t.Error("parallel vectors should have cos 1")
+	}
+	if CosineSim([]float32{1, 0}, []float32{0, 1}) != 0 {
+		t.Error("orthogonal vectors should have cos 0")
+	}
+	if CosineSim([]float32{0}, []float32{0}) != 1 {
+		t.Error("two zero vectors treated as identical")
+	}
+	if CosineSim([]float32{0}, []float32{1}) != 0 {
+		t.Error("zero vs non-zero should be 0")
+	}
+}
+
+// Property: matmul distributes over identity composition — (A·I)·B == A·B.
+func TestMatMulAssociativityWithIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomNormal(rng, 3, 4)
+		b := RandomNormal(rng, 4, 2)
+		lhs := MatMul(MatMul(a, Identity(4)), b)
+		rhs := MatMul(a, b)
+		return MaxAbsDiff(lhs, rhs) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ‖a‖² == a·a.
+func TestNormDotProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := RandomNormal(rng, 1, 16).Row(0)
+		n := float64(Norm(v))
+		d := float64(Dot(v, v))
+		return math.Abs(n*n-d) < 1e-3*(1+d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomNormal(rng, 3+rng.Intn(5), 2+rng.Intn(6))
+		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

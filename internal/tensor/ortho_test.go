@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity[%d][%d] = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRandomNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := RandomNormal(rng, 100, 100)
+	var sum, sumsq float64
+	for _, v := range m.Data {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	n := float64(len(m.Data))
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %g, want ~0", mean)
+	}
+	if math.Abs(sd-1) > 0.05 {
+		t.Errorf("sd = %g, want ~1", sd)
+	}
+}
+
+func TestGramSchmidtProducesOrthonormalRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range [][2]int{{4, 4}, {8, 8}, {16, 64}, {64, 64}, {1, 5}} {
+		m := RandomNormal(rng, shape[0], shape[1])
+		if err := GramSchmidt(m, rng); err != nil {
+			t.Fatalf("GramSchmidt(%v): %v", shape, err)
+		}
+		if !IsOrthonormalRows(m, 1e-4) {
+			t.Errorf("rows not orthonormal for shape %v", shape)
+		}
+	}
+}
+
+func TestGramSchmidtRejectsTooManyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := RandomNormal(rng, 5, 3)
+	if err := GramSchmidt(m, rng); err == nil {
+		t.Error("expected error for rows > cols")
+	}
+}
+
+func TestGramSchmidtRecoversFromDependentRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, _ := FromRows([][]float32{
+		{1, 0, 0, 0},
+		{2, 0, 0, 0}, // dependent on row 0: must be resampled
+		{0, 0, 1, 0},
+	})
+	if err := GramSchmidt(m, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !IsOrthonormalRows(m, 1e-4) {
+		t.Error("expected orthonormal rows after resampling")
+	}
+}
+
+func TestRandomOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := RandomOrthonormal(rng, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsOrthonormalRows(m, 1e-4) {
+		t.Error("RandomOrthonormal rows not orthonormal")
+	}
+	if _, err := RandomOrthonormal(rng, 3, 2); err == nil {
+		t.Error("expected error for rows > cols")
+	}
+}
+
+func TestIsOrthonormalRowsDetectsFailure(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 0}, {1, 0}})
+	if IsOrthonormalRows(m, 1e-6) {
+		t.Error("duplicate rows should not be orthonormal")
+	}
+	m2, _ := FromRows([][]float32{{2, 0}})
+	if IsOrthonormalRows(m2, 1e-6) {
+		t.Error("non-unit row should not be orthonormal")
+	}
+}
+
+// Property: an orthonormal projection preserves vector norms when square.
+func TestOrthonormalPreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomOrthonormal(rng, 16, 16)
+		if err != nil {
+			return false
+		}
+		x := RandomNormal(rng, 1, 16).Row(0)
+		y := q.MulVec(x)
+		return math.Abs(float64(Norm(y))-float64(Norm(x))) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an orthonormal square projection preserves angles between
+// vectors — the foundation of the paper's SRP accuracy argument.
+func TestOrthonormalPreservesAngles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomOrthonormal(rng, 8, 8)
+		if err != nil {
+			return false
+		}
+		a := RandomNormal(rng, 1, 8).Row(0)
+		b := RandomNormal(rng, 1, 8).Row(0)
+		before := Angle(a, b)
+		after := Angle(q.MulVec(a), q.MulVec(b))
+		return math.Abs(before-after) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MatMulParallel computes a·b with the rows of a partitioned across worker
+// goroutines. workers <= 0 selects GOMAXPROCS. Results are identical to
+// MatMul; use it for the large exact-attention baselines in benchmarks and
+// examples.
+func MatMulParallel(a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Rows {
+		panic("tensor: matmul shape mismatch")
+	}
+	out := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTParallel computes a·bᵀ with row-partitioned workers.
+func MatMulTParallel(a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulT shape mismatch")
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// parallelRows splits [0, n) into contiguous chunks and runs fn on each
+// concurrently.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

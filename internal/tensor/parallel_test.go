@@ -1,0 +1,65 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomNormal(rng, 37, 23)
+	b := RandomNormal(rng, 23, 19)
+	want := MatMul(a, b)
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := MatMulParallel(a, b, workers)
+		if MaxAbsDiff(got, want) != 0 {
+			t.Errorf("workers=%d: parallel matmul differs from serial", workers)
+		}
+	}
+}
+
+func TestMatMulTParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomNormal(rng, 31, 16)
+	b := RandomNormal(rng, 21, 16)
+	want := MatMulT(a, b)
+	for _, workers := range []int{0, 3, 100} {
+		got := MatMulTParallel(a, b, workers)
+		if MaxAbsDiff(got, want) != 0 {
+			t.Errorf("workers=%d: parallel matmulT differs from serial", workers)
+		}
+	}
+}
+
+func TestParallelShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MatMulParallel(New(2, 3), New(2, 3), 2) },
+		func() { MatMulTParallel(New(2, 3), New(2, 4), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: parallel equals serial for random shapes and worker counts.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, w uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(20)
+		a := RandomNormal(rng, m, k)
+		b := RandomNormal(rng, k, n)
+		return MaxAbsDiff(MatMulParallel(a, b, int(w%9)), MatMul(a, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

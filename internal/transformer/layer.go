@@ -1,0 +1,172 @@
+// Package transformer implements a complete transformer-encoder inference
+// substrate — embeddings in, token representations out — with the
+// self-attention operator pluggable between the exact reference and ELSA's
+// approximate engine. The paper integrates ELSA into full models
+// (BERT/RoBERTa/ALBERT/SASRec/BERT4Rec); this package is the missing layer
+// that lets the reproduction run those integrations end to end: QKV/output
+// projections, multi-head split/merge, feed-forward blocks, layer
+// normalization, residual connections, and per-sub-layer threshold
+// calibration.
+package transformer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/model"
+	"elsa/internal/tensor"
+)
+
+// Layer holds one transformer encoder layer's weights. The layout follows
+// the pre-LN encoder: x + Attn(LN(x)) followed by x + FFN(LN(x)).
+type Layer struct {
+	Spec model.Spec
+
+	// Attention projections, hidden×hidden, applied as x·W + b.
+	Wq, Wk, Wv, Wo *tensor.Matrix
+	Bq, Bk, Bv, Bo []float32
+
+	// Feed-forward: hidden×ffn and ffn×hidden.
+	W1 *tensor.Matrix
+	B1 []float32
+	W2 *tensor.Matrix
+	B2 []float32
+
+	// Layer-norm parameters.
+	LN1Gamma, LN1Beta []float32
+	LN2Gamma, LN2Beta []float32
+}
+
+// NewRandomLayer draws a layer with Xavier-style initialization: weight
+// std 1/√fanIn keeps activation magnitudes stable across layers, which
+// matters because attention-score distributions (and hence learned
+// thresholds) must be realistic at every depth.
+func NewRandomLayer(rng *rand.Rand, spec model.Spec) (*Layer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h, f := spec.Hidden, spec.FFNDim
+	mk := func(in, out int) *tensor.Matrix {
+		w := tensor.New(in, out)
+		std := float32(1 / math.Sqrt(float64(in)))
+		for i := range w.Data {
+			w.Data[i] = std * float32(rng.NormFloat64())
+		}
+		return w
+	}
+	ones := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+	return &Layer{
+		Spec: spec,
+		Wq:   mk(h, h), Wk: mk(h, h), Wv: mk(h, h), Wo: mk(h, h),
+		Bq: make([]float32, h), Bk: make([]float32, h),
+		Bv: make([]float32, h), Bo: make([]float32, h),
+		W1: mk(h, f), B1: make([]float32, f),
+		W2: mk(f, h), B2: make([]float32, h),
+		LN1Gamma: ones(h), LN1Beta: make([]float32, h),
+		LN2Gamma: ones(h), LN2Beta: make([]float32, h),
+	}, nil
+}
+
+// Model is a stack of layers sharing one Spec. Layers may be fewer than
+// Spec.Layers (a truncated model for experiments); Heads and dimensions
+// always follow the Spec.
+type Model struct {
+	Spec   model.Spec
+	Layers []*Layer
+}
+
+// NewRandom draws a model with `layers` random layers (0 means
+// Spec.Layers).
+func NewRandom(rng *rand.Rand, spec model.Spec, layers int) (*Model, error) {
+	if layers <= 0 {
+		layers = spec.Layers
+	}
+	m := &Model{Spec: spec}
+	for i := 0; i < layers; i++ {
+		l, err := NewRandomLayer(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// LayerNorm normalizes each row of x to zero mean and unit variance, then
+// applies the affine gamma/beta, writing in place.
+func LayerNorm(x *tensor.Matrix, gamma, beta []float32) {
+	if len(gamma) != x.Cols || len(beta) != x.Cols {
+		panic(fmt.Sprintf("transformer: layernorm params %d/%d for %d cols", len(gamma), len(beta), x.Cols))
+	}
+	const eps = 1e-5
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(len(row))+eps)
+		for j, v := range row {
+			row[j] = gamma[j]*float32((float64(v)-mean)*inv) + beta[j]
+		}
+	}
+}
+
+// GELU applies the Gaussian error linear unit activation in place, using
+// the tanh approximation standard in BERT implementations.
+func GELU(x []float32) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range x {
+		fv := float64(v)
+		x[i] = float32(0.5 * fv * (1 + math.Tanh(c*(fv+0.044715*fv*fv*fv))))
+	}
+}
+
+// addBias adds b to every row of x.
+func addBias(x *tensor.Matrix, b []float32) {
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
+// addInto accumulates src into dst (residual connection).
+func addInto(dst, src *tensor.Matrix) {
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// splitHead copies head h's slice of x (n×hidden) into an n×headDim
+// matrix.
+func splitHead(x *tensor.Matrix, head, headDim int) *tensor.Matrix {
+	out := tensor.New(x.Rows, headDim)
+	off := head * headDim
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), x.Row(i)[off:off+headDim])
+	}
+	return out
+}
+
+// mergeHead writes a head's output back into its slice of dst.
+func mergeHead(dst, src *tensor.Matrix, head, headDim int) {
+	off := head * headDim
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i)[off:off+headDim], src.Row(i))
+	}
+}

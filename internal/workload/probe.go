@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elsa/internal/tensor"
+)
+
+// ProbeInstance is an attention invocation with a downstream
+// classification task attached: every key belongs to a latent class, value
+// vectors carry their class's centroid, and each query's label is the
+// class of its dominant target key. Classifying a query's *attention
+// output* by nearest class centroid then measures, end to end, whether the
+// attention operator routed the right information — the task-level
+// accuracy proxy DESIGN.md promises alongside the mass/cosine metrics.
+type ProbeInstance struct {
+	Instance
+	// Labels[i] is query i's true class.
+	Labels []int
+	// Centroids holds one row per class.
+	Centroids *tensor.Matrix
+}
+
+// GenerateProbe builds a probe instance with the dataset's attention
+// structure and `classes` latent classes.
+func (ds Dataset) GenerateProbe(rng *rand.Rand, d, n, classes int) (ProbeInstance, error) {
+	if classes < 2 {
+		return ProbeInstance{}, fmt.Errorf("workload: probe needs at least 2 classes, got %d", classes)
+	}
+	if n < classes {
+		return ProbeInstance{}, fmt.Errorf("workload: probe needs n >= classes (%d < %d)", n, classes)
+	}
+	inst := ds.GenerateLen(rng, d, n)
+	centroids := tensor.RandomNormal(rng, classes, d)
+	for i := 0; i < centroids.Rows; i++ {
+		tensor.Normalize(centroids.Row(i))
+		row := centroids.Row(i)
+		for j := range row {
+			row[j] *= 4 // strong class signal in the values
+		}
+	}
+	keyClass := make([]int, n)
+	for i := range keyClass {
+		keyClass[i] = rng.Intn(classes)
+		// Replace the value row with its class centroid plus noise: the
+		// information attention must route.
+		vrow := inst.V.Row(i)
+		crow := centroids.Row(keyClass[i])
+		for j := range vrow {
+			vrow[j] = crow[j] + 0.6*float32(rng.NormFloat64())
+		}
+	}
+	// A query's label is the class of the key its attention should focus
+	// on: take the key with the highest exact attention weight.
+	labels := make([]int, n)
+	scores := tensor.MatMulT(inst.Q, inst.K)
+	for i := 0; i < n; i++ {
+		row := scores.Row(i)
+		best := 0
+		for y, s := range row {
+			if s > row[best] {
+				best = y
+			}
+		}
+		labels[i] = keyClass[best]
+	}
+	return ProbeInstance{Instance: inst, Labels: labels, Centroids: centroids}, nil
+}
+
+// ProbeAccuracy classifies each attention-output row by nearest centroid
+// (cosine) and returns the fraction matching the true labels.
+func ProbeAccuracy(out *tensor.Matrix, centroids *tensor.Matrix, labels []int) (float64, error) {
+	if out.Rows != len(labels) {
+		return 0, fmt.Errorf("workload: %d outputs for %d labels", out.Rows, len(labels))
+	}
+	if out.Cols != centroids.Cols {
+		return 0, fmt.Errorf("workload: output dim %d != centroid dim %d", out.Cols, centroids.Cols)
+	}
+	correct := 0
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		best, bestSim := 0, -2.0
+		for c := 0; c < centroids.Rows; c++ {
+			if sim := tensor.CosineSim(row, centroids.Row(c)); sim > bestSim {
+				best, bestSim = c, sim
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(out.Rows), nil
+}

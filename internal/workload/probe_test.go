@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+)
+
+func TestGenerateProbeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SQuAD11.GenerateProbe(rng, 16, 64, 1); err == nil {
+		t.Error("fewer than 2 classes should error")
+	}
+	if _, err := SQuAD11.GenerateProbe(rng, 16, 3, 8); err == nil {
+		t.Error("n < classes should error")
+	}
+}
+
+func TestGenerateProbeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pi, err := SQuAD11.GenerateProbe(rng, 32, 96, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi.Labels) != 96 {
+		t.Fatalf("labels = %d", len(pi.Labels))
+	}
+	if pi.Centroids.Rows != 6 || pi.Centroids.Cols != 32 {
+		t.Fatalf("centroid shape %dx%d", pi.Centroids.Rows, pi.Centroids.Cols)
+	}
+	for i, l := range pi.Labels {
+		if l < 0 || l >= 6 {
+			t.Fatalf("label[%d] = %d out of range", i, l)
+		}
+	}
+}
+
+func TestProbeAccuracyValidation(t *testing.T) {
+	c := tensor.New(2, 4)
+	if _, err := ProbeAccuracy(tensor.New(3, 4), c, []int{0, 1}); err == nil {
+		t.Error("label count mismatch should error")
+	}
+	if _, err := ProbeAccuracy(tensor.New(2, 5), c, []int{0, 1}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+}
+
+// Exact attention must route the class signal well above chance, and an
+// oracle that reads the centroid directly must score perfectly.
+func TestProbeExactAttentionBeatsChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const classes = 6
+	pi, err := SQuAD11.GenerateProbe(rng, 64, 128, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: the true centroid rows classify to themselves.
+	oracleAcc := 0.0
+	oracle := tensor.New(len(pi.Labels), 64)
+	for i, l := range pi.Labels {
+		copy(oracle.Row(i), pi.Centroids.Row(l))
+	}
+	oracleAcc, err = ProbeAccuracy(oracle, pi.Centroids, pi.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleAcc != 1 {
+		t.Fatalf("oracle accuracy %g, want 1", oracleAcc)
+	}
+	out := attention.Exact(pi.Q, pi.K, pi.V, attention.DefaultScale(64))
+	acc, err := ProbeAccuracy(out, pi.Centroids, pi.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chance := 1.0 / classes; acc < 3*chance {
+		t.Errorf("exact attention probe accuracy %g barely beats chance %g", acc, chance)
+	}
+}
+
+// The Fig 10 story on a live task: approximate attention at p = 1 loses
+// only a little probe accuracy versus exact.
+func TestProbeApproximationCostIsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eng, err := attention.NewEngine(attention.Config{D: 64, BiasSamples: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := SQuAD11.GenerateProbe(rng, 64, 128, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := attention.NewThresholdTrainer(1, eng.Config().Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.Observe(calib.Q, calib.K); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := tt.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactSum, approxSum float64
+	const trials = 3
+	for i := 0; i < trials; i++ {
+		pi, err := SQuAD11.GenerateProbe(rng, 64, 128, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactOut := attention.Exact(pi.Q, pi.K, pi.V, eng.Config().Scale)
+		ea, err := ProbeAccuracy(exactOut, pi.Centroids, pi.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := eng.Preprocess(pi.K, pi.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Attend(pi.Q, pre, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aa, err := ProbeAccuracy(res.Output, pi.Centroids, pi.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSum += ea
+		approxSum += aa
+	}
+	exactAcc := exactSum / trials
+	approxAcc := approxSum / trials
+	if exactAcc-approxAcc > 0.05 {
+		t.Errorf("probe accuracy drop %.3f exceeds 5 points (exact %.3f, approx %.3f)",
+			exactAcc-approxAcc, exactAcc, approxAcc)
+	}
+}

@@ -1,0 +1,243 @@
+// Package workload synthesizes the evaluation workloads of the paper
+// (§V-A). The real datasets (SQuAD 1.1/2.0, RACE, IMDB, MovieLens-1M) are
+// not available offline, so each dataset is modeled by the two properties
+// that actually reach the attention operator and the accelerator:
+//
+//   - the distribution of real (unpadded) sequence lengths, which governs
+//     how much padded work the GPU performs and how many keys ELSA must
+//     scan; and
+//   - the concentration of attention scores (how few keys receive most of
+//     the softmax mass), which governs how many candidates survive
+//     filtering at a given threshold.
+//
+// Query/key/value matrices are generated with a clustered structure: each
+// query is aimed at a small set of target keys plus noise, reproducing the
+// near-sparse softmax rows the paper's approximation exploits (§II-C).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/model"
+	"elsa/internal/tensor"
+)
+
+// Dataset describes one evaluation dataset's synthetic surrogate.
+//
+// Generated attention rows have three regimes, mirroring measured
+// transformer heads: a few *target* keys with the highest scores (syntactic
+// / coreference links), a smooth *neighborhood* of moderate scores induced
+// by a low-frequency positional backbone (local context), and a suppressed
+// far field. The Fig 10 candidate-fraction curves depend on the relative
+// strength of these regimes.
+type Dataset struct {
+	Name string
+	// MeanLen and StdLen parameterize the real-token length distribution
+	// (truncated normal).
+	MeanLen, StdLen float64
+	// MinLen and CapLen bound sampled lengths; CapLen is the model's n.
+	MinLen, CapLen int
+	// Sharpness scales how strongly queries align with their target keys;
+	// larger values concentrate the softmax peak.
+	Sharpness float32
+	// Backbone is the amplitude of the shared low-frequency positional
+	// component; it controls how much softmax mass spreads over the
+	// smooth neighborhood (the figure's mid-range scores).
+	Backbone float32
+	// QueryBackbone scales how strongly queries project onto the backbone
+	// at their own position.
+	QueryBackbone float32
+	// TargetsPerQuery is how many keys each query genuinely attends to.
+	TargetsPerQuery int
+	// NoiseStd perturbs queries off their targets.
+	NoiseStd float32
+	// Metric names the paper's accuracy metric for reporting.
+	Metric string
+	// BaselineMetric is the exact-attention metric value the paper's
+	// models achieve, used to express proxy losses in absolute terms.
+	BaselineMetric float64
+}
+
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s(cap=%d mean=%.0f metric=%s)", d.Name, d.CapLen, d.MeanLen, d.Metric)
+}
+
+// The evaluated datasets. Length statistics approximate the published
+// token-length distributions under the models' tokenizers; baselines are
+// representative published numbers for the large models.
+var (
+	SQuAD11 = Dataset{
+		Name: "SQuADv1.1", MeanLen: 180, StdLen: 60, MinLen: 64, CapLen: 384,
+		Sharpness: 0.5, Backbone: 8, QueryBackbone: 1.0, TargetsPerQuery: 2, NoiseStd: 0.4,
+		Metric: "F1", BaselineMetric: 93.2,
+	}
+	SQuAD20 = Dataset{
+		Name: "SQuADv2.0", MeanLen: 180, StdLen: 60, MinLen: 64, CapLen: 384,
+		Sharpness: 0.5, Backbone: 8, QueryBackbone: 1.0, TargetsPerQuery: 2, NoiseStd: 0.4,
+		Metric: "F1", BaselineMetric: 86.9,
+	}
+	RACE = Dataset{
+		Name: "RACE", MeanLen: 400, StdLen: 80, MinLen: 128, CapLen: 512,
+		Sharpness: 0.45, Backbone: 8, QueryBackbone: 1.1, TargetsPerQuery: 3, NoiseStd: 0.45,
+		Metric: "Acc", BaselineMetric: 72.0,
+	}
+	IMDB = Dataset{
+		Name: "IMDB", MeanLen: 300, StdLen: 80, MinLen: 128, CapLen: 512,
+		Sharpness: 0.45, Backbone: 8, QueryBackbone: 1.05, TargetsPerQuery: 3, NoiseStd: 0.5,
+		Metric: "Acc", BaselineMetric: 95.6,
+	}
+	MovieLens = Dataset{
+		Name: "MovieLens-1M", MeanLen: 160, StdLen: 50, MinLen: 20, CapLen: 200,
+		Sharpness: 0.6, Backbone: 7, QueryBackbone: 0.9, TargetsPerQuery: 2, NoiseStd: 0.45,
+		Metric: "NDCG@10", BaselineMetric: 0.59,
+	}
+)
+
+// AllDatasets lists the datasets in the paper's order.
+func AllDatasets() []Dataset {
+	return []Dataset{SQuAD11, SQuAD20, RACE, IMDB, MovieLens}
+}
+
+// Scaled returns a copy of the dataset with all length parameters
+// multiplied by mult — the "4× larger input length" scenario of the
+// paper's Fig 2 and §V-C end-to-end analysis, where longer inputs are fed
+// to a model (and hardware) sized for them.
+func (d Dataset) Scaled(mult int) Dataset {
+	if mult < 1 {
+		mult = 1
+	}
+	d.MeanLen *= float64(mult)
+	d.StdLen *= float64(mult)
+	d.MinLen *= mult
+	d.CapLen *= mult
+	return d
+}
+
+// SampleLength draws a real-token count from the truncated normal length
+// distribution.
+func (d Dataset) SampleLength(rng *rand.Rand) int {
+	n := int(math.Round(d.MeanLen + d.StdLen*rng.NormFloat64()))
+	if n < d.MinLen {
+		n = d.MinLen
+	}
+	if n > d.CapLen {
+		n = d.CapLen
+	}
+	return n
+}
+
+// Instance is one attention-head invocation's inputs.
+type Instance struct {
+	Q, K, V *tensor.Matrix
+	// RealLen is the number of genuine tokens (rows of Q/K/V).
+	RealLen int
+	// PaddedLen is the length the GPU implementation pads to (the model's
+	// n); ELSA and the ideal accelerator skip the padding (§V-C).
+	PaddedLen int
+}
+
+// Generate synthesizes one head invocation with head dimension d. The
+// returned matrices have RealLen rows; PaddedLen records the model cap.
+func (ds Dataset) Generate(rng *rand.Rand, d int) Instance {
+	n := ds.SampleLength(rng)
+	return ds.GenerateLen(rng, d, n)
+}
+
+// backboneComponents is the number of low-frequency positional waves.
+const backboneComponents = 4
+
+// GenerateLen is Generate with an explicit real length, for tests and
+// controlled sweeps.
+func (ds Dataset) GenerateLen(rng *rand.Rand, d, n int) Instance {
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("workload: invalid instance %dx%d", n, d))
+	}
+	v := tensor.RandomNormal(rng, n, d)
+	q := tensor.New(n, d)
+	k := tensor.New(n, d)
+
+	// Positional backbone: a few slow sinusoids over random directions.
+	// Keys and queries at nearby positions share backbone components, so
+	// attention scores fall off smoothly with positional distance — the
+	// mid-range regime of real attention maps.
+	amp := ds.Backbone / float32(math.Sqrt(backboneComponents))
+	dirs := make([][]float32, backboneComponents)
+	phases := make([]float64, backboneComponents)
+	for f := range dirs {
+		dir := tensor.RandomNormal(rng, 1, d).Row(0)
+		tensor.Normalize(dir)
+		dirs[f] = dir
+		phases[f] = rng.Float64() * 2 * math.Pi
+	}
+	backboneAt := func(pos int, scale float32, out []float32) {
+		for f, dir := range dirs {
+			c := scale * amp * float32(math.Cos(2*math.Pi*float64(f+1)*float64(pos)/float64(n)+phases[f]))
+			for j := range out {
+				out[j] += c * dir[j]
+			}
+		}
+	}
+
+	// Keys: backbone + identity noise + per-row norm spread (the filter
+	// compares ‖K_y‖·cos(θ) against t·‖K_max‖, so uniform norms would
+	// leave the norm-dependent part of the rule untested).
+	for i := 0; i < n; i++ {
+		row := k.Row(i)
+		backboneAt(i, 1, row)
+		for j := range row {
+			row[j] += float32(rng.NormFloat64())
+		}
+		scale := float32(0.85 + 0.3*rng.Float64())
+		for j := range row {
+			row[j] *= scale
+		}
+	}
+
+	// Queries: own-position backbone (smooth neighborhood), a few target
+	// keys (score spikes), and noise.
+	targets := ds.TargetsPerQuery
+	if targets < 1 {
+		targets = 1
+	}
+	for i := 0; i < n; i++ {
+		qrow := q.Row(i)
+		backboneAt(i, ds.QueryBackbone, qrow)
+		for t := 0; t < targets; t++ {
+			krow := k.Row(rng.Intn(n))
+			for j := 0; j < d; j++ {
+				qrow[j] += ds.Sharpness * krow[j] / float32(targets)
+			}
+		}
+		for j := 0; j < d; j++ {
+			qrow[j] += ds.NoiseStd * float32(rng.NormFloat64())
+		}
+	}
+	return Instance{Q: q, K: k, V: v, RealLen: n, PaddedLen: ds.CapLen}
+}
+
+// Combo binds a model to a dataset — one bar group of Fig 10/11.
+type Combo struct {
+	Model   model.Spec
+	Dataset Dataset
+}
+
+// Name renders "Model/Dataset".
+func (c Combo) Name() string { return c.Model.Name + "/" + c.Dataset.Name }
+
+// Combos returns the model-dataset combinations the paper evaluates:
+// the three NLP models on SQuAD 1.1/2.0 and RACE, RoBERTa additionally on
+// IMDB, and the two recommenders on MovieLens-1M.
+func Combos() []Combo {
+	var out []Combo
+	for _, m := range []model.Spec{model.BERTLarge, model.RoBERTaLarge, model.ALBERTLarge} {
+		for _, d := range []Dataset{SQuAD11, SQuAD20, RACE} {
+			out = append(out, Combo{Model: m, Dataset: d})
+		}
+	}
+	out = append(out, Combo{Model: model.RoBERTaLarge, Dataset: IMDB})
+	out = append(out, Combo{Model: model.SASRec, Dataset: MovieLens})
+	out = append(out, Combo{Model: model.BERT4Rec, Dataset: MovieLens})
+	return out
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+)
+
+func TestAllDatasetsSane(t *testing.T) {
+	for _, d := range AllDatasets() {
+		if d.MinLen < 1 || d.CapLen < d.MinLen {
+			t.Errorf("%s: bad length bounds", d.Name)
+		}
+		if d.MeanLen <= 0 || d.StdLen < 0 {
+			t.Errorf("%s: bad length distribution", d.Name)
+		}
+		if d.Sharpness <= 0 || d.TargetsPerQuery < 1 {
+			t.Errorf("%s: bad concentration parameters", d.Name)
+		}
+		if d.Metric == "" || d.BaselineMetric <= 0 {
+			t.Errorf("%s: missing metric", d.Name)
+		}
+		if d.String() == "" {
+			t.Errorf("%s: empty String", d.Name)
+		}
+	}
+	if len(AllDatasets()) != 5 {
+		t.Errorf("expected 5 datasets, got %d", len(AllDatasets()))
+	}
+}
+
+func TestSampleLengthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range AllDatasets() {
+		for i := 0; i < 500; i++ {
+			n := d.SampleLength(rng)
+			if n < d.MinLen || n > d.CapLen {
+				t.Fatalf("%s: sampled length %d outside [%d, %d]", d.Name, n, d.MinLen, d.CapLen)
+			}
+		}
+	}
+}
+
+func TestSampleLengthMeanRoughlyMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sum := 0.0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		sum += float64(SQuAD11.SampleLength(rng))
+	}
+	mean := sum / trials
+	if math.Abs(mean-SQuAD11.MeanLen) > 10 {
+		t.Errorf("mean sampled length %g, want ~%g", mean, SQuAD11.MeanLen)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := SQuAD11.Generate(rng, 64)
+	if inst.Q.Rows != inst.RealLen || inst.K.Rows != inst.RealLen || inst.V.Rows != inst.RealLen {
+		t.Error("matrices must have RealLen rows")
+	}
+	if inst.Q.Cols != 64 || inst.K.Cols != 64 || inst.V.Cols != 64 {
+		t.Error("matrices must have d columns")
+	}
+	if inst.PaddedLen != SQuAD11.CapLen {
+		t.Errorf("PaddedLen = %d, want %d", inst.PaddedLen, SQuAD11.CapLen)
+	}
+	if inst.RealLen > inst.PaddedLen {
+		t.Error("real length cannot exceed padded length")
+	}
+}
+
+func TestGenerateLenPanicsOnBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, bad := range [][2]int{{0, 4}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			SQuAD11.GenerateLen(rng, bad[1], bad[0])
+		}()
+	}
+}
+
+// The defining property of the synthetic workloads: attention score rows
+// must be concentrated — a small fraction of keys holds most of the softmax
+// mass, as in real transformer heads (§II-C).
+func TestGeneratedAttentionIsConcentrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, ds := range AllDatasets() {
+		inst := ds.GenerateLen(rng, 64, 128)
+		_, scores := attention.ExactWithScores(inst.Q, inst.K, inst.V, attention.DefaultScale(64))
+		// Mean mass captured by the top 10% of keys per row.
+		const topFrac = 0.10
+		topK := int(float64(scores.Cols) * topFrac)
+		total := 0.0
+		for i := 0; i < scores.Rows; i++ {
+			row := append([]float32(nil), scores.Row(i)...)
+			// selection of topK largest by simple partial sort
+			for a := 0; a < topK; a++ {
+				maxIdx := a
+				for b := a + 1; b < len(row); b++ {
+					if row[b] > row[maxIdx] {
+						maxIdx = b
+					}
+				}
+				row[a], row[maxIdx] = row[maxIdx], row[a]
+				total += float64(row[a])
+			}
+		}
+		meanTopMass := total / float64(scores.Rows)
+		if meanTopMass < 0.5 {
+			t.Errorf("%s: top-10%% keys hold only %.2f of softmax mass; workload not concentrated",
+				ds.Name, meanTopMass)
+		}
+	}
+}
+
+// Keys must have non-trivial norm spread: the threshold rule compares
+// against ‖K_max‖, so degenerate equal norms would hide bugs.
+func TestGeneratedKeyNormSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := SQuAD11.GenerateLen(rng, 64, 128)
+	minN, maxN := math.Inf(1), 0.0
+	for i := 0; i < inst.K.Rows; i++ {
+		n := float64(tensor.Norm(inst.K.Row(i)))
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN/minN < 1.05 {
+		t.Errorf("key norms nearly uniform (%g..%g)", minN, maxN)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a := SQuAD11.Generate(rand.New(rand.NewSource(7)), 16)
+	b := SQuAD11.Generate(rand.New(rand.NewSource(7)), 16)
+	if a.RealLen != b.RealLen || tensor.MaxAbsDiff(a.Q, b.Q) != 0 {
+		t.Error("same seed must reproduce the same instance")
+	}
+}
+
+func TestCombos(t *testing.T) {
+	combos := Combos()
+	if len(combos) != 12 {
+		t.Errorf("expected 12 model-dataset combos, got %d", len(combos))
+	}
+	seen := map[string]bool{}
+	for _, c := range combos {
+		if seen[c.Name()] {
+			t.Errorf("duplicate combo %s", c.Name())
+		}
+		seen[c.Name()] = true
+		if c.Dataset.CapLen > c.Model.MaxSeq {
+			t.Errorf("%s: dataset cap %d exceeds model max %d", c.Name(), c.Dataset.CapLen, c.Model.MaxSeq)
+		}
+	}
+	if !seen["RoBERTa-large/IMDB"] {
+		t.Error("RoBERTa/IMDB combo missing (paper §V-A)")
+	}
+	if !seen["SASRec/MovieLens-1M"] || !seen["BERT4Rec/MovieLens-1M"] {
+		t.Error("recommender combos missing")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := SQuAD11.Scaled(4)
+	if s.CapLen != SQuAD11.CapLen*4 || s.MinLen != SQuAD11.MinLen*4 {
+		t.Errorf("Scaled(4) bounds wrong: %+v", s)
+	}
+	if s.MeanLen != SQuAD11.MeanLen*4 {
+		t.Errorf("Scaled(4) mean wrong: %g", s.MeanLen)
+	}
+	if SQuAD11.Scaled(0).CapLen != SQuAD11.CapLen {
+		t.Error("Scaled(<1) should clamp to identity")
+	}
+	// Sampled lengths stay within the scaled bounds.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		n := s.SampleLength(rng)
+		if n < s.MinLen || n > s.CapLen {
+			t.Fatalf("scaled sample %d out of bounds", n)
+		}
+	}
+}

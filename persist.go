@@ -1,0 +1,92 @@
+package elsa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elsa/internal/attention"
+)
+
+// Snapshot is a serializable capture of an Engine: the options, the
+// calibrated θ_bias, and the hash-projection factors. Restoring a snapshot
+// yields an engine with bit-identical hashes and candidate decisions, so a
+// deployment can calibrate thresholds offline against one engine and ship
+// both to inference services.
+type Snapshot struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Options are the resolved engine options.
+	Options Options `json:"options"`
+	// Bias is the calibrated θ_bias.
+	Bias float64 `json:"bias"`
+	// Batches holds the projection factors per batch.
+	Batches [][][][]float32 `json:"batches"`
+}
+
+// snapshotVersion is the current serialization format version.
+const snapshotVersion = 1
+
+// Snapshot captures the engine's reproducible state.
+func (e *Engine) Snapshot() Snapshot {
+	st := e.engine.State()
+	return Snapshot{
+		Version: snapshotVersion,
+		Options: e.opts,
+		Bias:    st.Bias,
+		Batches: st.Batches,
+	}
+}
+
+// Save writes the engine's snapshot as JSON.
+func (e *Engine) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(e.Snapshot()); err != nil {
+		return fmt.Errorf("elsa: save: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds an engine from a snapshot without re-drawing
+// projections or re-calibrating.
+func Restore(s Snapshot) (*Engine, error) {
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("elsa: unsupported snapshot version %d (want %d)", s.Version, snapshotVersion)
+	}
+	opts := s.Options
+	if opts.HeadDim == 0 {
+		opts.HeadDim = 64
+	}
+	if opts.Hardware == (Hardware{}) {
+		opts.Hardware = DefaultHardware()
+	}
+	eng, err := attention.NewEngineFromState(attention.State{
+		Config: attention.Config{
+			D:         opts.HeadDim,
+			K:         opts.HashBits,
+			Scale:     opts.Scale,
+			Quantized: opts.Quantized,
+			Seed:      opts.Seed,
+		},
+		Bias:    s.Bias,
+		Batches: s.Batches,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("elsa: restore: %w", err)
+	}
+	sim, err := newSimulator(opts, eng)
+	if err != nil {
+		return nil, err
+	}
+	opts.HashBits = eng.Config().K
+	opts.Scale = eng.Config().Scale
+	return &Engine{opts: opts, engine: eng, sim: sim}, nil
+}
+
+// LoadEngine reads a JSON snapshot and restores the engine.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("elsa: load: %w", err)
+	}
+	return Restore(s)
+}

@@ -1,0 +1,99 @@
+package elsa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	orig := newEngine(t, Options{Seed: 50})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Bias() != orig.Bias() {
+		t.Errorf("bias changed across round trip: %g vs %g", restored.Bias(), orig.Bias())
+	}
+	if restored.Options().HashBits != orig.Options().HashBits {
+		t.Error("options changed across round trip")
+	}
+	// Bit-identical behaviour: same candidates, same outputs, including
+	// under a learned threshold.
+	cq, ck, _ := genData(rng, 48, 96, 64)
+	thr, err := orig.Calibrate(1, []Sample{{Q: cq, K: ck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k, v := genData(rng, 32, 64, 64)
+	a, err := orig.Attend(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Attend(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CandidateFraction != b.CandidateFraction || a.FallbackQueries != b.FallbackQueries {
+		t.Fatal("restored engine selects different candidates")
+	}
+	for i := range a.Context {
+		for j := range a.Context[i] {
+			if a.Context[i][j] != b.Context[i][j] {
+				t.Fatalf("restored engine output differs at %d,%d", i, j)
+			}
+		}
+	}
+	// The restored engine's simulator must work too.
+	if _, err := restored.Simulate(q, k, v, thr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	orig := newEngine(t, Options{Seed: 51})
+	snap := orig.Snapshot()
+
+	bad := snap
+	bad.Version = 99
+	if _, err := Restore(bad); err == nil {
+		t.Error("wrong version should error")
+	}
+
+	bad = snap
+	bad.Batches = nil
+	if _, err := Restore(bad); err == nil {
+		t.Error("missing batches should error")
+	}
+
+	bad = orig.Snapshot()
+	bad.Batches[0] = bad.Batches[0][:1] // corrupt factor structure
+	if _, err := Restore(bad); err == nil {
+		t.Error("corrupted factors should error")
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should error")
+	}
+}
+
+func TestSnapshotDefaultsApplyOnRestore(t *testing.T) {
+	orig := newEngine(t, Options{Seed: 52})
+	snap := orig.Snapshot()
+	snap.Options.Hardware = Hardware{} // zero hardware -> default on restore
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Options().Hardware != DefaultHardware() {
+		t.Error("zero hardware should restore to the default")
+	}
+}

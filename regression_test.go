@@ -1,0 +1,100 @@
+package elsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRegressionPinnedScenario locks a fixed-seed scenario end to end so
+// that refactors cannot silently change the reproduction's behaviour:
+// engine calibration, threshold learning, filtering, simulated cycles and
+// energy are all checked against pinned values (loose tolerances where the
+// quantity is statistical, exact where it is deterministic).
+func TestRegressionPinnedScenario(t *testing.T) {
+	eng, err := New(Options{Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// θ_bias lands near the paper's 0.127 for d = k = 64.
+	if b := eng.Bias(); math.Abs(b-0.127) > 0.035 {
+		t.Errorf("bias = %g, expected within 0.035 of 0.127", b)
+	}
+
+	rng := rand.New(rand.NewSource(999))
+	cq, ck, _ := genData(rng, 128, 256, 64)
+	thr, err := eng.Calibrate(1, []Sample{{Q: cq, K: ck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.T < 0.1 || thr.T > 0.9 {
+		t.Errorf("learned threshold %g outside the plausible band", thr.T)
+	}
+
+	q, k, v := genData(rng, 256, 256, 64)
+
+	// Deterministic hardware law: base mode, n = 256, Pa = 4 -> 64
+	// cycles/query; preprocessing 3·257.
+	base, err := eng.Simulate(q, k, v, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PreprocessCycles != 3*257 {
+		t.Errorf("base preprocess = %d, want 771", base.PreprocessCycles)
+	}
+	if base.ExecutionCycles != 256*64 {
+		t.Errorf("base execution = %d, want 16384", base.ExecutionCycles)
+	}
+
+	// Approximate run: pruning, fidelity, speedup and energy all within
+	// pinned bands for this seed.
+	out, fid, err := eng.Evaluate(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// genData's queries each target exactly one key, so the conservative
+	// filter keeps ~1 key of 256 per query.
+	if out.CandidateFraction < 1.0/512 || out.CandidateFraction > 0.2 {
+		t.Errorf("candidate fraction %g outside pinned band", out.CandidateFraction)
+	}
+	if fid.MeanCosine < 0.97 {
+		t.Errorf("fidelity %g below pinned floor", fid.MeanCosine)
+	}
+	approx, err := eng.Simulate(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base.TotalCycles) / float64(approx.TotalCycles)
+	if speedup < 1.5 || speedup > 8.5 {
+		t.Errorf("approximation speedup %g outside pinned band", speedup)
+	}
+	if approx.EnergyJ >= base.EnergyJ {
+		t.Error("approximation must save energy")
+	}
+	// Energy magnitude: one n = 256 base op at ~1 W costs microjoules.
+	if base.EnergyJ < 1e-6 || base.EnergyJ > 1e-4 {
+		t.Errorf("base energy %g J outside pinned band", base.EnergyJ)
+	}
+
+	// Determinism: rebuilding the engine with the same seed reproduces
+	// everything bit for bit.
+	eng2, err := New(Options{Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := eng2.Attend(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.CandidateFraction != out.CandidateFraction {
+		t.Error("same seed must reproduce the same filtering decisions")
+	}
+	for i := range out.Context {
+		for j := range out.Context[i] {
+			if out.Context[i][j] != out2.Context[i][j] {
+				t.Fatalf("same-seed outputs differ at %d,%d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package elsa
+
+import (
+	"fmt"
+
+	"elsa/internal/attention"
+)
+
+// Stream supports autoregressive decoding: keys/values are appended one
+// token at a time (each new key is hashed incrementally through the
+// Kronecker fast path) and queries attend over the prefix so far.
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	inner *attention.Stream
+}
+
+// NewStream creates an empty stream with storage preallocated for
+// capacity tokens.
+func (e *Engine) NewStream(capacity int) *Stream {
+	return &Stream{inner: e.engine.NewStream(capacity)}
+}
+
+// Len returns the number of appended tokens.
+func (s *Stream) Len() int { return s.inner.Len() }
+
+// Append adds one token's key and value vectors.
+func (s *Stream) Append(key, value []float32) error {
+	if err := s.inner.Append(key, value); err != nil {
+		return fmt.Errorf("elsa: %w", err)
+	}
+	return nil
+}
+
+// StreamStats reports one streamed query's work.
+type StreamStats struct {
+	// Candidates is the number of prefix keys computed exactly.
+	Candidates int
+	// Fallback reports whether the filter selected nothing.
+	Fallback bool
+}
+
+// Query attends q over the current prefix with the given threshold.
+func (s *Stream) Query(q []float32, thr Threshold) ([]float32, StreamStats, error) {
+	out, st, err := s.inner.Query(q, thr.T)
+	if err != nil {
+		return nil, StreamStats{}, fmt.Errorf("elsa: %w", err)
+	}
+	return out, StreamStats{Candidates: st.Candidates, Fallback: st.Fallback}, nil
+}
+
+// AttendBlockwise runs approximate attention over sequences longer than
+// one hardware invocation by decomposing the keys into blocks of at most
+// blockSize and merging the per-block softmax results exactly — the
+// composition with Longformer/BigBird-style decompositions that the
+// paper's §V-E describes.
+func (e *Engine) AttendBlockwise(q, k, v [][]float32, blockSize int, thr Threshold) (*Output, error) {
+	qm, err := toMatrix("queries", q, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	km, err := toMatrix("keys", k, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := toMatrix("values", v, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.engine.BlockwiseAttend(qm, km, vm, blockSize, thr.T)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	return &Output{
+		Context:            fromMatrix(res.Output),
+		CandidateFraction:  res.CandidateFraction(km.Rows),
+		CandidatesPerQuery: res.CandidateCounts,
+		FallbackQueries:    res.FallbackQueries,
+	}, nil
+}

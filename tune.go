@@ -1,0 +1,129 @@
+package elsa
+
+import (
+	"fmt"
+
+	"elsa/internal/attention"
+)
+
+// TuneResult reports an automatic degree-of-approximation search.
+type TuneResult struct {
+	// Threshold is the selected operating point.
+	Threshold Threshold
+	// LossPct is the measured accuracy-proxy loss at that point, in
+	// percentage points.
+	LossPct float64
+	// CandidateFraction is the measured mean candidate fraction.
+	CandidateFraction float64
+	// Evaluated lists every (p, loss) pair the search measured.
+	Evaluated []TunePoint
+}
+
+// TunePoint is one evaluated candidate operating point.
+type TunePoint struct {
+	P                 float64
+	LossPct           float64
+	CandidateFraction float64
+}
+
+// TuneP finds the most aggressive degree of approximation whose measured
+// accuracy-proxy loss on the validation set stays at or below maxLossPct —
+// the paper's recommended tuning flow (§IV-E: "tune this parameter with
+// the validation dataset ... p is a hyperparameter that (almost)
+// monotonously increases accuracy as its value decreases").
+//
+// calib supplies the threshold-learning invocations; validation supplies
+// held-out invocations for measuring loss. The search bisects p over
+// [pLo, pHi] (defaults 0.25 and 16 when zero) to the given number of
+// refinement steps.
+func (e *Engine) TuneP(maxLossPct float64, calib []Sample, validation []BatchOp, pLo, pHi float64, steps int) (TuneResult, error) {
+	if maxLossPct <= 0 {
+		return TuneResult{}, fmt.Errorf("elsa: loss budget must be positive, got %g", maxLossPct)
+	}
+	if len(validation) == 0 {
+		return TuneResult{}, fmt.Errorf("elsa: tuning needs validation data")
+	}
+	if pLo <= 0 {
+		pLo = 0.25
+	}
+	if pHi <= pLo {
+		pHi = 16
+	}
+	if steps <= 0 {
+		steps = 6
+	}
+
+	measure := func(p float64) (TunePoint, Threshold, error) {
+		thr, err := e.Calibrate(p, calib)
+		if err != nil {
+			return TunePoint{}, Threshold{}, err
+		}
+		var loss, frac float64
+		for _, op := range validation {
+			_, fid, err := e.Evaluate(op.Q, op.K, op.V, thr)
+			if err != nil {
+				return TunePoint{}, Threshold{}, err
+			}
+			loss += attention.ProxyAccuracyLoss(attention.Fidelity{RetainedMass: fid.RetainedMass},
+				attention.DefaultSensitivity)
+			out, err := e.Attend(op.Q, op.K, op.V, thr)
+			if err != nil {
+				return TunePoint{}, Threshold{}, err
+			}
+			frac += out.CandidateFraction
+		}
+		n := float64(len(validation))
+		return TunePoint{P: p, LossPct: loss / n, CandidateFraction: frac / n}, thr, nil
+	}
+
+	res := TuneResult{}
+	// Feasibility check at the conservative end.
+	lowPt, lowThr, err := measure(pLo)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	res.Evaluated = append(res.Evaluated, lowPt)
+	if lowPt.LossPct > maxLossPct {
+		// Even the most conservative point misses the budget: fall back
+		// to exact attention.
+		res.Threshold = Exact()
+		res.LossPct = 0
+		res.CandidateFraction = 1
+		return res, nil
+	}
+	best, bestThr := lowPt, lowThr
+
+	// Check the aggressive end; if it fits, take it outright.
+	hiPt, hiThr, err := measure(pHi)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	res.Evaluated = append(res.Evaluated, hiPt)
+	if hiPt.LossPct <= maxLossPct {
+		res.Threshold = hiThr
+		res.LossPct = hiPt.LossPct
+		res.CandidateFraction = hiPt.CandidateFraction
+		return res, nil
+	}
+
+	// Bisect: loss is (almost) monotone increasing in p.
+	lo, hi := pLo, pHi
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		pt, thr, err := measure(mid)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		res.Evaluated = append(res.Evaluated, pt)
+		if pt.LossPct <= maxLossPct {
+			best, bestThr = pt, thr
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.Threshold = bestThr
+	res.LossPct = best.LossPct
+	res.CandidateFraction = best.CandidateFraction
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package elsa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tuneFixture builds calibration and validation data with a moderate
+// concentration so the loss curve has a real knee.
+func tuneFixture(t *testing.T, seed int64) (*Engine, []Sample, []BatchOp) {
+	t.Helper()
+	e := newEngine(t, Options{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	var calib []Sample
+	for i := 0; i < 2; i++ {
+		q, k, _ := genData(rng, 96, 96, 64)
+		calib = append(calib, Sample{Q: q, K: k})
+	}
+	var valid []BatchOp
+	for i := 0; i < 2; i++ {
+		q, k, v := genData(rng, 96, 96, 64)
+		valid = append(valid, BatchOp{Q: q, K: k, V: v})
+	}
+	return e, calib, valid
+}
+
+func TestTunePRespectsBudget(t *testing.T) {
+	e, calib, valid := tuneFixture(t, 70)
+	res, err := e.TuneP(1.0, calib, valid, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossPct > 1.0 {
+		t.Errorf("selected point loss %g exceeds the 1%% budget", res.LossPct)
+	}
+	if len(res.Evaluated) < 2 {
+		t.Errorf("search should evaluate multiple points, got %d", len(res.Evaluated))
+	}
+	if res.Threshold.P <= 0 {
+		t.Errorf("feasible budget should select an approximate point, got p=%g", res.Threshold.P)
+	}
+	if res.CandidateFraction <= 0 || res.CandidateFraction > 1 {
+		t.Errorf("candidate fraction %g out of range", res.CandidateFraction)
+	}
+}
+
+func TestTunePLargerBudgetIsMoreAggressive(t *testing.T) {
+	e, calib, valid := tuneFixture(t, 71)
+	tight, err := e.TuneP(0.3, calib, valid, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := e.TuneP(5.0, calib, valid, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Threshold.P < tight.Threshold.P {
+		t.Errorf("larger budget should allow at least as aggressive p: tight %g vs loose %g",
+			tight.Threshold.P, loose.Threshold.P)
+	}
+	if loose.CandidateFraction > tight.CandidateFraction+1e-9 {
+		t.Errorf("larger budget should prune at least as much: %g vs %g",
+			loose.CandidateFraction, tight.CandidateFraction)
+	}
+}
+
+func TestTunePInfeasibleFallsBackToExact(t *testing.T) {
+	e, calib, valid := tuneFixture(t, 72)
+	// An absurdly tight budget: even p = 0.25 loses more than this.
+	res, err := e.TuneP(1e-9, calib, valid, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold != Exact() {
+		t.Errorf("infeasible budget should fall back to exact, got %+v", res.Threshold)
+	}
+	if res.CandidateFraction != 1 || res.LossPct != 0 {
+		t.Error("exact fallback should report full inspection at zero loss")
+	}
+}
+
+func TestTunePValidation(t *testing.T) {
+	e, calib, valid := tuneFixture(t, 73)
+	if _, err := e.TuneP(0, calib, valid, 0, 0, 2); err == nil {
+		t.Error("zero budget should error")
+	}
+	if _, err := e.TuneP(1, calib, nil, 0, 0, 2); err == nil {
+		t.Error("no validation data should error")
+	}
+	if _, err := e.TuneP(1, nil, valid, 0, 0, 2); err == nil {
+		t.Error("calibration errors should propagate")
+	}
+}
