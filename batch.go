@@ -1,6 +1,7 @@
 package elsa
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,14 +12,62 @@ type BatchOp struct {
 	Q, K, V [][]float32
 }
 
+// validate rejects malformed operations up front so a bad op fails with a
+// clear shape error instead of surfacing from deep inside the tensor layer
+// mid-dispatch.
+func (op BatchOp) validate() error {
+	for _, part := range []struct {
+		name string
+		rows [][]float32
+	}{{"Q", op.Q}, {"K", op.K}, {"V", op.V}} {
+		if len(part.rows) == 0 {
+			return fmt.Errorf("%s has no rows", part.name)
+		}
+		cols := len(part.rows[0])
+		if cols == 0 {
+			return fmt.Errorf("%s row 0 is empty", part.name)
+		}
+		for i, r := range part.rows {
+			if r == nil {
+				return fmt.Errorf("%s row %d is nil", part.name, i)
+			}
+			if len(r) != cols {
+				return fmt.Errorf("%s is ragged: row %d has %d columns, row 0 has %d",
+					part.name, i, len(r), cols)
+			}
+		}
+	}
+	if len(op.K) != len(op.V) {
+		return fmt.Errorf("%d keys but %d values", len(op.K), len(op.V))
+	}
+	return nil
+}
+
 // AttendBatch runs a batch of approximate-attention operations
 // concurrently across worker goroutines — the software analogue of the
 // paper's batch-level parallelism over replicated accelerators (§IV-D).
 // workers <= 0 selects GOMAXPROCS. Results are returned in input order; the
 // first error aborts the batch.
 func (e *Engine) AttendBatch(ops []BatchOp, thr Threshold, workers int) ([]*Output, error) {
+	return e.AttendBatchContext(context.Background(), ops, thr, workers)
+}
+
+// AttendBatchContext is AttendBatch with cancellation: once ctx is done no
+// further ops are dispatched to the workers, in-flight ops finish, and the
+// context's error is returned. Every op's shape is validated before any
+// work starts; validation and execution errors carry the op index
+// (`op 17: ...`).
+func (e *Engine) AttendBatchContext(ctx context.Context, ops []BatchOp, thr Threshold, workers int) ([]*Output, error) {
 	if len(ops) == 0 {
 		return nil, nil
+	}
+	for i, op := range ops {
+		if err := op.validate(); err != nil {
+			return nil, fmt.Errorf("elsa: op %d: %w", i, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("elsa: batch: %w", err)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,19 +84,30 @@ func (e *Engine) AttendBatch(ops []BatchOp, thr Threshold, workers int) ([]*Outp
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, thr)
 				outs[i], errs[i] = out, err
 			}
 		}()
 	}
+feed:
 	for i := range ops {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("elsa: batch: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("elsa: batch op %d: %w", i, err)
+			return nil, fmt.Errorf("elsa: op %d: %w", i, err)
 		}
 	}
 	return outs, nil
@@ -81,7 +141,7 @@ func (e *Engine) SimulateBatch(ops []BatchOp, thr Threshold, accelerators int) (
 	for i, op := range ops {
 		r, err := e.Simulate(op.Q, op.K, op.V, thr)
 		if err != nil {
-			return nil, fmt.Errorf("elsa: batch op %d: %w", i, err)
+			return nil, fmt.Errorf("elsa: op %d: %w", i, err)
 		}
 		rep.Ops[i] = r
 		cycles[i] = r.TotalCycles

@@ -1,8 +1,12 @@
 package elsa
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 )
 
 func makeBatch(rng *rand.Rand, ops, n, d int) []BatchOp {
@@ -63,8 +67,108 @@ func TestAttendBatchPropagatesErrors(t *testing.T) {
 	batch := makeBatch(rng, 3, 16, 64)
 	batch[1].Q = [][]float32{{1, 2}} // wrong dimension
 	if _, err := e.AttendBatch(batch, Exact(), 2); err == nil {
-		t.Error("bad op should fail the batch")
+		t.Fatal("bad op should fail the batch")
 	}
+}
+
+// attendBatchMustErr runs a batch that must fail and returns its error.
+func attendBatchMustErr(t *testing.T, e *Engine, batch []BatchOp) error {
+	t.Helper()
+	_, err := e.AttendBatch(batch, Exact(), 2)
+	if err == nil {
+		t.Fatal("malformed op should fail the batch")
+	}
+	return err
+}
+
+func TestAttendBatchRejectsMalformedOpsWithIndex(t *testing.T) {
+	e := newEngine(t, Options{Seed: 26})
+	rng := rand.New(rand.NewSource(26))
+
+	// Nil row inside K.
+	batch := makeBatch(rng, 3, 16, 64)
+	batch[2].K[5] = nil
+	err := attendBatchMustErr(t, e, batch)
+	if !strings.Contains(err.Error(), "op 2") || !strings.Contains(err.Error(), "row 5 is nil") {
+		t.Errorf("nil-row error should carry op and row index, got: %v", err)
+	}
+
+	// Ragged V.
+	batch = makeBatch(rng, 3, 16, 64)
+	batch[1].V[4] = batch[1].V[4][:7]
+	err = attendBatchMustErr(t, e, batch)
+	if !strings.Contains(err.Error(), "op 1") || !strings.Contains(err.Error(), "ragged") {
+		t.Errorf("ragged error should carry the op index, got: %v", err)
+	}
+
+	// Empty Q.
+	batch = makeBatch(rng, 2, 16, 64)
+	batch[0].Q = nil
+	err = attendBatchMustErr(t, e, batch)
+	if !strings.Contains(err.Error(), "op 0") || !strings.Contains(err.Error(), "Q has no rows") {
+		t.Errorf("empty-Q error should name op 0, got: %v", err)
+	}
+
+	// Key/value count mismatch is caught up front too.
+	batch = makeBatch(rng, 2, 16, 64)
+	batch[1].V = batch[1].V[:9]
+	err = attendBatchMustErr(t, e, batch)
+	if !strings.Contains(err.Error(), "op 1") || !strings.Contains(err.Error(), "16 keys but 9 values") {
+		t.Errorf("mismatch error should name op 1, got: %v", err)
+	}
+
+	// Execution errors (past validation) carry the index as well: a wrong
+	// column count is well-formed per-op but rejected by the engine.
+	batch = makeBatch(rng, 3, 16, 64)
+	batch[1].Q = [][]float32{{1, 2}}
+	err = attendBatchMustErr(t, e, batch)
+	if !strings.Contains(err.Error(), "op 1") {
+		t.Errorf("engine error should carry the op index, got: %v", err)
+	}
+}
+
+func TestAttendBatchContextCancellation(t *testing.T) {
+	e := newEngine(t, Options{Seed: 27})
+	rng := rand.New(rand.NewSource(27))
+	batch := makeBatch(rng, 4, 16, 64)
+
+	// Already-canceled context: nothing dispatches.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AttendBatchContext(ctx, batch, Exact(), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-batch: a single worker grinding through a heavy
+	// batch is canceled early and must stop well before the full batch
+	// would have finished.
+	heavy := makeBatch(rng, 48, 256, 64)
+	full := timeFullBatch(t, e, heavy)
+	ctx, cancel = context.WithCancel(context.Background())
+	time.AfterFunc(full/20, cancel)
+	start := time.Now()
+	if _, err := e.AttendBatchContext(ctx, heavy, Exact(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := time.Since(start); got > full/2 {
+		t.Errorf("canceled batch took %v, full batch takes %v: dispatch did not stop early", got, full)
+	}
+
+	// Background context behaves exactly like AttendBatch.
+	outs, err := e.AttendBatchContext(context.Background(), batch, Exact(), 2)
+	if err != nil || len(outs) != len(batch) {
+		t.Fatalf("background context run failed: %v", err)
+	}
+}
+
+// timeFullBatch measures the uncanceled single-worker batch for comparison.
+func timeFullBatch(t *testing.T, e *Engine, batch []BatchOp) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := e.AttendBatch(batch, Exact(), 1); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
 }
 
 func TestSimulateBatchFleetBehaviour(t *testing.T) {

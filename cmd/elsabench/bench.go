@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"elsa"
+	"elsa/internal/experiments"
+	"elsa/internal/tensor"
+	"elsa/internal/workload"
+)
+
+// BenchRow is one machine-readable benchmark measurement, written by the
+// -json flag so successive PRs can track a BENCH_*.json performance
+// trajectory.
+type BenchRow struct {
+	Dataset string  `json:"dataset"`
+	N       int     `json:"n"`
+	D       int     `json:"d"`
+	P       float64 `json:"p"`
+	// NsPerOp is the measured software Attend wall time per op at this
+	// operating point; ExactNsPerOp is the same op with filtering off.
+	NsPerOp      float64 `json:"ns_per_op"`
+	ExactNsPerOp float64 `json:"exact_ns_per_op"`
+	// SoftwareSpeedup is ExactNsPerOp / NsPerOp.
+	SoftwareSpeedup float64 `json:"software_speedup"`
+	// CandidateFraction is the mean fraction of keys the filter admitted.
+	CandidateFraction float64 `json:"candidate_fraction"`
+	// SimSpeedup is exact-mode simulated accelerator cycles over
+	// approximate-mode cycles for the same op.
+	SimSpeedup float64 `json:"sim_speedup"`
+}
+
+// rowsOf converts an internal matrix to the public [][]float32 form.
+func rowsOf(m *tensor.Matrix) [][]float32 {
+	out := make([][]float32, m.Rows)
+	for i := range out {
+		out[i] = append([]float32(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// timeAttend measures Attend wall time per op over iters runs.
+func timeAttend(eng *elsa.Engine, q, k, v [][]float32, thr elsa.Threshold, iters int) (float64, *elsa.Output, error) {
+	out, err := eng.Attend(q, k, v, thr) // warm-up, and the stats sample
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := eng.Attend(q, k, v, thr); err != nil {
+			return 0, nil, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), out, nil
+}
+
+// benchRows measures the software and simulated operating points that the
+// perf trajectory tracks: p = 0 (exact), 1 (conservative) and 2 (moderate)
+// on one representative dataset.
+func benchRows(opt experiments.Options) ([]BenchRow, error) {
+	const (
+		n     = 256
+		d     = 64
+		iters = 5
+	)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	eng, err := elsa.New(elsa.Options{HeadDim: d, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ds := workload.AllDatasets()[0]
+	calib := ds.GenerateLen(rng, d, n)
+	inst := ds.GenerateLen(rng, d, n)
+	q, k, v := rowsOf(inst.Q), rowsOf(inst.K), rowsOf(inst.V)
+
+	exactNs, _, err := timeAttend(eng, q, k, v, elsa.Exact(), iters)
+	if err != nil {
+		return nil, err
+	}
+	exactSim, err := eng.Simulate(q, k, v, elsa.Exact())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []BenchRow{{
+		Dataset: ds.Name, N: n, D: d, P: 0,
+		NsPerOp: exactNs, ExactNsPerOp: exactNs,
+		SoftwareSpeedup: 1, CandidateFraction: 1, SimSpeedup: 1,
+	}}
+	for _, p := range []float64{1, 2} {
+		thr, err := eng.Calibrate(p, []elsa.Sample{{Q: rowsOf(calib.Q), K: rowsOf(calib.K)}})
+		if err != nil {
+			return nil, err
+		}
+		ns, out, err := timeAttend(eng, q, k, v, thr, iters)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := eng.Simulate(q, k, v, thr)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BenchRow{
+			Dataset: ds.Name, N: n, D: d, P: p,
+			NsPerOp:           ns,
+			ExactNsPerOp:      exactNs,
+			SoftwareSpeedup:   exactNs / ns,
+			CandidateFraction: out.CandidateFraction,
+			SimSpeedup:        float64(exactSim.TotalCycles) / float64(sim.TotalCycles),
+		})
+	}
+	return rows, nil
+}
+
+func runBench(opt experiments.Options) error {
+	rows, err := benchRows(opt)
+	if err != nil {
+		return err
+	}
+	header("bench: software ns/op, candidate fraction and simulated speedup")
+	fmt.Printf("%-14s %5s %5s %5s %12s %10s %11s %11s\n",
+		"dataset", "n", "d", "p", "ns/op", "sw-speedup", "cand-frac", "sim-speedup")
+	for _, r := range rows {
+		fmt.Printf("%-14s %5d %5d %5.1f %12.0f %9.2fx %10.1f%% %10.2fx\n",
+			r.Dataset, r.N, r.D, r.P, r.NsPerOp, r.SoftwareSpeedup,
+			100*r.CandidateFraction, r.SimSpeedup)
+	}
+	return nil
+}

@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations]
-//	          [-quick] [-seed N] [-json] [-svg dir]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench]
+//	          [-quick] [-seed N] [-json out.json] [-svg dir]
+//
+// -json out.json writes the selected experiment's raw rows — including the
+// "bench" experiment's machine-readable ns/op, candidate-fraction and
+// speedup measurements — to a file ("-" writes to stdout), so successive
+// changes can be tracked as a BENCH_*.json perf trajectory.
 package main
 
 import (
@@ -24,10 +29,10 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonOut := flag.Bool("json", false, "emit raw experiment rows as JSON instead of tables")
+	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	flag.Parse()
 
@@ -50,8 +55,9 @@ func main() {
 		"host":      runHost,
 		"workloads": runWorkloads,
 		"modelfid":  runModelFidelity,
+		"bench":     runBench,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -60,8 +66,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures written to %s\n", *svgDir)
 		return
 	}
-	if *jsonOut {
-		if err := emitJSON(*experiment, order, opt); err != nil {
+	if *jsonOut != "" {
+		if err := emitJSON(*experiment, order, opt, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -128,6 +134,8 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 			links = append(links, in)
 		}
 		return links, nil
+	case "bench":
+		return benchRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {
@@ -166,8 +174,23 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 	}
 }
 
-func emitJSON(name string, order []string, opt experiments.Options) error {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(name string, order []string, opt experiments.Options, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "elsabench:", cerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "results written to %s\n", path)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if name != "all" {
 		payload, err := jsonPayload(name, opt)

@@ -1,0 +1,91 @@
+// Command elsaserve runs the ELSA attention service: a long-running HTTP
+// server that coalesces concurrent attention requests into micro-batches
+// (the software analogue of the accelerator's batch-level parallelism,
+// §IV-D), reuses calibrated engines across requests, and exposes
+// Prometheus-format runtime metrics.
+//
+// Usage:
+//
+//	elsaserve [-addr :8080] [-batch-window 2ms] [-max-batch 64]
+//	          [-queue 256] [-workers 0] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/attend   one Q/K/V attention op with degree-of-approximation p
+//	GET  /v1/healthz  liveness plus resident engine count
+//	GET  /v1/metrics  Prometheus text-format counters and histograms
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, queued
+// micro-batches are dispatched and drained, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elsa/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window")
+	maxBatch := flag.Int("max-batch", 64, "dispatch a batch early at this many ops")
+	queue := flag.Int("queue", 256, "bounded scheduler queue; overflow answers 429")
+	workers := flag.Int("workers", 0, "attention workers per batch (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request queue+compute deadline")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if err := run(*addr, *window, *maxBatch, *queue, *workers, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "elsaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, window time.Duration, maxBatch, queue, workers int, timeout, drain time.Duration) error {
+	srv := serve.New(serve.Config{
+		BatchWindow:    window,
+		MaxBatch:       maxBatch,
+		MaxQueue:       queue,
+		Workers:        workers,
+		RequestTimeout: timeout,
+	})
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s (window %s, max-batch %d, queue %d)\n",
+			addr, window, maxBatch, queue)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "elsaserve: shutting down, draining in-flight batches")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if lerr := <-errc; lerr != nil && !errors.Is(lerr, http.ErrServerClosed) {
+		return lerr
+	}
+	fmt.Fprintf(os.Stderr, "elsaserve: drained (mean batch size %.2f)\n", srv.Metrics().MeanBatchSize())
+	return nil
+}

@@ -34,6 +34,13 @@
 //	out, err := eng.Attend(q, k, v, thr)
 //	rep, err := eng.Simulate(q, k, v, thr) // cycles, joules, bottlenecks
 //
+// Batch helpers mirror the accelerator's batch-level parallelism in
+// software: AttendBatch / AttendBatchContext fan a batch of ops across
+// worker goroutines (with context cancellation for serving deadlines), and
+// cmd/elsaserve wraps the engine in a long-running HTTP service
+// (internal/serve) with dynamic micro-batching, an engine pool, and
+// Prometheus-format metrics.
+//
 // The internal packages implement every substrate from scratch: dense
 // linear algebra, SRP hashing, Kronecker projections, fixed-point
 // arithmetic and LUT functional units, transformer model configurations,

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+
+	"elsa"
+)
+
+// AttendRequest is the POST /v1/attend body: one self-attention op plus
+// the engine configuration it should run under. Omitted engine fields take
+// the library defaults; an omitted head_dim is inferred from the query
+// width so small hand-written payloads work out of the box.
+type AttendRequest struct {
+	Q [][]float32 `json:"q"`
+	K [][]float32 `json:"k"`
+	V [][]float32 `json:"v"`
+
+	// P is the degree of approximation (0 = exact attention). When T is
+	// absent the server calibrates a threshold for this p once per engine
+	// and reuses it.
+	P float64 `json:"p,omitempty"`
+	// T, when present, is an explicit pre-calibrated threshold (e.g. from
+	// elsacalib / SaveThreshold) and skips server-side calibration.
+	T *float64 `json:"t,omitempty"`
+
+	HeadDim   int   `json:"head_dim,omitempty"`
+	HashBits  int   `json:"hash_bits,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	Quantized bool  `json:"quantized,omitempty"`
+}
+
+// AttendResponse is the POST /v1/attend reply.
+type AttendResponse struct {
+	// Context is the attention output, one row per query.
+	Context [][]float32 `json:"context"`
+	// CandidateFraction is the mean fraction of keys admitted by the
+	// filter per query.
+	CandidateFraction float64 `json:"candidate_fraction"`
+	// FallbackQueries counts queries whose filter selected nothing.
+	FallbackQueries int `json:"fallback_queries"`
+	// Threshold echoes the operating point the op actually ran with.
+	Threshold ThresholdJSON `json:"threshold"`
+	// BatchSize is how many concurrent ops shared this op's dispatched
+	// micro-batch.
+	BatchSize int `json:"batch_size"`
+}
+
+// ThresholdJSON mirrors elsa.Threshold on the wire.
+type ThresholdJSON struct {
+	P       float64 `json:"p"`
+	T       float64 `json:"t"`
+	Queries int     `json:"queries,omitempty"`
+}
+
+// HealthResponse is the GET /v1/healthz reply.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Engines int    `json:"engines"`
+}
+
+// errorResponse is the JSON body for every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// validate performs the shape checks the scheduler relies on, returning a
+// client-addressable error.
+func (r *AttendRequest) validate() error {
+	for _, part := range []struct {
+		name string
+		rows [][]float32
+	}{{"q", r.Q}, {"k", r.K}, {"v", r.V}} {
+		if len(part.rows) == 0 {
+			return fmt.Errorf("%s must have at least one row", part.name)
+		}
+		cols := len(part.rows[0])
+		if cols == 0 {
+			return fmt.Errorf("%s row 0 is empty", part.name)
+		}
+		for i, row := range part.rows {
+			if len(row) != cols {
+				return fmt.Errorf("%s is ragged: row %d has %d columns, row 0 has %d",
+					part.name, i, len(row), cols)
+			}
+		}
+	}
+	if len(r.K) != len(r.V) {
+		return fmt.Errorf("%d keys but %d values", len(r.K), len(r.V))
+	}
+	if r.P < 0 {
+		return fmt.Errorf("p must be >= 0, got %g", r.P)
+	}
+	return nil
+}
+
+// options maps the request's engine fields onto elsa.Options.
+func (r *AttendRequest) options() elsa.Options {
+	return normalizeOptions(elsa.Options{
+		HeadDim:   r.HeadDim,
+		HashBits:  r.HashBits,
+		Seed:      r.Seed,
+		Quantized: r.Quantized,
+	}, len(r.Q[0]))
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchSizeBuckets are the dispatched-batch-size histogram bounds.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] tallies observations <= bounds[i], with a final
+// implicit +Inf bucket.
+type histogram struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// writeProm renders the histogram in Prometheus text exposition format.
+func (h *histogram) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Metrics aggregates the server's runtime counters and histograms and
+// renders them in Prometheus text format. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	requestsByCode map[string]int64 // HTTP status → count, /v1/attend only
+	rejectedByWhy  map[string]int64 // queue_full | timeout | closed | bad_request
+
+	batches  int64 // dispatched micro-batches
+	batchOps int64 // ops across all dispatched batches
+
+	batchSize *histogram
+	latency   *histogram // request wall time, seconds
+
+	candFracSum   float64 // admitted-candidate fraction, from Output stats
+	candFracCount int64
+
+	queueDepth int64 // current scheduler queue occupancy
+	engines    int64 // engines resident in the pool
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requestsByCode: make(map[string]int64),
+		rejectedByWhy:  make(map[string]int64),
+		batchSize:      newHistogram(batchSizeBuckets),
+		latency:        newHistogram(latencyBuckets),
+	}
+}
+
+// ObserveRequest records one finished /v1/attend request.
+func (m *Metrics) ObserveRequest(code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requestsByCode[fmt.Sprintf("%d", code)]++
+	m.latency.observe(seconds)
+}
+
+// ObserveRejection tallies a refused request by reason.
+func (m *Metrics) ObserveRejection(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejectedByWhy[reason]++
+}
+
+// ObserveBatch records one dispatched micro-batch of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchOps += int64(size)
+	m.batchSize.observe(float64(size))
+}
+
+// ObserveCandidateFraction records one op's admitted-candidate fraction.
+func (m *Metrics) ObserveCandidateFraction(f float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.candFracSum += f
+	m.candFracCount++
+}
+
+// SetQueueDepth updates the scheduler-occupancy gauge.
+func (m *Metrics) SetQueueDepth(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = int64(n)
+}
+
+// SetEngines updates the engine-pool-size gauge.
+func (m *Metrics) SetEngines(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engines = int64(n)
+}
+
+// MeanBatchSize returns ops-per-dispatched-batch so far (0 before any
+// dispatch).
+func (m *Metrics) MeanBatchSize() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.batches == 0 {
+		return 0
+	}
+	return float64(m.batchOps) / float64(m.batches)
+}
+
+// WriteTo renders every metric in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cw := &countingWriter{w: w}
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_requests_total Finished /v1/attend requests by HTTP status.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_requests_total counter\n")
+	for _, code := range sortedKeys(m.requestsByCode) {
+		fmt.Fprintf(cw, "elsa_serve_requests_total{code=%q} %d\n", code, m.requestsByCode[code])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_rejected_total Requests refused before attention ran, by reason.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_rejected_total counter\n")
+	for _, why := range sortedKeys(m.rejectedByWhy) {
+		fmt.Fprintf(cw, "elsa_serve_rejected_total{reason=%q} %d\n", why, m.rejectedByWhy[why])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_batches_total Micro-batches dispatched to the attention engine.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_batches_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_batches_total %d\n", m.batches)
+	fmt.Fprintf(cw, "# HELP elsa_serve_batch_ops_total Attention ops dispatched across all micro-batches.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_batch_ops_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_batch_ops_total %d\n", m.batchOps)
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_batch_size Ops coalesced per dispatched micro-batch.\n")
+	m.batchSize.writeProm(cw, "elsa_serve_batch_size")
+	fmt.Fprintf(cw, "# HELP elsa_serve_request_seconds Request wall time for /v1/attend.\n")
+	m.latency.writeProm(cw, "elsa_serve_request_seconds")
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_candidate_fraction_sum Summed admitted-candidate fractions over served ops.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_candidate_fraction_sum counter\n")
+	fmt.Fprintf(cw, "elsa_serve_candidate_fraction_sum %s\n", fmtFloat(m.candFracSum))
+	fmt.Fprintf(cw, "# TYPE elsa_serve_candidate_fraction_count counter\n")
+	fmt.Fprintf(cw, "elsa_serve_candidate_fraction_count %d\n", m.candFracCount)
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_queue_depth Requests currently queued in the micro-batch scheduler.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_queue_depth gauge\n")
+	fmt.Fprintf(cw, "elsa_serve_queue_depth %d\n", m.queueDepth)
+	fmt.Fprintf(cw, "# HELP elsa_serve_engines Calibrated engines resident in the pool.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_engines gauge\n")
+	fmt.Fprintf(cw, "elsa_serve_engines %d\n", m.engines)
+	return cw.n, cw.err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countingWriter tracks bytes written and the first error for WriteTo.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

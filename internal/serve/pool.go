@@ -1,0 +1,113 @@
+// Package serve is the long-running attention-serving subsystem: an
+// HTTP/JSON front end over the public elsa.Engine with a dynamic
+// micro-batching scheduler, an engine pool keyed by configuration, bounded
+// queueing with backpressure, and Prometheus-format metrics. It is the
+// software analogue of the paper's batch-level parallelism across
+// replicated accelerator modules (§IV-D): concurrent requests arriving
+// within a short window are coalesced into one batch and dispatched
+// through Engine.AttendBatchContext's worker pool.
+package serve
+
+import (
+	"sync"
+
+	"elsa"
+)
+
+// normalizeOptions resolves the defaults elsa.New would apply so that
+// equivalent requests map to the same pool key, and defaults the head
+// dimension from the request's own vectors when unset.
+func normalizeOptions(opts elsa.Options, queryWidth int) elsa.Options {
+	if opts.HeadDim == 0 {
+		opts.HeadDim = queryWidth
+	}
+	if opts.HeadDim == 0 {
+		opts.HeadDim = 64
+	}
+	if opts.HashBits == 0 {
+		opts.HashBits = opts.HeadDim
+	}
+	if opts.Hardware == (elsa.Hardware{}) {
+		opts.Hardware = elsa.DefaultHardware()
+	}
+	return opts
+}
+
+// engineEntry is one pooled engine plus its per-p calibrated thresholds.
+type engineEntry struct {
+	ready chan struct{} // closed once eng/err are set
+	eng   *elsa.Engine
+	err   error
+
+	thrMu      sync.Mutex
+	thresholds map[float64]elsa.Threshold
+}
+
+// threshold resolves the operating point for degree-of-approximation p.
+// p = 0 is the exact fallback. Otherwise the entry calibrates once per p —
+// using the first requester's Q/K as the calibration sample, the paper's
+// single-invocation scheme — and caches the result so later requests with
+// the same p share a threshold (and therefore a batch).
+func (e *engineEntry) threshold(p float64, q, k [][]float32) (elsa.Threshold, error) {
+	if p == 0 {
+		return elsa.Exact(), nil
+	}
+	e.thrMu.Lock()
+	defer e.thrMu.Unlock()
+	if thr, ok := e.thresholds[p]; ok {
+		return thr, nil
+	}
+	thr, err := e.eng.Calibrate(p, []elsa.Sample{{Q: q, K: k}})
+	if err != nil {
+		return elsa.Threshold{}, err
+	}
+	e.thresholds[p] = thr
+	return thr, nil
+}
+
+// enginePool caches calibrated engines keyed by their resolved Options
+// (HeadDim, HashBits, Seed, Quantized, Scale, Hardware), so
+// differently-configured requests reuse engines instead of re-running the
+// projection draw and θ_bias calibration in elsa.New on every request.
+type enginePool struct {
+	mu      sync.Mutex
+	entries map[elsa.Options]*engineEntry
+}
+
+func newEnginePool() *enginePool {
+	return &enginePool{entries: make(map[elsa.Options]*engineEntry)}
+}
+
+// get returns the pooled engine for opts, building it on first use.
+// Construction happens outside the pool lock; concurrent requests for the
+// same key wait on the builder instead of racing duplicate elsa.New calls.
+// A failed construction is cached so a misconfigured key fails fast.
+func (p *enginePool) get(opts elsa.Options) (*engineEntry, error) {
+	p.mu.Lock()
+	e, ok := p.entries[opts]
+	if !ok {
+		e = &engineEntry{
+			ready:      make(chan struct{}),
+			thresholds: make(map[float64]elsa.Threshold),
+		}
+		p.entries[opts] = e
+		p.mu.Unlock()
+		e.eng, e.err = elsa.New(opts)
+		close(e.ready)
+	} else {
+		p.mu.Unlock()
+		<-e.ready
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// size reports how many engine entries are resident (including failed
+// ones, which occupy a key).
+func (p *enginePool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}

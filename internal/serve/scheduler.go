@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"elsa"
+)
+
+// Errors surfaced by the scheduler to the HTTP layer.
+var (
+	// ErrQueueFull means the bounded scheduler queue is at capacity; the
+	// caller should shed load (HTTP 429).
+	ErrQueueFull = errors.New("serve: scheduler queue full")
+	// ErrClosed means the server is draining for shutdown (HTTP 503).
+	ErrClosed = errors.New("serve: server shutting down")
+)
+
+// batchKey identifies which pending micro-batch a request can join: ops
+// only batch together when they run on the same pooled engine with the
+// same threshold (AttendBatch applies one threshold to the whole batch).
+type batchKey struct {
+	entry *engineEntry
+	thr   elsa.Threshold
+}
+
+// jobResult is what a dispatched job hands back to its waiting request.
+type jobResult struct {
+	out       *elsa.Output
+	batchSize int
+	err       error
+}
+
+// job is one queued attention op plus its completion channel.
+type job struct {
+	ctx    context.Context
+	op     elsa.BatchOp
+	result chan jobResult // buffered: dispatch never blocks on a gone requester
+}
+
+// pendingBatch accumulates jobs for one key until the window elapses or
+// the batch fills.
+type pendingBatch struct {
+	jobs []*job
+}
+
+// scheduler implements dynamic micro-batching: the first request for a key
+// opens a batching window; requests arriving within it coalesce into one
+// AttendBatchContext call, mirroring how the accelerator fills its
+// replicated attention modules from a request stream.
+type scheduler struct {
+	window   time.Duration
+	maxBatch int
+	maxQueue int
+	workers  int
+	metrics  *Metrics
+
+	mu      sync.Mutex
+	closed  bool
+	queued  int
+	pending map[batchKey]*pendingBatch
+	wg      sync.WaitGroup
+}
+
+func newScheduler(window time.Duration, maxBatch, maxQueue, workers int, m *Metrics) *scheduler {
+	return &scheduler{
+		window:   window,
+		maxBatch: maxBatch,
+		maxQueue: maxQueue,
+		workers:  workers,
+		metrics:  m,
+		pending:  make(map[batchKey]*pendingBatch),
+	}
+}
+
+// submit enqueues one op and blocks until its batch is dispatched and
+// computed, ctx is done, or the server refuses it (full queue / closing).
+// The returned batch size is how many ops shared the dispatched batch.
+func (s *scheduler) submit(ctx context.Context, key batchKey, op elsa.BatchOp) (*elsa.Output, int, error) {
+	j := &job{ctx: ctx, op: op, result: make(chan jobResult, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if s.queued >= s.maxQueue {
+		s.mu.Unlock()
+		return nil, 0, ErrQueueFull
+	}
+	s.queued++
+	s.metrics.SetQueueDepth(s.queued)
+	b, ok := s.pending[key]
+	if !ok {
+		b = &pendingBatch{}
+		s.pending[key] = b
+		// First job for this key: open the batching window. The timer
+		// flushes whatever has accumulated when it fires; pointer
+		// identity guards against flushing a successor batch.
+		time.AfterFunc(s.window, func() { s.flush(key, b) })
+	}
+	b.jobs = append(b.jobs, j)
+	if len(b.jobs) >= s.maxBatch {
+		s.dispatchLocked(key, b)
+	}
+	s.mu.Unlock()
+
+	select {
+	case r := <-j.result:
+		return r.out, r.batchSize, r.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// flush dispatches batch b if it is still the pending batch for key.
+func (s *scheduler) flush(key batchKey, b *pendingBatch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[key] == b {
+		s.dispatchLocked(key, b)
+	}
+}
+
+// dispatchLocked detaches b from the pending set and runs it. Callers hold
+// s.mu; the wg.Add here pairs with close()'s wg.Wait so shutdown drains
+// every dispatched batch.
+func (s *scheduler) dispatchLocked(key batchKey, b *pendingBatch) {
+	delete(s.pending, key)
+	s.wg.Add(1)
+	go s.run(key, b.jobs)
+}
+
+// run executes one detached batch: jobs whose context already expired are
+// answered immediately, the rest go through the engine's batch worker pool
+// in one call.
+func (s *scheduler) run(key batchKey, jobs []*job) {
+	defer s.wg.Done()
+	live := make([]*job, 0, len(jobs))
+	for _, j := range jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.result <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	s.mu.Lock()
+	s.queued -= len(jobs)
+	s.metrics.SetQueueDepth(s.queued)
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return
+	}
+	ops := make([]elsa.BatchOp, len(live))
+	for i, j := range live {
+		ops[i] = j.op
+	}
+	s.metrics.ObserveBatch(len(live))
+	outs, err := key.entry.eng.AttendBatchContext(context.Background(), ops, key.thr, s.workers)
+	if err != nil {
+		for _, j := range live {
+			j.result <- jobResult{err: err}
+		}
+		return
+	}
+	for i, j := range live {
+		s.metrics.ObserveCandidateFraction(outs[i].CandidateFraction)
+		j.result <- jobResult{out: outs[i], batchSize: len(live)}
+	}
+}
+
+// close stops admission, dispatches every still-pending batch immediately,
+// and waits for all in-flight batches to finish. Safe to call more than
+// once.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	for key, b := range s.pending {
+		s.dispatchLocked(key, b)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

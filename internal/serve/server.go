@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"elsa"
+)
+
+// Config tunes the serving subsystem. Zero values select production-safe
+// defaults.
+type Config struct {
+	// BatchWindow is how long the scheduler holds the first request of a
+	// micro-batch open for followers (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch dispatches a batch early once this many ops have coalesced
+	// (default 64).
+	MaxBatch int
+	// MaxQueue bounds requests resident in the scheduler; beyond it
+	// submissions fail with ErrQueueFull / HTTP 429 (default 256).
+	MaxQueue int
+	// Workers is the AttendBatch worker count per dispatched batch
+	// (default: GOMAXPROCS via elsa).
+	Workers int
+	// RequestTimeout bounds one request's queue + compute time
+	// (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds the /v1/attend request body (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) setDefaults() {
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+}
+
+// Server is the attention-serving subsystem: an http.Handler exposing
+// POST /v1/attend, GET /v1/healthz and GET /v1/metrics over a shared
+// engine pool and micro-batching scheduler.
+type Server struct {
+	cfg     Config
+	pool    *enginePool
+	sched   *scheduler
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newEnginePool(),
+		sched:   newScheduler(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, m),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the server's metric registry (used by tests and the
+// command's logging).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the scheduler: admission stops, pending micro-batches
+// dispatch immediately, and Close returns once every in-flight batch has
+// delivered its results. Call after http.Server.Shutdown so no handler is
+// left waiting.
+func (s *Server) Close() {
+	s.sched.close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Engines: s.pool.size()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.SetEngines(s.pool.size())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w) //nolint:errcheck // best effort: client gone mid-scrape
+}
+
+func (s *Server) handleAttend(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, reason := s.attend(w, r)
+	if reason != "" {
+		s.metrics.ObserveRejection(reason)
+	}
+	s.metrics.ObserveRequest(code, time.Since(start).Seconds())
+}
+
+// attend runs one request end to end and returns the HTTP status it
+// answered with plus a rejection reason ("" when the op was served).
+func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string) {
+	var req AttendRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error()), "bad_request"
+	}
+	if err := req.validate(); err != nil {
+		return fail(w, http.StatusBadRequest, err.Error()), "bad_request"
+	}
+
+	entry, err := s.pool.get(req.options())
+	if err != nil {
+		return fail(w, http.StatusBadRequest, "engine: "+err.Error()), "bad_request"
+	}
+	var thr elsa.Threshold
+	if req.T != nil {
+		thr = elsa.Threshold{P: req.P, T: *req.T}
+	} else if thr, err = entry.threshold(req.P, req.Q, req.K); err != nil {
+		return fail(w, http.StatusBadRequest, "calibrate: "+err.Error()), "bad_request"
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, batchSize, err := s.sched.submit(ctx, batchKey{entry: entry, thr: thr},
+		elsa.BatchOp{Q: req.Q, K: req.K, V: req.V})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		return fail(w, http.StatusTooManyRequests, err.Error()), "queue_full"
+	case errors.Is(err, ErrClosed):
+		return fail(w, http.StatusServiceUnavailable, err.Error()), "closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return fail(w, http.StatusGatewayTimeout, "request timed out"), "timeout"
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads the body, but account for it.
+		return fail(w, http.StatusRequestTimeout, "request canceled"), "canceled"
+	default:
+		return fail(w, http.StatusInternalServerError, err.Error()), "internal"
+	}
+
+	return writeJSON(w, http.StatusOK, AttendResponse{
+		Context:           out.Context,
+		CandidateFraction: out.CandidateFraction,
+		FallbackQueries:   out.FallbackQueries,
+		Threshold:         ThresholdJSON{P: thr.P, T: thr.T, Queries: thr.Queries},
+		BatchSize:         batchSize,
+	}), ""
+}
+
+func fail(w http.ResponseWriter, code int, msg string) int {
+	return writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone mid-write
+	return code
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"elsa"
+)
+
+func TestNormalizeOptions(t *testing.T) {
+	got := normalizeOptions(elsa.Options{}, 16)
+	if got.HeadDim != 16 || got.HashBits != 16 {
+		t.Errorf("head dim should default to the query width: %+v", got)
+	}
+	if got.Hardware != elsa.DefaultHardware() {
+		t.Error("zero hardware should normalize to the default")
+	}
+	got = normalizeOptions(elsa.Options{}, 0)
+	if got.HeadDim != 64 {
+		t.Errorf("with no query width the paper default 64 applies, got %d", got.HeadDim)
+	}
+	got = normalizeOptions(elsa.Options{HeadDim: 32, HashBits: 8}, 16)
+	if got.HeadDim != 32 || got.HashBits != 8 {
+		t.Errorf("explicit fields must survive normalization: %+v", got)
+	}
+}
+
+func TestEnginePoolReusesAndCachesFailures(t *testing.T) {
+	p := newEnginePool()
+	a, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 1}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 1}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same options must return the same pooled entry")
+	}
+	c, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 2}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different seed must build a different engine")
+	}
+	if p.size() != 2 {
+		t.Errorf("pool size %d, want 2", p.size())
+	}
+	// A bad config fails, and fails again from cache without rebuilding.
+	if _, err := p.get(elsa.Options{HeadDim: -1}); err == nil {
+		t.Fatal("negative head dim should fail")
+	}
+	if _, err := p.get(elsa.Options{HeadDim: -1}); err == nil {
+		t.Fatal("cached failure should still fail")
+	}
+	if p.size() != 3 {
+		t.Errorf("pool size %d, want 3 (failed entry occupies its key)", p.size())
+	}
+}
+
+func TestSchedulerCanceledContext(t *testing.T) {
+	pool := newEnginePool()
+	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(time.Hour, 64, 8, 0, NewMetrics())
+	defer s.close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(3))
+	q, k, v := genOp(rng, 2, 4)
+	_, _, err = s.submit(ctx, batchKey{entry: entry, thr: elsa.Exact()}, elsa.BatchOp{Q: q, K: k, V: v})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSchedulerRefusesWhenClosed(t *testing.T) {
+	pool := newEnginePool()
+	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(time.Millisecond, 64, 8, 0, NewMetrics())
+	s.close()
+	rng := rand.New(rand.NewSource(4))
+	q, k, v := genOp(rng, 2, 4)
+	_, _, err = s.submit(context.Background(), batchKey{entry: entry, thr: elsa.Exact()}, elsa.BatchOp{Q: q, K: k, V: v})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	s.close() // idempotent
+}
+
+func TestMaxBatchDispatchesEarly(t *testing.T) {
+	pool := newEnginePool()
+	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	// An hour-long window: only the max-batch fast path can dispatch.
+	s := newScheduler(time.Hour, 2, 16, 0, m)
+	defer s.close()
+	rng := rand.New(rand.NewSource(5))
+	key := batchKey{entry: entry, thr: elsa.Exact()}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		q, k, v := genOp(rng, 2, 4)
+		go func() {
+			_, _, err := s.submit(context.Background(), key, elsa.BatchOp{Q: q, K: k, V: v})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("full batch never dispatched before the window")
+		}
+	}
+	if mean := m.MeanBatchSize(); mean != 2 {
+		t.Errorf("mean batch size %g, want exactly 2", mean)
+	}
+}
+
+func TestMetricsHistogramRendering(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveBatch(1)
+	m.ObserveBatch(3)
+	m.ObserveBatch(300) // beyond the last bound → +Inf bucket
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`elsa_serve_batch_size_bucket{le="1"} 1`,
+		`elsa_serve_batch_size_bucket{le="4"} 2`,
+		`elsa_serve_batch_size_bucket{le="256"} 2`,
+		`elsa_serve_batch_size_bucket{le="+Inf"} 3`,
+		"elsa_serve_batch_size_sum 304",
+		"elsa_serve_batch_size_count 3",
+		"elsa_serve_batch_ops_total 304",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+	if m.MeanBatchSize() != 304.0/3 {
+		t.Errorf("mean batch size %g", m.MeanBatchSize())
+	}
+}

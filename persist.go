@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"elsa/internal/attention"
 )
@@ -89,4 +90,66 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("elsa: load: %w", err)
 	}
 	return Restore(s)
+}
+
+// thresholdFile is the on-disk format for a calibrated Threshold, so a
+// deployment can calibrate offline and ship the operating point alongside
+// the engine snapshot.
+type thresholdFile struct {
+	Version int     `json:"version"`
+	P       float64 `json:"p"`
+	T       float64 `json:"t"`
+	Queries int     `json:"queries"`
+}
+
+// thresholdVersion is the current threshold serialization format version.
+const thresholdVersion = 1
+
+// SaveThreshold writes a calibrated threshold as JSON. Non-finite fields
+// are rejected before encoding so a corrupt in-memory value cannot produce
+// an unloadable file.
+func SaveThreshold(w io.Writer, t Threshold) error {
+	if err := checkThreshold(t); err != nil {
+		return fmt.Errorf("elsa: save threshold: %w", err)
+	}
+	f := thresholdFile{Version: thresholdVersion, P: t.P, T: t.T, Queries: t.Queries}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("elsa: save threshold: %w", err)
+	}
+	return nil
+}
+
+// LoadThreshold reads a threshold written by SaveThreshold. A p = 0 record
+// always loads as the exact (filter-disabled) operating point regardless of
+// the stored t, matching Calibrate's p = 0 fallback.
+func LoadThreshold(r io.Reader) (Threshold, error) {
+	var f thresholdFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return Threshold{}, fmt.Errorf("elsa: load threshold: %w", err)
+	}
+	if f.Version != thresholdVersion {
+		return Threshold{}, fmt.Errorf("elsa: load threshold: unsupported version %d (want %d)", f.Version, thresholdVersion)
+	}
+	t := Threshold{P: f.P, T: f.T, Queries: f.Queries}
+	if err := checkThreshold(t); err != nil {
+		return Threshold{}, fmt.Errorf("elsa: load threshold: %w", err)
+	}
+	if t.P == 0 {
+		t.T = attention.ExactThresholdNoApprox
+	}
+	return t, nil
+}
+
+// checkThreshold validates a threshold's fields for persistence.
+func checkThreshold(t Threshold) error {
+	if math.IsNaN(t.P) || math.IsInf(t.P, 0) || t.P < 0 {
+		return fmt.Errorf("degree of approximation p = %g is invalid", t.P)
+	}
+	if math.IsNaN(t.T) || math.IsInf(t.T, 0) {
+		return fmt.Errorf("threshold t = %g is not finite", t.T)
+	}
+	if t.Queries < 0 {
+		return fmt.Errorf("negative calibration query count %d", t.Queries)
+	}
+	return nil
 }

@@ -2,9 +2,12 @@ package elsa
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"elsa/internal/attention"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -82,6 +85,113 @@ func TestRestoreValidation(t *testing.T) {
 func TestLoadEngineRejectsGarbage(t *testing.T) {
 	if _, err := LoadEngine(strings.NewReader("not json")); err == nil {
 		t.Error("garbage input should error")
+	}
+}
+
+func TestThresholdRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		thr  Threshold
+	}{
+		{"calibrated", Threshold{P: 1, T: 0.3127, Queries: 96}},
+		{"exact fallback p=0", Exact()},
+		{"very small t", Threshold{P: 8, T: 1e-300, Queries: 1}},
+		{"very large t", Threshold{P: 0.25, T: 1e300, Queries: 3}},
+		{"negative t", Threshold{P: 2, T: -1.5, Queries: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := SaveThreshold(&buf, tc.thr); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadThreshold(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.thr {
+				t.Errorf("round trip changed the threshold: %+v vs %+v", got, tc.thr)
+			}
+		})
+	}
+}
+
+func TestThresholdLoadNormalizesExactFallback(t *testing.T) {
+	// A p=0 record must come back filter-disabled even if its stored t is
+	// some other (stale) value.
+	got, err := LoadThreshold(strings.NewReader(`{"version":1,"p":0,"t":0.75,"queries":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != attention.ExactThresholdNoApprox {
+		t.Errorf("p=0 should load as the exact threshold, got t=%g", got.T)
+	}
+	if got.Queries != 4 {
+		t.Errorf("queries should survive, got %d", got.Queries)
+	}
+}
+
+func TestThresholdSaveRejectsNonFinite(t *testing.T) {
+	for _, thr := range []Threshold{
+		{P: 1, T: math.NaN()},
+		{P: 1, T: math.Inf(1)},
+		{P: math.NaN(), T: 0.5},
+		{P: -1, T: 0.5},
+		{P: 1, T: 0.5, Queries: -2},
+	} {
+		var buf bytes.Buffer
+		if err := SaveThreshold(&buf, thr); err == nil {
+			t.Errorf("threshold %+v should be rejected", thr)
+		}
+	}
+}
+
+func TestThresholdLoadErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"garbage", "not json"},
+		{"truncated", `{"version":1,"p":1`},
+		{"wrong version", `{"version":9,"p":1,"t":0.5}`},
+		{"negative p", `{"version":1,"p":-2,"t":0.5}`},
+		{"negative queries", `{"version":1,"p":1,"t":0.5,"queries":-1}`},
+	}
+	for _, tc := range cases {
+		if _, err := LoadThreshold(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: corrupted threshold file should error", tc.name)
+		}
+	}
+}
+
+func TestThresholdRoundTripThroughCalibration(t *testing.T) {
+	// A threshold calibrated on real data survives the disk round trip and
+	// selects identical candidates afterwards.
+	rng := rand.New(rand.NewSource(53))
+	e := newEngine(t, Options{Seed: 53})
+	cq, ck, _ := genData(rng, 32, 64, 64)
+	thr, err := e.Calibrate(1, []Sample{{Q: cq, K: ck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveThreshold(&buf, thr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadThreshold(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k, v := genData(rng, 16, 48, 64)
+	a, err := e.Attend(q, k, v, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Attend(q, k, v, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CandidateFraction != b.CandidateFraction {
+		t.Error("loaded threshold selects different candidates")
 	}
 }
 

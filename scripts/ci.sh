@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: vet, formatting, build, and the race-enabled test suite.
+# The serving scheduler is concurrent by design — the -race run is the
+# contract that it stays race-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
