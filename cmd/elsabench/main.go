@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"elsa/internal/energy"
@@ -34,6 +36,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	baseline := flag.String("baseline", "", "bench experiment only: compare ns/op against this committed BENCH_*.json")
+	maxRegress := flag.Float64("maxregress", 0.15, "with -baseline: allowed fractional ns/op regression before failing")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -41,6 +47,51 @@ func main() {
 		opt = experiments.Quick()
 	}
 	opt.Seed = *seed
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "elsabench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "elsabench:", err)
+			}
+		}()
+	}
+
+	if *baseline != "" {
+		if *experiment != "bench" && *experiment != "all" {
+			fatal(fmt.Errorf("-baseline requires -experiment bench"))
+		}
+		rows, err := benchRows(opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "" {
+			if err := writeJSONPayload(map[string]any{"bench": rows}, *jsonOut); err != nil {
+				fatal(err)
+			}
+		}
+		if err := comparePerf(rows, *baseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "elsabench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	runners := map[string]func(experiments.Options) error{
 		"fig2":      runFig2,
@@ -175,6 +226,26 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 }
 
 func emitJSON(name string, order []string, opt experiments.Options, path string) error {
+	if name != "all" {
+		payload, err := jsonPayload(name, opt)
+		if err != nil {
+			return err
+		}
+		return writeJSONPayload(map[string]any{name: payload}, path)
+	}
+	out := make(map[string]any, len(order))
+	for _, n := range order {
+		payload, err := jsonPayload(n, opt)
+		if err != nil {
+			return err
+		}
+		out[n] = payload
+	}
+	return writeJSONPayload(out, path)
+}
+
+// writeJSONPayload encodes payload as indented JSON to path ("-" = stdout).
+func writeJSONPayload(payload any, path string) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -192,22 +263,7 @@ func emitJSON(name string, order []string, opt experiments.Options, path string)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if name != "all" {
-		payload, err := jsonPayload(name, opt)
-		if err != nil {
-			return err
-		}
-		return enc.Encode(map[string]any{name: payload})
-	}
-	out := make(map[string]any, len(order))
-	for _, n := range order {
-		payload, err := jsonPayload(n, opt)
-		if err != nil {
-			return err
-		}
-		out[n] = payload
-	}
-	return enc.Encode(out)
+	return enc.Encode(payload)
 }
 
 func fatal(err error) {

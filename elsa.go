@@ -2,6 +2,7 @@ package elsa
 
 import (
 	"fmt"
+	"sync"
 
 	"elsa/internal/attention"
 	"elsa/internal/elsasim"
@@ -93,6 +94,19 @@ type Engine struct {
 	opts   Options
 	engine *attention.Engine
 	sim    *elsasim.Simulator
+	// wsPool recycles attention workspaces for the serving-oriented Attend
+	// fast path, which skips per-query candidate-list collection.
+	wsPool sync.Pool
+}
+
+// getWorkspace takes a no-candidate-collection workspace from the pool.
+func (e *Engine) getWorkspace() *attention.Workspace {
+	ws, ok := e.wsPool.Get().(*attention.Workspace)
+	if !ok {
+		ws = attention.NewWorkspace(e.engine)
+	}
+	ws.CollectCandidates = false
+	return ws
 }
 
 // New builds an Engine: it draws the Kronecker-structured hash projection,
@@ -231,13 +245,20 @@ type Output struct {
 	FallbackQueries int
 }
 
-// Attend runs ELSA approximate self-attention with the given threshold.
+// Attend runs ELSA approximate self-attention with the given threshold. It
+// uses the workspace fast path: per-query candidate index lists are not
+// collected (Output does not expose them), so the steady-state query loop
+// allocates nothing.
 func (e *Engine) Attend(q, k, v [][]float32, thr Threshold) (*Output, error) {
-	res, _, err := e.attend(q, k, v, thr)
+	res, _, err := e.attend(q, k, v, thr, false)
 	return res, err
 }
 
-func (e *Engine) attend(q, k, v [][]float32, thr Threshold) (*Output, *attention.Result, error) {
+// attend is the shared attend implementation. With collect set the returned
+// attention.Result carries the per-query candidate lists (Evaluate needs
+// them for the fidelity comparison); without it the pooled
+// no-candidate-collection workspace path is used and the Result is nil.
+func (e *Engine) attend(q, k, v [][]float32, thr Threshold, collect bool) (*Output, *attention.Result, error) {
 	qm, err := toMatrix("queries", q, e.opts.HeadDim)
 	if err != nil {
 		return nil, nil, err
@@ -253,6 +274,24 @@ func (e *Engine) attend(q, k, v [][]float32, thr Threshold) (*Output, *attention
 	pre, err := e.engine.Preprocess(km, vm)
 	if err != nil {
 		return nil, nil, fmt.Errorf("elsa: %w", err)
+	}
+	if !collect {
+		ws := e.getWorkspace()
+		res, err := e.engine.AttendWith(ws, qm, pre, thr.T)
+		if err != nil {
+			e.wsPool.Put(ws)
+			return nil, nil, fmt.Errorf("elsa: %w", err)
+		}
+		// The Result is workspace-owned, so copy what Output exposes
+		// before the workspace returns to the pool.
+		out := &Output{
+			Context:            fromMatrix(res.Output),
+			CandidateFraction:  res.CandidateFraction(km.Rows),
+			CandidatesPerQuery: append([]int(nil), res.CandidateCounts...),
+			FallbackQueries:    res.FallbackQueries,
+		}
+		e.wsPool.Put(ws)
+		return out, nil, nil
 	}
 	res, err := e.engine.Attend(qm, pre, thr.T)
 	if err != nil {
@@ -280,7 +319,7 @@ type Fidelity struct {
 // Evaluate runs approximate attention and measures its fidelity against the
 // exact operator in one call.
 func (e *Engine) Evaluate(q, k, v [][]float32, thr Threshold) (*Output, Fidelity, error) {
-	out, res, err := e.attend(q, k, v, thr)
+	out, res, err := e.attend(q, k, v, thr, true)
 	if err != nil {
 		return nil, Fidelity{}, err
 	}

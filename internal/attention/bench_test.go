@@ -1,0 +1,163 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+// benchSetup builds an engine, preprocessed keys and a query matrix plus a
+// calibrated-looking threshold for the steady-state benchmarks.
+func benchSetup(tb testing.TB, n, d int, quantized bool) (*Engine, *tensor.Matrix, *Preprocessed, float64) {
+	tb.Helper()
+	e, err := NewEngine(Config{D: d, Quantized: quantized, Seed: 7})
+	if err != nil {
+		tb.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	q := tensor.New(n, d)
+	k := tensor.New(n, d)
+	v := tensor.New(n, d)
+	for _, m := range []*tensor.Matrix{q, k, v} {
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	p, err := e.Preprocess(k, v)
+	if err != nil {
+		tb.Fatalf("Preprocess: %v", err)
+	}
+	// A mid-range threshold that admits a fraction of the keys, like a
+	// calibrated p=1..2 operating point.
+	return e, q, p, 0.5
+}
+
+// TestAttendWithZeroAlloc asserts the tentpole property: after warm-up, a
+// steady-state AttendWith call performs zero heap allocations. It must not
+// be skipped under -short — it is this PR's acceptance gate.
+func TestAttendWithZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		quantized bool
+	}{
+		{"float", false},
+		{"quantized", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, q, p, thr := benchSetup(t, 64, 64, tc.quantized)
+			ws := NewWorkspace(e)
+			// Warm up so every workspace buffer reaches its steady size.
+			if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+				t.Fatalf("AttendWith: %v", err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+					t.Fatalf("AttendWith: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state AttendWith allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestAttendWithNoCollectZeroAlloc covers the serving configuration, which
+// also skips candidate-list bookkeeping.
+func TestAttendWithNoCollectZeroAlloc(t *testing.T) {
+	e, q, p, thr := benchSetup(t, 64, 64, false)
+	ws := NewWorkspace(e)
+	ws.CollectCandidates = false
+	if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+		t.Fatalf("AttendWith: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+			t.Fatalf("AttendWith: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("no-collect AttendWith allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAttendWithMatchesAttend pins the bit-identical contract between the
+// allocating and workspace paths.
+func TestAttendWithMatchesAttend(t *testing.T) {
+	for _, quantized := range []bool{false, true} {
+		e, q, p, thr := benchSetup(t, 48, 64, quantized)
+		want, err := e.Attend(q, p, thr)
+		if err != nil {
+			t.Fatalf("Attend: %v", err)
+		}
+		ws := NewWorkspace(e)
+		got, err := e.AttendWith(ws, q, p, thr)
+		if err != nil {
+			t.Fatalf("AttendWith: %v", err)
+		}
+		for i := range want.Output.Data {
+			if want.Output.Data[i] != got.Output.Data[i] {
+				t.Fatalf("quantized=%v: output[%d] = %v via workspace, %v via Attend",
+					quantized, i, got.Output.Data[i], want.Output.Data[i])
+			}
+		}
+		if got.TotalCandidates != want.TotalCandidates || got.FallbackQueries != want.FallbackQueries {
+			t.Fatalf("quantized=%v: stats (%d,%d) via workspace, (%d,%d) via Attend", quantized,
+				got.TotalCandidates, got.FallbackQueries, want.TotalCandidates, want.FallbackQueries)
+		}
+		for i := range want.Candidates {
+			if len(want.Candidates[i]) != len(got.Candidates[i]) {
+				t.Fatalf("quantized=%v: query %d candidate count mismatch", quantized, i)
+			}
+			for j := range want.Candidates[i] {
+				if want.Candidates[i][j] != got.Candidates[i][j] {
+					t.Fatalf("quantized=%v: query %d candidate %d mismatch", quantized, i, j)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAttendSteadyState is the tentpole benchmark: the zero-allocation
+// workspace attend over n=256 keys at d=64. b.ReportAllocs surfaces the
+// allocs/op figure the acceptance criteria pin at 0.
+func BenchmarkAttendSteadyState(b *testing.B) {
+	e, q, p, thr := benchSetup(b, 256, 64, false)
+	ws := NewWorkspace(e)
+	if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+		b.Fatalf("AttendWith: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AttendWith(ws, q, p, thr); err != nil {
+			b.Fatalf("AttendWith: %v", err)
+		}
+	}
+}
+
+// BenchmarkAttend tracks the allocating compatibility path for comparison.
+func BenchmarkAttend(b *testing.B) {
+	e, q, p, thr := benchSetup(b, 256, 64, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Attend(q, p, thr); err != nil {
+			b.Fatalf("Attend: %v", err)
+		}
+	}
+}
+
+// BenchmarkPreprocess tracks the per-key hash+norm pipeline.
+func BenchmarkPreprocess(b *testing.B) {
+	e, _, p, _ := benchSetup(b, 256, 64, false)
+	keys, values := p.Keys, p.Values
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Preprocess(keys, values); err != nil {
+			b.Fatalf("Preprocess: %v", err)
+		}
+	}
+}

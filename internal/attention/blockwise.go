@@ -45,6 +45,8 @@ func (e *Engine) BlockwiseAttend(q, keys, values *tensor.Matrix, blockSize int, 
 		maxScore[i] = math.Inf(-1)
 	}
 
+	ws := e.getWorkspace()
+	defer e.putWorkspace(ws)
 	for lo := 0; lo < n; lo += blockSize {
 		hi := lo + blockSize
 		if hi > n {
@@ -56,11 +58,11 @@ func (e *Engine) BlockwiseAttend(q, keys, values *tensor.Matrix, blockSize int, 
 		if err != nil {
 			return nil, err
 		}
-		scratch := make([]int, 0, hi-lo)
 		for qi := 0; qi < nq; qi++ {
 			qrow := q.Row(qi)
-			qHash := e.HashVector(qrow)
-			scratch = e.SelectCandidates(qHash, pre, t, scratch[:0])
+			e.HashVectorInto(ws.hashWords, qrow, ws)
+			scratch := e.selectCandidatesWords(ws.hashWords, pre, t, ws.cand[:0])
+			ws.cand = scratch
 			if len(scratch) == 0 {
 				// A block contributing nothing is fine as long as some
 				// block contributes; track the best key as a last-resort
@@ -73,7 +75,7 @@ func (e *Engine) BlockwiseAttend(q, keys, values *tensor.Matrix, blockSize int, 
 			for _, y := range scratch {
 				res.Candidates[qi] = append(res.Candidates[qi], lo+y)
 			}
-			mergeBlock(e, qrow, scratch, pre, acc.Row(qi), &maxScore[qi], &sumExp[qi])
+			mergeBlock(e, ws, qrow, scratch, pre, acc.Row(qi), &maxScore[qi], &sumExp[qi])
 		}
 	}
 	// Normalize; queries no block selected fall back to the single best
@@ -85,7 +87,8 @@ func (e *Engine) BlockwiseAttend(q, keys, values *tensor.Matrix, blockSize int, 
 	for qi := 0; qi < nq; qi++ {
 		if sumExp[qi] == 0 {
 			res.FallbackQueries++
-			best := e.bestApproxKey(e.HashVector(q.Row(qi)), full)
+			e.HashVectorInto(ws.hashWords, q.Row(qi), ws)
+			best := e.bestApproxKeyWords(ws.hashWords, full)
 			copy(res.Output.Row(qi), values.Row(best))
 			res.Candidates[qi] = append(res.Candidates[qi], best)
 			res.CandidateCounts[qi] = 1
@@ -104,9 +107,12 @@ func (e *Engine) BlockwiseAttend(q, keys, values *tensor.Matrix, blockSize int, 
 // mergeBlock folds one block's candidates into the query's running
 // log-sum-exp state: on a new maximum, previously accumulated sums are
 // rescaled by e^{oldMax-newMax}.
-func mergeBlock(e *Engine, qrow []float32, cand []int, pre *Preprocessed, acc []float32, maxScore, sumExp *float64) {
-	// Block-local scores.
-	scores := make([]float64, len(cand))
+func mergeBlock(e *Engine, ws *Workspace, qrow []float32, cand []int, pre *Preprocessed, acc []float32, maxScore, sumExp *float64) {
+	// Block-local scores, staged in the workspace.
+	if cap(ws.scores) < len(cand) {
+		ws.scores = make([]float64, len(cand))
+	}
+	scores := ws.scores[:len(cand)]
 	blockMax := math.Inf(-1)
 	for ci, y := range cand {
 		scores[ci] = float64(tensor.Dot(qrow, pre.Keys.Row(y))) * e.cfg.Scale

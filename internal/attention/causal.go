@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"elsa/internal/fixed"
 	"elsa/internal/srp"
 	"elsa/internal/tensor"
 )
@@ -54,49 +53,54 @@ func (e *Engine) AttendCausal(q *tensor.Matrix, p *Preprocessed, t float64) (*Re
 	if err := validateFinite("query matrix", q); err != nil {
 		return nil, err
 	}
-	qm := q
-	if e.cfg.Quantized {
-		qm = q.Clone()
-		fixed.QKV.QuantizeSlice(qm.Data)
-	}
+	ws := e.getWorkspace()
+	qm := ws.stageQuery(e, q)
 	res := &Result{
 		Output:          tensor.New(q.Rows, e.cfg.D),
 		CandidateCounts: make([]int, q.Rows),
-		Candidates:      make([][]int, q.Rows),
 	}
-	scratch := make([]int, 0, p.N())
-	scores := make([]float64, 0, p.N())
+	ws.candFlat = ws.candFlat[:0]
 	runningMax := 0.0
 	for i := 0; i < qm.Rows; i++ {
 		if p.Norms[i] > runningMax {
 			runningMax = p.Norms[i]
 		}
 		qrow := qm.Row(i)
-		qHash := e.HashVector(qrow)
+		e.HashVectorInto(ws.hashWords, qrow, ws)
+		qHash := srp.BitVec{K: e.cfg.K, Words: ws.hashWords}
 		cut := t * runningMax
-		scratch = scratch[:0]
+		ws.cand = ws.cand[:0]
 		best, bestSim := 0, math.Inf(-1)
 		for y := 0; y <= i; y++ {
-			sim := e.cosLUT[srp.Hamming(qHash, p.Hashes[y])] * p.Norms[y]
+			var ham int
+			if p.Packed != nil {
+				ham = p.Packed.HammingAt(ws.hashWords, y)
+			} else {
+				ham = srp.Hamming(qHash, p.Hashes[y])
+			}
+			sim := e.cosLUT[ham] * p.Norms[y]
 			if sim > cut {
-				scratch = append(scratch, y)
+				ws.cand = append(ws.cand, y)
 			}
 			if sim > bestSim {
 				best, bestSim = y, sim
 			}
 		}
-		if len(scratch) == 0 {
+		if len(ws.cand) == 0 {
 			res.FallbackQueries++
-			scratch = append(scratch, best)
+			ws.cand = append(ws.cand, best)
 		}
-		res.CandidateCounts[i] = len(scratch)
-		res.TotalCandidates += len(scratch)
-		res.Candidates[i] = append([]int(nil), scratch...)
-		scores = scores[:0]
-		for _, y := range scratch {
-			scores = append(scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+		res.CandidateCounts[i] = len(ws.cand)
+		res.TotalCandidates += len(ws.cand)
+		ws.candFlat = append(ws.candFlat, ws.cand...)
+		ws.scores = ws.scores[:0]
+		for _, y := range ws.cand {
+			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
 		}
-		e.weightedSum(res.Output.Row(i), scratch, scores, p)
+		e.weightedSum(res.Output.Row(i), ws.cand, ws.scores, p, ws)
 	}
+	flat := append([]int(nil), ws.candFlat...)
+	res.Candidates = candidateViews(nil, res.CandidateCounts, flat)
+	e.putWorkspace(ws)
 	return res, nil
 }

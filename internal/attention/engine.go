@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"elsa/internal/fixed"
 	"elsa/internal/kron"
@@ -82,6 +83,9 @@ type Engine struct {
 	expU   *fixed.ExpUnit
 	recpU  *fixed.RecipUnit
 	sqrtU  *fixed.SqrtUnit
+	// wsPool recycles Workspaces across Attend/Preprocess calls and across
+	// the serving layer's concurrent requests.
+	wsPool sync.Pool
 }
 
 // NewEngine builds an engine: it draws the Kronecker-structured orthogonal
@@ -158,26 +162,51 @@ func (e *Engine) HashMuls() int {
 // path: each batch costs its factor mode-products (768 multiplications for
 // the (4×4)^⊗3, d = 64 configuration) instead of k·d.
 func (e *Engine) HashVector(x []float32) srp.BitVec {
-	if len(e.projs) == 1 {
-		return srp.HashFromProjection(e.projs[0].Apply(x))
-	}
 	out := srp.NewBitVec(e.cfg.K)
+	ws := e.getWorkspace()
+	e.HashVectorInto(out.Words, x, ws)
+	e.putWorkspace(ws)
+	return out
+}
+
+// HashVectorInto computes the k-bit sign hash of x into dst, which must
+// hold srp.WordsPerHash(k) words (it is zeroed first). With a workspace the
+// call performs no heap allocation: the projection batches run through
+// kron.ApplyTo against the workspace's scratch and their sign bits are
+// packed straight into dst. ws may be nil, at the cost of scratch
+// allocations.
+func (e *Engine) HashVectorInto(dst []uint64, x []float32, ws *Workspace) {
+	var projOut, scratch []float32
+	if ws != nil {
+		projOut, scratch = ws.projOut, ws.kronScratch
+	} else {
+		tmp := NewWorkspace(e)
+		projOut, scratch = tmp.projOut, tmp.kronScratch
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	bit := 0
 	for _, p := range e.projs {
-		for _, v := range p.Apply(x) {
-			out.SetBit(bit, v >= 0)
-			bit++
-		}
+		out := projOut[:p.K]
+		p.ApplyTo(out, x, scratch)
+		srp.PackSigns(dst, bit, out)
+		bit += p.K
 	}
-	return out
 }
 
 // Preprocessed holds the per-key state computed once per attention
 // invocation (§III-D preprocessing): key hashes, key norms, the maximum
 // norm, and the (possibly quantized) key/value matrices.
+//
+// Key hashes live in Packed, one contiguous []uint64 arena mirroring the
+// accelerator's hash-memory SRAM, so candidate selection streams sequential
+// words instead of chasing one heap allocation per key. Hashes is kept for
+// API compatibility: each entry is a BitVec view aliasing the arena.
 type Preprocessed struct {
 	Keys, Values *tensor.Matrix
 	Hashes       []srp.BitVec
+	Packed       *srp.PackedHashes
 	Norms        []float64
 	MaxNorm      float64
 }
@@ -207,12 +236,14 @@ func (e *Engine) Preprocess(keys, values *tensor.Matrix) (*Preprocessed, error) 
 	if err != nil {
 		return nil, err
 	}
+	ws := e.getWorkspace()
 	for i := 0; i < p.Keys.Rows; i++ {
-		e.preprocessKey(p, i)
+		e.preprocessKey(p, i, ws)
 		if p.Norms[i] > p.MaxNorm {
 			p.MaxNorm = p.Norms[i]
 		}
 	}
+	e.putWorkspace(ws)
 	return p, nil
 }
 
@@ -242,6 +273,7 @@ func (e *Engine) preprocessSetup(keys, values *tensor.Matrix) (*Preprocessed, er
 		Keys:   keys,
 		Values: values,
 		Hashes: make([]srp.BitVec, keys.Rows),
+		Packed: srp.NewPackedHashes(e.cfg.K, keys.Rows),
 		Norms:  make([]float64, keys.Rows),
 	}, nil
 }
@@ -250,9 +282,10 @@ func (e *Engine) preprocessSetup(keys, values *tensor.Matrix) (*Preprocessed, er
 // modules). In Quantized mode the norm passes through the
 // tabulate-and-multiply sqrt unit and is stored in the 8-bit key-norm SRAM
 // format (§IV-C(3): "n bytes assuming an 8-bit representation").
-func (e *Engine) preprocessKey(p *Preprocessed, i int) {
+func (e *Engine) preprocessKey(p *Preprocessed, i int, ws *Workspace) {
 	row := p.Keys.Row(i)
-	p.Hashes[i] = e.HashVector(row)
+	e.HashVectorInto(p.Packed.Row(i), row, ws)
+	p.Hashes[i] = p.Packed.At(i)
 	sq := float64(tensor.Dot(row, row))
 	if e.cfg.Quantized {
 		p.Norms[i] = normFormat.Quantize(e.sqrtU.Sqrt(sq))
@@ -272,9 +305,38 @@ var normFormat = fixed.Format{IntBits: 5, FracBits: 3}
 // ‖K_y‖, one compare. The result is appended to dst to allow reuse across
 // queries.
 func (e *Engine) SelectCandidates(qHash srp.BitVec, p *Preprocessed, t float64, dst []int) []int {
+	if p.Packed != nil {
+		return e.selectCandidatesWords(qHash.Words, p, t, dst)
+	}
 	cut := t * p.MaxNorm
 	for y := range p.Hashes {
 		ham := srp.Hamming(qHash, p.Hashes[y])
+		if e.cosLUT[ham]*p.Norms[y] > cut {
+			dst = append(dst, y)
+		}
+	}
+	return dst
+}
+
+// selectCandidatesWords is the packed-arena candidate scan: one XOR+POPCNT
+// (per word), a LUT read, a multiply and a compare per key, streaming the
+// contiguous hash arena.
+func (e *Engine) selectCandidatesWords(qWords []uint64, p *Preprocessed, t float64, dst []int) []int {
+	cut := t * p.MaxNorm
+	packed := p.Packed
+	if packed == nil {
+		// Hand-assembled Preprocessed without an arena: scan the BitVecs.
+		qh := srp.BitVec{K: e.cfg.K, Words: qWords}
+		for y := range p.Hashes {
+			if e.cosLUT[srp.Hamming(qh, p.Hashes[y])]*p.Norms[y] > cut {
+				dst = append(dst, y)
+			}
+		}
+		return dst
+	}
+	n := packed.N
+	for y := 0; y < n; y++ {
+		ham := packed.HammingAt(qWords, y)
 		if e.cosLUT[ham]*p.Norms[y] > cut {
 			dst = append(dst, y)
 		}
@@ -317,48 +379,120 @@ func (r *Result) CandidateFraction(n int) float64 {
 // highest approximate similarity so the output row is always defined; such
 // queries are counted in Result.FallbackQueries.
 func (e *Engine) Attend(q *tensor.Matrix, p *Preprocessed, t float64) (*Result, error) {
-	if q.Cols != e.cfg.D {
-		return nil, fmt.Errorf("attention: query dim %d, engine built for %d", q.Cols, e.cfg.D)
-	}
-	if err := validateFinite("query matrix", q); err != nil {
+	if err := e.checkQuery(q); err != nil {
 		return nil, err
 	}
-	if e.cfg.Quantized {
-		q = q.Clone()
-		fixed.QKV.QuantizeSlice(q.Data)
-	}
+	ws := e.getWorkspace()
+	qm := ws.stageQuery(e, q)
 	res := &Result{
 		Output:          tensor.New(q.Rows, e.cfg.D),
 		CandidateCounts: make([]int, q.Rows),
-		Candidates:      make([][]int, q.Rows),
 	}
-	scratch := make([]int, 0, p.N())
-	scores := make([]float64, 0, p.N())
-	for i := 0; i < q.Rows; i++ {
-		qrow := q.Row(i)
-		qHash := e.HashVector(qrow)
-		scratch = e.SelectCandidates(qHash, p, t, scratch[:0])
-		if len(scratch) == 0 {
-			res.FallbackQueries++
-			scratch = append(scratch, e.bestApproxKey(qHash, p))
-		}
-		res.CandidateCounts[i] = len(scratch)
-		res.TotalCandidates += len(scratch)
-		res.Candidates[i] = append([]int(nil), scratch...)
-		scores = scores[:0]
-		for _, y := range scratch {
-			scores = append(scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
-		}
-		e.weightedSum(res.Output.Row(i), scratch, scores, p)
+	ws.candFlat = ws.candFlat[:0]
+	total, fallback := e.attendRows(ws, qm, 0, qm.Rows, p, t, res.Output, res.CandidateCounts, true)
+	res.TotalCandidates = total
+	res.FallbackQueries = fallback
+	// The Result outlives the pooled workspace, so its candidate arena is an
+	// owned copy; the per-row lists are views into that one allocation.
+	flat := append([]int(nil), ws.candFlat...)
+	res.Candidates = candidateViews(nil, res.CandidateCounts, flat)
+	e.putWorkspace(ws)
+	return res, nil
+}
+
+// AttendWith is Attend running entirely inside the caller-provided
+// workspace: every scratch buffer and the returned Result (its Output
+// matrix, counts and candidate views) belong to ws, so a steady-state call
+// performs zero heap allocations. The Result is valid until the next
+// Attend/AttendWith call on the same workspace; callers that need it longer
+// must copy. Outputs are bit-identical to Attend.
+func (e *Engine) AttendWith(ws *Workspace, q *tensor.Matrix, p *Preprocessed, t float64) (*Result, error) {
+	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+	qm := ws.stageQuery(e, q)
+	res := ws.result(q.Rows, e.cfg.D)
+	ws.candFlat = ws.candFlat[:0]
+	collect := ws.CollectCandidates
+	total, fallback := e.attendRows(ws, qm, 0, qm.Rows, p, t, res.Output, res.CandidateCounts, collect)
+	res.TotalCandidates = total
+	res.FallbackQueries = fallback
+	if collect {
+		ws.views = candidateViews(ws.views, res.CandidateCounts, ws.candFlat)
+		res.Candidates = ws.views
 	}
 	return res, nil
 }
 
+// checkQuery validates an incoming query matrix against the engine config.
+func (e *Engine) checkQuery(q *tensor.Matrix) error {
+	if q.Cols != e.cfg.D {
+		return fmt.Errorf("attention: query dim %d, engine built for %d", q.Cols, e.cfg.D)
+	}
+	return validateFinite("query matrix", q)
+}
+
+// attendRows is the shared attend core: it runs the per-query pipeline for
+// rows [lo, hi) of qm (already quantized if the engine is), writing output
+// row i into out.Row(i) and its candidate count into counts[i]. When collect
+// is set the selected indices are appended to ws.candFlat in row order. It
+// returns the candidate total and fallback count for the processed rows.
+// Attend, AttendWith and each AttendParallel worker all route through this
+// one loop, so their outputs are bit-identical by construction.
+func (e *Engine) attendRows(ws *Workspace, qm *tensor.Matrix, lo, hi int, p *Preprocessed, t float64, out *tensor.Matrix, counts []int, collect bool) (total, fallback int) {
+	for i := lo; i < hi; i++ {
+		qrow := qm.Row(i)
+		e.HashVectorInto(ws.hashWords, qrow, ws)
+		ws.cand = e.selectCandidatesWords(ws.hashWords, p, t, ws.cand[:0])
+		if len(ws.cand) == 0 {
+			fallback++
+			ws.cand = append(ws.cand, e.bestApproxKeyWords(ws.hashWords, p))
+		}
+		counts[i] = len(ws.cand)
+		total += len(ws.cand)
+		if collect {
+			ws.candFlat = append(ws.candFlat, ws.cand...)
+		}
+		ws.scores = ws.scores[:0]
+		for _, y := range ws.cand {
+			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+		}
+		e.weightedSum(out.Row(i), ws.cand, ws.scores, p, ws)
+	}
+	return total, fallback
+}
+
 // bestApproxKey returns the key index with maximum approximate similarity.
 func (e *Engine) bestApproxKey(qHash srp.BitVec, p *Preprocessed) int {
+	if p.Packed != nil {
+		return e.bestApproxKeyWords(qHash.Words, p)
+	}
 	best, bestSim := 0, math.Inf(-1)
 	for y := range p.Hashes {
 		sim := e.cosLUT[srp.Hamming(qHash, p.Hashes[y])] * p.Norms[y]
+		if sim > bestSim {
+			best, bestSim = y, sim
+		}
+	}
+	return best
+}
+
+// bestApproxKeyWords is bestApproxKey against the packed hash arena.
+func (e *Engine) bestApproxKeyWords(qWords []uint64, p *Preprocessed) int {
+	best, bestSim := 0, math.Inf(-1)
+	packed := p.Packed
+	if packed == nil {
+		qh := srp.BitVec{K: e.cfg.K, Words: qWords}
+		for y := range p.Hashes {
+			sim := e.cosLUT[srp.Hamming(qh, p.Hashes[y])] * p.Norms[y]
+			if sim > bestSim {
+				best, bestSim = y, sim
+			}
+		}
+		return best
+	}
+	for y := 0; y < packed.N; y++ {
+		sim := e.cosLUT[packed.HammingAt(qWords, y)] * p.Norms[y]
 		if sim > bestSim {
 			best, bestSim = y, sim
 		}
@@ -370,13 +504,16 @@ func (e *Engine) bestApproxKey(qHash srp.BitVec, p *Preprocessed) int {
 // score-weighted value rows into out, emulating the attention-computation
 // and output-division modules. In Quantized mode the exponent, accumulation
 // and reciprocal all pass through the LUT units and EFloat rounding.
-func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Preprocessed) {
+func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Preprocessed, ws *Workspace) {
 	if e.cfg.Quantized {
 		// The hardware has no max-subtraction: it relies on the EFloat
 		// range. We mirror that but guard the float64 carrier against
 		// overflow by clamping into the EFloat-representable band.
 		sumexp := 0.0
-		acc := make([]float64, len(out))
+		acc := ws.acc[:len(out)]
+		for j := range acc {
+			acc[j] = 0
+		}
 		for ci, y := range cand {
 			ev := e.expU.Exp(scores[ci])
 			sumexp = fixed.RoundEFloat(sumexp + ev)
@@ -392,6 +529,11 @@ func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Pre
 		return
 	}
 	// Float path: numerically-stable softmax over the candidate subset.
+	// out is accumulated into, so clear it first (reused workspace rows
+	// carry the previous call's output).
+	for j := range out {
+		out[j] = 0
+	}
 	maxs := math.Inf(-1)
 	for _, s := range scores {
 		if s > maxs {
@@ -399,7 +541,10 @@ func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Pre
 		}
 	}
 	sumexp := 0.0
-	w := make([]float64, len(scores))
+	if cap(ws.weights) < len(scores) {
+		ws.weights = make([]float64, len(scores))
+	}
+	w := ws.weights[:len(scores)]
 	for ci, s := range scores {
 		w[ci] = math.Exp(s - maxs)
 		sumexp += w[ci]

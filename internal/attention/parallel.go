@@ -28,16 +28,25 @@ func (e *Engine) AttendParallel(q *tensor.Matrix, p *Preprocessed, t float64, wo
 	if workers <= 1 {
 		return e.Attend(q, p, t)
 	}
-	// Partition rows into contiguous chunks, Attend each independently,
-	// then stitch the per-chunk results back together in order.
-	type chunk struct {
-		lo, hi int
-		res    *Result
-		err    error
+	// Quantize the query once (if the engine is quantized) in a lead
+	// workspace that also outlives the workers, then partition rows into
+	// contiguous chunks. Each worker takes a pooled workspace and writes its
+	// output rows and counts directly into the final Result — no sub-Result
+	// allocation or copying — while recording its candidate indices in its
+	// workspace's flat arena for in-order stitching afterwards.
+	lead := e.getWorkspace()
+	qm := lead.stageQuery(e, q)
+	out := &Result{
+		Output:          tensor.New(q.Rows, e.cfg.D),
+		CandidateCounts: make([]int, q.Rows),
 	}
-	nChunks := workers
-	size := (q.Rows + nChunks - 1) / nChunks
-	chunks := make([]chunk, 0, nChunks)
+	type chunk struct {
+		lo, hi          int
+		ws              *Workspace
+		total, fallback int
+	}
+	size := (q.Rows + workers - 1) / workers
+	chunks := make([]chunk, 0, workers)
 	for lo := 0; lo < q.Rows; lo += size {
 		hi := lo + size
 		if hi > q.Rows {
@@ -50,31 +59,27 @@ func (e *Engine) AttendParallel(q *tensor.Matrix, p *Preprocessed, t float64, wo
 		wg.Add(1)
 		go func(c *chunk) {
 			defer wg.Done()
-			sub := &tensor.Matrix{
-				Rows: c.hi - c.lo,
-				Cols: q.Cols,
-				Data: q.Data[c.lo*q.Cols : c.hi*q.Cols],
-			}
-			c.res, c.err = e.Attend(sub, p, t)
+			c.ws = e.getWorkspace()
+			c.ws.candFlat = c.ws.candFlat[:0]
+			c.total, c.fallback = e.attendRows(
+				c.ws, qm, c.lo, c.hi, p, t, out.Output, out.CandidateCounts, true)
 		}(&chunks[ci])
 	}
 	wg.Wait()
 
-	out := &Result{
-		Output:          tensor.New(q.Rows, e.cfg.D),
-		CandidateCounts: make([]int, q.Rows),
-		Candidates:      make([][]int, q.Rows),
-	}
+	total := 0
 	for _, c := range chunks {
-		if c.err != nil {
-			return nil, c.err
-		}
-		copy(out.Output.Data[c.lo*e.cfg.D:c.hi*e.cfg.D], c.res.Output.Data)
-		copy(out.CandidateCounts[c.lo:c.hi], c.res.CandidateCounts)
-		copy(out.Candidates[c.lo:c.hi], c.res.Candidates)
-		out.TotalCandidates += c.res.TotalCandidates
-		out.FallbackQueries += c.res.FallbackQueries
+		total += c.total
 	}
+	flat := make([]int, 0, total)
+	for _, c := range chunks {
+		flat = append(flat, c.ws.candFlat...)
+		out.TotalCandidates += c.total
+		out.FallbackQueries += c.fallback
+		e.putWorkspace(c.ws)
+	}
+	out.Candidates = candidateViews(nil, out.CandidateCounts, flat)
+	e.putWorkspace(lead)
 	return out, nil
 }
 
@@ -94,12 +99,14 @@ func (e *Engine) PreprocessParallel(keys, values *tensor.Matrix, workers int) (*
 		workers = p.Keys.Rows
 	}
 	if workers <= 1 {
+		ws := e.getWorkspace()
 		for i := 0; i < p.Keys.Rows; i++ {
-			e.preprocessKey(p, i)
+			e.preprocessKey(p, i, ws)
 			if p.Norms[i] > p.MaxNorm {
 				p.MaxNorm = p.Norms[i]
 			}
 		}
+		e.putWorkspace(ws)
 		return p, nil
 	}
 	var wg sync.WaitGroup
@@ -112,9 +119,11 @@ func (e *Engine) PreprocessParallel(keys, values *tensor.Matrix, workers int) (*
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			ws := e.getWorkspace()
 			for i := lo; i < hi; i++ {
-				e.preprocessKey(p, i)
+				e.preprocessKey(p, i, ws)
 			}
+			e.putWorkspace(ws)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -20,12 +20,18 @@ import (
 // A Stream is not safe for concurrent use.
 type Stream struct {
 	engine *Engine
-	// Growing backing stores; keys/values hold len·d elements.
+	// Growing backing stores; keys/values hold len·d elements. Hashes live
+	// in a packed arena that grows one row per appended token, so queries
+	// scan the same contiguous layout as batch attention.
 	keys, values []float32
-	hashes       []srp.BitVec
+	packed       *srp.PackedHashes
 	norms        []float64
 	maxNorm      float64
 	n            int
+	// ws is the stream's private workspace: Streams are single-goroutine by
+	// contract, so per-token hashing and querying run allocation-free
+	// without touching the engine pool.
+	ws *Workspace
 }
 
 // NewStream creates an empty key/value stream with storage preallocated
@@ -38,8 +44,9 @@ func (e *Engine) NewStream(capacity int) *Stream {
 		engine: e,
 		keys:   make([]float32, 0, capacity*e.cfg.D),
 		values: make([]float32, 0, capacity*e.cfg.D),
-		hashes: make([]srp.BitVec, 0, capacity),
+		packed: srp.NewPackedHashesCap(e.cfg.K, capacity),
 		norms:  make([]float64, 0, capacity),
+		ws:     NewWorkspace(e),
 	}
 }
 
@@ -67,15 +74,17 @@ func (s *Stream) Append(key, value []float32) error {
 			return fmt.Errorf("attention: stream value contains a non-finite value")
 		}
 	}
-	kq := append([]float32(nil), key...)
-	vq := append([]float32(nil), value...)
+	// Append straight into the backing stores and quantize in place, so the
+	// steady-state append path allocates only when a store grows.
+	base := len(s.keys)
+	s.keys = append(s.keys, key...)
+	s.values = append(s.values, value...)
+	kq := s.keys[base:]
 	if s.engine.cfg.Quantized {
 		fixed.QKV.QuantizeSlice(kq)
-		fixed.QKV.QuantizeSlice(vq)
+		fixed.QKV.QuantizeSlice(s.values[base:])
 	}
-	s.keys = append(s.keys, kq...)
-	s.values = append(s.values, vq...)
-	s.hashes = append(s.hashes, s.engine.HashVector(kq))
+	s.engine.HashVectorInto(s.packed.AppendRow(), kq, s.ws)
 	sq := float64(tensor.Dot(kq, kq))
 	var norm float64
 	if s.engine.cfg.Quantized {
@@ -92,12 +101,15 @@ func (s *Stream) Append(key, value []float32) error {
 }
 
 // snapshot views the current prefix as a Preprocessed without copying.
+// Hashes stays nil: BitVec views into the growing arena would be
+// invalidated by the next Append's reallocation, and the attend path scans
+// Packed directly.
 func (s *Stream) snapshot() *Preprocessed {
 	d := s.engine.cfg.D
 	return &Preprocessed{
 		Keys:    &tensor.Matrix{Rows: s.n, Cols: d, Data: s.keys[:s.n*d]},
 		Values:  &tensor.Matrix{Rows: s.n, Cols: d, Data: s.values[:s.n*d]},
-		Hashes:  s.hashes[:s.n],
+		Packed:  s.packed,
 		Norms:   s.norms[:s.n],
 		MaxNorm: s.maxNorm,
 	}
@@ -125,11 +137,14 @@ func (s *Stream) Query(q []float32, t float64) ([]float32, QueryStats, error) {
 			len(q), s.engine.cfg.D)
 	}
 	qm := &tensor.Matrix{Rows: 1, Cols: s.engine.cfg.D, Data: q}
-	res, err := s.engine.Attend(qm, s.snapshot(), t)
+	res, err := s.engine.AttendWith(s.ws, qm, s.snapshot(), t)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return res.Output.Row(0), QueryStats{
+	// The workspace's output row is overwritten by the next call, so hand
+	// the caller an owned copy — the only allocation on this path.
+	out := append([]float32(nil), res.Output.Row(0)...)
+	return out, QueryStats{
 		Candidates: res.CandidateCounts[0],
 		Fallback:   res.FallbackQueries > 0,
 	}, nil

@@ -47,7 +47,15 @@ type Projection struct {
 	factors []*tensor.Matrix
 	inDims  []int // column counts of each factor; product == D
 	outDims []int // row counts of each factor; product == K
-	D, K    int
+	// modePre[m]/modePost[m] are the flattened sizes before/after mode m at
+	// the moment it is contracted (modes 0..m-1 already mapped to outDims).
+	// They are fixed by the factor shapes, so Apply need not rebuild a dims
+	// slice per call.
+	modePre, modePost []int
+	// maxInter is the largest intermediate tensor any mode product emits;
+	// ApplyTo sizes its ping-pong scratch from it.
+	maxInter int
+	D, K     int
 }
 
 // NewProjection wraps the given factors (outermost first). Each factor may
@@ -64,7 +72,29 @@ func NewProjection(factors ...*tensor.Matrix) (*Projection, error) {
 		p.D *= f.Cols
 		p.K *= f.Rows
 	}
+	pre := 1
+	post := p.D
+	for _, f := range factors {
+		post /= f.Cols
+		p.modePre = append(p.modePre, pre)
+		p.modePost = append(p.modePost, post)
+		if out := pre * f.Rows * post; out > p.maxInter {
+			p.maxInter = out
+		}
+		pre *= f.Rows
+	}
 	return p, nil
+}
+
+// ScratchLen is the float32 scratch length ApplyTo needs for its
+// intermediate mode products: zero for a single factor (the product goes
+// straight into dst), otherwise two ping-pong buffers of the largest
+// intermediate size.
+func (p *Projection) ScratchLen() int {
+	if len(p.factors) == 1 {
+		return 0
+	}
+	return 2 * p.maxInter
 }
 
 // NewRandomOrthogonal builds a projection whose factors are independent
@@ -123,36 +153,62 @@ func (p *Projection) Factors() []*tensor.Matrix { return p.factors }
 // Apply computes A·x via successive mode products. The input x is treated
 // as a row-major tensor of shape inDims; each factor contracts its mode.
 func (p *Projection) Apply(x []float32) []float32 {
+	out := make([]float32, p.K)
+	p.ApplyTo(out, x, nil)
+	return out
+}
+
+// ApplyTo computes A·x into dst (length K) without allocating when scratch
+// has at least ScratchLen() elements; a nil or short scratch is replaced by
+// a fresh one. dst, x and scratch must not overlap. The arithmetic is
+// identical to Apply, so hash bits computed through reused workspace
+// buffers match the allocating path bit for bit.
+func (p *Projection) ApplyTo(dst, x, scratch []float32) {
 	if len(x) != p.D {
 		panic(fmt.Sprintf("kron: input length %d, want %d", len(x), p.D))
 	}
-	dims := make([]int, len(p.inDims))
-	copy(dims, p.inDims)
-	data := make([]float32, len(x))
-	copy(data, x)
-	for mode, f := range p.factors {
-		data = modeProduct(data, dims, mode, f)
-		dims[mode] = f.Rows
+	if len(dst) != p.K {
+		panic(fmt.Sprintf("kron: output length %d, want %d", len(dst), p.K))
 	}
-	return data
+	last := len(p.factors) - 1
+	if last == 0 {
+		modeProductInto(dst, x, p.modePre[0], p.modePost[0], p.factors[0])
+		return
+	}
+	if need := p.ScratchLen(); len(scratch) < need {
+		scratch = make([]float32, need)
+	}
+	bufA := scratch[:p.maxInter]
+	bufB := scratch[p.maxInter : 2*p.maxInter]
+	src := x
+	for mode, f := range p.factors {
+		outLen := p.modePre[mode] * f.Rows * p.modePost[mode]
+		var out []float32
+		switch {
+		case mode == last:
+			out = dst
+		case mode%2 == 0:
+			out = bufA[:outLen]
+		default:
+			out = bufB[:outLen]
+		}
+		modeProductInto(out, src, p.modePre[mode], p.modePost[mode], f)
+		src = out
+	}
 }
 
-// modeProduct contracts factor a against dimension `mode` of the row-major
-// tensor `data` with shape `dims`, returning the new flat tensor whose
-// mode-size becomes a.Rows.
-func modeProduct(data []float32, dims []int, mode int, a *tensor.Matrix) []float32 {
-	pre, post := 1, 1
-	for i := 0; i < mode; i++ {
-		pre *= dims[i]
+// modeProductInto contracts factor a against the current mode of the
+// row-major tensor src, whose flattened shape is pre × a.Cols × post,
+// writing the pre × a.Rows × post result into out (overwritten, not
+// accumulated).
+func modeProductInto(out, src []float32, pre, post int, a *tensor.Matrix) {
+	cur := a.Cols
+	if len(src) != pre*cur*post {
+		panic(fmt.Sprintf("kron: mode input length %d, want %d", len(src), pre*cur*post))
 	}
-	for i := mode + 1; i < len(dims); i++ {
-		post *= dims[i]
+	for i := range out {
+		out[i] = 0
 	}
-	cur := dims[mode]
-	if a.Cols != cur {
-		panic(fmt.Sprintf("kron: factor cols %d, mode size %d", a.Cols, cur))
-	}
-	out := make([]float32, pre*a.Rows*post)
 	for pi := 0; pi < pre; pi++ {
 		for r := 0; r < a.Rows; r++ {
 			arow := a.Row(r)
@@ -162,14 +218,13 @@ func modeProduct(data []float32, dims []int, mode int, a *tensor.Matrix) []float
 				if av == 0 {
 					continue
 				}
-				src := data[(pi*cur+c)*post : (pi*cur+c+1)*post]
+				src := src[(pi*cur+c)*post : (pi*cur+c+1)*post]
 				for q, sv := range src {
 					dst[q] += av * sv
 				}
 			}
 		}
 	}
-	return out
 }
 
 // MulCount returns the exact number of scalar multiplications Apply performs

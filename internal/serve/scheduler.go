@@ -158,6 +158,10 @@ func (s *scheduler) run(key batchKey, jobs []*job) {
 		ops[i] = j.op
 	}
 	s.metrics.ObserveBatch(len(live))
+	// Each batch op runs elsa.Attend's pooled-workspace fast path: no
+	// per-query allocations and no candidate-list collection (the serving
+	// API only reports counts), so concurrent batches reuse warm buffers
+	// from the engine's sync.Pool instead of churning the allocator.
 	outs, err := key.entry.eng.AttendBatchContext(context.Background(), ops, key.thr, s.workers)
 	if err != nil {
 		for _, j := range live {

@@ -53,3 +53,29 @@ func FuzzHamming(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPackedHamming checks that the packed-arena Hamming scan agrees with
+// the BitVec implementation on arbitrary bit patterns and widths, covering
+// both the single-word fast path (k <= 64) and the multi-word loop.
+func FuzzPackedHamming(f *testing.F) {
+	f.Add(uint8(63), []byte{0xFF, 0x00}, []byte{0x0F, 0xF0})
+	f.Add(uint8(0), []byte{1}, []byte{0})
+	f.Add(uint8(129), []byte{}, []byte{0xAA})
+	f.Fuzz(func(t *testing.T, kRaw uint8, a, b []byte) {
+		k := 1 + int(kRaw)
+		x := bitVecFromBytes(k, a)
+		y := bitVecFromBytes(k, b)
+		p := NewPackedHashes(k, 2)
+		p.SetRow(0, x)
+		p.SetRow(1, y)
+		if got, want := p.HammingAt(x.Words, 1), Hamming(x, y); got != want {
+			t.Fatalf("k=%d: HammingAt = %d, Hamming = %d", k, got, want)
+		}
+		if d := p.HammingAt(y.Words, 1); d != 0 {
+			t.Fatalf("k=%d: self distance = %d, want 0", k, d)
+		}
+		if !p.At(0).Equal(x) || !p.At(1).Equal(y) {
+			t.Fatalf("k=%d: arena rows do not round-trip SetRow", k)
+		}
+	})
+}

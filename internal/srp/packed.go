@@ -1,0 +1,103 @@
+package srp
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WordsPerHash returns how many 64-bit words a k-bit hash occupies.
+func WordsPerHash(k int) int {
+	if k < 1 {
+		panic(fmt.Sprintf("srp: invalid hash width %d", k))
+	}
+	return (k + 63) / 64
+}
+
+// PackedHashes stores n k-bit hashes in one contiguous []uint64 arena, W
+// words per hash, so the candidate-selection scan streams sequential memory
+// instead of chasing one heap allocation per key. This is the software
+// mirror of the accelerator's hash-memory SRAM (§IV-C): hash y lives at
+// Words[y*W : (y+1)*W].
+type PackedHashes struct {
+	K     int // bits per hash
+	W     int // words per hash = WordsPerHash(K)
+	N     int // number of stored hashes
+	Words []uint64
+}
+
+// NewPackedHashes allocates a zeroed arena holding n k-bit hashes.
+func NewPackedHashes(k, n int) *PackedHashes {
+	if n < 0 {
+		panic(fmt.Sprintf("srp: invalid hash count %d", n))
+	}
+	w := WordsPerHash(k)
+	return &PackedHashes{K: k, W: w, N: n, Words: make([]uint64, n*w)}
+}
+
+// NewPackedHashesCap allocates an empty arena with capacity for c hashes;
+// grow it one hash at a time with AppendRow (streaming decode).
+func NewPackedHashesCap(k, c int) *PackedHashes {
+	if c < 0 {
+		c = 0
+	}
+	w := WordsPerHash(k)
+	return &PackedHashes{K: k, W: w, Words: make([]uint64, 0, c*w)}
+}
+
+// Row returns hash i's words, aliasing the arena.
+func (p *PackedHashes) Row(i int) []uint64 {
+	return p.Words[i*p.W : (i+1)*p.W]
+}
+
+// At returns hash i as a BitVec view sharing the arena storage.
+func (p *PackedHashes) At(i int) BitVec {
+	return BitVec{K: p.K, Words: p.Row(i)}
+}
+
+// AppendRow extends the arena by one zeroed hash and returns its words.
+// Earlier Row/At views may be invalidated when the arena reallocates.
+func (p *PackedHashes) AppendRow() []uint64 {
+	start := len(p.Words)
+	for i := 0; i < p.W; i++ {
+		p.Words = append(p.Words, 0)
+	}
+	p.N++
+	return p.Words[start:]
+}
+
+// SetRow copies a k-bit hash into slot i.
+func (p *PackedHashes) SetRow(i int, b BitVec) {
+	if b.K != p.K {
+		panic(fmt.Sprintf("srp: packed width %d, hash width %d", p.K, b.K))
+	}
+	copy(p.Row(i), b.Words)
+}
+
+// HammingAt returns the Hamming distance between the query hash words q
+// (length W) and stored hash i — the accelerator's per-key XOR + adder-tree
+// primitive run against the arena. The W == 1 case (the default k <= 64)
+// compiles to a single XOR + POPCNT.
+func (p *PackedHashes) HammingAt(q []uint64, i int) int {
+	if p.W == 1 {
+		return bits.OnesCount64(q[0] ^ p.Words[i])
+	}
+	base := i * p.W
+	row := p.Words[base : base+p.W]
+	d := 0
+	for j, w := range row {
+		d += bits.OnesCount64(q[j] ^ w)
+	}
+	return d
+}
+
+// PackSigns writes the sign bits of vals into dst starting at bit bitOff:
+// bit bitOff+j is set iff vals[j] >= 0. The target bit range must be zeroed
+// beforehand (fresh arena rows and cleared query buffers are).
+func PackSigns(dst []uint64, bitOff int, vals []float32) {
+	for j, v := range vals {
+		if v >= 0 {
+			i := bitOff + j
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package srp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWordsPerHash(t *testing.T) {
+	cases := map[int]int{1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for k, want := range cases {
+		if got := WordsPerHash(k); got != want {
+			t.Errorf("WordsPerHash(%d) = %d, want %d", k, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WordsPerHash(0) did not panic")
+		}
+	}()
+	WordsPerHash(0)
+}
+
+// randomBitVec fills a k-bit vector with random bits.
+func randomBitVec(rng *rand.Rand, k int) BitVec {
+	b := NewBitVec(k)
+	for i := 0; i < k; i++ {
+		b.SetBit(i, rng.Intn(2) == 1)
+	}
+	return b
+}
+
+// TestHammingAtMatchesHamming is the property test the issue pins: the
+// packed arena's HammingAt agrees with the BitVec Hamming for every stored
+// hash, across widths on both sides of the word boundary.
+func TestHammingAtMatchesHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	widths := []int{1, 2, 7, 63, 64, 65, 127, 128, 129, 200}
+	for _, k := range widths {
+		const n = 37
+		p := NewPackedHashes(k, n)
+		refs := make([]BitVec, n)
+		for i := range refs {
+			refs[i] = randomBitVec(rng, k)
+			p.SetRow(i, refs[i])
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randomBitVec(rng, k)
+			for i := 0; i < n; i++ {
+				want := Hamming(q, refs[i])
+				if got := p.HammingAt(q.Words, i); got != want {
+					t.Fatalf("k=%d: HammingAt(q, %d) = %d, Hamming = %d", k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHammingAtRandomWidths repeats the property on randomly drawn widths.
+func TestHammingAtRandomWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(300)
+		p := NewPackedHashes(k, 8)
+		refs := make([]BitVec, 8)
+		for i := range refs {
+			refs[i] = randomBitVec(rng, k)
+			p.SetRow(i, refs[i])
+		}
+		q := randomBitVec(rng, k)
+		for i := range refs {
+			if got, want := p.HammingAt(q.Words, i), Hamming(q, refs[i]); got != want {
+				t.Fatalf("k=%d: HammingAt(q, %d) = %d, Hamming = %d", k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPackedViewsAliasArena checks At/Row return views into the arena and
+// SetRow round-trips through them.
+func TestPackedViewsAliasArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPackedHashes(65, 4)
+	want := make([]BitVec, 4)
+	for i := range want {
+		want[i] = randomBitVec(rng, 65)
+		p.SetRow(i, want[i])
+	}
+	for i := range want {
+		if !p.At(i).Equal(want[i]) {
+			t.Fatalf("At(%d) does not round-trip SetRow", i)
+		}
+		// Mutating the view mutates the arena.
+		p.Row(i)[0] ^= 1
+		if p.At(i).Equal(want[i]) {
+			t.Fatalf("Row(%d) is not an arena view", i)
+		}
+		p.Row(i)[0] ^= 1
+	}
+}
+
+// TestAppendRow grows the arena one hash at a time, as the streaming decode
+// path does.
+func TestAppendRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := NewPackedHashesCap(100, 2)
+	var refs []BitVec
+	for i := 0; i < 17; i++ {
+		b := randomBitVec(rng, 100)
+		copy(p.AppendRow(), b.Words)
+		refs = append(refs, b)
+	}
+	if p.N != len(refs) {
+		t.Fatalf("N = %d, want %d", p.N, len(refs))
+	}
+	q := randomBitVec(rng, 100)
+	for i, b := range refs {
+		if got, want := p.HammingAt(q.Words, i), Hamming(q, b); got != want {
+			t.Fatalf("appended row %d: HammingAt = %d, Hamming = %d", i, got, want)
+		}
+	}
+}
+
+// TestPackSigns checks sign packing against SetBit across a word boundary.
+func TestPackSigns(t *testing.T) {
+	vals := []float32{1, -1, 0, -0.5, 2.5, -3}
+	for _, off := range []int{0, 1, 60, 63, 64, 100} {
+		k := off + len(vals)
+		want := NewBitVec(k)
+		for j, v := range vals {
+			want.SetBit(off+j, v >= 0)
+		}
+		got := make([]uint64, (k+63)/64)
+		PackSigns(got, off, vals)
+		for i, w := range want.Words {
+			if got[i] != w {
+				t.Fatalf("offset %d: word %d = %#x, want %#x", off, i, got[i], w)
+			}
+		}
+	}
+}

@@ -107,20 +107,72 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulT returns a*bᵀ without materializing the transpose; this is the
-// similarity-computation shape Q·Kᵀ from the paper's step one.
+// similarity-computation shape Q·Kᵀ from the paper's step one. The inner
+// loop is blocked four b-rows at a time with the row slices hoisted out, so
+// each pass over arow feeds four independent accumulators and the bounds
+// checks stay outside the hot loop.
 func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
+		matMulTRow(out.Row(i), a.Row(i), b)
 	}
 	return out
+}
+
+// matMulTRow fills orow with arow·bᵀ. Shared by the serial and parallel
+// MatMulT so their floating-point summation order — and hence their outputs —
+// stay bitwise identical. Each block of four b-rows uses the same strided
+// four-accumulator order as Dot, so partial blocks (handled by Dot directly)
+// also match.
+func matMulTRow(orow, arow []float32, b *Matrix) {
+	j := 0
+	for ; j+4 <= b.Rows; j += 4 {
+		b0 := b.Row(j)[:len(arow)]
+		b1 := b.Row(j + 1)[:len(arow)]
+		b2 := b.Row(j + 2)[:len(arow)]
+		b3 := b.Row(j + 3)[:len(arow)]
+		var p00, p01, p02, p03 float32
+		var p10, p11, p12, p13 float32
+		var p20, p21, p22, p23 float32
+		var p30, p31, p32, p33 float32
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			p00 += a0 * b0[k]
+			p01 += a1 * b0[k+1]
+			p02 += a2 * b0[k+2]
+			p03 += a3 * b0[k+3]
+			p10 += a0 * b1[k]
+			p11 += a1 * b1[k+1]
+			p12 += a2 * b1[k+2]
+			p13 += a3 * b1[k+3]
+			p20 += a0 * b2[k]
+			p21 += a1 * b2[k+1]
+			p22 += a2 * b2[k+2]
+			p23 += a3 * b2[k+3]
+			p30 += a0 * b3[k]
+			p31 += a1 * b3[k+1]
+			p32 += a2 * b3[k+2]
+			p33 += a3 * b3[k+3]
+		}
+		for ; k < len(arow); k++ {
+			av := arow[k]
+			p00 += av * b0[k]
+			p10 += av * b1[k]
+			p20 += av * b2[k]
+			p30 += av * b3[k]
+		}
+		orow[j] = (p00 + p01) + (p02 + p03)
+		orow[j+1] = (p10 + p11) + (p12 + p13)
+		orow[j+2] = (p20 + p21) + (p22 + p23)
+		orow[j+3] = (p30 + p31) + (p32 + p33)
+	}
+	for ; j < b.Rows; j++ {
+		orow[j] = Dot(arow, b.Row(j))
+	}
 }
 
 // MulVec returns m·x for a column vector x.
@@ -143,16 +195,27 @@ func (m *Matrix) Scale(s float32) *Matrix {
 	return m
 }
 
-// Dot returns the inner product of equal-length vectors.
+// Dot returns the inner product of equal-length vectors. The loop runs four
+// independent accumulators so the multiply-adds pipeline instead of
+// serializing on one dependency chain; re-slicing b to len(a) hoists the
+// bounds check out of the loop.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float32
-	for i, v := range a {
-		s += v * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the Euclidean (L2) norm of v.

@@ -40,11 +40,7 @@ func MatMulTParallel(a, b *Matrix, workers int) *Matrix {
 	out := New(a.Rows, b.Rows)
 	parallelRows(a.Rows, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = Dot(arow, b.Row(j))
-			}
+			matMulTRow(out.Row(i), a.Row(i), b)
 		}
 	})
 	return out

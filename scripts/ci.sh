@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI gate: vet, formatting, build, and the race-enabled test suite.
+# CI gate: vet, formatting, build, the race-enabled test suite, the
+# zero-allocation hot-path assertions, and the perf trajectory check.
 # The serving scheduler is concurrent by design — the -race run is the
 # contract that it stays race-clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
-go vet ./...
+# -tests=true (the default, stated explicitly) also vets *_test.go, which
+# covers the benchmark files.
+go vet -tests=true ./...
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -21,5 +24,35 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== zero-alloc hot path =="
+# The alloc assertions are the steady-state performance contract; run them
+# explicitly so they can never be skipped under -short, with -count=1 to
+# defeat test caching.
+go test -count=1 -run 'ZeroAlloc' ./internal/attention/
+
+echo "== perf trajectory =="
+# Compare ns/op against the newest committed BENCH_*.json. Measurements on
+# shared CI machines are noisy, so a >15% regression warns by default; set
+# PERF_STRICT=1 to make it fail the build.
+baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [ -n "$baseline" ]; then
+    echo "baseline: $baseline"
+    perf_json=$(mktemp /tmp/elsabench.XXXXXX.json)
+    if go run ./cmd/elsabench -experiment bench -json "$perf_json" \
+        -baseline "$baseline"; then
+        :
+    else
+        if [ "${PERF_STRICT:-0}" = "1" ]; then
+            echo "perf regression (PERF_STRICT=1): failing" >&2
+            rm -f "$perf_json"
+            exit 1
+        fi
+        echo "WARNING: ns/op regressed >15% vs $baseline (set PERF_STRICT=1 to fail)" >&2
+    fi
+    rm -f "$perf_json"
+else
+    echo "no committed BENCH_*.json baseline; skipping"
+fi
 
 echo "CI OK"
