@@ -10,6 +10,21 @@ import (
 // BatchOp is one self-attention operation in a batch.
 type BatchOp struct {
 	Q, K, V [][]float32
+
+	// Thr, when non-nil, overrides the batch-level threshold for this op,
+	// so ops calibrated at different operating points can share one
+	// dispatch (mixed-threshold batches). Nil selects the threshold passed
+	// to AttendBatch — the uniform-threshold fast path.
+	Thr *Threshold
+}
+
+// threshold resolves the operating point this op runs with: its own
+// override when set, otherwise the shared batch threshold.
+func (op BatchOp) threshold(shared Threshold) Threshold {
+	if op.Thr != nil {
+		return *op.Thr
+	}
+	return shared
 }
 
 // validate rejects malformed operations up front so a bad op fails with a
@@ -46,6 +61,7 @@ func (op BatchOp) validate() error {
 // AttendBatch runs a batch of approximate-attention operations
 // concurrently across worker goroutines — the software analogue of the
 // paper's batch-level parallelism over replicated accelerators (§IV-D).
+// thr applies to every op that does not carry its own BatchOp.Thr override.
 // workers <= 0 selects GOMAXPROCS. Results are returned in input order; the
 // first error aborts the batch.
 func (e *Engine) AttendBatch(ops []BatchOp, thr Threshold, workers int) ([]*Output, error) {
@@ -87,7 +103,7 @@ func (e *Engine) AttendBatchContext(ctx context.Context, ops []BatchOp, thr Thre
 				if ctx.Err() != nil {
 					return
 				}
-				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, thr)
+				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, ops[i].threshold(thr))
 				outs[i], errs[i] = out, err
 			}
 		}()

@@ -220,3 +220,49 @@ func TestSimulateBatchPropagatesErrors(t *testing.T) {
 		t.Error("bad op should fail the batch")
 	}
 }
+
+// TestAttendBatchPerOpThresholds mixes ops carrying their own thresholds
+// with ops inheriting the batch-level one and checks each matches a
+// sequential Attend at its effective operating point.
+func TestAttendBatchPerOpThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	e := newEngine(t, Options{Seed: 24})
+	batch := makeBatch(rng, 4, 32, 64)
+	tight := Threshold{P: 1, T: 0.8}
+	loose := Threshold{P: 1, T: 0.1}
+	batch[1].Thr = &tight
+	batch[3].Thr = &loose
+	shared := Exact()
+
+	par, err := e.AttendBatch(batch, shared, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range batch {
+		want := shared
+		if op.Thr != nil {
+			want = *op.Thr
+		}
+		seq, err := e.Attend(op.Q, op.K, op.V, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].CandidateFraction != seq.CandidateFraction {
+			t.Errorf("op %d: candidate fraction %g, sequential %g (per-op threshold ignored)",
+				i, par[i].CandidateFraction, seq.CandidateFraction)
+		}
+		for r := range seq.Context {
+			for c := range seq.Context[r] {
+				if seq.Context[r][c] != par[i].Context[r][c] {
+					t.Fatalf("op %d: differs from sequential at %d,%d", i, r, c)
+				}
+			}
+		}
+	}
+	// A tighter threshold must actually prune more than a looser one on the
+	// same-distribution inputs, proving the two ops ran at distinct points.
+	if par[1].CandidateFraction >= par[3].CandidateFraction {
+		t.Errorf("tight threshold admitted %g of keys, loose admitted %g; want tight < loose",
+			par[1].CandidateFraction, par[3].CandidateFraction)
+	}
+}

@@ -1,19 +1,28 @@
 // Command elsaserve runs the ELSA attention service: a long-running HTTP
 // server that coalesces concurrent attention requests into micro-batches
-// (the software analogue of the accelerator's batch-level parallelism,
-// §IV-D), reuses calibrated engines across requests, and exposes
-// Prometheus-format runtime metrics.
+// and routes them across replicated engines (the software analogue of the
+// accelerator's batch-level parallelism across replicated modules,
+// §IV-D), hosts autoregressive decode sessions over incremental
+// preprocessing state, persists calibrated thresholds across restarts,
+// and exposes Prometheus-format runtime metrics.
 //
 // Usage:
 //
 //	elsaserve [-addr :8080] [-batch-window 2ms] [-max-batch 64]
 //	          [-queue 256] [-workers 0] [-timeout 30s]
+//	          [-replicas 2] [-max-engines 8]
+//	          [-max-sessions 1024] [-session-ttl 15m] [-session-tokens 65536]
+//	          [-state-dir /var/lib/elsa]
 //
 // Endpoints:
 //
-//	POST /v1/attend   one Q/K/V attention op with degree-of-approximation p
-//	GET  /v1/healthz  liveness plus resident engine count
-//	GET  /v1/metrics  Prometheus text-format counters and histograms
+//	POST   /v1/attend               one Q/K/V attention op with degree-of-approximation p
+//	POST   /v1/sessions             open an autoregressive decode session
+//	POST   /v1/sessions/{id}/append append token key/value(s) to a session
+//	POST   /v1/sessions/{id}/query  one decode step over the session prefix
+//	DELETE /v1/sessions/{id}        close a session
+//	GET    /v1/healthz              liveness plus resident engine and session counts
+//	GET    /v1/metrics              Prometheus text-format counters and histograms
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, queued
 // micro-batches are dispatched and drained, then the process exits.
@@ -35,28 +44,29 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window")
-	maxBatch := flag.Int("max-batch", 64, "dispatch a batch early at this many ops")
-	queue := flag.Int("queue", 256, "bounded scheduler queue; overflow answers 429")
-	workers := flag.Int("workers", 0, "attention workers per batch (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request queue+compute deadline")
+	cfg := serve.Config{}
+	flag.DurationVar(&cfg.BatchWindow, "batch-window", 2*time.Millisecond, "micro-batch coalescing window")
+	flag.IntVar(&cfg.MaxBatch, "max-batch", 64, "dispatch a batch early at this many ops")
+	flag.IntVar(&cfg.MaxQueue, "queue", 256, "bounded dispatcher queue; overflow answers 429")
+	flag.IntVar(&cfg.Workers, "workers", 0, "attention workers per batch (0 = GOMAXPROCS)")
+	flag.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request queue+compute deadline")
+	flag.IntVar(&cfg.Replicas, "replicas", 2, "engine replicas (dispatch shards) per configuration")
+	flag.IntVar(&cfg.MaxEngines, "max-engines", 8, "bounded engine pool; LRU eviction beyond this many configurations")
+	flag.IntVar(&cfg.MaxSessions, "max-sessions", 1024, "bounded session registry; LRU eviction at capacity")
+	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative disables)")
+	flag.IntVar(&cfg.MaxSessionTokens, "session-tokens", 65536, "per-session appended-token limit")
+	flag.StringVar(&cfg.StateDir, "state-dir", "", "persist calibrated thresholds here across restarts (empty = memory only)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
-	if err := run(*addr, *window, *maxBatch, *queue, *workers, *timeout, *drain); err != nil {
+	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "elsaserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, window time.Duration, maxBatch, queue, workers int, timeout, drain time.Duration) error {
-	srv := serve.New(serve.Config{
-		BatchWindow:    window,
-		MaxBatch:       maxBatch,
-		MaxQueue:       queue,
-		Workers:        workers,
-		RequestTimeout: timeout,
-	})
+func run(addr string, cfg serve.Config, drain time.Duration) error {
+	srv := serve.New(cfg)
 	hs := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,8 +74,8 @@ func run(addr string, window time.Duration, maxBatch, queue, workers int, timeou
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s (window %s, max-batch %d, queue %d)\n",
-			addr, window, maxBatch, queue)
+		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s (window %s, max-batch %d, queue %d, replicas %d)\n",
+			addr, cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Replicas)
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -32,6 +32,12 @@ type Stream struct {
 	// contract, so per-token hashing and querying run allocation-free
 	// without touching the engine pool.
 	ws *Workspace
+	// snap, keysMat, valsMat and qMat are the reusable prefix-view and
+	// query-staging structs, so QueryWith builds its Preprocessed without
+	// heap allocation.
+	snap             Preprocessed
+	keysMat, valsMat tensor.Matrix
+	qMat             tensor.Matrix
 }
 
 // NewStream creates an empty key/value stream with storage preallocated
@@ -100,19 +106,35 @@ func (s *Stream) Append(key, value []float32) error {
 	return nil
 }
 
-// snapshot views the current prefix as a Preprocessed without copying.
-// Hashes stays nil: BitVec views into the growing arena would be
-// invalidated by the next Append's reallocation, and the attend path scans
-// Packed directly.
+// snapshot views the current prefix as a Preprocessed without copying,
+// reusing the stream-owned structs so the decode hot path performs no heap
+// allocation. Hashes stays nil: BitVec views into the growing arena would
+// be invalidated by the next Append's reallocation, and the attend path
+// scans Packed directly.
 func (s *Stream) snapshot() *Preprocessed {
 	d := s.engine.cfg.D
-	return &Preprocessed{
-		Keys:    &tensor.Matrix{Rows: s.n, Cols: d, Data: s.keys[:s.n*d]},
-		Values:  &tensor.Matrix{Rows: s.n, Cols: d, Data: s.values[:s.n*d]},
+	s.keysMat = tensor.Matrix{Rows: s.n, Cols: d, Data: s.keys[:s.n*d]}
+	s.valsMat = tensor.Matrix{Rows: s.n, Cols: d, Data: s.values[:s.n*d]}
+	s.snap = Preprocessed{
+		Keys:    &s.keysMat,
+		Values:  &s.valsMat,
 		Packed:  s.packed,
 		Norms:   s.norms[:s.n],
 		MaxNorm: s.maxNorm,
 	}
+	return &s.snap
+}
+
+// Keys returns a copy of the appended key vectors, one row per token. It
+// is intended for one-shot uses — threshold calibration over the prefix a
+// serving layer has accumulated — not the decode hot path.
+func (s *Stream) Keys() [][]float32 {
+	d := s.engine.cfg.D
+	out := make([][]float32, s.n)
+	for i := range out {
+		out[i] = append([]float32(nil), s.keys[i*d:(i+1)*d]...)
+	}
+	return out
 }
 
 // QueryStats reports one streamed query's work.
@@ -129,22 +151,37 @@ type QueryStats struct {
 // Attend with a one-row query matrix against the prefix, but without
 // re-preprocessing the keys.
 func (s *Stream) Query(q []float32, t float64) ([]float32, QueryStats, error) {
+	return s.QueryWith(nil, q, t)
+}
+
+// QueryWith is Query writing the context vector into dst, which is grown
+// only when its capacity falls short of the head dimension and returned
+// resliced to exactly d elements. A decode loop that recycles one buffer
+// therefore performs zero steady-state heap allocations: the attend pass
+// runs entirely inside the stream's workspace (the PR-2 zero-alloc path)
+// and the output lands in the caller's memory.
+func (s *Stream) QueryWith(dst []float32, q []float32, t float64) ([]float32, QueryStats, error) {
+	d := s.engine.cfg.D
 	if s.n == 0 {
-		return nil, QueryStats{}, fmt.Errorf("attention: query on an empty stream")
+		return dst, QueryStats{}, fmt.Errorf("attention: query on an empty stream")
 	}
-	if len(q) != s.engine.cfg.D {
-		return nil, QueryStats{}, fmt.Errorf("attention: stream query dim %d, engine built for %d",
-			len(q), s.engine.cfg.D)
+	if len(q) != d {
+		return dst, QueryStats{}, fmt.Errorf("attention: stream query dim %d, engine built for %d",
+			len(q), d)
 	}
-	qm := &tensor.Matrix{Rows: 1, Cols: s.engine.cfg.D, Data: q}
-	res, err := s.engine.AttendWith(s.ws, qm, s.snapshot(), t)
+	s.qMat = tensor.Matrix{Rows: 1, Cols: d, Data: q}
+	res, err := s.engine.AttendWith(s.ws, &s.qMat, s.snapshot(), t)
 	if err != nil {
-		return nil, QueryStats{}, err
+		return dst, QueryStats{}, err
 	}
 	// The workspace's output row is overwritten by the next call, so hand
-	// the caller an owned copy — the only allocation on this path.
-	out := append([]float32(nil), res.Output.Row(0)...)
-	return out, QueryStats{
+	// the caller an owned copy in their buffer.
+	if cap(dst) < d {
+		dst = make([]float32, d)
+	}
+	dst = dst[:d]
+	copy(dst, res.Output.Row(0))
+	return dst, QueryStats{
 		Candidates: res.CandidateCounts[0],
 		Fallback:   res.FallbackQueries > 0,
 	}, nil

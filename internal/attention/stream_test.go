@@ -168,3 +168,52 @@ func TestStreamAppendDoesNotAliasCaller(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamQueryWithZeroAlloc pins the PR-3 decode guarantee: with a
+// recycled output buffer, a steady-state stream query allocates nothing —
+// the attend pass runs inside the stream's workspace and the context
+// vector lands in the caller's memory.
+func TestStreamQueryWithZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := newTestEngine(t, Config{D: 16, Seed: 8})
+	st := e.NewStream(64)
+	k := tensor.RandomNormal(rng, 48, 16)
+	v := tensor.RandomNormal(rng, 48, 16)
+	for i := 0; i < 48; i++ {
+		if err := st.Append(k.Row(i), v.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := tensor.RandomNormal(rng, 1, 16).Row(0)
+	dst := make([]float32, 16)
+	// Warm the workspace so growth allocations happen before measurement.
+	if _, _, err := st.QueryWith(dst, q, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, thr := range []float64{ExactThresholdNoApprox, 0.2} {
+		allocs := testing.AllocsPerRun(50, func() {
+			out, _, err := st.QueryWith(dst, q, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst = out
+		})
+		if allocs != 0 {
+			t.Errorf("thr=%g: QueryWith allocates %.1f times per query, want 0", thr, allocs)
+		}
+	}
+	// And the buffered path returns the same numbers as the plain one.
+	want, _, err := st.Query(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.QueryWith(dst, q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("QueryWith diverges from Query at %d", j)
+		}
+	}
+}

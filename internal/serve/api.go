@@ -52,10 +52,74 @@ type ThresholdJSON struct {
 	Queries int     `json:"queries,omitempty"`
 }
 
+// SessionCreateRequest is the POST /v1/sessions body: the engine
+// configuration and operating point an autoregressive decode session runs
+// under. head_dim is required here (there is no payload to infer it from).
+type SessionCreateRequest struct {
+	HeadDim   int   `json:"head_dim"`
+	HashBits  int   `json:"hash_bits,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	Quantized bool  `json:"quantized,omitempty"`
+
+	// P is the degree of approximation (0 = exact attention). With no
+	// explicit T, the threshold resolves from the server's registry (memory
+	// or state dir) or — failing that — is calibrated lazily on the
+	// session's first query, over the prefix appended so far.
+	P float64 `json:"p,omitempty"`
+	// T, when present, is an explicit pre-calibrated threshold.
+	T *float64 `json:"t,omitempty"`
+
+	// Capacity preallocates stream storage for this many tokens (optional).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// SessionCreateResponse is the POST /v1/sessions reply.
+type SessionCreateResponse struct {
+	ID string `json:"id"`
+	// Threshold is the resolved operating point, when it is already known
+	// at create time (explicit t, p=0, or a registry/state-dir hit). Absent
+	// when the first query will calibrate it lazily.
+	Threshold *ThresholdJSON `json:"threshold,omitempty"`
+}
+
+// SessionAppendRequest is the POST /v1/sessions/{id}/append body: one
+// token via key/value, or several at once via keys/values.
+type SessionAppendRequest struct {
+	Key    []float32   `json:"key,omitempty"`
+	Value  []float32   `json:"value,omitempty"`
+	Keys   [][]float32 `json:"keys,omitempty"`
+	Values [][]float32 `json:"values,omitempty"`
+}
+
+// SessionAppendResponse reports the session length after the append.
+type SessionAppendResponse struct {
+	Len int `json:"len"`
+}
+
+// SessionQueryRequest is the POST /v1/sessions/{id}/query body.
+type SessionQueryRequest struct {
+	Q []float32 `json:"q"`
+}
+
+// SessionQueryResponse is one decode step's result.
+type SessionQueryResponse struct {
+	// Context is the attention output for this query.
+	Context []float32 `json:"context"`
+	// Candidates is the number of prefix keys computed exactly.
+	Candidates int `json:"candidates"`
+	// Fallback reports whether the filter selected nothing.
+	Fallback bool `json:"fallback"`
+	// Len is the current prefix length.
+	Len int `json:"len"`
+	// Threshold is the operating point the query ran with.
+	Threshold ThresholdJSON `json:"threshold"`
+}
+
 // HealthResponse is the GET /v1/healthz reply.
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Engines int    `json:"engines"`
+	Status   string `json:"status"`
+	Engines  int    `json:"engines"`
+	Sessions int    `json:"sessions"`
 }
 
 // errorResponse is the JSON body for every non-2xx reply.

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elsa"
+)
+
+// Errors surfaced by the dispatcher to the HTTP layer.
+var (
+	// ErrQueueFull means the bounded dispatcher queue is at capacity; the
+	// caller should shed load (HTTP 429).
+	ErrQueueFull = errors.New("serve: dispatcher queue full")
+	// ErrClosed means the server is draining for shutdown (HTTP 503).
+	ErrClosed = errors.New("serve: server shutting down")
+)
+
+// jobResult is what a dispatched job hands back to its waiting request.
+type jobResult struct {
+	out       *elsa.Output
+	batchSize int
+	shard     int
+	err       error
+}
+
+// job is one queued attention op plus its completion channel. The op
+// carries its own per-op threshold (BatchOp.Thr), which is what lets ops
+// calibrated at different operating points share a dispatch.
+type job struct {
+	ctx    context.Context
+	op     elsa.BatchOp
+	result chan jobResult // buffered: dispatch never blocks on a gone requester
+}
+
+// pendingBatch accumulates jobs for one replica set until the window
+// elapses or the batch fills.
+type pendingBatch struct {
+	jobs []*job
+}
+
+// shard is one engine replica's dispatch lane: a bounded queue of
+// detached micro-batches executed serially by the shard loop, mirroring
+// one accelerator unit consuming its own work queue. depth counts batches
+// enqueued but not yet started.
+type shard struct {
+	id    int // replica index within its set
+	eng   *elsa.Engine
+	queue chan *pendingBatch
+	depth atomic.Int64
+}
+
+// newShard sizes the queue to the global op bound: the dispatcher admits
+// at most maxQueue ops, every batch holds at least one op, and ops stay
+// counted until their batch starts running, so a send can never block.
+func newShard(id int, eng *elsa.Engine, maxQueue int) *shard {
+	return &shard{id: id, eng: eng, queue: make(chan *pendingBatch, maxQueue)}
+}
+
+// dispatcher implements dynamic micro-batching over replicated engines:
+// the first request for a replica set opens a batching window; requests
+// arriving within it — whatever their thresholds — coalesce into one
+// batch, which is then routed to the least-loaded shard of the set and
+// executed through AttendBatchContext with per-op thresholds.
+type dispatcher struct {
+	window   time.Duration
+	maxBatch int
+	maxQueue int
+	workers  int
+	metrics  *Metrics
+
+	mu      sync.Mutex
+	closed  bool
+	queued  int
+	pending map[*replicaSet]*pendingBatch
+	batchWg sync.WaitGroup // in-flight dispatched batches
+	loopWg  sync.WaitGroup // running shard loops
+}
+
+func newDispatcher(window time.Duration, maxBatch, maxQueue, workers int, m *Metrics) *dispatcher {
+	return &dispatcher{
+		window:   window,
+		maxBatch: maxBatch,
+		maxQueue: maxQueue,
+		workers:  workers,
+		metrics:  m,
+		pending:  make(map[*replicaSet]*pendingBatch),
+	}
+}
+
+// startShard runs a shard loop: it executes the shard's batches serially
+// until the pool closes the queue at shutdown.
+func (d *dispatcher) startShard(sh *shard) {
+	d.loopWg.Add(1)
+	go func() {
+		defer d.loopWg.Done()
+		for b := range sh.queue {
+			d.runBatch(sh, b)
+		}
+	}()
+}
+
+// submit enqueues one op with its operating point and blocks until its
+// batch is dispatched and computed, ctx is done, or the server refuses it
+// (full queue / closing). It returns the op's output, how many ops shared
+// the dispatched batch, and which shard ran it.
+func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchOp, thr elsa.Threshold) (*elsa.Output, int, int, error) {
+	op.Thr = &thr
+	j := &job{ctx: ctx, op: op, result: make(chan jobResult, 1)}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, 0, 0, ErrClosed
+	}
+	if d.queued >= d.maxQueue {
+		d.mu.Unlock()
+		return nil, 0, 0, ErrQueueFull
+	}
+	d.queued++
+	d.metrics.SetQueueDepth(d.queued)
+	b, ok := d.pending[set]
+	if !ok {
+		b = &pendingBatch{}
+		d.pending[set] = b
+		// First job for this set: open the batching window. The timer
+		// flushes whatever has accumulated when it fires; pointer
+		// identity guards against flushing a successor batch.
+		time.AfterFunc(d.window, func() { d.flush(set, b) })
+	}
+	b.jobs = append(b.jobs, j)
+	if len(b.jobs) >= d.maxBatch {
+		d.dispatchLocked(set, b)
+	}
+	d.mu.Unlock()
+
+	select {
+	case r := <-j.result:
+		return r.out, r.batchSize, r.shard, r.err
+	case <-ctx.Done():
+		return nil, 0, 0, ctx.Err()
+	}
+}
+
+// flush dispatches batch b if it is still the pending batch for set.
+func (d *dispatcher) flush(set *replicaSet, b *pendingBatch) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending[set] == b {
+		d.dispatchLocked(set, b)
+	}
+}
+
+// dispatchLocked detaches b from the pending set and routes it to the
+// least-loaded shard of the replica set. Callers hold d.mu; the send
+// cannot block (see newShard) so holding the lock across it is safe. The
+// batchWg.Add here pairs with close()'s batchWg.Wait so shutdown drains
+// every dispatched batch.
+func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch) {
+	delete(d.pending, set)
+	d.batchWg.Add(1)
+	sh := set.pickShard()
+	sh.depth.Add(1)
+	d.metrics.AddShardDepth(sh.id, 1)
+	sh.queue <- b
+}
+
+// runBatch executes one detached batch on its shard: jobs whose context
+// already expired are answered immediately, the rest go through the
+// shard engine's batch worker pool in one call, each op at its own
+// threshold.
+func (d *dispatcher) runBatch(sh *shard, b *pendingBatch) {
+	defer d.batchWg.Done()
+	sh.depth.Add(-1)
+	d.metrics.AddShardDepth(sh.id, -1)
+	jobs := b.jobs
+	live := make([]*job, 0, len(jobs))
+	for _, j := range jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.result <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	d.mu.Lock()
+	d.queued -= len(jobs)
+	d.metrics.SetQueueDepth(d.queued)
+	d.mu.Unlock()
+	if len(live) == 0 {
+		return
+	}
+	ops := make([]elsa.BatchOp, len(live))
+	for i, j := range live {
+		ops[i] = j.op
+	}
+	d.metrics.ObserveBatch(len(live))
+	d.metrics.ObserveShardBatch(sh.id, len(live))
+	// Each batch op runs elsa.Attend's pooled-workspace fast path: no
+	// per-query allocations and no candidate-list collection (the serving
+	// API only reports counts), so concurrent batches reuse warm buffers
+	// from the engine's sync.Pool instead of churning the allocator. The
+	// shared threshold argument is irrelevant: every op carries its own.
+	outs, err := sh.eng.AttendBatchContext(context.Background(), ops, elsa.Exact(), d.workers)
+	if err != nil {
+		for _, j := range live {
+			j.result <- jobResult{err: err}
+		}
+		return
+	}
+	for i, j := range live {
+		d.metrics.ObserveCandidateFraction(outs[i].CandidateFraction)
+		j.result <- jobResult{out: outs[i], batchSize: len(live), shard: sh.id}
+	}
+}
+
+// close stops admission, dispatches every still-pending batch
+// immediately, and waits for all in-flight batches to finish. Safe to
+// call more than once. The shard loops themselves are shut down by the
+// pool (closeShards) once no batch can be enqueued again; waitShards then
+// joins them.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	for set, b := range d.pending {
+		d.dispatchLocked(set, b)
+	}
+	d.mu.Unlock()
+	d.batchWg.Wait()
+}
+
+// waitShards blocks until every shard loop has exited. Call after
+// closeShards.
+func (d *dispatcher) waitShards() {
+	d.loopWg.Wait()
+}

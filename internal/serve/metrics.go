@@ -71,7 +71,22 @@ type Metrics struct {
 	candFracCount int64
 
 	queueDepth int64 // current scheduler queue occupancy
-	engines    int64 // engines resident in the pool
+	engines    int64 // replica sets resident in the pool
+
+	shardBatches map[int]int64 // replica index → dispatched batches
+	shardOps     map[int]int64 // replica index → ops in those batches
+	shardDepth   map[int]int64 // replica index → batches queued, not yet run
+
+	engineEvictions int64 // replica sets evicted from the bounded pool
+
+	sessionsActive  int64            // live decode sessions
+	sessionsCreated int64            // sessions ever created
+	sessionEvicted  map[string]int64 // evicted sessions by reason: ttl | lru | deleted
+	sessionTokens   int64            // tokens appended across all sessions
+	sessionQueries  int64            // decode queries served across all sessions
+
+	calibrations   int64 // thresholds calibrated online
+	thresholdLoads int64 // thresholds restored from the state dir
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -81,6 +96,10 @@ func NewMetrics() *Metrics {
 		rejectedByWhy:  make(map[string]int64),
 		batchSize:      newHistogram(batchSizeBuckets),
 		latency:        newHistogram(latencyBuckets),
+		shardBatches:   make(map[int]int64),
+		shardOps:       make(map[int]int64),
+		shardDepth:     make(map[int]int64),
+		sessionEvicted: make(map[string]int64),
 	}
 }
 
@@ -114,6 +133,125 @@ func (m *Metrics) ObserveCandidateFraction(f float64) {
 	defer m.mu.Unlock()
 	m.candFracSum += f
 	m.candFracCount++
+}
+
+// ObserveShardBatch records one micro-batch executed by the given replica
+// shard. Shards are labelled by replica index, so the same index aggregates
+// across replica sets — shard fairness is a per-fleet property.
+func (m *Metrics) ObserveShardBatch(shard, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardBatches[shard]++
+	m.shardOps[shard] += int64(size)
+}
+
+// AddShardDepth adjusts the queued-batch gauge for one replica shard.
+func (m *Metrics) AddShardDepth(shard int, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardDepth[shard] += delta
+}
+
+// ShardBatches returns a copy of the per-replica dispatched-batch counts.
+func (m *Metrics) ShardBatches() map[int]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]int64, len(m.shardBatches))
+	for k, v := range m.shardBatches {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveEngineEviction tallies one replica set evicted from the pool.
+func (m *Metrics) ObserveEngineEviction() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engineEvictions++
+}
+
+// EngineEvictions reports how many replica sets the pool has evicted.
+func (m *Metrics) EngineEvictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.engineEvictions
+}
+
+// ObserveSessionCreated records a new decode session.
+func (m *Metrics) ObserveSessionCreated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsCreated++
+	m.sessionsActive++
+}
+
+// ObserveSessionEvicted records a session leaving the registry, by reason
+// ("ttl", "lru", or "deleted").
+func (m *Metrics) ObserveSessionEvicted(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionEvicted[reason]++
+	m.sessionsActive--
+}
+
+// SessionEvictions reports evicted-session counts by reason.
+func (m *Metrics) SessionEvictions() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.sessionEvicted))
+	for k, v := range m.sessionEvicted {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveSessionAppend tallies tokens appended to a session.
+func (m *Metrics) ObserveSessionAppend(tokens int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionTokens += int64(tokens)
+}
+
+// ObserveSessionQuery tallies one decode query served from a session.
+func (m *Metrics) ObserveSessionQuery() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionQueries++
+}
+
+// ActiveSessions reports the live-session gauge.
+func (m *Metrics) ActiveSessions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsActive
+}
+
+// ObserveCalibration tallies one online threshold calibration.
+func (m *Metrics) ObserveCalibration() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calibrations++
+}
+
+// Calibrations reports how many thresholds were calibrated online.
+func (m *Metrics) Calibrations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calibrations
+}
+
+// ObserveThresholdLoad tallies one threshold restored from the state dir.
+func (m *Metrics) ObserveThresholdLoad() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.thresholdLoads++
+}
+
+// ThresholdLoads reports how many thresholds were restored from disk.
+func (m *Metrics) ThresholdLoads() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.thresholdLoads
 }
 
 // SetQueueDepth updates the scheduler-occupancy gauge.
@@ -175,13 +313,66 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# TYPE elsa_serve_candidate_fraction_count counter\n")
 	fmt.Fprintf(cw, "elsa_serve_candidate_fraction_count %d\n", m.candFracCount)
 
-	fmt.Fprintf(cw, "# HELP elsa_serve_queue_depth Requests currently queued in the micro-batch scheduler.\n")
+	fmt.Fprintf(cw, "# HELP elsa_serve_shard_batches_total Micro-batches executed per replica shard.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_shard_batches_total counter\n")
+	for _, sh := range sortedIntKeys(m.shardBatches) {
+		fmt.Fprintf(cw, "elsa_serve_shard_batches_total{shard=\"%d\"} %d\n", sh, m.shardBatches[sh])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_shard_ops_total Attention ops executed per replica shard.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_shard_ops_total counter\n")
+	for _, sh := range sortedIntKeys(m.shardOps) {
+		fmt.Fprintf(cw, "elsa_serve_shard_ops_total{shard=\"%d\"} %d\n", sh, m.shardOps[sh])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_shard_depth Batches queued but not yet running, per replica shard.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_shard_depth gauge\n")
+	for _, sh := range sortedIntKeys(m.shardDepth) {
+		fmt.Fprintf(cw, "elsa_serve_shard_depth{shard=\"%d\"} %d\n", sh, m.shardDepth[sh])
+	}
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_queue_depth Requests currently queued in the micro-batch dispatcher.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_queue_depth gauge\n")
 	fmt.Fprintf(cw, "elsa_serve_queue_depth %d\n", m.queueDepth)
-	fmt.Fprintf(cw, "# HELP elsa_serve_engines Calibrated engines resident in the pool.\n")
+	fmt.Fprintf(cw, "# HELP elsa_serve_engines Replica sets resident in the pool.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_engines gauge\n")
 	fmt.Fprintf(cw, "elsa_serve_engines %d\n", m.engines)
+	fmt.Fprintf(cw, "# HELP elsa_serve_engine_evictions_total Replica sets evicted from the bounded pool.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_engine_evictions_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_engine_evictions_total %d\n", m.engineEvictions)
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions Live autoregressive decode sessions.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions gauge\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions %d\n", m.sessionsActive)
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_created_total Decode sessions ever created.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_created_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions_created_total %d\n", m.sessionsCreated)
+	fmt.Fprintf(cw, "# HELP elsa_serve_session_evictions_total Sessions removed from the registry, by reason.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_session_evictions_total counter\n")
+	for _, why := range sortedKeys(m.sessionEvicted) {
+		fmt.Fprintf(cw, "elsa_serve_session_evictions_total{reason=%q} %d\n", why, m.sessionEvicted[why])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_session_tokens_total Tokens appended across all sessions.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_session_tokens_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_session_tokens_total %d\n", m.sessionTokens)
+	fmt.Fprintf(cw, "# HELP elsa_serve_session_queries_total Decode queries served across all sessions.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_session_queries_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_session_queries_total %d\n", m.sessionQueries)
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_calibrations_total Thresholds calibrated online.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_calibrations_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_calibrations_total %d\n", m.calibrations)
+	fmt.Fprintf(cw, "# HELP elsa_serve_threshold_loads_total Thresholds restored from the state directory.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_threshold_loads_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_threshold_loads_total %d\n", m.thresholdLoads)
 	return cw.n, cw.err
+}
+
+func sortedIntKeys(m map[int]int64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 func sortedKeys(m map[string]int64) []string {

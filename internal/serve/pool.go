@@ -1,15 +1,19 @@
 // Package serve is the long-running attention-serving subsystem: an
-// HTTP/JSON front end over the public elsa.Engine with a dynamic
-// micro-batching scheduler, an engine pool keyed by configuration, bounded
-// queueing with backpressure, and Prometheus-format metrics. It is the
-// software analogue of the paper's batch-level parallelism across
-// replicated accelerator modules (§IV-D): concurrent requests arriving
-// within a short window are coalesced into one batch and dispatched
-// through Engine.AttendBatchContext's worker pool.
+// HTTP/JSON front end over the public elsa.Engine with a shard-aware
+// micro-batching dispatcher, replicated engines per configuration, a
+// session registry for autoregressive decode, bounded queueing with
+// backpressure, and Prometheus-format metrics. It is the software
+// analogue of the paper's batch-level parallelism across replicated
+// accelerator modules (§IV-D): concurrent requests arriving within a
+// short window are coalesced into one batch and routed onto one of the
+// configuration's engine replicas, the way SimulateBatch dispatches ops
+// across a 12-unit fleet.
 package serve
 
 import (
+	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"elsa"
 )
@@ -33,81 +37,181 @@ func normalizeOptions(opts elsa.Options, queryWidth int) elsa.Options {
 	return opts
 }
 
-// engineEntry is one pooled engine plus its per-p calibrated thresholds.
-type engineEntry struct {
-	ready chan struct{} // closed once eng/err are set
-	eng   *elsa.Engine
+// replicaSet is one pooled configuration's engine fleet: R engines built
+// from the same resolved Options (replica 0 via elsa.New, the rest
+// restored from its snapshot, so all replicas hash and attend
+// bit-identically) each fronted by a dispatch shard with its own queue.
+// Any replica can serve any micro-batch for the key, which is what lets
+// the dispatcher spread load without affecting results.
+type replicaSet struct {
+	opts  elsa.Options
+	ready chan struct{} // closed once engines/err are set
 	err   error
 
-	thrMu      sync.Mutex
-	thresholds map[float64]elsa.Threshold
+	engines []*elsa.Engine
+	shards  []*shard
+
+	// rr is the round-robin cursor used to break shard-depth ties and to
+	// spread session streams across replicas.
+	rr atomic.Uint64
 }
 
-// threshold resolves the operating point for degree-of-approximation p.
-// p = 0 is the exact fallback. Otherwise the entry calibrates once per p —
-// using the first requester's Q/K as the calibration sample, the paper's
-// single-invocation scheme — and caches the result so later requests with
-// the same p share a threshold (and therefore a batch).
-func (e *engineEntry) threshold(p float64, q, k [][]float32) (elsa.Threshold, error) {
-	if p == 0 {
-		return elsa.Exact(), nil
+// pickShard chooses the replica the next micro-batch runs on: the shard
+// with the fewest queued batches, ties broken round-robin so an idle
+// fleet still rotates through every replica.
+func (s *replicaSet) pickShard() *shard {
+	start := int(s.rr.Add(1)) % len(s.shards)
+	best := s.shards[start]
+	bestDepth := best.depth.Load()
+	for i := 1; i < len(s.shards); i++ {
+		sh := s.shards[(start+i)%len(s.shards)]
+		if d := sh.depth.Load(); d < bestDepth {
+			best, bestDepth = sh, d
+		}
 	}
-	e.thrMu.Lock()
-	defer e.thrMu.Unlock()
-	if thr, ok := e.thresholds[p]; ok {
-		return thr, nil
-	}
-	thr, err := e.eng.Calibrate(p, []elsa.Sample{{Q: q, K: k}})
-	if err != nil {
-		return elsa.Threshold{}, err
-	}
-	e.thresholds[p] = thr
-	return thr, nil
+	return best
 }
 
-// enginePool caches calibrated engines keyed by their resolved Options
+// sessionEngine picks the replica a new session's stream binds to,
+// rotating so long-lived decode sessions also spread across the fleet.
+func (s *replicaSet) sessionEngine() *elsa.Engine {
+	return s.engines[int(s.rr.Add(1))%len(s.engines)]
+}
+
+// enginePool caches replica sets keyed by their resolved Options
 // (HeadDim, HashBits, Seed, Quantized, Scale, Hardware), so
 // differently-configured requests reuse engines instead of re-running the
 // projection draw and θ_bias calibration in elsa.New on every request.
+// The pool is bounded: beyond maxEntries the least-recently-used set is
+// evicted (its shards keep draining already-dispatched batches and are
+// closed with the pool).
 type enginePool struct {
+	replicas   int
+	maxEntries int
+	disp       *dispatcher
+	metrics    *Metrics
+
 	mu      sync.Mutex
-	entries map[elsa.Options]*engineEntry
+	entries map[elsa.Options]*list.Element // value: *replicaSet
+	lru     *list.List                     // front = most recently used
+	retired []*replicaSet                  // evicted sets, drained at close
 }
 
-func newEnginePool() *enginePool {
-	return &enginePool{entries: make(map[elsa.Options]*engineEntry)}
+func newEnginePool(replicas, maxEntries int, disp *dispatcher, m *Metrics) *enginePool {
+	return &enginePool{
+		replicas:   replicas,
+		maxEntries: maxEntries,
+		disp:       disp,
+		metrics:    m,
+		entries:    make(map[elsa.Options]*list.Element),
+		lru:        list.New(),
+	}
 }
 
-// get returns the pooled engine for opts, building it on first use.
+// get returns the replica set for opts, building it on first use.
 // Construction happens outside the pool lock; concurrent requests for the
-// same key wait on the builder instead of racing duplicate elsa.New calls.
-// A failed construction is cached so a misconfigured key fails fast.
-func (p *enginePool) get(opts elsa.Options) (*engineEntry, error) {
+// same key wait on the builder instead of racing duplicate elsa.New
+// calls. A failed construction is removed from the pool once its error is
+// delivered, so a transiently-bad key does not occupy a slot forever.
+func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 	p.mu.Lock()
-	e, ok := p.entries[opts]
-	if !ok {
-		e = &engineEntry{
-			ready:      make(chan struct{}),
-			thresholds: make(map[float64]elsa.Threshold),
+	if el, ok := p.entries[opts]; ok {
+		p.lru.MoveToFront(el)
+		set := el.Value.(*replicaSet)
+		p.mu.Unlock()
+		<-set.ready
+		if set.err != nil {
+			return nil, set.err
 		}
-		p.entries[opts] = e
-		p.mu.Unlock()
-		e.eng, e.err = elsa.New(opts)
-		close(e.ready)
+		return set, nil
+	}
+	for len(p.entries) >= p.maxEntries {
+		p.evictLRULocked()
+	}
+	set := &replicaSet{opts: opts, ready: make(chan struct{})}
+	p.entries[opts] = p.lru.PushFront(set)
+	p.mu.Unlock()
+
+	set.engines, set.err = p.buildReplicas(opts)
+	if set.err == nil {
+		set.shards = make([]*shard, len(set.engines))
+		for i, eng := range set.engines {
+			set.shards[i] = newShard(i, eng, p.disp.maxQueue)
+			p.disp.startShard(set.shards[i])
+		}
 	} else {
+		// Drop the failed entry so the next request retries construction
+		// instead of hitting a cached error occupying a pool slot.
+		p.mu.Lock()
+		if el, ok := p.entries[opts]; ok && el.Value.(*replicaSet) == set {
+			p.lru.Remove(el)
+			delete(p.entries, opts)
+		}
 		p.mu.Unlock()
-		<-e.ready
 	}
-	if e.err != nil {
-		return nil, e.err
+	close(set.ready)
+	if set.err != nil {
+		return nil, set.err
 	}
-	return e, nil
+	return set, nil
 }
 
-// size reports how many engine entries are resident (including failed
-// ones, which occupy a key).
+// buildReplicas constructs the fleet: replica 0 pays the projection draw
+// and θ_bias calibration once, the rest restore from its snapshot for
+// bit-identical behaviour at a fraction of the cost.
+func (p *enginePool) buildReplicas(opts elsa.Options) ([]*elsa.Engine, error) {
+	first, err := elsa.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*elsa.Engine, p.replicas)
+	engines[0] = first
+	snap := first.Snapshot()
+	for r := 1; r < p.replicas; r++ {
+		if engines[r], err = elsa.Restore(snap); err != nil {
+			return nil, err
+		}
+	}
+	return engines, nil
+}
+
+// evictLRULocked retires the least-recently-used set. Its shards stay
+// alive so batches already routed to them still complete; closeShards
+// shuts them down with the pool. Callers hold p.mu.
+func (p *enginePool) evictLRULocked() {
+	back := p.lru.Back()
+	if back == nil {
+		return
+	}
+	set := back.Value.(*replicaSet)
+	p.lru.Remove(back)
+	delete(p.entries, set.opts)
+	p.retired = append(p.retired, set)
+	p.metrics.ObserveEngineEviction()
+}
+
+// size reports how many replica sets are resident.
 func (p *enginePool) size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.entries)
+}
+
+// closeShards closes every shard queue — live and retired — so the shard
+// loops exit. Call only after the dispatcher has drained (no batch will
+// be enqueued again).
+func (p *enginePool) closeShards() {
+	p.mu.Lock()
+	sets := make([]*replicaSet, 0, len(p.entries)+len(p.retired))
+	for _, el := range p.entries {
+		sets = append(sets, el.Value.(*replicaSet))
+	}
+	sets = append(sets, p.retired...)
+	p.mu.Unlock()
+	for _, set := range sets {
+		<-set.ready
+		for _, sh := range set.shards {
+			close(sh.queue)
+		}
+	}
 }

@@ -363,9 +363,9 @@ func TestBackpressure429(t *testing.T) {
 	// Wait until both are actually resident.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		srv.sched.mu.Lock()
-		n := srv.sched.queued
-		srv.sched.mu.Unlock()
+		srv.disp.mu.Lock()
+		n := srv.disp.queued
+		srv.disp.mu.Unlock()
 		if n == 2 {
 			break
 		}
@@ -418,9 +418,9 @@ func TestGracefulCloseDrainsPending(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		srv.sched.mu.Lock()
-		n := srv.sched.queued
-		srv.sched.mu.Unlock()
+		srv.disp.mu.Lock()
+		n := srv.disp.queued
+		srv.disp.mu.Unlock()
 		if n == pending {
 			break
 		}

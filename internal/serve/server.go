@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -13,13 +14,13 @@ import (
 // Config tunes the serving subsystem. Zero values select production-safe
 // defaults.
 type Config struct {
-	// BatchWindow is how long the scheduler holds the first request of a
+	// BatchWindow is how long the dispatcher holds the first request of a
 	// micro-batch open for followers (default 2ms).
 	BatchWindow time.Duration
 	// MaxBatch dispatches a batch early once this many ops have coalesced
 	// (default 64).
 	MaxBatch int
-	// MaxQueue bounds requests resident in the scheduler; beyond it
+	// MaxQueue bounds requests resident in the dispatcher; beyond it
 	// submissions fail with ErrQueueFull / HTTP 429 (default 256).
 	MaxQueue int
 	// Workers is the AttendBatch worker count per dispatched batch
@@ -28,8 +29,31 @@ type Config struct {
 	// RequestTimeout bounds one request's queue + compute time
 	// (default 30s).
 	RequestTimeout time.Duration
-	// MaxBodyBytes bounds the /v1/attend request body (default 32 MiB).
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+
+	// Replicas is how many engine replicas each pooled configuration runs —
+	// micro-batches for one configuration spread across this many dispatch
+	// shards, the software analogue of the paper's replicated accelerator
+	// modules (default 2).
+	Replicas int
+	// MaxEngines bounds resident replica sets; beyond it the
+	// least-recently-used configuration is evicted (default 8).
+	MaxEngines int
+
+	// MaxSessions bounds live decode sessions; at capacity the
+	// least-recently-used session is evicted (default 1024).
+	MaxSessions int
+	// SessionTTL evicts sessions idle for longer than this (default 15m;
+	// negative disables expiry).
+	SessionTTL time.Duration
+	// MaxSessionTokens bounds one session's appended prefix (default 65536).
+	MaxSessionTokens int
+
+	// StateDir, when set, persists calibrated thresholds so a restarted
+	// server serves its first calibrated request without re-running
+	// Calibrate. Empty keeps thresholds in memory only.
+	StateDir string
 }
 
 func (c *Config) setDefaults() {
@@ -48,31 +72,57 @@ func (c *Config) setDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxEngines <= 0 {
+		c.MaxEngines = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessionTokens <= 0 {
+		c.MaxSessionTokens = 65536
+	}
 }
 
 // Server is the attention-serving subsystem: an http.Handler exposing
-// POST /v1/attend, GET /v1/healthz and GET /v1/metrics over a shared
-// engine pool and micro-batching scheduler.
+// one-shot batched attention (POST /v1/attend), autoregressive decode
+// sessions (POST /v1/sessions and friends), health, and metrics over a
+// shared replica pool, shard-aware dispatcher, and threshold registry.
 type Server struct {
-	cfg     Config
-	pool    *enginePool
-	sched   *scheduler
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg        Config
+	pool       *enginePool
+	disp       *dispatcher
+	thresholds *thresholdRegistry
+	sessions   *sessionRegistry
+	metrics    *Metrics
+	mux        *http.ServeMux
 }
 
 // New builds a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	m := NewMetrics()
+	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, m)
+	thr := newThresholdRegistry(cfg.StateDir, m)
 	s := &Server{
-		cfg:     cfg,
-		pool:    newEnginePool(),
-		sched:   newScheduler(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, m),
-		metrics: m,
-		mux:     http.NewServeMux(),
+		cfg:        cfg,
+		pool:       newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, m),
+		disp:       disp,
+		thresholds: thr,
+		sessions:   newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m),
+		metrics:    m,
+		mux:        http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleSessionQuery)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -87,16 +137,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // command's logging).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains the scheduler: admission stops, pending micro-batches
-// dispatch immediately, and Close returns once every in-flight batch has
-// delivered its results. Call after http.Server.Shutdown so no handler is
-// left waiting.
+// Close drains the serving stack in dependency order: the dispatcher
+// stops admission and flushes every pending micro-batch, the pool closes
+// all shard queues (live and retired) once nothing can be enqueued again,
+// and the shard loops are joined. Call after http.Server.Shutdown so no
+// handler is left waiting.
 func (s *Server) Close() {
-	s.sched.close()
+	s.disp.close()
+	s.pool.closeShards()
+	s.disp.waitShards()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Engines: s.pool.size()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Engines:  s.pool.size(),
+		Sessions: s.sessions.active(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -118,29 +175,30 @@ func (s *Server) handleAttend(w http.ResponseWriter, r *http.Request) {
 // answered with plus a rejection reason ("" when the op was served).
 func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string) {
 	var req AttendRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		return fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error()), "bad_request"
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return http.StatusBadRequest, "bad_request"
 	}
 	if err := req.validate(); err != nil {
 		return fail(w, http.StatusBadRequest, err.Error()), "bad_request"
 	}
 
-	entry, err := s.pool.get(req.options())
+	opts := req.options()
+	set, err := s.pool.get(opts)
 	if err != nil {
 		return fail(w, http.StatusBadRequest, "engine: "+err.Error()), "bad_request"
 	}
 	var thr elsa.Threshold
 	if req.T != nil {
 		thr = elsa.Threshold{P: req.P, T: *req.T}
-	} else if thr, err = entry.threshold(req.P, req.Q, req.K); err != nil {
+	} else if thr, err = s.thresholds.get(opts, req.P, func() (elsa.Threshold, error) {
+		return set.engines[0].Calibrate(req.P, []elsa.Sample{{Q: req.Q, K: req.K}})
+	}); err != nil {
 		return fail(w, http.StatusBadRequest, "calibrate: "+err.Error()), "bad_request"
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	out, batchSize, err := s.sched.submit(ctx, batchKey{entry: entry, thr: thr},
-		elsa.BatchOp{Q: req.Q, K: req.K, V: req.V})
+	out, batchSize, _, err := s.disp.submit(ctx, set, elsa.BatchOp{Q: req.Q, K: req.K, V: req.V}, thr)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
@@ -163,6 +221,125 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string) {
 		Threshold:         ThresholdJSON{P: thr.P, T: thr.T, Queries: thr.Queries},
 		BatchSize:         batchSize,
 	}), ""
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.HeadDim <= 0 {
+		fail(w, http.StatusBadRequest, "head_dim must be > 0")
+		return
+	}
+	if req.P < 0 {
+		fail(w, http.StatusBadRequest, fmt.Sprintf("p must be >= 0, got %g", req.P))
+		return
+	}
+	opts := normalizeOptions(elsa.Options{
+		HeadDim:   req.HeadDim,
+		HashBits:  req.HashBits,
+		Seed:      req.Seed,
+		Quantized: req.Quantized,
+	}, req.HeadDim)
+	set, err := s.pool.get(opts)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "engine: "+err.Error())
+		return
+	}
+	sess, err := s.sessions.create(set, opts, req.P, req.T, req.Capacity)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := SessionCreateResponse{ID: sess.id}
+	if sess.calibrated {
+		resp.Threshold = &ThresholdJSON{P: sess.thr.P, T: sess.thr.T, Queries: sess.thr.Queries}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
+	var req SessionAppendRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	keys, values := req.Keys, req.Values
+	if req.Key != nil || req.Value != nil {
+		if keys != nil || values != nil {
+			fail(w, http.StatusBadRequest, "use key/value or keys/values, not both")
+			return
+		}
+		keys, values = [][]float32{req.Key}, [][]float32{req.Value}
+	}
+	if len(keys) == 0 {
+		fail(w, http.StatusBadRequest, "append requires at least one key/value pair")
+		return
+	}
+	if len(keys) != len(values) {
+		fail(w, http.StatusBadRequest,
+			fmt.Sprintf("%d keys but %d values", len(keys), len(values)))
+		return
+	}
+	n, err := s.sessions.append(r.PathValue("id"), keys, values)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, SessionAppendResponse{Len: n})
+	case errors.Is(err, errSessionNotFound):
+		fail(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, errSessionFull):
+		fail(w, http.StatusRequestEntityTooLarge, err.Error())
+	default:
+		fail(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
+	var req SessionQueryRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if len(req.Q) == 0 {
+		fail(w, http.StatusBadRequest, "q must be non-empty")
+		return
+	}
+	out, stats, n, thr, err := s.sessions.query(r.PathValue("id"), req.Q)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, SessionQueryResponse{
+			Context:    out,
+			Candidates: stats.Candidates,
+			Fallback:   stats.Fallback,
+			Len:        n,
+			Threshold:  ThresholdJSON{P: thr.P, T: thr.T, Queries: thr.Queries},
+		})
+	case errors.Is(err, errSessionNotFound):
+		fail(w, http.StatusNotFound, err.Error())
+	default:
+		fail(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	switch err := s.sessions.remove(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, errSessionNotFound):
+		fail(w, http.StatusNotFound, err.Error())
+	default:
+		fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// decodeBody decodes a size-bounded JSON body into v, answering 400
+// itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
 }
 
 func fail(w http.ResponseWriter, code int, msg string) int {

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"elsa"
+)
+
+// Errors surfaced by the session registry to the HTTP layer.
+var (
+	// errSessionNotFound covers unknown, expired, and evicted session IDs
+	// alike: once a session leaves the registry its ID is gone (HTTP 404).
+	errSessionNotFound = errors.New("serve: session not found")
+	// errSessionFull means an append would push the session past the
+	// per-session token budget (HTTP 413).
+	errSessionFull = errors.New("serve: session token limit reached")
+)
+
+// session is one autoregressive decode stream held server-side. The
+// stream (and its workspace) is single-goroutine by contract, so mu
+// serializes all append/query traffic for the session; different sessions
+// proceed in parallel on their own replicas.
+type session struct {
+	id   string
+	opts elsa.Options
+	set  *replicaSet
+
+	mu     sync.Mutex
+	stream *elsa.Stream
+	p      float64
+	thr    elsa.Threshold
+	// calibrated marks thr as resolved; false defers threshold resolution
+	// to the first query, which calibrates over the prefix appended by
+	// then (the stream's own keys are the calibration sample).
+	calibrated bool
+	// out is the session's recycled decode buffer: QueryWith writes into
+	// it so steady-state decode performs no per-token allocation.
+	out []float32
+
+	// lastUsed and el are owned by the registry lock, not mu.
+	lastUsed time.Time
+	el       *list.Element
+}
+
+// sessionRegistry owns the live decode sessions: bounded in count (LRU
+// eviction at capacity), bounded per session in tokens, and expired by
+// idle TTL. It is the serving-layer analogue of a KV-cache manager —
+// each session pins one incremental ELSA preprocessing state to a replica.
+type sessionRegistry struct {
+	maxSessions int
+	maxTokens   int
+	ttl         time.Duration
+	now         func() time.Time // injectable for TTL tests
+	thresholds  *thresholdRegistry
+	metrics     *Metrics
+
+	mu   sync.Mutex
+	byID map[string]*session
+	lru  *list.List // front = most recently used; values are *session
+}
+
+func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thresholdRegistry, m *Metrics) *sessionRegistry {
+	return &sessionRegistry{
+		maxSessions: maxSessions,
+		maxTokens:   maxTokens,
+		ttl:         ttl,
+		now:         time.Now,
+		thresholds:  thr,
+		metrics:     m,
+		byID:        make(map[string]*session),
+		lru:         list.New(),
+	}
+}
+
+// create registers a new session bound to one replica of set. The
+// threshold is resolved eagerly when possible (explicit t, p = 0, or a
+// registry/state-dir hit); otherwise the first query calibrates it over
+// the prefix. At capacity the least-recently-used session is evicted
+// rather than refusing the new one — new decode work beats stale state.
+func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int) (*session, error) {
+	if capacity < 0 || capacity > g.maxTokens {
+		capacity = 0
+	}
+	s := &session{
+		id:     newSessionID(),
+		opts:   opts,
+		set:    set,
+		stream: set.sessionEngine().NewStream(capacity),
+		p:      p,
+	}
+	switch {
+	case t != nil:
+		s.thr = elsa.Threshold{P: p, T: *t}
+		s.calibrated = true
+	case p == 0:
+		s.thr = elsa.Exact()
+		s.calibrated = true
+	default:
+		if thr, ok := g.thresholds.lookup(opts, p); ok {
+			s.thr = thr
+			s.calibrated = true
+		}
+	}
+
+	g.mu.Lock()
+	g.sweepLocked()
+	for len(g.byID) >= g.maxSessions {
+		g.evictLocked(g.lru.Back(), "lru")
+	}
+	s.lastUsed = g.now()
+	s.el = g.lru.PushFront(s)
+	g.byID[s.id] = s
+	g.mu.Unlock()
+	g.metrics.ObserveSessionCreated()
+	return s, nil
+}
+
+// lookup returns the live session for id, refreshing its LRU/TTL
+// position. An expired session is evicted here and reported missing.
+func (g *sessionRegistry) lookup(id string) (*session, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.byID[id]
+	if !ok {
+		return nil, errSessionNotFound
+	}
+	now := g.now()
+	if g.ttl > 0 && now.Sub(s.lastUsed) > g.ttl {
+		g.evictLocked(s.el, "ttl")
+		return nil, errSessionNotFound
+	}
+	s.lastUsed = now
+	g.lru.MoveToFront(s.el)
+	return s, nil
+}
+
+// remove deletes a session explicitly (DELETE /v1/sessions/{id}).
+func (g *sessionRegistry) remove(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.byID[id]
+	if !ok {
+		return errSessionNotFound
+	}
+	g.evictLocked(s.el, "deleted")
+	return nil
+}
+
+// active reports the number of live sessions.
+func (g *sessionRegistry) active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.byID)
+}
+
+// sweepLocked evicts every idle-expired session, oldest first. Callers
+// hold g.mu.
+func (g *sessionRegistry) sweepLocked() {
+	if g.ttl <= 0 {
+		return
+	}
+	now := g.now()
+	for back := g.lru.Back(); back != nil; back = g.lru.Back() {
+		s := back.Value.(*session)
+		if now.Sub(s.lastUsed) <= g.ttl {
+			return
+		}
+		g.evictLocked(back, "ttl")
+	}
+}
+
+// evictLocked removes one session by its LRU element. Callers hold g.mu.
+// An in-flight append/query on the evicted session still completes — it
+// holds its own reference to the stream — but the ID resolves no further.
+func (g *sessionRegistry) evictLocked(el *list.Element, reason string) {
+	if el == nil {
+		return
+	}
+	s := el.Value.(*session)
+	g.lru.Remove(el)
+	delete(g.byID, s.id)
+	g.metrics.ObserveSessionEvicted(reason)
+}
+
+// append adds tokens to the session and returns its new length.
+func (g *sessionRegistry) append(id string, keys, values [][]float32) (int, error) {
+	s, err := g.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stream.Len()+len(keys) > g.maxTokens {
+		return s.stream.Len(), errSessionFull
+	}
+	for i := range keys {
+		if err := s.stream.Append(keys[i], values[i]); err != nil {
+			return s.stream.Len(), err
+		}
+	}
+	g.metrics.ObserveSessionAppend(len(keys))
+	return s.stream.Len(), nil
+}
+
+// query runs one decode step: resolve the threshold if this is the
+// session's first calibrated query, attend over the prefix, and return an
+// owned copy of the context vector (the session's internal buffer is
+// recycled across queries).
+func (g *sessionRegistry) query(id string, q []float32) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
+	s, err := g.lookup(id)
+	if err != nil {
+		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.calibrated {
+		if s.stream.Len() == 0 {
+			return nil, elsa.StreamStats{}, 0, elsa.Threshold{},
+				fmt.Errorf("serve: cannot calibrate p=%g on an empty session; append keys first", s.p)
+		}
+		// Calibrate over the session's own prefix — the keys this stream
+		// will attend over are exactly the distribution the threshold must
+		// cover. The registry dedups and persists the result, so the next
+		// session at this operating point skips this step.
+		thr, err := g.thresholds.get(s.opts, s.p, func() (elsa.Threshold, error) {
+			keys := s.stream.Keys()
+			return s.set.engines[0].Calibrate(s.p, []elsa.Sample{{Q: keys, K: keys}})
+		})
+		if err != nil {
+			return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+		}
+		s.thr, s.calibrated = thr, true
+	}
+	out, stats, err := s.stream.QueryWith(s.out, q, s.thr)
+	if err != nil {
+		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+	}
+	s.out = out
+	g.metrics.ObserveSessionQuery()
+	// Hand back an owned copy: s.out is overwritten by the next query,
+	// possibly while the HTTP layer is still encoding this one.
+	return append([]float32(nil), out...), stats, s.stream.Len(), s.thr, nil
+}
+
+// newSessionID returns a 128-bit random hex ID.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -11,6 +11,21 @@ import (
 	"elsa"
 )
 
+// newTestStack builds a pool + dispatcher pair and tears the shard loops
+// down with the test.
+func newTestStack(t *testing.T, replicas, maxEntries int, window time.Duration, maxBatch, maxQueue int) (*enginePool, *dispatcher, *Metrics) {
+	t.Helper()
+	m := NewMetrics()
+	d := newDispatcher(window, maxBatch, maxQueue, 0, m)
+	p := newEnginePool(replicas, maxEntries, d, m)
+	t.Cleanup(func() {
+		d.close()
+		p.closeShards()
+		d.waitShards()
+	})
+	return p, d, m
+}
+
 func TestNormalizeOptions(t *testing.T) {
 	got := normalizeOptions(elsa.Options{}, 16)
 	if got.HeadDim != 16 || got.HashBits != 16 {
@@ -29,93 +44,132 @@ func TestNormalizeOptions(t *testing.T) {
 	}
 }
 
-func TestEnginePoolReusesAndCachesFailures(t *testing.T) {
-	p := newEnginePool()
+func TestEnginePoolReusesAndRetriesFailures(t *testing.T) {
+	p, _, _ := newTestStack(t, 2, 8, time.Millisecond, 64, 64)
 	a, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 1}, testDim))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(a.engines) != 2 || len(a.shards) != 2 {
+		t.Fatalf("replica set has %d engines / %d shards, want 2/2", len(a.engines), len(a.shards))
 	}
 	b, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 1}, testDim))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
-		t.Error("same options must return the same pooled entry")
+		t.Error("same options must return the same pooled replica set")
 	}
 	c, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 2}, testDim))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c == a {
-		t.Error("different seed must build a different engine")
+		t.Error("different seed must build a different replica set")
 	}
 	if p.size() != 2 {
 		t.Errorf("pool size %d, want 2", p.size())
 	}
-	// A bad config fails, and fails again from cache without rebuilding.
+	// A bad config fails but must NOT occupy a pool slot: the next get for
+	// the same key retries construction instead of serving a cached error.
 	if _, err := p.get(elsa.Options{HeadDim: -1}); err == nil {
 		t.Fatal("negative head dim should fail")
 	}
-	if _, err := p.get(elsa.Options{HeadDim: -1}); err == nil {
-		t.Fatal("cached failure should still fail")
+	if p.size() != 2 {
+		t.Errorf("pool size %d after failed build, want 2 (failure must free its slot)", p.size())
 	}
-	if p.size() != 3 {
-		t.Errorf("pool size %d, want 3 (failed entry occupies its key)", p.size())
+	if _, err := p.get(elsa.Options{HeadDim: -1}); err == nil {
+		t.Fatal("retried bad config should fail again")
 	}
 }
 
-func TestSchedulerCanceledContext(t *testing.T) {
-	pool := newEnginePool()
-	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+func TestEnginePoolLRUEviction(t *testing.T) {
+	p, _, m := newTestStack(t, 1, 2, time.Millisecond, 64, 64)
+	optsFor := func(seed int64) elsa.Options {
+		return normalizeOptions(elsa.Options{HeadDim: testDim, Seed: seed}, testDim)
+	}
+	a, err := p.get(optsFor(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newScheduler(time.Hour, 64, 8, 0, NewMetrics())
-	defer s.close()
+	if _, err := p.get(optsFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch seed 1 so seed 2 is now least recently used.
+	if _, err := p.get(optsFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.get(optsFor(3)); err != nil {
+		t.Fatal(err)
+	}
+	if p.size() != 2 {
+		t.Fatalf("pool size %d, want 2 (bounded)", p.size())
+	}
+	if m.EngineEvictions() != 1 {
+		t.Errorf("engine evictions %d, want 1", m.EngineEvictions())
+	}
+	// Seed 1 must have survived (it was touched); a re-get returns the same
+	// set without rebuilding. Seed 2 was evicted and rebuilds fresh.
+	a2, err := p.get(optsFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Error("recently-used set was evicted instead of the LRU one")
+	}
+	if _, err := p.get(optsFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.EngineEvictions() != 2 {
+		t.Errorf("engine evictions %d after refetching evicted key, want 2", m.EngineEvictions())
+	}
+}
+
+func TestDispatcherCanceledContext(t *testing.T) {
+	p, d, _ := newTestStack(t, 1, 8, time.Hour, 64, 8)
+	set, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	rng := rand.New(rand.NewSource(3))
 	q, k, v := genOp(rng, 2, 4)
-	_, _, err = s.submit(ctx, batchKey{entry: entry, thr: elsa.Exact()}, elsa.BatchOp{Q: q, K: k, V: v})
+	_, _, _, err = d.submit(ctx, set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
-func TestSchedulerRefusesWhenClosed(t *testing.T) {
-	pool := newEnginePool()
-	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+func TestDispatcherRefusesWhenClosed(t *testing.T) {
+	p, d, _ := newTestStack(t, 1, 8, time.Millisecond, 64, 8)
+	set, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newScheduler(time.Millisecond, 64, 8, 0, NewMetrics())
-	s.close()
+	d.close()
 	rng := rand.New(rand.NewSource(4))
 	q, k, v := genOp(rng, 2, 4)
-	_, _, err = s.submit(context.Background(), batchKey{entry: entry, thr: elsa.Exact()}, elsa.BatchOp{Q: q, K: k, V: v})
+	_, _, _, err = d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
 	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
-	s.close() // idempotent
+	d.close() // idempotent
 }
 
 func TestMaxBatchDispatchesEarly(t *testing.T) {
-	pool := newEnginePool()
-	entry, err := pool.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
+	// An hour-long window: only the max-batch fast path can dispatch.
+	p, d, m := newTestStack(t, 1, 8, time.Hour, 2, 16)
+	set, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed}, testDim))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMetrics()
-	// An hour-long window: only the max-batch fast path can dispatch.
-	s := newScheduler(time.Hour, 2, 16, 0, m)
-	defer s.close()
 	rng := rand.New(rand.NewSource(5))
-	key := batchKey{entry: entry, thr: elsa.Exact()}
 	done := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		q, k, v := genOp(rng, 2, 4)
 		go func() {
-			_, _, err := s.submit(context.Background(), key, elsa.BatchOp{Q: q, K: k, V: v})
+			_, _, _, err := d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
 			done <- err
 		}()
 	}
@@ -139,6 +193,10 @@ func TestMetricsHistogramRendering(t *testing.T) {
 	m.ObserveBatch(1)
 	m.ObserveBatch(3)
 	m.ObserveBatch(300) // beyond the last bound → +Inf bucket
+	m.ObserveShardBatch(0, 1)
+	m.ObserveShardBatch(1, 3)
+	m.ObserveSessionCreated()
+	m.ObserveSessionEvicted("ttl")
 	var sb strings.Builder
 	if _, err := m.WriteTo(&sb); err != nil {
 		t.Fatal(err)
@@ -152,6 +210,12 @@ func TestMetricsHistogramRendering(t *testing.T) {
 		"elsa_serve_batch_size_sum 304",
 		"elsa_serve_batch_size_count 3",
 		"elsa_serve_batch_ops_total 304",
+		`elsa_serve_shard_batches_total{shard="0"} 1`,
+		`elsa_serve_shard_batches_total{shard="1"} 1`,
+		`elsa_serve_shard_ops_total{shard="1"} 3`,
+		"elsa_serve_sessions 0",
+		"elsa_serve_sessions_created_total 1",
+		`elsa_serve_session_evictions_total{reason="ttl"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q\n%s", want, text)

@@ -25,6 +25,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== serving subsystem under -race =="
+# The dispatcher, replica pool, threshold registry, and session registry
+# are the most concurrent code in the tree; run their suite explicitly
+# with -count=1 so the race detector can never be satisfied from cache.
+go test -race -count=1 ./internal/serve/
+
 echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
 # explicitly so they can never be skipped under -short, with -count=1 to

@@ -41,12 +41,25 @@ type StreamStats struct {
 
 // Query attends q over the current prefix with the given threshold.
 func (s *Stream) Query(q []float32, thr Threshold) ([]float32, StreamStats, error) {
-	out, st, err := s.inner.Query(q, thr.T)
+	return s.QueryWith(nil, q, thr)
+}
+
+// QueryWith is Query writing the context vector into dst (grown only when
+// too small), so an autoregressive decode loop that recycles one output
+// buffer runs allocation-free: the attend pass reuses the stream's
+// workspace end to end.
+func (s *Stream) QueryWith(dst []float32, q []float32, thr Threshold) ([]float32, StreamStats, error) {
+	out, st, err := s.inner.QueryWith(dst, q, thr.T)
 	if err != nil {
-		return nil, StreamStats{}, fmt.Errorf("elsa: %w", err)
+		return dst, StreamStats{}, fmt.Errorf("elsa: %w", err)
 	}
 	return out, StreamStats{Candidates: st.Candidates, Fallback: st.Fallback}, nil
 }
+
+// Keys returns a copy of the appended key vectors, one row per token —
+// the prefix sample a serving layer can calibrate a threshold from
+// (Calibrate with Q = K = Keys()). Not intended for the decode hot path.
+func (s *Stream) Keys() [][]float32 { return s.inner.Keys() }
 
 // AttendBlockwise runs approximate attention over sequences longer than
 // one hardware invocation by decomposing the keys into blocks of at most

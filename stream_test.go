@@ -85,3 +85,50 @@ func TestPublicBlockwiseErrors(t *testing.T) {
 		t.Error("nil queries should error")
 	}
 }
+
+func TestPublicStreamQueryWithAndKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	e := newEngine(t, Options{Seed: 33})
+	_, k, v := genData(rng, 1, 12, 64)
+	st := e.NewStream(12)
+	for i := range k {
+		if err := st.Append(k[i], v[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := st.Keys()
+	if len(keys) != 12 {
+		t.Fatalf("Keys returned %d rows", len(keys))
+	}
+	for i := range keys {
+		for j := range keys[i] {
+			if keys[i][j] != k[i][j] {
+				t.Fatalf("Keys row %d differs at %d", i, j)
+			}
+		}
+	}
+	// Keys must be copies: mutating them must not corrupt the stream.
+	keys[0][0] += 100
+
+	q, _, _ := genData(rng, 1, 1, 64)
+	want, _, err := st.Query(q[0], Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 0, 64)
+	got, stats, err := st.QueryWith(dst, q[0], Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("QueryWith did not reuse the caller's buffer")
+	}
+	if stats.Candidates != 12 {
+		t.Errorf("stats %+v", stats)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("QueryWith diverges from Query at %d", j)
+		}
+	}
+}
