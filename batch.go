@@ -11,20 +11,13 @@ import (
 type BatchOp struct {
 	Q, K, V [][]float32
 
-	// Thr, when non-nil, overrides the batch-level threshold for this op,
-	// so ops calibrated at different operating points can share one
-	// dispatch (mixed-threshold batches). Nil selects the threshold passed
-	// to AttendBatch — the uniform-threshold fast path.
-	Thr *Threshold
-}
-
-// threshold resolves the operating point this op runs with: its own
-// override when set, otherwise the shared batch threshold.
-func (op BatchOp) threshold(shared Threshold) Threshold {
-	if op.Thr != nil {
-		return *op.Thr
-	}
-	return shared
+	// Overrides carries the op's operating-point overrides. A non-nil Thr
+	// overrides the batch-level threshold for this op, so ops calibrated
+	// at different operating points can share one dispatch
+	// (mixed-threshold batches); the zero value selects the threshold
+	// passed to AttendBatch — the uniform-threshold fast path. The
+	// embedding keeps the historical op.Thr field name working.
+	Overrides
 }
 
 // validate rejects malformed operations up front so a bad op fails with a
@@ -103,7 +96,7 @@ func (e *Engine) AttendBatchContext(ctx context.Context, ops []BatchOp, thr Thre
 				if ctx.Err() != nil {
 					return
 				}
-				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, ops[i].threshold(thr))
+				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, ops[i].Resolve(thr))
 				outs[i], errs[i] = out, err
 			}
 		}()

@@ -8,6 +8,7 @@
 //
 //	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
+//	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
 // -json out.json writes the selected experiment's raw rows — including the
 // "bench" experiment's machine-readable ns/op, candidate-fraction and
@@ -40,6 +41,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	baseline := flag.String("baseline", "", "bench experiment only: compare ns/op against this committed BENCH_*.json")
 	maxRegress := flag.Float64("maxregress", 0.15, "with -baseline: allowed fractional ns/op regression before failing")
+	compare := flag.String("compare", "", "with -baseline: compare this committed BENCH_*.json instead of measuring fresh")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -73,15 +75,25 @@ func main() {
 		}()
 	}
 
+	if *compare != "" && *baseline == "" {
+		fatal(fmt.Errorf("-compare requires -baseline to compare against"))
+	}
 	if *baseline != "" {
 		if *experiment != "bench" && *experiment != "all" {
 			fatal(fmt.Errorf("-baseline requires -experiment bench"))
 		}
-		rows, err := benchRows(opt)
+		var rows []BenchRow
+		var err error
+		if *compare != "" {
+			// Two committed trajectory files: no measurement, just the gate.
+			rows, err = loadBenchRows(*compare)
+		} else {
+			rows, err = benchRows(opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		if *jsonOut != "" {
+		if *jsonOut != "" && *compare == "" {
 			if err := writeJSONPayload(map[string]any{"bench": rows}, *jsonOut); err != nil {
 				fatal(err)
 			}

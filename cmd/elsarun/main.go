@@ -6,20 +6,30 @@
 // Usage:
 //
 //	elsarun [-n 256] [-d 64] [-p 1.0] [-dataset SQuADv1.1] [-quantized] [-seed 1]
+//	elsarun -url http://localhost:8080 [-client me] [-priority batch] ...
+//
+// With -url the op is sent to a running elsaserve instance through the
+// serve/client package (v1 envelope, quota identity, priority class)
+// instead of running locally; the simulator and energy model do not
+// apply remotely.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 
+	"elsa"
 	"elsa/internal/attention"
 	"elsa/internal/elsasim"
 	"elsa/internal/energy"
 	"elsa/internal/stats"
+	"elsa/internal/tensor"
 	"elsa/internal/workload"
+	"elsa/serve/client"
 )
 
 func main() {
@@ -30,13 +40,80 @@ func main() {
 	quantized := flag.Bool("quantized", false, "run with the accelerator's fixed-point numerics")
 	causal := flag.Bool("causal", false, "decoder-style causal masking (query i sees keys 0..i)")
 	seed := flag.Int64("seed", 1, "random seed")
+	url := flag.String("url", "", "run the op on this elsaserve instance instead of locally")
+	clientID := flag.String("client", "elsarun", "client_id for the server's per-client quota (with -url)")
+	priority := flag.String("priority", "", "priority class: interactive|batch|background (with -url)")
 	flag.Parse()
 
-	if err := run(*n, *d, *p, *dataset, *quantized, *causal, *seed); err != nil {
+	var err error
+	if *url != "" {
+		err = runRemote(*url, *clientID, *priority, *n, *d, *p, *dataset, *quantized, *seed)
+	} else {
+		err = run(*n, *d, *p, *dataset, *quantized, *causal, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsarun:", err)
 		os.Exit(1)
 	}
 }
+
+// runRemote generates the same workload and ships the op to elsaserve,
+// letting the server calibrate the threshold for p.
+func runRemote(url, clientID, priority string, n, d int, p float64, dsName string, quantized bool, seed int64) error {
+	ds, err := findDataset(dsName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := ds.GenerateLen(rng, d, n)
+
+	c := client.New(url,
+		client.WithClientID(clientID),
+		client.WithPriority(priority),
+		client.WithRetries(3))
+	fmt.Printf("ELSA remote run: %s n=%d d=%d p=%g dataset=%s quantized=%v client=%s\n",
+		url, n, d, p, ds.Name, quantized, clientID)
+	res, err := c.Attend(context.Background(), matRows(inst.Q), matRows(inst.K), matRows(inst.V),
+		client.AttendOptions{
+			Overrides: elsaOverrides(p),
+			HeadDim:   d,
+			Seed:      seed,
+			Quantized: quantized,
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threshold: p=%g t=%.4f (calibrated over %d queries)\n",
+		res.Threshold.P, res.Threshold.T, res.Threshold.Queries)
+	fmt.Printf("candidates: %.1f%% of key-query pairs, %d fallback queries\n",
+		100*res.CandidateFraction, res.FallbackQueries)
+	fmt.Printf("dispatched in a micro-batch of %d op(s); %d context rows returned\n",
+		res.BatchSize, len(res.Context))
+	return nil
+}
+
+func findDataset(name string) (workload.Dataset, error) {
+	for _, cand := range workload.AllDatasets() {
+		if cand.Name == name {
+			return cand, nil
+		}
+	}
+	return workload.Dataset{}, fmt.Errorf("unknown dataset %q", name)
+}
+
+// matRows converts a dense matrix to the row-slice form the HTTP API
+// takes.
+func matRows(m *tensor.Matrix) [][]float32 {
+	rows := make([][]float32, m.Rows)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// elsaOverrides expresses the -p flag as the library-wide per-op
+// override struct; the server resolves it to a calibrated threshold.
+func elsaOverrides(p float64) elsa.Overrides { return elsa.Overrides{P: p} }
 
 func run(n, d int, p float64, dsName string, quantized, causal bool, seed int64) error {
 	var ds workload.Dataset

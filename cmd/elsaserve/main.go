@@ -13,6 +13,7 @@
 //	          [-replicas 2] [-max-engines 8]
 //	          [-max-sessions 1024] [-session-ttl 15m] [-session-tokens 65536]
 //	          [-state-dir /var/lib/elsa]
+//	          [-quota-rps 0] [-quota-burst 0] [-class-weights 16,4,1]
 //
 // Endpoints:
 //
@@ -36,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,13 +59,41 @@ func main() {
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative disables)")
 	flag.IntVar(&cfg.MaxSessionTokens, "session-tokens", 65536, "per-session appended-token limit")
 	flag.StringVar(&cfg.StateDir, "state-dir", "", "persist calibrated thresholds here across restarts (empty = memory only)")
+	flag.Float64Var(&cfg.QuotaRPS, "quota-rps", 0, "per-client admission rate in ops/s, keyed by envelope client_id (0 = quotas off)")
+	flag.Float64Var(&cfg.QuotaBurst, "quota-burst", 0, "per-client token-bucket burst (0 = max(1, quota-rps))")
+	weights := flag.String("class-weights", "16,4,1", "weighted-dequeue shares for interactive,batch,background traffic")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
+
+	cw, err := parseClassWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elsaserve:", err)
+		os.Exit(2)
+	}
+	cfg.ClassWeights = cw
 
 	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "elsaserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseClassWeights parses "16,4,1" into the interactive,batch,background
+// dequeue shares.
+func parseClassWeights(s string) ([3]int, error) {
+	var w [3]int
+	parts := strings.Split(s, ",")
+	if len(parts) != len(w) {
+		return w, fmt.Errorf("-class-weights wants 3 comma-separated integers (interactive,batch,background), got %q", s)
+	}
+	for i, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return w, fmt.Errorf("-class-weights entry %d must be a positive integer, got %q", i, part)
+		}
+		w[i] = v
+	}
+	return w, nil
 }
 
 func run(addr string, cfg serve.Config, drain time.Duration) error {

@@ -1,10 +1,86 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"time"
 
 	"elsa"
 )
+
+// Envelope is the versioned v1 request envelope shared by every POST
+// endpoint: admission metadata (who is asking, at what priority, with how
+// much latency budget) wraps the op payload in `op`. Bare pre-envelope
+// payloads — bodies without an `op` key — are still accepted through the
+// same decoder and behave exactly as before: anonymous client,
+// interactive priority, no deadline.
+type Envelope struct {
+	// ClientID keys the per-client quota bucket. Empty means anonymous;
+	// all anonymous requests share one bucket, so naming yourself is how
+	// a client gets its own quota. The X-Elsa-Client header is the
+	// fallback carrier for clients that cannot change their body format.
+	ClientID string `json:"client_id,omitempty"`
+	// Priority is the op's class: interactive (default), batch, or
+	// background. X-Elsa-Priority is the header fallback.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS is the client's remaining latency budget. An op whose
+	// budget cannot cover the estimated queue wait is shed immediately
+	// with Retry-After instead of timing out in queue. 0 means no
+	// deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Op is the endpoint's payload (AttendRequest, SessionCreateRequest,
+	// ...).
+	Op json.RawMessage `json:"op,omitempty"`
+}
+
+// requestMeta is the envelope's admission metadata, resolved.
+type requestMeta struct {
+	clientID string
+	class    Class
+	deadline time.Duration // remaining budget; 0 = none
+}
+
+// decodeEnvelope decodes a size-bounded request body into payload,
+// accepting both the v1 envelope and bare pre-envelope payloads, and
+// resolves the admission metadata (falling back to the X-Elsa-Client /
+// X-Elsa-Priority headers). It answers 400 itself on failure.
+func decodeEnvelope(w http.ResponseWriter, r *http.Request, maxBytes int64, payload any) (requestMeta, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return requestMeta{}, false
+	}
+	var env Envelope
+	raw := body
+	if err := json.Unmarshal(body, &env); err != nil {
+		env = Envelope{}
+	} else if env.Op != nil {
+		raw = env.Op
+	}
+	if err := json.Unmarshal(raw, payload); err != nil {
+		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return requestMeta{}, false
+	}
+	meta := requestMeta{clientID: env.ClientID}
+	if meta.clientID == "" {
+		meta.clientID = r.Header.Get("X-Elsa-Client")
+	}
+	priority := env.Priority
+	if priority == "" {
+		priority = r.Header.Get("X-Elsa-Priority")
+	}
+	meta.class, err = parseClass(priority)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err.Error())
+		return requestMeta{}, false
+	}
+	if env.DeadlineMS > 0 {
+		meta.deadline = time.Duration(env.DeadlineMS) * time.Millisecond
+	}
+	return meta, true
+}
 
 // AttendRequest is the POST /v1/attend body: one self-attention op plus
 // the engine configuration it should run under. Omitted engine fields take
@@ -99,6 +175,9 @@ type SessionAppendResponse struct {
 // SessionQueryRequest is the POST /v1/sessions/{id}/query body.
 type SessionQueryRequest struct {
 	Q []float32 `json:"q"`
+	// T, when present, overrides the session's threshold for this query
+	// only — the wire form of elsa.Overrides on a decode step.
+	T *float64 `json:"t,omitempty"`
 }
 
 // SessionQueryResponse is one decode step's result.
@@ -165,4 +244,24 @@ func (r *AttendRequest) options() elsa.Options {
 		Seed:      r.Seed,
 		Quantized: r.Quantized,
 	}, len(r.Q[0]))
+}
+
+// overrides maps the request's operating-point fields onto the library's
+// per-op override struct: an explicit t pins the threshold, otherwise p
+// is left for the server's registry to resolve.
+func (r *AttendRequest) overrides() elsa.Overrides {
+	ov := elsa.Overrides{P: r.P}
+	if r.T != nil {
+		ov.Thr = &elsa.Threshold{P: r.P, T: *r.T}
+	}
+	return ov
+}
+
+// overrides is AttendRequest.overrides for session creation.
+func (r *SessionCreateRequest) overrides() elsa.Overrides {
+	ov := elsa.Overrides{P: r.P}
+	if r.T != nil {
+		ov.Thr = &elsa.Threshold{P: r.P, T: *r.T}
+	}
+	return ov
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,12 +13,36 @@ import (
 
 // Errors surfaced by the dispatcher to the HTTP layer.
 var (
-	// ErrQueueFull means the bounded dispatcher queue is at capacity; the
-	// caller should shed load (HTTP 429).
+	// ErrQueueFull means the submitting class's share of the bounded
+	// dispatcher queue is at capacity; the caller should shed load
+	// (HTTP 429).
 	ErrQueueFull = errors.New("serve: dispatcher queue full")
 	// ErrClosed means the server is draining for shutdown (HTTP 503).
 	ErrClosed = errors.New("serve: server shutting down")
+	// ErrDeadline means the op's remaining deadline cannot cover the
+	// estimated queue wait, so it is shed immediately (HTTP 429 with
+	// Retry-After) instead of timing out in queue.
+	ErrDeadline = errors.New("serve: deadline cannot cover estimated queue wait")
 )
+
+// shedError wraps a shed sentinel with the Retry-After the HTTP layer
+// should surface.
+type shedError struct {
+	sentinel   error
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return e.sentinel.Error() }
+func (e *shedError) Unwrap() error { return e.sentinel }
+
+// retryAfterOf extracts a shed error's Retry-After hint (0 when absent).
+func retryAfterOf(err error) time.Duration {
+	var se *shedError
+	if errors.As(err, &se) {
+		return se.retryAfter
+	}
+	return 0
+}
 
 // jobResult is what a dispatched job hands back to its waiting request.
 type jobResult struct {
@@ -33,13 +58,17 @@ type jobResult struct {
 type job struct {
 	ctx    context.Context
 	op     elsa.BatchOp
+	class  Class
 	result chan jobResult // buffered: dispatch never blocks on a gone requester
 }
 
 // pendingBatch accumulates jobs for one replica set until the window
-// elapses or the batch fills.
+// elapses or the batch fills, bucketed by priority class so dispatch can
+// dequeue by weight.
 type pendingBatch struct {
-	jobs []*job
+	jobs  [NumClasses][]*job
+	count int
+	due   time.Time // when this batch's window timer fires
 }
 
 // shard is one engine replica's dispatch lane: a bounded queue of
@@ -49,7 +78,7 @@ type pendingBatch struct {
 type shard struct {
 	id    int // replica index within its set
 	eng   *elsa.Engine
-	queue chan *pendingBatch
+	queue chan []*job
 	depth atomic.Int64
 }
 
@@ -57,35 +86,41 @@ type shard struct {
 // at most maxQueue ops, every batch holds at least one op, and ops stay
 // counted until their batch starts running, so a send can never block.
 func newShard(id int, eng *elsa.Engine, maxQueue int) *shard {
-	return &shard{id: id, eng: eng, queue: make(chan *pendingBatch, maxQueue)}
+	return &shard{id: id, eng: eng, queue: make(chan []*job, maxQueue)}
 }
 
 // dispatcher implements dynamic micro-batching over replicated engines:
 // the first request for a replica set opens a batching window; requests
-// arriving within it — whatever their thresholds — coalesce into one
-// batch, which is then routed to the least-loaded shard of the set and
-// executed through AttendBatchContext with per-op thresholds.
+// arriving within it — whatever their thresholds or classes — coalesce
+// into one pending batch. Dispatch dequeues by priority weight (the
+// highest waiting class fills freely, lower classes are capped to their
+// weight share and deferred ops stay pending), then routes the batch to
+// the least-loaded shard of the set and executes it through
+// AttendBatchContext with per-op thresholds.
 type dispatcher struct {
 	window   time.Duration
 	maxBatch int
 	maxQueue int
 	workers  int
+	weights  classWeights
 	metrics  *Metrics
 
 	mu      sync.Mutex
 	closed  bool
 	queued  int
+	svcEWMA float64 // smoothed batch service time, seconds
 	pending map[*replicaSet]*pendingBatch
 	batchWg sync.WaitGroup // in-flight dispatched batches
 	loopWg  sync.WaitGroup // running shard loops
 }
 
-func newDispatcher(window time.Duration, maxBatch, maxQueue, workers int, m *Metrics) *dispatcher {
+func newDispatcher(window time.Duration, maxBatch, maxQueue, workers int, weights classWeights, m *Metrics) *dispatcher {
 	return &dispatcher{
 		window:   window,
 		maxBatch: maxBatch,
 		maxQueue: maxQueue,
 		workers:  workers,
+		weights:  weights.normalize(),
 		metrics:  m,
 		pending:  make(map[*replicaSet]*pendingBatch),
 	}
@@ -103,37 +138,66 @@ func (d *dispatcher) startShard(sh *shard) {
 	}()
 }
 
-// submit enqueues one op with its operating point and blocks until its
-// batch is dispatched and computed, ctx is done, or the server refuses it
-// (full queue / closing). It returns the op's output, how many ops shared
-// the dispatched batch, and which shard ran it.
-func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchOp, thr elsa.Threshold) (*elsa.Output, int, int, error) {
+// estimateWaitLocked predicts how long a newly submitted op for set
+// waits before its result exists: the remaining batching window, plus
+// the least-loaded shard's queued batches at the smoothed batch service
+// time, plus one service time for the op's own batch. Callers hold d.mu.
+func (d *dispatcher) estimateWaitLocked(set *replicaSet) time.Duration {
+	wait := d.window
+	if b, ok := d.pending[set]; ok {
+		wait = time.Until(b.due)
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	svc := time.Duration(d.svcEWMA * float64(time.Second))
+	if len(set.shards) > 0 {
+		minDepth := int64(math.MaxInt64)
+		for _, sh := range set.shards {
+			if depth := sh.depth.Load(); depth < minDepth {
+				minDepth = depth
+			}
+		}
+		wait += time.Duration(minDepth) * svc
+	}
+	return wait + svc
+}
+
+// submit enqueues one op with its operating point, class and absolute
+// deadline (zero = none) and blocks until its batch is dispatched and
+// computed, ctx is done, or the server refuses it (class queue share
+// full / deadline unmeetable / closing). It returns the op's output, how
+// many ops shared the dispatched batch, and which shard ran it.
+func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchOp, thr elsa.Threshold, class Class, deadline time.Time) (*elsa.Output, int, int, error) {
 	op.Thr = &thr
-	j := &job{ctx: ctx, op: op, result: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, op: op, class: class, result: make(chan jobResult, 1)}
 
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil, 0, 0, ErrClosed
 	}
-	if d.queued >= d.maxQueue {
+	if d.queued >= d.weights.queueCap(class, d.maxQueue) {
+		est := d.estimateWaitLocked(set)
 		d.mu.Unlock()
-		return nil, 0, 0, ErrQueueFull
+		return nil, 0, 0, &shedError{sentinel: ErrQueueFull, retryAfter: est}
+	}
+	if !deadline.IsZero() {
+		if est := d.estimateWaitLocked(set); time.Until(deadline) < est {
+			d.mu.Unlock()
+			return nil, 0, 0, &shedError{sentinel: ErrDeadline, retryAfter: est}
+		}
 	}
 	d.queued++
 	d.metrics.SetQueueDepth(d.queued)
 	b, ok := d.pending[set]
 	if !ok {
-		b = &pendingBatch{}
-		d.pending[set] = b
-		// First job for this set: open the batching window. The timer
-		// flushes whatever has accumulated when it fires; pointer
-		// identity guards against flushing a successor batch.
-		time.AfterFunc(d.window, func() { d.flush(set, b) })
+		b = d.newPendingLocked(set)
 	}
-	b.jobs = append(b.jobs, j)
-	if len(b.jobs) >= d.maxBatch {
-		d.dispatchLocked(set, b)
+	b.jobs[class] = append(b.jobs[class], j)
+	b.count++
+	if b.count >= d.maxBatch {
+		d.dispatchLocked(set, b, false)
 	}
 	d.mu.Unlock()
 
@@ -145,38 +209,95 @@ func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchO
 	}
 }
 
+// newPendingLocked opens a fresh batching window for set: the timer
+// flushes whatever has accumulated when it fires; pointer identity
+// guards against flushing a successor batch. Callers hold d.mu.
+func (d *dispatcher) newPendingLocked(set *replicaSet) *pendingBatch {
+	b := &pendingBatch{due: time.Now().Add(d.window)}
+	d.pending[set] = b
+	time.AfterFunc(d.window, func() { d.flush(set, b) })
+	return b
+}
+
 // flush dispatches batch b if it is still the pending batch for set.
 func (d *dispatcher) flush(set *replicaSet, b *pendingBatch) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.pending[set] == b {
-		d.dispatchLocked(set, b)
+		d.dispatchLocked(set, b, false)
 	}
 }
 
-// dispatchLocked detaches b from the pending set and routes it to the
-// least-loaded shard of the replica set. Callers hold d.mu; the send
-// cannot block (see newShard) so holding the lock across it is safe. The
-// batchWg.Add here pairs with close()'s batchWg.Wait so shutdown drains
-// every dispatched batch.
-func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch) {
-	delete(d.pending, set)
+// dispatchLocked dequeues up to maxBatch jobs from b by priority weight
+// and routes them to the least-loaded shard of the replica set. The
+// highest class with waiting jobs fills freely; each lower class is
+// capped at its weight share of the batch, and capped-out jobs stay
+// pending for the next window (counted as priority-preempted) — so
+// background work progresses every dispatch but never displaces
+// interactive ops. With drain set every job goes at once (shutdown).
+// Callers hold d.mu; the send cannot block (see newShard) so holding the
+// lock across it is safe. The batchWg.Add pairs with close()'s
+// batchWg.Wait so shutdown drains every dispatched batch.
+func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch, drain bool) {
+	capacity := d.maxBatch
+	if drain {
+		capacity = b.count
+	}
+	take := make([]*job, 0, min(b.count, capacity))
+	leading := true
+	for c := Class(0); c < NumClasses; c++ {
+		jobs := b.jobs[c]
+		if len(jobs) == 0 {
+			continue
+		}
+		room := capacity - len(take)
+		if room <= 0 {
+			break
+		}
+		n := len(jobs)
+		if !drain && !leading {
+			n = min(n, d.weights.dispatchCap(c, d.maxBatch))
+		}
+		n = min(n, room)
+		take = append(take, jobs[:n]...)
+		b.jobs[c] = jobs[n:]
+		b.count -= n
+		leading = false
+	}
+
+	if b.count > 0 {
+		// Deferred jobs open the next window immediately so they are
+		// never stranded; the old batch's timer is disarmed by pointer
+		// identity.
+		nb := d.newPendingLocked(set)
+		nb.jobs = b.jobs
+		nb.count = b.count
+		for c := Class(0); c < NumClasses; c++ {
+			if n := len(nb.jobs[c]); n > 0 {
+				d.metrics.ObservePreempted(c.String(), n)
+			}
+		}
+	} else {
+		delete(d.pending, set)
+	}
+	if len(take) == 0 {
+		return
+	}
 	d.batchWg.Add(1)
 	sh := set.pickShard()
 	sh.depth.Add(1)
 	d.metrics.AddShardDepth(sh.id, 1)
-	sh.queue <- b
+	sh.queue <- take
 }
 
 // runBatch executes one detached batch on its shard: jobs whose context
 // already expired are answered immediately, the rest go through the
 // shard engine's batch worker pool in one call, each op at its own
 // threshold.
-func (d *dispatcher) runBatch(sh *shard, b *pendingBatch) {
+func (d *dispatcher) runBatch(sh *shard, jobs []*job) {
 	defer d.batchWg.Done()
 	sh.depth.Add(-1)
 	d.metrics.AddShardDepth(sh.id, -1)
-	jobs := b.jobs
 	live := make([]*job, 0, len(jobs))
 	for _, j := range jobs {
 		if err := j.ctx.Err(); err != nil {
@@ -203,7 +324,9 @@ func (d *dispatcher) runBatch(sh *shard, b *pendingBatch) {
 	// API only reports counts), so concurrent batches reuse warm buffers
 	// from the engine's sync.Pool instead of churning the allocator. The
 	// shared threshold argument is irrelevant: every op carries its own.
+	start := time.Now()
 	outs, err := sh.eng.AttendBatchContext(context.Background(), ops, elsa.Exact(), d.workers)
+	d.observeService(time.Since(start))
 	if err != nil {
 		for _, j := range live {
 			j.result <- jobResult{err: err}
@@ -216,6 +339,19 @@ func (d *dispatcher) runBatch(sh *shard, b *pendingBatch) {
 	}
 }
 
+// observeService folds one batch's wall time into the smoothed service
+// time that deadline shedding estimates queue wait with.
+func (d *dispatcher) observeService(dur time.Duration) {
+	s := dur.Seconds()
+	d.mu.Lock()
+	if d.svcEWMA == 0 {
+		d.svcEWMA = s
+	} else {
+		d.svcEWMA = 0.8*d.svcEWMA + 0.2*s
+	}
+	d.mu.Unlock()
+}
+
 // close stops admission, dispatches every still-pending batch
 // immediately, and waits for all in-flight batches to finish. Safe to
 // call more than once. The shard loops themselves are shut down by the
@@ -225,7 +361,7 @@ func (d *dispatcher) close() {
 	d.mu.Lock()
 	d.closed = true
 	for set, b := range d.pending {
-		d.dispatchLocked(set, b)
+		d.dispatchLocked(set, b, true)
 	}
 	d.mu.Unlock()
 	d.batchWg.Wait()

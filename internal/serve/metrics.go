@@ -50,6 +50,21 @@ func (h *histogram) writeProm(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
 }
 
+// writePromLabeled renders the histogram's series with a fixed extra
+// label (e.g. `class="interactive"`) prepended to every line's label set,
+// so several labeled histograms can share one metric family.
+func (h *histogram) writePromLabeled(w io.Writer, name, label string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, fmtFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, fmtFloat(h.sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.total)
+}
+
 func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
 // Metrics aggregates the server's runtime counters and histograms and
@@ -66,6 +81,11 @@ type Metrics struct {
 
 	batchSize *histogram
 	latency   *histogram // request wall time, seconds
+
+	admission    map[string]int64       // admission decision → count
+	preempted    map[string]int64       // class → ops deferred by weighted dequeue
+	classLatency [NumClasses]*histogram // request wall time by class, seconds
+	quotaClients int64                  // resident per-client quota buckets
 
 	candFracSum   float64 // admitted-candidate fraction, from Output stats
 	candFracCount int64
@@ -91,16 +111,78 @@ type Metrics struct {
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		requestsByCode: make(map[string]int64),
 		rejectedByWhy:  make(map[string]int64),
 		batchSize:      newHistogram(batchSizeBuckets),
 		latency:        newHistogram(latencyBuckets),
+		admission:      make(map[string]int64),
+		preempted:      make(map[string]int64),
 		shardBatches:   make(map[int]int64),
 		shardOps:       make(map[int]int64),
 		shardDepth:     make(map[int]int64),
 		sessionEvicted: make(map[string]int64),
 	}
+	for c := range m.classLatency {
+		m.classLatency[c] = newHistogram(latencyBuckets)
+	}
+	return m
+}
+
+// ObserveAdmission records one admission-control decision: "admitted",
+// "shed_quota", or "shed_deadline".
+func (m *Metrics) ObserveAdmission(decision string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admission[decision]++
+}
+
+// AdmissionDecisions returns a copy of the decision counters.
+func (m *Metrics) AdmissionDecisions() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.admission))
+	for k, v := range m.admission {
+		out[k] = v
+	}
+	return out
+}
+
+// ObservePreempted tallies n ops of a class deferred to the next window
+// by the weighted dequeue.
+func (m *Metrics) ObservePreempted(class string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preempted[class] += int64(n)
+}
+
+// Preemptions returns a copy of the per-class preempted-op counters.
+func (m *Metrics) Preemptions() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.preempted))
+	for k, v := range m.preempted {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveClassLatency records one finished /v1/attend request's wall time
+// under its priority class.
+func (m *Metrics) ObserveClassLatency(c Class, seconds float64) {
+	if c < 0 || int(c) >= NumClasses {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.classLatency[c].observe(seconds)
+}
+
+// SetQuotaClients updates the resident-quota-bucket gauge.
+func (m *Metrics) SetQuotaClients(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quotaClients = int64(n)
 }
 
 // ObserveRequest records one finished /v1/attend request.
@@ -306,6 +388,28 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.batchSize.writeProm(cw, "elsa_serve_batch_size")
 	fmt.Fprintf(cw, "# HELP elsa_serve_request_seconds Request wall time for /v1/attend.\n")
 	m.latency.writeProm(cw, "elsa_serve_request_seconds")
+
+	fmt.Fprintf(cw, "# HELP elsa_serve_admission_total Admission-control decisions for /v1/attend.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_admission_total counter\n")
+	for _, d := range sortedKeys(m.admission) {
+		fmt.Fprintf(cw, "elsa_serve_admission_total{decision=%q} %d\n", d, m.admission[d])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_preempted_total Ops deferred to the next window by the weighted dequeue, by class.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_preempted_total counter\n")
+	for _, c := range sortedKeys(m.preempted) {
+		fmt.Fprintf(cw, "elsa_serve_preempted_total{class=%q} %d\n", c, m.preempted[c])
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_class_request_seconds Request wall time for /v1/attend, by priority class.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_class_request_seconds histogram\n")
+	for c, h := range m.classLatency {
+		if h.total == 0 {
+			continue
+		}
+		h.writePromLabeled(cw, "elsa_serve_class_request_seconds", fmt.Sprintf("class=%q", Class(c).String()))
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_quota_clients Resident per-client quota buckets.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_quota_clients gauge\n")
+	fmt.Fprintf(cw, "elsa_serve_quota_clients %d\n", m.quotaClients)
 
 	fmt.Fprintf(cw, "# HELP elsa_serve_candidate_fraction_sum Summed admitted-candidate fractions over served ops.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_candidate_fraction_sum counter\n")

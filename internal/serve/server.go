@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"elsa"
@@ -54,6 +56,18 @@ type Config struct {
 	// server serves its first calibrated request without re-running
 	// Calibrate. Empty keeps thresholds in memory only.
 	StateDir string
+
+	// QuotaRPS is each client's sustained admission rate in ops/second,
+	// keyed by the envelope's client_id (or X-Elsa-Client). 0 disables
+	// per-client quotas (the default).
+	QuotaRPS float64
+	// QuotaBurst is each client's token-bucket burst capacity
+	// (default max(1, QuotaRPS)).
+	QuotaBurst float64
+	// ClassWeights are the dispatcher's weighted-dequeue shares for
+	// interactive, batch, and background traffic (default 16:4:1; the
+	// zero value selects the default).
+	ClassWeights [NumClasses]int
 }
 
 func (c *Config) setDefaults() {
@@ -99,6 +113,7 @@ type Server struct {
 	disp       *dispatcher
 	thresholds *thresholdRegistry
 	sessions   *sessionRegistry
+	quotas     *quotas
 	metrics    *Metrics
 	mux        *http.ServeMux
 }
@@ -107,7 +122,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	m := NewMetrics()
-	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, m)
+	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, classWeights(cfg.ClassWeights), m)
 	thr := newThresholdRegistry(cfg.StateDir, m)
 	s := &Server{
 		cfg:        cfg,
@@ -115,6 +130,7 @@ func New(cfg Config) *Server {
 		disp:       disp,
 		thresholds: thr,
 		sessions:   newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m),
+		quotas:     newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
 		metrics:    m,
 		mux:        http.NewServeMux(),
 	}
@@ -158,60 +174,85 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.SetEngines(s.pool.size())
+	s.metrics.SetQuotaClients(s.quotas.clients())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w) //nolint:errcheck // best effort: client gone mid-scrape
 }
 
 func (s *Server) handleAttend(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	code, reason := s.attend(w, r)
+	code, reason, class := s.attend(w, r)
 	if reason != "" {
 		s.metrics.ObserveRejection(reason)
 	}
-	s.metrics.ObserveRequest(code, time.Since(start).Seconds())
+	seconds := time.Since(start).Seconds()
+	s.metrics.ObserveRequest(code, seconds)
+	s.metrics.ObserveClassLatency(class, seconds)
 }
 
 // attend runs one request end to end and returns the HTTP status it
-// answered with plus a rejection reason ("" when the op was served).
-func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string) {
+// answered with, a rejection reason ("" when the op was served), and the
+// request's priority class.
+func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Class) {
 	var req AttendRequest
-	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
-		return http.StatusBadRequest, "bad_request"
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	if !ok {
+		return http.StatusBadRequest, "bad_request", ClassInteractive
 	}
 	if err := req.validate(); err != nil {
-		return fail(w, http.StatusBadRequest, err.Error()), "bad_request"
+		return fail(w, http.StatusBadRequest, err.Error()), "bad_request", meta.class
+	}
+	if admitted, wait := s.quotas.take(meta.clientID); !admitted {
+		s.metrics.ObserveAdmission("shed_quota")
+		setRetryAfter(w, wait)
+		return fail(w, http.StatusTooManyRequests, "client quota exhausted"), "quota", meta.class
 	}
 
 	opts := req.options()
 	set, err := s.pool.get(opts)
 	if err != nil {
-		return fail(w, http.StatusBadRequest, "engine: "+err.Error()), "bad_request"
+		return fail(w, http.StatusBadRequest, "engine: "+err.Error()), "bad_request", meta.class
 	}
+	ov := req.overrides()
 	var thr elsa.Threshold
-	if req.T != nil {
-		thr = elsa.Threshold{P: req.P, T: *req.T}
-	} else if thr, err = s.thresholds.get(opts, req.P, func() (elsa.Threshold, error) {
-		return set.engines[0].Calibrate(req.P, []elsa.Sample{{Q: req.Q, K: req.K}})
+	if ov.Thr != nil {
+		thr = *ov.Thr
+	} else if thr, err = s.thresholds.get(opts, ov.P, func() (elsa.Threshold, error) {
+		return set.engines[0].Calibrate(ov.P, []elsa.Sample{{Q: req.Q, K: req.K}})
 	}); err != nil {
-		return fail(w, http.StatusBadRequest, "calibrate: "+err.Error()), "bad_request"
+		return fail(w, http.StatusBadRequest, "calibrate: "+err.Error()), "bad_request", meta.class
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	timeout := s.cfg.RequestTimeout
+	var deadline time.Time
+	if meta.deadline > 0 {
+		if meta.deadline < timeout {
+			timeout = meta.deadline
+		}
+		deadline = time.Now().Add(meta.deadline)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	out, batchSize, _, err := s.disp.submit(ctx, set, elsa.BatchOp{Q: req.Q, K: req.K, V: req.V}, thr)
+	out, batchSize, _, err := s.disp.submit(ctx, set, elsa.BatchOp{Q: req.Q, K: req.K, V: req.V}, thr, meta.class, deadline)
 	switch {
 	case err == nil:
+		s.metrics.ObserveAdmission("admitted")
 	case errors.Is(err, ErrQueueFull):
-		return fail(w, http.StatusTooManyRequests, err.Error()), "queue_full"
+		setRetryAfter(w, retryAfterOf(err))
+		return fail(w, http.StatusTooManyRequests, err.Error()), "queue_full", meta.class
+	case errors.Is(err, ErrDeadline):
+		s.metrics.ObserveAdmission("shed_deadline")
+		setRetryAfter(w, retryAfterOf(err))
+		return fail(w, http.StatusTooManyRequests, err.Error()), "deadline", meta.class
 	case errors.Is(err, ErrClosed):
-		return fail(w, http.StatusServiceUnavailable, err.Error()), "closed"
+		return fail(w, http.StatusServiceUnavailable, err.Error()), "closed", meta.class
 	case errors.Is(err, context.DeadlineExceeded):
-		return fail(w, http.StatusGatewayTimeout, "request timed out"), "timeout"
+		return fail(w, http.StatusGatewayTimeout, "request timed out"), "timeout", meta.class
 	case errors.Is(err, context.Canceled):
 		// Client went away; nobody reads the body, but account for it.
-		return fail(w, http.StatusRequestTimeout, "request canceled"), "canceled"
+		return fail(w, http.StatusRequestTimeout, "request canceled"), "canceled", meta.class
 	default:
-		return fail(w, http.StatusInternalServerError, err.Error()), "internal"
+		return fail(w, http.StatusInternalServerError, err.Error()), "internal", meta.class
 	}
 
 	return writeJSON(w, http.StatusOK, AttendResponse{
@@ -220,12 +261,13 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string) {
 		FallbackQueries:   out.FallbackQueries,
 		Threshold:         ThresholdJSON{P: thr.P, T: thr.T, Queries: thr.Queries},
 		BatchSize:         batchSize,
-	}), ""
+	}), "", meta.class
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionCreateRequest
-	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	if !ok {
 		return
 	}
 	if req.HeadDim <= 0 {
@@ -234,6 +276,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.P < 0 {
 		fail(w, http.StatusBadRequest, fmt.Sprintf("p must be >= 0, got %g", req.P))
+		return
+	}
+	if admitted, wait := s.quotas.take(meta.clientID); !admitted {
+		s.metrics.ObserveAdmission("shed_quota")
+		setRetryAfter(w, wait)
+		fail(w, http.StatusTooManyRequests, "client quota exhausted")
 		return
 	}
 	opts := normalizeOptions(elsa.Options{
@@ -247,7 +295,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "engine: "+err.Error())
 		return
 	}
-	sess, err := s.sessions.create(set, opts, req.P, req.T, req.Capacity)
+	sess, err := s.sessions.create(set, opts, req.P, req.T, req.Capacity, meta)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, err.Error())
 		return
@@ -261,7 +309,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 	var req SessionAppendRequest
-	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+		return
+	}
+	if !s.chargeSessionQuota(w, r.PathValue("id")) {
 		return
 	}
 	keys, values := req.Keys, req.Values
@@ -296,14 +347,21 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	var req SessionQueryRequest
-	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
 		return
 	}
 	if len(req.Q) == 0 {
 		fail(w, http.StatusBadRequest, "q must be non-empty")
 		return
 	}
-	out, stats, n, thr, err := s.sessions.query(r.PathValue("id"), req.Q)
+	if !s.chargeSessionQuota(w, r.PathValue("id")) {
+		return
+	}
+	var ov elsa.Overrides
+	if req.T != nil {
+		ov.Thr = &elsa.Threshold{T: *req.T}
+	}
+	out, stats, n, thr, err := s.sessions.query(r.PathValue("id"), req.Q, ov)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SessionQueryResponse{
@@ -331,15 +389,36 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// decodeBody decodes a size-bounded JSON body into v, answering 400
-// itself on failure.
-func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
-	body := http.MaxBytesReader(w, r.Body, maxBytes)
-	if err := json.NewDecoder(body).Decode(v); err != nil {
-		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+// chargeSessionQuota charges one op against the quota of the client that
+// created the session — sessions inherit their creator's class and count
+// against its budget, so a flood of decode steps cannot bypass the
+// per-client gate. An unknown session is not charged; the handler's own
+// lookup answers 404. Returns false after answering 429 itself.
+func (s *Server) chargeSessionQuota(w http.ResponseWriter, id string) bool {
+	if s.quotas == nil {
+		return true
+	}
+	clientID, _, err := s.sessions.meta(id)
+	if err != nil {
+		return true
+	}
+	if admitted, wait := s.quotas.take(clientID); !admitted {
+		s.metrics.ObserveAdmission("shed_quota")
+		setRetryAfter(w, wait)
+		fail(w, http.StatusTooManyRequests, "client quota exhausted")
 		return false
 	}
 	return true
+}
+
+// setRetryAfter surfaces a shed op's backoff hint in whole seconds
+// (minimum 1 — Retry-After has no sub-second form).
+func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 func fail(w http.ResponseWriter, code int, msg string) int {

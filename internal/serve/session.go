@@ -30,6 +30,11 @@ type session struct {
 	id   string
 	opts elsa.Options
 	set  *replicaSet
+	// clientID and class are inherited from the creating request's
+	// envelope: every append/query on the session is charged against the
+	// creator's quota at the creator's priority.
+	clientID string
+	class    Class
 
 	mu     sync.Mutex
 	stream *elsa.Stream
@@ -83,16 +88,18 @@ func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thre
 // registry/state-dir hit); otherwise the first query calibrates it over
 // the prefix. At capacity the least-recently-used session is evicted
 // rather than refusing the new one — new decode work beats stale state.
-func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int) (*session, error) {
+func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int, meta requestMeta) (*session, error) {
 	if capacity < 0 || capacity > g.maxTokens {
 		capacity = 0
 	}
 	s := &session{
-		id:     newSessionID(),
-		opts:   opts,
-		set:    set,
-		stream: set.sessionEngine().NewStream(capacity),
-		p:      p,
+		id:       newSessionID(),
+		opts:     opts,
+		set:      set,
+		clientID: meta.clientID,
+		class:    meta.class,
+		stream:   set.sessionEngine().NewStream(capacity),
+		p:        p,
 	}
 	switch {
 	case t != nil:
@@ -152,6 +159,19 @@ func (g *sessionRegistry) remove(id string) error {
 	return nil
 }
 
+// meta reports the client that created the session and its inherited
+// priority class, without refreshing the session's LRU/TTL position (a
+// quota check is not a use).
+func (g *sessionRegistry) meta(id string) (string, Class, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.byID[id]
+	if !ok {
+		return "", ClassInteractive, errSessionNotFound
+	}
+	return s.clientID, s.class, nil
+}
+
 // active reports the number of live sessions.
 func (g *sessionRegistry) active() int {
 	g.mu.Lock()
@@ -209,17 +229,20 @@ func (g *sessionRegistry) append(id string, keys, values [][]float32) (int, erro
 }
 
 // query runs one decode step: resolve the threshold if this is the
-// session's first calibrated query, attend over the prefix, and return an
-// owned copy of the context vector (the session's internal buffer is
-// recycled across queries).
-func (g *sessionRegistry) query(id string, q []float32) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
+// session's first calibrated query, attend over the prefix at the
+// session threshold (or the query's own override), and return an owned
+// copy of the context vector (the session's internal buffer is recycled
+// across queries).
+func (g *sessionRegistry) query(id string, q []float32, ov elsa.Overrides) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
 	s, err := g.lookup(id)
 	if err != nil {
 		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.calibrated {
+	// A query pinned to its own threshold doesn't need the session's
+	// resolved; lazy calibration waits for the first query that does.
+	if !s.calibrated && ov.Thr == nil {
 		if s.stream.Len() == 0 {
 			return nil, elsa.StreamStats{}, 0, elsa.Threshold{},
 				fmt.Errorf("serve: cannot calibrate p=%g on an empty session; append keys first", s.p)
@@ -237,7 +260,8 @@ func (g *sessionRegistry) query(id string, q []float32) ([]float32, elsa.StreamS
 		}
 		s.thr, s.calibrated = thr, true
 	}
-	out, stats, err := s.stream.QueryWith(s.out, q, s.thr)
+	thr := ov.Resolve(s.thr)
+	out, stats, err := s.stream.QueryOverrides(s.out, q, ov, s.thr)
 	if err != nil {
 		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
 	}
@@ -245,7 +269,7 @@ func (g *sessionRegistry) query(id string, q []float32) ([]float32, elsa.StreamS
 	g.metrics.ObserveSessionQuery()
 	// Hand back an owned copy: s.out is overwritten by the next query,
 	// possibly while the HTTP layer is still encoding this one.
-	return append([]float32(nil), out...), stats, s.stream.Len(), s.thr, nil
+	return append([]float32(nil), out...), stats, s.stream.Len(), thr, nil
 }
 
 // newSessionID returns a 128-bit random hex ID.

@@ -16,7 +16,7 @@ import (
 func newTestStack(t *testing.T, replicas, maxEntries int, window time.Duration, maxBatch, maxQueue int) (*enginePool, *dispatcher, *Metrics) {
 	t.Helper()
 	m := NewMetrics()
-	d := newDispatcher(window, maxBatch, maxQueue, 0, m)
+	d := newDispatcher(window, maxBatch, maxQueue, 0, classWeights{}, m)
 	p := newEnginePool(replicas, maxEntries, d, m)
 	t.Cleanup(func() {
 		d.close()
@@ -135,7 +135,7 @@ func TestDispatcherCanceledContext(t *testing.T) {
 	cancel()
 	rng := rand.New(rand.NewSource(3))
 	q, k, v := genOp(rng, 2, 4)
-	_, _, _, err = d.submit(ctx, set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
+	_, _, _, err = d.submit(ctx, set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact(), ClassInteractive, time.Time{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -150,7 +150,7 @@ func TestDispatcherRefusesWhenClosed(t *testing.T) {
 	d.close()
 	rng := rand.New(rand.NewSource(4))
 	q, k, v := genOp(rng, 2, 4)
-	_, _, _, err = d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
+	_, _, _, err = d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact(), ClassInteractive, time.Time{})
 	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -169,7 +169,7 @@ func TestMaxBatchDispatchesEarly(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		q, k, v := genOp(rng, 2, 4)
 		go func() {
-			_, _, _, err := d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact())
+			_, _, _, err := d.submit(context.Background(), set, elsa.BatchOp{Q: q, K: k, V: v}, elsa.Exact(), ClassInteractive, time.Time{})
 			done <- err
 		}()
 	}

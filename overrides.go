@@ -1,0 +1,32 @@
+package elsa
+
+// Overrides carries one operation's operating-point overrides — the
+// per-op knobs that the Go batch API (BatchOp), the streaming decode API
+// (Stream.QueryOverrides) and the serving layer's HTTP envelope all name
+// identically, so a client holding a calibrated threshold or a target
+// degree of approximation expresses it the same way everywhere.
+//
+// The zero value overrides nothing: the op inherits whatever shared
+// threshold its call site resolves.
+type Overrides struct {
+	// Thr, when non-nil, pins the op to an explicit pre-calibrated
+	// operating point (e.g. from Calibrate or LoadThreshold), overriding
+	// any batch- or session-level threshold.
+	Thr *Threshold
+
+	// P is the degree of approximation the op asks a calibrating layer to
+	// resolve when Thr is nil (0 = exact). The core library never
+	// calibrates mid-op, so P on its own does not change Resolve; it is
+	// carried for layers that own a threshold registry — the serving
+	// front end resolves it to a Threshold before dispatch.
+	P float64
+}
+
+// Resolve returns the threshold these overrides select, falling back to
+// shared when no explicit operating point is pinned.
+func (o Overrides) Resolve(shared Threshold) Threshold {
+	if o.Thr != nil {
+		return *o.Thr
+	}
+	return shared
+}

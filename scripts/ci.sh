@@ -37,7 +37,31 @@ echo "== zero-alloc hot path =="
 # defeat test caching.
 go test -count=1 -run 'ZeroAlloc' ./internal/attention/
 
-echo "== perf trajectory =="
+echo "== perf trajectory (committed files) =="
+# Gate the committed trajectory itself: compare the two newest BENCH_*.json
+# files against each other without re-measuring, so a PR that commits a
+# regressed snapshot is caught even on noisy hardware. Warns by default;
+# PERF_STRICT=1 makes it fail the build.
+mapfile -t bench_files < <(ls -1 BENCH_*.json 2>/dev/null | sort)
+if [ "${#bench_files[@]}" -ge 2 ]; then
+    prev="${bench_files[-2]}"
+    newest="${bench_files[-1]}"
+    echo "comparing committed $newest vs $prev"
+    if go run ./cmd/elsabench -experiment bench \
+        -compare "$newest" -baseline "$prev"; then
+        :
+    else
+        if [ "${PERF_STRICT:-0}" = "1" ]; then
+            echo "committed perf trajectory regressed (PERF_STRICT=1): failing" >&2
+            exit 1
+        fi
+        echo "WARNING: committed $newest regressed >15% vs $prev (set PERF_STRICT=1 to fail)" >&2
+    fi
+else
+    echo "fewer than two committed BENCH_*.json files; skipping"
+fi
+
+echo "== perf trajectory (fresh run) =="
 # Compare ns/op against the newest committed BENCH_*.json. Measurements on
 # shared CI machines are noisy, so a >15% regression warns by default; set
 # PERF_STRICT=1 to make it fail the build.

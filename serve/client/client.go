@@ -1,0 +1,264 @@
+// Package client is the Go client for the elsaserve HTTP API. It speaks
+// the v1 request envelope (client identity, priority class, deadline
+// budget wrapped around each op), retries throttled requests honouring
+// the server's Retry-After hint, and exposes decode sessions as a
+// handle so callers never hand-roll endpoint JSON.
+//
+// The package deliberately defines its own wire structs rather than
+// importing the server's: the server lives under internal/ and this is
+// the supported external surface.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"elsa"
+)
+
+// Client talks to one elsaserve instance. It is safe for concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	clientID string
+	priority string
+	retries  int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithClientID names this client for the server's per-client quota.
+// Unnamed clients share the server's anonymous bucket.
+func WithClientID(id string) Option { return func(c *Client) { c.clientID = id } }
+
+// WithPriority sets the default priority class for every request:
+// "interactive" (the server default), "batch", or "background".
+func WithPriority(p string) Option { return func(c *Client) { c.priority = p } }
+
+// WithRetries sets how many times a throttled (429) or draining (503)
+// request is retried, sleeping the server's Retry-After between attempts
+// (default 0: no retries).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// New builds a client for the server at base (e.g. "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // server backoff hint; 0 when absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("elsaserve: %d: %s", e.Status, e.Message)
+}
+
+// AttendOptions selects the engine configuration and operating point for
+// one Attend call. The embedded elsa.Overrides names the per-op knobs the
+// same way the batch and streaming APIs do: a non-nil Thr pins an
+// explicit threshold, P asks the server to calibrate.
+type AttendOptions struct {
+	elsa.Overrides
+	HeadDim   int
+	HashBits  int
+	Seed      int64
+	Quantized bool
+}
+
+// Result is one Attend call's outcome.
+type Result struct {
+	Context           [][]float32
+	CandidateFraction float64
+	FallbackQueries   int
+	Threshold         elsa.Threshold
+	BatchSize         int
+}
+
+// envelope mirrors the server's v1 request envelope.
+type envelope struct {
+	ClientID   string          `json:"client_id,omitempty"`
+	Priority   string          `json:"priority,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Op         json.RawMessage `json:"op"`
+}
+
+type attendWire struct {
+	Q         [][]float32 `json:"q"`
+	K         [][]float32 `json:"k"`
+	V         [][]float32 `json:"v"`
+	P         float64     `json:"p,omitempty"`
+	T         *float64    `json:"t,omitempty"`
+	HeadDim   int         `json:"head_dim,omitempty"`
+	HashBits  int         `json:"hash_bits,omitempty"`
+	Seed      int64       `json:"seed,omitempty"`
+	Quantized bool        `json:"quantized,omitempty"`
+}
+
+type thresholdWire struct {
+	P       float64 `json:"p"`
+	T       float64 `json:"t"`
+	Queries int     `json:"queries,omitempty"`
+}
+
+type attendReplyWire struct {
+	Context           [][]float32   `json:"context"`
+	CandidateFraction float64       `json:"candidate_fraction"`
+	FallbackQueries   int           `json:"fallback_queries"`
+	Threshold         thresholdWire `json:"threshold"`
+	BatchSize         int           `json:"batch_size"`
+}
+
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// Attend runs one self-attention op on the server. A ctx deadline is
+// forwarded as the envelope's deadline_ms, so the server can shed the op
+// up front when its queue cannot meet it.
+func (c *Client) Attend(ctx context.Context, q, k, v [][]float32, opts AttendOptions) (*Result, error) {
+	wire := attendWire{
+		Q: q, K: k, V: v,
+		P:         opts.P,
+		HeadDim:   opts.HeadDim,
+		HashBits:  opts.HashBits,
+		Seed:      opts.Seed,
+		Quantized: opts.Quantized,
+	}
+	if opts.Thr != nil {
+		wire.P = opts.Thr.P
+		wire.T = &opts.Thr.T
+	}
+	var reply attendReplyWire
+	if err := c.post(ctx, "/v1/attend", wire, &reply); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Context:           reply.Context,
+		CandidateFraction: reply.CandidateFraction,
+		FallbackQueries:   reply.FallbackQueries,
+		Threshold:         elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries},
+		BatchSize:         reply.BatchSize,
+	}, nil
+}
+
+// post sends one enveloped op, retrying 429/503 with the server's
+// Retry-After hint (falling back to a doubling backoff), never sleeping
+// past the context deadline. out may be nil for replies with no body.
+func (c *Client) post(ctx context.Context, path string, op any, out any) error {
+	raw, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("client: encoding op: %w", err)
+	}
+	body, err := json.Marshal(envelope{
+		ClientID:   c.clientID,
+		Priority:   c.priority,
+		DeadlineMS: deadlineMS(ctx),
+		Op:         raw,
+	})
+	if err != nil {
+		return fmt.Errorf("client: encoding envelope: %w", err)
+	}
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, http.MethodPost, path, body, out)
+		if err != nil {
+			return err
+		}
+		if apiErr == nil {
+			return nil
+		}
+		retryable := apiErr.Status == http.StatusTooManyRequests ||
+			apiErr.Status == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retries {
+			return apiErr
+		}
+		sleep := apiErr.RetryAfter
+		if sleep <= 0 {
+			sleep = backoff
+			backoff *= 2
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// once performs a single HTTP exchange; a non-2xx reply comes back as a
+// *APIError so the retry loop can decide, transport failures as err.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+			return nil, nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return nil, fmt.Errorf("client: decoding reply: %w", err)
+		}
+		return nil, nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var ew errorWire
+	if err := json.NewDecoder(resp.Body).Decode(&ew); err == nil && ew.Error != "" {
+		apiErr.Message = ew.Error
+	} else {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr, nil
+}
+
+// deadlineMS converts a context deadline into the envelope's remaining
+// millisecond budget (0 = none), never rounding a live deadline to zero.
+func deadlineMS(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elsa"
+	"elsa/internal/serve"
+)
+
+// TestAttendRoundTrip drives the real serving stack through the client
+// and checks the result matches a direct engine call.
+func TestAttendRoundTrip(t *testing.T) {
+	srv := serve.New(serve.Config{BatchWindow: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const dim = 16
+	q := [][]float32{make([]float32, dim)}
+	k := [][]float32{make([]float32, dim), make([]float32, dim)}
+	v := [][]float32{make([]float32, dim), make([]float32, dim)}
+	q[0][0], k[0][0], k[1][1] = 1, 1, 1
+	v[0][0], v[1][1] = 2, 3
+
+	eng, err := elsa.New(elsa.Options{HeadDim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Attend(q, k, v, elsa.Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(ts.URL, WithClientID("roundtrip"))
+	got, err := c.Attend(context.Background(), q, k, v, AttendOptions{HeadDim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Context {
+		for j := range want.Context[i] {
+			if got.Context[i][j] != want.Context[i][j] {
+				t.Fatalf("context[%d][%d] = %g, want %g", i, j, got.Context[i][j], want.Context[i][j])
+			}
+		}
+	}
+	if got.BatchSize < 1 {
+		t.Errorf("batch size %d, want >= 1", got.BatchSize)
+	}
+}
+
+// TestSessionLifecycle exercises the session handle end to end.
+func TestSessionLifecycle(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const dim = 16
+	c := New(ts.URL, WithClientID("sess"))
+	s, err := c.NewSession(context.Background(), SessionOptions{HeadDim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold == nil || s.Threshold.T != elsa.Exact().T {
+		t.Errorf("p=0 session should resolve the exact threshold at create, got %+v", s.Threshold)
+	}
+	key := make([]float32, dim)
+	key[0] = 1
+	if n, err := s.Append(context.Background(), key, key); err != nil || n != 1 {
+		t.Fatalf("append: n=%d err=%v", n, err)
+	}
+	res, err := s.Query(context.Background(), key, elsa.Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len != 1 || len(res.Context) != dim {
+		t.Fatalf("query: len=%d context=%d", res.Len, len(res.Context))
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(context.Background(), key, elsa.Overrides{}); err == nil {
+		t.Fatal("query after close should fail")
+	}
+}
+
+// TestRetriesHonorRetryAfter verifies the retry loop obeys the server's
+// backoff hint and that the envelope carries identity, priority, and the
+// context deadline.
+func TestRetriesHonorRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var sawEnvelope atomic.Bool
+	var firstArrival, secondArrival time.Time
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var env struct {
+			ClientID   string          `json:"client_id"`
+			Priority   string          `json:"priority"`
+			DeadlineMS int64           `json:"deadline_ms"`
+			Op         json.RawMessage `json:"op"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&env); err == nil &&
+			env.ClientID == "retrier" && env.Priority == "background" &&
+			env.DeadlineMS > 0 && env.Op != nil {
+			sawEnvelope.Store(true)
+		}
+		switch calls.Add(1) {
+		case 1:
+			firstArrival = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "throttled"}) //nolint:errcheck
+		default:
+			secondArrival = time.Now()
+			json.NewEncoder(w).Encode(map[string]any{"context": [][]float32{{1}}}) //nolint:errcheck
+		}
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, WithClientID("retrier"), WithPriority("background"), WithRetries(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	q := [][]float32{{1}}
+	if _, err := c.Attend(ctx, q, q, q, AttendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one throttled, one retried)", got)
+	}
+	if !sawEnvelope.Load() {
+		t.Error("request envelope missing client_id/priority/deadline_ms/op")
+	}
+	if gap := secondArrival.Sub(firstArrival); gap < time.Second {
+		t.Errorf("retry arrived %v after the 429; must honour Retry-After: 1", gap)
+	}
+}
+
+// TestNoRetryWithoutOptIn verifies a throttled request surfaces the
+// APIError (with its RetryAfter hint) when retries are off.
+func TestNoRetryWithoutOptIn(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "throttled"}) //nolint:errcheck
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	q := [][]float32{{1}}
+	_, err := New(ts.URL).Attend(context.Background(), q, q, q, AttendOptions{})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter != 7*time.Second {
+		t.Errorf("APIError = %+v, want status 429 with 7s Retry-After", apiErr)
+	}
+}

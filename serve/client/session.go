@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+
+	"elsa"
+)
+
+// SessionOptions configures a server-side decode session. The embedded
+// elsa.Overrides carries the operating point (explicit Thr, or P for the
+// server to resolve); HeadDim is required.
+type SessionOptions struct {
+	elsa.Overrides
+	HeadDim   int
+	HashBits  int
+	Seed      int64
+	Quantized bool
+	// Capacity preallocates stream storage for this many tokens.
+	Capacity int
+}
+
+// Session is a handle to one server-side autoregressive decode stream.
+// The session inherits the creating client's identity and priority:
+// every Append/Query is charged against that client's quota.
+type Session struct {
+	c  *Client
+	id string
+	// Threshold is the session's resolved operating point when the server
+	// knew it at create time; nil while it waits for lazy calibration.
+	Threshold *elsa.Threshold
+}
+
+// QueryResult is one decode step's outcome.
+type QueryResult struct {
+	Context    []float32
+	Candidates int
+	Fallback   bool
+	Len        int
+	Threshold  elsa.Threshold
+}
+
+type sessionCreateWire struct {
+	HeadDim   int      `json:"head_dim"`
+	HashBits  int      `json:"hash_bits,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Quantized bool     `json:"quantized,omitempty"`
+	P         float64  `json:"p,omitempty"`
+	T         *float64 `json:"t,omitempty"`
+	Capacity  int      `json:"capacity,omitempty"`
+}
+
+type sessionCreateReplyWire struct {
+	ID        string         `json:"id"`
+	Threshold *thresholdWire `json:"threshold,omitempty"`
+}
+
+type sessionAppendWire struct {
+	Keys   [][]float32 `json:"keys"`
+	Values [][]float32 `json:"values"`
+}
+
+type sessionAppendReplyWire struct {
+	Len int `json:"len"`
+}
+
+type sessionQueryWire struct {
+	Q []float32 `json:"q"`
+	T *float64  `json:"t,omitempty"`
+}
+
+type sessionQueryReplyWire struct {
+	Context    []float32     `json:"context"`
+	Candidates int           `json:"candidates"`
+	Fallback   bool          `json:"fallback"`
+	Len        int           `json:"len"`
+	Threshold  thresholdWire `json:"threshold"`
+}
+
+// NewSession creates a server-side decode session.
+func (c *Client) NewSession(ctx context.Context, opts SessionOptions) (*Session, error) {
+	wire := sessionCreateWire{
+		HeadDim:   opts.HeadDim,
+		HashBits:  opts.HashBits,
+		Seed:      opts.Seed,
+		Quantized: opts.Quantized,
+		P:         opts.P,
+		Capacity:  opts.Capacity,
+	}
+	if opts.Thr != nil {
+		wire.P = opts.Thr.P
+		wire.T = &opts.Thr.T
+	}
+	var reply sessionCreateReplyWire
+	if err := c.post(ctx, "/v1/sessions", wire, &reply); err != nil {
+		return nil, err
+	}
+	s := &Session{c: c, id: reply.ID}
+	if reply.Threshold != nil {
+		s.Threshold = &elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries}
+	}
+	return s, nil
+}
+
+// ID returns the server-assigned session ID.
+func (s *Session) ID() string { return s.id }
+
+// Append adds one token's key/value pair, returning the prefix length.
+func (s *Session) Append(ctx context.Context, key, value []float32) (int, error) {
+	return s.AppendBatch(ctx, [][]float32{key}, [][]float32{value})
+}
+
+// AppendBatch adds several tokens at once, returning the prefix length.
+func (s *Session) AppendBatch(ctx context.Context, keys, values [][]float32) (int, error) {
+	var reply sessionAppendReplyWire
+	if err := s.c.post(ctx, "/v1/sessions/"+s.id+"/append", sessionAppendWire{Keys: keys, Values: values}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Len, nil
+}
+
+// Query attends q over the session's prefix. A non-nil Overrides.Thr
+// overrides the session threshold for this query only.
+func (s *Session) Query(ctx context.Context, q []float32, ov elsa.Overrides) (*QueryResult, error) {
+	wire := sessionQueryWire{Q: q}
+	if ov.Thr != nil {
+		wire.T = &ov.Thr.T
+	}
+	var reply sessionQueryReplyWire
+	if err := s.c.post(ctx, "/v1/sessions/"+s.id+"/query", wire, &reply); err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Context:    reply.Context,
+		Candidates: reply.Candidates,
+		Fallback:   reply.Fallback,
+		Len:        reply.Len,
+		Threshold:  elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries},
+	}, nil
+}
+
+// Close deletes the session server-side.
+func (s *Session) Close(ctx context.Context) error {
+	_, err := s.c.delete(ctx, "/v1/sessions/"+s.id)
+	return err
+}
+
+// delete issues a DELETE with no body or retry (deletion is idempotent
+// enough that a caller can simply re-issue it).
+func (c *Client) delete(ctx context.Context, path string) (*APIError, error) {
+	apiErr, err := c.once(ctx, "DELETE", path, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if apiErr != nil {
+		return apiErr, apiErr
+	}
+	return nil, nil
+}

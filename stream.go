@@ -56,6 +56,14 @@ func (s *Stream) QueryWith(dst []float32, q []float32, thr Threshold) ([]float32
 	return out, StreamStats{Candidates: st.Candidates, Fallback: st.Fallback}, nil
 }
 
+// QueryOverrides is QueryWith with the query's Overrides resolved
+// against fallback — the streaming analogue of BatchOp.Overrides, so a
+// decode loop and a batch dispatch name per-op operating-point knobs the
+// same way the serving envelope does. The zero Overrides runs fallback.
+func (s *Stream) QueryOverrides(dst []float32, q []float32, ov Overrides, fallback Threshold) ([]float32, StreamStats, error) {
+	return s.QueryWith(dst, q, ov.Resolve(fallback))
+}
+
 // Keys returns a copy of the appended key vectors, one row per token —
 // the prefix sample a serving layer can calibrate a threshold from
 // (Calibrate with Q = K = Keys()). Not intended for the decode hot path.
