@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
 //	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
 // -json out.json writes the selected experiment's raw rows — including the
 // "bench" experiment's machine-readable ns/op, candidate-fraction and
 // speedup measurements — to a file ("-" writes to stdout), so successive
-// changes can be tracked as a BENCH_*.json perf trajectory.
+// changes can be tracked as a BENCH_*.json perf trajectory. The "serve"
+// experiment measures the HTTP serving stack (ops/s, p50/p99 latency, mean
+// micro-batch size, 1 vs 2 in-process replicas) and writes the separate
+// BENCH_*_serving.json trajectory, which the -baseline/-compare ns/op gate
+// does not read.
 package main
 
 import (
@@ -32,7 +36,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
@@ -119,8 +123,9 @@ func main() {
 		"workloads": runWorkloads,
 		"modelfid":  runModelFidelity,
 		"bench":     runBench,
+		"serve":     runServe,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -199,6 +204,8 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 		return links, nil
 	case "bench":
 		return benchRows(opt)
+	case "serve":
+		return servingRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {

@@ -9,11 +9,23 @@
 // Usage:
 //
 //	elsaserve [-addr :8080] [-batch-window 2ms] [-max-batch 64]
-//	          [-queue 256] [-workers 0] [-timeout 30s]
-//	          [-replicas 2] [-max-engines 8]
+//	          [-queue 256] [-attend-workers 0] [-timeout 30s]
+//	          [-replicas 0] [-max-engines 8]
 //	          [-max-sessions 1024] [-session-ttl 15m] [-session-tokens 65536]
 //	          [-state-dir /var/lib/elsa]
 //	          [-quota-rps 0] [-quota-burst 0] [-class-weights 16,4,1]
+//	          [-worker | -workers host:port,...]
+//	          [-worker-probe-interval 5s] [-worker-inflight 32]
+//	          [-worker-fail-limit 3] [-dispatch-retries 2]
+//
+// Cross-host sharding: `-workers host:port,...` makes this server a fleet
+// frontend — micro-batch ops route to the listed elsaserve workers
+// alongside any local replicas, with periodic health probes, ejection
+// after consecutive failures, and retry-with-rerouting for idempotent
+// attend ops. `-worker` runs a plain worker serving internal traffic (the
+// same endpoints; the flag just pins worker-appropriate defaults).
+// (`-workers` previously named the per-batch attention worker count; that
+// flag is now `-attend-workers`.)
 //
 // Endpoints:
 //
@@ -51,9 +63,9 @@ func main() {
 	flag.DurationVar(&cfg.BatchWindow, "batch-window", 2*time.Millisecond, "micro-batch coalescing window")
 	flag.IntVar(&cfg.MaxBatch, "max-batch", 64, "dispatch a batch early at this many ops")
 	flag.IntVar(&cfg.MaxQueue, "queue", 256, "bounded dispatcher queue; overflow answers 429")
-	flag.IntVar(&cfg.Workers, "workers", 0, "attention workers per batch (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.Workers, "attend-workers", 0, "attention workers per batch (0 = GOMAXPROCS)")
 	flag.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request queue+compute deadline")
-	flag.IntVar(&cfg.Replicas, "replicas", 2, "engine replicas (dispatch shards) per configuration")
+	flag.IntVar(&cfg.Replicas, "replicas", 0, "local engine replicas (dispatch shards) per configuration (0 = 2 standalone, dispatch-only with -workers)")
 	flag.IntVar(&cfg.MaxEngines, "max-engines", 8, "bounded engine pool; LRU eviction beyond this many configurations")
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", 1024, "bounded session registry; LRU eviction at capacity")
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative disables)")
@@ -63,6 +75,12 @@ func main() {
 	flag.Float64Var(&cfg.QuotaBurst, "quota-burst", 0, "per-client token-bucket burst (0 = max(1, quota-rps))")
 	weights := flag.String("class-weights", "16,4,1", "weighted-dequeue shares for interactive,batch,background traffic")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	workerMode := flag.Bool("worker", false, "run as a fleet worker: serve internal traffic from a frontend (incompatible with -workers)")
+	workerAddrs := flag.String("workers", "", "comma-separated remote worker addresses (host:port or URLs); makes this server a fleet frontend")
+	flag.DurationVar(&cfg.WorkerProbeInterval, "worker-probe-interval", 5*time.Second, "how often each remote worker's /v1/healthz is probed")
+	flag.IntVar(&cfg.WorkerInFlight, "worker-inflight", 32, "max concurrent ops on the wire per remote worker")
+	flag.IntVar(&cfg.WorkerFailLimit, "worker-fail-limit", 3, "eject a worker after this many consecutive probe/dispatch failures")
+	flag.IntVar(&cfg.DispatchRetries, "dispatch-retries", 2, "reroute a failed idempotent op to a sibling shard this many times")
 	flag.Parse()
 
 	cw, err := parseClassWeights(*weights)
@@ -71,6 +89,18 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.ClassWeights = cw
+
+	if *workerAddrs != "" {
+		if *workerMode {
+			fmt.Fprintln(os.Stderr, "elsaserve: -worker and -workers are mutually exclusive (a worker does not dispatch to other workers)")
+			os.Exit(2)
+		}
+		for _, a := range strings.Split(*workerAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.WorkerAddrs = append(cfg.WorkerAddrs, a)
+			}
+		}
+	}
 
 	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "elsaserve:", err)
@@ -103,10 +133,14 @@ func run(addr string, cfg serve.Config, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	role := "standalone"
+	if len(cfg.WorkerAddrs) > 0 {
+		role = fmt.Sprintf("frontend (%d workers)", len(cfg.WorkerAddrs))
+	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s (window %s, max-batch %d, queue %d, replicas %d)\n",
-			addr, cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Replicas)
+		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s as %s (window %s, max-batch %d, queue %d, replicas %d)\n",
+			addr, role, cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Replicas)
 		errc <- hs.ListenAndServe()
 	}()
 

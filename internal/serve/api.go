@@ -194,11 +194,19 @@ type SessionQueryResponse struct {
 	Threshold ThresholdJSON `json:"threshold"`
 }
 
-// HealthResponse is the GET /v1/healthz reply.
+// HealthResponse is the GET /v1/healthz reply. The fleet fields are
+// omitted on servers without remote workers, keeping standalone replies
+// byte-identical to earlier versions.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Engines  int    `json:"engines"`
 	Sessions int    `json:"sessions"`
+	// Role is "frontend" when this server dispatches to remote workers.
+	Role string `json:"role,omitempty"`
+	// Workers and HealthyWorkers count the configured remote fleet and
+	// how many of them are currently admitted for routing.
+	Workers        int `json:"workers,omitempty"`
+	HealthyWorkers int `json:"healthy_workers,omitempty"`
 }
 
 // errorResponse is the JSON body for every non-2xx reply.

@@ -23,6 +23,11 @@ var (
 	// estimated queue wait, so it is shed immediately (HTTP 429 with
 	// Retry-After) instead of timing out in queue.
 	ErrDeadline = errors.New("serve: deadline cannot cover estimated queue wait")
+	// ErrNoWorkers means no shard of the target replica set is available
+	// — every remote worker is ejected and the frontend holds no local
+	// replicas (HTTP 503 with Retry-After, so clients back off until a
+	// probe re-admits a worker).
+	ErrNoWorkers = errors.New("serve: no available workers")
 )
 
 // shedError wraps a shed sentinel with the Retry-After the HTTP layer
@@ -54,12 +59,15 @@ type jobResult struct {
 
 // job is one queued attention op plus its completion channel. The op
 // carries its own per-op threshold (BatchOp.Thr), which is what lets ops
-// calibrated at different operating points share a dispatch.
+// calibrated at different operating points share a dispatch. attempts
+// counts reroutes after retryable worker failures; only the executing
+// goroutine touches it.
 type job struct {
-	ctx    context.Context
-	op     elsa.BatchOp
-	class  Class
-	result chan jobResult // buffered: dispatch never blocks on a gone requester
+	ctx      context.Context
+	op       elsa.BatchOp
+	class    Class
+	attempts int
+	result   chan jobResult // buffered: dispatch never blocks on a gone requester
 }
 
 // pendingBatch accumulates jobs for one replica set until the window
@@ -71,22 +79,25 @@ type pendingBatch struct {
 	due   time.Time // when this batch's window timer fires
 }
 
-// shard is one engine replica's dispatch lane: a bounded queue of
-// detached micro-batches executed serially by the shard loop, mirroring
+// shard is one dispatch lane of a replica set: a bounded queue of
+// detached micro-batches executed serially by the shard loop against its
+// backend — an in-process engine replica or a remote worker — mirroring
 // one accelerator unit consuming its own work queue. depth counts batches
-// enqueued but not yet started.
+// enqueued but not yet started. set points back at the owning replica
+// set so a failed batch can reroute to a sibling shard.
 type shard struct {
-	id    int // replica index within its set
-	eng   *elsa.Engine
-	queue chan []*job
-	depth atomic.Int64
+	id      int // lane index within its set
+	set     *replicaSet
+	backend shardBackend
+	queue   chan []*job
+	depth   atomic.Int64
 }
 
 // newShard sizes the queue to the global op bound: the dispatcher admits
 // at most maxQueue ops, every batch holds at least one op, and ops stay
 // counted until their batch starts running, so a send can never block.
-func newShard(id int, eng *elsa.Engine, maxQueue int) *shard {
-	return &shard{id: id, eng: eng, queue: make(chan []*job, maxQueue)}
+func newShard(id int, set *replicaSet, backend shardBackend, maxQueue int) *shard {
+	return &shard{id: id, set: set, backend: backend, queue: make(chan []*job, maxQueue)}
 }
 
 // dispatcher implements dynamic micro-batching over replicated engines:
@@ -98,12 +109,14 @@ func newShard(id int, eng *elsa.Engine, maxQueue int) *shard {
 // the least-loaded shard of the set and executes it through
 // AttendBatchContext with per-op thresholds.
 type dispatcher struct {
-	window   time.Duration
-	maxBatch int
-	maxQueue int
-	workers  int
-	weights  classWeights
-	metrics  *Metrics
+	window        time.Duration
+	maxBatch      int
+	maxQueue      int
+	workers       int
+	retries       int           // reroute attempts per op after retryable worker failures
+	noWorkerRetry time.Duration // Retry-After hint when no shard is available
+	weights       classWeights
+	metrics       *Metrics
 
 	mu      sync.Mutex
 	closed  bool
@@ -114,15 +127,17 @@ type dispatcher struct {
 	loopWg  sync.WaitGroup // running shard loops
 }
 
-func newDispatcher(window time.Duration, maxBatch, maxQueue, workers int, weights classWeights, m *Metrics) *dispatcher {
+func newDispatcher(window time.Duration, maxBatch, maxQueue, workers, retries int, noWorkerRetry time.Duration, weights classWeights, m *Metrics) *dispatcher {
 	return &dispatcher{
-		window:   window,
-		maxBatch: maxBatch,
-		maxQueue: maxQueue,
-		workers:  workers,
-		weights:  weights.normalize(),
-		metrics:  m,
-		pending:  make(map[*replicaSet]*pendingBatch),
+		window:        window,
+		maxBatch:      maxBatch,
+		maxQueue:      maxQueue,
+		workers:       workers,
+		retries:       retries,
+		noWorkerRetry: noWorkerRetry,
+		weights:       weights.normalize(),
+		metrics:       m,
+		pending:       make(map[*replicaSet]*pendingBatch),
 	}
 }
 
@@ -151,13 +166,16 @@ func (d *dispatcher) estimateWaitLocked(set *replicaSet) time.Duration {
 		}
 	}
 	svc := time.Duration(d.svcEWMA * float64(time.Second))
-	if len(set.shards) > 0 {
-		minDepth := int64(math.MaxInt64)
-		for _, sh := range set.shards {
-			if depth := sh.depth.Load(); depth < minDepth {
-				minDepth = depth
-			}
+	minDepth := int64(math.MaxInt64)
+	for _, sh := range set.shards {
+		if !sh.backend.available() {
+			continue
 		}
+		if depth := sh.depth.Load(); depth < minDepth {
+			minDepth = depth
+		}
+	}
+	if minDepth != math.MaxInt64 {
 		wait += time.Duration(minDepth) * svc
 	}
 	return wait + svc
@@ -176,6 +194,13 @@ func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchO
 	if d.closed {
 		d.mu.Unlock()
 		return nil, 0, 0, ErrClosed
+	}
+	if !set.available() {
+		// The whole fleet for this configuration is ejected: fail fast
+		// with a Retry-After covering one probe cycle rather than queueing
+		// work nothing can run.
+		d.mu.Unlock()
+		return nil, 0, 0, &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}
 	}
 	if d.queued >= d.weights.queueCap(class, d.maxQueue) {
 		est := d.estimateWaitLocked(set)
@@ -283,8 +308,19 @@ func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch, drain bool
 	if len(take) == 0 {
 		return
 	}
-	d.batchWg.Add(1)
 	sh := set.pickShard()
+	if sh == nil {
+		// Every shard went unavailable after these ops were admitted.
+		// Fail them here rather than parking them on a dead lane; they
+		// leave the queue accounting now.
+		d.queued -= len(take)
+		d.metrics.SetQueueDepth(d.queued)
+		for _, j := range take {
+			j.result <- jobResult{err: &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}}
+		}
+		return
+	}
+	d.batchWg.Add(1)
 	sh.depth.Add(1)
 	d.metrics.AddShardDepth(sh.id, 1)
 	sh.queue <- take
@@ -292,8 +328,7 @@ func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch, drain bool
 
 // runBatch executes one detached batch on its shard: jobs whose context
 // already expired are answered immediately, the rest go through the
-// shard engine's batch worker pool in one call, each op at its own
-// threshold.
+// shard's backend in one call, each op at its own threshold.
 func (d *dispatcher) runBatch(sh *shard, jobs []*job) {
 	defer d.batchWg.Done()
 	sh.depth.Add(-1)
@@ -313,30 +348,67 @@ func (d *dispatcher) runBatch(sh *shard, jobs []*job) {
 	if len(live) == 0 {
 		return
 	}
-	ops := make([]elsa.BatchOp, len(live))
-	for i, j := range live {
-		ops[i] = j.op
-	}
 	d.metrics.ObserveBatch(len(live))
-	d.metrics.ObserveShardBatch(sh.id, len(live))
-	// Each batch op runs elsa.Attend's pooled-workspace fast path: no
-	// per-query allocations and no candidate-list collection (the serving
-	// API only reports counts), so concurrent batches reuse warm buffers
-	// from the engine's sync.Pool instead of churning the allocator. The
-	// shared threshold argument is irrelevant: every op carries its own.
+	d.execute(sh, live)
+}
+
+// execute runs jobs through sh's backend and delivers results. Ops that
+// failed with a retryable worker error (transport fault, worker 5xx or
+// overload) and still have reroute budget are handed to reroute; all
+// other errors surface to their requesters. Attend ops are idempotent —
+// pinned thresholds, no server-side state — so re-executing one on a
+// sibling shard after a partial failure yields the bit-identical output
+// the first shard would have produced.
+func (d *dispatcher) execute(sh *shard, jobs []*job) {
+	d.metrics.ObserveShardBatch(sh.id, len(jobs))
 	start := time.Now()
-	outs, err := sh.eng.AttendBatchContext(context.Background(), ops, elsa.Exact(), d.workers)
+	outs, errs := sh.backend.attendBatch(jobs)
 	d.observeService(time.Since(start))
-	if err != nil {
-		for _, j := range live {
-			j.result <- jobResult{err: err}
+	var failed []*job
+	for i, j := range jobs {
+		err := errs[i]
+		if err == nil {
+			d.metrics.ObserveCandidateFraction(outs[i].CandidateFraction)
+			j.result <- jobResult{out: outs[i], batchSize: len(jobs), shard: sh.id}
+			continue
+		}
+		var we *workerError
+		if errors.As(err, &we) && we.retryable {
+			if j.attempts < d.retries {
+				j.attempts++
+				failed = append(failed, j)
+				continue
+			}
+			// Reroute budget exhausted on infrastructure failures: the op
+			// itself is fine, the fleet is not. Shed with backoff (503)
+			// rather than blaming the request (500).
+			j.result <- jobResult{err: &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}}
+			continue
+		}
+		j.result <- jobResult{err: err}
+	}
+	if len(failed) > 0 {
+		d.reroute(sh, failed)
+	}
+}
+
+// reroute re-executes jobs that failed on one shard against a sibling of
+// the same replica set, synchronously on the calling goroutine: routing
+// through the sibling's queue could deadlock when queues are full of
+// batches waiting on each other, and the jobs have already left the
+// dispatcher's queue accounting. Recursion through execute is bounded by
+// each job's attempts budget. With no sibling available the ops fail as
+// ErrNoWorkers with a probe-interval Retry-After.
+func (d *dispatcher) reroute(from *shard, jobs []*job) {
+	d.metrics.ObserveReroutes(len(jobs))
+	next := from.set.pickShardExcluding(from)
+	if next == nil {
+		for _, j := range jobs {
+			j.result <- jobResult{err: &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}}
 		}
 		return
 	}
-	for i, j := range live {
-		d.metrics.ObserveCandidateFraction(outs[i].CandidateFraction)
-		j.result <- jobResult{out: outs[i], batchSize: len(live), shard: sh.id}
-	}
+	d.execute(next, jobs)
 }
 
 // observeService folds one batch's wall time into the smoothed service

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The golden bodies below are pinned literals, not round-tripped through
+// json.Marshal: the bare pre-envelope wire format is a compatibility
+// contract with deployed clients, and these tests exist to break loudly if
+// a field rename or type change on any POST payload would strand them.
+
+// decodeVia runs one body through decodeEnvelope exactly as the handlers
+// do and returns the resolved meta. payload must be a pointer.
+func decodeVia(t *testing.T, body string, headers map[string]string, payload any) requestMeta {
+	t.Helper()
+	r := httptest.NewRequest("POST", "/v1/test", strings.NewReader(body))
+	for k, v := range headers {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	meta, ok := decodeEnvelope(w, r, 1<<20, payload)
+	if !ok {
+		t.Fatalf("decodeEnvelope rejected %q: %s", body, w.Body.String())
+	}
+	return meta
+}
+
+// TestEnvelopeBareCompat pins, for every POST endpoint payload, that a
+// bare legacy body and the same payload wrapped in a v1 envelope decode to
+// deeply equal structs — and that the bare form resolves to the legacy
+// admission defaults (anonymous client, interactive class, no deadline).
+func TestEnvelopeBareCompat(t *testing.T) {
+	cases := []struct {
+		name    string
+		bare    string // pinned legacy golden body
+		payload func() any
+	}{
+		{
+			name:    "attend",
+			bare:    `{"q":[[1,0]],"k":[[0.5,0.5],[1,0]],"v":[[1,2],[3,4]],"p":0.4,"head_dim":2,"hash_bits":8,"seed":9,"quantized":true}`,
+			payload: func() any { return &AttendRequest{} },
+		},
+		{
+			name:    "attend explicit threshold",
+			bare:    `{"q":[[1,0]],"k":[[1,0]],"v":[[1,2]],"p":0.3,"t":-0.25}`,
+			payload: func() any { return &AttendRequest{} },
+		},
+		{
+			name:    "session create",
+			bare:    `{"head_dim":16,"hash_bits":12,"seed":3,"quantized":true,"p":0.5,"capacity":128}`,
+			payload: func() any { return &SessionCreateRequest{} },
+		},
+		{
+			name:    "session append single",
+			bare:    `{"key":[1,0,0.5],"value":[2,1,0]}`,
+			payload: func() any { return &SessionAppendRequest{} },
+		},
+		{
+			name:    "session append batch",
+			bare:    `{"keys":[[1,0],[0,1]],"values":[[2,1],[1,2]]}`,
+			payload: func() any { return &SessionAppendRequest{} },
+		},
+		{
+			name:    "session query",
+			bare:    `{"q":[0.25,0.75],"t":-0.125}`,
+			payload: func() any { return &SessionQueryRequest{} },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bare := tc.payload()
+			meta := decodeVia(t, tc.bare, nil, bare)
+			if meta.clientID != "" || meta.class != ClassInteractive || meta.deadline != 0 {
+				t.Errorf("bare body must resolve to legacy defaults, got %+v", meta)
+			}
+
+			wrapped := tc.payload()
+			envBody := fmt.Sprintf(`{"client_id":"tenant-a","priority":"batch","deadline_ms":250,"op":%s}`, tc.bare)
+			emeta := decodeVia(t, envBody, nil, wrapped)
+			if !reflect.DeepEqual(bare, wrapped) {
+				t.Errorf("enveloped op decoded differently from bare body:\nbare:    %+v\nwrapped: %+v", bare, wrapped)
+			}
+			if emeta.clientID != "tenant-a" || emeta.class != ClassBatch || emeta.deadline != 250*time.Millisecond {
+				t.Errorf("envelope meta not resolved: %+v", emeta)
+			}
+		})
+	}
+}
+
+// TestEnvelopeHeaderFallback pins the precedence rules: envelope fields
+// win, headers fill the gaps for clients that cannot change their body.
+func TestEnvelopeHeaderFallback(t *testing.T) {
+	headers := map[string]string{"X-Elsa-Client": "hdr-client", "X-Elsa-Priority": "background"}
+
+	var req SessionQueryRequest
+	meta := decodeVia(t, `{"q":[1,0]}`, headers, &req)
+	if meta.clientID != "hdr-client" || meta.class != ClassBackground {
+		t.Errorf("bare body must take headers: %+v", meta)
+	}
+
+	meta = decodeVia(t, `{"client_id":"body-client","priority":"batch","op":{"q":[1,0]}}`, headers, &req)
+	if meta.clientID != "body-client" || meta.class != ClassBatch {
+		t.Errorf("envelope fields must win over headers: %+v", meta)
+	}
+
+	// Mixed: envelope names the client, header supplies the priority.
+	meta = decodeVia(t, `{"client_id":"body-client","op":{"q":[1,0]}}`, headers, &req)
+	if meta.clientID != "body-client" || meta.class != ClassBackground {
+		t.Errorf("headers must fill unset envelope fields: %+v", meta)
+	}
+}
+
+// TestEnvelopeAttendByteIdentical runs the same exact (p=0) op through
+// /v1/attend bare and enveloped against one server: the response bodies
+// must match byte for byte, the end-to-end form of the decode guarantee.
+func TestEnvelopeAttendByteIdentical(t *testing.T) {
+	srv := New(Config{BatchWindow: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	bare := []byte(`{"q":[[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1]],` +
+		`"k":[[0.5,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0.5],[0,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0]],` +
+		`"v":[[1,2,0,0,0,0,0,0,0,0,0,0,0,0,0,0],[3,4,0,0,0,0,0,0,0,0,0,0,0,0,0,0]],"seed":7}`)
+	env := append([]byte(`{"client_id":"golden","op":`), bare...)
+	env = append(env, '}')
+
+	post := func(body []byte) []byte {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/attend", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+
+	bareResp := post(bare)
+	envResp := post(env)
+	if !bytes.Equal(bareResp, envResp) {
+		t.Errorf("bare and enveloped responses differ:\nbare: %s\nenv:  %s", bareResp, envResp)
+	}
+	var parsed AttendResponse
+	if err := json.Unmarshal(bareResp, &parsed); err != nil {
+		t.Fatalf("response is not an AttendResponse: %v", err)
+	}
+	if len(parsed.Context) != 1 {
+		t.Errorf("want 1 context row, got %d", len(parsed.Context))
+	}
+}

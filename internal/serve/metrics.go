@@ -105,8 +105,15 @@ type Metrics struct {
 	sessionTokens   int64            // tokens appended across all sessions
 	sessionQueries  int64            // decode queries served across all sessions
 
-	calibrations   int64 // thresholds calibrated online
-	thresholdLoads int64 // thresholds restored from the state dir
+	calibrations        int64 // thresholds calibrated online
+	thresholdLoads      int64 // thresholds restored from the state dir
+	thresholdCorruption int64 // corrupt state-dir entries discarded on load
+
+	workerHealthy      map[string]int64 // worker addr → 1 admitted / 0 ejected
+	workerEjections    map[string]int64 // worker addr → ejections after consecutive failures
+	workerReadmissions map[string]int64 // worker addr → re-admissions after recovery
+	remoteOps          map[string]int64 // worker addr → attend ops sent over the wire
+	reroutes           int64            // ops re-executed on a sibling shard after a worker failure
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -122,6 +129,11 @@ func NewMetrics() *Metrics {
 		shardOps:       make(map[int]int64),
 		shardDepth:     make(map[int]int64),
 		sessionEvicted: make(map[string]int64),
+
+		workerHealthy:      make(map[string]int64),
+		workerEjections:    make(map[string]int64),
+		workerReadmissions: make(map[string]int64),
+		remoteOps:          make(map[string]int64),
 	}
 	for c := range m.classLatency {
 		m.classLatency[c] = newHistogram(latencyBuckets)
@@ -336,6 +348,105 @@ func (m *Metrics) ThresholdLoads() int64 {
 	return m.thresholdLoads
 }
 
+// ObserveThresholdCorrupt tallies one corrupt state-dir entry discarded
+// at load time (the operating point recalibrates on the next request).
+func (m *Metrics) ObserveThresholdCorrupt() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.thresholdCorruption++
+}
+
+// ThresholdCorruptions reports how many corrupt state-dir entries were
+// discarded.
+func (m *Metrics) ThresholdCorruptions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.thresholdCorruption
+}
+
+// SetWorkerHealthy updates one remote worker's admission gauge.
+func (m *Metrics) SetWorkerHealthy(addr string, healthy bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if healthy {
+		m.workerHealthy[addr] = 1
+	} else {
+		m.workerHealthy[addr] = 0
+	}
+}
+
+// ObserveWorkerEjection tallies one worker ejected from routing after
+// consecutive probe/dispatch failures.
+func (m *Metrics) ObserveWorkerEjection(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerEjections[addr]++
+}
+
+// ObserveWorkerReadmission tallies one ejected worker re-admitted after
+// a successful health probe or dispatch.
+func (m *Metrics) ObserveWorkerReadmission(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerReadmissions[addr]++
+}
+
+// WorkerEjections returns a copy of the per-worker ejection counters.
+func (m *Metrics) WorkerEjections() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.workerEjections))
+	for k, v := range m.workerEjections {
+		out[k] = v
+	}
+	return out
+}
+
+// WorkerReadmissions returns a copy of the per-worker re-admission
+// counters.
+func (m *Metrics) WorkerReadmissions() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.workerReadmissions))
+	for k, v := range m.workerReadmissions {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveRemoteOps tallies attend ops sent over the wire to one worker.
+func (m *Metrics) ObserveRemoteOps(addr string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.remoteOps[addr] += int64(n)
+}
+
+// RemoteOps returns a copy of the per-worker wire-op counters.
+func (m *Metrics) RemoteOps() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.remoteOps))
+	for k, v := range m.remoteOps {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveReroutes tallies n ops re-executed on a sibling shard after a
+// retryable worker failure.
+func (m *Metrics) ObserveReroutes(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reroutes += int64(n)
+}
+
+// Reroutes reports how many ops were re-executed on a sibling shard.
+func (m *Metrics) Reroutes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reroutes
+}
+
 // SetQueueDepth updates the scheduler-occupancy gauge.
 func (m *Metrics) SetQueueDepth(n int) {
 	m.mu.Lock()
@@ -467,6 +578,35 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_threshold_loads_total Thresholds restored from the state directory.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_threshold_loads_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_threshold_loads_total %d\n", m.thresholdLoads)
+	fmt.Fprintf(cw, "# HELP elsa_serve_threshold_corrupt_total Corrupt state-dir threshold entries discarded at load.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_threshold_corrupt_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_threshold_corrupt_total %d\n", m.thresholdCorruption)
+
+	if len(m.workerHealthy) > 0 {
+		fmt.Fprintf(cw, "# HELP elsa_serve_worker_healthy Remote worker admission state (1 routed, 0 ejected).\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_worker_healthy gauge\n")
+		for _, addr := range sortedKeys(m.workerHealthy) {
+			fmt.Fprintf(cw, "elsa_serve_worker_healthy{worker=%q} %d\n", addr, m.workerHealthy[addr])
+		}
+		fmt.Fprintf(cw, "# HELP elsa_serve_worker_ejections_total Workers ejected from routing after consecutive failures.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_worker_ejections_total counter\n")
+		for _, addr := range sortedKeys(m.workerEjections) {
+			fmt.Fprintf(cw, "elsa_serve_worker_ejections_total{worker=%q} %d\n", addr, m.workerEjections[addr])
+		}
+		fmt.Fprintf(cw, "# HELP elsa_serve_worker_readmissions_total Ejected workers re-admitted after recovery.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_worker_readmissions_total counter\n")
+		for _, addr := range sortedKeys(m.workerReadmissions) {
+			fmt.Fprintf(cw, "elsa_serve_worker_readmissions_total{worker=%q} %d\n", addr, m.workerReadmissions[addr])
+		}
+		fmt.Fprintf(cw, "# HELP elsa_serve_remote_ops_total Attend ops dispatched to remote workers over the wire.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_remote_ops_total counter\n")
+		for _, addr := range sortedKeys(m.remoteOps) {
+			fmt.Fprintf(cw, "elsa_serve_remote_ops_total{worker=%q} %d\n", addr, m.remoteOps[addr])
+		}
+		fmt.Fprintf(cw, "# HELP elsa_serve_reroutes_total Ops re-executed on a sibling shard after a worker failure.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_reroutes_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_reroutes_total %d\n", m.reroutes)
+	}
 	return cw.n, cw.err
 }
 

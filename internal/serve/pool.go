@@ -40,42 +40,86 @@ func normalizeOptions(opts elsa.Options, queryWidth int) elsa.Options {
 // replicaSet is one pooled configuration's engine fleet: R engines built
 // from the same resolved Options (replica 0 via elsa.New, the rest
 // restored from its snapshot, so all replicas hash and attend
-// bit-identically) each fronted by a dispatch shard with its own queue.
-// Any replica can serve any micro-batch for the key, which is what lets
-// the dispatcher spread load without affecting results.
+// bit-identically) each fronted by a local dispatch shard with its own
+// queue, plus one remote shard per configured worker. Remote workers
+// build their engines deterministically from the same wire options, so
+// any shard — local or remote — can serve any micro-batch for the key
+// without affecting results. engines[0] always exists (even at zero local
+// replicas) because calibration and local sessions run on it.
 type replicaSet struct {
 	opts  elsa.Options
 	ready chan struct{} // closed once engines/err are set
 	err   error
 
 	engines []*elsa.Engine
-	shards  []*shard
+	shards  []*shard  // local lanes first, then one per worker
+	local   int       // shards[:local] are in-process replicas
+	workers []*worker // remote fleet, shared across sets
 
 	// rr is the round-robin cursor used to break shard-depth ties and to
-	// spread session streams across replicas.
+	// spread session streams across replicas and workers.
 	rr atomic.Uint64
 }
 
-// pickShard chooses the replica the next micro-batch runs on: the shard
-// with the fewest queued batches, ties broken round-robin so an idle
-// fleet still rotates through every replica.
+// pickShard chooses the shard the next micro-batch runs on: the
+// available shard with the fewest queued batches, ties broken
+// round-robin so an idle fleet still rotates through every lane. Returns
+// nil when every shard's backend is unavailable.
 func (s *replicaSet) pickShard() *shard {
+	return s.pickShardExcluding(nil)
+}
+
+// pickShardExcluding is pickShard skipping one shard — the lane a batch
+// just failed on, so a reroute lands somewhere else.
+func (s *replicaSet) pickShardExcluding(skip *shard) *shard {
+	if len(s.shards) == 0 {
+		return nil
+	}
 	start := int(s.rr.Add(1)) % len(s.shards)
-	best := s.shards[start]
-	bestDepth := best.depth.Load()
-	for i := 1; i < len(s.shards); i++ {
+	var best *shard
+	var bestDepth int64
+	for i := 0; i < len(s.shards); i++ {
 		sh := s.shards[(start+i)%len(s.shards)]
-		if d := sh.depth.Load(); d < bestDepth {
+		if sh == skip || !sh.backend.available() {
+			continue
+		}
+		if d := sh.depth.Load(); best == nil || d < bestDepth {
 			best, bestDepth = sh, d
 		}
 	}
 	return best
 }
 
-// sessionEngine picks the replica a new session's stream binds to,
-// rotating so long-lived decode sessions also spread across the fleet.
-func (s *replicaSet) sessionEngine() *elsa.Engine {
-	return s.engines[int(s.rr.Add(1))%len(s.engines)]
+// available reports whether any shard can currently take a batch.
+func (s *replicaSet) available() bool {
+	for _, sh := range s.shards {
+		if sh.backend.available() {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionTarget picks where a new decode session lives: a local engine
+// replica or a healthy remote worker, rotating so long-lived sessions
+// also spread across the fleet. Exactly one return is non-nil; both nil
+// means nothing is available.
+func (s *replicaSet) sessionTarget() (*elsa.Engine, *worker) {
+	n := s.local + len(s.workers)
+	if n == 0 {
+		return nil, nil
+	}
+	start := int(s.rr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		if k < s.local {
+			return s.engines[k], nil
+		}
+		if w := s.workers[k-s.local]; w.isHealthy() {
+			return nil, w
+		}
+	}
+	return nil, nil
 }
 
 // enginePool caches replica sets keyed by their resolved Options
@@ -89,6 +133,7 @@ type enginePool struct {
 	replicas   int
 	maxEntries int
 	disp       *dispatcher
+	fleet      *workerSet
 	metrics    *Metrics
 
 	mu      sync.Mutex
@@ -97,11 +142,12 @@ type enginePool struct {
 	retired []*replicaSet                  // evicted sets, drained at close
 }
 
-func newEnginePool(replicas, maxEntries int, disp *dispatcher, m *Metrics) *enginePool {
+func newEnginePool(replicas, maxEntries int, disp *dispatcher, fleet *workerSet, m *Metrics) *enginePool {
 	return &enginePool{
 		replicas:   replicas,
 		maxEntries: maxEntries,
 		disp:       disp,
+		fleet:      fleet,
 		metrics:    m,
 		entries:    make(map[elsa.Options]*list.Element),
 		lru:        list.New(),
@@ -134,10 +180,17 @@ func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 
 	set.engines, set.err = p.buildReplicas(opts)
 	if set.err == nil {
-		set.shards = make([]*shard, len(set.engines))
-		for i, eng := range set.engines {
-			set.shards[i] = newShard(i, eng, p.disp.maxQueue)
-			p.disp.startShard(set.shards[i])
+		set.local = p.replicas
+		set.workers = p.fleet.workers
+		set.shards = make([]*shard, 0, set.local+len(set.workers))
+		for i := 0; i < set.local; i++ {
+			set.shards = append(set.shards, newShard(i, set, &localBackend{eng: set.engines[i], workers: p.disp.workers}, p.disp.maxQueue))
+		}
+		for k, w := range set.workers {
+			set.shards = append(set.shards, newShard(set.local+k, set, &remoteBackend{w: w, opts: opts}, p.disp.maxQueue))
+		}
+		for _, sh := range set.shards {
+			p.disp.startShard(sh)
 		}
 	} else {
 		// Drop the failed entry so the next request retries construction
@@ -156,18 +209,20 @@ func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 	return set, nil
 }
 
-// buildReplicas constructs the fleet: replica 0 pays the projection draw
-// and θ_bias calibration once, the rest restore from its snapshot for
-// bit-identical behaviour at a fraction of the cost.
+// buildReplicas constructs the local engines: replica 0 pays the
+// projection draw and θ_bias calibration once, the rest restore from its
+// snapshot for bit-identical behaviour at a fraction of the cost. At
+// zero local replicas (a pure dispatch frontend) one engine is still
+// built: threshold calibration and locally-hosted sessions need it.
 func (p *enginePool) buildReplicas(opts elsa.Options) ([]*elsa.Engine, error) {
 	first, err := elsa.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	engines := make([]*elsa.Engine, p.replicas)
+	engines := make([]*elsa.Engine, max(1, p.replicas))
 	engines[0] = first
 	snap := first.Snapshot()
-	for r := 1; r < p.replicas; r++ {
+	for r := 1; r < len(engines); r++ {
 		if engines[r], err = elsa.Restore(snap); err != nil {
 			return nil, err
 		}

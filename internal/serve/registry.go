@@ -126,20 +126,29 @@ func (r *thresholdRegistry) resolve(key thrKey, calib func() (elsa.Threshold, er
 	return thr, nil
 }
 
-// load reads a previously persisted threshold for key, rejecting files
-// whose stored p disagrees with the key (a hash collision or a stale
-// hand-edited file).
+// load reads a previously persisted threshold for key. A file that fails
+// to parse — a torn write from a crash before fsync semantics landed, or
+// disk corruption — is removed so the operating point recalibrates
+// cleanly instead of tripping on the same opaque error every restart.
+// Files whose stored p disagrees with the key (a hash collision or a
+// stale hand-edited file) are left alone but ignored.
 func (r *thresholdRegistry) load(key thrKey) (elsa.Threshold, bool) {
 	if r.dir == "" {
 		return elsa.Threshold{}, false
 	}
-	f, err := os.Open(r.path(key))
+	path := r.path(key)
+	f, err := os.Open(path)
 	if err != nil {
 		return elsa.Threshold{}, false
 	}
 	defer f.Close()
 	thr, err := elsa.LoadThreshold(f)
-	if err != nil || thr.P != key.p {
+	if err != nil {
+		r.metrics.ObserveThresholdCorrupt()
+		os.Remove(path) //nolint:errcheck // best effort; a miss recalibrates anyway
+		return elsa.Threshold{}, false
+	}
+	if thr.P != key.p {
 		return elsa.Threshold{}, false
 	}
 	r.metrics.ObserveThresholdLoad()
@@ -147,8 +156,9 @@ func (r *thresholdRegistry) load(key thrKey) (elsa.Threshold, bool) {
 }
 
 // save persists a calibrated threshold, best effort: serving never fails
-// because the state dir is read-only. Write-then-rename keeps a crashed
-// server from leaving a truncated file a restart would reject.
+// because the state dir is read-only. Write-fsync-rename keeps a crashed
+// server (or machine) from leaving a truncated file a restart would
+// reject: the data is durable before the name points at it.
 func (r *thresholdRegistry) save(key thrKey, thr elsa.Threshold) {
 	if r.dir == "" {
 		return
@@ -162,12 +172,24 @@ func (r *thresholdRegistry) save(key thrKey, thr elsa.Threshold) {
 		os.Remove(tmp.Name())
 		return
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return
 	}
 	if err := os.Rename(tmp.Name(), r.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		return
+	}
+	// Durable rename needs the directory entry flushed too; a failure
+	// here only risks losing the entry on power loss, never corruption.
+	if d, err := os.Open(r.dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
 	}
 }
 

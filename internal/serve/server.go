@@ -34,10 +34,13 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 
-	// Replicas is how many engine replicas each pooled configuration runs —
-	// micro-batches for one configuration spread across this many dispatch
-	// shards, the software analogue of the paper's replicated accelerator
-	// modules (default 2).
+	// Replicas is how many in-process engine replicas each pooled
+	// configuration runs — micro-batches for one configuration spread
+	// across this many dispatch shards, the software analogue of the
+	// paper's replicated accelerator modules (default 2; default 0 when
+	// WorkerAddrs is set, making the server a pure dispatch frontend).
+	// One engine is always built per configuration for calibration and
+	// locally-hosted sessions, even at zero replicas.
 	Replicas int
 	// MaxEngines bounds resident replica sets; beyond it the
 	// least-recently-used configuration is evicted (default 8).
@@ -68,6 +71,24 @@ type Config struct {
 	// interactive, batch, and background traffic (default 16:4:1; the
 	// zero value selects the default).
 	ClassWeights [NumClasses]int
+
+	// WorkerAddrs lists remote elsaserve workers ("host:port" or full
+	// URLs) this server dispatches to alongside its local replicas. Empty
+	// (the default) keeps serving purely in-process.
+	WorkerAddrs []string
+	// WorkerProbeInterval is how often each worker's /v1/healthz is
+	// probed (default 5s).
+	WorkerProbeInterval time.Duration
+	// WorkerInFlight caps concurrent ops on the wire per worker
+	// (default 32).
+	WorkerInFlight int
+	// WorkerFailLimit ejects a worker from routing after this many
+	// consecutive probe/dispatch failures; a successful probe re-admits
+	// it (default 3).
+	WorkerFailLimit int
+	// DispatchRetries is how many times one op is re-executed on a
+	// sibling shard after a retryable worker failure (default 2).
+	DispatchRetries int
 }
 
 func (c *Config) setDefaults() {
@@ -87,7 +108,14 @@ func (c *Config) setDefaults() {
 		c.MaxBodyBytes = 32 << 20
 	}
 	if c.Replicas <= 0 {
-		c.Replicas = 2
+		if len(c.WorkerAddrs) > 0 {
+			// A fleet frontend defaults to dispatch-only: remote workers
+			// carry the compute, local engines exist for calibration and
+			// sessions. Serving locally too takes an explicit Replicas.
+			c.Replicas = 0
+		} else {
+			c.Replicas = 2
+		}
 	}
 	if c.MaxEngines <= 0 {
 		c.MaxEngines = 8
@@ -101,6 +129,18 @@ func (c *Config) setDefaults() {
 	if c.MaxSessionTokens <= 0 {
 		c.MaxSessionTokens = 65536
 	}
+	if c.WorkerProbeInterval <= 0 {
+		c.WorkerProbeInterval = 5 * time.Second
+	}
+	if c.WorkerInFlight <= 0 {
+		c.WorkerInFlight = 32
+	}
+	if c.WorkerFailLimit <= 0 {
+		c.WorkerFailLimit = 3
+	}
+	if c.DispatchRetries <= 0 {
+		c.DispatchRetries = 2
+	}
 }
 
 // Server is the attention-serving subsystem: an http.Handler exposing
@@ -111,6 +151,7 @@ type Server struct {
 	cfg        Config
 	pool       *enginePool
 	disp       *dispatcher
+	fleet      *workerSet
 	thresholds *thresholdRegistry
 	sessions   *sessionRegistry
 	quotas     *quotas
@@ -122,18 +163,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	m := NewMetrics()
-	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers, classWeights(cfg.ClassWeights), m)
+	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers,
+		cfg.DispatchRetries, cfg.WorkerProbeInterval, classWeights(cfg.ClassWeights), m)
+	fleet := newWorkerSet(cfg.WorkerAddrs, cfg.WorkerProbeInterval, cfg.WorkerInFlight, cfg.WorkerFailLimit, m)
 	thr := newThresholdRegistry(cfg.StateDir, m)
 	s := &Server{
 		cfg:        cfg,
-		pool:       newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, m),
+		pool:       newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, fleet, m),
 		disp:       disp,
+		fleet:      fleet,
 		thresholds: thr,
 		sessions:   newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m),
 		quotas:     newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
 		metrics:    m,
 		mux:        http.NewServeMux(),
 	}
+	fleet.start()
 	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
@@ -153,23 +198,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // command's logging).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains the serving stack in dependency order: the dispatcher
-// stops admission and flushes every pending micro-batch, the pool closes
-// all shard queues (live and retired) once nothing can be enqueued again,
+// Close drains the serving stack in dependency order: the health-probe
+// loops stop (no worker flips state mid-drain), the dispatcher stops
+// admission and flushes every pending micro-batch, the pool closes all
+// shard queues (live and retired) once nothing can be enqueued again,
 // and the shard loops are joined. Call after http.Server.Shutdown so no
 // handler is left waiting.
 func (s *Server) Close() {
+	s.fleet.close()
 	s.disp.close()
 	s.pool.closeShards()
 	s.disp.waitShards()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	h := HealthResponse{
 		Status:   "ok",
 		Engines:  s.pool.size(),
 		Sessions: s.sessions.active(),
-	})
+	}
+	if n := len(s.fleet.workers); n > 0 {
+		h.Role = "frontend"
+		h.Workers = n
+		h.HealthyWorkers = s.fleet.healthyCount()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -244,6 +297,9 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Cl
 		s.metrics.ObserveAdmission("shed_deadline")
 		setRetryAfter(w, retryAfterOf(err))
 		return fail(w, http.StatusTooManyRequests, err.Error()), "deadline", meta.class
+	case errors.Is(err, ErrNoWorkers):
+		setRetryAfter(w, retryAfterOf(err))
+		return fail(w, http.StatusServiceUnavailable, err.Error()), "no_workers", meta.class
 	case errors.Is(err, ErrClosed):
 		return fail(w, http.StatusServiceUnavailable, err.Error()), "closed", meta.class
 	case errors.Is(err, context.DeadlineExceeded):
@@ -295,8 +351,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "engine: "+err.Error())
 		return
 	}
-	sess, err := s.sessions.create(set, opts, req.P, req.T, req.Capacity, meta)
+	sess, err := s.sessions.create(r.Context(), set, opts, req.P, req.T, req.Capacity, meta)
 	if err != nil {
+		if errors.Is(err, errWorkerLost) {
+			setRetryAfter(w, s.cfg.WorkerProbeInterval)
+			fail(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		fail(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -332,7 +393,7 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d keys but %d values", len(keys), len(values)))
 		return
 	}
-	n, err := s.sessions.append(r.PathValue("id"), keys, values)
+	n, err := s.sessions.append(r.Context(), r.PathValue("id"), keys, values)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SessionAppendResponse{Len: n})
@@ -340,6 +401,9 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, errSessionFull):
 		fail(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, errWorkerLost):
+		setRetryAfter(w, s.cfg.WorkerProbeInterval)
+		fail(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		fail(w, http.StatusBadRequest, err.Error())
 	}
@@ -361,7 +425,7 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	if req.T != nil {
 		ov.Thr = &elsa.Threshold{T: *req.T}
 	}
-	out, stats, n, thr, err := s.sessions.query(r.PathValue("id"), req.Q, ov)
+	out, stats, n, thr, err := s.sessions.query(r.Context(), r.PathValue("id"), req.Q, ov)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SessionQueryResponse{
@@ -373,6 +437,9 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	case errors.Is(err, errSessionNotFound):
 		fail(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, errWorkerLost):
+		setRetryAfter(w, s.cfg.WorkerProbeInterval)
+		fail(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		fail(w, http.StatusBadRequest, err.Error())
 	}

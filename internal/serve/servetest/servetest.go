@@ -1,0 +1,184 @@
+// Package servetest provides an in-process fake fleet for exercising the
+// cross-host dispatch path: each Worker wraps a real serve.Server behind
+// an httptest listener and a programmable fault layer (dead host, drop
+// rate, added latency, 5xx bursts, hang-until-cancel), and Cluster wires
+// N workers behind a frontend. Tests kill, throttle, and revive workers
+// without processes or real sockets, so the whole suite runs under -race.
+package servetest
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elsa/internal/serve"
+)
+
+// Worker is one fake fleet member: a fully functional serve.Server whose
+// HTTP surface can be degraded on demand. The zero fault state serves
+// normally. All fault setters are safe for concurrent use with traffic.
+type Worker struct {
+	srv *serve.Server
+	ts  *httptest.Server
+
+	served atomic.Int64 // requests that reached the real server
+
+	mu       sync.Mutex
+	down     bool
+	dropRate float64
+	latency  time.Duration
+	errBurst int // answer 500 for this many more requests
+	hang     bool
+	rng      *rand.Rand
+}
+
+// NewWorker starts a worker running cfg behind the fault layer.
+func NewWorker(cfg serve.Config) *Worker {
+	w := &Worker{
+		srv: serve.New(cfg),
+		rng: rand.New(rand.NewSource(1)),
+	}
+	w.ts = httptest.NewServer(http.HandlerFunc(w.handle))
+	return w
+}
+
+// URL returns the worker's base URL, the address a frontend dispatches to.
+func (w *Worker) URL() string { return w.ts.URL }
+
+// Server exposes the underlying serve.Server (for its metrics).
+func (w *Worker) Server() *serve.Server { return w.srv }
+
+// Served reports how many requests reached the real server (faulted
+// requests are not counted).
+func (w *Worker) Served() int64 { return w.served.Load() }
+
+// SetDown simulates a dead or revived process: while down, every
+// connection is severed without a response, exactly what a frontend sees
+// from a crashed host.
+func (w *Worker) SetDown(down bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.down = down
+}
+
+// SetDropRate severs the given fraction of requests (0 disables),
+// simulating a flapping network path.
+func (w *Worker) SetDropRate(rate float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dropRate = rate
+}
+
+// SetLatency adds fixed delay before each request is served.
+func (w *Worker) SetLatency(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.latency = d
+}
+
+// InjectErrors makes the next n op requests answer 500 with a JSON error
+// body — an application-level burst rather than a transport fault. Health
+// probes are unaffected, so the burst deterministically exercises the
+// frontend's dispatch-failure handling instead of being consumed by (and
+// ejecting the worker through) the probe loop.
+func (w *Worker) InjectErrors(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.errBurst = n
+}
+
+// SetHang makes requests block until the client gives up (context
+// cancellation closes the connection), simulating a wedged process that
+// still accepts connections.
+func (w *Worker) SetHang(hang bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hang = hang
+}
+
+// Close shuts the listener and drains the wrapped server.
+func (w *Worker) Close() {
+	w.ts.Close()
+	w.srv.Close()
+}
+
+func (w *Worker) handle(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	down, hang := w.down, w.hang
+	latency := w.latency
+	dropped := w.dropRate > 0 && w.rng.Float64() < w.dropRate
+	burst := w.errBurst > 0 && r.URL.Path != "/v1/healthz"
+	if burst {
+		w.errBurst--
+	}
+	w.mu.Unlock()
+
+	switch {
+	case down, dropped:
+		// Sever the connection with no response: the client's transport
+		// surfaces an EOF/reset, as from a killed process.
+		panic(http.ErrAbortHandler)
+	case hang:
+		// Drain the body first: the http server only watches the connection
+		// for client disconnects (cancelling r.Context()) once the request
+		// body has been consumed, so blocking with an unread POST body would
+		// never observe the caller giving up and would wedge Close forever.
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	case burst:
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(rw).Encode(map[string]string{"error": "servetest: injected failure"}) //nolint:errcheck
+		return
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+	w.served.Add(1)
+	w.srv.ServeHTTP(rw, r)
+}
+
+// Cluster is a frontend dispatching to N fake workers, all in-process.
+type Cluster struct {
+	Workers  []*Worker
+	Frontend *serve.Server
+
+	ts *httptest.Server
+}
+
+// NewCluster starts n workers running workerCfg and a frontend running
+// front with its WorkerAddrs pointed at them. Set front.Replicas to also
+// serve locally; the zero value makes the frontend dispatch-only.
+func NewCluster(n int, front, workerCfg serve.Config) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		w := NewWorker(workerCfg)
+		c.Workers = append(c.Workers, w)
+		front.WorkerAddrs = append(front.WorkerAddrs, w.URL())
+	}
+	c.Frontend = serve.New(front)
+	c.ts = httptest.NewServer(c.Frontend)
+	return c
+}
+
+// URL returns the frontend's base URL.
+func (c *Cluster) URL() string { return c.ts.URL }
+
+// Close tears the whole cluster down, frontend first.
+func (c *Cluster) Close() {
+	c.ts.Close()
+	c.Frontend.Close()
+	for _, w := range c.Workers {
+		w.Close()
+	}
+}

@@ -2,14 +2,17 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
 	"elsa"
+	"elsa/serve/client"
 )
 
 // Errors surfaced by the session registry to the HTTP layer.
@@ -20,16 +23,29 @@ var (
 	// errSessionFull means an append would push the session past the
 	// per-session token budget (HTTP 413).
 	errSessionFull = errors.New("serve: session token limit reached")
+	// errWorkerLost means a session's pinned remote worker is unreachable
+	// or failing. Session state lives on the worker, so unlike idempotent
+	// attend ops nothing can reroute; the client sees 503 with Retry-After
+	// and must recreate the session when the fleet recovers.
+	errWorkerLost = errors.New("serve: session worker unavailable")
 )
 
-// session is one autoregressive decode stream held server-side. The
-// stream (and its workspace) is single-goroutine by contract, so mu
-// serializes all append/query traffic for the session; different sessions
-// proceed in parallel on their own replicas.
+// session is one autoregressive decode stream, held on a local engine
+// replica or pinned to a remote worker (exactly one of stream/remote is
+// set). The local stream (and its workspace) is single-goroutine by
+// contract, and a remote session's appends must observe each other's
+// prefix, so mu serializes all append/query traffic for the session
+// either way; different sessions proceed in parallel on their own
+// replicas or workers.
 type session struct {
 	id   string
 	opts elsa.Options
 	set  *replicaSet
+	// remote/w are set for a session pinned to a remote worker: remote is
+	// the worker-side handle (under the worker's own session ID), w feeds
+	// dispatch failures into the worker's health state.
+	remote *client.Session
+	w      *worker
 	// clientID and class are inherited from the creating request's
 	// envelope: every append/query on the session is charged against the
 	// creator's quota at the creator's priority.
@@ -83,14 +99,19 @@ func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thre
 	}
 }
 
-// create registers a new session bound to one replica of set. The
-// threshold is resolved eagerly when possible (explicit t, p = 0, or a
+// create registers a new session bound to one replica of set or pinned
+// to a healthy remote worker (rotating across both). The threshold is
+// resolved eagerly when possible (explicit t, p = 0, or a
 // registry/state-dir hit); otherwise the first query calibrates it over
 // the prefix. At capacity the least-recently-used session is evicted
 // rather than refusing the new one — new decode work beats stale state.
-func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int, meta requestMeta) (*session, error) {
+func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int, meta requestMeta) (*session, error) {
 	if capacity < 0 || capacity > g.maxTokens {
 		capacity = 0
+	}
+	eng, w := set.sessionTarget()
+	if eng == nil && w == nil {
+		return nil, errWorkerLost
 	}
 	s := &session{
 		id:       newSessionID(),
@@ -98,7 +119,6 @@ func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, 
 		set:      set,
 		clientID: meta.clientID,
 		class:    meta.class,
-		stream:   set.sessionEngine().NewStream(capacity),
 		p:        p,
 	}
 	switch {
@@ -113,6 +133,38 @@ func (g *sessionRegistry) create(set *replicaSet, opts elsa.Options, p float64, 
 			s.thr = thr
 			s.calibrated = true
 		}
+	}
+
+	if eng != nil {
+		s.stream = eng.NewStream(capacity)
+	} else {
+		// Pin the session to the worker by opening the worker-side stream
+		// now. A calibrated threshold travels pinned so the worker never
+		// recalibrates; an uncalibrated p still calibrates lazily — on the
+		// worker, over the same prefix, against the same deterministic
+		// engine — so results match a local session.
+		so := client.SessionOptions{
+			HeadDim:   opts.HeadDim,
+			HashBits:  opts.HashBits,
+			Seed:      opts.Seed,
+			Quantized: opts.Quantized,
+			Capacity:  capacity,
+		}
+		if s.calibrated {
+			thr := s.thr
+			so.Thr = &thr
+		} else {
+			so.P = p
+		}
+		remote, err := w.cli.NewSession(ctx, so)
+		if err != nil {
+			return nil, mapRemoteErr(w, err)
+		}
+		s.remote, s.w = remote, w
+		if remote.Threshold != nil {
+			s.thr, s.calibrated = *remote.Threshold, true
+		}
+		w.recover()
 	}
 
 	g.mu.Lock()
@@ -198,6 +250,8 @@ func (g *sessionRegistry) sweepLocked() {
 // evictLocked removes one session by its LRU element. Callers hold g.mu.
 // An in-flight append/query on the evicted session still completes — it
 // holds its own reference to the stream — but the ID resolves no further.
+// A worker-pinned session's remote half is deleted best-effort off the
+// lock; if the worker is gone its own TTL reaps the orphan.
 func (g *sessionRegistry) evictLocked(el *list.Element, reason string) {
 	if el == nil {
 		return
@@ -206,16 +260,32 @@ func (g *sessionRegistry) evictLocked(el *list.Element, reason string) {
 	g.lru.Remove(el)
 	delete(g.byID, s.id)
 	g.metrics.ObserveSessionEvicted(reason)
+	if s.remote != nil {
+		go func(remote *client.Session) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			remote.Close(ctx) //nolint:errcheck // best effort; worker TTL reaps orphans
+		}(s.remote)
+	}
 }
 
 // append adds tokens to the session and returns its new length.
-func (g *sessionRegistry) append(id string, keys, values [][]float32) (int, error) {
+func (g *sessionRegistry) append(ctx context.Context, id string, keys, values [][]float32) (int, error) {
 	s, err := g.lookup(id)
 	if err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.remote != nil {
+		n, err := s.remote.AppendBatch(ctx, keys, values)
+		if err != nil {
+			return 0, mapRemoteErr(s.w, err)
+		}
+		s.w.recover()
+		g.metrics.ObserveSessionAppend(len(keys))
+		return n, nil
+	}
 	if s.stream.Len()+len(keys) > g.maxTokens {
 		return s.stream.Len(), errSessionFull
 	}
@@ -233,13 +303,23 @@ func (g *sessionRegistry) append(id string, keys, values [][]float32) (int, erro
 // session threshold (or the query's own override), and return an owned
 // copy of the context vector (the session's internal buffer is recycled
 // across queries).
-func (g *sessionRegistry) query(id string, q []float32, ov elsa.Overrides) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
+func (g *sessionRegistry) query(ctx context.Context, id string, q []float32, ov elsa.Overrides) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
 	s, err := g.lookup(id)
 	if err != nil {
 		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.remote != nil {
+		res, err := s.remote.Query(ctx, q, ov)
+		if err != nil {
+			return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, mapRemoteErr(s.w, err)
+		}
+		s.w.recover()
+		s.thr, s.calibrated = res.Threshold, true
+		g.metrics.ObserveSessionQuery()
+		return res.Context, elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}, res.Len, res.Threshold, nil
+	}
 	// A query pinned to its own threshold doesn't need the session's
 	// resolved; lazy calibration waits for the first query that does.
 	if !s.calibrated && ov.Thr == nil {
@@ -270,6 +350,36 @@ func (g *sessionRegistry) query(id string, q []float32, ov elsa.Overrides) ([]fl
 	// Hand back an owned copy: s.out is overwritten by the next query,
 	// possibly while the HTTP layer is still encoding this one.
 	return append([]float32(nil), out...), stats, s.stream.Len(), thr, nil
+}
+
+// mapRemoteErr translates a worker-side session failure into the
+// registry's error taxonomy and feeds the worker's health state. Session
+// state cannot reroute, so anything that smells like a dead or draining
+// worker becomes errWorkerLost (HTTP 503 + Retry-After); a worker that
+// forgot the session (restart, its own TTL) is errSessionNotFound; the
+// worker's own token-limit refusal passes through as errSessionFull.
+func mapRemoteErr(w *worker, err error) error {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		switch {
+		case api.Status == http.StatusNotFound:
+			return errSessionNotFound
+		case api.Status == http.StatusRequestEntityTooLarge:
+			return errSessionFull
+		case api.Status == http.StatusTooManyRequests || api.Status == http.StatusServiceUnavailable:
+			return fmt.Errorf("%w: %v", errWorkerLost, err)
+		case api.Status >= 500:
+			w.fault()
+			return fmt.Errorf("%w: %v", errWorkerLost, err)
+		default:
+			return err
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	w.fault()
+	return fmt.Errorf("%w: %v", errWorkerLost, err)
 }
 
 // newSessionID returns a 128-bit random hex ID.

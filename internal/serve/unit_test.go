@@ -16,8 +16,8 @@ import (
 func newTestStack(t *testing.T, replicas, maxEntries int, window time.Duration, maxBatch, maxQueue int) (*enginePool, *dispatcher, *Metrics) {
 	t.Helper()
 	m := NewMetrics()
-	d := newDispatcher(window, maxBatch, maxQueue, 0, classWeights{}, m)
-	p := newEnginePool(replicas, maxEntries, d, m)
+	d := newDispatcher(window, maxBatch, maxQueue, 0, 2, time.Second, classWeights{}, m)
+	p := newEnginePool(replicas, maxEntries, d, newWorkerSet(nil, time.Second, 1, 3, m), m)
 	t.Cleanup(func() {
 		d.close()
 		p.closeShards()

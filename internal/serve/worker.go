@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"elsa"
+	"elsa/serve/client"
+)
+
+// worker is one remote elsaserve process in the fleet. The frontend
+// dispatcher routes micro-batch ops to it over HTTP through serve/client,
+// probes its /v1/healthz on a fixed interval, and ejects it after
+// failLimit consecutive failures (probe or dispatch). A later successful
+// probe re-admits it. The in-flight semaphore caps concurrent ops on the
+// wire to one worker, the cross-host analogue of a shard's bounded queue.
+type worker struct {
+	addr      string
+	cli       *client.Client
+	inflight  chan struct{}
+	failLimit int
+	metrics   *Metrics
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int // consecutive probe/dispatch failures
+}
+
+func newWorker(addr string, inflight, failLimit int, m *Metrics) *worker {
+	w := &worker{
+		addr:      addr,
+		cli:       client.New(addr),
+		inflight:  make(chan struct{}, inflight),
+		failLimit: failLimit,
+		metrics:   m,
+		healthy:   true, // assume up until proven otherwise
+	}
+	m.SetWorkerHealthy(addr, true)
+	return w
+}
+
+// isHealthy reports whether the worker is admitted for dispatch.
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// fault records one failed probe or dispatch; failLimit consecutive
+// faults eject the worker from routing until a probe succeeds again.
+func (w *worker) fault() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	if w.healthy && w.fails >= w.failLimit {
+		w.healthy = false
+		w.metrics.ObserveWorkerEjection(w.addr)
+		w.metrics.SetWorkerHealthy(w.addr, false)
+	}
+}
+
+// recover records one successful probe or dispatch, resetting the
+// consecutive-failure count and re-admitting an ejected worker.
+func (w *worker) recover() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	if !w.healthy {
+		w.healthy = true
+		w.metrics.ObserveWorkerReadmission(w.addr)
+		w.metrics.SetWorkerHealthy(w.addr, true)
+	}
+}
+
+// workerSet is the frontend's remote fleet: the workers plus the probe
+// loops that keep their health state current.
+type workerSet struct {
+	workers []*worker
+	probe   time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newWorkerSet builds the fleet from base addresses ("host:port" or full
+// URLs). Empty addrs yield an empty set — a purely local server.
+func newWorkerSet(addrs []string, probe time.Duration, inflight, failLimit int, m *Metrics) *workerSet {
+	f := &workerSet{probe: probe, stop: make(chan struct{})}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		f.workers = append(f.workers, newWorker(normalizeWorkerAddr(a), inflight, failLimit, m))
+	}
+	return f
+}
+
+// normalizeWorkerAddr accepts "host:port" shorthand for http URLs.
+func normalizeWorkerAddr(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// start launches one health-probe loop per worker.
+func (f *workerSet) start() {
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go f.probeLoop(w)
+	}
+}
+
+// probeLoop GETs the worker's /v1/healthz every probe interval. Failures
+// feed the same consecutive-failure counter as dispatch errors; a success
+// resets it and re-admits an ejected worker.
+func (f *workerSet) probeLoop(w *worker) {
+	defer f.wg.Done()
+	// The probe deadline is decoupled from the interval: a short interval
+	// buys fast detection, but a probe that merely runs long on a loaded
+	// worker must not count as a failure, or load alone ejects healthy
+	// workers.
+	timeout := f.probe
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	t := time.NewTicker(f.probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			_, err := w.cli.Health(ctx)
+			cancel()
+			if err != nil {
+				w.fault()
+			} else {
+				w.recover()
+			}
+		}
+	}
+}
+
+// close stops the probe loops. Safe to call on an empty set.
+func (f *workerSet) close() {
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// healthyCount reports how many workers are currently admitted.
+func (f *workerSet) healthyCount() int {
+	n := 0
+	for _, w := range f.workers {
+		if w.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// workerError marks an op that failed against a remote worker. retryable
+// errors (transport faults, worker 5xx, worker overload) may be rerouted
+// to another shard; the rest are the op's own fault and surface directly.
+type workerError struct {
+	addr      string
+	err       error
+	retryable bool
+}
+
+func (e *workerError) Error() string { return "worker " + e.addr + ": " + e.err.Error() }
+func (e *workerError) Unwrap() error { return e.err }
+
+// shardBackend is what a dispatch shard executes micro-batches through:
+// an in-process engine replica or a remote worker. attendBatch returns
+// one output or error per job, so a partially failed remote batch can
+// reroute only the failed ops.
+type shardBackend interface {
+	attendBatch(jobs []*job) ([]*elsa.Output, []error)
+	available() bool
+	name() string
+}
+
+// localBackend runs batches on an in-process engine replica — the
+// pre-fleet behaviour, now one implementation of shardBackend.
+type localBackend struct {
+	eng     *elsa.Engine
+	workers int
+}
+
+func (b *localBackend) name() string    { return "local" }
+func (b *localBackend) available() bool { return true }
+
+func (b *localBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
+	ops := make([]elsa.BatchOp, len(jobs))
+	for i, j := range jobs {
+		ops[i] = j.op
+	}
+	errs := make([]error, len(jobs))
+	// Each batch op runs elsa.Attend's pooled-workspace fast path: no
+	// per-query allocations and no candidate-list collection (the serving
+	// API only reports counts), so concurrent batches reuse warm buffers
+	// from the engine's sync.Pool instead of churning the allocator. The
+	// shared threshold argument is irrelevant: every op carries its own.
+	outs, err := b.eng.AttendBatchContext(context.Background(), ops, elsa.Exact(), b.workers)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]*elsa.Output, len(jobs)), errs
+	}
+	return outs, errs
+}
+
+// remoteBackend runs batches on a remote worker by fanning the ops out as
+// concurrent /v1/attend calls (bounded by the worker's in-flight cap);
+// the worker's own dispatcher re-coalesces them into micro-batches. Every
+// op carries its threshold pinned in the wire `t`, so the worker never
+// recalibrates and results stay bit-identical to a local run of the same
+// engine options.
+type remoteBackend struct {
+	w    *worker
+	opts elsa.Options
+}
+
+func (b *remoteBackend) name() string    { return "remote:" + b.w.addr }
+func (b *remoteBackend) available() bool { return b.w.isHealthy() }
+
+func (b *remoteBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
+	outs := make([]*elsa.Output, len(jobs))
+	errs := make([]error, len(jobs))
+	b.w.metrics.ObserveRemoteOps(b.w.addr, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *job) {
+			defer wg.Done()
+			select {
+			case b.w.inflight <- struct{}{}:
+			case <-j.ctx.Done():
+				errs[i] = j.ctx.Err()
+				return
+			}
+			defer func() { <-b.w.inflight }()
+			res, err := b.w.cli.Attend(j.ctx, j.op.Q, j.op.K, j.op.V, client.AttendOptions{
+				Overrides: elsa.Overrides{Thr: j.op.Thr},
+				HeadDim:   b.opts.HeadDim,
+				HashBits:  b.opts.HashBits,
+				Seed:      b.opts.Seed,
+				Quantized: b.opts.Quantized,
+			})
+			if err != nil {
+				errs[i] = b.classify(err)
+				return
+			}
+			b.w.recover()
+			outs[i] = &elsa.Output{
+				Context:           res.Context,
+				CandidateFraction: res.CandidateFraction,
+				FallbackQueries:   res.FallbackQueries,
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// classify sorts one remote failure into the dispatcher's retry taxonomy
+// and feeds the worker's health state: transport faults and worker 5xx
+// count toward ejection and reroute; worker overload (429/503) reroutes
+// without blaming health; everything else is terminal for the op.
+func (b *remoteBackend) classify(err error) error {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		switch {
+		case api.Status == http.StatusTooManyRequests || api.Status == http.StatusServiceUnavailable:
+			return &workerError{addr: b.w.addr, err: err, retryable: true}
+		case api.Status >= 500:
+			b.w.fault()
+			return &workerError{addr: b.w.addr, err: err, retryable: true}
+		default:
+			return &workerError{addr: b.w.addr, err: err, retryable: false}
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The requester is gone or out of budget; says nothing about the
+		// worker and there is no time left to reroute.
+		return err
+	}
+	// Transport-level failure: connection refused, reset, EOF — the
+	// classic signature of a dead or dying host.
+	b.w.fault()
+	return &workerError{addr: b.w.addr, err: err, retryable: true}
+}

@@ -26,10 +26,12 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== serving subsystem under -race =="
-# The dispatcher, replica pool, threshold registry, and session registry
-# are the most concurrent code in the tree; run their suite explicitly
-# with -count=1 so the race detector can never be satisfied from cache.
-go test -race -count=1 ./internal/serve/
+# The dispatcher, replica pool, threshold registry, session registry and
+# the cross-host fleet path (remote workers, health probes, reroute, the
+# servetest fault-injection suite) are the most concurrent code in the
+# tree; run the whole subtree explicitly with -count=1 so the race
+# detector can never be satisfied from cache.
+go test -race -count=1 ./internal/serve/...
 
 echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
@@ -42,7 +44,9 @@ echo "== perf trajectory (committed files) =="
 # files against each other without re-measuring, so a PR that commits a
 # regressed snapshot is caught even on noisy hardware. Warns by default;
 # PERF_STRICT=1 makes it fail the build.
-mapfile -t bench_files < <(ls -1 BENCH_*.json 2>/dev/null | sort)
+# BENCH_*_serving.json files hold serving-layer rows, not the engine ns/op
+# shape the compare gate reads; keep them out of both globs.
+mapfile -t bench_files < <(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort)
 if [ "${#bench_files[@]}" -ge 2 ]; then
     prev="${bench_files[-2]}"
     newest="${bench_files[-1]}"
@@ -65,7 +69,7 @@ echo "== perf trajectory (fresh run) =="
 # Compare ns/op against the newest committed BENCH_*.json. Measurements on
 # shared CI machines are noisy, so a >15% regression warns by default; set
 # PERF_STRICT=1 to make it fail the build.
-baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+baseline=$(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort | tail -n 1 || true)
 if [ -n "$baseline" ]; then
     echo "baseline: $baseline"
     perf_json=$(mktemp /tmp/elsabench.XXXXXX.json)

@@ -92,6 +92,31 @@ type Result struct {
 	BatchSize         int
 }
 
+// Health is the server's /v1/healthz reply. The worker/fleet fields are
+// present only on servers configured with remote workers.
+type Health struct {
+	Status         string `json:"status"`
+	Engines        int    `json:"engines"`
+	Sessions       int    `json:"sessions"`
+	Role           string `json:"role,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	HealthyWorkers int    `json:"healthy_workers,omitempty"`
+}
+
+// Health fetches /v1/healthz — the same probe elsaserve frontends use to
+// admit and eject remote workers.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	apiErr, err := c.once(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	if err != nil {
+		return nil, err
+	}
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return &h, nil
+}
+
 // envelope mirrors the server's v1 request envelope.
 type envelope struct {
 	ClientID   string          `json:"client_id,omitempty"`

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -11,6 +11,7 @@ import (
 
 	"elsa"
 	"elsa/internal/serve"
+	"elsa/serve/client"
 )
 
 // TestAttendRoundTrip drives the real serving stack through the client
@@ -37,8 +38,8 @@ func TestAttendRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c := New(ts.URL, WithClientID("roundtrip"))
-	got, err := c.Attend(context.Background(), q, k, v, AttendOptions{HeadDim: dim})
+	c := client.New(ts.URL, client.WithClientID("roundtrip"))
+	got, err := c.Attend(context.Background(), q, k, v, client.AttendOptions{HeadDim: dim})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,8 +63,8 @@ func TestSessionLifecycle(t *testing.T) {
 	defer ts.Close()
 
 	const dim = 16
-	c := New(ts.URL, WithClientID("sess"))
-	s, err := c.NewSession(context.Background(), SessionOptions{HeadDim: dim})
+	c := client.New(ts.URL, client.WithClientID("sess"))
+	s, err := c.NewSession(context.Background(), client.SessionOptions{HeadDim: dim})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestRetriesHonorRetryAfter(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	c := New(ts.URL, WithClientID("retrier"), WithPriority("background"), WithRetries(2))
+	c := client.New(ts.URL, client.WithClientID("retrier"), client.WithPriority("background"), client.WithRetries(2))
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	q := [][]float32{{1}}
-	if _, err := c.Attend(ctx, q, q, q, AttendOptions{}); err != nil {
+	if _, err := c.Attend(ctx, q, q, q, client.AttendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := calls.Load(); got != 2 {
@@ -142,7 +143,7 @@ func TestRetriesHonorRetryAfter(t *testing.T) {
 }
 
 // TestNoRetryWithoutOptIn verifies a throttled request surfaces the
-// APIError (with its RetryAfter hint) when retries are off.
+// client.APIError (with its RetryAfter hint) when retries are off.
 func TestNoRetryWithoutOptIn(t *testing.T) {
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "7")
@@ -153,12 +154,12 @@ func TestNoRetryWithoutOptIn(t *testing.T) {
 	defer ts.Close()
 
 	q := [][]float32{{1}}
-	_, err := New(ts.URL).Attend(context.Background(), q, q, q, AttendOptions{})
-	apiErr, ok := err.(*APIError)
+	_, err := client.New(ts.URL).Attend(context.Background(), q, q, q, client.AttendOptions{})
+	apiErr, ok := err.(*client.APIError)
 	if !ok {
-		t.Fatalf("want *APIError, got %v", err)
+		t.Fatalf("want *client.APIError, got %v", err)
 	}
 	if apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter != 7*time.Second {
-		t.Errorf("APIError = %+v, want status 429 with 7s Retry-After", apiErr)
+		t.Errorf("client.APIError = %+v, want status 429 with 7s Retry-After", apiErr)
 	}
 }
