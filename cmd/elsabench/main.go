@@ -16,8 +16,8 @@
 // changes can be tracked as a BENCH_*.json perf trajectory. The "serve"
 // experiment measures the HTTP serving stack (ops/s, p50/p99 latency, mean
 // micro-batch size, 1 vs 2 in-process replicas) and writes the separate
-// BENCH_*_serving.json trajectory, which the -baseline/-compare ns/op gate
-// does not read.
+// BENCH_*_serving.json trajectory; with -experiment serve, -baseline and
+// -compare gate that trajectory on ops/s instead of ns/op.
 package main
 
 import (
@@ -43,8 +43,8 @@ func main() {
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	baseline := flag.String("baseline", "", "bench experiment only: compare ns/op against this committed BENCH_*.json")
-	maxRegress := flag.Float64("maxregress", 0.15, "with -baseline: allowed fractional ns/op regression before failing")
+	baseline := flag.String("baseline", "", "bench/serve experiments: compare against this committed BENCH_*.json (ns/op for bench, ops/s for serve)")
+	maxRegress := flag.Float64("maxregress", 0.15, "with -baseline: allowed fractional regression before failing")
 	compare := flag.String("compare", "", "with -baseline: compare this committed BENCH_*.json instead of measuring fresh")
 	flag.Parse()
 
@@ -83,8 +83,32 @@ func main() {
 		fatal(fmt.Errorf("-compare requires -baseline to compare against"))
 	}
 	if *baseline != "" {
+		if *experiment == "serve" {
+			// The serving-trajectory gate: ops/s keyed {replicas, concurrency}.
+			var rows []ServingRow
+			var err error
+			if *compare != "" {
+				// Two committed trajectory files: no measurement, just the gate.
+				rows, err = loadServingRows(*compare)
+			} else {
+				rows, err = servingRows(opt)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut != "" && *compare == "" {
+				if err := writeJSONPayload(map[string]any{"serve": rows}, *jsonOut); err != nil {
+					fatal(err)
+				}
+			}
+			if err := compareServingPerf(rows, *baseline, *maxRegress); err != nil {
+				fmt.Fprintln(os.Stderr, "elsabench:", err)
+				os.Exit(2)
+			}
+			return
+		}
 		if *experiment != "bench" && *experiment != "all" {
-			fatal(fmt.Errorf("-baseline requires -experiment bench"))
+			fatal(fmt.Errorf("-baseline requires -experiment bench or serve"))
 		}
 		var rows []BenchRow
 		var err error

@@ -17,6 +17,8 @@
 //	          [-worker | -workers host:port,...]
 //	          [-worker-probe-interval 5s] [-worker-inflight 32]
 //	          [-worker-fail-limit 3] [-dispatch-retries 2]
+//	          [-join http://frontend:8080 -advertise host:port]
+//	          [-heartbeat-interval 5s] [-weight 1] [-drain-timeout 1m]
 //
 // Cross-host sharding: `-workers host:port,...` makes this server a fleet
 // frontend — micro-batch ops route to the listed elsaserve workers
@@ -27,6 +29,15 @@
 // (`-workers` previously named the per-batch attention worker count; that
 // flag is now `-attend-workers`.)
 //
+// Elastic membership: `-join` points a worker at a frontend's
+// /v1/cluster/join — the worker registers itself as `-advertise` and
+// heartbeats every `-heartbeat-interval`, so it starts taking traffic
+// without a frontend restart and is expired after ~3 missed heartbeats.
+// Frontends accept joins with no extra flags; `-workers` remains the
+// static seed list and both sources mix freely. POST /v1/drain (or a
+// frontend's POST /v1/cluster/drain) drains a server: no new sessions,
+// pinned ones finish or are force-expired after `-drain-timeout`.
+//
 // Endpoints:
 //
 //	POST   /v1/attend               one Q/K/V attention op with degree-of-approximation p
@@ -36,6 +47,10 @@
 //	DELETE /v1/sessions/{id}        close a session
 //	GET    /v1/healthz              liveness plus resident engine and session counts
 //	GET    /v1/metrics              Prometheus text-format counters and histograms
+//	POST   /v1/cluster/join         worker self-registration and heartbeat
+//	GET    /v1/cluster              versioned membership table with pinned-session counts
+//	POST   /v1/cluster/drain        drain one member (rolling upgrade)
+//	POST   /v1/drain                drain this server: refuse new sessions, finish pinned ones
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, queued
 // micro-batches are dispatched and drained, then the process exits.
@@ -81,6 +96,11 @@ func main() {
 	flag.IntVar(&cfg.WorkerInFlight, "worker-inflight", 32, "max concurrent ops on the wire per remote worker")
 	flag.IntVar(&cfg.WorkerFailLimit, "worker-fail-limit", 3, "eject a worker after this many consecutive probe/dispatch failures")
 	flag.IntVar(&cfg.DispatchRetries, "dispatch-retries", 2, "reroute a failed idempotent op to a sibling shard this many times")
+	join := flag.String("join", "", "frontend URL to self-register with (worker mode; requires -advertise)")
+	advertise := flag.String("advertise", "", "address the frontend dials back when joined via -join (host:port or URL)")
+	heartbeat := flag.Duration("heartbeat-interval", 5*time.Second, "re-join cadence when joined via -join (floor 1s)")
+	weight := flag.Int("weight", 1, "this worker's share of session keyspace on the frontend's hash ring")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", time.Minute, "force-expire sessions still pinned this long after POST /v1/drain (negative waits forever)")
 	flag.Parse()
 
 	cw, err := parseClassWeights(*weights)
@@ -102,10 +122,36 @@ func main() {
 		}
 	}
 
-	if err := run(*addr, cfg, *drain); err != nil {
+	hb := heartbeatConfig{interval: *heartbeat, weight: *weight}
+	if *join != "" {
+		if *workerAddrs != "" {
+			fmt.Fprintln(os.Stderr, "elsaserve: -join and -workers are mutually exclusive (a worker does not dispatch to other workers)")
+			os.Exit(2)
+		}
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "elsaserve: -join requires -advertise (the address the frontend dials back)")
+			os.Exit(2)
+		}
+		hb.frontend = strings.TrimSpace(*join)
+		hb.advertise = strings.TrimSpace(*advertise)
+		if hb.interval < time.Second {
+			hb.interval = time.Second
+		}
+	}
+
+	if err := run(*addr, cfg, *drain, hb); err != nil {
 		fmt.Fprintln(os.Stderr, "elsaserve:", err)
 		os.Exit(1)
 	}
+}
+
+// heartbeatConfig carries the -join/-advertise/-heartbeat-interval
+// trio into run; an empty frontend means no self-registration.
+type heartbeatConfig struct {
+	frontend  string
+	advertise string
+	interval  time.Duration
+	weight    int
 }
 
 // parseClassWeights parses "16,4,1" into the interactive,batch,background
@@ -126,7 +172,7 @@ func parseClassWeights(s string) ([3]int, error) {
 	return w, nil
 }
 
-func run(addr string, cfg serve.Config, drain time.Duration) error {
+func run(addr string, cfg serve.Config, drain time.Duration, hb heartbeatConfig) error {
 	srv := serve.New(cfg)
 	hs := &http.Server{Addr: addr, Handler: srv}
 
@@ -137,6 +183,9 @@ func run(addr string, cfg serve.Config, drain time.Duration) error {
 	if len(cfg.WorkerAddrs) > 0 {
 		role = fmt.Sprintf("frontend (%d workers)", len(cfg.WorkerAddrs))
 	}
+	if hb.frontend != "" {
+		role = fmt.Sprintf("worker (joining %s as %s)", hb.frontend, hb.advertise)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "elsaserve: listening on %s as %s (window %s, max-batch %d, queue %d, replicas %d)\n",
@@ -144,13 +193,25 @@ func run(addr string, cfg serve.Config, drain time.Duration) error {
 		errc <- hs.ListenAndServe()
 	}()
 
+	var beater *serve.Heartbeater
+	if hb.frontend != "" {
+		beater = serve.NewHeartbeater(hb.frontend, hb.advertise, hb.interval, hb.weight, srv)
+		beater.Start()
+	}
+
 	select {
 	case err := <-errc:
+		if beater != nil {
+			beater.Stop()
+		}
 		return err
 	case <-ctx.Done():
 	}
 
 	fmt.Fprintln(os.Stderr, "elsaserve: shutting down, draining in-flight batches")
+	if beater != nil {
+		beater.Stop()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := hs.Shutdown(shutdownCtx)

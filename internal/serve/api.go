@@ -196,17 +196,99 @@ type SessionQueryResponse struct {
 
 // HealthResponse is the GET /v1/healthz reply. The fleet fields are
 // omitted on servers without remote workers, keeping standalone replies
-// byte-identical to earlier versions.
+// byte-identical to earlier versions. A draining server reports Status
+// "draining" — still HTTP 200, so frontends keep probing it healthy
+// while pinned sessions finish.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Engines  int    `json:"engines"`
 	Sessions int    `json:"sessions"`
 	// Role is "frontend" when this server dispatches to remote workers.
 	Role string `json:"role,omitempty"`
-	// Workers and HealthyWorkers count the configured remote fleet and
-	// how many of them are currently admitted for routing.
+	// Workers and HealthyWorkers count the remote fleet lanes and how
+	// many of them are currently passing probes.
 	Workers        int `json:"workers,omitempty"`
 	HealthyWorkers int `json:"healthy_workers,omitempty"`
+	// Members counts membership entries that have not gone (joining +
+	// active + draining); Draining counts those mid-drain.
+	Members  int `json:"members,omitempty"`
+	Draining int `json:"draining,omitempty"`
+}
+
+// JoinRequest is the POST /v1/cluster/join body: a worker registering
+// with (or heartbeating to) this frontend.
+type JoinRequest struct {
+	// Addr is the worker's advertised base URL or host:port — what the
+	// frontend dials back.
+	Addr string `json:"addr"`
+	// Weight scales the member's share of session keyspace (default 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxSessions reports the worker's session capacity (informational).
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// HeartbeatMS is the interval the worker promises to heartbeat at;
+	// missing ~3 intervals expires the member. 0 (a bare one-shot join)
+	// never expires — the probe loop alone governs routing.
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// Draining announces the worker is draining (propagated from its own
+	// /v1/drain state), which is authoritative over probe results.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// JoinResponse is the POST /v1/cluster/join reply.
+type JoinResponse struct {
+	// State is the member's resulting membership state.
+	State string `json:"state"`
+	// Members counts membership entries that have not gone.
+	Members int `json:"members"`
+	// Version is the membership table version after this join.
+	Version uint64 `json:"version"`
+}
+
+// ClusterMemberJSON is one member in the GET /v1/cluster listing.
+type ClusterMemberJSON struct {
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Static      bool   `json:"static,omitempty"`
+	Weight      int    `json:"weight,omitempty"`
+	MaxSessions int    `json:"max_sessions,omitempty"`
+	// HeartbeatAgeMS is how long ago the member last joined or
+	// heartbeated; -1 when it never has (static seeds before any probe).
+	HeartbeatAgeMS int64 `json:"heartbeat_age_ms"`
+	// PinnedSessions counts live sessions this frontend holds pinned to
+	// the member — the number an operator watches drain to zero.
+	PinnedSessions int `json:"pinned_sessions"`
+}
+
+// ClusterResponse is the GET /v1/cluster reply.
+type ClusterResponse struct {
+	Version uint64              `json:"version"`
+	Members []ClusterMemberJSON `json:"members"`
+}
+
+// ClusterDrainRequest is the POST /v1/cluster/drain body: which member
+// to drain.
+type ClusterDrainRequest struct {
+	Addr string `json:"addr"`
+}
+
+// ClusterDrainResponse reports the drain's initial progress.
+type ClusterDrainResponse struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Forwarded reports whether the worker's own /v1/drain accepted the
+	// signal (false when the worker is unreachable; the frontend-side
+	// drain still holds).
+	Forwarded bool `json:"forwarded"`
+	// PinnedSessions is how many sessions remained pinned to the member
+	// when the drain started.
+	PinnedSessions int `json:"pinned_sessions"`
+}
+
+// DrainResponse is the POST /v1/drain reply: this server's own drain
+// state and how many sessions it still holds.
+type DrainResponse struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
 }
 
 // errorResponse is the JSON body for every non-2xx reply.

@@ -1,0 +1,126 @@
+// Package cluster is the serving fleet's control plane: a versioned
+// membership table tracking each worker through joining → active →
+// draining → gone, and a consistent-hash ring with virtual nodes that
+// maps session keys onto the active members. The two are deliberately
+// separate from the data path — the dispatcher and session registry
+// consume snapshots of this view, so membership churn never holds a
+// lock the hot path waits on.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is how many ring points one unit of member weight
+// contributes. High enough that removing one member spreads its keyspace
+// across all survivors instead of dumping it on one neighbour; low enough
+// that rebuilding the ring on a membership change stays cheap.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring. Build one per membership
+// version and swap the pointer; lookups are lock-free.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the given members, each contributing
+// vnodes×weight points (weight < 1 is treated as 1). vnodes <= 0 selects
+// DefaultVirtualNodes. A nil or empty member map yields an empty ring.
+func NewRing(weights map[string]int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{}
+	for member, weight := range weights {
+		if weight < 1 {
+			weight = 1
+		}
+		for i := 0; i < vnodes*weight; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashString(member + "#" + strconv.Itoa(i)),
+				member: member,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) order by member so the ring is
+		// deterministic regardless of map iteration order.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Len reports the number of distinct points on the ring.
+func (r *Ring) Len() int { return len(r.points) }
+
+// Lookup returns the member owning key: the first point at or clockwise
+// of the key's hash. Empty string on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hashString(key))].member
+}
+
+// Successors returns up to max distinct members in ring order starting at
+// the key's owner. A caller that cannot place on the owner (draining,
+// ejected) walks the tail — the same order every frontend computes, so
+// placement stays deterministic.
+func (r *Ring) Successors(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	start := r.search(hashString(key))
+	out := make([]string, 0, max)
+	seen := make(map[string]struct{}, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if _, ok := seen[m]; ok {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}
+
+// search finds the index of the first point with hash >= h, wrapping to 0.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashString is FNV-1a 64 over s with a 64-bit avalanche finalizer.
+// Raw FNV-1a clusters badly in the high bits for short, similar strings
+// (exactly what member#vnode labels are), which skews ring ownership; the
+// finalizer (MurmurHash3's fmix64) spreads every input bit across the
+// whole word. Inlined rather than hash/fnv so lookups allocate nothing.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

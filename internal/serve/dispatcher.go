@@ -167,7 +167,7 @@ func (d *dispatcher) estimateWaitLocked(set *replicaSet) time.Duration {
 	}
 	svc := time.Duration(d.svcEWMA * float64(time.Second))
 	minDepth := int64(math.MaxInt64)
-	for _, sh := range set.shards {
+	for _, sh := range set.shards() {
 		if !sh.backend.available() {
 			continue
 		}

@@ -114,6 +114,14 @@ type Metrics struct {
 	workerReadmissions map[string]int64 // worker addr → re-admissions after recovery
 	remoteOps          map[string]int64 // worker addr → attend ops sent over the wire
 	reroutes           int64            // ops re-executed on a sibling shard after a worker failure
+
+	clusterJoins      int64            // join requests that created or revived a member
+	clusterHeartbeats int64            // join requests that merely refreshed one
+	membersActivated  int64            // joining → active transitions
+	membersDraining   int64            // members marked draining
+	membersExpired    int64            // members expired to gone by missed heartbeats
+	memberStates      map[string]int64 // membership state → member count (gauge, set at scrape)
+	membershipVersion int64            // the table's current version (gauge)
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -134,6 +142,7 @@ func NewMetrics() *Metrics {
 		workerEjections:    make(map[string]int64),
 		workerReadmissions: make(map[string]int64),
 		remoteOps:          make(map[string]int64),
+		memberStates:       make(map[string]int64),
 	}
 	for c := range m.classLatency {
 		m.classLatency[c] = newHistogram(latencyBuckets)
@@ -447,6 +456,77 @@ func (m *Metrics) Reroutes() int64 {
 	return m.reroutes
 }
 
+// ObserveClusterJoin records one POST /v1/cluster/join: changed means a
+// member was created or revived, the rest are heartbeats.
+func (m *Metrics) ObserveClusterJoin(changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if changed {
+		m.clusterJoins++
+	} else {
+		m.clusterHeartbeats++
+	}
+}
+
+// ClusterJoins reports how many joins created or revived a member.
+func (m *Metrics) ClusterJoins() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clusterJoins
+}
+
+// ClusterHeartbeats reports how many joins were heartbeat refreshes.
+func (m *Metrics) ClusterHeartbeats() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clusterHeartbeats
+}
+
+// ObserveMemberActivated tallies one joining → active promotion.
+func (m *Metrics) ObserveMemberActivated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.membersActivated++
+}
+
+// MembersActivated reports how many members were promoted to active.
+func (m *Metrics) MembersActivated() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.membersActivated
+}
+
+// ObserveMemberDraining tallies one member marked draining.
+func (m *Metrics) ObserveMemberDraining() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.membersDraining++
+}
+
+// ObserveMemberExpired tallies one member expired to gone by missed
+// heartbeats.
+func (m *Metrics) ObserveMemberExpired() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.membersExpired++
+}
+
+// MembersExpired reports how many members expired to gone.
+func (m *Metrics) MembersExpired() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.membersExpired
+}
+
+// SetClusterMembers updates the per-state membership gauge and the table
+// version gauge (called at scrape time).
+func (m *Metrics) SetClusterMembers(states map[string]int64, version uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.memberStates = states
+	m.membershipVersion = int64(version)
+}
+
 // SetQueueDepth updates the scheduler-occupancy gauge.
 func (m *Metrics) SetQueueDepth(n int) {
 	m.mu.Lock()
@@ -606,6 +686,31 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "# HELP elsa_serve_reroutes_total Ops re-executed on a sibling shard after a worker failure.\n")
 		fmt.Fprintf(cw, "# TYPE elsa_serve_reroutes_total counter\n")
 		fmt.Fprintf(cw, "elsa_serve_reroutes_total %d\n", m.reroutes)
+	}
+	if len(m.memberStates) > 0 {
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_members Fleet members by membership state.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_members gauge\n")
+		for _, state := range sortedKeys(m.memberStates) {
+			fmt.Fprintf(cw, "elsa_serve_cluster_members{state=%q} %d\n", state, m.memberStates[state])
+		}
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_version The membership table's current version.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_version gauge\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_version %d\n", m.membershipVersion)
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_joins_total Join requests that created or revived a member.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_joins_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_joins_total %d\n", m.clusterJoins)
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_heartbeats_total Join requests that refreshed an existing member.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_heartbeats_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_heartbeats_total %d\n", m.clusterHeartbeats)
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_activated_total Members promoted joining → active.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_activated_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_activated_total %d\n", m.membersActivated)
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_draining_total Members marked draining.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_draining_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_draining_total %d\n", m.membersDraining)
+		fmt.Fprintf(cw, "# HELP elsa_serve_cluster_expired_total Members expired to gone by missed heartbeats.\n")
+		fmt.Fprintf(cw, "# TYPE elsa_serve_cluster_expired_total counter\n")
+		fmt.Fprintf(cw, "elsa_serve_cluster_expired_total %d\n", m.membersExpired)
 	}
 	return cw.n, cw.err
 }

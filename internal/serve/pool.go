@@ -52,13 +52,38 @@ type replicaSet struct {
 	err   error
 
 	engines []*elsa.Engine
-	shards  []*shard  // local lanes first, then one per worker
-	local   int       // shards[:local] are in-process replicas
-	workers []*worker // remote fleet, shared across sets
+	local   int // the first local shards are in-process replicas
+
+	// shardsv holds the immutable []*shard snapshot — local lanes first,
+	// then one per worker. Cluster joins append a lane by storing a new
+	// snapshot under the pool lock; the dispatcher's readers (pickShard,
+	// available, estimateWait) load it lock-free, so membership churn
+	// never blocks the hot path.
+	shardsv atomic.Value
 
 	// rr is the round-robin cursor used to break shard-depth ties and to
 	// spread session streams across replicas and workers.
 	rr atomic.Uint64
+}
+
+// shards returns the current shard snapshot (nil while building or after
+// a failed build).
+func (s *replicaSet) shards() []*shard {
+	v, _ := s.shardsv.Load().([]*shard)
+	return v
+}
+
+// remoteWorkers lists the workers this set currently has lanes for, in
+// lane order.
+func (s *replicaSet) remoteWorkers() []*worker {
+	shards := s.shards()
+	ws := make([]*worker, 0, len(shards)-s.local)
+	for _, sh := range shards {
+		if rb, ok := sh.backend.(*remoteBackend); ok {
+			ws = append(ws, rb.w)
+		}
+	}
+	return ws
 }
 
 // pickShard chooses the shard the next micro-batch runs on: the
@@ -72,14 +97,15 @@ func (s *replicaSet) pickShard() *shard {
 // pickShardExcluding is pickShard skipping one shard — the lane a batch
 // just failed on, so a reroute lands somewhere else.
 func (s *replicaSet) pickShardExcluding(skip *shard) *shard {
-	if len(s.shards) == 0 {
+	shards := s.shards()
+	if len(shards) == 0 {
 		return nil
 	}
-	start := int(s.rr.Add(1)) % len(s.shards)
+	start := int(s.rr.Add(1)) % len(shards)
 	var best *shard
 	var bestDepth int64
-	for i := 0; i < len(s.shards); i++ {
-		sh := s.shards[(start+i)%len(s.shards)]
+	for i := 0; i < len(shards); i++ {
+		sh := shards[(start+i)%len(shards)]
 		if sh == skip || !sh.backend.available() {
 			continue
 		}
@@ -92,7 +118,7 @@ func (s *replicaSet) pickShardExcluding(skip *shard) *shard {
 
 // available reports whether any shard can currently take a batch.
 func (s *replicaSet) available() bool {
-	for _, sh := range s.shards {
+	for _, sh := range s.shards() {
 		if sh.backend.available() {
 			return true
 		}
@@ -101,11 +127,13 @@ func (s *replicaSet) available() bool {
 }
 
 // sessionTarget picks where a new decode session lives: a local engine
-// replica or a healthy remote worker, rotating so long-lived sessions
-// also spread across the fleet. Exactly one return is non-nil; both nil
-// means nothing is available.
+// replica or a routable remote worker, rotating so long-lived sessions
+// also spread across the fleet. It is the placement fallback when the
+// consistent-hash ring has no members to offer. Exactly one return is
+// non-nil; both nil means nothing is available.
 func (s *replicaSet) sessionTarget() (*elsa.Engine, *worker) {
-	n := s.local + len(s.workers)
+	workers := s.remoteWorkers()
+	n := s.local + len(workers)
 	if n == 0 {
 		return nil, nil
 	}
@@ -115,7 +143,7 @@ func (s *replicaSet) sessionTarget() (*elsa.Engine, *worker) {
 		if k < s.local {
 			return s.engines[k], nil
 		}
-		if w := s.workers[k-s.local]; w.isHealthy() {
+		if w := workers[k-s.local]; w.routable() {
 			return nil, w
 		}
 	}
@@ -137,6 +165,7 @@ type enginePool struct {
 	metrics    *Metrics
 
 	mu      sync.Mutex
+	closed  bool                           // no more shards may start
 	entries map[elsa.Options]*list.Element // value: *replicaSet
 	lru     *list.List                     // front = most recently used
 	retired []*replicaSet                  // evicted sets, drained at close
@@ -180,18 +209,26 @@ func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 
 	set.engines, set.err = p.buildReplicas(opts)
 	if set.err == nil {
+		// The fleet snapshot, the shard snapshot, and the ready close all
+		// happen under the pool lock: attachWorker serializes against this
+		// block, so a worker joining concurrently with a build is either in
+		// the snapshot or attached afterwards — never lost, never doubled.
+		p.mu.Lock()
 		set.local = p.replicas
-		set.workers = p.fleet.workers
-		set.shards = make([]*shard, 0, set.local+len(set.workers))
+		workers := p.fleet.snapshot()
+		shards := make([]*shard, 0, set.local+len(workers))
 		for i := 0; i < set.local; i++ {
-			set.shards = append(set.shards, newShard(i, set, &localBackend{eng: set.engines[i], workers: p.disp.workers}, p.disp.maxQueue))
+			shards = append(shards, newShard(i, set, &localBackend{eng: set.engines[i], workers: p.disp.workers}, p.disp.maxQueue))
 		}
-		for k, w := range set.workers {
-			set.shards = append(set.shards, newShard(set.local+k, set, &remoteBackend{w: w, opts: opts}, p.disp.maxQueue))
+		for k, w := range workers {
+			shards = append(shards, newShard(set.local+k, set, &remoteBackend{w: w, opts: opts}, p.disp.maxQueue))
 		}
-		for _, sh := range set.shards {
+		set.shardsv.Store(shards)
+		for _, sh := range shards {
 			p.disp.startShard(sh)
 		}
+		close(set.ready)
+		p.mu.Unlock()
 	} else {
 		// Drop the failed entry so the next request retries construction
 		// instead of hitting a cached error occupying a pool slot.
@@ -201,12 +238,52 @@ func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 			delete(p.entries, opts)
 		}
 		p.mu.Unlock()
+		close(set.ready)
 	}
-	close(set.ready)
 	if set.err != nil {
 		return nil, set.err
 	}
 	return set, nil
+}
+
+// attachWorker gives every live replica set a dispatch lane to a newly
+// joined worker, so it starts receiving micro-batches without a frontend
+// restart. Sets still building are skipped: their build snapshots the
+// fleet under the same lock and will include the worker. Retired sets
+// are skipped too — they only drain.
+func (p *enginePool) attachWorker(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	for _, el := range p.entries {
+		set := el.Value.(*replicaSet)
+		select {
+		case <-set.ready:
+		default:
+			continue
+		}
+		if set.err != nil {
+			continue
+		}
+		shards := set.shards()
+		already := false
+		for _, sh := range shards {
+			if rb, ok := sh.backend.(*remoteBackend); ok && rb.w == w {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		sh := newShard(len(shards), set, &remoteBackend{w: w, opts: set.opts}, p.disp.maxQueue)
+		next := make([]*shard, len(shards), len(shards)+1)
+		copy(next, shards)
+		set.shardsv.Store(append(next, sh))
+		p.disp.startShard(sh)
+	}
 }
 
 // buildReplicas constructs the local engines: replica 0 pays the
@@ -253,10 +330,12 @@ func (p *enginePool) size() int {
 }
 
 // closeShards closes every shard queue — live and retired — so the shard
-// loops exit. Call only after the dispatcher has drained (no batch will
-// be enqueued again).
+// loops exit, and bars attachWorker from starting new lanes afterwards.
+// Call only after the dispatcher has drained (no batch will be enqueued
+// again).
 func (p *enginePool) closeShards() {
 	p.mu.Lock()
+	p.closed = true
 	sets := make([]*replicaSet, 0, len(p.entries)+len(p.retired))
 	for _, el := range p.entries {
 		sets = append(sets, el.Value.(*replicaSet))
@@ -265,7 +344,7 @@ func (p *enginePool) closeShards() {
 	p.mu.Unlock()
 	for _, set := range sets {
 		<-set.ready
-		for _, sh := range set.shards {
+		for _, sh := range set.shards() {
 			close(sh.queue)
 		}
 	}

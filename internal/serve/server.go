@@ -7,10 +7,15 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"elsa"
+	"elsa/internal/serve/cluster"
 )
 
 // Config tunes the serving subsystem. Zero values select production-safe
@@ -39,8 +44,10 @@ type Config struct {
 	// across this many dispatch shards, the software analogue of the
 	// paper's replicated accelerator modules (default 2; default 0 when
 	// WorkerAddrs is set, making the server a pure dispatch frontend).
-	// One engine is always built per configuration for calibration and
-	// locally-hosted sessions, even at zero replicas.
+	// Negative means explicitly zero — a dispatch-only frontend even
+	// before any worker has joined. One engine is always built per
+	// configuration for calibration and locally-hosted sessions, even at
+	// zero replicas.
 	Replicas int
 	// MaxEngines bounds resident replica sets; beyond it the
 	// least-recently-used configuration is evicted (default 8).
@@ -89,6 +96,11 @@ type Config struct {
 	// DispatchRetries is how many times one op is re-executed on a
 	// sibling shard after a retryable worker failure (default 2).
 	DispatchRetries int
+
+	// DrainTimeout bounds how long a draining server waits for its pinned
+	// sessions to finish before force-expiring the rest (default 60s;
+	// negative waits indefinitely).
+	DrainTimeout time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -107,7 +119,12 @@ func (c *Config) setDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
-	if c.Replicas <= 0 {
+	if c.Replicas < 0 {
+		// Explicitly zero: a dispatch-only frontend, even with no static
+		// workers configured (the elastic case — the fleet arrives by
+		// joining later).
+		c.Replicas = 0
+	} else if c.Replicas == 0 {
 		if len(c.WorkerAddrs) > 0 {
 			// A fleet frontend defaults to dispatch-only: remote workers
 			// carry the compute, local engines exist for calibration and
@@ -141,6 +158,9 @@ func (c *Config) setDefaults() {
 	if c.DispatchRetries <= 0 {
 		c.DispatchRetries = 2
 	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = time.Minute
+	}
 }
 
 // Server is the attention-serving subsystem: an http.Handler exposing
@@ -152,11 +172,18 @@ type Server struct {
 	pool       *enginePool
 	disp       *dispatcher
 	fleet      *workerSet
+	cluster    *clusterView
 	thresholds *thresholdRegistry
 	sessions   *sessionRegistry
 	quotas     *quotas
 	metrics    *Metrics
 	mux        *http.ServeMux
+
+	// draining flips once on the first POST /v1/drain: existing sessions
+	// keep flowing, new ones are refused, healthz reports "draining".
+	draining atomic.Bool
+	stopc    chan struct{} // closed by Close; ends the drain watcher
+	bg       sync.WaitGroup
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -167,26 +194,52 @@ func New(cfg Config) *Server {
 		cfg.DispatchRetries, cfg.WorkerProbeInterval, classWeights(cfg.ClassWeights), m)
 	fleet := newWorkerSet(cfg.WorkerAddrs, cfg.WorkerProbeInterval, cfg.WorkerInFlight, cfg.WorkerFailLimit, m)
 	thr := newThresholdRegistry(cfg.StateDir, m)
+	pool := newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, fleet, m)
+	table := cluster.NewTable()
+	table.Seed(seedAddrs(cfg.WorkerAddrs))
+	cv := newClusterView(table, fleet, pool, cfg.Replicas, cfg.WorkerProbeInterval, m)
+	fleet.onProbe = cv.onProbe
+	sessions := newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m)
+	sessions.place = cv.place
 	s := &Server{
 		cfg:        cfg,
-		pool:       newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, fleet, m),
+		pool:       pool,
 		disp:       disp,
 		fleet:      fleet,
+		cluster:    cv,
 		thresholds: thr,
-		sessions:   newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m),
+		sessions:   sessions,
 		quotas:     newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
 		metrics:    m,
 		mux:        http.NewServeMux(),
+		stopc:      make(chan struct{}),
 	}
 	fleet.start()
+	cv.start()
 	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleSessionQuery)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterList)
+	s.mux.HandleFunc("POST /v1/cluster/drain", s.handleClusterDrain)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
+}
+
+// seedAddrs normalizes the static -workers list the same way the fleet
+// does, so the membership table and worker map key identically.
+func seedAddrs(addrs []string) []string {
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, normalizeWorkerAddr(a))
+		}
+	}
+	return out
 }
 
 // ServeHTTP implements http.Handler.
@@ -198,18 +251,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // command's logging).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains the serving stack in dependency order: the health-probe
-// loops stop (no worker flips state mid-drain), the dispatcher stops
-// admission and flushes every pending micro-batch, the pool closes all
-// shard queues (live and retired) once nothing can be enqueued again,
-// and the shard loops are joined. Call after http.Server.Shutdown so no
-// handler is left waiting.
+// Close drains the serving stack in dependency order: the sweep loop and
+// drain watcher stop, the health-probe loops stop (no worker flips state
+// mid-drain), the dispatcher stops admission and flushes every pending
+// micro-batch, the pool closes all shard queues (live and retired) once
+// nothing can be enqueued again, and the shard loops are joined. Call
+// after http.Server.Shutdown so no handler is left waiting.
 func (s *Server) Close() {
+	close(s.stopc)
+	s.bg.Wait()
+	s.cluster.close()
 	s.fleet.close()
 	s.disp.close()
 	s.pool.closeShards()
 	s.disp.waitShards()
 }
+
+// Draining reports whether this server has been asked to drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := HealthResponse{
@@ -217,10 +276,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Engines:  s.pool.size(),
 		Sessions: s.sessions.active(),
 	}
-	if n := len(s.fleet.workers); n > 0 {
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	if n := s.fleet.size(); n > 0 {
 		h.Role = "frontend"
 		h.Workers = n
 		h.HealthyWorkers = s.fleet.healthyCount()
+		counts := s.cluster.table.Counts()
+		h.Members = counts[cluster.StateJoining] + counts[cluster.StateActive] + counts[cluster.StateDraining]
+		h.Draining = counts[cluster.StateDraining]
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -228,6 +293,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.SetEngines(s.pool.size())
 	s.metrics.SetQuotaClients(s.quotas.clients())
+	if s.fleet.size() > 0 {
+		version, members := s.cluster.table.Snapshot()
+		states := make(map[string]int64, 4)
+		for _, m := range members {
+			states[m.State.String()]++
+		}
+		s.metrics.SetClusterMembers(states, version)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w) //nolint:errcheck // best effort: client gone mid-scrape
 }
@@ -324,6 +397,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionCreateRequest
 	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
 	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		setRetryAfter(w, s.cfg.WorkerProbeInterval)
+		fail(w, http.StatusServiceUnavailable, errDraining.Error())
 		return
 	}
 	if req.HeadDim <= 0 {
@@ -442,6 +520,139 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		fail(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleClusterJoin admits or refreshes a fleet member: workers POST
+// here to register (and then keep heartbeating through the same
+// endpoint). The worker starts receiving one-shot traffic after its
+// first successful probe and session placements once active on the ring
+// — no frontend restart involved.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		fail(w, http.StatusBadRequest, "addr is required")
+		return
+	}
+	if req.Weight < 0 || req.HeartbeatMS < 0 {
+		fail(w, http.StatusBadRequest, "weight and heartbeat_ms must be >= 0")
+		return
+	}
+	addr := normalizeWorkerAddr(strings.TrimSpace(req.Addr))
+	interval := time.Duration(req.HeartbeatMS) * time.Millisecond
+	capacity := cluster.Capacity{Weight: req.Weight, MaxSessions: req.MaxSessions}
+	state, changed := s.cluster.join(addr, capacity, interval, req.Draining)
+	s.metrics.ObserveClusterJoin(changed)
+	counts := s.cluster.table.Counts()
+	writeJSON(w, http.StatusOK, JoinResponse{
+		State:   state.String(),
+		Members: counts[cluster.StateJoining] + counts[cluster.StateActive] + counts[cluster.StateDraining],
+		Version: s.cluster.table.Version(),
+	})
+}
+
+// handleClusterList reports every member with its state and how many
+// sessions this frontend still holds pinned to it — the number an
+// operator watches reach zero during a drain.
+func (s *Server) handleClusterList(w http.ResponseWriter, _ *http.Request) {
+	version, members := s.cluster.table.Snapshot()
+	pinned := s.sessions.pinnedCounts()
+	now := time.Now()
+	resp := ClusterResponse{Version: version, Members: make([]ClusterMemberJSON, 0, len(members))}
+	for _, m := range members {
+		age := int64(-1)
+		if !m.LastHeartbeat.IsZero() {
+			age = now.Sub(m.LastHeartbeat).Milliseconds()
+		}
+		resp.Members = append(resp.Members, ClusterMemberJSON{
+			Addr:           m.Addr,
+			State:          m.State.String(),
+			Static:         m.Static,
+			Weight:         m.Weight,
+			MaxSessions:    m.MaxSessions,
+			HeartbeatAgeMS: age,
+			PinnedSessions: pinned[m.Addr],
+		})
+	}
+	sort.Slice(resp.Members, func(i, j int) bool { return resp.Members[i].Addr < resp.Members[j].Addr })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterDrain starts a rolling-upgrade drain of one member: it
+// leaves the ring immediately (no new sessions, no new one-shot
+// routing), the drain signal is forwarded to the worker's own /v1/drain,
+// and pinned sessions keep flowing until they finish or expire.
+func (s *Server) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
+	var req ClusterDrainRequest
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		fail(w, http.StatusBadRequest, "addr is required")
+		return
+	}
+	addr := normalizeWorkerAddr(strings.TrimSpace(req.Addr))
+	if _, ok := s.cluster.table.Get(addr); !ok {
+		fail(w, http.StatusNotFound, "unknown member: "+addr)
+		return
+	}
+	s.cluster.markDraining(addr)
+	forwarded := false
+	if wk := s.fleet.get(addr); wk != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		if _, err := wk.cli.Drain(ctx); err == nil {
+			forwarded = true
+		}
+	}
+	writeJSON(w, http.StatusOK, ClusterDrainResponse{
+		Addr:           addr,
+		State:          cluster.StateDraining.String(),
+		Forwarded:      forwarded,
+		PinnedSessions: s.sessions.pinnedCounts()[addr],
+	})
+}
+
+// handleDrain puts this server into drain mode: new sessions are
+// refused with 503 + Retry-After, existing sessions (and the one-shot
+// path serving them) continue, healthz flips to "draining", and after
+// DrainTimeout any sessions still alive are force-expired. Idempotent —
+// re-POSTing reports progress.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	if !s.draining.Swap(true) {
+		s.bg.Add(1)
+		go s.drainWatch()
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Sessions: s.sessions.active()})
+}
+
+// drainWatch waits for the drain to complete: all sessions gone, the
+// timeout force-expiring the stragglers, or server shutdown.
+func (s *Server) drainWatch() {
+	defer s.bg.Done()
+	var deadline <-chan time.Time
+	if s.cfg.DrainTimeout > 0 {
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-deadline:
+			s.sessions.evictAll("drain")
+			return
+		case <-tick.C:
+			if s.sessions.active() == 0 {
+				return
+			}
+		}
 	}
 }
 

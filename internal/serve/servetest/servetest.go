@@ -7,7 +7,9 @@
 package servetest
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"elsa/internal/serve"
+	"elsa/serve/client"
 )
 
 // Worker is one fake fleet member: a fully functional serve.Server whose
@@ -35,6 +38,8 @@ type Worker struct {
 	errBurst int // answer 500 for this many more requests
 	hang     bool
 	rng      *rand.Rand
+
+	beater *serve.Heartbeater
 }
 
 // NewWorker starts a worker running cfg behind the fault layer.
@@ -101,8 +106,42 @@ func (w *Worker) SetHang(hang bool) {
 	w.hang = hang
 }
 
+// Join self-registers this worker with the frontend at frontendURL and
+// starts heartbeating at interval — the elastic path a real worker takes
+// with `elsaserve -join`. The worker advertises its own listener URL.
+func (w *Worker) Join(frontendURL string, interval time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.beater != nil {
+		return
+	}
+	w.beater = serve.NewHeartbeater(frontendURL, w.ts.URL, interval, 1, w.srv)
+	w.beater.Start()
+}
+
+// Leave stops heartbeating (without draining): the frontend's sweep
+// expires the member after ~3 missed intervals, as from a crashed host.
+func (w *Worker) Leave() {
+	w.mu.Lock()
+	b := w.beater
+	w.beater = nil
+	w.mu.Unlock()
+	if b != nil {
+		b.Stop()
+	}
+}
+
+// Drain puts the wrapped server into drain mode via its own /v1/drain
+// endpoint, the same call a frontend forwards during a member drain.
+func (w *Worker) Drain(ctx context.Context) error {
+	cli := client.New(w.ts.URL)
+	_, err := cli.Drain(ctx)
+	return err
+}
+
 // Close shuts the listener and drains the wrapped server.
 func (w *Worker) Close() {
+	w.Leave()
 	w.ts.Close()
 	w.srv.Close()
 }
@@ -169,6 +208,62 @@ func NewCluster(n int, front, workerCfg serve.Config) *Cluster {
 	c.Frontend = serve.New(front)
 	c.ts = httptest.NewServer(c.Frontend)
 	return c
+}
+
+// NewDynamicCluster starts a frontend with NO static workers: members
+// arrive only by self-registration (AddWorker), the elastic control
+// plane under test.
+func NewDynamicCluster(front serve.Config) *Cluster {
+	c := &Cluster{Frontend: serve.New(front)}
+	c.ts = httptest.NewServer(c.Frontend)
+	return c
+}
+
+// AddWorker starts a new worker running cfg and joins it to the
+// frontend with the given heartbeat interval, returning once the
+// frontend has activated it (so it owns ring keyspace). The worker is
+// appended to c.Workers and torn down by Close.
+func (c *Cluster) AddWorker(cfg serve.Config, interval time.Duration, timeout time.Duration) (*Worker, error) {
+	w := NewWorker(cfg)
+	c.Workers = append(c.Workers, w)
+	w.Join(c.URL(), interval)
+	if err := c.WaitState(w.URL(), "active", timeout); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// DrainMember asks the frontend to drain the member at addr (the
+// operator's rolling-upgrade call).
+func (c *Cluster) DrainMember(ctx context.Context, addr string) (*client.MemberDrainStatus, error) {
+	return client.New(c.URL()).DrainMember(ctx, addr)
+}
+
+// WaitState polls the frontend's membership table until the member at
+// addr reaches the given state, or fails after timeout.
+func (c *Cluster) WaitState(addr, state string, timeout time.Duration) error {
+	cli := client.New(c.URL())
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		view, err := cli.Cluster(context.Background())
+		if err == nil {
+			for _, m := range view.Members {
+				if m.Addr == addr {
+					last = m.State
+					if m.State == state {
+						return nil
+					}
+				}
+			}
+			if last == "" && state == "gone" {
+				// Gone members may be swept out of the table entirely.
+				return nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("servetest: member %s never reached state %q (last %q)", addr, state, last)
 }
 
 // URL returns the frontend's base URL.

@@ -28,6 +28,10 @@ var (
 	// attend ops nothing can reroute; the client sees 503 with Retry-After
 	// and must recreate the session when the fleet recovers.
 	errWorkerLost = errors.New("serve: session worker unavailable")
+	// errDraining means this server is draining: it finishes existing
+	// sessions but refuses to place new ones (HTTP 503 + Retry-After, so
+	// clients land on another member).
+	errDraining = errors.New("serve: server draining, not accepting new sessions")
 )
 
 // session is one autoregressive decode stream, held on a local engine
@@ -80,6 +84,10 @@ type sessionRegistry struct {
 	now         func() time.Time // injectable for TTL tests
 	thresholds  *thresholdRegistry
 	metrics     *Metrics
+	// place, when set (before serving), maps a new session's ID onto a
+	// local engine or remote worker — the cluster view's consistent-hash
+	// placement. Nil falls back to the replica set's rotation.
+	place func(set *replicaSet, key string) (*elsa.Engine, *worker)
 
 	mu   sync.Mutex
 	byID map[string]*session
@@ -100,21 +108,31 @@ func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thre
 }
 
 // create registers a new session bound to one replica of set or pinned
-// to a healthy remote worker (rotating across both). The threshold is
-// resolved eagerly when possible (explicit t, p = 0, or a
-// registry/state-dir hit); otherwise the first query calibrates it over
-// the prefix. At capacity the least-recently-used session is evicted
-// rather than refusing the new one — new decode work beats stale state.
+// to a routable remote worker. Placement hashes the fresh session ID
+// onto the cluster's consistent-hash ring (falling back to rotation),
+// so membership churn moves only the minimal slice of future
+// placements. The threshold is resolved eagerly when possible (explicit
+// t, p = 0, or a registry/state-dir hit); otherwise the first query
+// calibrates it over the prefix. At capacity the least-recently-used
+// session is evicted rather than refusing the new one — new decode work
+// beats stale state.
 func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int, meta requestMeta) (*session, error) {
 	if capacity < 0 || capacity > g.maxTokens {
 		capacity = 0
 	}
-	eng, w := set.sessionTarget()
+	id := newSessionID()
+	var eng *elsa.Engine
+	var w *worker
+	if g.place != nil {
+		eng, w = g.place(set, id)
+	} else {
+		eng, w = set.sessionTarget()
+	}
 	if eng == nil && w == nil {
 		return nil, errWorkerLost
 	}
 	s := &session{
-		id:       newSessionID(),
+		id:       id,
 		opts:     opts,
 		set:      set,
 		clientID: meta.clientID,
@@ -229,6 +247,36 @@ func (g *sessionRegistry) active() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.byID)
+}
+
+// pinnedCounts reports live sessions per remote worker address, plus
+// locally-hosted sessions under "local" — the drain-progress numbers the
+// cluster listing shows.
+func (g *sessionRegistry) pinnedCounts() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	counts := make(map[string]int)
+	for _, s := range g.byID {
+		if s.w != nil {
+			counts[s.w.addr]++
+		} else {
+			counts["local"]++
+		}
+	}
+	return counts
+}
+
+// evictAll removes every session under the given reason — the drain
+// deadline's forced expiry. Returns how many were evicted.
+func (g *sessionRegistry) evictAll(reason string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for back := g.lru.Back(); back != nil; back = g.lru.Back() {
+		g.evictLocked(back, reason)
+		n++
+	}
+	return n
 }
 
 // sweepLocked evicts every idle-expired session, oldest first. Callers

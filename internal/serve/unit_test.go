@@ -50,8 +50,8 @@ func TestEnginePoolReusesAndRetriesFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.engines) != 2 || len(a.shards) != 2 {
-		t.Fatalf("replica set has %d engines / %d shards, want 2/2", len(a.engines), len(a.shards))
+	if len(a.engines) != 2 || len(a.shards()) != 2 {
+		t.Fatalf("replica set has %d engines / %d shards, want 2/2", len(a.engines), len(a.shards()))
 	}
 	b, err := p.get(normalizeOptions(elsa.Options{HeadDim: testDim, Seed: 1}, testDim))
 	if err != nil {

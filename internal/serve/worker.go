@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,7 +15,7 @@ import (
 
 // worker is one remote elsaserve process in the fleet. The frontend
 // dispatcher routes micro-batch ops to it over HTTP through serve/client,
-// probes its /v1/healthz on a fixed interval, and ejects it after
+// probes its /v1/healthz on a jittered interval, and ejects it after
 // failLimit consecutive failures (probe or dispatch). A later successful
 // probe re-admits it. The in-flight semaphore caps concurrent ops on the
 // wire to one worker, the cross-host analogue of a shard's bounded queue.
@@ -28,6 +29,11 @@ type worker struct {
 	mu      sync.Mutex
 	healthy bool
 	fails   int // consecutive probe/dispatch failures
+	// draining and gone mirror the membership table's view: a draining
+	// worker finishes its pinned sessions but takes no new routing; a gone
+	// worker (expired heartbeats) takes nothing until it rejoins.
+	draining bool
+	gone     bool
 }
 
 func newWorker(addr string, inflight, failLimit int, m *Metrics) *worker {
@@ -43,11 +49,43 @@ func newWorker(addr string, inflight, failLimit int, m *Metrics) *worker {
 	return w
 }
 
-// isHealthy reports whether the worker is admitted for dispatch.
+// isHealthy reports whether the worker's health probes are passing,
+// irrespective of membership state.
 func (w *worker) isHealthy() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.healthy
+}
+
+// routable reports whether new work — one-shot micro-batches and session
+// placements — may land on this worker: probes passing and the member
+// neither draining nor gone. Traffic for already-pinned sessions bypasses
+// this check, which is exactly what lets a draining worker finish them.
+func (w *worker) routable() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy && !w.draining && !w.gone
+}
+
+// setDraining flips the worker's draining flag (membership transitions
+// own this; the probe loop never touches it).
+func (w *worker) setDraining(d bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.draining = d
+}
+
+// setGone marks the worker departed or — on a rejoin — back. Rejoining
+// also clears draining and the failure streak: the restarted process is
+// probed fresh, not blamed for its predecessor's faults.
+func (w *worker) setGone(g bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gone = g
+	if !g {
+		w.draining = false
+		w.fails = 0
+	}
 }
 
 // fault records one failed probe or dispatch; failLimit consecutive
@@ -77,25 +115,52 @@ func (w *worker) recover() {
 }
 
 // workerSet is the frontend's remote fleet: the workers plus the probe
-// loops that keep their health state current.
+// loops that keep their health state current. The set is dynamic — the
+// static -workers list merely seeds it, and cluster joins grow it at
+// runtime — so readers take snapshots instead of iterating a shared
+// slice.
 type workerSet struct {
-	workers []*worker
-	probe   time.Duration
+	probe     time.Duration
+	inflight  int
+	failLimit int
+	metrics   *Metrics
+	// onProbe, when set (before start), observes every probe outcome —
+	// the hook membership activation rides on. h is nil when err != nil.
+	onProbe func(w *worker, h *client.Health, err error)
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	mu      sync.Mutex
+	byAddr  map[string]*worker
+	workers []*worker // insertion order, for deterministic iteration
+	started bool
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
 }
 
 // newWorkerSet builds the fleet from base addresses ("host:port" or full
-// URLs). Empty addrs yield an empty set — a purely local server.
+// URLs). Empty addrs yield an empty set — a purely local server until
+// something joins.
 func newWorkerSet(addrs []string, probe time.Duration, inflight, failLimit int, m *Metrics) *workerSet {
-	f := &workerSet{probe: probe, stop: make(chan struct{})}
+	f := &workerSet{
+		probe:     probe,
+		inflight:  inflight,
+		failLimit: failLimit,
+		metrics:   m,
+		byAddr:    make(map[string]*worker),
+		stop:      make(chan struct{}),
+	}
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
 		if a == "" {
 			continue
 		}
-		f.workers = append(f.workers, newWorker(normalizeWorkerAddr(a), inflight, failLimit, m))
+		addr := normalizeWorkerAddr(a)
+		if _, ok := f.byAddr[addr]; ok {
+			continue
+		}
+		w := newWorker(addr, inflight, failLimit, m)
+		f.byAddr[addr] = w
+		f.workers = append(f.workers, w)
 	}
 	return f
 }
@@ -108,19 +173,87 @@ func normalizeWorkerAddr(addr string) string {
 	return "http://" + addr
 }
 
-// start launches one health-probe loop per worker.
+// start launches one health-probe loop per seeded worker.
 func (f *workerSet) start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.started = true
 	for _, w := range f.workers {
 		f.wg.Add(1)
 		go f.probeLoop(w)
 	}
 }
 
-// probeLoop GETs the worker's /v1/healthz every probe interval. Failures
-// feed the same consecutive-failure counter as dispatch errors; a success
+// add admits a worker at addr (already normalized) into the fleet at
+// runtime, starting its probe loop. An existing worker is returned as-is
+// with its gone flag cleared — a rejoin revives the same lane instead of
+// leaking a new one. Returns created=true when a new worker (and dispatch
+// shard) must be wired up. Nil after close.
+func (f *workerSet) add(addr string) (w *worker, created bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, false
+	}
+	if w, ok := f.byAddr[addr]; ok {
+		w.setGone(false)
+		return w, false
+	}
+	w = newWorker(addr, f.inflight, f.failLimit, f.metrics)
+	f.byAddr[addr] = w
+	f.workers = append(f.workers, w)
+	if f.started {
+		f.wg.Add(1)
+		go f.probeLoop(w)
+	}
+	return w, true
+}
+
+// get returns the worker at addr (already normalized), or nil.
+func (f *workerSet) get(addr string) *worker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.byAddr[addr]
+}
+
+// snapshot returns the current workers in insertion order.
+func (f *workerSet) snapshot() []*worker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*worker(nil), f.workers...)
+}
+
+// size reports how many workers the fleet has ever admitted (gone
+// members included — their lanes persist for rejoin).
+func (f *workerSet) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers)
+}
+
+// probeLoop GETs the worker's /v1/healthz, first immediately — a freshly
+// joined worker should activate within one round-trip, not one interval —
+// then on a ±20% jittered interval so a large fleet sharing one
+// configured period doesn't thundering-herd the frontend. Failures feed
+// the same consecutive-failure counter as dispatch errors; a success
 // resets it and re-admits an ejected worker.
 func (f *workerSet) probeLoop(w *worker) {
 	defer f.wg.Done()
+	for {
+		f.probeOnce(w)
+		t := time.NewTimer(jitter(f.probe))
+		select {
+		case <-f.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce runs one health probe against w and feeds the outcome into
+// its health state and the onProbe hook.
+func (f *workerSet) probeOnce(w *worker) {
 	// The probe deadline is decoupled from the interval: a short interval
 	// buys fast detection, but a probe that merely runs long on a loaded
 	// worker must not count as a failure, or load alone ejects healthy
@@ -129,35 +262,38 @@ func (f *workerSet) probeLoop(w *worker) {
 	if timeout < time.Second {
 		timeout = time.Second
 	}
-	t := time.NewTicker(f.probe)
-	defer t.Stop()
-	for {
-		select {
-		case <-f.stop:
-			return
-		case <-t.C:
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			_, err := w.cli.Health(ctx)
-			cancel()
-			if err != nil {
-				w.fault()
-			} else {
-				w.recover()
-			}
-		}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	h, err := w.cli.Health(ctx)
+	cancel()
+	if err != nil {
+		w.fault()
+	} else {
+		w.recover()
 	}
+	if f.onProbe != nil {
+		f.onProbe(w, h, err)
+	}
+}
+
+// jitter spreads d by ±20%. The global rand source is goroutine-safe and
+// this is far off the hot path.
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // close stops the probe loops. Safe to call on an empty set.
 func (f *workerSet) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
 	close(f.stop)
 	f.wg.Wait()
 }
 
-// healthyCount reports how many workers are currently admitted.
+// healthyCount reports how many workers' probes are passing.
 func (f *workerSet) healthyCount() int {
 	n := 0
-	for _, w := range f.workers {
+	for _, w := range f.snapshot() {
 		if w.isHealthy() {
 			n++
 		}
@@ -230,7 +366,7 @@ type remoteBackend struct {
 }
 
 func (b *remoteBackend) name() string    { return "remote:" + b.w.addr }
-func (b *remoteBackend) available() bool { return b.w.isHealthy() }
+func (b *remoteBackend) available() bool { return b.w.routable() }
 
 func (b *remoteBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
 	outs := make([]*elsa.Output, len(jobs))

@@ -65,6 +65,29 @@ else
     echo "fewer than two committed BENCH_*.json files; skipping"
 fi
 
+echo "== serving perf trajectory (committed files) =="
+# Same idea for the serving-layer trajectory: compare the two newest
+# committed BENCH_*_serving.json snapshots on ops/s per {replicas,
+# concurrency} point. Warns by default; PERF_STRICT=1 fails the build.
+mapfile -t serving_files < <(ls -1 BENCH_*_serving.json 2>/dev/null | sort)
+if [ "${#serving_files[@]}" -ge 2 ]; then
+    prev="${serving_files[-2]}"
+    newest="${serving_files[-1]}"
+    echo "comparing committed $newest vs $prev"
+    if go run ./cmd/elsabench -experiment serve \
+        -compare "$newest" -baseline "$prev"; then
+        :
+    else
+        if [ "${PERF_STRICT:-0}" = "1" ]; then
+            echo "committed serving trajectory regressed (PERF_STRICT=1): failing" >&2
+            exit 1
+        fi
+        echo "WARNING: committed $newest dropped >15% ops/s vs $prev (set PERF_STRICT=1 to fail)" >&2
+    fi
+else
+    echo "fewer than two committed BENCH_*_serving.json files; skipping"
+fi
+
 echo "== perf trajectory (fresh run) =="
 # Compare ns/op against the newest committed BENCH_*.json. Measurements on
 # shared CI machines are noisy, so a >15% regression warns by default; set

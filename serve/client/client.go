@@ -101,6 +101,8 @@ type Health struct {
 	Role           string `json:"role,omitempty"`
 	Workers        int    `json:"workers,omitempty"`
 	HealthyWorkers int    `json:"healthy_workers,omitempty"`
+	Members        int    `json:"members,omitempty"`
+	Draining       int    `json:"draining,omitempty"`
 }
 
 // Health fetches /v1/healthz — the same probe elsaserve frontends use to

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// JoinRequest registers (or heartbeats) a worker with a frontend's
+// cluster membership. Addr is the worker's advertised base URL or
+// host:port — what the frontend dials back to probe and dispatch.
+type JoinRequest struct {
+	Addr        string
+	Weight      int
+	MaxSessions int
+	// HeartbeatInterval is the cadence the worker promises to re-join
+	// at; missing ~3 intervals expires the member. Zero means "never
+	// expire me" — the frontend's probe loop alone governs routing.
+	HeartbeatInterval time.Duration
+	// Draining announces the worker is draining, so the frontend stops
+	// placing new sessions on it while pinned ones finish.
+	Draining bool
+}
+
+// JoinReply is the frontend's answer to a Join.
+type JoinReply struct {
+	// State is the member's membership state after this join:
+	// "joining", "active", or "draining".
+	State string `json:"state"`
+	// Members counts membership entries that have not gone.
+	Members int `json:"members"`
+	// Version is the membership table version after this join.
+	Version uint64 `json:"version"`
+}
+
+// ClusterMember is one entry in a frontend's membership listing.
+type ClusterMember struct {
+	Addr           string `json:"addr"`
+	State          string `json:"state"`
+	Static         bool   `json:"static,omitempty"`
+	Weight         int    `json:"weight,omitempty"`
+	MaxSessions    int    `json:"max_sessions,omitempty"`
+	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
+	PinnedSessions int    `json:"pinned_sessions"`
+}
+
+// ClusterView is the GET /v1/cluster reply: the versioned membership
+// table as this frontend sees it.
+type ClusterView struct {
+	Version uint64          `json:"version"`
+	Members []ClusterMember `json:"members"`
+}
+
+// DrainStatus reports a server's own drain state (POST /v1/drain).
+type DrainStatus struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
+}
+
+// MemberDrainStatus reports the start of an operator-initiated drain of
+// one cluster member (POST /v1/cluster/drain).
+type MemberDrainStatus struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Forwarded is whether the worker's own /v1/drain accepted the
+	// signal; false leaves the frontend-side drain in force regardless.
+	Forwarded bool `json:"forwarded"`
+	// PinnedSessions is how many sessions were still pinned to the
+	// member when the drain began.
+	PinnedSessions int `json:"pinned_sessions"`
+}
+
+type joinWire struct {
+	Addr        string `json:"addr"`
+	Weight      int    `json:"weight,omitempty"`
+	MaxSessions int    `json:"max_sessions,omitempty"`
+	HeartbeatMS int64  `json:"heartbeat_ms,omitempty"`
+	Draining    bool   `json:"draining,omitempty"`
+}
+
+// Join registers the worker described by req with the frontend this
+// client points at. Workers call it once to join and then repeatedly as
+// their heartbeat; both are the same idempotent request.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinReply, error) {
+	wire := joinWire{
+		Addr:        req.Addr,
+		Weight:      req.Weight,
+		MaxSessions: req.MaxSessions,
+		HeartbeatMS: req.HeartbeatInterval.Milliseconds(),
+		Draining:    req.Draining,
+	}
+	var reply JoinReply
+	if err := c.post(ctx, "/v1/cluster/join", wire, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Cluster fetches the frontend's membership table.
+func (c *Client) Cluster(ctx context.Context) (*ClusterView, error) {
+	var view ClusterView
+	apiErr, err := c.once(ctx, http.MethodGet, "/v1/cluster", nil, &view)
+	if err != nil {
+		return nil, err
+	}
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return &view, nil
+}
+
+// Drain puts the server this client points at into drain mode: it stops
+// accepting new sessions, keeps serving existing ones, and reports
+// Status "draining" on /v1/healthz. Idempotent — re-calling reports how
+// many sessions remain.
+func (c *Client) Drain(ctx context.Context) (*DrainStatus, error) {
+	var status DrainStatus
+	if err := c.post(ctx, "/v1/drain", struct{}{}, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// DrainMember asks a frontend to drain one cluster member: the member
+// stops receiving new sessions and one-shot traffic immediately, its
+// pinned sessions keep flowing until they finish or expire, and the
+// drain signal is forwarded to the worker itself best-effort.
+func (c *Client) DrainMember(ctx context.Context, addr string) (*MemberDrainStatus, error) {
+	var status MemberDrainStatus
+	if err := c.post(ctx, "/v1/cluster/drain", struct {
+		Addr string `json:"addr"`
+	}{Addr: addr}, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
