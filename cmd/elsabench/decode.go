@@ -1,0 +1,351 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"elsa"
+	"elsa/internal/experiments"
+	"elsa/internal/serve"
+	"elsa/serve/client"
+)
+
+// Decode bench modes. "serialized" is the pre-decode-loop status quo:
+// a SerialDecode server (queries attend inline under the session gate)
+// driven one query at a time — serialized execution, the order the
+// fidelity test pins batched output against. "concurrent" drives the
+// same per-query HTTP API with every session in flight at once against
+// the continuous decode loop, showing how much coalescing independent
+// per-query clients get. "step" submits the whole wave through
+// POST /v1/sessions/step — one request per decode wave — so the fixed
+// per-request cost is paid once per wave and the loop dispatches the
+// wave as shared batches; this is how a model runner drives N
+// sequences, and where the aggregate-throughput win lives.
+const (
+	decodeSerialized = "serialized"
+	decodeConcurrent = "concurrent"
+	decodeStep       = "step"
+)
+
+// DecodeRow is one continuous-decode-batching measurement: N live decode
+// sessions — each with its own pinned threshold, so every batch is a
+// mixed-operating-point batch — stepped over HTTP against a real
+// serve.Server in one of the three modes above.
+type DecodeRow struct {
+	Sessions    int    `json:"sessions"`
+	Concurrency int    `json:"concurrency"`
+	Mode        string `json:"mode"`
+	// Tokens is the number of decode steps completed across all sessions.
+	Tokens int `json:"tokens"`
+	// TokensPerSec is aggregate decode throughput: Tokens over wall time.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// P50Ms / P99Ms are end-to-end latency percentiles — per query in the
+	// per-query modes, per wave in step mode.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// MeanBatch is the server's mean decode dispatch size — how many
+	// cross-session queries each continuous-loop harvest coalesced
+	// (exactly 1 on the serialized path, by construction).
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// decodeRows measures the continuous decode loop against the serialized
+// path at increasing session counts. Thresholds are pinned per session
+// (no lazy calibration) so the rows isolate decode scheduling cost, and
+// the prefix is fixed during the timed phase so every step does the
+// same attention work in every mode.
+func decodeRows(opt experiments.Options) ([]DecodeRow, error) {
+	const (
+		dim    = 64
+		prefix = 96
+	)
+	steps := 15 * opt.Instances
+
+	var rows []DecodeRow
+	for _, sessions := range []int{4, 16, 64} {
+		for _, mode := range []string{decodeSerialized, decodeConcurrent, decodeStep} {
+			row, err := decodeLoad(opt, sessions, steps, dim, prefix, mode)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// decodeLoad runs one {sessions, mode} operating point end to end over
+// HTTP.
+func decodeLoad(opt experiments.Options, sessions, steps, dim, prefix int, mode string) (DecodeRow, error) {
+	srv := serve.New(serve.Config{
+		MaxBatch:     64,
+		MaxQueue:     2048,
+		Replicas:     1,
+		SerialDecode: mode == decodeSerialized,
+	})
+	ts := httptest.NewServer(srv)
+	defer srv.Close()
+	defer ts.Close()
+	// The default transport caps idle conns per host at 2; at 64-way
+	// concurrency that would churn a fresh TCP connection per request
+	// and the row would measure connection setup, not decode batching.
+	tr := &http.Transport{MaxIdleConns: 2 * sessions, MaxIdleConnsPerHost: 2 * sessions}
+	defer tr.CloseIdleConnections()
+	c := client.New(ts.URL, client.WithHTTPClient(&http.Client{Transport: tr}))
+
+	ctx := context.Background()
+	handles := make([]*client.Session, sessions)
+	queries := make([][][]float32, sessions)
+	for i := 0; i < sessions; i++ {
+		// A spread of pinned operating points: every batch the loop
+		// harvests carries per-op thresholds, the mixed-session case.
+		thr := elsa.Threshold{P: 1, T: 0.3 + 0.4*float64(i)/float64(sessions)}
+		sess, err := c.NewSession(ctx, client.SessionOptions{
+			Overrides: elsa.Overrides{Thr: &thr},
+			HeadDim:   dim,
+			Seed:      opt.Seed,
+			Capacity:  prefix,
+		})
+		if err != nil {
+			return DecodeRow{}, fmt.Errorf("decode session %d create: %w", i, err)
+		}
+		handles[i] = sess
+		rng := rand.New(rand.NewSource(opt.Seed + int64(i)))
+		keys := make([][]float32, prefix)
+		vals := make([][]float32, prefix)
+		for j := range keys {
+			keys[j], vals[j] = benchVec(rng, dim), benchVec(rng, dim)
+		}
+		if _, err := sess.AppendBatch(ctx, keys, vals); err != nil {
+			return DecodeRow{}, fmt.Errorf("decode session %d append: %w", i, err)
+		}
+		queries[i] = make([][]float32, steps)
+		for s := range queries[i] {
+			queries[i][s] = benchVec(rng, dim)
+		}
+		// One warm-up step per session outside the timed run: engine
+		// wiring, connection establishment, decode-job buffers.
+		if _, err := sess.Query(ctx, queries[i][0], elsa.Overrides{}); err != nil {
+			return DecodeRow{}, fmt.Errorf("decode session %d warm-up: %w", i, err)
+		}
+	}
+
+	tokens := sessions * steps
+	var latencies []float64
+	concurrency := 1
+	start := time.Now()
+	switch mode {
+	case decodeStep:
+		// One request per decode wave, every session in it — so server-side
+		// concurrency is the wave width even though the client pipeline is
+		// one wave at a time, exactly a model runner's decode loop.
+		concurrency = sessions
+		latencies = make([]float64, steps)
+		wave := make([]client.StepQuery, sessions)
+		for s := 0; s < steps; s++ {
+			for i := range wave {
+				wave[i] = client.StepQuery{Session: handles[i], Q: queries[i][s]}
+			}
+			t0 := time.Now()
+			results, err := c.Step(ctx, wave)
+			latencies[s] = float64(time.Since(t0).Microseconds()) / 1e3
+			if err != nil {
+				return DecodeRow{}, fmt.Errorf("decode step wave: %w", err)
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					return DecodeRow{}, fmt.Errorf("decode step session %d: %w", i, r.Err)
+				}
+			}
+		}
+	case decodeConcurrent:
+		concurrency = sessions
+		latencies = make([]float64, tokens)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for s := 0; s < steps; s++ {
+					t0 := time.Now()
+					_, err := handles[i].Query(ctx, queries[i][s], elsa.Overrides{})
+					latencies[i*steps+s] = float64(time.Since(t0).Microseconds()) / 1e3
+					if err != nil && errs[i] == nil {
+						errs[i] = err
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return DecodeRow{}, fmt.Errorf("decode load (sessions=%d): %w", sessions, err)
+			}
+		}
+	default: // decodeSerialized
+		latencies = make([]float64, tokens)
+		for s := 0; s < steps; s++ {
+			for i := 0; i < sessions; i++ {
+				t0 := time.Now()
+				_, err := handles[i].Query(ctx, queries[i][s], elsa.Overrides{})
+				latencies[i*steps+s] = float64(time.Since(t0).Microseconds()) / 1e3
+				if err != nil {
+					return DecodeRow{}, fmt.Errorf("serialized decode step: %w", err)
+				}
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	// On the serialized path the server never dispatches a decode batch
+	// (queries attend inline), so its batch size is 1 by construction.
+	mean := 1.0
+	if mode != decodeSerialized {
+		mean = srv.Metrics().MeanDecodeBatchSize()
+	}
+	sort.Float64s(latencies)
+	return DecodeRow{
+		Sessions:     sessions,
+		Concurrency:  concurrency,
+		Mode:         mode,
+		Tokens:       tokens,
+		TokensPerSec: float64(tokens) / wall.Seconds(),
+		P50Ms:        percentile(latencies, 0.50),
+		P99Ms:        percentile(latencies, 0.99),
+		MeanBatch:    mean,
+	}, nil
+}
+
+// benchVec draws one dim-length vector from rng.
+func benchVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// servingSnapshot is the combined BENCH_*_serving.json shape: the
+// original top-level "serve" rows (older gates and ci.sh parse that key
+// directly) plus the decode-batching family added alongside.
+type servingSnapshot struct {
+	Serve  []ServingRow `json:"serve"`
+	Decode []DecodeRow  `json:"decode,omitempty"`
+}
+
+// loadDecodeRows reads the "decode" family from a committed serving
+// snapshot. Snapshots from before decode batching simply lack the key;
+// that is not an error — the caller skips the comparison.
+func loadDecodeRows(path string) ([]DecodeRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload servingSnapshot
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return payload.Decode, nil
+}
+
+// compareDecodePerf gates the decode-batching trajectory: for every
+// operating point — keyed by {sessions, mode} — present in both
+// committed snapshots, mean_batch must not have dropped by more than
+// maxRegress. A snapshot without decode rows (predating the family)
+// skips the gate rather than failing it.
+func compareDecodePerf(newPath, baselinePath string, maxRegress float64) error {
+	rows, err := loadDecodeRows(newPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadDecodeRows(baselinePath)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 || len(base) == 0 {
+		fmt.Printf("decode batching rows absent from %s or %s; skipping mean_batch gate\n", newPath, baselinePath)
+		return nil
+	}
+	type point struct {
+		Sessions int
+		Mode     string
+	}
+	old := make(map[point]float64, len(base))
+	for _, r := range base {
+		old[point{r.Sessions, r.Mode}] = r.MeanBatch
+	}
+	var regressions []string
+	for _, r := range rows {
+		prev, ok := old[point{r.Sessions, r.Mode}]
+		if !ok || prev <= 1 {
+			// Unmatched points and serialized rows (mean_batch pinned at 1)
+			// carry no coalescing signal to gate.
+			continue
+		}
+		ratio := r.MeanBatch / prev
+		fmt.Printf("decode sessions=%-3d mode=%-10s: mean_batch %6.2f vs baseline %6.2f (%.2fx)\n",
+			r.Sessions, r.Mode, r.MeanBatch, prev, ratio)
+		if ratio < 1-maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("sessions=%d mode=%s: mean_batch %.2f -> %.2f (-%.0f%%)",
+					r.Sessions, r.Mode, prev, r.MeanBatch, 100*(1-ratio)))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("decode mean_batch dropped >%.0f%% vs %s:\n  %s",
+			100*maxRegress, baselinePath, joinLines(regressions))
+	}
+	fmt.Printf("decode batching OK: no operating point lost >%.0f%% mean_batch vs %s\n", 100*maxRegress, baselinePath)
+	return nil
+}
+
+func runDecode(opt experiments.Options) error {
+	rows, err := decodeRows(opt)
+	if err != nil {
+		return err
+	}
+	header("decode: continuous cross-session batching vs serialized decode")
+	fmt.Printf("%9s %12s %11s %7s %10s %9s %9s %11s\n",
+		"sessions", "concurrency", "mode", "tokens", "tokens/s", "p50(ms)", "p99(ms)", "mean-batch")
+	for _, r := range rows {
+		fmt.Printf("%9d %12d %11s %7d %10.0f %9.2f %9.2f %11.2f\n",
+			r.Sessions, r.Concurrency, r.Mode, r.Tokens, r.TokensPerSec, r.P50Ms, r.P99Ms, r.MeanBatch)
+	}
+	printDecodeSpeedups(rows)
+	fmt.Println("(each session holds a distinct pinned threshold, so every harvested batch")
+	fmt.Println(" is a mixed-operating-point dispatch; serialized rows drive the pre-decode-")
+	fmt.Println(" loop inline path one query at a time — the order the fidelity test pins —")
+	fmt.Println(" and step rows submit each wave as one POST /v1/sessions/step request)")
+	return nil
+}
+
+// printDecodeSpeedups pairs each batched-mode row with its serialized
+// counterpart and prints the aggregate-throughput ratio.
+func printDecodeSpeedups(rows []DecodeRow) {
+	serial := make(map[int]DecodeRow, len(rows))
+	for _, r := range rows {
+		if r.Mode == decodeSerialized {
+			serial[r.Sessions] = r
+		}
+	}
+	for _, r := range rows {
+		if r.Mode == decodeSerialized {
+			continue
+		}
+		base, ok := serial[r.Sessions]
+		if !ok || base.TokensPerSec <= 0 {
+			continue
+		}
+		fmt.Printf("sessions=%-3d %-10s: %.2fx aggregate decode tokens/s over serialized (mean batch %.2f)\n",
+			r.Sessions, r.Mode, r.TokensPerSec/base.TokensPerSec, r.MeanBatch)
+	}
+}

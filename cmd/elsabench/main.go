@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
 //	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
@@ -17,7 +17,12 @@
 // experiment measures the HTTP serving stack (ops/s, p50/p99 latency, mean
 // micro-batch size, 1 vs 2 in-process replicas) and writes the separate
 // BENCH_*_serving.json trajectory; with -experiment serve, -baseline and
-// -compare gate that trajectory on ops/s instead of ns/op.
+// -compare gate that trajectory on ops/s — and, when both snapshots carry
+// the "decode" family, on decode mean_batch — instead of ns/op. The
+// "decode" experiment measures the continuous decode-batching loop
+// (aggregate tokens/s and mean coalesced batch size, batched vs the
+// serialized baseline, across session counts); -experiment serve -json
+// writes both families into the serving snapshot.
 package main
 
 import (
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
@@ -101,8 +106,21 @@ func main() {
 					fatal(err)
 				}
 			}
+			failed := false
 			if err := compareServingPerf(rows, *baseline, *maxRegress); err != nil {
 				fmt.Fprintln(os.Stderr, "elsabench:", err)
+				failed = true
+			}
+			// The decode mean_batch gate reads the "decode" family out of
+			// both committed snapshots, so it only applies in -compare mode;
+			// a fresh measurement keeps the ops/s-only gate.
+			if *compare != "" {
+				if err := compareDecodePerf(*compare, *baseline, *maxRegress); err != nil {
+					fmt.Fprintln(os.Stderr, "elsabench:", err)
+					failed = true
+				}
+			}
+			if failed {
 				os.Exit(2)
 			}
 			return
@@ -148,8 +166,9 @@ func main() {
 		"modelfid":  runModelFidelity,
 		"bench":     runBench,
 		"serve":     runServe,
+		"decode":    runDecode,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -229,7 +248,20 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 	case "bench":
 		return benchRows(opt)
 	case "serve":
-		return servingRows(opt)
+		// The serving snapshot carries both HTTP families: the one-shot
+		// attend rows under the original top-level "serve" key and the
+		// continuous decode-batching rows alongside.
+		rows, err := servingRows(opt)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := decodeRows(opt)
+		if err != nil {
+			return nil, err
+		}
+		return servingSnapshot{Serve: rows, Decode: dec}, nil
+	case "decode":
+		return decodeRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {
@@ -273,6 +305,12 @@ func emitJSON(name string, order []string, opt experiments.Options, path string)
 		payload, err := jsonPayload(name, opt)
 		if err != nil {
 			return err
+		}
+		if name == "serve" {
+			// The serving snapshot already carries its own top-level keys
+			// ("serve" plus "decode"); wrapping it again would bury the
+			// "serve" key that ci.sh and older trajectory gates parse.
+			return writeJSONPayload(payload, path)
 		}
 		return writeJSONPayload(map[string]any{name: payload}, path)
 	}

@@ -125,6 +125,23 @@ func (s *Stream) snapshot() *Preprocessed {
 	return &s.snap
 }
 
+// Rows returns per-token views of the appended key and value vectors.
+// The rows alias the stream's backing stores (quantized in place when the
+// engine is quantized) and are valid only until the next Append; callers
+// needing the prefix beyond that — e.g. to materialize it onto the wire —
+// must finish with the views first. The row headers themselves are
+// allocated fresh on every call.
+func (s *Stream) Rows() (keys, values [][]float32) {
+	d := s.engine.cfg.D
+	keys = make([][]float32, s.n)
+	values = make([][]float32, s.n)
+	for i := 0; i < s.n; i++ {
+		keys[i] = s.keys[i*d : (i+1)*d]
+		values[i] = s.values[i*d : (i+1)*d]
+	}
+	return keys, values
+}
+
 // Keys returns a copy of the appended key vectors, one row per token. It
 // is intended for one-shot uses — threshold calibration over the prefix a
 // serving layer has accumulated — not the decode hot path.

@@ -182,8 +182,9 @@ type SessionQueryRequest struct {
 
 // SessionQueryResponse is one decode step's result.
 type SessionQueryResponse struct {
-	// Context is the attention output for this query.
-	Context []float32 `json:"context"`
+	// Context is the attention output for this query (omitted inside a
+	// packed step wave, which carries it as ContextPacked instead).
+	Context []float32 `json:"context,omitempty"`
 	// Candidates is the number of prefix keys computed exactly.
 	Candidates int `json:"candidates"`
 	// Fallback reports whether the filter selected nothing.
@@ -192,6 +193,56 @@ type SessionQueryResponse struct {
 	Len int `json:"len"`
 	// Threshold is the operating point the query ran with.
 	Threshold ThresholdJSON `json:"threshold"`
+	// BatchSize is how many session queries the continuous decode loop
+	// coalesced into the dispatch this one rode in (1 = it rode alone).
+	BatchSize int `json:"batch_size"`
+}
+
+// SessionStepRequest is the POST /v1/sessions/step body: one decode
+// step for many sessions in a single request — the client-side
+// complement of the continuous decode loop. A model runner stepping N
+// sequences submits all N queries here; server-side they enter the
+// session registry concurrently and the decode loop coalesces them
+// (with any other in-flight decode traffic) into shared dispatches, so
+// the per-request cost that dominates per-query decode is paid once per
+// wave instead of once per token.
+type SessionStepRequest struct {
+	Queries []SessionStepQuery `json:"queries"`
+	// Packed asks for context vectors as packed base64 float32 (the
+	// ContextPacked field) instead of JSON number arrays. Bulk waves use
+	// it for the same reason QPacked exists: per-element float formatting
+	// is the response's dominant cost.
+	Packed bool `json:"packed,omitempty"`
+}
+
+// SessionStepQuery is one session's entry in a step wave. Exactly one
+// of Q and QPacked carries the query vector.
+type SessionStepQuery struct {
+	ID string    `json:"id"`
+	Q  []float32 `json:"q,omitempty"`
+	// QPacked is the query as base64 little-endian float32 — the wave's
+	// bulk encoding. JSON float parsing dominates a wave's CPU; packed
+	// vectors parse with one base64 decode and round-trip bit-exactly.
+	QPacked string `json:"qp,omitempty"`
+	// T, when present, overrides the session's threshold for this query
+	// only, exactly as on POST /v1/sessions/{id}/query.
+	T *float64 `json:"t,omitempty"`
+}
+
+// SessionStepResponse carries one result per request query, in order.
+type SessionStepResponse struct {
+	Results []SessionStepResult `json:"results"`
+}
+
+// SessionStepResult is one query's outcome inside a step wave. Failures
+// are per-entry: a missing session or shed query sets Error while the
+// rest of the wave still decodes, and the wave itself answers 200.
+type SessionStepResult struct {
+	SessionQueryResponse
+	// ContextPacked replaces Context (base64 little-endian float32) when
+	// the request set Packed.
+	ContextPacked string `json:"context_packed,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // HealthResponse is the GET /v1/healthz reply. The fleet fields are
@@ -213,6 +264,13 @@ type HealthResponse struct {
 	// active + draining); Draining counts those mid-drain.
 	Members  int `json:"members,omitempty"`
 	Draining int `json:"draining,omitempty"`
+	// ShardDepth is the current total of queued micro-batches across all
+	// dispatch shards; DecodeCoalesced and DecodeMeanBatch summarize the
+	// continuous decode loop (queries that shared a batch, and the mean
+	// decode batch size). Fleet-view only, like Role.
+	ShardDepth      int64   `json:"shard_depth,omitempty"`
+	DecodeCoalesced int64   `json:"decode_coalesced,omitempty"`
+	DecodeMeanBatch float64 `json:"decode_mean_batch,omitempty"`
 }
 
 // JoinRequest is the POST /v1/cluster/join body: a worker registering

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"elsa"
+)
+
+// decodeFixture holds one registry-level session with a deterministic
+// per-session operating point and prefix, mirrored across two servers so
+// their decode trajectories can be compared step for step.
+type decodeFixture struct {
+	id  string
+	p   float64
+	t   *float64
+	rng *rand.Rand
+}
+
+// buildDecodeSessions creates n sessions on srv with a spread of
+// operating points: explicitly pinned thresholds, p values that
+// calibrate lazily over each session's own prefix (unique per session so
+// the threshold registry's dedup cannot couple them), and p = 0 exact.
+// Each session gets a deterministic prefix seeded by its index.
+func buildDecodeSessions(t *testing.T, srv *Server, opts elsa.Options, n, prefix int) []*decodeFixture {
+	t.Helper()
+	set, err := srv.pool.get(opts)
+	if err != nil {
+		t.Fatalf("pool.get: %v", err)
+	}
+	ctx := context.Background()
+	fixtures := make([]*decodeFixture, n)
+	for i := 0; i < n; i++ {
+		f := &decodeFixture{rng: rand.New(rand.NewSource(int64(100 + i)))}
+		switch i % 3 {
+		case 0: // pinned threshold, varying per session
+			tv := 0.3 + 0.07*float64(i)
+			f.t, f.p = &tv, 1
+		case 1: // lazily calibrated p, unique per session
+			f.p = 0.5 + 0.25*float64(i)
+		default: // exact
+			f.p = 0
+		}
+		sess, err := srv.sessions.create(ctx, set, opts, f.p, f.t, prefix, requestMeta{})
+		if err != nil {
+			t.Fatalf("session %d create: %v", i, err)
+		}
+		f.id = sess.id
+		keys := make([][]float32, prefix)
+		vals := make([][]float32, prefix)
+		for j := range keys {
+			keys[j], vals[j] = genVec(f.rng), genVec(f.rng)
+		}
+		if _, err := srv.sessions.append(ctx, f.id, keys, vals); err != nil {
+			t.Fatalf("session %d append: %v", i, err)
+		}
+		fixtures[i] = f
+	}
+	return fixtures
+}
+
+// TestDecodeContinuousMatchesSerial pins the tentpole fidelity contract:
+// N sessions with different pinned thresholds and p values, decoded
+// concurrently through the continuous decode loop, must produce
+// bit-identical context vectors to the same sessions decoded one at a
+// time through the serialized path. Run under -race this also exercises
+// the submit/complete handoff against concurrent appends-after-query.
+func TestDecodeContinuousMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		quantized bool
+	}{
+		{"float", false},
+		{"quantized", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed, Quantized: tc.quantized}, testDim)
+			batched := New(Config{Replicas: 2})
+			defer batched.Close()
+			serial := New(Config{Replicas: 2, SerialDecode: true})
+			defer serial.Close()
+
+			const sessions, prefix, steps = 8, 24, 10
+			bf := buildDecodeSessions(t, batched, opts, sessions, prefix)
+			sf := buildDecodeSessions(t, serial, opts, sessions, prefix)
+
+			ctx := context.Background()
+			override := 0.85
+			for step := 0; step < steps; step++ {
+				// One query per session per step, pre-generated so the
+				// concurrent and serial drivers consume identical inputs.
+				qs := make([][]float32, sessions)
+				ovs := make([]elsa.Overrides, sessions)
+				for i, f := range bf {
+					qs[i] = genVec(f.rng)
+					if i%2 == 0 && step%3 == 2 {
+						ovs[i] = elsa.Overrides{Thr: &elsa.Threshold{T: override}}
+					}
+				}
+
+				got := make([][]float32, sessions)
+				gotStats := make([]elsa.StreamStats, sessions)
+				var wg sync.WaitGroup
+				for i := range bf {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						out, stats, _, _, _, err := batched.sessions.query(ctx, bf[i].id, qs[i], ovs[i], time.Time{})
+						if err != nil {
+							t.Errorf("step %d session %d batched query: %v", step, i, err)
+							return
+						}
+						got[i], gotStats[i] = out, stats
+					}(i)
+				}
+				wg.Wait()
+				if t.Failed() {
+					t.FailNow()
+				}
+
+				for i := range sf {
+					want, wantStats, _, _, bs, err := serial.sessions.query(ctx, sf[i].id, qs[i], ovs[i], time.Time{})
+					if err != nil {
+						t.Fatalf("step %d session %d serial query: %v", step, i, err)
+					}
+					if bs != 1 {
+						t.Fatalf("serialized path reported batch size %d, want 1", bs)
+					}
+					if gotStats[i] != wantStats {
+						t.Fatalf("step %d session %d: stats %+v batched, %+v serial", step, i, gotStats[i], wantStats)
+					}
+					for j := range want {
+						if got[i][j] != want[j] {
+							t.Fatalf("step %d session %d: context[%d] = %v batched, %v serial (not bit-identical)",
+								step, i, j, got[i][j], want[j])
+						}
+					}
+					// Feed the step's context back as the next token on both
+					// sides, so any divergence compounds and cannot hide.
+					if _, err := batched.sessions.append(ctx, bf[i].id, [][]float32{got[i]}, [][]float32{got[i]}); err != nil {
+						t.Fatalf("batched feedback append: %v", err)
+					}
+					if _, err := serial.sessions.append(ctx, sf[i].id, [][]float32{want}, [][]float32{want}); err != nil {
+						t.Fatalf("serial feedback append: %v", err)
+					}
+				}
+			}
+
+			// The batched server must actually have coalesced: with 8
+			// sessions firing each step concurrently against one loop,
+			// batches of size > 1 are where the speedup comes from.
+			if c := batched.Metrics().DecodeCoalesced(); c == 0 {
+				t.Errorf("continuous loop never coalesced across %d concurrent queries", sessions*steps)
+			}
+			if b := batched.Metrics().DecodeBatches(); b == 0 {
+				t.Errorf("no decode batches recorded")
+			}
+			if c := serial.Metrics().DecodeCoalesced(); c != 0 {
+				t.Errorf("serialized server reported %d coalesced queries, want 0", c)
+			}
+		})
+	}
+}
+
+// TestDecodeCycleZeroAlloc pins the decode hot path's allocation story:
+// after warm-up, one steady-state queryInto — session gate, submit to
+// the continuous loop, coalesce, dispatch, stream attend, write-back —
+// performs zero heap allocations per query. The companion of
+// TestAttendWithZeroAlloc one layer up the stack; ci.sh runs it
+// explicitly so it cannot be skipped.
+func TestDecodeCycleZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		quantized bool
+	}{
+		{"float", false},
+		{"quantized", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := normalizeOptions(elsa.Options{HeadDim: testDim, Seed: testSeed, Quantized: tc.quantized}, testDim)
+			srv := New(Config{Replicas: 1, Workers: 1})
+			defer srv.Close()
+			set, err := srv.pool.get(opts)
+			if err != nil {
+				t.Fatalf("pool.get: %v", err)
+			}
+			ctx := context.Background()
+			tv := 0.5
+			sess, err := srv.sessions.create(ctx, set, opts, 1, &tv, 64, requestMeta{})
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			rng := rand.New(rand.NewSource(testSeed))
+			for i := 0; i < 32; i++ {
+				if _, err := srv.sessions.append(ctx, sess.id, [][]float32{genVec(rng)}, [][]float32{genVec(rng)}); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			q := genVec(rng)
+			dst := make([]float32, testDim)
+			var ov elsa.Overrides
+			// Warm up: grow the decode queue, the loop's take buffer, and
+			// the backend's staging slices to steady size.
+			for i := 0; i < 4; i++ {
+				out, _, _, _, _, err := srv.sessions.queryInto(ctx, sess.id, dst, q, ov, time.Time{})
+				if err != nil {
+					t.Fatalf("warm-up query: %v", err)
+				}
+				dst = out
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				out, _, _, _, _, err := srv.sessions.queryInto(ctx, sess.id, dst, q, ov, time.Time{})
+				if err != nil {
+					t.Fatalf("query: %v", err)
+				}
+				dst = out
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state decode cycle allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -61,10 +61,14 @@ type jobResult struct {
 // carries its own per-op threshold (BatchOp.Thr), which is what lets ops
 // calibrated at different operating points share a dispatch. attempts
 // counts reroutes after retryable worker failures; only the executing
-// goroutine touches it.
+// goroutine touches it. A job with dec set is one session's decode step
+// riding the continuous decode loop instead of a windowed pending batch;
+// batches never mix the two kinds (a decode batch is assembled by
+// takeBatch, a one-shot batch by dispatchLocked).
 type job struct {
 	ctx      context.Context
 	op       elsa.BatchOp
+	dec      *decodeJob
 	class    Class
 	attempts int
 	result   chan jobResult // buffered: dispatch never blocks on a gone requester
@@ -125,6 +129,9 @@ type dispatcher struct {
 	pending map[*replicaSet]*pendingBatch
 	batchWg sync.WaitGroup // in-flight dispatched batches
 	loopWg  sync.WaitGroup // running shard loops
+
+	decStates []*decodeState // one continuous decode loop per replica set
+	decWg     sync.WaitGroup // running decode loops
 }
 
 func newDispatcher(window time.Duration, maxBatch, maxQueue, workers, retries int, noWorkerRetry time.Duration, weights classWeights, m *Metrics) *dispatcher {
@@ -328,8 +335,14 @@ func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch, drain bool
 
 // runBatch executes one detached batch on its shard: jobs whose context
 // already expired are answered immediately, the rest go through the
-// shard's backend in one call, each op at its own threshold.
+// shard's backend in one call, each op at its own threshold. Decode
+// batches (assembled by the continuous decode loop) take their own path
+// — same queue, same depth accounting, different execution.
 func (d *dispatcher) runBatch(sh *shard, jobs []*job) {
+	if len(jobs) > 0 && jobs[0].dec != nil {
+		d.runDecodeBatch(sh, jobs)
+		return
+	}
 	defer d.batchWg.Done()
 	sh.depth.Add(-1)
 	d.metrics.AddShardDepth(sh.id, -1)
@@ -425,10 +438,10 @@ func (d *dispatcher) observeService(dur time.Duration) {
 }
 
 // close stops admission, dispatches every still-pending batch
-// immediately, and waits for all in-flight batches to finish. Safe to
-// call more than once. The shard loops themselves are shut down by the
-// pool (closeShards) once no batch can be enqueued again; waitShards then
-// joins them.
+// immediately, drains and joins the continuous decode loops, and waits
+// for all in-flight batches to finish. Safe to call more than once. The
+// shard loops themselves are shut down by the pool (closeShards) once no
+// batch can be enqueued again; waitShards then joins them.
 func (d *dispatcher) close() {
 	d.mu.Lock()
 	d.closed = true
@@ -436,6 +449,9 @@ func (d *dispatcher) close() {
 		d.dispatchLocked(set, b, true)
 	}
 	d.mu.Unlock()
+	// Decode loops drain before batchWg.Wait: their final pump still
+	// dispatches through the (open) shard queues and adds to batchWg.
+	d.closeDecodeLoops()
 	d.batchWg.Wait()
 }
 

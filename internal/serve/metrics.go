@@ -105,6 +105,11 @@ type Metrics struct {
 	sessionTokens   int64            // tokens appended across all sessions
 	sessionQueries  int64            // decode queries served across all sessions
 
+	decodeBatches   int64      // batches dispatched by the continuous decode loop
+	decodeOps       int64      // session queries across those batches
+	decodeCoalesced int64      // queries that shared a decode batch (batch size > 1)
+	decodeBatchSize *histogram // queries coalesced per decode batch
+
 	calibrations        int64 // thresholds calibrated online
 	thresholdLoads      int64 // thresholds restored from the state dir
 	thresholdCorruption int64 // corrupt state-dir entries discarded on load
@@ -127,16 +132,17 @@ type Metrics struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		requestsByCode: make(map[string]int64),
-		rejectedByWhy:  make(map[string]int64),
-		batchSize:      newHistogram(batchSizeBuckets),
-		latency:        newHistogram(latencyBuckets),
-		admission:      make(map[string]int64),
-		preempted:      make(map[string]int64),
-		shardBatches:   make(map[int]int64),
-		shardOps:       make(map[int]int64),
-		shardDepth:     make(map[int]int64),
-		sessionEvicted: make(map[string]int64),
+		requestsByCode:  make(map[string]int64),
+		rejectedByWhy:   make(map[string]int64),
+		batchSize:       newHistogram(batchSizeBuckets),
+		latency:         newHistogram(latencyBuckets),
+		admission:       make(map[string]int64),
+		preempted:       make(map[string]int64),
+		shardBatches:    make(map[int]int64),
+		shardOps:        make(map[int]int64),
+		shardDepth:      make(map[int]int64),
+		sessionEvicted:  make(map[string]int64),
+		decodeBatchSize: newHistogram(batchSizeBuckets),
 
 		workerHealthy:      make(map[string]int64),
 		workerEjections:    make(map[string]int64),
@@ -320,6 +326,58 @@ func (m *Metrics) ObserveSessionQuery() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sessionQueries++
+}
+
+// ObserveDecodeBatch records one batch dispatched by the continuous
+// decode loop. A batch of size > 1 means its queries were coalesced —
+// each would have been a serialized dispatch without the loop.
+func (m *Metrics) ObserveDecodeBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decodeBatches++
+	m.decodeOps += int64(size)
+	m.decodeBatchSize.observe(float64(size))
+	if size > 1 {
+		m.decodeCoalesced += int64(size)
+	}
+}
+
+// DecodeBatches reports how many batches the decode loop dispatched.
+func (m *Metrics) DecodeBatches() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.decodeBatches
+}
+
+// DecodeCoalesced reports how many session queries shared a decode
+// batch with at least one other session's query.
+func (m *Metrics) DecodeCoalesced() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.decodeCoalesced
+}
+
+// MeanDecodeBatchSize returns queries-per-decode-batch so far (0 before
+// any decode dispatch).
+func (m *Metrics) MeanDecodeBatchSize() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.decodeBatches == 0 {
+		return 0
+	}
+	return float64(m.decodeOps) / float64(m.decodeBatches)
+}
+
+// TotalShardDepth sums the queued-batch gauge across all shards — the
+// fleet-wide backlog number the healthz fleet view reports.
+func (m *Metrics) TotalShardDepth() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, d := range m.shardDepth {
+		total += d
+	}
+	return total
 }
 
 // ActiveSessions reports the live-session gauge.
@@ -651,6 +709,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_session_queries_total Decode queries served across all sessions.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_session_queries_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_session_queries_total %d\n", m.sessionQueries)
+	fmt.Fprintf(cw, "# HELP elsa_serve_decode_batches_total Batches dispatched by the continuous decode loop.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_decode_batches_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_decode_batches_total %d\n", m.decodeBatches)
+	fmt.Fprintf(cw, "# HELP elsa_serve_decode_batch_ops_total Session queries dispatched across all decode batches.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_decode_batch_ops_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_decode_batch_ops_total %d\n", m.decodeOps)
+	fmt.Fprintf(cw, "# HELP elsa_serve_decode_coalesced_total Session queries that shared a decode batch with another session.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_decode_coalesced_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_decode_coalesced_total %d\n", m.decodeCoalesced)
+	fmt.Fprintf(cw, "# HELP elsa_serve_decode_batch_size Session queries coalesced per decode batch.\n")
+	m.decodeBatchSize.writeProm(cw, "elsa_serve_decode_batch_size")
 
 	fmt.Fprintf(cw, "# HELP elsa_serve_calibrations_total Thresholds calibrated online.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_calibrations_total counter\n")

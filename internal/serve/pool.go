@@ -64,6 +64,11 @@ type replicaSet struct {
 	// rr is the round-robin cursor used to break shard-depth ties and to
 	// spread session streams across replicas and workers.
 	rr atomic.Uint64
+
+	// dec is the set's continuous decode loop, attached by startDecodeLoop
+	// when the pool wires the shards. Nil on sets built outside the pool
+	// (tests), which fall back to inline serialized decode.
+	dec *decodeState
 }
 
 // shards returns the current shard snapshot (nil while building or after
@@ -114,6 +119,38 @@ func (s *replicaSet) pickShardExcluding(skip *shard) *shard {
 		}
 	}
 	return best
+}
+
+// pickShardDecode chooses the lane a continuous-decode batch runs on.
+// Local lanes execute directly on the sessions' stream state — the
+// bit-identical path — so an idle local lane always wins. When every
+// local lane is busy, float-mode sets may offload to a remote worker
+// (the wire round-trips float32 exactly); quantized sets never do,
+// because a quantized worker re-quantizes key norms on ingest where the
+// stream stored them raw, and the divergence would break decode's
+// bit-identity guarantee. Returns nil when no eligible lane exists.
+func (s *replicaSet) pickShardDecode() *shard {
+	shards := s.shards()
+	var bestLocal *shard
+	var bestDepth int64
+	for _, sh := range shards[:min(s.local, len(shards))] {
+		if !sh.backend.available() {
+			continue
+		}
+		d := sh.depth.Load()
+		if d == 0 {
+			return sh
+		}
+		if bestLocal == nil || d < bestDepth {
+			bestLocal, bestDepth = sh, d
+		}
+	}
+	if !s.opts.Quantized {
+		if sh := s.pickShard(); sh != nil && (bestLocal == nil || sh.depth.Load() < bestDepth) {
+			return sh
+		}
+	}
+	return bestLocal
 }
 
 // available reports whether any shard can currently take a batch.
@@ -227,6 +264,7 @@ func (p *enginePool) get(opts elsa.Options) (*replicaSet, error) {
 		for _, sh := range shards {
 			p.disp.startShard(sh)
 		}
+		p.disp.startDecodeLoop(set)
 		close(set.ready)
 		p.mu.Unlock()
 	} else {

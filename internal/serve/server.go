@@ -16,6 +16,7 @@ import (
 
 	"elsa"
 	"elsa/internal/serve/cluster"
+	"elsa/serve/client"
 )
 
 // Config tunes the serving subsystem. Zero values select production-safe
@@ -61,6 +62,11 @@ type Config struct {
 	SessionTTL time.Duration
 	// MaxSessionTokens bounds one session's appended prefix (default 65536).
 	MaxSessionTokens int
+	// SerialDecode disables continuous decode batching: session queries
+	// attend inline under the session gate instead of coalescing on the
+	// per-replica decode loop. It exists as the baseline the decode
+	// benchmarks compare against; production leaves it false.
+	SerialDecode bool
 
 	// StateDir, when set, persists calibrated thresholds so a restarted
 	// server serves its first calibrated request without re-running
@@ -201,6 +207,8 @@ func New(cfg Config) *Server {
 	fleet.onProbe = cv.onProbe
 	sessions := newSessionRegistry(cfg.MaxSessions, cfg.MaxSessionTokens, cfg.SessionTTL, thr, m)
 	sessions.place = cv.place
+	sessions.disp = disp
+	sessions.serial = cfg.SerialDecode
 	s := &Server{
 		cfg:        cfg,
 		pool:       pool,
@@ -220,6 +228,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleSessionQuery)
+	s.mux.HandleFunc("POST /v1/sessions/step", s.handleSessionStep)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterList)
@@ -286,6 +295,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		counts := s.cluster.table.Counts()
 		h.Members = counts[cluster.StateJoining] + counts[cluster.StateActive] + counts[cluster.StateDraining]
 		h.Draining = counts[cluster.StateDraining]
+		h.ShardDepth = s.metrics.TotalShardDepth()
+		h.DecodeCoalesced = s.metrics.DecodeCoalesced()
+		h.DecodeMeanBatch = s.metrics.MeanDecodeBatchSize()
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -489,7 +501,8 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	var req SessionQueryRequest
-	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	if !ok {
 		return
 	}
 	if len(req.Q) == 0 {
@@ -503,7 +516,21 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	if req.T != nil {
 		ov.Thr = &elsa.Threshold{T: *req.T}
 	}
-	out, stats, n, thr, err := s.sessions.query(r.Context(), r.PathValue("id"), req.Q, ov)
+	// Decode queries ride the dispatcher now, so they get the same time
+	// envelope as one-shot attend: the request timeout bounds queue +
+	// compute, and an envelope deadline additionally arms the
+	// dispatcher's deadline shedding.
+	timeout := s.cfg.RequestTimeout
+	var deadline time.Time
+	if meta.deadline > 0 {
+		if meta.deadline < timeout {
+			timeout = meta.deadline
+		}
+		deadline = time.Now().Add(meta.deadline)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	out, stats, n, thr, batchSize, err := s.sessions.query(ctx, r.PathValue("id"), req.Q, ov, deadline)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SessionQueryResponse{
@@ -512,15 +539,121 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 			Fallback:   stats.Fallback,
 			Len:        n,
 			Threshold:  ThresholdJSON{P: thr.P, T: thr.T, Queries: thr.Queries},
+			BatchSize:  batchSize,
 		})
 	case errors.Is(err, errSessionNotFound):
 		fail(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, errWorkerLost):
 		setRetryAfter(w, s.cfg.WorkerProbeInterval)
 		fail(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadline):
+		setRetryAfter(w, retryAfterOf(err))
+		fail(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrNoWorkers):
+		setRetryAfter(w, retryAfterOf(err))
+		fail(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrClosed):
+		fail(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		fail(w, http.StatusGatewayTimeout, "request timed out")
+	case errors.Is(err, context.Canceled):
+		fail(w, http.StatusRequestTimeout, "request canceled")
 	default:
 		fail(w, http.StatusBadRequest, err.Error())
 	}
+}
+
+// handleSessionStep decodes one token for many sessions in a single
+// request. The whole wave is handed to the session registry's step,
+// which enqueues every entry on the continuous decode loop before one
+// wakeup — so the wave (together with any other in-flight decode
+// traffic) coalesces into shared dispatches with no goroutine per
+// query. Results come back per entry, with per-entry errors so one
+// evicted session cannot fail the rest of the wave. This is the
+// interface a model runner stepping N sequences uses: one HTTP round
+// trip per decode wave instead of one per token.
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	var req SessionStepRequest
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	if !ok {
+		return
+	}
+	if len(req.Queries) == 0 {
+		fail(w, http.StatusBadRequest, "step requires at least one query")
+		return
+	}
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		if q.QPacked != "" {
+			if len(q.Q) != 0 {
+				fail(w, http.StatusBadRequest, fmt.Sprintf("queries[%d] sets both q and qp", i))
+				return
+			}
+			vec, err := client.UnpackVec(q.QPacked)
+			if err != nil {
+				fail(w, http.StatusBadRequest, fmt.Sprintf("queries[%d].qp: %v", i, err))
+				return
+			}
+			q.Q = vec
+		}
+		if len(q.Q) == 0 {
+			fail(w, http.StatusBadRequest, fmt.Sprintf("queries[%d].q must be non-empty", i))
+			return
+		}
+	}
+	timeout := s.cfg.RequestTimeout
+	var deadline time.Time
+	if meta.deadline > 0 {
+		if meta.deadline < timeout {
+			timeout = meta.deadline
+		}
+		deadline = time.Now().Add(meta.deadline)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	entries := make([]stepEntry, len(req.Queries))
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		entries[i].ID = q.ID
+		entries[i].Q = q.Q
+		if q.T != nil {
+			entries[i].Ov.Thr = &elsa.Threshold{T: *q.T}
+		}
+		// Quota is charged per query against each session's creator, the
+		// same accounting as per-query decode; a shed entry fails alone.
+		if s.quotas != nil {
+			if clientID, _, err := s.sessions.meta(q.ID); err == nil {
+				if admitted, _ := s.quotas.take(clientID); !admitted {
+					s.metrics.ObserveAdmission("shed_quota")
+					entries[i].Err = errors.New("client quota exhausted")
+				}
+			}
+		}
+	}
+	s.sessions.step(ctx, entries, deadline)
+
+	results := make([]SessionStepResult, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if e.Err != nil {
+			results[i].Error = e.Err.Error()
+			continue
+		}
+		results[i].SessionQueryResponse = SessionQueryResponse{
+			Candidates: e.Stats.Candidates,
+			Fallback:   e.Stats.Fallback,
+			Len:        e.Len,
+			Threshold:  ThresholdJSON{P: e.Thr.P, T: e.Thr.T, Queries: e.Thr.Queries},
+			BatchSize:  e.BatchSize,
+		}
+		if req.Packed {
+			results[i].ContextPacked = client.PackVec(e.Out)
+		} else {
+			results[i].Context = e.Out
+		}
+	}
+	writeJSON(w, http.StatusOK, SessionStepResponse{Results: results})
 }
 
 // handleClusterJoin admits or refreshes a fleet member: workers POST

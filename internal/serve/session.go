@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,9 +39,12 @@ var (
 // replica or pinned to a remote worker (exactly one of stream/remote is
 // set). The local stream (and its workspace) is single-goroutine by
 // contract, and a remote session's appends must observe each other's
-// prefix, so mu serializes all append/query traffic for the session
-// either way; different sessions proceed in parallel on their own
-// replicas or workers.
+// prefix, so the gate serializes the session's own traffic either way.
+// The gate is a submit/complete handoff rather than a mutex: a query
+// holds it while its decode step is in flight on the continuous decode
+// loop — so the loop can coalesce queries from many sessions into one
+// batch while each session's appends queue behind its own in-flight
+// query — and releases it only after the result is written back.
 type session struct {
 	id   string
 	opts elsa.Options
@@ -56,7 +60,9 @@ type session struct {
 	clientID string
 	class    Class
 
-	mu     sync.Mutex
+	// gate (capacity 1) admits one append or query at a time; everything
+	// below it is owned by the holder.
+	gate   chan struct{}
 	stream *elsa.Stream
 	p      float64
 	thr    elsa.Threshold
@@ -64,14 +70,28 @@ type session struct {
 	// to the first query, which calibrates over the prefix appended by
 	// then (the stream's own keys are the calibration sample).
 	calibrated bool
-	// out is the session's recycled decode buffer: QueryWith writes into
-	// it so steady-state decode performs no per-token allocation.
-	out []float32
+	// dec is the session's reusable decode job — its embedded dispatcher
+	// job and result channel included — so a steady-state decode query
+	// submits to the continuous loop without allocating.
+	dec decodeJob
 
-	// lastUsed and el are owned by the registry lock, not mu.
+	// lastUsed and el are owned by the registry lock, not the gate.
 	lastUsed time.Time
 	el       *list.Element
 }
+
+// acquire takes the session's gate, abandoning the wait if ctx expires
+// first. A successful acquire must be paired with release.
+func (s *session) acquire(ctx context.Context) error {
+	select {
+	case s.gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *session) release() { <-s.gate }
 
 // sessionRegistry owns the live decode sessions: bounded in count (LRU
 // eviction at capacity), bounded per session in tokens, and expired by
@@ -88,6 +108,12 @@ type sessionRegistry struct {
 	// local engine or remote worker — the cluster view's consistent-hash
 	// placement. Nil falls back to the replica set's rotation.
 	place func(set *replicaSet, key string) (*elsa.Engine, *worker)
+	// disp, when set (before serving), routes local decode queries through
+	// the continuous decode loop so concurrently-ready sessions coalesce
+	// into one batch. serial forces the pre-batching inline path — the
+	// baseline the decode benchmarks compare against.
+	disp   *dispatcher
+	serial bool
 
 	mu   sync.Mutex
 	byID map[string]*session
@@ -138,7 +164,9 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 		clientID: meta.clientID,
 		class:    meta.class,
 		p:        p,
+		gate:     make(chan struct{}, 1),
 	}
+	s.dec.init()
 	switch {
 	case t != nil:
 		s.thr = elsa.Threshold{P: p, T: *t}
@@ -317,14 +345,19 @@ func (g *sessionRegistry) evictLocked(el *list.Element, reason string) {
 	}
 }
 
-// append adds tokens to the session and returns its new length.
+// append adds tokens to the session and returns its new length. Appends
+// queue on the session gate behind any in-flight decode query, so a
+// stream is never mutated while the decode loop (or a remote worker
+// materializing its rows) is reading it.
 func (g *sessionRegistry) append(ctx context.Context, id string, keys, values [][]float32) (int, error) {
 	s, err := g.lookup(id)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := s.acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer s.release()
 	if s.remote != nil {
 		n, err := s.remote.AppendBatch(ctx, keys, values)
 		if err != nil {
@@ -346,58 +379,253 @@ func (g *sessionRegistry) append(ctx context.Context, id string, keys, values []
 	return s.stream.Len(), nil
 }
 
-// query runs one decode step: resolve the threshold if this is the
-// session's first calibrated query, attend over the prefix at the
-// session threshold (or the query's own override), and return an owned
-// copy of the context vector (the session's internal buffer is recycled
-// across queries).
-func (g *sessionRegistry) query(ctx context.Context, id string, q []float32, ov elsa.Overrides) ([]float32, elsa.StreamStats, int, elsa.Threshold, error) {
+// query runs one decode step and returns an owned context vector: the
+// nil dst makes the allocation QueryWith (or the write-back) performs
+// the response copy itself.
+func (g *sessionRegistry) query(ctx context.Context, id string, q []float32, ov elsa.Overrides, deadline time.Time) ([]float32, elsa.StreamStats, int, elsa.Threshold, int, error) {
+	return g.queryInto(ctx, id, nil, q, ov, deadline)
+}
+
+// queryInto runs one decode step writing the context vector into dst
+// (grown only when too small): resolve the threshold if this is the
+// session's first calibrated query, then attend over the prefix at the
+// session threshold (or the query's own override) — through the
+// continuous decode loop, where concurrently-ready sessions coalesce
+// into one batch, unless the registry is configured serial. Also
+// returns the size of the batch the query rode in. A caller recycling
+// dst across queries decodes with zero steady-state allocations.
+func (g *sessionRegistry) queryInto(ctx context.Context, id string, dst []float32, q []float32, ov elsa.Overrides, deadline time.Time) ([]float32, elsa.StreamStats, int, elsa.Threshold, int, error) {
 	s, err := g.lookup(id)
 	if err != nil {
-		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := s.acquire(ctx); err != nil {
+		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
+	}
+	defer s.release()
 	if s.remote != nil {
 		res, err := s.remote.Query(ctx, q, ov)
 		if err != nil {
-			return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, mapRemoteErr(s.w, err)
+			return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, mapRemoteErr(s.w, err)
 		}
 		s.w.recover()
 		s.thr, s.calibrated = res.Threshold, true
 		g.metrics.ObserveSessionQuery()
-		return res.Context, elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}, res.Len, res.Threshold, nil
+		bs := max(res.BatchSize, 1)
+		return res.Context, elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}, res.Len, res.Threshold, bs, nil
 	}
-	// A query pinned to its own threshold doesn't need the session's
-	// resolved; lazy calibration waits for the first query that does.
+	thr, err := g.resolveThreshold(s, ov)
+	if err != nil {
+		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
+	}
+	if g.serial || g.disp == nil {
+		// The serialized baseline: attend inline while holding the gate.
+		out, stats, err := s.stream.QueryOverrides(dst, q, ov, s.thr)
+		if err != nil {
+			return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
+		}
+		g.metrics.ObserveSessionQuery()
+		return out, stats, s.stream.Len(), thr, 1, nil
+	}
+	// Submit to the set's continuous decode loop with the resolved
+	// operating point pinned, so a mixed-session batch carries every op's
+	// threshold and p explicitly. The gate is held until the loop writes
+	// the result back into dec — that is the submit/complete handoff.
+	dec := &s.dec
+	dec.stream, dec.q, dec.thr, dec.p, dec.out = s.stream, q, thr, s.p, dst
+	bs, err := g.disp.submitDecode(ctx, s.set, dec, s.class, deadline)
+	out, stats := dec.out, dec.stats
+	dec.stream, dec.q = nil, nil
+	if err != nil {
+		return out, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
+	}
+	g.metrics.ObserveSessionQuery()
+	return out, stats, s.stream.Len(), thr, bs, nil
+}
+
+// resolveThreshold resolves the operating point for one query on a
+// local session whose gate the caller holds. A query pinned to its own
+// threshold doesn't need the session's resolved; lazy calibration waits
+// for the first query that does, and calibrates over the session's own
+// prefix — the keys this stream will attend over are exactly the
+// distribution the threshold must cover. The registry dedups and
+// persists the result, so the next session at this operating point
+// skips this step.
+func (g *sessionRegistry) resolveThreshold(s *session, ov elsa.Overrides) (elsa.Threshold, error) {
 	if !s.calibrated && ov.Thr == nil {
 		if s.stream.Len() == 0 {
-			return nil, elsa.StreamStats{}, 0, elsa.Threshold{},
+			return elsa.Threshold{},
 				fmt.Errorf("serve: cannot calibrate p=%g on an empty session; append keys first", s.p)
 		}
-		// Calibrate over the session's own prefix — the keys this stream
-		// will attend over are exactly the distribution the threshold must
-		// cover. The registry dedups and persists the result, so the next
-		// session at this operating point skips this step.
 		thr, err := g.thresholds.get(s.opts, s.p, func() (elsa.Threshold, error) {
 			keys := s.stream.Keys()
 			return s.set.engines[0].Calibrate(s.p, []elsa.Sample{{Q: keys, K: keys}})
 		})
 		if err != nil {
-			return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+			return elsa.Threshold{}, err
 		}
 		s.thr, s.calibrated = thr, true
 	}
-	thr := ov.Resolve(s.thr)
-	out, stats, err := s.stream.QueryOverrides(s.out, q, ov, s.thr)
-	if err != nil {
-		return nil, elsa.StreamStats{}, 0, elsa.Threshold{}, err
+	return ov.Resolve(s.thr), nil
+}
+
+// stepEntry is one session's slot in a cross-session decode wave
+// (POST /v1/sessions/step). The caller fills ID, Q, and Ov — or pre-sets
+// Err to mark an entry already refused (quota shedding) — and step fills
+// the rest. Entries fail independently: a bad ID or a shed entry never
+// fails its neighbours.
+type stepEntry struct {
+	ID string
+	Q  []float32
+	Ov elsa.Overrides
+
+	Out       []float32
+	Stats     elsa.StreamStats
+	Len       int
+	Thr       elsa.Threshold
+	BatchSize int
+	Err       error
+}
+
+// step decodes one token for every entry as a single wave. All session
+// gates are acquired first — in session-ID order, so two overlapping
+// waves cannot deadlock on each other's entries — then every local
+// entry enqueues on its set's continuous decode loop and each touched
+// loop is woken exactly once, after the whole wave is queued. The loop's
+// next harvest therefore sees the full wave (plus any per-query decode
+// traffic already pending) as one batch, instead of the wave trickling
+// in one scheduler pass at a time; and the wave needs no goroutine per
+// entry, so the per-token cost of a step request is the batch's shared
+// dispatch plus one result receive. Remote-pinned sessions, a serial
+// registry, and sets without a loop fall back to the same inline paths
+// a lone query takes.
+func (g *sessionRegistry) step(ctx context.Context, entries []stepEntry, deadline time.Time) {
+	// Phase 1: resolve and lock. Duplicate IDs are refused up front — the
+	// second acquire would otherwise wait on a gate this same wave holds.
+	order := make([]int, 0, len(entries))
+	seen := make(map[string]struct{}, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if e.Err != nil {
+			continue
+		}
+		if _, dup := seen[e.ID]; dup {
+			e.Err = fmt.Errorf("serve: session %s appears more than once in one step wave", e.ID)
+			continue
+		}
+		seen[e.ID] = struct{}{}
+		order = append(order, i)
 	}
-	s.out = out
-	g.metrics.ObserveSessionQuery()
-	// Hand back an owned copy: s.out is overwritten by the next query,
-	// possibly while the HTTP layer is still encoding this one.
-	return append([]float32(nil), out...), stats, s.stream.Len(), thr, nil
+	sort.Slice(order, func(a, b int) bool { return entries[order[a]].ID < entries[order[b]].ID })
+	held := make([]*session, len(entries))
+	for _, i := range order {
+		e := &entries[i]
+		s, err := g.lookup(e.ID)
+		if err != nil {
+			e.Err = err
+			continue
+		}
+		if err := s.acquire(ctx); err != nil {
+			e.Err = err
+			continue
+		}
+		held[i] = s
+	}
+
+	// Phase 2: submit. Coalescable entries enqueue without waking the
+	// loop yet; everything else runs inline and releases its gate now.
+	pending := make([]bool, len(entries))
+	var woken []*decodeState
+	for i := range entries {
+		e := &entries[i]
+		s := held[i]
+		if s == nil {
+			continue
+		}
+		if s.remote != nil {
+			res, err := s.remote.Query(ctx, e.Q, e.Ov)
+			if err != nil {
+				e.Err = mapRemoteErr(s.w, err)
+			} else {
+				s.w.recover()
+				s.thr, s.calibrated = res.Threshold, true
+				g.metrics.ObserveSessionQuery()
+				e.Out = res.Context
+				e.Stats = elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}
+				e.Len, e.Thr, e.BatchSize = res.Len, res.Threshold, max(res.BatchSize, 1)
+			}
+			s.release()
+			held[i] = nil
+			continue
+		}
+		thr, err := g.resolveThreshold(s, e.Ov)
+		if err != nil {
+			e.Err = err
+			s.release()
+			held[i] = nil
+			continue
+		}
+		ds := s.set.dec
+		if g.serial || g.disp == nil || ds == nil {
+			out, stats, err := s.stream.QueryOverrides(nil, e.Q, e.Ov, s.thr)
+			if err != nil {
+				e.Err = err
+			} else {
+				g.metrics.ObserveSessionQuery()
+				e.Out, e.Stats, e.Len, e.Thr, e.BatchSize = out, stats, s.stream.Len(), thr, 1
+			}
+			s.release()
+			held[i] = nil
+			continue
+		}
+		dec := &s.dec
+		dec.stream, dec.q, dec.thr, dec.p, dec.out = s.stream, e.Q, thr, s.p, nil
+		if err := g.disp.enqueueDecode(ctx, ds, s.set, dec, s.class, deadline); err != nil {
+			dec.stream, dec.q = nil, nil
+			e.Err = err
+			s.release()
+			held[i] = nil
+			continue
+		}
+		e.Thr = thr
+		pending[i] = true
+		already := false
+		for _, w := range woken {
+			if w == ds {
+				already = true
+				break
+			}
+		}
+		if !already {
+			woken = append(woken, ds)
+		}
+	}
+	for _, ds := range woken {
+		ds.wakeup()
+	}
+
+	// Phase 3: collect. Delivery is unconditional on every dispatcher
+	// path (see submitDecode), so each receive completes; the gate is
+	// released only after the result is written back — the same
+	// submit/complete handoff a lone query observes.
+	for i := range entries {
+		if !pending[i] {
+			continue
+		}
+		e := &entries[i]
+		s := held[i]
+		dec := &s.dec
+		r := <-dec.j.result
+		out, stats := dec.out, dec.stats
+		dec.stream, dec.q = nil, nil
+		if r.err != nil {
+			e.Err = r.err
+		} else {
+			g.metrics.ObserveSessionQuery()
+			e.Out, e.Stats, e.Len, e.BatchSize = out, stats, s.stream.Len(), r.batchSize
+		}
+		s.release()
+	}
 }
 
 // mapRemoteErr translates a worker-side session failure into the

@@ -316,9 +316,12 @@ func (e *workerError) Unwrap() error { return e.err }
 // shardBackend is what a dispatch shard executes micro-batches through:
 // an in-process engine replica or a remote worker. attendBatch returns
 // one output or error per job, so a partially failed remote batch can
-// reroute only the failed ops.
+// reroute only the failed ops. decodeBatch executes a continuous-decode
+// batch — every job carries a decodeJob — writing results into each job's
+// decodeJob and returning one error per job.
 type shardBackend interface {
 	attendBatch(jobs []*job) ([]*elsa.Output, []error)
+	decodeBatch(jobs []*job) []error
 	available() bool
 	name() string
 }
@@ -328,6 +331,13 @@ type shardBackend interface {
 type localBackend struct {
 	eng     *elsa.Engine
 	workers int
+
+	// decOps and decErrs are the decode path's reusable staging buffers.
+	// A shard loop runs its batches serially, so reuse is race-free, and
+	// it keeps the steady-state decode cycle at zero allocations per
+	// query.
+	decOps  []elsa.StreamOp
+	decErrs []error
 }
 
 func (b *localBackend) name() string    { return "local" }
@@ -352,6 +362,37 @@ func (b *localBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
 		return make([]*elsa.Output, len(jobs)), errs
 	}
 	return outs, errs
+}
+
+// decodeBatch runs a continuous-decode batch directly on each session's
+// stream state via AttendStreams: per-op pinned thresholds, per-stream
+// workspaces, results written straight into each session's recycled
+// buffer. Stream-state execution is what keeps a mixed-session batch
+// bit-identical to serializing the same queries — each op runs exactly
+// the computation the session's own QueryOverrides would have.
+func (b *localBackend) decodeBatch(jobs []*job) []error {
+	if cap(b.decOps) < len(jobs) {
+		b.decOps = make([]elsa.StreamOp, len(jobs))
+		b.decErrs = make([]error, len(jobs))
+	}
+	ops := b.decOps[:len(jobs)]
+	errs := b.decErrs[:len(jobs)]
+	for i, j := range jobs {
+		dec := j.dec
+		ops[i] = elsa.StreamOp{
+			Stream:    dec.stream,
+			Q:         dec.q,
+			Overrides: elsa.Overrides{Thr: &dec.thr, P: dec.p},
+			Dst:       dec.out,
+		}
+	}
+	elsa.AttendStreams(ops, elsa.Exact(), b.workers)
+	for i, j := range jobs {
+		dec := j.dec
+		dec.out, dec.stats, errs[i] = ops[i].Out, ops[i].Stats, ops[i].Err
+		ops[i] = elsa.StreamOp{} // drop stream/buffer references
+	}
+	return errs
 }
 
 // remoteBackend runs batches on a remote worker by fanning the ops out as
@@ -405,6 +446,56 @@ func (b *remoteBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
 	}
 	wg.Wait()
 	return outs, errs
+}
+
+// decodeBatch materializes each session's prefix onto the wire as a
+// one-query /v1/attend op with the session's pinned threshold, so decode
+// batches from the continuous loop ride the existing remote worker
+// protocol — fleet mode batches too. Rows() aliases the stream's storage
+// without copying elements, which is safe here because the session's
+// submit/complete handoff blocks appends while the query is in flight.
+// Only float-mode sets ever offload decode (see pickShardDecode): a
+// quantized worker re-quantizes key norms on ingest where the stream
+// stored them unquantized, which would break decode's bit-identity
+// guarantee.
+func (b *remoteBackend) decodeBatch(jobs []*job) []error {
+	errs := make([]error, len(jobs))
+	b.w.metrics.ObserveRemoteOps(b.w.addr, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *job) {
+			defer wg.Done()
+			select {
+			case b.w.inflight <- struct{}{}:
+			case <-j.ctx.Done():
+				errs[i] = j.ctx.Err()
+				return
+			}
+			defer func() { <-b.w.inflight }()
+			dec := j.dec
+			keys, values := dec.stream.Rows()
+			res, err := b.w.cli.Attend(j.ctx, [][]float32{dec.q}, keys, values, client.AttendOptions{
+				Overrides: elsa.Overrides{Thr: &dec.thr},
+				HeadDim:   b.opts.HeadDim,
+				HashBits:  b.opts.HashBits,
+				Seed:      b.opts.Seed,
+				Quantized: b.opts.Quantized,
+			})
+			if err != nil {
+				errs[i] = b.classify(err)
+				return
+			}
+			b.w.recover()
+			dec.out = append(dec.out[:0], res.Context[0]...)
+			dec.stats = elsa.StreamStats{
+				Candidates: int(res.CandidateFraction*float64(dec.stream.Len()) + 0.5),
+				Fallback:   res.FallbackQueries > 0,
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	return errs
 }
 
 // classify sorts one remote failure into the dispatcher's retry taxonomy

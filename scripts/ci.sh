@@ -37,7 +37,7 @@ echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
 # explicitly so they can never be skipped under -short, with -count=1 to
 # defeat test caching.
-go test -count=1 -run 'ZeroAlloc' ./internal/attention/
+go test -count=1 -run 'ZeroAlloc' ./internal/attention/ ./internal/serve/
 
 echo "== perf trajectory (committed files) =="
 # Gate the committed trajectory itself: compare the two newest BENCH_*.json
@@ -68,7 +68,9 @@ fi
 echo "== serving perf trajectory (committed files) =="
 # Same idea for the serving-layer trajectory: compare the two newest
 # committed BENCH_*_serving.json snapshots on ops/s per {replicas,
-# concurrency} point. Warns by default; PERF_STRICT=1 fails the build.
+# concurrency} point and on decode mean_batch per {sessions, mode} point
+# (snapshots predating decode batching skip that half of the gate).
+# Warns by default; PERF_STRICT=1 fails the build.
 mapfile -t serving_files < <(ls -1 BENCH_*_serving.json 2>/dev/null | sort)
 if [ "${#serving_files[@]}" -ge 2 ]; then
     prev="${serving_files[-2]}"
@@ -82,7 +84,7 @@ if [ "${#serving_files[@]}" -ge 2 ]; then
             echo "committed serving trajectory regressed (PERF_STRICT=1): failing" >&2
             exit 1
         fi
-        echo "WARNING: committed $newest dropped >15% ops/s vs $prev (set PERF_STRICT=1 to fail)" >&2
+        echo "WARNING: committed $newest dropped >15% ops/s or decode mean_batch vs $prev (set PERF_STRICT=1 to fail)" >&2
     fi
 else
     echo "fewer than two committed BENCH_*_serving.json files; skipping"

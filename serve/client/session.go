@@ -37,6 +37,10 @@ type QueryResult struct {
 	Fallback   bool
 	Len        int
 	Threshold  elsa.Threshold
+	// BatchSize is how many session queries the server's continuous
+	// decode loop coalesced into the dispatch this one rode in (1 = it
+	// rode alone; 0 from servers predating decode batching).
+	BatchSize int
 }
 
 type sessionCreateWire struct {
@@ -74,6 +78,7 @@ type sessionQueryReplyWire struct {
 	Fallback   bool          `json:"fallback"`
 	Len        int           `json:"len"`
 	Threshold  thresholdWire `json:"threshold"`
+	BatchSize  int           `json:"batch_size"`
 }
 
 // NewSession creates a server-side decode session.
@@ -135,6 +140,7 @@ func (s *Session) Query(ctx context.Context, q []float32, ov elsa.Overrides) (*Q
 		Fallback:   reply.Fallback,
 		Len:        reply.Len,
 		Threshold:  elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries},
+		BatchSize:  reply.BatchSize,
 	}, nil
 }
 

@@ -69,6 +69,13 @@ func (s *Stream) QueryOverrides(dst []float32, q []float32, ov Overrides, fallba
 // (Calibrate with Q = K = Keys()). Not intended for the decode hot path.
 func (s *Stream) Keys() [][]float32 { return s.inner.Keys() }
 
+// Rows returns per-token views of the appended key and value vectors,
+// aliasing the stream's storage (already quantized in quantized mode).
+// The views are valid only until the next Append — they exist so a
+// serving layer can materialize a session's prefix onto the wire (an
+// Attend op against a remote worker) without copying every element.
+func (s *Stream) Rows() (keys, values [][]float32) { return s.inner.Rows() }
+
 // AttendBlockwise runs approximate attention over sequences longer than
 // one hardware invocation by decomposing the keys into blocks of at most
 // blockSize and merging the per-block softmax results exactly — the

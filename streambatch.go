@@ -1,0 +1,97 @@
+package elsa
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// StreamOp is one decode step in an AttendStreams batch: a single query
+// attending over its own Stream's prefix at its own operating point. The
+// embedded Overrides carries the op's pinned threshold (and advisory p),
+// exactly like BatchOp — what lets sessions calibrated at different
+// operating points share one dispatch.
+//
+// Results are written back in place: Out receives the context vector
+// (Dst grown only when its capacity falls short of the head dimension),
+// Stats the query's work counters, Err any per-op failure. A serving
+// layer that recycles each session's StreamOp and Dst buffer therefore
+// runs the whole coalesce → dispatch → write-back cycle without
+// per-query heap allocation.
+type StreamOp struct {
+	// Stream is the op's decode state. Streams are single-goroutine by
+	// contract, so each Stream may appear at most once per AttendStreams
+	// call; the caller's session locking is what guarantees it.
+	Stream *Stream
+	// Q is the query vector (length = the engine's head dimension).
+	Q []float32
+	// Overrides pins the op's operating point; the zero value inherits
+	// the batch fallback threshold.
+	Overrides
+	// Dst is the optional recycled output buffer.
+	Dst []float32
+
+	// Out, Stats and Err are the op's results, valid after AttendStreams
+	// returns.
+	Out   []float32
+	Stats StreamStats
+	Err   error
+}
+
+// run executes one op, writing results in place.
+func (op *StreamOp) run(fallback Threshold) {
+	if op.Stream == nil {
+		op.Err = errors.New("elsa: stream op with nil Stream")
+		return
+	}
+	op.Out, op.Stats, op.Err = op.Stream.QueryOverrides(op.Dst, op.Q, op.Overrides, fallback)
+}
+
+// AttendStreams runs a batch of decode queries, each over its own Stream
+// at its own operating point, and writes every op's result back into the
+// slice — the continuous-batching analogue of AttendBatch: where
+// AttendBatch amortizes dispatch over many queries against one shared
+// key set, AttendStreams amortizes it over many sessions' incremental
+// states (the paper's batch-level parallelism, §IV-D, applied to
+// autoregressive decode).
+//
+// fallback resolves ops whose Overrides pin nothing. workers <= 0
+// selects GOMAXPROCS; a batch of one (or workers == 1) runs serially on
+// the calling goroutine with zero heap allocations — per-op errors stay
+// in StreamOp.Err, so the serial path needs no bookkeeping of its own.
+func AttendStreams(ops []StreamOp, fallback Threshold, workers int) {
+	if len(ops) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers <= 1 {
+		for i := range ops {
+			ops[i].run(fallback)
+		}
+		return
+	}
+	// Each op touches only its own Stream (workspace included) and its
+	// own slice element, so a bare index-feed pool needs no further
+	// synchronization.
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ops[i].run(fallback)
+			}
+		}()
+	}
+	for i := range ops {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
