@@ -236,10 +236,12 @@ func benchVec(rng *rand.Rand, dim int) []float32 {
 
 // servingSnapshot is the combined BENCH_*_serving.json shape: the
 // original top-level "serve" rows (older gates and ci.sh parse that key
-// directly) plus the decode-batching family added alongside.
+// directly) plus the decode-batching and session-migration families
+// added alongside.
 type servingSnapshot struct {
-	Serve  []ServingRow `json:"serve"`
-	Decode []DecodeRow  `json:"decode,omitempty"`
+	Serve   []ServingRow `json:"serve"`
+	Decode  []DecodeRow  `json:"decode,omitempty"`
+	Migrate []MigrateRow `json:"migrate,omitempty"`
 }
 
 // loadDecodeRows reads the "decode" family from a committed serving

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
 //	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
@@ -21,8 +21,13 @@
 // the "decode" family, on decode mean_batch — instead of ns/op. The
 // "decode" experiment measures the continuous decode-batching loop
 // (aggregate tokens/s and mean coalesced batch size, batched vs the
-// serialized baseline, across session counts); -experiment serve -json
-// writes both families into the serving snapshot.
+// serialized baseline, across session counts), and the "migrate"
+// experiment measures portable session state (resident bytes/session hot
+// vs cold, whole-session moves/s over the HTTP export/import path,
+// rehydrate latency); -experiment serve -json writes all three families
+// into the serving snapshot, and -compare additionally gates decode
+// mean_batch plus migration moves/s and resident bytes when both
+// snapshots carry those families.
 package main
 
 import (
@@ -41,7 +46,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
@@ -111,11 +116,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, "elsabench:", err)
 				failed = true
 			}
-			// The decode mean_batch gate reads the "decode" family out of
-			// both committed snapshots, so it only applies in -compare mode;
-			// a fresh measurement keeps the ops/s-only gate.
+			// The decode mean_batch and migration gates read their families
+			// out of both committed snapshots, so they only apply in
+			// -compare mode; a fresh measurement keeps the ops/s-only gate.
 			if *compare != "" {
 				if err := compareDecodePerf(*compare, *baseline, *maxRegress); err != nil {
+					fmt.Fprintln(os.Stderr, "elsabench:", err)
+					failed = true
+				}
+				if err := compareMigratePerf(*compare, *baseline, *maxRegress); err != nil {
 					fmt.Fprintln(os.Stderr, "elsabench:", err)
 					failed = true
 				}
@@ -167,8 +176,9 @@ func main() {
 		"bench":     runBench,
 		"serve":     runServe,
 		"decode":    runDecode,
+		"migrate":   runMigrate,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode", "migrate"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -248,9 +258,9 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 	case "bench":
 		return benchRows(opt)
 	case "serve":
-		// The serving snapshot carries both HTTP families: the one-shot
-		// attend rows under the original top-level "serve" key and the
-		// continuous decode-batching rows alongside.
+		// The serving snapshot carries every HTTP family: the one-shot
+		// attend rows under the original top-level "serve" key, with the
+		// continuous decode-batching and session-migration rows alongside.
 		rows, err := servingRows(opt)
 		if err != nil {
 			return nil, err
@@ -259,9 +269,15 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return servingSnapshot{Serve: rows, Decode: dec}, nil
+		mig, err := migrateRows(opt)
+		if err != nil {
+			return nil, err
+		}
+		return servingSnapshot{Serve: rows, Decode: dec, Migrate: mig}, nil
 	case "decode":
 		return decodeRows(opt)
+	case "migrate":
+		return migrateRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {

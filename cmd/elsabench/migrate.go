@@ -1,0 +1,320 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"elsa"
+	"elsa/internal/experiments"
+	"elsa/internal/serve"
+	"elsa/serve/client"
+)
+
+// MigrateRow is one portable-session-state measurement at a {tokens,
+// cold watermark} operating point: how much memory one decode session
+// holds resident, how large its wire-format export is, how fast whole
+// sessions move between two live servers over the HTTP export/import
+// path, and how long the engine takes to rehydrate the exported blob.
+type MigrateRow struct {
+	// Tokens is the session's appended prefix length.
+	Tokens int `json:"tokens"`
+	// ColdWatermark is the hot f32 tail size; 0 keeps the whole prefix
+	// hot (the pre-cold-split layout), >0 bit-packs everything older.
+	ColdWatermark int `json:"cold_watermark"`
+	// ResidentBytes is the in-memory footprint of one session's stream.
+	ResidentBytes int `json:"resident_bytes"`
+	// WireBytes is the size of the versioned export blob for the same
+	// stream — what a migration or spill actually ships.
+	WireBytes int `json:"wire_bytes"`
+	// MigrationsPerSec is whole-session moves per second between two
+	// live servers: export on the source, close, import on the target.
+	MigrationsPerSec float64 `json:"migrations_per_sec"`
+	// RehydrateP50Ms / RehydrateP99Ms are engine-level ImportStream
+	// latency percentiles over the exported blob — the cost a lazily
+	// rehydrated (spilled) session pays on its first request back.
+	RehydrateP50Ms float64 `json:"rehydrate_p50_ms"`
+	RehydrateP99Ms float64 `json:"rehydrate_p99_ms"`
+}
+
+// migrateRows measures portable session state at hot (watermark 0) and
+// cold-heavy (watermark 512) layouts. The 4096-token cold-heavy row is
+// the headline point: its resident bytes/session against the hot row of
+// the same length is the cold-split memory win.
+func migrateRows(opt experiments.Options) ([]MigrateRow, error) {
+	const (
+		dim       = 64
+		watermark = 512
+	)
+	var rows []MigrateRow
+	for _, tokens := range []int{1024, 4096} {
+		for _, wm := range []int{0, watermark} {
+			row, err := migratePoint(opt, tokens, wm, dim)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// migratePoint runs one {tokens, watermark} operating point: resident
+// and wire sizes plus rehydrate latency straight against the engine,
+// then migration throughput over HTTP between two real serve.Servers.
+func migratePoint(opt experiments.Options, tokens, watermark, dim int) (MigrateRow, error) {
+	eng, err := elsa.New(elsa.Options{HeadDim: dim, Seed: opt.Seed})
+	if err != nil {
+		return MigrateRow{}, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + int64(tokens) + int64(watermark)))
+	st := eng.NewStreamCold(tokens, watermark)
+	keys := make([][]float32, tokens)
+	vals := make([][]float32, tokens)
+	for i := 0; i < tokens; i++ {
+		keys[i], vals[i] = benchVec(rng, dim), benchVec(rng, dim)
+		if err := st.Append(keys[i], vals[i]); err != nil {
+			return MigrateRow{}, fmt.Errorf("migrate append: %w", err)
+		}
+	}
+	resident := st.StateBytes()
+	blob := st.Export()
+
+	// Rehydrate latency: the blob → live stream path a spilled session
+	// takes on its first request after eviction to the state dir.
+	reps := 20 * opt.Instances
+	lat := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if _, err := eng.ImportStream(blob); err != nil {
+			return MigrateRow{}, fmt.Errorf("migrate rehydrate: %w", err)
+		}
+		lat[r] = float64(time.Since(t0).Microseconds()) / 1e3
+	}
+	sort.Float64s(lat)
+
+	perSec, err := migrationChurn(opt, tokens, watermark, dim, keys, vals)
+	if err != nil {
+		return MigrateRow{}, err
+	}
+	return MigrateRow{
+		Tokens:           tokens,
+		ColdWatermark:    watermark,
+		ResidentBytes:    resident,
+		WireBytes:        len(blob),
+		MigrationsPerSec: perSec,
+		RehydrateP50Ms:   percentile(lat, 0.50),
+		RehydrateP99Ms:   percentile(lat, 0.99),
+	}, nil
+}
+
+// migrationChurn bounces one live session between two servers over the
+// HTTP export/import path and reports whole-session moves per second.
+// A query before the first move and after the last pins bit-identical
+// state across every hop.
+func migrationChurn(opt experiments.Options, tokens, watermark, dim int, keys, vals [][]float32) (float64, error) {
+	mk := func() (*serve.Server, *httptest.Server) {
+		srv := serve.New(serve.Config{
+			MaxBatch:      64,
+			MaxQueue:      2048,
+			Replicas:      1,
+			ColdWatermark: watermark,
+		})
+		return srv, httptest.NewServer(srv)
+	}
+	srvA, tsA := mk()
+	defer srvA.Close()
+	defer tsA.Close()
+	srvB, tsB := mk()
+	defer srvB.Close()
+	defer tsB.Close()
+	clients := [2]*client.Client{client.New(tsA.URL), client.New(tsB.URL)}
+
+	ctx := context.Background()
+	// A pinned threshold keeps every hop free of lazy calibration; the
+	// exported state carries it to the importing server.
+	thr := elsa.Threshold{P: 1, T: 0.5}
+	sess, err := clients[0].NewSession(ctx, client.SessionOptions{
+		Overrides: elsa.Overrides{Thr: &thr},
+		HeadDim:   dim,
+		Seed:      opt.Seed,
+		Capacity:  tokens,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("migrate session create: %w", err)
+	}
+	if _, err := sess.AppendBatch(ctx, keys, vals); err != nil {
+		return 0, fmt.Errorf("migrate session append: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 77))
+	q := benchVec(rng, dim)
+	before, err := sess.Query(ctx, q, elsa.Overrides{})
+	if err != nil {
+		return 0, fmt.Errorf("migrate pre-move query: %w", err)
+	}
+
+	moves := 4 * opt.Instances
+	start := time.Now()
+	for m := 0; m < moves; m++ {
+		state, err := sess.Export(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("migrate move %d export: %w", m, err)
+		}
+		if err := sess.Close(ctx); err != nil {
+			return 0, fmt.Errorf("migrate move %d close: %w", m, err)
+		}
+		sess, err = clients[(m+1)%2].ImportSession(ctx, state)
+		if err != nil {
+			return 0, fmt.Errorf("migrate move %d import: %w", m, err)
+		}
+	}
+	wall := time.Since(start)
+
+	after, err := sess.Query(ctx, q, elsa.Overrides{})
+	if err != nil {
+		return 0, fmt.Errorf("migrate post-move query: %w", err)
+	}
+	if !sameVec(before.Context, after.Context) {
+		return 0, fmt.Errorf("migrate (tokens=%d watermark=%d): output diverged after %d moves", tokens, watermark, moves)
+	}
+	return float64(moves) / wall.Seconds(), nil
+}
+
+// sameVec reports bitwise equality of two float32 vectors.
+func sameVec(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadMigrateRows reads the "migrate" family from a committed serving
+// snapshot. Snapshots from before portable session state simply lack
+// the key; that is not an error — the caller skips the comparison.
+func loadMigrateRows(path string) ([]MigrateRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload servingSnapshot
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return payload.Migrate, nil
+}
+
+// compareMigratePerf gates the migration trajectory: for every operating
+// point — keyed by {tokens, cold_watermark} — present in both committed
+// snapshots, migrations/s must not have dropped by more than maxRegress,
+// and resident bytes/session must not have grown by more than the same
+// margin. Snapshots without migrate rows skip the gate.
+func compareMigratePerf(newPath, baselinePath string, maxRegress float64) error {
+	rows, err := loadMigrateRows(newPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadMigrateRows(baselinePath)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 || len(base) == 0 {
+		fmt.Printf("migrate rows absent from %s or %s; skipping migration gate\n", newPath, baselinePath)
+		return nil
+	}
+	type point struct {
+		Tokens    int
+		Watermark int
+	}
+	old := make(map[point]MigrateRow, len(base))
+	for _, r := range base {
+		old[point{r.Tokens, r.ColdWatermark}] = r
+	}
+	var regressions []string
+	for _, r := range rows {
+		prev, ok := old[point{r.Tokens, r.ColdWatermark}]
+		if !ok || prev.MigrationsPerSec <= 0 {
+			continue
+		}
+		ratio := r.MigrationsPerSec / prev.MigrationsPerSec
+		fmt.Printf("migrate tokens=%-5d watermark=%-4d: %7.1f moves/s vs baseline %7.1f (%.2fx), resident %s vs %s\n",
+			r.Tokens, r.ColdWatermark, r.MigrationsPerSec, prev.MigrationsPerSec, ratio,
+			kib(r.ResidentBytes), kib(prev.ResidentBytes))
+		if ratio < 1-maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("tokens=%d watermark=%d: %.1f -> %.1f moves/s (-%.0f%%)",
+					r.Tokens, r.ColdWatermark, prev.MigrationsPerSec, r.MigrationsPerSec, 100*(1-ratio)))
+		}
+		if prev.ResidentBytes > 0 && float64(r.ResidentBytes) > float64(prev.ResidentBytes)*(1+maxRegress) {
+			regressions = append(regressions,
+				fmt.Sprintf("tokens=%d watermark=%d: resident bytes/session %s -> %s (+%.0f%%)",
+					r.Tokens, r.ColdWatermark, kib(prev.ResidentBytes), kib(r.ResidentBytes),
+					100*(float64(r.ResidentBytes)/float64(prev.ResidentBytes)-1)))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("migration perf regressed >%.0f%% vs %s:\n  %s",
+			100*maxRegress, baselinePath, joinLines(regressions))
+	}
+	fmt.Printf("migration OK: no operating point regressed >%.0f%% vs %s\n", 100*maxRegress, baselinePath)
+	return nil
+}
+
+// kib renders a byte count as KiB with one decimal.
+func kib(n int) string {
+	return fmt.Sprintf("%.1fKiB", float64(n)/1024)
+}
+
+func runMigrate(opt experiments.Options) error {
+	rows, err := migrateRows(opt)
+	if err != nil {
+		return err
+	}
+	header("migrate: portable session state — resident footprint, wire size, live moves")
+	fmt.Printf("%7s %10s %14s %12s %9s %17s %17s\n",
+		"tokens", "watermark", "resident/sess", "wire bytes", "moves/s", "rehydrate p50(ms)", "rehydrate p99(ms)")
+	for _, r := range rows {
+		fmt.Printf("%7d %10d %14s %12s %9.1f %17.2f %17.2f\n",
+			r.Tokens, r.ColdWatermark, kib(r.ResidentBytes), kib(r.WireBytes),
+			r.MigrationsPerSec, r.RehydrateP50Ms, r.RehydrateP99Ms)
+	}
+	printMigrateReductions(rows)
+	fmt.Println("(each move exports the whole session over HTTP, closes it on the source and")
+	fmt.Println(" imports it on the other server; a query before the first hop and after the")
+	fmt.Println(" last pins bit-identical output, and rehydrate rows time the blob -> stream")
+	fmt.Println(" path a spilled session pays on its first request back)")
+	return nil
+}
+
+// printMigrateReductions pairs each cold row with the hot (watermark 0)
+// row of the same length and prints the resident-memory reduction — the
+// cold-split win the 4096-token point is sized to demonstrate (>=2x).
+func printMigrateReductions(rows []MigrateRow) {
+	hot := make(map[int]MigrateRow, len(rows))
+	for _, r := range rows {
+		if r.ColdWatermark == 0 {
+			hot[r.Tokens] = r
+		}
+	}
+	for _, r := range rows {
+		if r.ColdWatermark == 0 {
+			continue
+		}
+		base, ok := hot[r.Tokens]
+		if !ok || r.ResidentBytes <= 0 {
+			continue
+		}
+		fmt.Printf("tokens=%-5d watermark=%-4d: %.2fx less resident memory per session than all-hot (%s vs %s)\n",
+			r.Tokens, r.ColdWatermark, float64(base.ResidentBytes)/float64(r.ResidentBytes),
+			kib(r.ResidentBytes), kib(base.ResidentBytes))
+	}
+}

@@ -12,7 +12,8 @@
 //	          [-queue 256] [-attend-workers 0] [-timeout 30s]
 //	          [-replicas 0] [-max-engines 8]
 //	          [-max-sessions 1024] [-session-ttl 15m] [-session-tokens 65536]
-//	          [-state-dir /var/lib/elsa]
+//	          [-state-dir /var/lib/elsa] [-max-threshold-files 512]
+//	          [-session-spill 0] [-cold-watermark 0]
 //	          [-quota-rps 0] [-quota-burst 0] [-class-weights 16,4,1]
 //	          [-worker | -workers host:port,...]
 //	          [-worker-probe-interval 5s] [-worker-inflight 32]
@@ -36,7 +37,18 @@
 // Frontends accept joins with no extra flags; `-workers` remains the
 // static seed list and both sources mix freely. POST /v1/drain (or a
 // frontend's POST /v1/cluster/drain) drains a server: no new sessions,
-// pinned ones finish or are force-expired after `-drain-timeout`.
+// pinned ones are live-migrated onto other members (cluster drain) or
+// finish in place, with stragglers force-expired after `-drain-timeout`.
+//
+// Portable session state: every session's stream serializes to a
+// versioned binary blob (POST /v1/sessions/{id}/export) that another
+// server rebuilds bit-identically (POST /v1/sessions/import) — the
+// substrate for live migration, worker-loss recovery from the frontend's
+// shadow copies, and `-session-spill`, which pages sessions idle longer
+// than the given duration out to `-state-dir` until their next query.
+// `-cold-watermark N` bounds each stream's resident f32 hot tail to at
+// most 2N tokens, demoting older entries to the bit-packed cold
+// representation the paper's approximate pipeline scores against.
 //
 // Endpoints:
 //
@@ -44,6 +56,9 @@
 //	POST   /v1/sessions             open an autoregressive decode session
 //	POST   /v1/sessions/{id}/append append token key/value(s) to a session
 //	POST   /v1/sessions/{id}/query  one decode step over the session prefix
+//	POST   /v1/sessions/{id}/export serialize the session's portable state
+//	POST   /v1/sessions/import      adopt an exported session under its original ID
+//	POST   /v1/sessions/step        one decode step across many sessions (a wave)
 //	DELETE /v1/sessions/{id}        close a session
 //	GET    /v1/healthz              liveness plus resident engine and session counts
 //	GET    /v1/metrics              Prometheus text-format counters and histograms
@@ -85,7 +100,10 @@ func main() {
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", 1024, "bounded session registry; LRU eviction at capacity")
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative disables)")
 	flag.IntVar(&cfg.MaxSessionTokens, "session-tokens", 65536, "per-session appended-token limit")
-	flag.StringVar(&cfg.StateDir, "state-dir", "", "persist calibrated thresholds here across restarts (empty = memory only)")
+	flag.StringVar(&cfg.StateDir, "state-dir", "", "persist calibrated thresholds (and spilled sessions) here across restarts (empty = memory only)")
+	flag.IntVar(&cfg.MaxThresholdFiles, "max-threshold-files", 512, "cap on threshold files kept in -state-dir, LRU-evicted beyond it (negative = unbounded)")
+	flag.DurationVar(&cfg.SessionSpill, "session-spill", 0, "page sessions idle longer than this out to -state-dir (0 = off; requires -state-dir)")
+	flag.IntVar(&cfg.ColdWatermark, "cold-watermark", 0, "bound each session stream's resident f32 hot tail to 2x this many tokens; older entries demote to the bit-packed cold form (0 = all hot)")
 	flag.Float64Var(&cfg.QuotaRPS, "quota-rps", 0, "per-client admission rate in ops/s, keyed by envelope client_id (0 = quotas off)")
 	flag.Float64Var(&cfg.QuotaBurst, "quota-burst", 0, "per-client token-bucket burst (0 = max(1, quota-rps))")
 	weights := flag.String("class-weights", "16,4,1", "weighted-dequeue shares for interactive,batch,background traffic")

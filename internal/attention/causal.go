@@ -95,7 +95,7 @@ func (e *Engine) AttendCausal(q *tensor.Matrix, p *Preprocessed, t float64) (*Re
 		ws.candFlat = append(ws.candFlat, ws.cand...)
 		ws.scores = ws.scores[:0]
 		for _, y := range ws.cand {
-			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.keyRow(y, ws)))*e.cfg.Scale)
 		}
 		e.weightedSum(res.Output.Row(i), ws.cand, ws.scores, p, ws)
 	}

@@ -1,0 +1,73 @@
+package attention
+
+import (
+	"elsa/internal/fixed"
+)
+
+// ColdPrefix is the demoted front of a stream's key/value storage: the
+// oldest tokens' K/V rows bit-packed in the Q(1,5,3) fixed-point format
+// (9 bits per element instead of 32), the compression the accelerator's
+// own input format already imposes in quantized mode. Hashes and norms
+// are not demoted — the candidate filter scans them at full precision
+// regardless of where a row's K/V lives — so demotion never changes
+// which keys are selected in quantized mode, and in float mode perturbs
+// only the exact-score/value stage of already-cold rows.
+//
+// Logical row y of a Preprocessed with a cold prefix lives in
+// Cold.Keys/Cold.Values for y < Cold.N() and in Keys/Values at row
+// y - Cold.N() otherwise.
+type ColdPrefix struct {
+	Keys, Values *fixed.PackedCodes
+}
+
+// N returns the number of demoted rows.
+func (c *ColdPrefix) N() int {
+	if c == nil {
+		return 0
+	}
+	return c.Keys.Rows()
+}
+
+// Bytes returns the cold store's resident payload size.
+func (c *ColdPrefix) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	return c.Keys.Bytes() + c.Values.Bytes()
+}
+
+// newColdPrefix allocates an empty cold store for head dimension d.
+func newColdPrefix(d, capRows int) *ColdPrefix {
+	return &ColdPrefix{
+		Keys:   fixed.NewPackedCodes(fixed.QKV, d, capRows),
+		Values: fixed.NewPackedCodes(fixed.QKV, d, capRows),
+	}
+}
+
+// keyRow resolves logical key row y: a direct hot-tail view, or the cold
+// row dequantized into the workspace's scratch buffer (overwritten by the
+// next cold fetch on the same workspace).
+func (p *Preprocessed) keyRow(y int, ws *Workspace) []float32 {
+	if c := p.Cold; c != nil {
+		cn := c.Keys.Rows()
+		if y < cn {
+			c.Keys.DecodeInto(ws.coldKey, y)
+			return ws.coldKey
+		}
+		y -= cn
+	}
+	return p.Keys.Row(y)
+}
+
+// valueRow resolves logical value row y, mirroring keyRow.
+func (p *Preprocessed) valueRow(y int, ws *Workspace) []float32 {
+	if c := p.Cold; c != nil {
+		cn := c.Values.Rows()
+		if y < cn {
+			c.Values.DecodeInto(ws.coldVal, y)
+			return ws.coldVal
+		}
+		y -= cn
+	}
+	return p.Values.Row(y)
+}

@@ -209,10 +209,16 @@ type Preprocessed struct {
 	Packed       *srp.PackedHashes
 	Norms        []float64
 	MaxNorm      float64
+	// Cold, when non-nil, holds the demoted oldest rows of a stream's
+	// K/V storage in the bit-packed Q(1,5,3) representation; Keys/Values
+	// then hold only the hot tail. Packed and Norms always span the full
+	// logical sequence (cold + hot), so candidate selection is oblivious
+	// to the split.
+	Cold *ColdPrefix
 }
 
-// N returns the number of keys.
-func (p *Preprocessed) N() int { return p.Keys.Rows }
+// N returns the number of keys (cold prefix included).
+func (p *Preprocessed) N() int { return p.Cold.N() + p.Keys.Rows }
 
 // validateFinite rejects NaN/Inf inputs: they would silently corrupt
 // norms, hashes and softmax sums deep inside the pipeline, so the engine
@@ -455,7 +461,7 @@ func (e *Engine) attendRows(ws *Workspace, qm *tensor.Matrix, lo, hi int, p *Pre
 		}
 		ws.scores = ws.scores[:0]
 		for _, y := range ws.cand {
-			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.Keys.Row(y)))*e.cfg.Scale)
+			ws.scores = append(ws.scores, float64(tensor.Dot(qrow, p.keyRow(y, ws)))*e.cfg.Scale)
 		}
 		e.weightedSum(out.Row(i), ws.cand, ws.scores, p, ws)
 	}
@@ -517,7 +523,7 @@ func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Pre
 		for ci, y := range cand {
 			ev := e.expU.Exp(scores[ci])
 			sumexp = fixed.RoundEFloat(sumexp + ev)
-			vrow := p.Values.Row(y)
+			vrow := p.valueRow(y, ws)
 			for j := range acc {
 				acc[j] += ev * float64(vrow[j])
 			}
@@ -552,7 +558,7 @@ func (e *Engine) weightedSum(out []float32, cand []int, scores []float64, p *Pre
 	inv := 1 / sumexp
 	for ci, y := range cand {
 		wy := w[ci] * inv
-		vrow := p.Values.Row(y)
+		vrow := p.valueRow(y, ws)
 		for j := range out {
 			out[j] += float32(wy * float64(vrow[j]))
 		}

@@ -20,14 +20,22 @@ import (
 // A Stream is not safe for concurrent use.
 type Stream struct {
 	engine *Engine
-	// Growing backing stores; keys/values hold len·d elements. Hashes live
-	// in a packed arena that grows one row per appended token, so queries
-	// scan the same contiguous layout as batch attention.
+	// Growing hot-tail backing stores; keys/values hold hotN·d elements,
+	// where hotN = n - cold.N(). Hashes live in a packed arena spanning the
+	// full sequence (cold prefix included) that grows one row per appended
+	// token, so queries scan the same contiguous layout as batch attention.
 	keys, values []float32
 	packed       *srp.PackedHashes
 	norms        []float64
 	maxNorm      float64
 	n            int
+	// watermark, when > 0, bounds the hot tail: once the tail reaches twice
+	// the watermark, the oldest hotN - watermark rows demote in one chunk to
+	// the bit-packed Q(1,5,3) cold store, keeping the tail in
+	// [watermark, 2·watermark) and the per-token demotion cost O(d)
+	// amortized. 0 (the default) keeps everything hot.
+	watermark int
+	cold      *ColdPrefix
 	// ws is the stream's private workspace: Streams are single-goroutine by
 	// contract, so per-token hashing and querying run allocation-free
 	// without touching the engine pool.
@@ -43,21 +51,56 @@ type Stream struct {
 // NewStream creates an empty key/value stream with storage preallocated
 // for capacity tokens (it grows beyond that as needed).
 func (e *Engine) NewStream(capacity int) *Stream {
+	return e.NewStreamCold(capacity, 0)
+}
+
+// NewStreamCold is NewStream with a cold watermark: tokens older than the
+// hot tail the watermark bounds are demoted to the bit-packed Q(1,5,3)
+// representation (see Stream.watermark). watermark <= 0 keeps the whole
+// stream hot — identical to NewStream.
+func (e *Engine) NewStreamCold(capacity, watermark int) *Stream {
 	if capacity < 0 {
 		capacity = 0
 	}
+	if watermark < 0 {
+		watermark = 0
+	}
+	hotCap := capacity
+	if watermark > 0 && hotCap > 2*watermark {
+		hotCap = 2 * watermark
+	}
 	return &Stream{
-		engine: e,
-		keys:   make([]float32, 0, capacity*e.cfg.D),
-		values: make([]float32, 0, capacity*e.cfg.D),
-		packed: srp.NewPackedHashesCap(e.cfg.K, capacity),
-		norms:  make([]float64, 0, capacity),
-		ws:     NewWorkspace(e),
+		engine:    e,
+		keys:      make([]float32, 0, hotCap*e.cfg.D),
+		values:    make([]float32, 0, hotCap*e.cfg.D),
+		packed:    srp.NewPackedHashesCap(e.cfg.K, capacity),
+		norms:     make([]float64, 0, capacity),
+		watermark: watermark,
+		ws:        NewWorkspace(e),
 	}
 }
 
 // Len returns the number of tokens appended so far.
 func (s *Stream) Len() int { return s.n }
+
+// ColdLen returns how many of the oldest tokens have been demoted to the
+// bit-packed cold representation.
+func (s *Stream) ColdLen() int { return s.cold.N() }
+
+// Watermark returns the configured cold watermark (0 = never demote).
+func (s *Stream) Watermark() int { return s.watermark }
+
+// StateBytes reports the resident payload bytes of the stream's per-token
+// state — hot f32 K/V, the packed hash arena, norms, and the bit-packed
+// cold store — the resident-bytes-per-session number the serving layer's
+// migration benchmark tracks. Buffer headers and slack capacity are not
+// counted.
+func (s *Stream) StateBytes() int {
+	return len(s.keys)*4 + len(s.values)*4 + len(s.packed.Words)*8 + len(s.norms)*8 + s.cold.Bytes()
+}
+
+// hotLen returns the number of tokens resident in the hot f32 tail.
+func (s *Stream) hotLen() int { return s.n - s.cold.N() }
 
 // MaxNorm returns the largest key norm seen so far (the running ‖K_max‖
 // the hardware's norm module maintains).
@@ -103,7 +146,34 @@ func (s *Stream) Append(key, value []float32) error {
 		s.maxNorm = norm
 	}
 	s.n++
+	if s.watermark > 0 && s.hotLen() >= 2*s.watermark {
+		s.demote(s.hotLen() - s.watermark)
+	}
 	return nil
+}
+
+// demote moves the oldest count hot rows into the bit-packed cold store
+// and compacts the hot tail down. Hashes and norms stay where they are —
+// they span the full sequence and are not affected by K/V demotion. In
+// quantized mode the hot rows are already on the Q(1,5,3) grid, so
+// demotion is bit-lossless; in float mode it rounds each demoted element
+// to the grid (the cold-prefix fidelity bound pinned by test).
+func (s *Stream) demote(count int) {
+	if count <= 0 {
+		return
+	}
+	d := s.engine.cfg.D
+	if s.cold == nil {
+		s.cold = newColdPrefix(d, 0)
+	}
+	for i := 0; i < count; i++ {
+		s.cold.Keys.AppendRow(s.keys[i*d : (i+1)*d])
+		s.cold.Values.AppendRow(s.values[i*d : (i+1)*d])
+	}
+	n := copy(s.keys, s.keys[count*d:])
+	s.keys = s.keys[:n]
+	n = copy(s.values, s.values[count*d:])
+	s.values = s.values[:n]
 }
 
 // snapshot views the current prefix as a Preprocessed without copying,
@@ -113,43 +183,59 @@ func (s *Stream) Append(key, value []float32) error {
 // scans Packed directly.
 func (s *Stream) snapshot() *Preprocessed {
 	d := s.engine.cfg.D
-	s.keysMat = tensor.Matrix{Rows: s.n, Cols: d, Data: s.keys[:s.n*d]}
-	s.valsMat = tensor.Matrix{Rows: s.n, Cols: d, Data: s.values[:s.n*d]}
+	hot := s.hotLen()
+	s.keysMat = tensor.Matrix{Rows: hot, Cols: d, Data: s.keys[:hot*d]}
+	s.valsMat = tensor.Matrix{Rows: hot, Cols: d, Data: s.values[:hot*d]}
 	s.snap = Preprocessed{
 		Keys:    &s.keysMat,
 		Values:  &s.valsMat,
 		Packed:  s.packed,
 		Norms:   s.norms[:s.n],
 		MaxNorm: s.maxNorm,
+		Cold:    s.cold,
 	}
 	return &s.snap
 }
 
 // Rows returns per-token views of the appended key and value vectors.
-// The rows alias the stream's backing stores (quantized in place when the
-// engine is quantized) and are valid only until the next Append; callers
-// needing the prefix beyond that — e.g. to materialize it onto the wire —
-// must finish with the views first. The row headers themselves are
-// allocated fresh on every call.
+// Hot-tail rows alias the stream's backing stores (quantized in place when
+// the engine is quantized) and are valid only until the next Append;
+// cold-prefix rows are dequantized into freshly allocated slices. Callers
+// needing the prefix beyond the next Append — e.g. to materialize it onto
+// the wire — must finish with the views first.
 func (s *Stream) Rows() (keys, values [][]float32) {
 	d := s.engine.cfg.D
 	keys = make([][]float32, s.n)
 	values = make([][]float32, s.n)
-	for i := 0; i < s.n; i++ {
-		keys[i] = s.keys[i*d : (i+1)*d]
-		values[i] = s.values[i*d : (i+1)*d]
+	cn := s.cold.N()
+	for i := 0; i < cn; i++ {
+		k := make([]float32, d)
+		v := make([]float32, d)
+		s.cold.Keys.DecodeInto(k, i)
+		s.cold.Values.DecodeInto(v, i)
+		keys[i], values[i] = k, v
+	}
+	for i := cn; i < s.n; i++ {
+		keys[i] = s.keys[(i-cn)*d : (i-cn+1)*d]
+		values[i] = s.values[(i-cn)*d : (i-cn+1)*d]
 	}
 	return keys, values
 }
 
-// Keys returns a copy of the appended key vectors, one row per token. It
-// is intended for one-shot uses — threshold calibration over the prefix a
-// serving layer has accumulated — not the decode hot path.
+// Keys returns a copy of the appended key vectors, one row per token
+// (cold-prefix rows dequantized). It is intended for one-shot uses —
+// threshold calibration over the prefix a serving layer has accumulated —
+// not the decode hot path.
 func (s *Stream) Keys() [][]float32 {
 	d := s.engine.cfg.D
 	out := make([][]float32, s.n)
-	for i := range out {
-		out[i] = append([]float32(nil), s.keys[i*d:(i+1)*d]...)
+	cn := s.cold.N()
+	for i := 0; i < cn; i++ {
+		out[i] = make([]float32, d)
+		s.cold.Keys.DecodeInto(out[i], i)
+	}
+	for i := cn; i < s.n; i++ {
+		out[i] = append([]float32(nil), s.keys[(i-cn)*d:(i-cn+1)*d]...)
 	}
 	return out
 }

@@ -33,6 +33,10 @@ type Workspace struct {
 	weights []float64
 	// acc is the quantized-mode float64 value accumulator, d elements.
 	acc []float64
+	// coldKey/coldVal receive one dequantized cold-prefix row each, d
+	// elements, so attending over a stream's demoted prefix stays
+	// allocation-free.
+	coldKey, coldVal []float32
 	// qq stages the quantized copy of the query matrix so Quantized-mode
 	// AttendWith avoids the per-call Clone.
 	qq    []float32
@@ -70,6 +74,8 @@ func NewWorkspace(e *Engine) *Workspace {
 		projOut:           make([]float32, maxK),
 		kronScratch:       make([]float32, maxScratch),
 		acc:               make([]float64, e.cfg.D),
+		coldKey:           make([]float32, e.cfg.D),
+		coldVal:           make([]float32, e.cfg.D),
 	}
 }
 

@@ -1,0 +1,114 @@
+package fixed
+
+import "fmt"
+
+// PackedCodes stores rows of fixed-point codes bit-packed into a contiguous
+// []uint64 arena: each value occupies exactly Format.Bits() bits, and every
+// row is padded up to a whole number of words so rows can be encoded and
+// decoded independently. For the Q(1,5,3) K/V format this packs 9 bits per
+// element instead of the 32 a float32 spends — the storage the cold prefix
+// of a decode stream demotes into.
+//
+// The arena layout (row-major, little-endian bit order within each word) is
+// stable and is serialized verbatim by the stream state codec; changing it
+// requires a stream-state version bump.
+type PackedCodes struct {
+	fmtc  Format
+	cols  int
+	bits  int // code width, Format.Bits()
+	wpr   int // words per row
+	mask  uint64
+	n     int
+	words []uint64
+}
+
+// NewPackedCodes allocates an empty arena for rows of cols codes in format
+// f, with capacity preallocated for capRows rows.
+func NewPackedCodes(f Format, cols, capRows int) *PackedCodes {
+	if cols < 1 {
+		panic(fmt.Sprintf("fixed: invalid packed-code width %d", cols))
+	}
+	if capRows < 0 {
+		capRows = 0
+	}
+	bits := f.Bits()
+	if bits > 64 {
+		panic(fmt.Sprintf("fixed: packed-code format %v exceeds 64 bits", f))
+	}
+	wpr := (cols*bits + 63) / 64
+	return &PackedCodes{
+		fmtc:  f,
+		cols:  cols,
+		bits:  bits,
+		wpr:   wpr,
+		mask:  (uint64(1) << uint(bits)) - 1,
+		words: make([]uint64, 0, capRows*wpr),
+	}
+}
+
+// Rows returns the number of stored rows.
+func (p *PackedCodes) Rows() int { return p.n }
+
+// Cols returns the number of codes per row.
+func (p *PackedCodes) Cols() int { return p.cols }
+
+// Bytes returns the arena's resident payload size in bytes.
+func (p *PackedCodes) Bytes() int { return len(p.words) * 8 }
+
+// Words exposes the raw arena for serialization. The slice aliases the
+// arena and must not be mutated.
+func (p *PackedCodes) Words() []uint64 { return p.words }
+
+// AppendRow quantizes vals (length Cols) and appends them as one packed
+// row. Values already on the format's grid — a quantized-mode stream's K/V —
+// round-trip exactly.
+func (p *PackedCodes) AppendRow(vals []float32) {
+	if len(vals) != p.cols {
+		panic(fmt.Sprintf("fixed: packed-code row of %d values, want %d", len(vals), p.cols))
+	}
+	base := len(p.words)
+	for i := 0; i < p.wpr; i++ {
+		p.words = append(p.words, 0)
+	}
+	row := p.words[base:]
+	for j, v := range vals {
+		code := uint64(uint32(p.fmtc.QuantizeRaw(float64(v)))) & p.mask
+		off := j * p.bits
+		w, s := off>>6, uint(off&63)
+		row[w] |= code << s
+		if s+uint(p.bits) > 64 {
+			row[w+1] |= code >> (64 - s)
+		}
+	}
+	p.n++
+}
+
+// DecodeInto writes row i's dequantized values into dst, which must hold
+// Cols elements. It performs no allocation.
+func (p *PackedCodes) DecodeInto(dst []float32, i int) {
+	row := p.words[i*p.wpr : (i+1)*p.wpr]
+	shift := uint(64 - p.bits)
+	for j := 0; j < p.cols; j++ {
+		off := j * p.bits
+		w, s := off>>6, uint(off&63)
+		code := row[w] >> s
+		if s+uint(p.bits) > 64 {
+			code |= row[w+1] << (64 - s)
+		}
+		raw := int32(int64(code<<shift) >> shift)
+		dst[j] = float32(p.fmtc.FromRaw(raw))
+	}
+}
+
+// PackedCodesFromWords rebuilds an arena from its serialized raw words
+// (the deserialization half of Words).
+func PackedCodesFromWords(f Format, cols, rows int, words []uint64) (*PackedCodes, error) {
+	p := NewPackedCodes(f, cols, rows)
+	if rows < 0 || len(words) != rows*p.wpr {
+		return nil, fmt.Errorf("fixed: packed-code arena of %d words, want %d for %d rows",
+			len(words), rows*p.wpr, rows)
+	}
+	p.words = append(p.words[:0], words...)
+	p.n = rows
+	return p, nil
+}

@@ -198,6 +198,59 @@ type SessionQueryResponse struct {
 	BatchSize int `json:"batch_size"`
 }
 
+// SessionExportResponse is the POST /v1/sessions/{id}/export reply: the
+// session's portable state plus everything another worker needs to adopt
+// it — the engine configuration (engines are deterministic clones, so the
+// importer rebuilds an identical one) and the operating point. The state
+// blob is the stream's versioned binary Export, base64 on the wire.
+type SessionExportResponse struct {
+	ID string `json:"id"`
+	// State is the stream's Export blob (encoding/json renders []byte as
+	// standard base64 on the wire).
+	State []byte `json:"state"`
+	// Len is the exported prefix length, for sanity checks.
+	Len int `json:"len"`
+	// Capacity echoes the capacity the session was created with.
+	Capacity int `json:"capacity,omitempty"`
+
+	HeadDim   int   `json:"head_dim"`
+	HashBits  int   `json:"hash_bits,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	Quantized bool  `json:"quantized,omitempty"`
+
+	// P is the session's degree of approximation; Threshold is the
+	// resolved operating point when the session has one (absent while the
+	// first query has yet to calibrate it).
+	P         float64        `json:"p,omitempty"`
+	Threshold *ThresholdJSON `json:"threshold,omitempty"`
+}
+
+// SessionImportRequest is the POST /v1/sessions/import body: adopt a
+// session exported from another worker under its original ID — the
+// receiving half of live migration. The fields mirror
+// SessionExportResponse, so a mover can forward an export reply directly.
+type SessionImportRequest struct {
+	ID       string `json:"id"`
+	State    []byte `json:"state"`
+	Capacity int    `json:"capacity,omitempty"`
+
+	HeadDim   int   `json:"head_dim"`
+	HashBits  int   `json:"hash_bits,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	Quantized bool  `json:"quantized,omitempty"`
+
+	P         float64        `json:"p,omitempty"`
+	Threshold *ThresholdJSON `json:"threshold,omitempty"`
+}
+
+// SessionImportResponse is the POST /v1/sessions/import reply.
+type SessionImportResponse struct {
+	ID string `json:"id"`
+	// Len is the imported prefix length; callers compare it against the
+	// export's Len to confirm the state arrived whole.
+	Len int `json:"len"`
+}
+
 // SessionStepRequest is the POST /v1/sessions/step body: one decode
 // step for many sessions in a single request — the client-side
 // complement of the continuous decode loop. A model runner stepping N
@@ -321,6 +374,12 @@ type ClusterMemberJSON struct {
 type ClusterResponse struct {
 	Version uint64              `json:"version"`
 	Members []ClusterMemberJSON `json:"members"`
+	// QueueDepthByClass is the frontend's current queued ops per priority
+	// class and ShedsByClass the ops it has refused per class — the two
+	// explicit signals an autoscaler watches: sustained interactive depth
+	// means scale up, nonzero shed rate means it is already too late.
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class,omitempty"`
+	ShedsByClass      map[string]int64 `json:"sheds_by_class,omitempty"`
 }
 
 // ClusterDrainRequest is the POST /v1/cluster/drain body: which member
@@ -340,6 +399,9 @@ type ClusterDrainResponse struct {
 	// PinnedSessions is how many sessions remained pinned to the member
 	// when the drain started.
 	PinnedSessions int `json:"pinned_sessions"`
+	// Relocated counts pinned sessions the frontend live-migrated to
+	// other members before replying, instead of waiting them out.
+	Relocated int `json:"relocated,omitempty"`
 }
 
 // DrainResponse is the POST /v1/drain reply: this server's own drain

@@ -188,10 +188,10 @@ func (d *dispatcher) pumpDecode(ds *decodeState, drain bool) {
 		sh := ds.set.pickShardDecode()
 		if sh == nil {
 			d.mu.Lock()
-			d.queued -= len(take)
-			d.metrics.SetQueueDepth(d.queued)
+			d.dequeueLocked(take)
 			d.mu.Unlock()
 			for _, j := range take {
+				d.metrics.ObserveClassShed(j.class)
 				j.result <- jobResult{err: &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}}
 			}
 			continue
@@ -252,21 +252,25 @@ func (d *dispatcher) enqueueDecode(ctx context.Context, ds *decodeState, set *re
 	}
 	if !set.available() {
 		d.mu.Unlock()
+		d.metrics.ObserveClassShed(class)
 		return &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}
 	}
 	if d.queued >= d.weights.queueCap(class, d.maxQueue) {
 		est := d.estimateWaitLocked(set)
 		d.mu.Unlock()
+		d.metrics.ObserveClassShed(class)
 		return &shedError{sentinel: ErrQueueFull, retryAfter: est}
 	}
 	if !deadline.IsZero() {
 		if est := d.estimateWaitLocked(set); time.Until(deadline) < est {
 			d.mu.Unlock()
+			d.metrics.ObserveClassShed(class)
 			return &shedError{sentinel: ErrDeadline, retryAfter: est}
 		}
 	}
 	d.queued++
-	d.metrics.SetQueueDepth(d.queued)
+	d.queuedBy[class]++
+	d.noteQueuedLocked()
 	d.mu.Unlock()
 
 	ds.mu.Lock()
@@ -274,7 +278,8 @@ func (d *dispatcher) enqueueDecode(ctx context.Context, ds *decodeState, set *re
 		ds.mu.Unlock()
 		d.mu.Lock()
 		d.queued--
-		d.metrics.SetQueueDepth(d.queued)
+		d.queuedBy[class]--
+		d.noteQueuedLocked()
 		d.mu.Unlock()
 		return ErrClosed
 	}
@@ -293,6 +298,12 @@ func (d *dispatcher) runDecodeBatch(sh *shard, jobs []*job) {
 	defer sh.set.dec.signalDone()
 	sh.depth.Add(-1)
 	d.metrics.AddShardDepth(sh.id, -1)
+	// Queue accounting goes first: compacting live in place below
+	// overwrites jobs' tail entries, so per-class counts must be taken
+	// while the slice still holds each job exactly once.
+	d.mu.Lock()
+	d.dequeueLocked(jobs)
+	d.mu.Unlock()
 	live := jobs[:0]
 	for _, j := range jobs {
 		if err := j.ctx.Err(); err != nil {
@@ -301,10 +312,6 @@ func (d *dispatcher) runDecodeBatch(sh *shard, jobs []*job) {
 		}
 		live = append(live, j)
 	}
-	d.mu.Lock()
-	d.queued -= len(jobs)
-	d.metrics.SetQueueDepth(d.queued)
-	d.mu.Unlock()
 	if len(live) == 0 {
 		return
 	}

@@ -122,13 +122,14 @@ type dispatcher struct {
 	weights       classWeights
 	metrics       *Metrics
 
-	mu      sync.Mutex
-	closed  bool
-	queued  int
-	svcEWMA float64 // smoothed batch service time, seconds
-	pending map[*replicaSet]*pendingBatch
-	batchWg sync.WaitGroup // in-flight dispatched batches
-	loopWg  sync.WaitGroup // running shard loops
+	mu       sync.Mutex
+	closed   bool
+	queued   int
+	queuedBy [NumClasses]int // queue occupancy per class, summing to queued
+	svcEWMA  float64         // smoothed batch service time, seconds
+	pending  map[*replicaSet]*pendingBatch
+	batchWg  sync.WaitGroup // in-flight dispatched batches
+	loopWg   sync.WaitGroup // running shard loops
 
 	decStates []*decodeState // one continuous decode loop per replica set
 	decWg     sync.WaitGroup // running decode loops
@@ -146,6 +147,23 @@ func newDispatcher(window time.Duration, maxBatch, maxQueue, workers, retries in
 		metrics:       m,
 		pending:       make(map[*replicaSet]*pendingBatch),
 	}
+}
+
+// noteQueuedLocked pushes the total and per-class queue gauges after any
+// change to d.queued / d.queuedBy. Callers hold d.mu.
+func (d *dispatcher) noteQueuedLocked() {
+	d.metrics.SetQueueDepth(d.queued)
+	d.metrics.SetClassQueueDepths(d.queuedBy)
+}
+
+// dequeueLocked removes jobs from the queue accounting (their batch is
+// running, or they are being failed). Callers hold d.mu.
+func (d *dispatcher) dequeueLocked(jobs []*job) {
+	d.queued -= len(jobs)
+	for _, j := range jobs {
+		d.queuedBy[j.class]--
+	}
+	d.noteQueuedLocked()
 }
 
 // startShard runs a shard loop: it executes the shard's batches serially
@@ -207,21 +225,25 @@ func (d *dispatcher) submit(ctx context.Context, set *replicaSet, op elsa.BatchO
 		// with a Retry-After covering one probe cycle rather than queueing
 		// work nothing can run.
 		d.mu.Unlock()
+		d.metrics.ObserveClassShed(class)
 		return nil, 0, 0, &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}
 	}
 	if d.queued >= d.weights.queueCap(class, d.maxQueue) {
 		est := d.estimateWaitLocked(set)
 		d.mu.Unlock()
+		d.metrics.ObserveClassShed(class)
 		return nil, 0, 0, &shedError{sentinel: ErrQueueFull, retryAfter: est}
 	}
 	if !deadline.IsZero() {
 		if est := d.estimateWaitLocked(set); time.Until(deadline) < est {
 			d.mu.Unlock()
+			d.metrics.ObserveClassShed(class)
 			return nil, 0, 0, &shedError{sentinel: ErrDeadline, retryAfter: est}
 		}
 	}
 	d.queued++
-	d.metrics.SetQueueDepth(d.queued)
+	d.queuedBy[class]++
+	d.noteQueuedLocked()
 	b, ok := d.pending[set]
 	if !ok {
 		b = d.newPendingLocked(set)
@@ -320,9 +342,9 @@ func (d *dispatcher) dispatchLocked(set *replicaSet, b *pendingBatch, drain bool
 		// Every shard went unavailable after these ops were admitted.
 		// Fail them here rather than parking them on a dead lane; they
 		// leave the queue accounting now.
-		d.queued -= len(take)
-		d.metrics.SetQueueDepth(d.queued)
+		d.dequeueLocked(take)
 		for _, j := range take {
+			d.metrics.ObserveClassShed(j.class)
 			j.result <- jobResult{err: &shedError{sentinel: ErrNoWorkers, retryAfter: d.noWorkerRetry}}
 		}
 		return
@@ -355,8 +377,7 @@ func (d *dispatcher) runBatch(sh *shard, jobs []*job) {
 		live = append(live, j)
 	}
 	d.mu.Lock()
-	d.queued -= len(jobs)
-	d.metrics.SetQueueDepth(d.queued)
+	d.dequeueLocked(jobs)
 	d.mu.Unlock()
 	if len(live) == 0 {
 		return

@@ -90,8 +90,10 @@ type Metrics struct {
 	candFracSum   float64 // admitted-candidate fraction, from Output stats
 	candFracCount int64
 
-	queueDepth int64 // current scheduler queue occupancy
-	engines    int64 // replica sets resident in the pool
+	queueDepth  int64             // current scheduler queue occupancy
+	queuedClass [NumClasses]int64 // current queue occupancy per class
+	shedsClass  [NumClasses]int64 // ops shed before dispatch per class
+	engines     int64             // replica sets resident in the pool
 
 	shardBatches map[int]int64 // replica index → dispatched batches
 	shardOps     map[int]int64 // replica index → ops in those batches
@@ -104,6 +106,12 @@ type Metrics struct {
 	sessionEvicted  map[string]int64 // evicted sessions by reason: ttl | lru | deleted
 	sessionTokens   int64            // tokens appended across all sessions
 	sessionQueries  int64            // decode queries served across all sessions
+
+	sessionsSpilled    int64 // idle sessions spilled to the state dir
+	sessionsRehydrated int64 // spilled sessions rehydrated on demand
+	sessionsMigrated   int64 // sessions live-migrated between workers
+	sessionsRecovered  int64 // sessions re-placed after a worker loss
+	thresholdEvictions int64 // state-dir threshold files removed by the cap
 
 	decodeBatches   int64      // batches dispatched by the continuous decode loop
 	decodeOps       int64      // session queries across those batches
@@ -326,6 +334,82 @@ func (m *Metrics) ObserveSessionQuery() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sessionQueries++
+}
+
+// ObserveSessionSpilled tallies one idle session spilled to the state dir.
+func (m *Metrics) ObserveSessionSpilled() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsSpilled++
+}
+
+// SessionsSpilled reports how many idle sessions were spilled to disk.
+func (m *Metrics) SessionsSpilled() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsSpilled
+}
+
+// ObserveSessionRehydrated tallies one spilled session rehydrated on its
+// next query.
+func (m *Metrics) ObserveSessionRehydrated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsRehydrated++
+}
+
+// SessionsRehydrated reports how many spilled sessions were rehydrated.
+func (m *Metrics) SessionsRehydrated() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsRehydrated
+}
+
+// ObserveSessionMigrated tallies one session live-migrated to another
+// worker (drain relocation or an explicit export/import).
+func (m *Metrics) ObserveSessionMigrated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsMigrated++
+}
+
+// SessionsMigrated reports how many sessions were live-migrated.
+func (m *Metrics) SessionsMigrated() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsMigrated
+}
+
+// ObserveSessionRecovered tallies one session re-placed from its portable
+// state after its worker was lost mid-decode.
+func (m *Metrics) ObserveSessionRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsRecovered++
+}
+
+// SessionsRecovered reports how many sessions were recovered after a
+// worker loss.
+func (m *Metrics) SessionsRecovered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsRecovered
+}
+
+// ObserveThresholdEviction tallies one state-dir threshold file removed
+// by the on-disk cap.
+func (m *Metrics) ObserveThresholdEviction() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.thresholdEvictions++
+}
+
+// ThresholdEvictions reports how many state-dir threshold files the cap
+// removed.
+func (m *Metrics) ThresholdEvictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.thresholdEvictions
 }
 
 // ObserveDecodeBatch records one batch dispatched by the continuous
@@ -592,6 +676,50 @@ func (m *Metrics) SetQueueDepth(n int) {
 	m.queueDepth = int64(n)
 }
 
+// SetClassQueueDepths updates the per-class queue-occupancy gauges in one
+// call (the dispatcher maintains the array under its own lock).
+func (m *Metrics) SetClassQueueDepths(depths [NumClasses]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c, n := range depths {
+		m.queuedClass[c] = int64(n)
+	}
+}
+
+// QueueDepthsByClass returns the current per-class queue occupancy keyed
+// by class name — the scale signal GET /v1/cluster surfaces.
+func (m *Metrics) QueueDepthsByClass() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, NumClasses)
+	for c, n := range m.queuedClass {
+		out[Class(c).String()] = n
+	}
+	return out
+}
+
+// ObserveClassShed tallies one op refused before dispatch (queue full,
+// deadline unmeetable, no workers) under its priority class.
+func (m *Metrics) ObserveClassShed(c Class) {
+	if c < 0 || int(c) >= NumClasses {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shedsClass[c]++
+}
+
+// ShedsByClass returns the cumulative shed counts keyed by class name.
+func (m *Metrics) ShedsByClass() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, NumClasses)
+	for c, n := range m.shedsClass {
+		out[Class(c).String()] = n
+	}
+	return out
+}
+
 // SetEngines updates the engine-pool-size gauge.
 func (m *Metrics) SetEngines(n int) {
 	m.mu.Lock()
@@ -685,6 +813,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_queue_depth Requests currently queued in the micro-batch dispatcher.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_queue_depth gauge\n")
 	fmt.Fprintf(cw, "elsa_serve_queue_depth %d\n", m.queueDepth)
+	fmt.Fprintf(cw, "# HELP elsa_serve_class_queue_depth Requests currently queued, by priority class.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_class_queue_depth gauge\n")
+	for c, n := range m.queuedClass {
+		fmt.Fprintf(cw, "elsa_serve_class_queue_depth{class=%q} %d\n", Class(c).String(), n)
+	}
+	fmt.Fprintf(cw, "# HELP elsa_serve_class_sheds_total Ops refused before dispatch, by priority class.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_class_sheds_total counter\n")
+	for c, n := range m.shedsClass {
+		fmt.Fprintf(cw, "elsa_serve_class_sheds_total{class=%q} %d\n", Class(c).String(), n)
+	}
 	fmt.Fprintf(cw, "# HELP elsa_serve_engines Replica sets resident in the pool.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_engines gauge\n")
 	fmt.Fprintf(cw, "elsa_serve_engines %d\n", m.engines)
@@ -709,6 +847,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_session_queries_total Decode queries served across all sessions.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_session_queries_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_session_queries_total %d\n", m.sessionQueries)
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_spilled_total Idle sessions spilled to the state directory.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_spilled_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions_spilled_total %d\n", m.sessionsSpilled)
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_rehydrated_total Spilled sessions rehydrated on demand.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_rehydrated_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions_rehydrated_total %d\n", m.sessionsRehydrated)
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_migrated_total Sessions live-migrated between workers.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_migrated_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions_migrated_total %d\n", m.sessionsMigrated)
+	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_recovered_total Sessions re-placed from portable state after a worker loss.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_recovered_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_sessions_recovered_total %d\n", m.sessionsRecovered)
 	fmt.Fprintf(cw, "# HELP elsa_serve_decode_batches_total Batches dispatched by the continuous decode loop.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_decode_batches_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_decode_batches_total %d\n", m.decodeBatches)
@@ -730,6 +880,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_threshold_corrupt_total Corrupt state-dir threshold entries discarded at load.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_threshold_corrupt_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_threshold_corrupt_total %d\n", m.thresholdCorruption)
+	fmt.Fprintf(cw, "# HELP elsa_serve_threshold_evictions_total State-dir threshold files removed by the on-disk cap.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_threshold_evictions_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_threshold_evictions_total %d\n", m.thresholdEvictions)
 
 	if len(m.workerHealthy) > 0 {
 		fmt.Fprintf(cw, "# HELP elsa_serve_worker_healthy Remote worker admission state (1 routed, 0 ejected).\n")

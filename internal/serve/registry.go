@@ -5,7 +5,10 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"elsa"
 )
@@ -33,20 +36,21 @@ type thrEntry struct {
 // loads them back (elsa.LoadThreshold) instead of re-running Calibrate on
 // its first request — the paper's calibrate-offline, serve-online split.
 type thresholdRegistry struct {
-	dir     string // "" = in-memory only
-	metrics *Metrics
+	dir      string // "" = in-memory only
+	maxFiles int    // on-disk threshold file cap; 0 = unbounded
+	metrics  *Metrics
 
 	mu      sync.Mutex
 	entries map[thrKey]*thrEntry
 }
 
-func newThresholdRegistry(dir string, m *Metrics) *thresholdRegistry {
+func newThresholdRegistry(dir string, maxFiles int, m *Metrics) *thresholdRegistry {
 	if dir != "" {
 		// Best effort: a failed mkdir degrades to in-process caching with
 		// failed (ignored) saves; serving itself is unaffected.
 		os.MkdirAll(dir, 0o755) //nolint:errcheck
 	}
-	return &thresholdRegistry{dir: dir, metrics: m, entries: make(map[thrKey]*thrEntry)}
+	return &thresholdRegistry{dir: dir, maxFiles: maxFiles, metrics: m, entries: make(map[thrKey]*thrEntry)}
 }
 
 // get resolves the threshold for (opts, p) in order: memory, state-dir
@@ -151,6 +155,10 @@ func (r *thresholdRegistry) load(key thrKey) (elsa.Threshold, bool) {
 	if thr.P != key.p {
 		return elsa.Threshold{}, false
 	}
+	// A load is a use: refresh the file's mtime so the eviction cap (see
+	// enforceCap) removes the operating points nobody asks for anymore.
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck // LRU hint only
 	r.metrics.ObserveThresholdLoad()
 	return thr, true
 }
@@ -190,6 +198,45 @@ func (r *thresholdRegistry) save(key thrKey, thr elsa.Threshold) {
 	if d, err := os.Open(r.dir); err == nil {
 		d.Sync() //nolint:errcheck
 		d.Close()
+	}
+	r.enforceCap()
+}
+
+// enforceCap removes the oldest threshold files beyond maxFiles, by
+// modification time — the state dir's LRU. Loads refresh their file's
+// mtime, so operating points still in use survive; other state-dir
+// files (spilled sessions) are neither counted nor touched.
+func (r *thresholdRegistry) enforceCap() {
+	if r.maxFiles <= 0 {
+		return
+	}
+	dirents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	type tf struct {
+		name string
+		mod  time.Time
+	}
+	var files []tf
+	for _, e := range dirents {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "threshold-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, tf{e.Name(), info.ModTime()})
+	}
+	if len(files) <= r.maxFiles {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files[:len(files)-r.maxFiles] {
+		if os.Remove(filepath.Join(r.dir, f.name)) == nil {
+			r.metrics.ObserveThresholdEviction()
+		}
 	}
 }
 

@@ -35,7 +35,7 @@ func TestRegistryCrashTornWrite(t *testing.T) {
 
 	// First server lifetime: calibrate once, persist.
 	m1 := NewMetrics()
-	r1 := newThresholdRegistry(dir, m1)
+	r1 := newThresholdRegistry(dir, 0, m1)
 	calibrations := 0
 	calib := func() (elsa.Threshold, error) {
 		calibrations++
@@ -62,7 +62,7 @@ func TestRegistryCrashTornWrite(t *testing.T) {
 
 	// Second lifetime: the torn entry is a counted, removed miss...
 	m2 := NewMetrics()
-	r2 := newThresholdRegistry(dir, m2)
+	r2 := newThresholdRegistry(dir, 0, m2)
 	if thr, ok := r2.lookup(opts, p); ok {
 		t.Fatalf("lookup returned %+v from a torn file", thr)
 	}
@@ -88,7 +88,7 @@ func TestRegistryCrashTornWrite(t *testing.T) {
 
 	// Third lifetime: the replacement loads from disk, no calibration.
 	m3 := NewMetrics()
-	r3 := newThresholdRegistry(dir, m3)
+	r3 := newThresholdRegistry(dir, 0, m3)
 	got, err = r3.get(opts, p, func() (elsa.Threshold, error) {
 		t.Fatal("third lifetime must load from disk, not calibrate")
 		return elsa.Threshold{}, nil
@@ -112,7 +112,7 @@ func TestRegistryCrashEmptyFile(t *testing.T) {
 	const p = 0.7
 
 	m := NewMetrics()
-	r := newThresholdRegistry(dir, m)
+	r := newThresholdRegistry(dir, 0, m)
 	path := r.path(thrKey{opts: opts, p: p})
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestRegistryMismatchedPIgnoredNotRemoved(t *testing.T) {
 	const p = 0.3
 
 	m := NewMetrics()
-	r := newThresholdRegistry(dir, m)
+	r := newThresholdRegistry(dir, 0, m)
 	path := r.path(thrKey{opts: opts, p: p})
 	f, err := os.Create(path)
 	if err != nil {

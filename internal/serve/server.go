@@ -70,8 +70,23 @@ type Config struct {
 
 	// StateDir, when set, persists calibrated thresholds so a restarted
 	// server serves its first calibrated request without re-running
-	// Calibrate. Empty keeps thresholds in memory only.
+	// Calibrate, and holds spilled session state when SessionSpill is
+	// enabled. Empty keeps all state in memory only.
 	StateDir string
+	// MaxThresholdFiles caps how many calibrated-threshold files StateDir
+	// retains; beyond it the least-recently-used files (by mtime, which
+	// loads refresh) are removed (default 512; negative = unbounded).
+	MaxThresholdFiles int
+	// SessionSpill, when positive, pages locally-hosted sessions idle
+	// longer than this out of memory into StateDir; the next op on the
+	// session rehydrates it transparently. Requires StateDir; 0 disables
+	// spilling (the default).
+	SessionSpill time.Duration
+	// ColdWatermark bounds each session stream's resident f32 hot tail:
+	// once the hot region reaches twice this many tokens the oldest half
+	// demotes to the bit-packed cold representation in one chunk. 0 keeps
+	// whole streams hot (the default, exact-attention behavior).
+	ColdWatermark int
 
 	// QuotaRPS is each client's sustained admission rate in ops/second,
 	// keyed by the envelope's client_id (or X-Elsa-Client). 0 disables
@@ -167,6 +182,14 @@ func (c *Config) setDefaults() {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = time.Minute
 	}
+	if c.MaxThresholdFiles == 0 {
+		c.MaxThresholdFiles = 512
+	} else if c.MaxThresholdFiles < 0 {
+		c.MaxThresholdFiles = 0 // unbounded
+	}
+	if c.ColdWatermark < 0 {
+		c.ColdWatermark = 0
+	}
 }
 
 // Server is the attention-serving subsystem: an http.Handler exposing
@@ -199,7 +222,7 @@ func New(cfg Config) *Server {
 	disp := newDispatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxQueue, cfg.Workers,
 		cfg.DispatchRetries, cfg.WorkerProbeInterval, classWeights(cfg.ClassWeights), m)
 	fleet := newWorkerSet(cfg.WorkerAddrs, cfg.WorkerProbeInterval, cfg.WorkerInFlight, cfg.WorkerFailLimit, m)
-	thr := newThresholdRegistry(cfg.StateDir, m)
+	thr := newThresholdRegistry(cfg.StateDir, cfg.MaxThresholdFiles, m)
 	pool := newEnginePool(cfg.Replicas, cfg.MaxEngines, disp, fleet, m)
 	table := cluster.NewTable()
 	table.Seed(seedAddrs(cfg.WorkerAddrs))
@@ -209,6 +232,11 @@ func New(cfg Config) *Server {
 	sessions.place = cv.place
 	sessions.disp = disp
 	sessions.serial = cfg.SerialDecode
+	sessions.coldWatermark = cfg.ColdWatermark
+	if cfg.SessionSpill > 0 && cfg.StateDir != "" {
+		sessions.spillAfter = cfg.SessionSpill
+		sessions.stateDir = cfg.StateDir
+	}
 	s := &Server{
 		cfg:        cfg,
 		pool:       pool,
@@ -224,10 +252,16 @@ func New(cfg Config) *Server {
 	}
 	fleet.start()
 	cv.start()
+	if sessions.spillAfter > 0 {
+		s.bg.Add(1)
+		go s.spillLoop()
+	}
 	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleSessionQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleSessionExport)
+	s.mux.HandleFunc("POST /v1/sessions/import", s.handleSessionImport)
 	s.mux.HandleFunc("POST /v1/sessions/step", s.handleSessionStep)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
@@ -656,6 +690,116 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SessionStepResponse{Results: results})
 }
 
+// handleSessionExport serializes a session's portable state: the stream
+// blob plus engine configuration and operating point — everything the
+// import endpoint needs to adopt it bit-identically elsewhere.
+func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	if !s.chargeSessionQuota(w, r.PathValue("id")) {
+		return
+	}
+	resp, err := s.sessions.export(r.Context(), r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errSessionNotFound):
+		fail(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, errNotExportable):
+		fail(w, http.StatusConflict, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		fail(w, http.StatusGatewayTimeout, "request timed out")
+	case errors.Is(err, context.Canceled):
+		fail(w, http.StatusRequestTimeout, "request canceled")
+	default:
+		fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleSessionImport adopts an exported session under its original ID —
+// the receiving half of live migration. The state blob carries its own
+// format version and an engine-config fingerprint, so a mismatched
+// import fails loudly instead of decoding garbage.
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	var req SessionImportRequest
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		setRetryAfter(w, s.cfg.WorkerProbeInterval)
+		fail(w, http.StatusServiceUnavailable, errDraining.Error())
+		return
+	}
+	if strings.TrimSpace(req.ID) == "" {
+		fail(w, http.StatusBadRequest, "id is required")
+		return
+	}
+	if len(req.State) == 0 {
+		fail(w, http.StatusBadRequest, "state is required")
+		return
+	}
+	if req.HeadDim <= 0 {
+		fail(w, http.StatusBadRequest, "head_dim must be > 0")
+		return
+	}
+	if req.P < 0 {
+		fail(w, http.StatusBadRequest, fmt.Sprintf("p must be >= 0, got %g", req.P))
+		return
+	}
+	if admitted, wait := s.quotas.take(meta.clientID); !admitted {
+		s.metrics.ObserveAdmission("shed_quota")
+		setRetryAfter(w, wait)
+		fail(w, http.StatusTooManyRequests, "client quota exhausted")
+		return
+	}
+	opts := normalizeOptions(elsa.Options{
+		HeadDim:   req.HeadDim,
+		HashBits:  req.HashBits,
+		Seed:      req.Seed,
+		Quantized: req.Quantized,
+	}, req.HeadDim)
+	set, err := s.pool.get(opts)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "engine: "+err.Error())
+		return
+	}
+	var thr *elsa.Threshold
+	if req.Threshold != nil {
+		thr = &elsa.Threshold{P: req.Threshold.P, T: req.Threshold.T, Queries: req.Threshold.Queries}
+	}
+	n, err := s.sessions.adopt(set, opts, req.ID, req.State, req.P, thr, req.Capacity, meta)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, SessionImportResponse{ID: req.ID, Len: n})
+	case errors.Is(err, errSessionExists):
+		fail(w, http.StatusConflict, err.Error())
+	case errors.Is(err, errSessionFull):
+		fail(w, http.StatusRequestEntityTooLarge, err.Error())
+	default:
+		fail(w, http.StatusBadRequest, "import: "+err.Error())
+	}
+}
+
+// spillLoop periodically pages idle sessions out to the state dir.
+func (s *Server) spillLoop() {
+	defer s.bg.Done()
+	// Sweep a few times per idle threshold so a session spills soon after
+	// crossing it, without busy-scanning the registry.
+	interval := s.sessions.spillAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+			s.sessions.spillIdle()
+		}
+	}
+}
+
 // handleClusterJoin admits or refreshes a fleet member: workers POST
 // here to register (and then keep heartbeating through the same
 // endpoint). The worker starts receiving one-shot traffic after its
@@ -711,13 +855,18 @@ func (s *Server) handleClusterList(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	sort.Slice(resp.Members, func(i, j int) bool { return resp.Members[i].Addr < resp.Members[j].Addr })
+	resp.QueueDepthByClass = s.metrics.QueueDepthsByClass()
+	resp.ShedsByClass = s.metrics.ShedsByClass()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleClusterDrain starts a rolling-upgrade drain of one member: it
 // leaves the ring immediately (no new sessions, no new one-shot
-// routing), the drain signal is forwarded to the worker's own /v1/drain,
-// and pinned sessions keep flowing until they finish or expire.
+// routing), sessions still pinned to it are live-migrated onto other
+// members right away instead of being waited out, and the drain signal
+// is forwarded to the worker's own /v1/drain. A member holding zero
+// pinned sessions completes immediately — the forward happens in the
+// background so the reply never waits on an unreachable worker.
 func (s *Server) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
 	var req ClusterDrainRequest
 	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
@@ -733,19 +882,36 @@ func (s *Server) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cluster.markDraining(addr)
+	pinned := s.sessions.pinnedCounts()[addr]
+	relocated := 0
 	forwarded := false
-	if wk := s.fleet.get(addr); wk != nil {
-		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
-		defer cancel()
-		if _, err := wk.cli.Drain(ctx); err == nil {
-			forwarded = true
+	wk := s.fleet.get(addr)
+	if pinned > 0 {
+		relocated = s.sessions.relocate(r.Context(), addr)
+		if wk != nil {
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+			defer cancel()
+			if _, err := wk.cli.Drain(ctx); err == nil {
+				forwarded = true
+			}
 		}
+	} else if wk != nil {
+		// Nothing to relocate: reply now and forward the drain signal
+		// off-request. The goroutine shares nothing mutable (wk.cli is
+		// immutable) and self-terminates on its own timeout, so it is not
+		// tracked by s.bg.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			wk.cli.Drain(ctx) //nolint:errcheck // best effort; frontend drain holds regardless
+		}()
 	}
 	writeJSON(w, http.StatusOK, ClusterDrainResponse{
 		Addr:           addr,
 		State:          cluster.StateDraining.String(),
 		Forwarded:      forwarded,
-		PinnedSessions: s.sessions.pinnedCounts()[addr],
+		PinnedSessions: pinned,
+		Relocated:      relocated,
 	})
 }
 

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -33,6 +35,13 @@ var (
 	// sessions but refuses to place new ones (HTTP 503 + Retry-After, so
 	// clients land on another member).
 	errDraining = errors.New("serve: server draining, not accepting new sessions")
+	// errSessionExists refuses an import under an ID this server already
+	// holds (HTTP 409): migration must not silently clobber live state.
+	errSessionExists = errors.New("serve: session already exists")
+	// errNotExportable means the session's state is not locally available
+	// to serialize — a remote-pinned session whose shadow mirror was lost
+	// (HTTP 409).
+	errNotExportable = errors.New("serve: session state not locally available for export")
 )
 
 // session is one autoregressive decode stream, held on a local engine
@@ -59,13 +68,30 @@ type session struct {
 	// creator's quota at the creator's priority.
 	clientID string
 	class    Class
+	// eng is the engine this session's local state lives on: the placed
+	// replica for a local session, engines[0] for a remote one (it hosts
+	// the shadow, and rebuilds imported state after rehydrate/recovery).
+	eng *elsa.Engine
+	// capacity is the creator's requested pre-allocation, carried so an
+	// exported session re-creates with the same hint.
+	capacity int
 
 	// gate (capacity 1) admits one append or query at a time; everything
 	// below it is owned by the holder.
 	gate   chan struct{}
 	stream *elsa.Stream
-	p      float64
-	thr    elsa.Threshold
+	// shadow, for remote-pinned sessions, is a deterministic local mirror
+	// of the worker-side stream: engines are seeded clones, so replaying
+	// accepted appends yields bit-identical state. It is what export,
+	// migration, and worker-loss recovery serialize without asking the
+	// worker. Nil once a mirror append ever fails (divergent state must
+	// not be served) or after the shadow is adopted as the live stream.
+	shadow *elsa.Stream
+	// spilled marks a local session whose stream has been paged out to the
+	// state dir; ensureResident brings it back before any use.
+	spilled bool
+	p       float64
+	thr     elsa.Threshold
 	// calibrated marks thr as resolved; false defers threshold resolution
 	// to the first query, which calibrates over the prefix appended by
 	// then (the stream's own keys are the calibration sample).
@@ -114,6 +140,13 @@ type sessionRegistry struct {
 	// baseline the decode benchmarks compare against.
 	disp   *dispatcher
 	serial bool
+	// coldWatermark configures each session stream's hot/cold split (0
+	// keeps whole streams hot); spillAfter and stateDir, when both set,
+	// page sessions idle past spillAfter out to disk. All are fixed
+	// before serving.
+	coldWatermark int
+	spillAfter    time.Duration
+	stateDir      string
 
 	mu   sync.Mutex
 	byID map[string]*session
@@ -163,6 +196,7 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 		set:      set,
 		clientID: meta.clientID,
 		class:    meta.class,
+		capacity: capacity,
 		p:        p,
 		gate:     make(chan struct{}, 1),
 	}
@@ -182,7 +216,8 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 	}
 
 	if eng != nil {
-		s.stream = eng.NewStream(capacity)
+		s.eng = eng
+		s.stream = eng.NewStreamCold(capacity, g.coldWatermark)
 	} else {
 		// Pin the session to the worker by opening the worker-side stream
 		// now. A calibrated threshold travels pinned so the worker never
@@ -211,6 +246,13 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 			s.thr, s.calibrated = *remote.Threshold, true
 		}
 		w.recover()
+		// Shadow mirror: engines across the fleet are deterministic clones
+		// of the same resolved options, so replaying every accepted append
+		// locally keeps a bit-identical copy of the worker-side stream —
+		// the portable state that drain migration and worker-loss recovery
+		// serialize. engines[0] always exists, even at zero local replicas.
+		s.eng = set.engines[0]
+		s.shadow = s.eng.NewStreamCold(capacity, g.coldWatermark)
 	}
 
 	g.mu.Lock()
@@ -336,19 +378,33 @@ func (g *sessionRegistry) evictLocked(el *list.Element, reason string) {
 	g.lru.Remove(el)
 	delete(g.byID, s.id)
 	g.metrics.ObserveSessionEvicted(reason)
-	if s.remote != nil {
-		go func(remote *client.Session) {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			remote.Close(ctx) //nolint:errcheck // best effort; worker TTL reaps orphans
-		}(s.remote)
+	if s.spilled {
+		os.Remove(g.spillPath(s.id)) //nolint:errcheck // best effort; dir is ours
 	}
+	g.closeRemote(s.remote)
+}
+
+// closeRemote deletes a worker-side session best-effort off any locks;
+// if the worker is gone its own TTL reaps the orphan.
+func (g *sessionRegistry) closeRemote(remote *client.Session) {
+	if remote == nil {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		remote.Close(ctx) //nolint:errcheck // best effort; worker TTL reaps orphans
+	}()
 }
 
 // append adds tokens to the session and returns its new length. Appends
 // queue on the session gate behind any in-flight decode query, so a
 // stream is never mutated while the decode loop (or a remote worker
-// materializing its rows) is reading it.
+// materializing its rows) is reading it. Losing the pinned worker
+// triggers one in-place recovery from the shadow mirror, then the
+// append retries once: the mirror only advances on remote success, so
+// the recovered state never contains the failed append and the retry is
+// at-most-once safe.
 func (g *sessionRegistry) append(ctx context.Context, id string, keys, values [][]float32) (int, error) {
 	s, err := g.lookup(id)
 	if err != nil {
@@ -358,14 +414,27 @@ func (g *sessionRegistry) append(ctx context.Context, id string, keys, values []
 		return 0, err
 	}
 	defer s.release()
+	n, err := g.appendHeld(ctx, s, keys, values)
+	if errors.Is(err, errWorkerLost) && g.recoverHeld(ctx, s) {
+		n, err = g.appendHeld(ctx, s, keys, values)
+	}
+	return n, err
+}
+
+// appendHeld performs one append attempt; the caller holds the gate.
+func (g *sessionRegistry) appendHeld(ctx context.Context, s *session, keys, values [][]float32) (int, error) {
 	if s.remote != nil {
 		n, err := s.remote.AppendBatch(ctx, keys, values)
 		if err != nil {
 			return 0, mapRemoteErr(s.w, err)
 		}
 		s.w.recover()
+		s.mirror(keys, values)
 		g.metrics.ObserveSessionAppend(len(keys))
 		return n, nil
+	}
+	if err := g.ensureResident(s); err != nil {
+		return 0, err
 	}
 	if s.stream.Len()+len(keys) > g.maxTokens {
 		return s.stream.Len(), errSessionFull
@@ -377,6 +446,22 @@ func (g *sessionRegistry) append(ctx context.Context, id string, keys, values []
 	}
 	g.metrics.ObserveSessionAppend(len(keys))
 	return s.stream.Len(), nil
+}
+
+// mirror replays appends the remote worker accepted onto the local
+// shadow. A mirror failure (impossible while both sides run the same
+// engine config) drops the shadow rather than ever serving divergent
+// state from it.
+func (s *session) mirror(keys, values [][]float32) {
+	if s.shadow == nil {
+		return
+	}
+	for i := range keys {
+		if err := s.shadow.Append(keys[i], values[i]); err != nil {
+			s.shadow = nil
+			return
+		}
+	}
 }
 
 // query runs one decode step and returns an owned context vector: the
@@ -403,6 +488,15 @@ func (g *sessionRegistry) queryInto(ctx context.Context, id string, dst []float3
 		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
 	}
 	defer s.release()
+	out, stats, n, thr, bs, err := g.queryHeld(ctx, s, dst, q, ov, deadline)
+	if errors.Is(err, errWorkerLost) && g.recoverHeld(ctx, s) {
+		out, stats, n, thr, bs, err = g.queryHeld(ctx, s, dst, q, ov, deadline)
+	}
+	return out, stats, n, thr, bs, err
+}
+
+// queryHeld performs one decode-step attempt; the caller holds the gate.
+func (g *sessionRegistry) queryHeld(ctx context.Context, s *session, dst []float32, q []float32, ov elsa.Overrides, deadline time.Time) ([]float32, elsa.StreamStats, int, elsa.Threshold, int, error) {
 	if s.remote != nil {
 		res, err := s.remote.Query(ctx, q, ov)
 		if err != nil {
@@ -413,6 +507,9 @@ func (g *sessionRegistry) queryInto(ctx context.Context, id string, dst []float3
 		g.metrics.ObserveSessionQuery()
 		bs := max(res.BatchSize, 1)
 		return res.Context, elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}, res.Len, res.Threshold, bs, nil
+	}
+	if err := g.ensureResident(s); err != nil {
+		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
 	}
 	thr, err := g.resolveThreshold(s, ov)
 	if err != nil {
@@ -467,6 +564,335 @@ func (g *sessionRegistry) resolveThreshold(s *session, ov elsa.Overrides) (elsa.
 		s.thr, s.calibrated = thr, true
 	}
 	return ov.Resolve(s.thr), nil
+}
+
+// spillPath is where a spilled session's exported state lives: one file
+// per session ID (hex, so always a clean file name) under the state dir.
+func (g *sessionRegistry) spillPath(id string) string {
+	return filepath.Join(g.stateDir, "session-"+id+".state")
+}
+
+// spillIdle pages sessions idle longer than spillAfter out to the state
+// dir and frees their resident streams — the serving layer's KV-cache
+// paging. Only locally-hosted sessions spill: a remote session's shadow
+// must stay resident so migration and recovery keep working. Sessions
+// whose gate is busy are skipped; they are not idle after all.
+func (g *sessionRegistry) spillIdle() {
+	if g.spillAfter <= 0 || g.stateDir == "" {
+		return
+	}
+	g.mu.Lock()
+	now := g.now()
+	var idle []*session
+	for el := g.lru.Back(); el != nil; el = el.Prev() {
+		s := el.Value.(*session)
+		if now.Sub(s.lastUsed) < g.spillAfter {
+			break // LRU order: everything nearer the front is younger
+		}
+		if s.remote == nil && !s.spilled {
+			idle = append(idle, s)
+		}
+	}
+	g.mu.Unlock()
+	for _, s := range idle {
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			continue
+		}
+		g.spillHeld(s)
+		s.release()
+	}
+}
+
+// spillHeld writes one session's exported state to disk (atomic temp +
+// rename) and drops the resident stream; the caller holds the gate.
+// Any failure leaves the session resident — spilling is best-effort.
+func (g *sessionRegistry) spillHeld(s *session) {
+	if s.remote != nil || s.spilled || s.stream == nil {
+		return
+	}
+	tmp, err := os.CreateTemp(g.stateDir, "session-*.tmp")
+	if err != nil {
+		return
+	}
+	_, err = tmp.Write(s.stream.Export())
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), g.spillPath(s.id))
+	}
+	if err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best effort
+		return
+	}
+	s.stream = nil
+	s.spilled = true
+	g.metrics.ObserveSessionSpilled()
+}
+
+// ensureResident rehydrates a spilled session from its state file; the
+// caller holds the gate. The file is removed once the state is resident
+// again, so disk holds a session's state exactly while memory does not.
+func (g *sessionRegistry) ensureResident(s *session) error {
+	if !s.spilled {
+		return nil
+	}
+	path := g.spillPath(s.id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate session %s: %w", s.id, err)
+	}
+	st, err := s.eng.ImportStream(data)
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate session %s: %w", s.id, err)
+	}
+	s.stream = st
+	s.spilled = false
+	os.Remove(path) //nolint:errcheck // best effort; eviction sweeps leftovers
+	g.metrics.ObserveSessionRehydrated()
+	return nil
+}
+
+// export captures a session's portable state under its gate, so no
+// decode step is mid-flight over the stream being serialized.
+func (g *sessionRegistry) export(ctx context.Context, id string) (*SessionExportResponse, error) {
+	s, err := g.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	blob, n, err := g.stateHeld(s)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SessionExportResponse{
+		ID:        s.id,
+		State:     blob,
+		Len:       n,
+		Capacity:  s.capacity,
+		HeadDim:   s.opts.HeadDim,
+		HashBits:  s.opts.HashBits,
+		Seed:      s.opts.Seed,
+		Quantized: s.opts.Quantized,
+		P:         s.p,
+	}
+	if s.calibrated {
+		resp.Threshold = &ThresholdJSON{P: s.thr.P, T: s.thr.T, Queries: s.thr.Queries}
+	}
+	return resp, nil
+}
+
+// stateHeld serializes the session's state and reports its length; the
+// caller holds the gate. A local session exports its stream (rehydrated
+// first if spilled); a remote-pinned one exports its shadow mirror.
+func (g *sessionRegistry) stateHeld(s *session) ([]byte, int, error) {
+	if s.remote == nil {
+		if err := g.ensureResident(s); err != nil {
+			return nil, 0, err
+		}
+		return s.stream.Export(), s.stream.Len(), nil
+	}
+	if s.shadow == nil {
+		return nil, 0, errNotExportable
+	}
+	return s.shadow.Export(), s.shadow.Len(), nil
+}
+
+// adopt registers a session rebuilt from exported state under its
+// original ID — the receiving half of live migration. The session is
+// hosted locally on set's engines[0] regardless of placement: the sender
+// already chose this server. Returns the rebuilt prefix length.
+func (g *sessionRegistry) adopt(set *replicaSet, opts elsa.Options, id string, state []byte, p float64, thr *elsa.Threshold, capacity int, meta requestMeta) (int, error) {
+	if capacity < 0 || capacity > g.maxTokens {
+		capacity = 0
+	}
+	eng := set.engines[0]
+	st, err := eng.ImportStream(state)
+	if err != nil {
+		return 0, err
+	}
+	if st.Len() > g.maxTokens {
+		return 0, errSessionFull
+	}
+	s := &session{
+		id:       id,
+		opts:     opts,
+		set:      set,
+		eng:      eng,
+		clientID: meta.clientID,
+		class:    meta.class,
+		capacity: capacity,
+		p:        p,
+		gate:     make(chan struct{}, 1),
+		stream:   st,
+	}
+	s.dec.init()
+	switch {
+	case thr != nil:
+		s.thr, s.calibrated = *thr, true
+	case p == 0:
+		s.thr, s.calibrated = elsa.Exact(), true
+	default:
+		if t, ok := g.thresholds.lookup(opts, p); ok {
+			s.thr, s.calibrated = t, true
+		}
+	}
+	g.mu.Lock()
+	if _, exists := g.byID[id]; exists {
+		g.mu.Unlock()
+		return 0, errSessionExists
+	}
+	g.sweepLocked()
+	for len(g.byID) >= g.maxSessions {
+		g.evictLocked(g.lru.Back(), "lru")
+	}
+	s.lastUsed = g.now()
+	s.el = g.lru.PushFront(s)
+	g.byID[s.id] = s
+	g.mu.Unlock()
+	g.metrics.ObserveSessionCreated()
+	return st.Len(), nil
+}
+
+// pushState imports the session's shadow state onto worker w, returning
+// the new remote handle; the caller holds the gate.
+func (g *sessionRegistry) pushState(ctx context.Context, w *worker, s *session) (*client.Session, error) {
+	st := &client.SessionState{
+		ID:        s.id,
+		State:     s.shadow.Export(),
+		Len:       s.shadow.Len(),
+		Capacity:  s.capacity,
+		HeadDim:   s.opts.HeadDim,
+		HashBits:  s.opts.HashBits,
+		Seed:      s.opts.Seed,
+		Quantized: s.opts.Quantized,
+		P:         s.p,
+	}
+	if s.calibrated {
+		thr := s.thr
+		st.Threshold = &thr
+	}
+	remote, err := w.cli.ImportSession(ctx, st)
+	if err != nil {
+		return nil, mapRemoteErr(w, err)
+	}
+	w.recover()
+	return remote, nil
+}
+
+// replaceHeld moves a remote-pinned session off the worker `avoid` while
+// its gate is held: push the shadow's exported state onto a freshly
+// placed worker, or adopt the shadow as the live local stream when no
+// other routable worker exists (the shadow already IS the exact state).
+// The old worker-side session is closed best-effort either way. Returns
+// false only when the session has no shadow to move.
+func (g *sessionRegistry) replaceHeld(ctx context.Context, s *session, avoid *worker) bool {
+	if s.remote == nil || s.shadow == nil {
+		return false
+	}
+	old := s.remote
+	var w *worker
+	if g.place != nil {
+		_, w = g.place(s.set, s.id)
+	} else {
+		_, w = s.set.sessionTarget()
+	}
+	moved := false
+	if w != nil && w != avoid && w.routable() {
+		if remote, err := g.pushState(ctx, w, s); err == nil {
+			s.remote, s.w = remote, w
+			moved = true
+		}
+	}
+	if !moved {
+		s.stream, s.shadow = s.shadow, nil
+		s.remote, s.w = nil, nil
+	}
+	g.closeRemote(old)
+	return true
+}
+
+// recoverHeld re-homes a remote-pinned session from its shadow after a
+// worker loss. A freshly-dead worker can still look routable (health
+// demotion needs consecutive faults), so the lost worker is explicitly
+// avoided; placement failing that, the shadow is adopted locally. The
+// shadow advances only on remote success, so the recovered state never
+// contains the op that just failed — the caller's single retry is
+// at-most-once safe. Returns whether the session is usable again.
+func (g *sessionRegistry) recoverHeld(ctx context.Context, s *session) bool {
+	if !g.replaceHeld(ctx, s, s.w) {
+		return false
+	}
+	g.metrics.ObserveSessionRecovered()
+	return true
+}
+
+// relocate live-migrates every session pinned to addr onto other
+// members (or onto this server when no other worker is routable),
+// returning how many moved. The cluster drain handler calls it after
+// marking the member draining, so placement cannot choose addr again.
+func (g *sessionRegistry) relocate(ctx context.Context, addr string) int {
+	g.mu.Lock()
+	var pinned []*session
+	for _, s := range g.byID {
+		if s.w != nil && s.w.addr == addr {
+			pinned = append(pinned, s)
+		}
+	}
+	g.mu.Unlock()
+	moved := 0
+	for _, s := range pinned {
+		if err := s.acquire(ctx); err != nil {
+			break
+		}
+		// The session may have been recovered or already migrated between
+		// the snapshot above and taking its gate.
+		if s.w != nil && s.w.addr == addr && g.replaceHeld(ctx, s, s.w) {
+			moved++
+			g.metrics.ObserveSessionMigrated()
+		}
+		s.release()
+	}
+	return moved
+}
+
+// stepRemote serves one wave entry on a remote-pinned session,
+// recovering once on worker loss; the caller holds the gate. Returns
+// false when recovery adopted the session locally — the entry then
+// continues on the local decode path instead.
+func (g *sessionRegistry) stepRemote(ctx context.Context, s *session, e *stepEntry) bool {
+	res, err := s.remote.Query(ctx, e.Q, e.Ov)
+	if err != nil {
+		err = mapRemoteErr(s.w, err)
+		if errors.Is(err, errWorkerLost) && g.recoverHeld(ctx, s) {
+			if s.remote == nil {
+				return false
+			}
+			res, err = s.remote.Query(ctx, e.Q, e.Ov)
+			if err != nil {
+				err = mapRemoteErr(s.w, err)
+			}
+		}
+	}
+	if err != nil {
+		e.Err = err
+		return true
+	}
+	s.w.recover()
+	s.thr, s.calibrated = res.Threshold, true
+	g.metrics.ObserveSessionQuery()
+	e.Out = res.Context
+	e.Stats = elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}
+	e.Len, e.Thr, e.BatchSize = res.Len, res.Threshold, max(res.BatchSize, 1)
+	return true
 }
 
 // stepEntry is one session's slot in a cross-session decode wave
@@ -543,17 +969,16 @@ func (g *sessionRegistry) step(ctx context.Context, entries []stepEntry, deadlin
 			continue
 		}
 		if s.remote != nil {
-			res, err := s.remote.Query(ctx, e.Q, e.Ov)
-			if err != nil {
-				e.Err = mapRemoteErr(s.w, err)
-			} else {
-				s.w.recover()
-				s.thr, s.calibrated = res.Threshold, true
-				g.metrics.ObserveSessionQuery()
-				e.Out = res.Context
-				e.Stats = elsa.StreamStats{Candidates: res.Candidates, Fallback: res.Fallback}
-				e.Len, e.Thr, e.BatchSize = res.Len, res.Threshold, max(res.BatchSize, 1)
+			if g.stepRemote(ctx, s, e) {
+				s.release()
+				held[i] = nil
+				continue
 			}
+			// Worker-loss recovery adopted the shadow locally mid-wave: the
+			// entry falls through to the local path below.
+		}
+		if err := g.ensureResident(s); err != nil {
+			e.Err = err
 			s.release()
 			held[i] = nil
 			continue

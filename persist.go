@@ -92,6 +92,26 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	return Restore(s)
 }
 
+// SaveStream writes a stream's Export blob — the Snapshot-style helper
+// for session state, so a serving layer can spill an idle decode session
+// to disk and rehydrate it later with LoadStream.
+func SaveStream(w io.Writer, s *Stream) error {
+	if _, err := w.Write(s.Export()); err != nil {
+		return fmt.Errorf("elsa: save stream: %w", err)
+	}
+	return nil
+}
+
+// LoadStream reads a stream state blob written by SaveStream and imports
+// it into e, which must share the exporter's resolved options.
+func LoadStream(r io.Reader, e *Engine) (*Stream, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: load stream: %w", err)
+	}
+	return e.ImportStream(data)
+}
+
 // thresholdFile is the on-disk format for a calibrated Threshold, so a
 // deployment can calibrate offline and ship the operating point alongside
 // the engine snapshot.

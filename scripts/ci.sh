@@ -33,6 +33,14 @@ echo "== serving subsystem under -race =="
 # detector can never be satisfied from cache.
 go test -race -count=1 ./internal/serve/...
 
+echo "== session migration churn under -race =="
+# The portable-session-state paths — export/import round trips, idle
+# spill + rehydrate, drain-time relocation, worker-loss recovery from
+# the shadow mirror — race session gates against the registry lock and
+# the recovery retry; run the suite explicitly so a -run filter above
+# can never silently drop it, with -count=1 to defeat caching.
+go test -race -count=1 -run 'TestSessionExportImport|TestSessionSpill|TestMemberDrainRelocates|TestWorkerLossRecovers|TestZeroPinnedDrain' ./internal/serve/
+
 echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
 # explicitly so they can never be skipped under -short, with -count=1 to

@@ -45,10 +45,13 @@ type ClusterMember struct {
 }
 
 // ClusterView is the GET /v1/cluster reply: the versioned membership
-// table as this frontend sees it.
+// table as this frontend sees it, plus the frontend's per-class load
+// signals (queue depth now, ops shed so far) for autoscalers.
 type ClusterView struct {
-	Version uint64          `json:"version"`
-	Members []ClusterMember `json:"members"`
+	Version           uint64           `json:"version"`
+	Members           []ClusterMember  `json:"members"`
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class,omitempty"`
+	ShedsByClass      map[string]int64 `json:"sheds_by_class,omitempty"`
 }
 
 // DrainStatus reports a server's own drain state (POST /v1/drain).
@@ -68,6 +71,9 @@ type MemberDrainStatus struct {
 	// PinnedSessions is how many sessions were still pinned to the
 	// member when the drain began.
 	PinnedSessions int `json:"pinned_sessions"`
+	// Relocated counts pinned sessions the frontend live-migrated onto
+	// other members before replying, instead of waiting them out.
+	Relocated int `json:"relocated,omitempty"`
 }
 
 type joinWire struct {

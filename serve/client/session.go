@@ -144,6 +144,97 @@ func (s *Session) Query(ctx context.Context, q []float32, ov elsa.Overrides) (*Q
 	}, nil
 }
 
+// SessionState is a session's portable state: the opaque stream blob a
+// server exported plus the engine configuration and operating point
+// another server needs to adopt it bit-identically.
+type SessionState struct {
+	ID        string
+	State     []byte
+	Len       int
+	Capacity  int
+	HeadDim   int
+	HashBits  int
+	Seed      int64
+	Quantized bool
+	P         float64
+	Threshold *elsa.Threshold
+}
+
+// sessionStateWire mirrors the server's export reply and import request
+// (they share a shape so state forwards without re-encoding).
+type sessionStateWire struct {
+	ID        string         `json:"id"`
+	State     []byte         `json:"state"`
+	Len       int            `json:"len,omitempty"`
+	Capacity  int            `json:"capacity,omitempty"`
+	HeadDim   int            `json:"head_dim"`
+	HashBits  int            `json:"hash_bits,omitempty"`
+	Seed      int64          `json:"seed,omitempty"`
+	Quantized bool           `json:"quantized,omitempty"`
+	P         float64        `json:"p,omitempty"`
+	Threshold *thresholdWire `json:"threshold,omitempty"`
+}
+
+type sessionImportReplyWire struct {
+	ID  string `json:"id"`
+	Len int    `json:"len"`
+}
+
+// Export fetches the session's portable state
+// (POST /v1/sessions/{id}/export): everything ImportSession needs to
+// re-create the stream bit-identically on another server.
+func (s *Session) Export(ctx context.Context) (*SessionState, error) {
+	var reply sessionStateWire
+	if err := s.c.post(ctx, "/v1/sessions/"+s.id+"/export", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	st := &SessionState{
+		ID:        reply.ID,
+		State:     reply.State,
+		Len:       reply.Len,
+		Capacity:  reply.Capacity,
+		HeadDim:   reply.HeadDim,
+		HashBits:  reply.HashBits,
+		Seed:      reply.Seed,
+		Quantized: reply.Quantized,
+		P:         reply.P,
+	}
+	if reply.Threshold != nil {
+		st.Threshold = &elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries}
+	}
+	return st, nil
+}
+
+// ImportSession adopts an exported session on the server this client
+// points at, under its original ID — the receiving half of live
+// migration between workers (POST /v1/sessions/import).
+func (c *Client) ImportSession(ctx context.Context, st *SessionState) (*Session, error) {
+	wire := sessionStateWire{
+		ID:        st.ID,
+		State:     st.State,
+		Capacity:  st.Capacity,
+		HeadDim:   st.HeadDim,
+		HashBits:  st.HashBits,
+		Seed:      st.Seed,
+		Quantized: st.Quantized,
+		P:         st.P,
+	}
+	if st.Threshold != nil {
+		wire.P = st.Threshold.P
+		wire.Threshold = &thresholdWire{P: st.Threshold.P, T: st.Threshold.T, Queries: st.Threshold.Queries}
+	}
+	var reply sessionImportReplyWire
+	if err := c.post(ctx, "/v1/sessions/import", wire, &reply); err != nil {
+		return nil, err
+	}
+	s := &Session{c: c, id: reply.ID}
+	if st.Threshold != nil {
+		thr := *st.Threshold
+		s.Threshold = &thr
+	}
+	return s, nil
+}
+
 // Close deletes the session server-side.
 func (s *Session) Close(ctx context.Context) error {
 	_, err := s.c.delete(ctx, "/v1/sessions/"+s.id)

@@ -20,8 +20,49 @@ func (e *Engine) NewStream(capacity int) *Stream {
 	return &Stream{inner: e.engine.NewStream(capacity)}
 }
 
+// NewStreamCold is NewStream with a cold watermark: once the hot f32 tail
+// reaches twice the watermark, the oldest tokens' K/V rows demote in one
+// chunk to the accelerator's bit-packed Q(1,5,3) representation (9 bits
+// per element instead of 32), bounding resident f32 state to the tail.
+// Hashes and norms stay at full precision, so candidate selection is
+// unchanged; on a quantized engine demotion is bit-lossless, and on a
+// float engine the demoted prefix answers within the Q(1,5,3) rounding
+// bound. watermark <= 0 keeps the whole stream hot, identical to
+// NewStream.
+func (e *Engine) NewStreamCold(capacity, watermark int) *Stream {
+	return &Stream{inner: e.engine.NewStreamCold(capacity, watermark)}
+}
+
 // Len returns the number of appended tokens.
 func (s *Stream) Len() int { return s.inner.Len() }
+
+// ColdLen returns how many of the oldest tokens have been demoted to the
+// bit-packed cold representation.
+func (s *Stream) ColdLen() int { return s.inner.ColdLen() }
+
+// StateBytes reports the resident payload bytes of the stream's per-token
+// state (hot K/V, packed hashes, norms, and the bit-packed cold store).
+func (s *Stream) StateBytes() int { return s.inner.StateBytes() }
+
+// Export serializes the stream's full state — hot tail, cold prefix,
+// hashes, norms, watermark — into a versioned, length-prefixed binary
+// blob. Importing the blob into any engine with the same resolved Options
+// (ImportStream) reproduces the stream bit-identically: same outputs,
+// same candidate decisions, byte-identical re-export.
+func (s *Stream) Export() []byte { return s.inner.Export() }
+
+// ImportStream rebuilds a stream from an Export blob. The engine must
+// have the same resolved options as the exporter (the blob carries a
+// config fingerprint that is checked), making the pair the session
+// analogue of Snapshot/Restore: portable state that moves between
+// processes and hosts without recomputing hashes or norms.
+func (e *Engine) ImportStream(data []byte) (*Stream, error) {
+	inner, err := e.engine.ImportStream(data)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	return &Stream{inner: inner}, nil
+}
 
 // Append adds one token's key and value vectors.
 func (s *Stream) Append(key, value []float32) error {

@@ -1,0 +1,96 @@
+package elsa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestRestoreImportStreamBitIdentical is the Snapshot/Restore ×
+// Export/ImportStream interplay contract: restoring an engine from its
+// snapshot and importing a stream exported from the original answers
+// every query bit-identically — the exact guarantee session migration
+// between workers relies on. Covered for float and quantized engines
+// (the whole suite runs under -race in CI).
+func TestRestoreImportStreamBitIdentical(t *testing.T) {
+	for _, quantized := range []bool{false, true} {
+		name := "float"
+		if quantized {
+			name = "quantized"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(61))
+			orig := newEngine(t, Options{HeadDim: 32, Seed: 61, Quantized: quantized})
+			st := orig.NewStreamCold(0, 16)
+			appendRandom(t, rng, st, 80, 32)
+			if st.ColdLen() == 0 {
+				t.Fatal("no cold prefix to migrate")
+			}
+			blob := st.Export()
+
+			restored, err := Restore(orig.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			imported, err := restored.ImportStream(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(imported.Export(), blob) {
+				t.Fatal("imported stream re-exports differently under the restored engine")
+			}
+
+			// Keep decoding on both sides: the migrated stream must stay
+			// bit-identical through further appends and queries.
+			for i := 0; i < 20; i++ {
+				k, v := randVec(rng, 32), randVec(rng, 32)
+				if err := st.Append(k, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := imported.Append(k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			qrng := rand.New(rand.NewSource(63))
+			for i := 0; i < 8; i++ {
+				q := randVec(qrng, 32)
+				for _, thr := range []Threshold{Exact(), {P: 1, T: 0.2}} {
+					want, wantStats, err := st.Query(q, thr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, gotStats, err := imported.Query(q, thr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotStats != wantStats {
+						t.Fatalf("query %d: stats %+v vs %+v", i, gotStats, wantStats)
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("query %d elem %d: restored+imported diverges from original", i, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func randVec(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func appendRandom(t *testing.T, rng *rand.Rand, st *Stream, n, d int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := st.Append(randVec(rng, d), randVec(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
