@@ -239,9 +239,10 @@ func benchVec(rng *rand.Rand, dim int) []float32 {
 // directly) plus the decode-batching and session-migration families
 // added alongside.
 type servingSnapshot struct {
-	Serve   []ServingRow `json:"serve"`
-	Decode  []DecodeRow  `json:"decode,omitempty"`
-	Migrate []MigrateRow `json:"migrate,omitempty"`
+	Serve     []ServingRow   `json:"serve"`
+	Decode    []DecodeRow    `json:"decode,omitempty"`
+	Migrate   []MigrateRow   `json:"migrate,omitempty"`
+	Autoscale []AutoscaleRow `json:"autoscale,omitempty"`
 }
 
 // loadDecodeRows reads the "decode" family from a committed serving

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
 //	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
@@ -24,10 +24,14 @@
 // serialized baseline, across session counts), and the "migrate"
 // experiment measures portable session state (resident bytes/session hot
 // vs cold, whole-session moves/s over the HTTP export/import path,
-// rehydrate latency); -experiment serve -json writes all three families
-// into the serving snapshot, and -compare additionally gates decode
-// mean_batch plus migration moves/s and resident bytes when both
-// snapshots carry those families.
+// rehydrate latency), and the "autoscale" experiment measures the closed
+// autoscale loop (rebalance convergence time and migrations toward a
+// fresh joiner, plus shadow-mirror replay ns/token inline vs
+// batched/async); -experiment serve -json writes all four families into
+// the serving snapshot, and -compare additionally gates decode
+// mean_batch, migration moves/s and resident bytes, rebalance
+// convergence, and batched-mirror ns/token when both snapshots carry
+// those families.
 package main
 
 import (
@@ -46,7 +50,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
@@ -128,6 +132,10 @@ func main() {
 					fmt.Fprintln(os.Stderr, "elsabench:", err)
 					failed = true
 				}
+				if err := compareAutoscalePerf(*compare, *baseline, *maxRegress); err != nil {
+					fmt.Fprintln(os.Stderr, "elsabench:", err)
+					failed = true
+				}
 			}
 			if failed {
 				os.Exit(2)
@@ -177,8 +185,9 @@ func main() {
 		"serve":     runServe,
 		"decode":    runDecode,
 		"migrate":   runMigrate,
+		"autoscale": runAutoscale,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode", "migrate"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode", "migrate", "autoscale"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -273,11 +282,17 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return servingSnapshot{Serve: rows, Decode: dec, Migrate: mig}, nil
+		asc, err := autoscaleRows(opt)
+		if err != nil {
+			return nil, err
+		}
+		return servingSnapshot{Serve: rows, Decode: dec, Migrate: mig, Autoscale: asc}, nil
 	case "decode":
 		return decodeRows(opt)
 	case "migrate":
 		return migrateRows(opt)
+	case "autoscale":
+		return autoscaleRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {

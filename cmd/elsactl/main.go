@@ -1,0 +1,91 @@
+// Command elsactl is the autoscale controller for an elsaserve fleet,
+// run as a sidecar next to the frontend. It polls the frontend's
+// versioned cluster view (GET /v1/cluster, schema_version 1) on a fixed
+// cadence, feeds the signals block — queue depth, windowed shed rate,
+// batch occupancy — through a hysteresis-banded policy, and closes the
+// loop through the frontend's own API:
+//
+//   - scale-in: a sustained idle band drains the least-loaded dynamic
+//     member (POST /v1/cluster/drain); its sessions live-migrate away
+//     and the worker can be retired.
+//   - rebalance: an under-loaded active member (typically a fresh
+//     joiner) attracts its fair share of pinned sessions
+//     (POST /v1/cluster/rebalance).
+//   - scale-out: a sustained hot band is printed as advice — elsactl
+//     cannot launch workers; the operator (or a wrapper watching
+//     stdout) starts one with -join and it self-registers.
+//
+// Usage:
+//
+//	elsactl -url http://frontend:8080 [-interval 2s] [-once] [-dry-run]
+//	        [-scale-out-queue 16] [-scale-out-shed-rate 0.5]
+//	        [-scale-in-queue 1] [-hold 3] [-cooldown 5] [-min-members 1]
+//
+// -once performs a single poll-decide-act cycle and exits 0 when the
+// fleet needs nothing, making it cron- and script-friendly; -dry-run
+// prints every decision without acting. The same controller can run
+// in-process instead via elsaserve's -autoscale flag; elsactl is the
+// deployment where the control loop must survive frontend restarts or
+// be driven out-of-band.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elsa/internal/serve/autoscale"
+)
+
+func main() {
+	url := flag.String("url", "", "frontend base URL to control (required)")
+	interval := flag.Duration("interval", 2*time.Second, "polling cadence")
+	once := flag.Bool("once", false, "one poll-decide-act cycle, then exit")
+	dryRun := flag.Bool("dry-run", false, "print decisions without draining or rebalancing")
+	var cfg autoscale.Config
+	flag.Int64Var(&cfg.ScaleOutQueue, "scale-out-queue", 0, "queue depth at or above which a snapshot is hot (default 16)")
+	flag.Float64Var(&cfg.ScaleOutShedRate, "scale-out-shed-rate", 0, "windowed shed rate (events/s) at or above which a snapshot is hot (default 0.5)")
+	flag.Int64Var(&cfg.ScaleInQueue, "scale-in-queue", 0, "queue depth at or below which an unshedding snapshot is cold (default 1)")
+	flag.IntVar(&cfg.HoldSteps, "hold", 0, "consecutive snapshots a band must hold before advice fires (default 3)")
+	flag.IntVar(&cfg.CooldownSteps, "cooldown", 0, "snapshots to suppress further advice after one fires (default 5)")
+	flag.IntVar(&cfg.MinMembers, "min-members", 0, "never drain below this many active members (default 1)")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "elsactl: -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctl := autoscale.NewController(*url)
+	ctl.Policy = autoscale.New(cfg)
+	ctl.Interval = *interval
+	ctl.DryRun = *dryRun
+	ctl.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "elsactl: "+format+"\n", args...)
+	}
+	ctl.OnScaleOut = func(adv autoscale.Advice) {
+		// Stdout, one parseable line: wrappers watch for this.
+		fmt.Printf("scale-out %s\n", adv.Reason)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		adv, err := ctl.Step(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elsactl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("advice: %s\n", adv)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "elsactl: controlling %s every %s (policy %+v)\n", *url, ctl.Interval, ctl.Policy.Config())
+	ctl.Run(ctx) //nolint:errcheck // only returns ctx.Err at shutdown
+}

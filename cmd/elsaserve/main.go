@@ -20,6 +20,8 @@
 //	          [-worker-fail-limit 3] [-dispatch-retries 2]
 //	          [-join http://frontend:8080 -advertise host:port]
 //	          [-heartbeat-interval 5s] [-weight 1] [-drain-timeout 1m]
+//	          [-autoscale] [-autoscale-interval 2s] [-compat-legacy]
+//	          [-sync-mirror]
 //
 // Cross-host sharding: `-workers host:port,...` makes this server a fleet
 // frontend — micro-batch ops route to the listed elsaserve workers
@@ -50,6 +52,19 @@
 // most 2N tokens, demoting older entries to the bit-packed cold
 // representation the paper's approximate pipeline scores against.
 //
+// Autoscaling: `-autoscale` runs the elsactl controller in-process on a
+// frontend — it watches this server's own GET /v1/cluster signals block
+// (queue depth, windowed shed rate, batch occupancy) and closes the loop
+// by draining idle members and rebalancing sessions toward fresh
+// joiners; scale-out advice is logged for the operator, since launching
+// capacity is outside the process. Run `elsactl` as a sidecar instead
+// when the controller should survive frontend restarts.
+//
+// Envelope sunset: bare pre-envelope POST bodies are rejected with a 400
+// migration hint by default. `-compat-legacy` restores them during
+// migration; the flag is deprecated from day one and will be removed two
+// releases after its introduction (see README).
+//
 // Endpoints:
 //
 //	POST   /v1/attend               one Q/K/V attention op with degree-of-approximation p
@@ -63,8 +78,9 @@
 //	GET    /v1/healthz              liveness plus resident engine and session counts
 //	GET    /v1/metrics              Prometheus text-format counters and histograms
 //	POST   /v1/cluster/join         worker self-registration and heartbeat
-//	GET    /v1/cluster              versioned membership table with pinned-session counts
-//	POST   /v1/cluster/drain        drain one member (rolling upgrade)
+//	GET    /v1/cluster              versioned (schema_version 1) membership targets + autoscale signals
+//	POST   /v1/cluster/drain        drain one member (rolling upgrade / scale-in)
+//	POST   /v1/cluster/rebalance    migrate sessions toward one member (scale-out settling)
 //	POST   /v1/drain                drain this server: refuse new sessions, finish pinned ones
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, queued
@@ -85,6 +101,7 @@ import (
 	"time"
 
 	"elsa/internal/serve"
+	"elsa/internal/serve/autoscale"
 )
 
 func main() {
@@ -119,6 +136,10 @@ func main() {
 	heartbeat := flag.Duration("heartbeat-interval", 5*time.Second, "re-join cadence when joined via -join (floor 1s)")
 	weight := flag.Int("weight", 1, "this worker's share of session keyspace on the frontend's hash ring")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", time.Minute, "force-expire sessions still pinned this long after POST /v1/drain (negative waits forever)")
+	flag.BoolVar(&cfg.CompatLegacy, "compat-legacy", false, "accept deprecated bare (pre-envelope) POST bodies; to be removed two releases after 0.9")
+	flag.BoolVar(&cfg.SyncMirror, "sync-mirror", false, "replay session shadow-mirror appends inline on the request path instead of batched/async")
+	autoscaleOn := flag.Bool("autoscale", false, "run the autoscale controller in-process: drain idle members, rebalance toward joiners, log scale-out advice")
+	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "in-process autoscale polling cadence")
 	flag.Parse()
 
 	cw, err := parseClassWeights(*weights)
@@ -157,7 +178,19 @@ func main() {
 		}
 	}
 
-	if err := run(*addr, cfg, *drain, hb); err != nil {
+	var asInterval time.Duration
+	if *autoscaleOn {
+		if *workerMode || *join != "" {
+			fmt.Fprintln(os.Stderr, "elsaserve: -autoscale is a frontend concern (incompatible with -worker / -join)")
+			os.Exit(2)
+		}
+		asInterval = *autoscaleInterval
+		if asInterval < 100*time.Millisecond {
+			asInterval = 100 * time.Millisecond
+		}
+	}
+
+	if err := run(*addr, cfg, *drain, hb, asInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "elsaserve:", err)
 		os.Exit(1)
 	}
@@ -190,7 +223,7 @@ func parseClassWeights(s string) ([3]int, error) {
 	return w, nil
 }
 
-func run(addr string, cfg serve.Config, drain time.Duration, hb heartbeatConfig) error {
+func run(addr string, cfg serve.Config, drain time.Duration, hb heartbeatConfig, autoscaleEvery time.Duration) error {
 	srv := serve.New(cfg)
 	hs := &http.Server{Addr: addr, Handler: srv}
 
@@ -215,6 +248,25 @@ func run(addr string, cfg serve.Config, drain time.Duration, hb heartbeatConfig)
 	if hb.frontend != "" {
 		beater = serve.NewHeartbeater(hb.frontend, hb.advertise, hb.interval, hb.weight, srv)
 		beater.Start()
+	}
+
+	if autoscaleEvery > 0 {
+		// The controller talks to this very server over loopback: the
+		// same versioned cluster API elsactl uses, so in-process and
+		// sidecar deployments are behaviorally identical.
+		self := addr
+		if strings.HasPrefix(self, ":") {
+			self = "127.0.0.1" + self
+		}
+		ctl := autoscale.NewController("http://" + self)
+		ctl.Interval = autoscaleEvery
+		ctl.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "elsaserve: "+format+"\n", args...)
+		}
+		ctl.OnScaleOut = func(adv autoscale.Advice) {
+			fmt.Fprintf(os.Stderr, "elsaserve: autoscale advises scale-out: %s — launch a worker with -join to absorb it\n", adv.Reason)
+		}
+		go ctl.Run(ctx) //nolint:errcheck // exits with ctx at shutdown
 	}
 
 	select {

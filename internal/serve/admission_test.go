@@ -18,10 +18,12 @@ import (
 )
 
 // TestEnvelopeAndLegacyPayloadsMatch verifies the v1 envelope and a bare
-// pre-envelope payload produce byte-identical responses: the envelope is
-// pure metadata around the same op.
+// pre-envelope payload produce byte-identical responses on a server with
+// legacy compat enabled: the envelope is pure metadata around the same
+// op. (Without -compat-legacy the bare form is rejected outright; see
+// envelope_compat_test.go.)
 func TestEnvelopeAndLegacyPayloadsMatch(t *testing.T) {
-	srv := New(Config{BatchWindow: time.Millisecond})
+	srv := New(Config{BatchWindow: time.Millisecond, CompatLegacy: true})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -30,7 +32,20 @@ func TestEnvelopeAndLegacyPayloadsMatch(t *testing.T) {
 	q, k, v := genOp(rng, 4, 8)
 	req := AttendRequest{Q: q, K: k, V: v, HeadDim: testDim, Seed: testSeed}
 
-	legacyResp, legacyBody := postAttend(t, ts.Client(), ts.URL, req)
+	bareBody, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyResp, err := ts.Client().Post(ts.URL+"/v1/attend", "application/json", bytes.NewReader(bareBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacyBuf bytes.Buffer
+	if _, err := legacyBuf.ReadFrom(legacyResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	legacyResp.Body.Close()
+	legacyBody := legacyBuf.Bytes()
 	if legacyResp.StatusCode != http.StatusOK {
 		t.Fatalf("legacy payload: %d: %s", legacyResp.StatusCode, legacyBody)
 	}
@@ -288,8 +303,9 @@ func TestWeightedDequeueDefersBackground(t *testing.T) {
 // follow-up requests carry no client_id themselves.
 func TestSessionsInheritCreatorQuota(t *testing.T) {
 	srv := New(Config{
-		QuotaRPS:   0.001, // effectively no refill within the test
-		QuotaBurst: 3,
+		QuotaRPS:     0.001, // effectively no refill within the test
+		QuotaBurst:   3,
+		CompatLegacy: true, // the bare appends below are the legacy path under test
 	})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)

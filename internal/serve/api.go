@@ -13,9 +13,10 @@ import (
 // Envelope is the versioned v1 request envelope shared by every POST
 // endpoint: admission metadata (who is asking, at what priority, with how
 // much latency budget) wraps the op payload in `op`. Bare pre-envelope
-// payloads — bodies without an `op` key — are still accepted through the
-// same decoder and behave exactly as before: anonymous client,
-// interactive priority, no deadline.
+// payloads — bodies without an `op` key — are sunset: they answer 400
+// with a migration hint unless the server runs with Config.CompatLegacy
+// (elsaserve -compat-legacy), in which case they behave exactly as
+// before: anonymous client, interactive priority, no deadline.
 type Envelope struct {
 	// ClientID keys the per-client quota bucket. Empty means anonymous;
 	// all anonymous requests share one bucket, so naming yourself is how
@@ -42,22 +43,37 @@ type requestMeta struct {
 	deadline time.Duration // remaining budget; 0 = none
 }
 
-// decodeEnvelope decodes a size-bounded request body into payload,
-// accepting both the v1 envelope and bare pre-envelope payloads, and
+// legacyEnvelopeHint is the 400 body a bare pre-envelope payload earns
+// now that the legacy format is sunset. It names both the fix and the
+// escape hatch so old clients can self-serve the migration.
+const legacyEnvelopeHint = `bare legacy payload rejected: wrap the request body in the v1 envelope {"op": <payload>} (optionally with client_id / priority / deadline_ms); run elsaserve with -compat-legacy to restore the deprecated bare format during migration`
+
+// decodeEnvelope decodes a size-bounded request body into payload and
 // resolves the admission metadata (falling back to the X-Elsa-Client /
-// X-Elsa-Priority headers). It answers 400 itself on failure.
-func decodeEnvelope(w http.ResponseWriter, r *http.Request, maxBytes int64, payload any) (requestMeta, bool) {
+// X-Elsa-Priority headers). Only the v1 envelope is accepted unless
+// legacyOK (Config.CompatLegacy) also admits bare pre-envelope payloads.
+// It answers 400 itself on failure.
+func decodeEnvelope(w http.ResponseWriter, r *http.Request, maxBytes int64, legacyOK bool, payload any) (requestMeta, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
 	if err != nil {
 		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return requestMeta{}, false
 	}
 	var env Envelope
-	raw := body
 	if err := json.Unmarshal(body, &env); err != nil {
+		if !legacyOK {
+			fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+			return requestMeta{}, false
+		}
 		env = Envelope{}
-	} else if env.Op != nil {
-		raw = env.Op
+	}
+	raw := env.Op
+	if raw == nil {
+		if !legacyOK {
+			fail(w, http.StatusBadRequest, legacyEnvelopeHint)
+			return requestMeta{}, false
+		}
+		raw = body
 	}
 	if err := json.Unmarshal(raw, payload); err != nil {
 		fail(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
@@ -355,7 +371,15 @@ type JoinResponse struct {
 	Version uint64 `json:"version"`
 }
 
-// ClusterMemberJSON is one member in the GET /v1/cluster listing.
+// ClusterSchemaVersion is the current GET /v1/cluster schema version.
+// Version 1 introduced the explicit `signals` and `targets` blocks; the
+// legacy top-level `members` / `queue_depth_by_class` / `sheds_by_class`
+// fields are still emitted for pre-v1 clients but are deprecated and
+// leave with the -compat-legacy envelope flag.
+const ClusterSchemaVersion = 1
+
+// ClusterMemberJSON is one member in the legacy GET /v1/cluster
+// `members` listing (deprecated in favor of ClusterTargetJSON).
 type ClusterMemberJSON struct {
 	Addr        string `json:"addr"`
 	State       string `json:"state"`
@@ -370,16 +394,86 @@ type ClusterMemberJSON struct {
 	PinnedSessions int `json:"pinned_sessions"`
 }
 
-// ClusterResponse is the GET /v1/cluster reply.
+// ClusterSignalsJSON is the GET /v1/cluster `signals` block: the
+// frontend-wide load signals an autoscale controller acts on, in one
+// documented place. All rates are windowed (events/s over the last ~1s
+// interval), never lifetime averages, so hysteresis bands see current
+// pressure.
+type ClusterSignalsJSON struct {
+	// QueueDepth is the total queued ops; QueueDepthByClass splits it per
+	// priority class. Sustained interactive depth means scale out.
+	QueueDepth        int64            `json:"queue_depth"`
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class"`
+	// ShedRateByClass is the windowed shed rate per class in events/s —
+	// nonzero means admission is already refusing work.
+	ShedRateByClass map[string]float64 `json:"shed_rate_by_class"`
+	// ShedsByClass is the cumulative lifetime shed counter per class,
+	// kept for dashboards; controllers should use ShedRateByClass.
+	ShedsByClass map[string]int64 `json:"sheds_by_class"`
+	// MeanBatch and MeanDecodeBatch are the mean dispatched micro-batch
+	// and decode-batch sizes — low occupancy with low depth means scale
+	// in.
+	MeanBatch       float64 `json:"mean_batch"`
+	MeanDecodeBatch float64 `json:"mean_decode_batch"`
+}
+
+// ClusterTargetJSON is one member in the GET /v1/cluster `targets`
+// block: the per-member placement state (capacity, pinned sessions,
+// liveness) a controller weighs when picking drain and rebalance targets.
+type ClusterTargetJSON struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Static marks members seeded from -workers flags; they cannot be
+	// scaled away by a controller, only drained manually.
+	Static      bool `json:"static,omitempty"`
+	Weight      int  `json:"weight,omitempty"`
+	MaxSessions int  `json:"max_sessions,omitempty"`
+	// HeartbeatAgeMS is how long ago the member last joined or
+	// heartbeated; -1 when it never has.
+	HeartbeatAgeMS int64 `json:"heartbeat_age_ms"`
+	// PinnedSessions counts live sessions this frontend holds pinned to
+	// the member.
+	PinnedSessions int `json:"pinned_sessions"`
+}
+
+// ClusterResponse is the GET /v1/cluster reply — the versioned cluster
+// view driving elsactl and the serve/client typed accessors.
 type ClusterResponse struct {
-	Version uint64              `json:"version"`
-	Members []ClusterMemberJSON `json:"members"`
-	// QueueDepthByClass is the frontend's current queued ops per priority
-	// class and ShedsByClass the ops it has refused per class — the two
-	// explicit signals an autoscaler watches: sustained interactive depth
-	// means scale up, nonzero shed rate means it is already too late.
-	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class,omitempty"`
-	ShedsByClass      map[string]int64 `json:"sheds_by_class,omitempty"`
+	// SchemaVersion identifies this schema (ClusterSchemaVersion).
+	// Clients must treat an absent/zero value as the pre-v1 legacy shape.
+	SchemaVersion int `json:"schema_version"`
+	// Version is the membership table version (bumps on every change).
+	Version uint64 `json:"version"`
+	// Signals and Targets are the v1 blocks: fleet-wide load signals and
+	// per-member placement state.
+	Signals ClusterSignalsJSON  `json:"signals"`
+	Targets []ClusterTargetJSON `json:"targets"`
+
+	// Members, QueueDepthByClass, and ShedsByClass are the deprecated
+	// pre-v1 fields, still emitted for old clients; they duplicate
+	// Targets and Signals and will be removed with -compat-legacy.
+	Members           []ClusterMemberJSON `json:"members"`
+	QueueDepthByClass map[string]int64    `json:"queue_depth_by_class,omitempty"`
+	ShedsByClass      map[string]int64    `json:"sheds_by_class,omitempty"`
+}
+
+// ClusterRebalanceRequest is the POST /v1/cluster/rebalance body: migrate
+// up to Max pinned sessions toward the member at Addr (typically a fresh
+// joiner) using the live export/import path. Max <= 0 means "as many as
+// placement prefers".
+type ClusterRebalanceRequest struct {
+	Addr string `json:"addr"`
+	Max  int    `json:"max,omitempty"`
+}
+
+// ClusterRebalanceResponse reports the rebalance outcome.
+type ClusterRebalanceResponse struct {
+	Addr string `json:"addr"`
+	// Moved counts sessions live-migrated toward the member.
+	Moved int `json:"moved"`
+	// PinnedSessions is how many sessions are pinned to the member after
+	// the move.
+	PinnedSessions int `json:"pinned_sessions"`
 }
 
 // ClusterDrainRequest is the POST /v1/cluster/drain body: which member

@@ -1,0 +1,157 @@
+package autoscale
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"elsa/serve/client"
+)
+
+// SnapshotFromCluster converts a typed GET /v1/cluster reply into a
+// policy snapshot: the signals block collapses to the fleet-wide totals
+// the bands act on (shed rate summed across priority classes), and the
+// membership targets map field-for-field.
+func SnapshotFromCluster(info *client.ClusterInfo) Snapshot {
+	snap := Snapshot{
+		Signals: Signals{
+			QueueDepth: info.Signals.QueueDepth,
+			MeanBatch:  info.Signals.MeanBatch,
+		},
+		Members: make([]Member, 0, len(info.Members)),
+		Version: info.Version,
+	}
+	for _, r := range info.Signals.ShedRateByClass {
+		snap.Signals.ShedRate += r
+	}
+	for _, m := range info.Members {
+		snap.Members = append(snap.Members, Member{
+			Addr:           m.Addr,
+			State:          m.State,
+			Static:         m.Static,
+			Weight:         m.Weight,
+			MaxSessions:    m.MaxSessions,
+			PinnedSessions: m.PinnedSessions,
+		})
+	}
+	return snap
+}
+
+// Controller closes the loop: it polls one frontend's cluster view on a
+// fixed cadence, feeds each snapshot to the policy, and applies the
+// advice through the frontend's own API — scale-in via
+// POST /v1/cluster/drain, rebalance via POST /v1/cluster/rebalance.
+// Scale-out needs capacity the controller cannot conjure, so it is
+// surfaced through OnScaleOut (elsactl logs it; an operator hook or the
+// fleet manager launches the worker, which self-registers on boot).
+type Controller struct {
+	// Client points at the frontend being scaled.
+	Client *client.Client
+	// Policy makes the decisions; NewController installs a default one.
+	Policy *Policy
+	// Interval is the polling cadence (default 2s).
+	Interval time.Duration
+	// DryRun logs advice without acting on it.
+	DryRun bool
+	// OnScaleOut, when set, receives scale-out advice.
+	OnScaleOut func(Advice)
+	// OnAdvice, when set, observes every decision after it was applied
+	// (tests and elsactl's -once mode hook here). Err is the action's
+	// failure, nil for none/dry-run.
+	OnAdvice func(Advice, error)
+	// Logf, when set, receives one line per non-None decision.
+	Logf func(format string, args ...any)
+}
+
+// NewController returns a controller polling the frontend at base via
+// the default policy. Tune fields before calling Run.
+func NewController(base string) *Controller {
+	return &Controller{
+		Client:   client.New(base),
+		Policy:   New(Config{}),
+		Interval: 2 * time.Second,
+	}
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Step performs one poll-decide-act cycle and returns the advice. The
+// returned error is a poll failure (no decision was made) or the applied
+// action's failure.
+func (c *Controller) Step(ctx context.Context) (Advice, error) {
+	info, err := c.Client.Cluster(ctx)
+	if err != nil {
+		return Advice{}, fmt.Errorf("poll cluster: %w", err)
+	}
+	adv := c.Policy.Decide(SnapshotFromCluster(info))
+	err = c.apply(ctx, adv)
+	if c.OnAdvice != nil {
+		c.OnAdvice(adv, err)
+	}
+	return adv, err
+}
+
+func (c *Controller) apply(ctx context.Context, adv Advice) error {
+	if adv.Action == ActionNone {
+		return nil
+	}
+	if c.DryRun {
+		c.logf("autoscale (dry-run): %s", adv)
+		return nil
+	}
+	c.logf("autoscale: %s", adv)
+	switch adv.Action {
+	case ActionScaleOut:
+		if c.OnScaleOut != nil {
+			c.OnScaleOut(adv)
+		}
+		return nil
+	case ActionScaleIn:
+		st, err := c.Client.DrainMember(ctx, adv.Target)
+		if err != nil {
+			return fmt.Errorf("drain %s: %w", adv.Target, err)
+		}
+		c.logf("autoscale: drain %s started (pinned=%d relocated=%d)",
+			st.Addr, st.PinnedSessions, st.Relocated)
+		return nil
+	case ActionRebalance:
+		st, err := c.Client.RebalanceMember(ctx, adv.Target, adv.Moves)
+		if err != nil {
+			return fmt.Errorf("rebalance toward %s: %w", adv.Target, err)
+		}
+		c.logf("autoscale: rebalance moved %d sessions onto %s (now pinned=%d)",
+			st.Moved, st.Addr, st.PinnedSessions)
+		// Zero moves means the ring owns nothing more on the target; tell
+		// the policy so it stops advising this exact rebalance until the
+		// membership version moves.
+		c.Policy.NoteRebalance(adv.Target, st.Moved)
+		return nil
+	}
+	return nil
+}
+
+// Run polls until ctx ends. Individual step failures are logged and the
+// loop keeps going — a transient frontend error must not kill the
+// controller; only ctx cancellation returns (with ctx.Err()).
+func (c *Controller) Run(ctx context.Context) error {
+	interval := c.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := c.Step(ctx); err != nil && ctx.Err() == nil {
+				c.logf("autoscale: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package autoscale closes the serving fleet's scaling loop: a
+// hysteresis-banded policy over the frontend's windowed load signals
+// (queue depth, shed rate, batch occupancy) that advises scale-out,
+// scale-in via drain, or a proactive rebalance toward an under-loaded
+// member — and a controller that polls GET /v1/cluster and applies the
+// advice through the drain/rebalance endpoints.
+//
+// The policy is deliberately a function of (state, snapshot): no
+// clocks, no I/O. Hysteresis comes from streak counting — a band must
+// hold for HoldSteps consecutive snapshots before advice fires, and a
+// cooldown suppresses further advice while the fleet reacts — so a
+// controller polling a noisy signal cannot flap. One piece of feedback
+// flows back in: NoteRebalance reports how many sessions a rebalance
+// actually moved, because the fair-share band is blind to
+// consistent-hash ownership — a member can legitimately own less than
+// its fair share, and only the mover knows the ring has nothing more
+// for it.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Member states as GET /v1/cluster reports them.
+const (
+	StateJoining  = "joining"
+	StateActive   = "active"
+	StateDraining = "draining"
+)
+
+// Signals is the fleet-wide load part of one snapshot, taken from the
+// cluster view's signals block. ShedRate must be a windowed rate
+// (events/s over the last interval), never a lifetime counter — the
+// bands act on current pressure.
+type Signals struct {
+	// QueueDepth is the frontend's total queued ops.
+	QueueDepth int64
+	// ShedRate is the windowed shed rate in events/s, summed across
+	// priority classes.
+	ShedRate float64
+	// MeanBatch is the mean dispatched micro-batch size (occupancy).
+	MeanBatch float64
+}
+
+// Member is one fleet member's placement state.
+type Member struct {
+	Addr  string
+	State string
+	// Static members were seeded from -workers flags: the policy may
+	// drain them for a rebalance but never advises scaling them away.
+	Static         bool
+	Weight         int
+	MaxSessions    int
+	PinnedSessions int
+}
+
+// Snapshot is one observation of the fleet, fed to Decide.
+type Snapshot struct {
+	Signals Signals
+	Members []Member
+	// Version is the membership table version the snapshot was taken at.
+	// It only moves on placement-relevant changes (join, activate, drain,
+	// expiry, weight), never on steady heartbeats — the policy uses it to
+	// expire a NoteRebalance settlement once membership shifts.
+	Version uint64
+}
+
+// Action is the kind of advice a decision yields.
+type Action int
+
+const (
+	// ActionNone means hold steady.
+	ActionNone Action = iota
+	// ActionScaleOut asks for more capacity. The policy cannot launch
+	// workers itself; the controller surfaces this to its OnScaleOut
+	// hook (or the operator).
+	ActionScaleOut
+	// ActionScaleIn drains the Target member; its pinned sessions
+	// live-migrate away and it can then be retired.
+	ActionScaleIn
+	// ActionRebalance migrates up to Moves sessions toward the Target
+	// member — the under-loaded one, typically a fresh joiner.
+	ActionRebalance
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionScaleOut:
+		return "scale-out"
+	case ActionScaleIn:
+		return "scale-in"
+	case ActionRebalance:
+		return "rebalance"
+	default:
+		return "none"
+	}
+}
+
+// Advice is one decision.
+type Advice struct {
+	Action Action
+	// Target is the member a scale-in drains or a rebalance moves
+	// sessions toward; empty otherwise.
+	Target string
+	// Moves bounds a rebalance's migrations (0 lets the frontend move
+	// every session placement prefers on the target).
+	Moves int
+	// Reason is the human-readable trigger, for logs.
+	Reason string
+}
+
+func (a Advice) String() string {
+	s := a.Action.String()
+	if a.Target != "" {
+		s += " target=" + a.Target
+	}
+	if a.Moves > 0 {
+		s += fmt.Sprintf(" moves=%d", a.Moves)
+	}
+	if a.Reason != "" {
+		s += " (" + a.Reason + ")"
+	}
+	return s
+}
+
+// Config tunes the policy bands. Zero values select the defaults.
+type Config struct {
+	// ScaleOutQueue and ScaleOutShedRate are the hot band's entry
+	// thresholds: a snapshot at or above either is hot (defaults 16
+	// queued ops, 0.5 sheds/s).
+	ScaleOutQueue    int64
+	ScaleOutShedRate float64
+	// ScaleInQueue is the cold band's exit threshold: a snapshot is cold
+	// only at or below it with a zero shed rate (default 1; negative
+	// means 0).
+	ScaleInQueue int64
+	// HoldSteps is how many consecutive hot (cold) snapshots must
+	// accumulate before scale-out (scale-in) fires — the hysteresis
+	// (default 3).
+	HoldSteps int
+	// CooldownSteps suppresses further advice for this many snapshots
+	// after any advice fires, so the fleet can react (default 5).
+	CooldownSteps int
+	// MinMembers floors scale-in: never advise draining below this many
+	// active members (default 1).
+	MinMembers int
+	// RebalanceImbalance triggers a rebalance when an active member
+	// holds less than this fraction of the mean pinned-session count
+	// (default 0.5; set >= 1 to rebalance on any deficit).
+	RebalanceImbalance float64
+}
+
+func (c *Config) setDefaults() {
+	if c.ScaleOutQueue <= 0 {
+		c.ScaleOutQueue = 16
+	}
+	if c.ScaleOutShedRate <= 0 {
+		c.ScaleOutShedRate = 0.5
+	}
+	if c.ScaleInQueue < 0 {
+		c.ScaleInQueue = 0
+	} else if c.ScaleInQueue == 0 {
+		c.ScaleInQueue = 1
+	}
+	if c.HoldSteps <= 0 {
+		c.HoldSteps = 3
+	}
+	if c.CooldownSteps <= 0 {
+		c.CooldownSteps = 5
+	}
+	if c.MinMembers <= 0 {
+		c.MinMembers = 1
+	}
+	if c.RebalanceImbalance <= 0 {
+		c.RebalanceImbalance = 0.5
+	}
+}
+
+// Policy is the stateful decision maker: band streaks and the cooldown
+// live here. Not safe for concurrent use; a controller owns one.
+type Policy struct {
+	cfg      Config
+	hot      int
+	cold     int
+	cooldown int
+	// settled maps rebalance targets a zero-move rebalance proved the
+	// ring cannot fill further to the membership version that held then.
+	// A settled target is skipped by the fair-share band — without this
+	// the policy would re-advise the same no-op rebalance every cooldown,
+	// and each firing would clear the cold streak, starving scale-in.
+	settled map[string]uint64
+	// lastVersion is the membership version of the last snapshot Decide
+	// saw; NoteRebalance keys settlements to it.
+	lastVersion uint64
+}
+
+// New returns a policy with cfg's zero fields defaulted.
+func New(cfg Config) *Policy {
+	cfg.setDefaults()
+	return &Policy{cfg: cfg}
+}
+
+// Config reports the policy's resolved configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Decide consumes one snapshot and returns the advice it warrants.
+// Precedence: drain-in-progress suppresses everything (one structural
+// change at a time); a held hot streak advises scale-out; an imbalanced
+// fleet advises a rebalance toward its most under-loaded active member;
+// a held cold streak advises draining the least-loaded dynamic member.
+func (p *Policy) Decide(s Snapshot) Advice {
+	p.lastVersion = s.Version
+	// A drain in flight means the fleet is mid-transition: deciding on
+	// half-moved sessions would double-act. Streaks freeze rather than
+	// reset, so pressure that persists through the drain fires promptly
+	// after it completes.
+	for _, m := range s.Members {
+		if m.State == StateDraining {
+			return Advice{Action: ActionNone, Reason: "drain in progress on " + m.Addr}
+		}
+	}
+
+	hot := s.Signals.QueueDepth >= p.cfg.ScaleOutQueue || s.Signals.ShedRate >= p.cfg.ScaleOutShedRate
+	cold := s.Signals.QueueDepth <= p.cfg.ScaleInQueue && s.Signals.ShedRate == 0
+	switch {
+	case hot:
+		p.hot, p.cold = p.hot+1, 0
+	case cold:
+		p.hot, p.cold = 0, p.cold+1
+	default:
+		// Dead band between the thresholds: reset both streaks, so only
+		// sustained pressure on one side ever fires.
+		p.hot, p.cold = 0, 0
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		return Advice{Action: ActionNone, Reason: "cooling down"}
+	}
+
+	if p.hot >= p.cfg.HoldSteps {
+		p.fired()
+		return Advice{
+			Action: ActionScaleOut,
+			Reason: fmt.Sprintf("queue=%d shed_rate=%.2f/s held hot for %d steps",
+				s.Signals.QueueDepth, s.Signals.ShedRate, p.hot),
+		}
+	}
+
+	if adv, ok := p.rebalance(s); ok {
+		p.fired()
+		return adv
+	}
+
+	if p.cold >= p.cfg.HoldSteps {
+		if adv, ok := p.scaleIn(s); ok {
+			p.fired()
+			return adv
+		}
+	}
+	return Advice{Action: ActionNone}
+}
+
+// fired arms the cooldown and clears both streaks after advice fires.
+func (p *Policy) fired() {
+	p.cooldown = p.cfg.CooldownSteps
+	p.hot, p.cold = 0, 0
+}
+
+// NoteRebalance feeds back what a rebalance the policy advised actually
+// achieved. Zero moves settles the target at the snapshot's membership
+// version: the ring owns nothing more there, so the fair-share band
+// stops advising it (and stops burning streaks on a no-op) until any
+// membership change bumps the version. A productive rebalance clears
+// the settlement.
+func (p *Policy) NoteRebalance(target string, moved int) {
+	if moved > 0 {
+		delete(p.settled, target)
+		return
+	}
+	if p.settled == nil {
+		p.settled = make(map[string]uint64)
+	}
+	p.settled[target] = p.lastVersion
+}
+
+// rebalance looks for an active member holding materially less than its
+// fair share of pinned sessions and advises moving the deficit toward
+// it. Fair share is the mean over active members; the threshold fraction
+// keeps small wobbles from causing migration churn.
+func (p *Policy) rebalance(s Snapshot) (Advice, bool) {
+	var active []Member
+	total := 0
+	for _, m := range s.Members {
+		if m.State == StateActive {
+			active = append(active, m)
+			total += m.PinnedSessions
+		}
+	}
+	if len(active) < 2 || total == 0 {
+		return Advice{}, false
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].PinnedSessions != active[j].PinnedSessions {
+			return active[i].PinnedSessions < active[j].PinnedSessions
+		}
+		return active[i].Addr < active[j].Addr
+	})
+	mean := float64(total) / float64(len(active))
+	least := active[0]
+	if float64(least.PinnedSessions) >= p.cfg.RebalanceImbalance*mean {
+		return Advice{}, false
+	}
+	if v, ok := p.settled[least.Addr]; ok {
+		if v == s.Version {
+			return Advice{}, false
+		}
+		delete(p.settled, least.Addr) // membership moved on; retry is fair game
+	}
+	moves := int(math.Ceil(mean)) - least.PinnedSessions
+	if moves < 1 {
+		return Advice{}, false
+	}
+	return Advice{
+		Action: ActionRebalance,
+		Target: least.Addr,
+		Moves:  moves,
+		Reason: fmt.Sprintf("%s holds %d pinned sessions vs fleet mean %.1f",
+			least.Addr, least.PinnedSessions, mean),
+	}, true
+}
+
+// scaleIn picks the drain target for a held cold streak: the dynamic
+// (non-static) active member with the fewest pinned sessions, provided
+// the fleet stays at or above MinMembers active members afterwards.
+func (p *Policy) scaleIn(s Snapshot) (Advice, bool) {
+	activeCount := 0
+	var target *Member
+	for i := range s.Members {
+		m := &s.Members[i]
+		if m.State != StateActive {
+			continue
+		}
+		activeCount++
+		if m.Static {
+			continue
+		}
+		if target == nil ||
+			m.PinnedSessions < target.PinnedSessions ||
+			(m.PinnedSessions == target.PinnedSessions && m.Addr < target.Addr) {
+			target = m
+		}
+	}
+	if target == nil || activeCount <= p.cfg.MinMembers {
+		return Advice{}, false
+	}
+	return Advice{
+		Action: ActionScaleIn,
+		Target: target.Addr,
+		Reason: fmt.Sprintf("idle for %d steps; %s holds fewest pinned sessions (%d)",
+			p.cold, target.Addr, target.PinnedSessions),
+	}, true
+}

@@ -1,0 +1,395 @@
+package autoscale
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"elsa/serve/client"
+)
+
+// twoActive is a balanced two-member fleet used as the default topology.
+func twoActive() []Member {
+	return []Member{
+		{Addr: "a:1", State: StateActive, PinnedSessions: 4},
+		{Addr: "b:2", State: StateActive, PinnedSessions: 4},
+	}
+}
+
+func snap(sig Signals, members []Member) Snapshot {
+	return Snapshot{Signals: sig, Members: members}
+}
+
+// TestPolicyBands exercises the band edges and hysteresis of Decide with
+// a freshly defaulted policy fed a fixed sequence of snapshots.
+func TestPolicyBands(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		steps []Snapshot
+		// want is the expected action per step, parallel to steps.
+		want []Action
+	}{
+		{
+			name: "queue at threshold fires after hold",
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 16}, twoActive()),
+				snap(Signals{QueueDepth: 16}, twoActive()),
+				snap(Signals{QueueDepth: 16}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionScaleOut},
+		},
+		{
+			name: "queue below threshold never fires",
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 15}, twoActive()),
+				snap(Signals{QueueDepth: 15}, twoActive()),
+				snap(Signals{QueueDepth: 15}, twoActive()),
+				snap(Signals{QueueDepth: 15}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionNone, ActionNone},
+		},
+		{
+			name: "shed rate alone fires scale-out",
+			steps: []Snapshot{
+				snap(Signals{ShedRate: 0.5}, twoActive()),
+				snap(Signals{ShedRate: 0.5}, twoActive()),
+				snap(Signals{ShedRate: 0.5}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionScaleOut},
+		},
+		{
+			name: "interrupted hot streak resets",
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 20}, twoActive()),
+				snap(Signals{QueueDepth: 20}, twoActive()),
+				snap(Signals{QueueDepth: 8}, twoActive()), // dead band: resets
+				snap(Signals{QueueDepth: 20}, twoActive()),
+				snap(Signals{QueueDepth: 20}, twoActive()),
+				snap(Signals{QueueDepth: 20}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionNone, ActionNone, ActionNone, ActionScaleOut},
+		},
+		{
+			name: "cooldown suppresses the next decision",
+			cfg:  Config{HoldSteps: 1, CooldownSteps: 2},
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 99}, twoActive()),
+				snap(Signals{QueueDepth: 99}, twoActive()),
+				snap(Signals{QueueDepth: 99}, twoActive()),
+				snap(Signals{QueueDepth: 99}, twoActive()),
+			},
+			want: []Action{ActionScaleOut, ActionNone, ActionNone, ActionScaleOut},
+		},
+		{
+			name: "idle fleet drains the dynamic member",
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 0}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true, PinnedSessions: 2},
+					{Addr: "b:2", State: StateActive, PinnedSessions: 2},
+				}),
+				snap(Signals{QueueDepth: 1}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true, PinnedSessions: 2},
+					{Addr: "b:2", State: StateActive, PinnedSessions: 2},
+				}),
+				snap(Signals{QueueDepth: 0}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true, PinnedSessions: 2},
+					{Addr: "b:2", State: StateActive, PinnedSessions: 2},
+				}),
+			},
+			want: []Action{ActionNone, ActionNone, ActionScaleIn},
+		},
+		{
+			name: "idle with nonzero shed rate is not cold",
+			steps: []Snapshot{
+				snap(Signals{QueueDepth: 0, ShedRate: 0.1}, twoActive()),
+				snap(Signals{QueueDepth: 0, ShedRate: 0.1}, twoActive()),
+				snap(Signals{QueueDepth: 0, ShedRate: 0.1}, twoActive()),
+				snap(Signals{QueueDepth: 0, ShedRate: 0.1}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionNone, ActionNone},
+		},
+		{
+			name: "scale-in never breaches the member floor",
+			cfg:  Config{MinMembers: 2},
+			steps: []Snapshot{
+				snap(Signals{}, twoActive()),
+				snap(Signals{}, twoActive()),
+				snap(Signals{}, twoActive()),
+				snap(Signals{}, twoActive()),
+			},
+			want: []Action{ActionNone, ActionNone, ActionNone, ActionNone},
+		},
+		{
+			name: "all-static fleet never scales in",
+			steps: []Snapshot{
+				snap(Signals{}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true},
+					{Addr: "b:2", State: StateActive, Static: true},
+				}),
+				snap(Signals{}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true},
+					{Addr: "b:2", State: StateActive, Static: true},
+				}),
+				snap(Signals{}, []Member{
+					{Addr: "a:1", State: StateActive, Static: true},
+					{Addr: "b:2", State: StateActive, Static: true},
+				}),
+			},
+			want: []Action{ActionNone, ActionNone, ActionNone},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(tc.cfg)
+			if len(tc.want) != len(tc.steps) {
+				t.Fatalf("bad test: %d steps, %d wants", len(tc.steps), len(tc.want))
+			}
+			for i, s := range tc.steps {
+				adv := p.Decide(s)
+				if adv.Action != tc.want[i] {
+					t.Fatalf("step %d: got %v (%s), want %v", i, adv.Action, adv.Reason, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyDrainSuppression pins that a draining member suppresses all
+// advice without resetting streaks: hot pressure held through the drain
+// fires on the first post-drain snapshot.
+func TestPolicyDrainSuppression(t *testing.T) {
+	p := New(Config{})
+	draining := []Member{
+		{Addr: "a:1", State: StateActive, PinnedSessions: 4},
+		{Addr: "b:2", State: StateDraining, PinnedSessions: 4},
+	}
+	hot := Signals{QueueDepth: 100, ShedRate: 3}
+	// Build a full hot streak, then enter drain: even far past HoldSteps
+	// nothing fires while the drain is in flight.
+	p.Decide(snap(hot, twoActive()))
+	p.Decide(snap(hot, twoActive()))
+	for i := 0; i < 5; i++ {
+		adv := p.Decide(snap(hot, draining))
+		if adv.Action != ActionNone {
+			t.Fatalf("drain step %d: got %v, want none", i, adv.Action)
+		}
+		if !strings.Contains(adv.Reason, "drain in progress") {
+			t.Fatalf("drain step %d: reason %q missing suppression marker", i, adv.Reason)
+		}
+	}
+	// Drain completes; the frozen streak means one more hot snapshot
+	// completes the hold and fires.
+	adv := p.Decide(snap(hot, twoActive()))
+	if adv.Action != ActionScaleOut {
+		t.Fatalf("post-drain: got %v (%s), want scale-out", adv.Action, adv.Reason)
+	}
+}
+
+// TestPolicyRebalance covers target selection for the rebalance advice.
+func TestPolicyRebalance(t *testing.T) {
+	cases := []struct {
+		name       string
+		members    []Member
+		wantAction Action
+		wantTarget string
+		wantMoves  int
+	}{
+		{
+			name: "fresh joiner with zero sessions attracts the deficit",
+			members: []Member{
+				{Addr: "a:1", State: StateActive, PinnedSessions: 6},
+				{Addr: "b:2", State: StateActive, PinnedSessions: 6},
+				{Addr: "c:3", State: StateActive, PinnedSessions: 0},
+			},
+			wantAction: ActionRebalance,
+			wantTarget: "c:3",
+			wantMoves:  4,
+		},
+		{
+			name: "balanced fleet stays put",
+			members: []Member{
+				{Addr: "a:1", State: StateActive, PinnedSessions: 4},
+				{Addr: "b:2", State: StateActive, PinnedSessions: 4},
+			},
+			wantAction: ActionNone,
+		},
+		{
+			name: "mild imbalance under the threshold stays put",
+			members: []Member{
+				{Addr: "a:1", State: StateActive, PinnedSessions: 5},
+				{Addr: "b:2", State: StateActive, PinnedSessions: 3},
+			},
+			wantAction: ActionNone,
+		},
+		{
+			name: "joining member is not yet a rebalance target",
+			members: []Member{
+				{Addr: "a:1", State: StateActive, PinnedSessions: 6},
+				{Addr: "c:3", State: StateJoining, PinnedSessions: 0},
+			},
+			wantAction: ActionNone,
+		},
+		{
+			name: "single member cannot rebalance",
+			members: []Member{
+				{Addr: "a:1", State: StateActive, PinnedSessions: 8},
+			},
+			wantAction: ActionNone,
+		},
+		{
+			name: "empty fleet stays put",
+			members: []Member{
+				{Addr: "a:1", State: StateActive},
+				{Addr: "b:2", State: StateActive},
+			},
+			wantAction: ActionNone,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(Config{})
+			// Mid-band load: neither hot nor cold, so only rebalance can fire.
+			adv := p.Decide(snap(Signals{QueueDepth: 8}, tc.members))
+			if adv.Action != tc.wantAction {
+				t.Fatalf("got %v (%s), want %v", adv.Action, adv.Reason, tc.wantAction)
+			}
+			if adv.Action != ActionRebalance {
+				return
+			}
+			if adv.Target != tc.wantTarget {
+				t.Fatalf("target %q, want %q", adv.Target, tc.wantTarget)
+			}
+			if adv.Moves != tc.wantMoves {
+				t.Fatalf("moves %d, want %d", adv.Moves, tc.wantMoves)
+			}
+		})
+	}
+}
+
+// TestPolicyRebalanceArmsCooldown pins that a fired rebalance suppresses
+// an immediate repeat, so a slow migration cannot be double-driven.
+func TestPolicyRebalanceArmsCooldown(t *testing.T) {
+	p := New(Config{CooldownSteps: 3})
+	skew := []Member{
+		{Addr: "a:1", State: StateActive, PinnedSessions: 6},
+		{Addr: "c:3", State: StateActive, PinnedSessions: 0},
+	}
+	if adv := p.Decide(snap(Signals{QueueDepth: 8}, skew)); adv.Action != ActionRebalance {
+		t.Fatalf("first: got %v, want rebalance", adv.Action)
+	}
+	for i := 0; i < 3; i++ {
+		if adv := p.Decide(snap(Signals{QueueDepth: 8}, skew)); adv.Action != ActionNone {
+			t.Fatalf("cooldown step %d: got %v, want none", i, adv.Action)
+		}
+	}
+	if adv := p.Decide(snap(Signals{QueueDepth: 8}, skew)); adv.Action != ActionRebalance {
+		t.Fatalf("post-cooldown: got %v, want rebalance", adv.Action)
+	}
+}
+
+// TestPolicyRebalanceSettlement pins the NoteRebalance feedback: a
+// zero-move rebalance settles the target at the current membership
+// version, the fair-share band then skips it — letting a cold streak
+// build to scale-in instead of being cleared by no-op refires — and a
+// version bump (any membership change) reopens the target.
+func TestPolicyRebalanceSettlement(t *testing.T) {
+	p := New(Config{HoldSteps: 2, CooldownSteps: 1})
+	// The ring legitimately assigns b:2 less than its fair share: the
+	// pinned counts are imbalanced but the mover has nothing to move.
+	skew := []Member{
+		{Addr: "a:1", State: StateActive, PinnedSessions: 7},
+		{Addr: "b:2", State: StateActive, PinnedSessions: 1},
+	}
+	at := func(v uint64) Snapshot {
+		s := snap(Signals{}, skew)
+		s.Version = v
+		return s
+	}
+
+	if adv := p.Decide(at(3)); adv.Action != ActionRebalance || adv.Target != "b:2" {
+		t.Fatalf("first decide: got %v, want rebalance toward b:2", adv)
+	}
+	p.NoteRebalance("b:2", 0)
+
+	// Settled: idle snapshots must now reach scale-in, not refire the
+	// no-op rebalance (which would clear the cold streak every cooldown).
+	var actions []Action
+	for i := 0; i < 5; i++ {
+		actions = append(actions, p.Decide(at(3)).Action)
+	}
+	sawScaleIn := false
+	for _, a := range actions {
+		if a == ActionRebalance {
+			t.Fatalf("settled target re-advised: %v", actions)
+		}
+		if a == ActionScaleIn {
+			sawScaleIn = true
+		}
+	}
+	if !sawScaleIn {
+		t.Fatalf("idle fleet never reached scale-in past the settled rebalance: %v", actions)
+	}
+
+	// A membership change reopens the target.
+	p2 := New(Config{HoldSteps: 2, CooldownSteps: 1})
+	if adv := p2.Decide(at(3)); adv.Action != ActionRebalance {
+		t.Fatalf("p2 first decide: got %v", adv)
+	}
+	p2.NoteRebalance("b:2", 0)
+	if adv := p2.Decide(at(3)); adv.Action == ActionRebalance {
+		t.Fatalf("settled target re-advised at same version: %v", adv)
+	}
+	if adv := p2.Decide(at(4)); adv.Action != ActionRebalance || adv.Target != "b:2" {
+		t.Fatalf("version bump should reopen the target: got %v", adv)
+	}
+
+	// A productive rebalance clears the settlement outright.
+	p3 := New(Config{HoldSteps: 2, CooldownSteps: 1})
+	if adv := p3.Decide(at(5)); adv.Action != ActionRebalance {
+		t.Fatalf("p3 first decide: got %v", adv)
+	}
+	p3.NoteRebalance("b:2", 0)
+	p3.NoteRebalance("b:2", 2)
+	if adv := p3.Decide(at(5)); adv.Action != ActionNone {
+		t.Fatalf("cooldown step: got %v, want none", adv)
+	}
+	if adv := p3.Decide(at(5)); adv.Action != ActionRebalance {
+		t.Fatalf("cleared settlement should advise again: got %v", adv)
+	}
+}
+
+// TestSnapshotFromCluster pins the client-view conversion, including the
+// cross-class shed-rate sum.
+func TestSnapshotFromCluster(t *testing.T) {
+	info := &client.ClusterInfo{
+		SchemaVersion: 1,
+		Version:       7,
+		Signals: client.ClusterSignals{
+			QueueDepth:      12,
+			ShedRateByClass: map[string]float64{"interactive": 0.3, "batch": 0.4},
+			MeanBatch:       2.5,
+		},
+		Members: []client.MemberInfo{
+			{Addr: "a:1", State: "active", Static: true, Weight: 2, MaxSessions: 8, PinnedSessions: 3},
+			{Addr: "b:2", State: "joining"},
+		},
+	}
+	got := SnapshotFromCluster(info)
+	want := Snapshot{
+		Signals: Signals{QueueDepth: 12, ShedRate: 0.7, MeanBatch: 2.5},
+		Members: []Member{
+			{Addr: "a:1", State: StateActive, Static: true, Weight: 2, MaxSessions: 8, PinnedSessions: 3},
+			{Addr: "b:2", State: StateJoining},
+		},
+		Version: 7,
+	}
+	if math.Abs(got.Signals.ShedRate-want.Signals.ShedRate) > 1e-9 {
+		t.Fatalf("shed rate %v, want %v", got.Signals.ShedRate, want.Signals.ShedRate)
+	}
+	got.Signals.ShedRate = want.Signals.ShedRate
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

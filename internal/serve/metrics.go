@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // latencyBuckets are the request-latency histogram bounds in seconds.
@@ -95,6 +96,20 @@ type Metrics struct {
 	shedsClass  [NumClasses]int64 // ops shed before dispatch per class
 	engines     int64             // replica sets resident in the pool
 
+	// Windowed shed-rate state: shedRates holds the events/s observed over
+	// the last completed window, rolled forward lazily at read time so no
+	// background ticker is needed. clock is injectable for tests.
+	clock        func() time.Time
+	shedWindow   time.Duration
+	shedPrev     [NumClasses]int64
+	shedPrevTime time.Time
+	shedRates    [NumClasses]float64
+
+	mirrorTokens  int64 // tokens replayed onto local shadow mirrors
+	mirrorNanos   int64 // wall nanos spent replaying them
+	mirrorFlushes int64 // mirror replays (one per flushed batch)
+	mirrorPending int64 // gauge: append chunks queued, not yet replayed
+
 	shardBatches map[int]int64 // replica index → dispatched batches
 	shardOps     map[int]int64 // replica index → ops in those batches
 	shardDepth   map[int]int64 // replica index → batches queued, not yet run
@@ -157,6 +172,9 @@ func NewMetrics() *Metrics {
 		workerReadmissions: make(map[string]int64),
 		remoteOps:          make(map[string]int64),
 		memberStates:       make(map[string]int64),
+
+		clock:      time.Now,
+		shedWindow: time.Second,
 	}
 	for c := range m.classLatency {
 		m.classLatency[c] = newHistogram(latencyBuckets)
@@ -720,6 +738,75 @@ func (m *Metrics) ShedsByClass() map[string]int64 {
 	return out
 }
 
+// shedRatesLocked rolls the shed-rate window forward if at least one full
+// window has elapsed and returns the last completed window's rates. Called
+// with m.mu held. The first call seeds the window and reports zeros — a
+// controller's hysteresis absorbs the one-poll warm-up.
+func (m *Metrics) shedRatesLocked() [NumClasses]float64 {
+	now := m.clock()
+	if m.shedPrevTime.IsZero() {
+		m.shedPrevTime = now
+		m.shedPrev = m.shedsClass
+	} else if elapsed := now.Sub(m.shedPrevTime); elapsed >= m.shedWindow {
+		secs := elapsed.Seconds()
+		for c := range m.shedsClass {
+			m.shedRates[c] = float64(m.shedsClass[c]-m.shedPrev[c]) / secs
+		}
+		m.shedPrev = m.shedsClass
+		m.shedPrevTime = now
+	}
+	return m.shedRates
+}
+
+// ShedRates returns the per-class shed rate in events/s over the last
+// completed window (~1s), keyed by class name. Unlike ShedsByClass this is
+// a rate, not a lifetime counter, so a controller's hysteresis bands act
+// on current pressure rather than whole-lifetime averages.
+func (m *Metrics) ShedRates() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rates := m.shedRatesLocked()
+	out := make(map[string]float64, NumClasses)
+	for c, r := range rates {
+		out[Class(c).String()] = r
+	}
+	return out
+}
+
+// ObserveMirrorReplay records one shadow-mirror replay: tokens applied to
+// local shadow streams in d wall time. The ratio nanos/tokens is the
+// steady-state mirror cost the autoscale bench family bounds.
+func (m *Metrics) ObserveMirrorReplay(tokens int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mirrorTokens += int64(tokens)
+	m.mirrorNanos += int64(d)
+	m.mirrorFlushes++
+}
+
+// MirrorReplay reports the cumulative tokens replayed onto shadow mirrors
+// and the wall nanoseconds spent replaying them.
+func (m *Metrics) MirrorReplay() (tokens, nanos int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mirrorTokens, m.mirrorNanos
+}
+
+// AddMirrorPending adjusts the queued-but-unreplayed mirror chunk gauge.
+func (m *Metrics) AddMirrorPending(delta int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mirrorPending += int64(delta)
+}
+
+// MirrorPending reports mirror append chunks accepted remotely but not yet
+// replayed onto their local shadows.
+func (m *Metrics) MirrorPending() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mirrorPending
+}
+
 // SetEngines updates the engine-pool-size gauge.
 func (m *Metrics) SetEngines(n int) {
 	m.mu.Lock()
@@ -823,6 +910,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for c, n := range m.shedsClass {
 		fmt.Fprintf(cw, "elsa_serve_class_sheds_total{class=%q} %d\n", Class(c).String(), n)
 	}
+	shedRates := m.shedRatesLocked()
+	fmt.Fprintf(cw, "# HELP elsa_serve_class_shed_rate Ops shed per second over the last window, by priority class.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_class_shed_rate gauge\n")
+	for c, r := range shedRates {
+		fmt.Fprintf(cw, "elsa_serve_class_shed_rate{class=%q} %s\n", Class(c).String(), fmtFloat(r))
+	}
 	fmt.Fprintf(cw, "# HELP elsa_serve_engines Replica sets resident in the pool.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_engines gauge\n")
 	fmt.Fprintf(cw, "elsa_serve_engines %d\n", m.engines)
@@ -859,6 +952,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP elsa_serve_sessions_recovered_total Sessions re-placed from portable state after a worker loss.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_sessions_recovered_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_sessions_recovered_total %d\n", m.sessionsRecovered)
+	fmt.Fprintf(cw, "# HELP elsa_serve_mirror_tokens_total Tokens replayed onto local shadow mirrors.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_mirror_tokens_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_mirror_tokens_total %d\n", m.mirrorTokens)
+	fmt.Fprintf(cw, "# HELP elsa_serve_mirror_seconds_total Wall time spent replaying shadow-mirror appends.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_mirror_seconds_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_mirror_seconds_total %s\n", fmtFloat(float64(m.mirrorNanos)/1e9))
+	fmt.Fprintf(cw, "# HELP elsa_serve_mirror_flushes_total Shadow-mirror replay batches flushed.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_mirror_flushes_total counter\n")
+	fmt.Fprintf(cw, "elsa_serve_mirror_flushes_total %d\n", m.mirrorFlushes)
+	fmt.Fprintf(cw, "# HELP elsa_serve_mirror_pending Mirror append chunks accepted remotely but not yet replayed.\n")
+	fmt.Fprintf(cw, "# TYPE elsa_serve_mirror_pending gauge\n")
+	fmt.Fprintf(cw, "elsa_serve_mirror_pending %d\n", m.mirrorPending)
 	fmt.Fprintf(cw, "# HELP elsa_serve_decode_batches_total Batches dispatched by the continuous decode loop.\n")
 	fmt.Fprintf(cw, "# TYPE elsa_serve_decode_batches_total counter\n")
 	fmt.Fprintf(cw, "elsa_serve_decode_batches_total %d\n", m.decodeBatches)

@@ -38,7 +38,11 @@ func genOp(rng *rand.Rand, nq, nk int) (q, k, v [][]float32) {
 
 func postAttend(t *testing.T, client *http.Client, url string, req AttendRequest) (*http.Response, []byte) {
 	t.Helper()
-	body, err := json.Marshal(req)
+	op, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(Envelope{Op: op})
 	if err != nil {
 		t.Fatal(err)
 	}

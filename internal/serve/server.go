@@ -39,6 +39,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// CompatLegacy re-admits bare pre-envelope POST bodies (deprecated
+	// since the envelope landed, now sunset by default): with it set, a
+	// body without an `op` key decodes as the payload itself under
+	// anonymous/interactive admission metadata, exactly as before.
+	// Default false — bare payloads answer 400 with a migration hint.
+	CompatLegacy bool
 
 	// Replicas is how many in-process engine replicas each pooled
 	// configuration runs — micro-batches for one configuration spread
@@ -122,6 +128,13 @@ type Config struct {
 	// sessions to finish before force-expiring the rest (default 60s;
 	// negative waits indefinitely).
 	DrainTimeout time.Duration
+
+	// SyncMirror replays shadow-mirror appends inline on the remote
+	// append path instead of batching them onto the registry's background
+	// flusher. The async default keeps the frontend's per-token mirror
+	// cost off the append critical path; sync mode is the deterministic
+	// baseline the mirror-cost benchmark compares against.
+	SyncMirror bool
 }
 
 func (c *Config) setDefaults() {
@@ -233,6 +246,7 @@ func New(cfg Config) *Server {
 	sessions.disp = disp
 	sessions.serial = cfg.SerialDecode
 	sessions.coldWatermark = cfg.ColdWatermark
+	sessions.syncMirror = cfg.SyncMirror
 	if cfg.SessionSpill > 0 && cfg.StateDir != "" {
 		sessions.spillAfter = cfg.SessionSpill
 		sessions.stateDir = cfg.StateDir
@@ -256,6 +270,8 @@ func New(cfg Config) *Server {
 		s.bg.Add(1)
 		go s.spillLoop()
 	}
+	s.bg.Add(1)
+	go s.mirrorLoop()
 	s.mux.HandleFunc("POST /v1/attend", s.handleAttend)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
@@ -267,6 +283,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterList)
 	s.mux.HandleFunc("POST /v1/cluster/drain", s.handleClusterDrain)
+	s.mux.HandleFunc("POST /v1/cluster/rebalance", s.handleClusterRebalance)
 	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -367,7 +384,7 @@ func (s *Server) handleAttend(w http.ResponseWriter, r *http.Request) {
 // request's priority class.
 func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Class) {
 	var req AttendRequest
-	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req)
 	if !ok {
 		return http.StatusBadRequest, "bad_request", ClassInteractive
 	}
@@ -441,7 +458,7 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Cl
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionCreateRequest
-	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req)
 	if !ok {
 		return
 	}
@@ -494,7 +511,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 	var req SessionAppendRequest
-	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req); !ok {
 		return
 	}
 	if !s.chargeSessionQuota(w, r.PathValue("id")) {
@@ -535,7 +552,7 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	var req SessionQueryRequest
-	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req)
 	if !ok {
 		return
 	}
@@ -608,7 +625,7 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 // trip per decode wave instead of one per token.
 func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	var req SessionStepRequest
-	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req)
 	if !ok {
 		return
 	}
@@ -720,7 +737,7 @@ func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
 // import fails loudly instead of decoding garbage.
 func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 	var req SessionImportRequest
-	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req)
+	meta, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req)
 	if !ok {
 		return
 	}
@@ -800,6 +817,21 @@ func (s *Server) spillLoop() {
 	}
 }
 
+// mirrorLoop drains the registry's mirror-flush queue: each queued
+// session gets its pending worker-accepted appends replayed onto its
+// local shadow off the append critical path.
+func (s *Server) mirrorLoop() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case sess := <-s.sessions.mirrorc:
+			s.sessions.flushMirror(sess, s.stopc)
+		}
+	}
+}
+
 // handleClusterJoin admits or refreshes a fleet member: workers POST
 // here to register (and then keep heartbeating through the same
 // endpoint). The worker starts receiving one-shot traffic after its
@@ -807,7 +839,7 @@ func (s *Server) spillLoop() {
 // — no frontend restart involved.
 func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
-	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req); !ok {
 		return
 	}
 	if strings.TrimSpace(req.Addr) == "" {
@@ -831,20 +863,29 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleClusterList reports every member with its state and how many
-// sessions this frontend still holds pinned to it — the number an
-// operator watches reach zero during a drain.
+// handleClusterList serves the versioned cluster view: the `signals`
+// block (windowed load signals an autoscale controller acts on) and the
+// `targets` block (per-member placement state, including how many
+// sessions this frontend still holds pinned to each — the number an
+// operator watches reach zero during a drain). The legacy top-level
+// members/queue_depth_by_class/sheds_by_class fields are still emitted
+// for pre-v1 clients.
 func (s *Server) handleClusterList(w http.ResponseWriter, _ *http.Request) {
 	version, members := s.cluster.table.Snapshot()
 	pinned := s.sessions.pinnedCounts()
 	now := time.Now()
-	resp := ClusterResponse{Version: version, Members: make([]ClusterMemberJSON, 0, len(members))}
+	resp := ClusterResponse{
+		SchemaVersion: ClusterSchemaVersion,
+		Version:       version,
+		Targets:       make([]ClusterTargetJSON, 0, len(members)),
+		Members:       make([]ClusterMemberJSON, 0, len(members)),
+	}
 	for _, m := range members {
 		age := int64(-1)
 		if !m.LastHeartbeat.IsZero() {
 			age = now.Sub(m.LastHeartbeat).Milliseconds()
 		}
-		resp.Members = append(resp.Members, ClusterMemberJSON{
+		t := ClusterTargetJSON{
 			Addr:           m.Addr,
 			State:          m.State.String(),
 			Static:         m.Static,
@@ -852,12 +893,62 @@ func (s *Server) handleClusterList(w http.ResponseWriter, _ *http.Request) {
 			MaxSessions:    m.MaxSessions,
 			HeartbeatAgeMS: age,
 			PinnedSessions: pinned[m.Addr],
-		})
+		}
+		resp.Targets = append(resp.Targets, t)
+		resp.Members = append(resp.Members, ClusterMemberJSON(t))
 	}
+	sort.Slice(resp.Targets, func(i, j int) bool { return resp.Targets[i].Addr < resp.Targets[j].Addr })
 	sort.Slice(resp.Members, func(i, j int) bool { return resp.Members[i].Addr < resp.Members[j].Addr })
-	resp.QueueDepthByClass = s.metrics.QueueDepthsByClass()
-	resp.ShedsByClass = s.metrics.ShedsByClass()
+	depths := s.metrics.QueueDepthsByClass()
+	var total int64
+	for _, n := range depths {
+		total += n
+	}
+	resp.Signals = ClusterSignalsJSON{
+		QueueDepth:        total,
+		QueueDepthByClass: depths,
+		ShedRateByClass:   s.metrics.ShedRates(),
+		ShedsByClass:      s.metrics.ShedsByClass(),
+		MeanBatch:         s.metrics.MeanBatchSize(),
+		MeanDecodeBatch:   s.metrics.MeanDecodeBatchSize(),
+	}
+	resp.QueueDepthByClass = depths
+	resp.ShedsByClass = resp.Signals.ShedsByClass
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterRebalance proactively migrates pinned sessions toward one
+// member — the scale-out complement of drain. Sessions whose consistent-
+// hash placement now prefers the target (typically because it just
+// joined the ring) are live-migrated onto it through the same
+// export/import path drain uses; sessions the ring still places
+// elsewhere stay put, so repeated rebalances converge instead of
+// thrashing.
+func (s *Server) handleClusterRebalance(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRebalanceRequest
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req); !ok {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		fail(w, http.StatusBadRequest, "addr is required")
+		return
+	}
+	addr := normalizeWorkerAddr(strings.TrimSpace(req.Addr))
+	m, ok := s.cluster.table.Get(addr)
+	if !ok {
+		fail(w, http.StatusNotFound, "unknown member: "+addr)
+		return
+	}
+	if m.State != cluster.StateActive {
+		fail(w, http.StatusConflict, "member is "+m.State.String()+", not an active rebalance target")
+		return
+	}
+	moved := s.sessions.rebalance(r.Context(), addr, req.Max)
+	writeJSON(w, http.StatusOK, ClusterRebalanceResponse{
+		Addr:           addr,
+		Moved:          moved,
+		PinnedSessions: s.sessions.pinnedCounts()[addr],
+	})
 }
 
 // handleClusterDrain starts a rolling-upgrade drain of one member: it
@@ -869,7 +960,7 @@ func (s *Server) handleClusterList(w http.ResponseWriter, _ *http.Request) {
 // background so the reply never waits on an unreachable worker.
 func (s *Server) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
 	var req ClusterDrainRequest
-	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, &req); !ok {
+	if _, ok := decodeEnvelope(w, r, s.cfg.MaxBodyBytes, s.cfg.CompatLegacy, &req); !ok {
 		return
 	}
 	if strings.TrimSpace(req.Addr) == "" {

@@ -87,6 +87,12 @@ type session struct {
 	// worker. Nil once a mirror append ever fails (divergent state must
 	// not be served) or after the shadow is adopted as the live stream.
 	shadow *elsa.Stream
+	// pendK/pendV queue worker-accepted appends not yet replayed onto the
+	// shadow; the registry's background flusher (or any shadow reader)
+	// drains them. mirrorQueued marks an entry for this session sitting in
+	// the flusher's channel. All three are owned by the gate holder.
+	pendK, pendV [][]float32
+	mirrorQueued bool
 	// spilled marks a local session whose stream has been paged out to the
 	// state dir; ensureResident brings it back before any use.
 	spilled bool
@@ -147,6 +153,11 @@ type sessionRegistry struct {
 	coldWatermark int
 	spillAfter    time.Duration
 	stateDir      string
+	// syncMirror replays shadow-mirror appends inline on the append path
+	// (Config.SyncMirror — the benchmark baseline); the default batches
+	// them through mirrorc onto the server's background flusher.
+	syncMirror bool
+	mirrorc    chan *session
 
 	mu   sync.Mutex
 	byID map[string]*session
@@ -163,6 +174,7 @@ func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thre
 		metrics:     m,
 		byID:        make(map[string]*session),
 		lru:         list.New(),
+		mirrorc:     make(chan *session, 1024),
 	}
 }
 
@@ -429,7 +441,7 @@ func (g *sessionRegistry) appendHeld(ctx context.Context, s *session, keys, valu
 			return 0, mapRemoteErr(s.w, err)
 		}
 		s.w.recover()
-		s.mirror(keys, values)
+		g.mirror(s, keys, values)
 		g.metrics.ObserveSessionAppend(len(keys))
 		return n, nil
 	}
@@ -448,20 +460,83 @@ func (g *sessionRegistry) appendHeld(ctx context.Context, s *session, keys, valu
 	return s.stream.Len(), nil
 }
 
-// mirror replays appends the remote worker accepted onto the local
-// shadow. A mirror failure (impossible while both sides run the same
-// engine config) drops the shadow rather than ever serving divergent
-// state from it.
-func (s *session) mirror(keys, values [][]float32) {
+// mirrorPendingCap bounds one session's queued-but-unreplayed mirror
+// tokens; past it the append path flushes inline rather than holding
+// arbitrarily much request memory alive.
+const mirrorPendingCap = 1024
+
+// mirror queues appends the remote worker accepted for replay onto the
+// local shadow. Replays are batched onto the server's background flusher
+// so the O(token) mirror cost stays off the remote append's critical
+// path; every shadow reader (export, migration, worker-loss recovery)
+// flushes first, so the at-most-once guarantee is unchanged — pending
+// chunks, like the shadow itself, only ever hold appends the worker
+// accepted. The caller holds the gate.
+func (g *sessionRegistry) mirror(s *session, keys, values [][]float32) {
 	if s.shadow == nil {
 		return
 	}
-	for i := range keys {
-		if err := s.shadow.Append(keys[i], values[i]); err != nil {
-			s.shadow = nil
-			return
+	s.pendK = append(s.pendK, keys...)
+	s.pendV = append(s.pendV, values...)
+	g.metrics.AddMirrorPending(len(keys))
+	if g.syncMirror || len(s.pendK) >= mirrorPendingCap {
+		g.flushMirrorHeld(s)
+		return
+	}
+	if s.mirrorQueued {
+		return
+	}
+	select {
+	case g.mirrorc <- s:
+		s.mirrorQueued = true
+	default:
+		// Flusher backlogged: replay inline rather than dropping the bound.
+		g.flushMirrorHeld(s)
+	}
+}
+
+// flushMirrorHeld replays the session's pending appends onto its shadow;
+// the caller holds the gate. A mirror failure (impossible while both
+// sides run the same engine config) drops the shadow rather than ever
+// serving divergent state from it.
+func (g *sessionRegistry) flushMirrorHeld(s *session) {
+	s.mirrorQueued = false
+	n := len(s.pendK)
+	if n == 0 {
+		return
+	}
+	if s.shadow != nil {
+		start := time.Now()
+		applied := 0
+		for i := 0; i < n; i++ {
+			if err := s.shadow.Append(s.pendK[i], s.pendV[i]); err != nil {
+				s.shadow = nil
+				break
+			}
+			applied++
+		}
+		if applied > 0 {
+			g.metrics.ObserveMirrorReplay(applied, time.Since(start))
 		}
 	}
+	for i := range s.pendK {
+		s.pendK[i], s.pendV[i] = nil, nil
+	}
+	s.pendK, s.pendV = s.pendK[:0], s.pendV[:0]
+	g.metrics.AddMirrorPending(-n)
+}
+
+// flushMirror takes the session's gate (unless stopc ends the wait
+// first) and replays its pending mirror appends — the background half of
+// the batched shadow mirror.
+func (g *sessionRegistry) flushMirror(s *session, stopc <-chan struct{}) {
+	select {
+	case s.gate <- struct{}{}:
+	case <-stopc:
+		return
+	}
+	g.flushMirrorHeld(s)
+	s.release()
 }
 
 // query runs one decode step and returns an owned context vector: the
@@ -700,6 +775,7 @@ func (g *sessionRegistry) stateHeld(s *session) ([]byte, int, error) {
 		}
 		return s.stream.Export(), s.stream.Len(), nil
 	}
+	g.flushMirrorHeld(s)
 	if s.shadow == nil {
 		return nil, 0, errNotExportable
 	}
@@ -798,6 +874,11 @@ func (g *sessionRegistry) replaceHeld(ctx context.Context, s *session, avoid *wo
 	if s.remote == nil || s.shadow == nil {
 		return false
 	}
+	// Catch the shadow up before it moves; a flush failure drops it.
+	g.flushMirrorHeld(s)
+	if s.shadow == nil {
+		return false
+	}
 	old := s.remote
 	var w *worker
 	if g.place != nil {
@@ -862,6 +943,87 @@ func (g *sessionRegistry) relocate(ctx context.Context, addr string) int {
 		s.release()
 	}
 	return moved
+}
+
+// rebalance live-migrates sessions toward the member at addr: every
+// session whose consistent-hash placement now prefers addr (typically
+// because it just joined the ring) but is hosted elsewhere moves onto it
+// through the same export/import path drain uses. Sessions the ring
+// still places elsewhere stay put, so repeated rebalances converge
+// instead of thrashing; max > 0 bounds one call's moves. Busy sessions
+// (gate held by an in-flight op) are skipped — the next rebalance pass
+// picks them up. Returns how many sessions moved.
+func (g *sessionRegistry) rebalance(ctx context.Context, addr string, max int) int {
+	if g.place == nil {
+		return 0
+	}
+	g.mu.Lock()
+	cands := make([]*session, 0, len(g.byID))
+	for _, s := range g.byID {
+		if s.w == nil || s.w.addr != addr {
+			cands = append(cands, s)
+		}
+	}
+	g.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	moved := 0
+	for _, s := range cands {
+		if max > 0 && moved >= max {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			continue
+		}
+		// Re-check under the gate (the session may have moved since the
+		// snapshot), then ask placement where this session lands today.
+		_, w := g.place(s.set, s.id)
+		if w != nil && w.addr == addr && w.routable() &&
+			(s.w == nil || s.w.addr != addr) && g.migrateHeld(ctx, s, w) {
+			moved++
+			g.metrics.ObserveSessionMigrated()
+		}
+		s.release()
+	}
+	return moved
+}
+
+// migrateHeld pushes one session's state onto worker w and repins it
+// there; the caller holds the gate. A remote-pinned session ships its
+// shadow mirror (flushed first); a locally-hosted one ships its live
+// stream and keeps that stream as the new shadow, so the bit-identical
+// local copy survives the move. Failure leaves the session exactly where
+// it was.
+func (g *sessionRegistry) migrateHeld(ctx context.Context, s *session, w *worker) bool {
+	if s.remote == nil {
+		if err := g.ensureResident(s); err != nil {
+			return false
+		}
+		s.shadow, s.stream = s.stream, nil
+		remote, err := g.pushState(ctx, w, s)
+		if err != nil {
+			s.stream, s.shadow = s.shadow, nil
+			return false
+		}
+		s.remote, s.w = remote, w
+		return true
+	}
+	g.flushMirrorHeld(s)
+	if s.shadow == nil {
+		return false
+	}
+	old := s.remote
+	remote, err := g.pushState(ctx, w, s)
+	if err != nil {
+		return false
+	}
+	s.remote, s.w = remote, w
+	g.closeRemote(old)
+	return true
 }
 
 // stepRemote serves one wave entry on a remote-pinned session,

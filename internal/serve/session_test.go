@@ -17,7 +17,8 @@ import (
 )
 
 // doJSON sends one JSON request and decodes the reply into out (when
-// non-nil and the body is JSON).
+// non-nil and the body is JSON). POST bodies are wrapped in the v1
+// envelope — the only format a default (post-sunset) server accepts.
 func doJSON(t *testing.T, client *http.Client, method, url string, body, out any) int {
 	t.Helper()
 	var rd io.Reader
@@ -25,6 +26,11 @@ func doJSON(t *testing.T, client *http.Client, method, url string, body, out any
 		raw, err := json.Marshal(body)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if method == http.MethodPost {
+			if raw, err = json.Marshal(Envelope{Op: raw}); err != nil {
+				t.Fatal(err)
+			}
 		}
 		rd = bytes.NewReader(raw)
 	}

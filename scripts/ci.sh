@@ -41,6 +41,15 @@ echo "== session migration churn under -race =="
 # can never silently drop it, with -count=1 to defeat caching.
 go test -race -count=1 -run 'TestSessionExportImport|TestSessionSpill|TestMemberDrainRelocates|TestWorkerLossRecovers|TestZeroPinnedDrain' ./internal/serve/
 
+echo "== autoscale loop under -race =="
+# The closed autoscale loop races the controller (polling the versioned
+# cluster view and driving drain/rebalance) against live traffic, session
+# migration and the batched shadow-mirror flusher; run the policy package
+# and the fake-fleet e2e explicitly so a -run filter above can never
+# silently drop them, with -count=1 to defeat caching.
+go test -race -count=1 ./internal/serve/autoscale/
+go test -race -count=1 -run 'TestAutoscale' ./internal/serve/
+
 echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
 # explicitly so they can never be skipped under -short, with -count=1 to

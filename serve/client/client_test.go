@@ -163,3 +163,73 @@ func TestNoRetryWithoutOptIn(t *testing.T) {
 		t.Errorf("client.APIError = %+v, want status 429 with 7s Retry-After", apiErr)
 	}
 }
+
+// TestClusterParsesPreSchemaServers pins the wire compat promise: a
+// reply from a pre-schema_version server (legacy top-level members +
+// queue/shed fields, no signals or targets blocks) normalizes into the
+// same typed ClusterInfo consumers get from a v1 server.
+func TestClusterParsesPreSchemaServers(t *testing.T) {
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{
+			"version": 4,
+			"members": [
+				{"addr": "http://w1", "state": "active", "weight": 2, "pinned_sessions": 3},
+				{"addr": "http://w2", "state": "draining", "pinned_sessions": 1}
+			],
+			"queue_depth_by_class": {"interactive": 5, "batch": 2},
+			"sheds_by_class": {"interactive": 7}
+		}`))
+	}))
+	defer legacy.Close()
+
+	info, err := client.New(legacy.URL).Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SchemaVersion != 0 {
+		t.Fatalf("schema version %d from a pre-schema server, want 0", info.SchemaVersion)
+	}
+	if info.Version != 4 {
+		t.Fatalf("membership version %d, want 4", info.Version)
+	}
+	if len(info.Members) != 2 || info.Members[0].Addr != "http://w1" ||
+		info.Members[0].Weight != 2 || info.Members[0].PinnedSessions != 3 ||
+		info.Members[1].State != "draining" {
+		t.Fatalf("members not normalized: %+v", info.Members)
+	}
+	if info.Signals.QueueDepth != 7 {
+		t.Fatalf("queue depth %d, want 7 (summed from legacy per-class fields)", info.Signals.QueueDepth)
+	}
+	if info.Signals.QueueDepthByClass["batch"] != 2 || info.Signals.ShedsByClass["interactive"] != 7 {
+		t.Fatalf("legacy per-class fields not carried into signals: %+v", info.Signals)
+	}
+	if len(info.Signals.ShedRateByClass) != 0 {
+		t.Fatalf("pre-schema server cannot report windowed rates, got %+v", info.Signals.ShedRateByClass)
+	}
+}
+
+// TestClusterTypedViewFromV1Server pins the v1 path end to end against a
+// real frontend: schema_version 1, signals block present, targets
+// normalized into Members.
+func TestClusterTypedViewFromV1Server(t *testing.T) {
+	srv := serve.New(serve.Config{BatchWindow: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	info, err := client.New(ts.URL).Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SchemaVersion != 1 {
+		t.Fatalf("schema version %d, want 1", info.SchemaVersion)
+	}
+	if info.Signals.QueueDepthByClass == nil || info.Signals.ShedRateByClass == nil {
+		t.Fatalf("v1 signals block incomplete: %+v", info.Signals)
+	}
+}

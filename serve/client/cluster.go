@@ -33,25 +33,83 @@ type JoinReply struct {
 	Version uint64 `json:"version"`
 }
 
-// ClusterMember is one entry in a frontend's membership listing.
-type ClusterMember struct {
-	Addr           string `json:"addr"`
-	State          string `json:"state"`
-	Static         bool   `json:"static,omitempty"`
-	Weight         int    `json:"weight,omitempty"`
-	MaxSessions    int    `json:"max_sessions,omitempty"`
-	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
-	PinnedSessions int    `json:"pinned_sessions"`
+// MemberInfo is one cluster member as a frontend reports it: placement
+// state, capacity, liveness, and how many sessions the frontend still
+// holds pinned to it. It decodes the v1 `targets` entries (and the
+// identical legacy `members` entries from pre-v1 servers).
+type MemberInfo struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Static marks members seeded from the frontend's -workers flags;
+	// a controller can drain but not scale them away.
+	Static         bool  `json:"static,omitempty"`
+	Weight         int   `json:"weight,omitempty"`
+	MaxSessions    int   `json:"max_sessions,omitempty"`
+	HeartbeatAgeMS int64 `json:"heartbeat_age_ms"`
+	PinnedSessions int   `json:"pinned_sessions"`
 }
 
-// ClusterView is the GET /v1/cluster reply: the versioned membership
-// table as this frontend sees it, plus the frontend's per-class load
-// signals (queue depth now, ops shed so far) for autoscalers.
-type ClusterView struct {
+// ClusterSignals is the frontend's load-signal block: what an autoscale
+// controller watches. Rates are windowed (events/s over the last ~1s),
+// not lifetime averages.
+type ClusterSignals struct {
+	QueueDepth        int64            `json:"queue_depth"`
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class"`
+	// ShedRateByClass is the windowed shed rate per priority class in
+	// events/s — nonzero means admission is already refusing work.
+	ShedRateByClass map[string]float64 `json:"shed_rate_by_class"`
+	// ShedsByClass is the cumulative lifetime shed counter, kept for
+	// dashboards; controllers should watch ShedRateByClass.
+	ShedsByClass    map[string]int64 `json:"sheds_by_class"`
+	MeanBatch       float64          `json:"mean_batch"`
+	MeanDecodeBatch float64          `json:"mean_decode_batch"`
+}
+
+// ClusterInfo is the typed GET /v1/cluster view: the versioned
+// membership table plus the signals block. Replies from pre-v1 servers
+// (no schema_version) are normalized into the same shape, so consumers
+// never branch on the wire format.
+type ClusterInfo struct {
+	// SchemaVersion is the server's reported schema (0 for pre-v1
+	// servers, whose legacy fields were normalized into this struct).
+	SchemaVersion int
+	// Version is the membership table version (bumps on every change).
+	Version uint64
+	Signals ClusterSignals
+	Members []MemberInfo
+}
+
+// clusterWire is the raw GET /v1/cluster reply across schema versions:
+// the v1 signals/targets blocks plus the legacy top-level fields pre-v1
+// servers emit.
+type clusterWire struct {
+	SchemaVersion     int              `json:"schema_version"`
 	Version           uint64           `json:"version"`
-	Members           []ClusterMember  `json:"members"`
-	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class,omitempty"`
-	ShedsByClass      map[string]int64 `json:"sheds_by_class,omitempty"`
+	Signals           ClusterSignals   `json:"signals"`
+	Targets           []MemberInfo     `json:"targets"`
+	Members           []MemberInfo     `json:"members"`
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class"`
+	ShedsByClass      map[string]int64 `json:"sheds_by_class"`
+}
+
+// info normalizes one wire reply into the typed view, whichever schema
+// produced it.
+func (w *clusterWire) info() *ClusterInfo {
+	info := &ClusterInfo{SchemaVersion: w.SchemaVersion, Version: w.Version}
+	if w.SchemaVersion >= 1 {
+		info.Signals = w.Signals
+		info.Members = w.Targets
+		return info
+	}
+	// Pre-v1 server: synthesize the signals block from the legacy
+	// top-level fields. No windowed rates exist on the old schema.
+	info.Members = w.Members
+	info.Signals.QueueDepthByClass = w.QueueDepthByClass
+	info.Signals.ShedsByClass = w.ShedsByClass
+	for _, n := range w.QueueDepthByClass {
+		info.Signals.QueueDepth += n
+	}
+	return info
 }
 
 // DrainStatus reports a server's own drain state (POST /v1/drain).
@@ -102,17 +160,19 @@ func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinReply, error) 
 	return &reply, nil
 }
 
-// Cluster fetches the frontend's membership table.
-func (c *Client) Cluster(ctx context.Context) (*ClusterView, error) {
-	var view ClusterView
-	apiErr, err := c.once(ctx, http.MethodGet, "/v1/cluster", nil, &view)
+// Cluster fetches the frontend's cluster view: membership targets plus
+// the autoscale signals block, as one typed struct regardless of the
+// server's schema version.
+func (c *Client) Cluster(ctx context.Context) (*ClusterInfo, error) {
+	var wire clusterWire
+	apiErr, err := c.once(ctx, http.MethodGet, "/v1/cluster", nil, &wire)
 	if err != nil {
 		return nil, err
 	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
-	return &view, nil
+	return wire.info(), nil
 }
 
 // Drain puts the server this client points at into drain mode: it stops
@@ -136,6 +196,33 @@ func (c *Client) DrainMember(ctx context.Context, addr string) (*MemberDrainStat
 	if err := c.post(ctx, "/v1/cluster/drain", struct {
 		Addr string `json:"addr"`
 	}{Addr: addr}, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// MemberRebalanceStatus reports one proactive rebalance toward a member
+// (POST /v1/cluster/rebalance).
+type MemberRebalanceStatus struct {
+	Addr string `json:"addr"`
+	// Moved counts sessions live-migrated onto the member.
+	Moved int `json:"moved"`
+	// PinnedSessions is how many sessions are pinned to the member after
+	// the move.
+	PinnedSessions int `json:"pinned_sessions"`
+}
+
+// RebalanceMember asks a frontend to proactively migrate pinned sessions
+// toward one member: sessions whose consistent-hash placement prefers
+// the member (typically a fresh joiner) move onto it through the live
+// export/import path. max > 0 bounds the number of moves; max <= 0 moves
+// every session placement prefers there.
+func (c *Client) RebalanceMember(ctx context.Context, addr string, max int) (*MemberRebalanceStatus, error) {
+	var status MemberRebalanceStatus
+	if err := c.post(ctx, "/v1/cluster/rebalance", struct {
+		Addr string `json:"addr"`
+		Max  int    `json:"max,omitempty"`
+	}{Addr: addr, Max: max}, &status); err != nil {
 		return nil, err
 	}
 	return &status, nil
