@@ -48,7 +48,19 @@ func (op BatchOp) validate() error {
 	if len(op.K) != len(op.V) {
 		return fmt.Errorf("%d keys but %d values", len(op.K), len(op.V))
 	}
-	return nil
+	return op.checkBackend()
+}
+
+// run executes one validated op: through the selected exact backend, or
+// the filter pipeline with the resolved threshold.
+func (e *Engine) run(op BatchOp, thr Threshold) (*Output, error) {
+	switch op.Backend {
+	case BackendLinearScan:
+		return e.AttendLinearScan(op.Q, op.K, op.V)
+	case BackendScores:
+		return e.Attend(op.Q, op.K, op.V, op.Resolve(Exact()))
+	}
+	return e.Attend(op.Q, op.K, op.V, op.Resolve(thr))
 }
 
 // AttendBatch runs a batch of approximate-attention operations
@@ -96,7 +108,7 @@ func (e *Engine) AttendBatchContext(ctx context.Context, ops []BatchOp, thr Thre
 				if ctx.Err() != nil {
 					return
 				}
-				out, err := e.Attend(ops[i].Q, ops[i].K, ops[i].V, ops[i].Resolve(thr))
+				out, err := e.run(ops[i], thr)
 				outs[i], errs[i] = out, err
 			}
 		}()

@@ -243,6 +243,7 @@ type servingSnapshot struct {
 	Decode    []DecodeRow    `json:"decode,omitempty"`
 	Migrate   []MigrateRow   `json:"migrate,omitempty"`
 	Autoscale []AutoscaleRow `json:"autoscale,omitempty"`
+	Exact     []ExactRow     `json:"exact,omitempty"`
 }
 
 // loadDecodeRows reads the "decode" family from a committed serving

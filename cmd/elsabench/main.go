@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale]
+//	elsabench [-experiment all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale|exact]
 //	          [-quick] [-seed N] [-json out.json] [-svg dir]
 //	          [-baseline BENCH_old.json [-compare BENCH_new.json] [-maxregress 0.15]]
 //
@@ -27,11 +27,17 @@
 // rehydrate latency), and the "autoscale" experiment measures the closed
 // autoscale loop (rebalance convergence time and migrations toward a
 // fresh joiner, plus shadow-mirror replay ns/token inline vs
-// batched/async); -experiment serve -json writes all four families into
-// the serving snapshot, and -compare additionally gates decode
-// mean_batch, migration moves/s and resident bytes, rebalance
-// convergence, and batched-mirror ns/token when both snapshots carry
-// those families.
+// batched/async). The "exact" experiment measures the two exact attention
+// backends (the scores reference vs the linear-scan oracle) on the ViT
+// patch-grid and long-document workload families: batch ns/op, allocated
+// bytes/op (the memory ceiling — linear scan must not materialize n×n),
+// streaming decode tokens/s, and the cross-backend ULP agreement, plus
+// the cheap-softmax-exponential ablation. -experiment serve -json writes
+// all five families into the serving snapshot, and -compare additionally
+// gates decode mean_batch, migration moves/s and resident bytes,
+// rebalance convergence, batched-mirror ns/token, and the exact family's
+// tokens/s, memory ceiling, and differential bound when both snapshots
+// carry those families.
 package main
 
 import (
@@ -50,7 +56,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale")
+	experiment := flag.String("experiment", "all", "which experiment to run: all|fig2|fig10|fig11|fig13|table1|a3|tpu|e2e|host|workloads|modelfid|ablations|bench|serve|decode|migrate|autoscale|exact")
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", `write raw experiment rows as JSON to this file instead of tables ("-" = stdout)`)
@@ -136,6 +142,10 @@ func main() {
 					fmt.Fprintln(os.Stderr, "elsabench:", err)
 					failed = true
 				}
+				if err := compareExactPerf(*compare, *baseline, *maxRegress); err != nil {
+					fmt.Fprintln(os.Stderr, "elsabench:", err)
+					failed = true
+				}
 			}
 			if failed {
 				os.Exit(2)
@@ -186,8 +196,9 @@ func main() {
 		"decode":    runDecode,
 		"migrate":   runMigrate,
 		"autoscale": runAutoscale,
+		"exact":     runExact,
 	}
-	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode", "migrate", "autoscale"}
+	order := []string{"fig2", "fig10", "fig11", "fig13", "table1", "a3", "tpu", "e2e", "host", "workloads", "modelfid", "ablations", "bench", "serve", "decode", "migrate", "autoscale", "exact"}
 
 	if *svgDir != "" {
 		if err := emitSVG(*svgDir, opt); err != nil {
@@ -286,13 +297,19 @@ func jsonPayload(name string, opt experiments.Options) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return servingSnapshot{Serve: rows, Decode: dec, Migrate: mig, Autoscale: asc}, nil
+		ex, err := exactRows(opt)
+		if err != nil {
+			return nil, err
+		}
+		return servingSnapshot{Serve: rows, Decode: dec, Migrate: mig, Autoscale: asc, Exact: ex}, nil
 	case "decode":
 		return decodeRows(opt)
 	case "migrate":
 		return migrateRows(opt)
 	case "autoscale":
 		return autoscaleRows(opt)
+	case "exact":
+		return exactRows(opt)
 	case "ablations":
 		hk, err := experiments.AblateHashKind(opt)
 		if err != nil {

@@ -21,7 +21,7 @@
 //	          [-join http://frontend:8080 -advertise host:port]
 //	          [-heartbeat-interval 5s] [-weight 1] [-drain-timeout 1m]
 //	          [-autoscale] [-autoscale-interval 2s] [-compat-legacy]
-//	          [-sync-mirror]
+//	          [-sync-mirror] [-exact-backend scores|linear-scan]
 //
 // Cross-host sharding: `-workers host:port,...` makes this server a fleet
 // frontend — micro-batch ops route to the listed elsaserve workers
@@ -100,6 +100,7 @@ import (
 	"syscall"
 	"time"
 
+	"elsa"
 	"elsa/internal/serve"
 	"elsa/internal/serve/autoscale"
 )
@@ -138,6 +139,7 @@ func main() {
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", time.Minute, "force-expire sessions still pinned this long after POST /v1/drain (negative waits forever)")
 	flag.BoolVar(&cfg.CompatLegacy, "compat-legacy", false, "accept deprecated bare (pre-envelope) POST bodies; to be removed two releases after 0.9")
 	flag.BoolVar(&cfg.SyncMirror, "sync-mirror", false, "replay session shadow-mirror appends inline on the request path instead of batched/async")
+	flag.StringVar(&cfg.ExactBackend, "exact-backend", "", "default backend for exact ops (p=0) that don't pin one: 'scores' or 'linear-scan' (empty = scores pipeline)")
 	autoscaleOn := flag.Bool("autoscale", false, "run the autoscale controller in-process: drain idle members, rebalance toward joiners, log scale-out advice")
 	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "in-process autoscale polling cadence")
 	flag.Parse()
@@ -148,6 +150,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.ClassWeights = cw
+
+	if !elsa.ValidBackend(cfg.ExactBackend) {
+		fmt.Fprintf(os.Stderr, "elsaserve: -exact-backend %q: want %q or %q\n",
+			cfg.ExactBackend, elsa.BackendScores, elsa.BackendLinearScan)
+		os.Exit(2)
+	}
 
 	if *workerAddrs != "" {
 		if *workerMode {

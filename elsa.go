@@ -194,6 +194,46 @@ func (e *Engine) ExactAttention(q, k, v [][]float32) ([][]float32, error) {
 	return fromMatrix(attention.Exact(qm, km, vm, e.opts.Scale)), nil
 }
 
+// AttendLinearScan computes exact attention through the linear-scan
+// backend: online softmax in one streaming pass over the keys, O(d) state
+// per query, no n×n score materialization. It is the second independent
+// exact implementation (ExactAttention materializes scores) and agrees
+// with it within the differential bound the fuzz suite pins. The Output
+// reports every key as a candidate (CandidateFraction 1, no fallbacks).
+// Callers select it per op via Overrides.Backend = BackendLinearScan.
+func (e *Engine) AttendLinearScan(q, k, v [][]float32) (*Output, error) {
+	qm, err := toMatrix("queries", q, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	km, err := toMatrix("keys", k, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := toMatrix("values", v, e.opts.HeadDim)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := e.engine.PreprocessExact(km, vm)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	ws := e.getWorkspace()
+	res, err := e.engine.AttendLinearScanWith(ws, qm, pre)
+	if err != nil {
+		e.wsPool.Put(ws)
+		return nil, fmt.Errorf("elsa: %w", err)
+	}
+	out := &Output{
+		Context:            fromMatrix(res.Output),
+		CandidateFraction:  res.CandidateFraction(km.Rows),
+		CandidatesPerQuery: append([]int(nil), res.CandidateCounts...),
+		FallbackQueries:    res.FallbackQueries,
+	}
+	e.wsPool.Put(ws)
+	return out, nil
+}
+
 // Sample is one calibration invocation: the query and key matrices of an
 // attention call on representative data.
 type Sample struct {

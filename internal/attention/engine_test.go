@@ -236,16 +236,28 @@ func TestFilteringKeepsFidelityOnClusteredData(t *testing.T) {
 	if frac >= 0.9 {
 		t.Errorf("filter should prune keys on clustered data, fraction %g", frac)
 	}
-	exactOut, exactScores := ExactWithScores(q, k, v, e.Config().Scale)
-	fid, err := Compare(exactOut, exactScores, res)
-	if err != nil {
-		t.Fatal(err)
+	// Assert fidelity against both exact oracles: the bounds must hold no
+	// matter which independent implementation defines "exact", and the two
+	// measurements must agree with each other.
+	fids := make([]Fidelity, 0, 2)
+	for _, o := range Oracles() {
+		fid, err := CompareExact(o, q, k, v, e.Config().Scale, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fid.MeanCosine < 0.95 {
+			t.Errorf("oracle %v: fidelity too low: %v (fraction %g)", o, fid, frac)
+		}
+		if fid.RetainedMass < 0.8 {
+			t.Errorf("oracle %v: retained mass too low: %v", o, fid)
+		}
+		fids = append(fids, fid)
 	}
-	if fid.MeanCosine < 0.95 {
-		t.Errorf("fidelity too low: %v (fraction %g)", fid, frac)
+	if d := math.Abs(fids[0].RetainedMass - fids[1].RetainedMass); d > 1e-6 {
+		t.Errorf("oracles disagree on retained mass by %g: %v vs %v", d, fids[0], fids[1])
 	}
-	if fid.RetainedMass < 0.8 {
-		t.Errorf("retained mass too low: %v", fid)
+	if d := math.Abs(fids[0].MeanCosine - fids[1].MeanCosine); d > 1e-6 {
+		t.Errorf("oracles disagree on mean cosine by %g: %v vs %v", d, fids[0], fids[1])
 	}
 }
 

@@ -1,0 +1,252 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"elsa/internal/fixed"
+	"elsa/internal/tensor"
+)
+
+// This file implements the exact linear-scan attention backend: the
+// online-softmax formulation (arXiv 2604.23798) that computes
+// O = softmax(scale·Q·Kᵀ)·V in a single streaming pass over the keys with
+// O(d) state per query and no n×n score materialization. It is the second
+// independent exact implementation in the tree — ExactWithScores is the
+// first — and the two cross-check each other in the differential fuzz
+// suite within the pinned bound below.
+//
+// Per query the scan maintains a running maximum m, a rescaled
+// sum-of-exponentials s, and a d-wide accumulator a. For each key y with
+// logit l_y:
+//
+//	l_y > m:  r = exp(m − l_y); s = s·r + 1; a = a·r + V_y; m = l_y
+//	l_y ≤ m:  w = exp(l_y − m); s += w;      a += w·V_y
+//
+// After the pass, O_i = a / s. This is algebraically identical to
+// two-pass max-subtracted softmax — every weight is exp(l_y − m_final)
+// after the rescales compose — so the backend is exact, not approximate.
+
+// Differential bound between the two exact backends. Logits are computed
+// bit-identically (same blocked float32 dot product, same float32 scale
+// multiply), so divergence comes only from arithmetic order: the scores
+// path rounds each softmax weight to float32 and accumulates the weighted
+// sum in float32, while the linear scan keeps weights and accumulator in
+// float64 until the final store. Both are within ~n·2⁻²⁴ of the true
+// value, so their distance is bounded by twice that. Elements are
+// compared in float32 ULPs with an absolute floor proportional to the
+// value magnitudes in play, because a convex combination of values can
+// land arbitrarily close to zero (catastrophic cancellation) where a pure
+// ULP distance is unbounded.
+const (
+	// LinearScanULPBound is the pinned maximum float32 ULP distance
+	// between ExactLinearScan and ExactWithScores outputs, for elements
+	// large enough that relative error is meaningful.
+	LinearScanULPBound = 1024
+	// LinearScanAbsTol scales the absolute floor: elements within
+	// LinearScanAbsTol·(1 + max|V|) of each other pass regardless of ULP
+	// distance. max|V| is the natural scale of the output (a convex
+	// combination of value elements never exceeds it).
+	LinearScanAbsTol = 2e-4
+)
+
+// LinearScanTolerance returns the absolute floor of the differential
+// bound for values with maximum magnitude maxAbsV.
+func LinearScanTolerance(maxAbsV float64) float64 {
+	return LinearScanAbsTol * (1 + maxAbsV)
+}
+
+// ULPDiff32 returns the distance between a and b in float32 ULPs — the
+// number of representable float32 values strictly between them, plus one
+// if they differ. The bit patterns are mapped to a monotone integer line
+// (sign-magnitude to offset binary), so the distance is well defined
+// across the zero crossing. NaNs and infinities return MaxUint32: the
+// exact backends must never produce them, and a saturated distance fails
+// any bound loudly.
+func ULPDiff32(a, b float32) uint32 {
+	if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) ||
+		math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) {
+		return math.MaxUint32
+	}
+	ia := int64(ulpIndex(a))
+	ib := int64(ulpIndex(b))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(d)
+}
+
+// ulpIndex maps a float32 onto a monotone integer line: 0 sits between
+// -0 and +0, positive floats map to their bit pattern, negative floats to
+// its negation.
+func ulpIndex(f float32) int32 {
+	bits := int32(math.Float32bits(f))
+	if bits < 0 {
+		return int32(math.MinInt32) - bits // -(bits & 0x7fffffff)
+	}
+	return bits
+}
+
+// WithinLinearScanBound reports whether two exact-backend outputs agree
+// within the pinned differential bound: LinearScanULPBound ULPs, or the
+// absolute floor absTol (from LinearScanTolerance) for elements where
+// cancellation makes ULP distance meaningless.
+func WithinLinearScanBound(a, b float32, absTol float64) bool {
+	if math.Abs(float64(a)-float64(b)) <= absTol {
+		return true
+	}
+	return ULPDiff32(a, b) <= LinearScanULPBound
+}
+
+// ExactLinearScan computes the reference self-attention output
+// O = softmax(scale·Q·Kᵀ)·V by online softmax: one streaming pass over
+// the keys per query, O(d) running state, no n×n score matrix. Shapes
+// follow Exact (panics on mismatch). Peak extra memory is the n_q×d
+// output plus one d-wide float64 accumulator, against the scores path's
+// two n_q×n matrices.
+func ExactLinearScan(q, k, v *tensor.Matrix, scale float64) *tensor.Matrix {
+	checkShapes(q, k, v)
+	out := tensor.New(q.Rows, v.Cols)
+	p := &Preprocessed{Keys: k, Values: v}
+	acc := make([]float64, v.Cols)
+	for i := 0; i < q.Rows; i++ {
+		linearScanRow(out.Row(i), q.Row(i), scale, p, nil, acc, math.Exp)
+	}
+	return out
+}
+
+// LinearScanWithExp is ExactLinearScan with a caller-supplied exponential,
+// for softmax-approximation ablations (the Samsung cheap-exp study,
+// arXiv 2111.10770): exp(x) is only ever called with x ≤ 0.
+func LinearScanWithExp(q, k, v *tensor.Matrix, scale float64, exp func(float64) float64) *tensor.Matrix {
+	checkShapes(q, k, v)
+	out := tensor.New(q.Rows, v.Cols)
+	p := &Preprocessed{Keys: k, Values: v}
+	acc := make([]float64, v.Cols)
+	for i := 0; i < q.Rows; i++ {
+		linearScanRow(out.Row(i), q.Row(i), scale, p, nil, acc, exp)
+	}
+	return out
+}
+
+// PreprocessExact stages keys and values for an exact backend: the same
+// shape/finiteness validation and input quantization as Preprocess, but no
+// hashing and no norms — exact backends never consult the filter. The
+// returned Preprocessed must not be fed to the filter pipeline (its hash
+// slots are nil); it exists so AttendLinearScanWith sees bit-identical
+// at-rest K/V to what Preprocess would have stored.
+func (e *Engine) PreprocessExact(keys, values *tensor.Matrix) (*Preprocessed, error) {
+	if keys.Cols != e.cfg.D {
+		return nil, fmt.Errorf("attention: key dim %d, engine built for %d", keys.Cols, e.cfg.D)
+	}
+	if values.Rows != keys.Rows || values.Cols != keys.Cols {
+		return nil, fmt.Errorf("attention: value shape %dx%d does not match keys %dx%d",
+			values.Rows, values.Cols, keys.Rows, keys.Cols)
+	}
+	if err := validateFinite("key matrix", keys); err != nil {
+		return nil, err
+	}
+	if err := validateFinite("value matrix", values); err != nil {
+		return nil, err
+	}
+	if e.cfg.Quantized {
+		keys = keys.Clone()
+		values = values.Clone()
+		fixed.QKV.QuantizeSlice(keys.Data)
+		fixed.QKV.QuantizeSlice(values.Data)
+	}
+	return &Preprocessed{Keys: keys, Values: values}, nil
+}
+
+// AttendLinearScanWith runs the exact linear-scan backend over a
+// Preprocessed prefix inside the caller's workspace: every query row
+// attends all n keys (cold prefix included — rows decode through the
+// workspace's cold buffers) and the returned Result is workspace-owned,
+// so a steady-state call performs zero heap allocations. The hash filter
+// is bypassed entirely: CandidateCounts[i] = n for every query,
+// Candidates stays nil (materializing per-row index lists of every key
+// would defeat the backend's memory ceiling), and FallbackQueries is 0.
+//
+// The backend is float-exact regardless of Config.Quantized: queries are
+// staged through the same input quantizer as the filter path (so both
+// backends see identical inputs), but exponentials and accumulation use
+// float64, not the LUT units — it is an oracle, not a hardware model.
+func (e *Engine) AttendLinearScanWith(ws *Workspace, q *tensor.Matrix, p *Preprocessed) (*Result, error) {
+	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+	qm := ws.stageQuery(e, q)
+	res := ws.result(q.Rows, e.cfg.D)
+	n := p.N()
+	acc := ws.acc[:e.cfg.D]
+	for i := 0; i < qm.Rows; i++ {
+		linearScanRow(res.Output.Row(i), qm.Row(i), e.cfg.Scale, p, ws, acc, math.Exp)
+		res.CandidateCounts[i] = n
+	}
+	res.TotalCandidates = qm.Rows * n
+	return res, nil
+}
+
+// linearScanRow computes one query's exact attention output over all n
+// keys of p in a single pass. Logits are produced bit-identically to
+// ExactWithScores — the same four-accumulator float32 dot product
+// (tensor.Dot and tensor.MatMulT share their summation order by
+// construction) followed by the same float32 scale multiply — so the
+// differential bound above is purely about downstream arithmetic order.
+// ws supplies the cold-prefix decode buffers and may be nil when p has no
+// cold prefix; acc is the caller's d-wide float64 accumulator.
+func linearScanRow(out []float32, qrow []float32, scale float64, p *Preprocessed, ws *Workspace, acc []float64, exp func(float64) float64) {
+	acc = acc[:len(out)]
+	for j := range acc {
+		acc[j] = 0
+	}
+	m := math.Inf(-1)
+	sum := 0.0
+	n := p.N()
+	scale32 := float32(scale)
+	for y := 0; y < n; y++ {
+		dot := tensor.Dot(qrow, p.keyRow(y, ws))
+		if scale != 1 {
+			dot *= scale32
+		}
+		l := float64(dot)
+		var w float64
+		if l > m {
+			// New running max: rescale state into the new frame. The first
+			// key always lands here (m starts at -Inf) with empty state.
+			if !math.IsInf(m, -1) {
+				r := exp(m - l)
+				sum *= r
+				for j := range acc {
+					acc[j] *= r
+				}
+			}
+			m = l
+			w = 1
+		} else {
+			w = exp(l - m)
+		}
+		sum += w
+		vrow := p.valueRow(y, ws)
+		for j := range acc {
+			acc[j] += w * float64(vrow[j])
+		}
+	}
+	inv := 1 / sum
+	for j := range out {
+		out[j] = float32(acc[j] * inv)
+	}
+}
+
+// LinearScanFLOPs returns the cost of the linear-scan exact operator: the
+// same n²d MACs and n² exponents as the two-pass reference (each key's
+// weight is exponentiated exactly once; max-rescales add at most n_q·n
+// more in the adversarial ascending-logit order), but with O(d) live
+// state per query instead of an n-wide score row.
+func LinearScanFLOPs(nq, n, d int) FLOPs {
+	return ExactFLOPs(nq, n, d)
+}

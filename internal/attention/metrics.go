@@ -72,6 +72,117 @@ func Compare(exactOut, exactScores *tensor.Matrix, approx *Result) (Fidelity, er
 	return fid, nil
 }
 
+// Oracle selects which independent exact-attention implementation a
+// fidelity comparison measures against. The two backends are exact by
+// different routes — OracleScores materializes the n×n score matrix,
+// OracleLinearScan streams the keys with online softmax — and the
+// differential fuzz suite pins them within LinearScanULPBound of each
+// other, so a bug in either shows up as cross-backend disagreement
+// instead of silently shifting every fidelity bound.
+type Oracle int
+
+const (
+	// OracleScores is the two-pass reference: ExactWithScores, n×n score
+	// materialization, float32 pipeline.
+	OracleScores Oracle = iota
+	// OracleLinearScan is the streaming reference: ExactLinearScan,
+	// online softmax, O(d) state per query.
+	OracleLinearScan
+)
+
+func (o Oracle) String() string {
+	switch o {
+	case OracleScores:
+		return "scores"
+	case OracleLinearScan:
+		return "linear-scan"
+	default:
+		return fmt.Sprintf("Oracle(%d)", int(o))
+	}
+}
+
+// Oracles lists both exact backends; fidelity tests iterate this so every
+// assertion runs against each implementation.
+func Oracles() []Oracle { return []Oracle{OracleScores, OracleLinearScan} }
+
+// CompareExact computes fidelity metrics for an approximate Result
+// against the chosen exact oracle. With OracleScores it is exactly
+// Compare over ExactWithScores. With OracleLinearScan the exact output
+// comes from ExactLinearScan and the retained mass of each candidate set
+// from a second linear pass (running max + sum over all keys, then the
+// candidates' share) — still no n×n materialization.
+func CompareExact(o Oracle, q, k, v *tensor.Matrix, scale float64, approx *Result) (Fidelity, error) {
+	if o == OracleScores {
+		exactOut, exactScores := ExactWithScores(q, k, v, scale)
+		return Compare(exactOut, exactScores, approx)
+	}
+	exactOut := ExactLinearScan(q, k, v, scale)
+	if exactOut.Rows != approx.Output.Rows || exactOut.Cols != approx.Output.Cols {
+		return Fidelity{}, fmt.Errorf("attention: output shape mismatch %dx%d vs %dx%d",
+			exactOut.Rows, exactOut.Cols, approx.Output.Rows, approx.Output.Cols)
+	}
+	if len(approx.Candidates) != exactOut.Rows {
+		return Fidelity{}, fmt.Errorf("attention: %d candidate lists for %d queries",
+			len(approx.Candidates), exactOut.Rows)
+	}
+	fid := Fidelity{MinCosine: math.Inf(1)}
+	var absSum float64
+	for i := 0; i < exactOut.Rows; i++ {
+		c := tensor.CosineSim(exactOut.Row(i), approx.Output.Row(i))
+		fid.MeanCosine += c
+		if c < fid.MinCosine {
+			fid.MinCosine = c
+		}
+		fid.RetainedMass += linearScanMass(q.Row(i), k, scale, approx.Candidates[i])
+		arow := approx.Output.Row(i)
+		for j, ev := range exactOut.Row(i) {
+			absSum += math.Abs(float64(ev) - float64(arow[j]))
+		}
+	}
+	nq := float64(exactOut.Rows)
+	fid.MeanCosine /= nq
+	fid.RetainedMass /= nq
+	fid.MeanAbsErr = absSum / (nq * float64(exactOut.Cols))
+	return fid, nil
+}
+
+// linearScanMass returns the exact softmax mass of the candidate subset
+// for one query: a running-max pass over all keys for the normalizer,
+// then the candidates' exponent share — O(n·d) time, O(1) extra space.
+func linearScanMass(qrow []float32, k *tensor.Matrix, scale float64, cands []int) float64 {
+	n := k.Rows
+	if n == 0 {
+		return 0
+	}
+	scale32 := float32(scale)
+	logit := func(y int) float64 {
+		dot := tensor.Dot(qrow, k.Row(y))
+		if scale != 1 {
+			dot *= scale32
+		}
+		return float64(dot)
+	}
+	m := math.Inf(-1)
+	sum := 0.0
+	for y := 0; y < n; y++ {
+		l := logit(y)
+		if l > m {
+			if !math.IsInf(m, -1) {
+				sum *= math.Exp(m - l)
+			}
+			m = l
+			sum++
+			continue
+		}
+		sum += math.Exp(l - m)
+	}
+	mass := 0.0
+	for _, y := range cands {
+		mass += math.Exp(logit(y) - m)
+	}
+	return mass / sum
+}
+
 // ProxyAccuracyLoss converts retained softmax mass into the "accuracy loss"
 // ordinate of Fig 10. The mapping is the identity on lost mass scaled by an
 // empirical sensitivity: transformer task metrics degrade roughly

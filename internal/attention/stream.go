@@ -240,6 +240,38 @@ func (s *Stream) Keys() [][]float32 {
 	return out
 }
 
+// QueryLinearScan attends the single query vector q over the current
+// prefix through the exact linear-scan backend — every prefix key, online
+// softmax, no filter — writing the context vector into dst (grown only
+// when capacity falls short, like QueryWith). The scan iterates the same
+// logical rows with the same per-row float32 data whether a key is in the
+// hot tail or the cold store (cold rows decode deterministically through
+// the stream workspace), so a stream appended token-by-token answers
+// bit-identically to one-shot ExactLinearScan over the materialized
+// prefix, including across the cold-watermark demotion boundary. Zero
+// steady-state heap allocations, matching the QueryWith contract.
+func (s *Stream) QueryLinearScan(dst []float32, q []float32) ([]float32, QueryStats, error) {
+	d := s.engine.cfg.D
+	if s.n == 0 {
+		return dst, QueryStats{}, fmt.Errorf("attention: query on an empty stream")
+	}
+	if len(q) != d {
+		return dst, QueryStats{}, fmt.Errorf("attention: stream query dim %d, engine built for %d",
+			len(q), d)
+	}
+	s.qMat = tensor.Matrix{Rows: 1, Cols: d, Data: q}
+	res, err := s.engine.AttendLinearScanWith(s.ws, &s.qMat, s.snapshot())
+	if err != nil {
+		return dst, QueryStats{}, err
+	}
+	if cap(dst) < d {
+		dst = make([]float32, d)
+	}
+	dst = dst[:d]
+	copy(dst, res.Output.Row(0))
+	return dst, QueryStats{Candidates: s.n, Fallback: false}, nil
+}
+
 // QueryStats reports one streamed query's work.
 type QueryStats struct {
 	// Candidates is the number of prefix keys that survived the filter.

@@ -96,8 +96,7 @@ func AblateBias(opt Options) ([]BiasAblation, error) {
 			if err != nil {
 				return nil, err
 			}
-			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
-			fid, err := attention.Compare(exactOut, exactScores, res)
+			fid, err := attention.CompareExact(opt.Oracle, inst.Q, inst.K, inst.V, eng.Config().Scale, res)
 			if err != nil {
 				return nil, err
 			}
@@ -212,8 +211,7 @@ func AblateK(opt Options) ([]KAblation, error) {
 			if err != nil {
 				return nil, err
 			}
-			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
-			fid, err := attention.Compare(exactOut, exactScores, res)
+			fid, err := attention.CompareExact(opt.Oracle, inst.Q, inst.K, inst.V, eng.Config().Scale, res)
 			if err != nil {
 				return nil, err
 			}
@@ -275,8 +273,7 @@ func AblateQuantization(opt Options) ([]QuantAblation, error) {
 			if err != nil {
 				return nil, err
 			}
-			exactOut, exactScores := attention.ExactWithScores(inst.Q, inst.K, inst.V, eng.Config().Scale)
-			fid, err := attention.Compare(exactOut, exactScores, res)
+			fid, err := attention.CompareExact(opt.Oracle, inst.Q, inst.K, inst.V, eng.Config().Scale, res)
 			if err != nil {
 				return nil, err
 			}

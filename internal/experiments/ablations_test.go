@@ -1,6 +1,11 @@
 package experiments
 
-import "testing"
+import (
+	"math"
+	"testing"
+
+	"elsa/internal/attention"
+)
 
 func TestAblateHashKind(t *testing.T) {
 	rows, err := AblateHashKind(testOpt())
@@ -263,6 +268,37 @@ func TestAblateProbe(t *testing.T) {
 		if base.Accuracy-r.Accuracy > 0.10 {
 			t.Errorf("%s: probe accuracy %g dropped more than 10 points from %g",
 				r.Mode, r.Accuracy, base.Accuracy)
+		}
+	}
+}
+
+// TestAblationOracleAgreement runs a fidelity ablation under both exact
+// oracles and asserts they report the same numbers: the experiments'
+// bounds must not depend on which independent exact implementation
+// defines "exact". Retained mass is computed by completely different
+// routes (n×n score rows vs a linear normalizer pass), so agreement here
+// is a real cross-check, not a tautology.
+func TestAblationOracleAgreement(t *testing.T) {
+	byOracle := make([][]QuantAblation, 0, 2)
+	for _, o := range attention.Oracles() {
+		opt := testOpt()
+		opt.Oracle = o
+		rows, err := AblateQuantization(opt)
+		if err != nil {
+			t.Fatalf("oracle %v: %v", o, err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("oracle %v: want 2 rows, got %d", o, len(rows))
+		}
+		byOracle = append(byOracle, rows)
+	}
+	for i := range byOracle[0] {
+		a, b := byOracle[0][i], byOracle[1][i]
+		if d := math.Abs(a.RetainedMass - b.RetainedMass); d > 1e-6 {
+			t.Errorf("row %d: oracles disagree on retained mass by %g (%+v vs %+v)", i, d, a, b)
+		}
+		if d := math.Abs(a.MeanCosine - b.MeanCosine); d > 1e-6 {
+			t.Errorf("row %d: oracles disagree on mean cosine by %g (%+v vs %+v)", i, d, a, b)
 		}
 	}
 }

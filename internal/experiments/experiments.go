@@ -28,6 +28,12 @@ type Options struct {
 	CalibInstances int
 	// BiasSamples is the θ_bias calibration sample count.
 	BiasSamples int
+	// Oracle selects which exact implementation fidelity is measured
+	// against (attention.OracleScores or attention.OracleLinearScan). The
+	// zero value is the scores reference; tests run the experiments under
+	// both so a bug in either oracle surfaces as cross-backend drift
+	// instead of silently shifting every reported bound.
+	Oracle attention.Oracle
 }
 
 // Default returns publication-fidelity options.

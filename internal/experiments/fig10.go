@@ -65,9 +65,8 @@ func Fig10(opt Options) ([]Fig10Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				exactOut, exactScores := attention.ExactWithScores(
-					inst.Q, inst.K, inst.V, l.engine.Config().Scale)
-				fid, err := attention.Compare(exactOut, exactScores, res)
+				fid, err := attention.CompareExact(opt.Oracle,
+					inst.Q, inst.K, inst.V, l.engine.Config().Scale, res)
 				if err != nil {
 					return nil, err
 				}

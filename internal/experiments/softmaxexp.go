@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"elsa/internal/attention"
+	"elsa/internal/tensor"
+	"elsa/internal/workload"
+)
+
+// This file ablates the softmax exponential itself: transformer inference
+// accelerators commonly replace exp with a cheap bit-manipulation
+// approximation (the Softermax/Samsung line of work, arXiv 2111.10770
+// and Schraudolph 1999), betting that softmax is insensitive to a few
+// percent of relative error in each weight because the normalizer absorbs
+// correlated error. The linear-scan backend takes the exponential as a
+// parameter (attention.LinearScanWithExp), so the ablation swaps only the
+// exp and keeps every other bit of arithmetic identical — the measured
+// gap is the approximation's, not the pipeline's.
+
+// SoftmaxExpAblation is one workload's cheap-exp error row.
+type SoftmaxExpAblation struct {
+	// Workload names the instance family (ViT patch grid, long-document
+	// streaming, or an NLP surrogate).
+	Workload string
+	// N and D are the instance's token count and head dimension.
+	N, D int
+	// MeanCosine and MeanAbsErr compare the cheap-exp output against the
+	// math.Exp linear scan over the same instance.
+	MeanCosine float64
+	MeanAbsErr float64
+	// MaxAbsErr is the worst elementwise deviation.
+	MaxAbsErr float64
+	// MaxULP is the worst float32 ULP distance, the same measure the
+	// exact backends are differentially fuzzed under.
+	MaxULP uint32
+	// MaxRelExpErr is the cheap exponential's own worst relative error
+	// over the logit deltas this workload produced (all ≤ 0).
+	MaxRelExpErr float64
+}
+
+// schraudolphExp approximates exp(x) by writing a scaled and shifted x
+// directly into the bit pattern of a float64 (Schraudolph 1999): the
+// integer i = x·2⁵²/ln2 + 1023·2⁵² lands x/ln2 in the exponent field and
+// linearly interpolates the mantissa between powers of two. The
+// correction constant centers the interpolation error, leaving ~±3%
+// relative error — the accuracy class of the LUT/LOD units in the cheap
+// softmax literature. Only ever called with x ≤ 0 (the linear scan
+// subtracts the running max first), so overflow cannot happen; deep
+// underflow returns 0 exactly as the LUT units saturate.
+func schraudolphExp(x float64) float64 {
+	const a = (1 << 52) / math.Ln2
+	const b = 1023 << 52
+	const c = 60801 << 32 // error-centering correction (Schraudolph's C)
+	i := int64(a*x) + (b - c)
+	if i <= 0 {
+		return 0
+	}
+	return math.Float64frombits(uint64(i))
+}
+
+// AblateSoftmaxExp measures the cheap-exp linear scan against the
+// math.Exp linear scan on the exact-backend workload families (ViT patch
+// grid, long-document streaming) plus the primary NLP surrogate. The
+// long-document length is capped for runtime; the error is per-weight and
+// does not grow with n.
+func AblateSoftmaxExp(opt Options) ([]SoftmaxExpAblation, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	const d = 64
+	longDoc := workload.LongDoc4K
+	longDoc.Len = 1024
+	instances := []struct {
+		name string
+		gen  func() workload.Instance
+	}{
+		{workload.ViTBase16.Name, func() workload.Instance { return workload.ViTBase16.Generate(rng, d) }},
+		{longDoc.Name, func() workload.Instance { return longDoc.Generate(rng, d) }},
+		{workload.SQuAD11.Name, func() workload.Instance { return workload.SQuAD11.GenerateLen(rng, d, 256) }},
+	}
+	scale := attention.DefaultScale(d)
+	var out []SoftmaxExpAblation
+	for _, in := range instances {
+		inst := in.gen()
+		exact := attention.ExactLinearScan(inst.Q, inst.K, inst.V, scale)
+		var worstExp float64
+		cheap := attention.LinearScanWithExp(inst.Q, inst.K, inst.V, scale, func(x float64) float64 {
+			y := schraudolphExp(x)
+			if ref := math.Exp(x); ref > 0 {
+				if rel := math.Abs(y-ref) / ref; rel > worstExp {
+					worstExp = rel
+				}
+			}
+			return y
+		})
+		row := SoftmaxExpAblation{
+			Workload: in.name, N: inst.RealLen, D: d,
+			MeanCosine:   1,
+			MaxRelExpErr: worstExp,
+		}
+		var absSum float64
+		var cosSum float64
+		for i := 0; i < exact.Rows; i++ {
+			cosSum += tensor.CosineSim(exact.Row(i), cheap.Row(i))
+			for j, ev := range exact.Row(i) {
+				cv := cheap.Row(i)[j]
+				diff := math.Abs(float64(ev) - float64(cv))
+				absSum += diff
+				if diff > row.MaxAbsErr {
+					row.MaxAbsErr = diff
+				}
+				if ulp := attention.ULPDiff32(ev, cv); ulp > row.MaxULP {
+					row.MaxULP = ulp
+				}
+			}
+		}
+		row.MeanCosine = cosSum / float64(exact.Rows)
+		row.MeanAbsErr = absSum / float64(exact.Rows*exact.Cols)
+		out = append(out, row)
+	}
+	return out, nil
+}

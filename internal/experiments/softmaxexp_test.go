@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestAblateSoftmaxExp(t *testing.T) {
+	rows, err := AblateSoftmaxExp(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (ViT, long-doc, NLP)", len(rows))
+	}
+	for _, r := range rows {
+		if r.N <= 0 || r.D <= 0 {
+			t.Errorf("%s: bad shape %dx%d", r.Workload, r.N, r.D)
+		}
+		// The cheap exponential carries a few percent of per-weight
+		// relative error; the softmax normalizer absorbs most of it. The
+		// output must be visibly degraded relative to the exact backends'
+		// differential bound (otherwise the ablation measures nothing)
+		// yet still directionally faithful.
+		if r.MaxRelExpErr <= 0.005 || r.MaxRelExpErr > 0.10 {
+			t.Errorf("%s: cheap-exp worst relative error %.4f outside (0.005, 0.10] — not a cheap exp", r.Workload, r.MaxRelExpErr)
+		}
+		if r.MeanCosine < 0.995 {
+			t.Errorf("%s: mean cosine %.4f — cheap exp should barely move the output direction", r.Workload, r.MeanCosine)
+		}
+		if r.MaxULP == 0 {
+			t.Errorf("%s: zero ULP distance — ablation measured nothing", r.Workload)
+		}
+	}
+}

@@ -114,6 +114,10 @@ type AttendRequest struct {
 	// T, when present, is an explicit pre-calibrated threshold (e.g. from
 	// elsacalib / SaveThreshold) and skips server-side calibration.
 	T *float64 `json:"t,omitempty"`
+	// Backend selects the exact implementation for an exact op ("scores"
+	// or "linear-scan"); empty defers to the server's -exact-backend
+	// default. Rejected with 400 when combined with p > 0.
+	Backend string `json:"backend,omitempty"`
 
 	HeadDim   int   `json:"head_dim,omitempty"`
 	HashBits  int   `json:"hash_bits,omitempty"`
@@ -160,6 +164,10 @@ type SessionCreateRequest struct {
 	P float64 `json:"p,omitempty"`
 	// T, when present, is an explicit pre-calibrated threshold.
 	T *float64 `json:"t,omitempty"`
+	// Backend pins the session's exact backend ("scores" or
+	// "linear-scan"); empty defers to the server default for exact
+	// sessions. Rejected with 400 when combined with p > 0.
+	Backend string `json:"backend,omitempty"`
 
 	// Capacity preallocates stream storage for this many tokens (optional).
 	Capacity int `json:"capacity,omitempty"`
@@ -194,6 +202,8 @@ type SessionQueryRequest struct {
 	// T, when present, overrides the session's threshold for this query
 	// only — the wire form of elsa.Overrides on a decode step.
 	T *float64 `json:"t,omitempty"`
+	// Backend overrides the session's exact backend for this query only.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SessionQueryResponse is one decode step's result.
@@ -239,6 +249,9 @@ type SessionExportResponse struct {
 	// first query has yet to calibrate it).
 	P         float64        `json:"p,omitempty"`
 	Threshold *ThresholdJSON `json:"threshold,omitempty"`
+	// Backend is the session's pinned exact backend, when it has one, so
+	// a migration preserves the selection.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SessionImportRequest is the POST /v1/sessions/import body: adopt a
@@ -257,6 +270,7 @@ type SessionImportRequest struct {
 
 	P         float64        `json:"p,omitempty"`
 	Threshold *ThresholdJSON `json:"threshold,omitempty"`
+	Backend   string         `json:"backend,omitempty"`
 }
 
 // SessionImportResponse is the POST /v1/sessions/import reply.
@@ -296,6 +310,9 @@ type SessionStepQuery struct {
 	// T, when present, overrides the session's threshold for this query
 	// only, exactly as on POST /v1/sessions/{id}/query.
 	T *float64 `json:"t,omitempty"`
+	// Backend overrides the session's exact backend for this query only,
+	// exactly as on POST /v1/sessions/{id}/query.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SessionStepResponse carries one result per request query, in order.
@@ -537,6 +554,23 @@ func (r *AttendRequest) validate() error {
 	if r.P < 0 {
 		return fmt.Errorf("p must be >= 0, got %g", r.P)
 	}
+	if r.Backend != elsa.BackendAuto && r.T != nil {
+		return fmt.Errorf("backend and t are mutually exclusive")
+	}
+	return checkWireBackend(r.Backend, r.P)
+}
+
+// checkWireBackend validates a wire-level backend selector against the
+// op's degree of approximation: unknown names and exact backends on
+// approximate ops both answer 400.
+func checkWireBackend(backend string, p float64) error {
+	if !elsa.ValidBackend(backend) {
+		return fmt.Errorf("unknown backend %q (want %q or %q)",
+			backend, elsa.BackendScores, elsa.BackendLinearScan)
+	}
+	if backend != elsa.BackendAuto && p != 0 {
+		return fmt.Errorf("backend %q requires an exact operating point (p = 0)", backend)
+	}
 	return nil
 }
 
@@ -554,7 +588,7 @@ func (r *AttendRequest) options() elsa.Options {
 // per-op override struct: an explicit t pins the threshold, otherwise p
 // is left for the server's registry to resolve.
 func (r *AttendRequest) overrides() elsa.Overrides {
-	ov := elsa.Overrides{P: r.P}
+	ov := elsa.Overrides{P: r.P, Backend: r.Backend}
 	if r.T != nil {
 		ov.Thr = &elsa.Threshold{P: r.P, T: *r.T}
 	}
@@ -563,7 +597,7 @@ func (r *AttendRequest) overrides() elsa.Overrides {
 
 // overrides is AttendRequest.overrides for session creation.
 func (r *SessionCreateRequest) overrides() elsa.Overrides {
-	ov := elsa.Overrides{P: r.P}
+	ov := elsa.Overrides{P: r.P, Backend: r.Backend}
 	if r.T != nil {
 		ov.Thr = &elsa.Threshold{P: r.P, T: *r.T}
 	}

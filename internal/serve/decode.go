@@ -23,6 +23,9 @@ type decodeJob struct {
 	// op's threshold explicitly; p rides along for the wire.
 	thr elsa.Threshold
 	p   float64
+	// backend is the query's effective exact backend ("" = filter
+	// pipeline), so mixed batches route each session's steps correctly.
+	backend string
 	// out is the recycled context buffer going in and the (possibly
 	// grown) result coming out; stats the query's work counters.
 	out   []float32
@@ -219,7 +222,7 @@ func (d *dispatcher) submitDecode(ctx context.Context, set *replicaSet, dec *dec
 		// No loop attached (a set built outside the pool, e.g. in tests):
 		// run the step inline, the serialized path.
 		dec.out, dec.stats, dec.j.ctx = nil, elsa.StreamStats{}, nil
-		out, stats, err := dec.stream.QueryOverrides(dec.out, dec.q, elsa.Overrides{Thr: &dec.thr}, elsa.Exact())
+		out, stats, err := dec.stream.QueryOverrides(dec.out, dec.q, elsa.Overrides{Thr: &dec.thr, Backend: dec.backend}, elsa.Exact())
 		dec.out, dec.stats = out, stats
 		return 1, err
 	}

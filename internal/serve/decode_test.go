@@ -44,7 +44,7 @@ func buildDecodeSessions(t *testing.T, srv *Server, opts elsa.Options, n, prefix
 		default: // exact
 			f.p = 0
 		}
-		sess, err := srv.sessions.create(ctx, set, opts, f.p, f.t, prefix, requestMeta{})
+		sess, err := srv.sessions.create(ctx, set, opts, f.p, f.t, "", prefix, requestMeta{})
 		if err != nil {
 			t.Fatalf("session %d create: %v", i, err)
 		}
@@ -189,7 +189,7 @@ func TestDecodeCycleZeroAlloc(t *testing.T) {
 			}
 			ctx := context.Background()
 			tv := 0.5
-			sess, err := srv.sessions.create(ctx, set, opts, 1, &tv, 64, requestMeta{})
+			sess, err := srv.sessions.create(ctx, set, opts, 1, &tv, "", 64, requestMeta{})
 			if err != nil {
 				t.Fatalf("create: %v", err)
 			}

@@ -73,6 +73,14 @@ type Config struct {
 	// per-replica decode loop. It exists as the baseline the decode
 	// benchmarks compare against; production leaves it false.
 	SerialDecode bool
+	// ExactBackend selects the server-wide default exact backend
+	// (elsa.BackendScores or elsa.BackendLinearScan) applied to exact
+	// operating points (p = 0, no pinned threshold) whose request leaves
+	// the backend unspecified; per-request and per-session selectors
+	// still win. Empty keeps the default exact pipeline. An unknown name
+	// is ignored (New cannot fail), so callers should validate with
+	// elsa.ValidBackend first — elsaserve's -exact-backend flag does.
+	ExactBackend string
 
 	// StateDir, when set, persists calibrated thresholds so a restarted
 	// server serves its first calibrated request without re-running
@@ -202,6 +210,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.ColdWatermark < 0 {
 		c.ColdWatermark = 0
+	}
+	if !elsa.ValidBackend(c.ExactBackend) {
+		c.ExactBackend = elsa.BackendAuto
 	}
 }
 
@@ -403,6 +414,12 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Cl
 		return fail(w, http.StatusBadRequest, "engine: "+err.Error()), "bad_request", meta.class
 	}
 	ov := req.overrides()
+	if ov.Backend == elsa.BackendAuto && ov.P == 0 && ov.Thr == nil {
+		// Server-wide default backend, but only for exact ops that did not
+		// pin anything themselves: an explicit t stays on the filter
+		// pipeline and an approximate p can never ride an exact backend.
+		ov.Backend = s.cfg.ExactBackend
+	}
 	var thr elsa.Threshold
 	if ov.Thr != nil {
 		thr = *ov.Thr
@@ -422,7 +439,8 @@ func (s *Server) attend(w http.ResponseWriter, r *http.Request) (int, string, Cl
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	out, batchSize, _, err := s.disp.submit(ctx, set, elsa.BatchOp{Q: req.Q, K: req.K, V: req.V}, thr, meta.class, deadline)
+	out, batchSize, _, err := s.disp.submit(ctx, set, elsa.BatchOp{Q: req.Q, K: req.K, V: req.V,
+		Overrides: elsa.Overrides{Backend: ov.Backend}}, thr, meta.class, deadline)
 	switch {
 	case err == nil:
 		s.metrics.ObserveAdmission("admitted")
@@ -475,6 +493,20 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, fmt.Sprintf("p must be >= 0, got %g", req.P))
 		return
 	}
+	if err := checkWireBackend(req.Backend, req.P); err != nil {
+		fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Backend != elsa.BackendAuto && req.T != nil {
+		fail(w, http.StatusBadRequest, "backend and t are mutually exclusive")
+		return
+	}
+	backend := req.Backend
+	if backend == elsa.BackendAuto && req.P == 0 && req.T == nil {
+		// Server-wide default backend for exact sessions that did not pin
+		// anything themselves (same rule as one-shot attend).
+		backend = s.cfg.ExactBackend
+	}
 	if admitted, wait := s.quotas.take(meta.clientID); !admitted {
 		s.metrics.ObserveAdmission("shed_quota")
 		setRetryAfter(w, wait)
@@ -492,7 +524,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "engine: "+err.Error())
 		return
 	}
-	sess, err := s.sessions.create(r.Context(), set, opts, req.P, req.T, req.Capacity, meta)
+	sess, err := s.sessions.create(r.Context(), set, opts, req.P, req.T, backend, req.Capacity, meta)
 	if err != nil {
 		if errors.Is(err, errWorkerLost) {
 			setRetryAfter(w, s.cfg.WorkerProbeInterval)
@@ -563,7 +595,17 @@ func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.chargeSessionQuota(w, r.PathValue("id")) {
 		return
 	}
-	var ov elsa.Overrides
+	if err := checkWireBackend(req.Backend, 0); err != nil {
+		fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Backend != elsa.BackendAuto && req.T != nil {
+		// An exact backend never consults a threshold, so a query naming
+		// both is contradictory rather than silently dropping one.
+		fail(w, http.StatusBadRequest, "backend and t are mutually exclusive")
+		return
+	}
+	ov := elsa.Overrides{Backend: req.Backend}
 	if req.T != nil {
 		ov.Thr = &elsa.Threshold{T: *req.T}
 	}
@@ -668,6 +710,12 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		q := &req.Queries[i]
 		entries[i].ID = q.ID
 		entries[i].Q = q.Q
+		if err := checkWireBackend(q.Backend, 0); err != nil {
+			entries[i].Err = err
+		} else if q.Backend != elsa.BackendAuto && q.T != nil {
+			entries[i].Err = errors.New("backend and t are mutually exclusive")
+		}
+		entries[i].Ov.Backend = q.Backend
 		if q.T != nil {
 			entries[i].Ov.Thr = &elsa.Threshold{T: *q.T}
 		}
@@ -762,6 +810,10 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, fmt.Sprintf("p must be >= 0, got %g", req.P))
 		return
 	}
+	if err := checkWireBackend(req.Backend, req.P); err != nil {
+		fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if admitted, wait := s.quotas.take(meta.clientID); !admitted {
 		s.metrics.ObserveAdmission("shed_quota")
 		setRetryAfter(w, wait)
@@ -783,7 +835,7 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 	if req.Threshold != nil {
 		thr = &elsa.Threshold{P: req.Threshold.P, T: req.Threshold.T, Queries: req.Threshold.Queries}
 	}
-	n, err := s.sessions.adopt(set, opts, req.ID, req.State, req.P, thr, req.Capacity, meta)
+	n, err := s.sessions.adopt(set, opts, req.ID, req.State, req.P, thr, req.Backend, req.Capacity, meta)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SessionImportResponse{ID: req.ID, Len: n})

@@ -98,6 +98,10 @@ type session struct {
 	spilled bool
 	p       float64
 	thr     elsa.Threshold
+	// backend pins the session's exact backend for every query that does
+	// not carry its own selector ("" = the filter pipeline at the session
+	// threshold). Only exact sessions (p = 0) can pin one.
+	backend string
 	// calibrated marks thr as resolved; false defers threshold resolution
 	// to the first query, which calibrates over the prefix appended by
 	// then (the stream's own keys are the calibration sample).
@@ -187,7 +191,7 @@ func newSessionRegistry(maxSessions, maxTokens int, ttl time.Duration, thr *thre
 // calibrates it over the prefix. At capacity the least-recently-used
 // session is evicted rather than refusing the new one — new decode work
 // beats stale state.
-func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa.Options, p float64, t *float64, capacity int, meta requestMeta) (*session, error) {
+func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa.Options, p float64, t *float64, backend string, capacity int, meta requestMeta) (*session, error) {
 	if capacity < 0 || capacity > g.maxTokens {
 		capacity = 0
 	}
@@ -210,6 +214,7 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 		class:    meta.class,
 		capacity: capacity,
 		p:        p,
+		backend:  backend,
 		gate:     make(chan struct{}, 1),
 	}
 	s.dec.init()
@@ -243,6 +248,7 @@ func (g *sessionRegistry) create(ctx context.Context, set *replicaSet, opts elsa
 			Quantized: opts.Quantized,
 			Capacity:  capacity,
 		}
+		so.Backend = backend
 		if s.calibrated {
 			thr := s.thr
 			so.Thr = &thr
@@ -590,8 +596,13 @@ func (g *sessionRegistry) queryHeld(ctx context.Context, s *session, dst []float
 	if err != nil {
 		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
 	}
+	backend, err := g.resolveBackend(s, ov, thr)
+	if err != nil {
+		return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
+	}
 	if g.serial || g.disp == nil {
 		// The serialized baseline: attend inline while holding the gate.
+		ov.Backend = backend
 		out, stats, err := s.stream.QueryOverrides(dst, q, ov, s.thr)
 		if err != nil {
 			return dst, elsa.StreamStats{}, 0, elsa.Threshold{}, 0, err
@@ -601,10 +612,10 @@ func (g *sessionRegistry) queryHeld(ctx context.Context, s *session, dst []float
 	}
 	// Submit to the set's continuous decode loop with the resolved
 	// operating point pinned, so a mixed-session batch carries every op's
-	// threshold and p explicitly. The gate is held until the loop writes
-	// the result back into dec — that is the submit/complete handoff.
+	// threshold, p, and backend explicitly. The gate is held until the
+	// loop writes the result back into dec — the submit/complete handoff.
 	dec := &s.dec
-	dec.stream, dec.q, dec.thr, dec.p, dec.out = s.stream, q, thr, s.p, dst
+	dec.stream, dec.q, dec.thr, dec.p, dec.backend, dec.out = s.stream, q, thr, s.p, backend, dst
 	bs, err := g.disp.submitDecode(ctx, s.set, dec, s.class, deadline)
 	out, stats := dec.out, dec.stats
 	dec.stream, dec.q = nil, nil
@@ -639,6 +650,23 @@ func (g *sessionRegistry) resolveThreshold(s *session, ov elsa.Overrides) (elsa.
 		s.thr, s.calibrated = thr, true
 	}
 	return ov.Resolve(s.thr), nil
+}
+
+// resolveBackend picks one query's effective exact backend: the query's
+// own selector, falling back to the backend the session pinned at
+// create. Exact backends never consult the filter, so a non-auto
+// selector is refused when the query's resolved operating point is
+// approximate — routing an approximate session through an exact backend
+// would silently change what the caller calibrated for.
+func (g *sessionRegistry) resolveBackend(s *session, ov elsa.Overrides, thr elsa.Threshold) (string, error) {
+	backend := ov.Backend
+	if backend == elsa.BackendAuto {
+		backend = s.backend
+	}
+	if backend != elsa.BackendAuto && thr.P != 0 {
+		return "", fmt.Errorf("serve: backend %q requires an exact operating point (p = 0)", backend)
+	}
+	return backend, nil
 }
 
 // spillPath is where a spilled session's exported state lives: one file
@@ -758,6 +786,7 @@ func (g *sessionRegistry) export(ctx context.Context, id string) (*SessionExport
 		Seed:      s.opts.Seed,
 		Quantized: s.opts.Quantized,
 		P:         s.p,
+		Backend:   s.backend,
 	}
 	if s.calibrated {
 		resp.Threshold = &ThresholdJSON{P: s.thr.P, T: s.thr.T, Queries: s.thr.Queries}
@@ -786,7 +815,7 @@ func (g *sessionRegistry) stateHeld(s *session) ([]byte, int, error) {
 // original ID — the receiving half of live migration. The session is
 // hosted locally on set's engines[0] regardless of placement: the sender
 // already chose this server. Returns the rebuilt prefix length.
-func (g *sessionRegistry) adopt(set *replicaSet, opts elsa.Options, id string, state []byte, p float64, thr *elsa.Threshold, capacity int, meta requestMeta) (int, error) {
+func (g *sessionRegistry) adopt(set *replicaSet, opts elsa.Options, id string, state []byte, p float64, thr *elsa.Threshold, backend string, capacity int, meta requestMeta) (int, error) {
 	if capacity < 0 || capacity > g.maxTokens {
 		capacity = 0
 	}
@@ -807,6 +836,7 @@ func (g *sessionRegistry) adopt(set *replicaSet, opts elsa.Options, id string, s
 		class:    meta.class,
 		capacity: capacity,
 		p:        p,
+		backend:  backend,
 		gate:     make(chan struct{}, 1),
 		stream:   st,
 	}
@@ -851,6 +881,7 @@ func (g *sessionRegistry) pushState(ctx context.Context, w *worker, s *session) 
 		Seed:      s.opts.Seed,
 		Quantized: s.opts.Quantized,
 		P:         s.p,
+		Backend:   s.backend,
 	}
 	if s.calibrated {
 		thr := s.thr
@@ -1152,9 +1183,18 @@ func (g *sessionRegistry) step(ctx context.Context, entries []stepEntry, deadlin
 			held[i] = nil
 			continue
 		}
+		backend, err := g.resolveBackend(s, e.Ov, thr)
+		if err != nil {
+			e.Err = err
+			s.release()
+			held[i] = nil
+			continue
+		}
 		ds := s.set.dec
 		if g.serial || g.disp == nil || ds == nil {
-			out, stats, err := s.stream.QueryOverrides(nil, e.Q, e.Ov, s.thr)
+			ov := e.Ov
+			ov.Backend = backend
+			out, stats, err := s.stream.QueryOverrides(nil, e.Q, ov, s.thr)
 			if err != nil {
 				e.Err = err
 			} else {
@@ -1166,7 +1206,7 @@ func (g *sessionRegistry) step(ctx context.Context, entries []stepEntry, deadlin
 			continue
 		}
 		dec := &s.dec
-		dec.stream, dec.q, dec.thr, dec.p, dec.out = s.stream, e.Q, thr, s.p, nil
+		dec.stream, dec.q, dec.thr, dec.p, dec.backend, dec.out = s.stream, e.Q, thr, s.p, backend, nil
 		if err := g.disp.enqueueDecode(ctx, ds, s.set, dec, s.class, deadline); err != nil {
 			dec.stream, dec.q = nil, nil
 			e.Err = err

@@ -382,7 +382,7 @@ func (b *localBackend) decodeBatch(jobs []*job) []error {
 		ops[i] = elsa.StreamOp{
 			Stream:    dec.stream,
 			Q:         dec.q,
-			Overrides: elsa.Overrides{Thr: &dec.thr, P: dec.p},
+			Overrides: elsa.Overrides{Thr: &dec.thr, P: dec.p, Backend: dec.backend},
 			Dst:       dec.out,
 		}
 	}
@@ -426,7 +426,7 @@ func (b *remoteBackend) attendBatch(jobs []*job) ([]*elsa.Output, []error) {
 			}
 			defer func() { <-b.w.inflight }()
 			res, err := b.w.cli.Attend(j.ctx, j.op.Q, j.op.K, j.op.V, client.AttendOptions{
-				Overrides: elsa.Overrides{Thr: j.op.Thr},
+				Overrides: elsa.Overrides{Thr: j.op.Thr, Backend: j.op.Backend},
 				HeadDim:   b.opts.HeadDim,
 				HashBits:  b.opts.HashBits,
 				Seed:      b.opts.Seed,
@@ -476,7 +476,7 @@ func (b *remoteBackend) decodeBatch(jobs []*job) []error {
 			dec := j.dec
 			keys, values := dec.stream.Rows()
 			res, err := b.w.cli.Attend(j.ctx, [][]float32{dec.q}, keys, values, client.AttendOptions{
-				Overrides: elsa.Overrides{Thr: &dec.thr},
+				Overrides: elsa.Overrides{Thr: &dec.thr, Backend: dec.backend},
 				HeadDim:   b.opts.HeadDim,
 				HashBits:  b.opts.HashBits,
 				Seed:      b.opts.Seed,

@@ -1,0 +1,255 @@
+package workload
+
+// This file adds two workload families beyond the paper's §V-A dataset
+// surrogates, built for exercising the exact backends (the linear-scan
+// oracle in particular) on attention structures the NLP surrogates do not
+// produce:
+//
+//   - PatchGrid: ViT-style attention over a g×g grid of image patches.
+//     Scores are organized by 2D spatial distance rather than 1D token
+//     distance, every invocation has the same fixed length (no padding
+//     regime), and a handful of content targets sit on top of the smooth
+//     spatial neighborhood.
+//   - LongDoc: long-document streaming attention. Tokens arrive in append
+//     order, queries concentrate on a trailing local window plus a few
+//     global anchor tokens (the Longformer/BigBird access pattern), and
+//     lengths are far past the NLP caps — the regime where an n×n score
+//     matrix stops fitting and the linear scan's O(d) state matters.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elsa/internal/tensor"
+)
+
+// PatchGrid models one self-attention head of a vision transformer over
+// a Grid×Grid patch grid (n = Grid² tokens, fixed — image models do not
+// pad). Keys share a two-dimensional positional backbone, so attention
+// falls off smoothly with spatial (row, col) distance instead of 1D
+// token distance.
+type PatchGrid struct {
+	Name string
+	// Grid is the side of the patch grid; every instance has Grid² tokens.
+	Grid int
+	// Locality is the amplitude of the 2D positional backbone shared by
+	// keys and queries — the smooth spatial neighborhood.
+	Locality float32
+	// QueryBackbone scales how strongly queries project onto the backbone
+	// at their own grid position.
+	QueryBackbone float32
+	// Sharpness and TargetsPerQuery aim each query at a few content keys,
+	// as in Dataset.
+	Sharpness       float32
+	TargetsPerQuery int
+	// NoiseStd perturbs queries off their targets.
+	NoiseStd float32
+}
+
+func (pg PatchGrid) String() string {
+	return fmt.Sprintf("%s(grid=%dx%d n=%d)", pg.Name, pg.Grid, pg.Grid, pg.Grid*pg.Grid)
+}
+
+// Len returns the fixed token count, Grid².
+func (pg PatchGrid) Len() int { return pg.Grid * pg.Grid }
+
+// gridComponents is the number of slow sinusoids per grid axis.
+const gridComponents = 3
+
+// Generate synthesizes one head invocation with head dimension d. The
+// instance has exactly Grid² rows; PaddedLen equals RealLen (no padding).
+func (pg PatchGrid) Generate(rng *rand.Rand, d int) Instance {
+	g := pg.Grid
+	if g < 1 || d < 1 {
+		panic(fmt.Sprintf("workload: invalid patch grid %dx%d, head dim %d", g, g, d))
+	}
+	n := g * g
+	v := tensor.RandomNormal(rng, n, d)
+	q := tensor.New(n, d)
+	k := tensor.New(n, d)
+
+	// 2D positional backbone: slow sinusoids over the row axis and the
+	// column axis, each over its own random unit direction. Patches in the
+	// same grid row or column share components, so scores fall off with
+	// 2D distance — the spatial analogue of Dataset's 1D backbone.
+	amp := pg.Locality / float32(math.Sqrt(2*gridComponents))
+	type wave struct {
+		dir   []float32
+		phase float64
+	}
+	rows := make([]wave, gridComponents)
+	cols := make([]wave, gridComponents)
+	for f := 0; f < gridComponents; f++ {
+		for _, axis := range []*[]wave{&rows, &cols} {
+			dir := tensor.RandomNormal(rng, 1, d).Row(0)
+			tensor.Normalize(dir)
+			(*axis)[f] = wave{dir: dir, phase: rng.Float64() * 2 * math.Pi}
+		}
+	}
+	backboneAt := func(pos int, scale float32, out []float32) {
+		r, c := pos/g, pos%g
+		for f := 0; f < gridComponents; f++ {
+			freq := 2 * math.Pi * float64(f+1) / float64(g)
+			cr := scale * amp * float32(math.Cos(freq*float64(r)+rows[f].phase))
+			cc := scale * amp * float32(math.Cos(freq*float64(c)+cols[f].phase))
+			for j := range out {
+				out[j] += cr*rows[f].dir[j] + cc*cols[f].dir[j]
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		row := k.Row(i)
+		backboneAt(i, 1, row)
+		for j := range row {
+			row[j] += float32(rng.NormFloat64())
+		}
+		scale := float32(0.85 + 0.3*rng.Float64())
+		for j := range row {
+			row[j] *= scale
+		}
+	}
+
+	targets := pg.TargetsPerQuery
+	if targets < 1 {
+		targets = 1
+	}
+	for i := 0; i < n; i++ {
+		qrow := q.Row(i)
+		backboneAt(i, pg.QueryBackbone, qrow)
+		for t := 0; t < targets; t++ {
+			krow := k.Row(rng.Intn(n))
+			for j := 0; j < d; j++ {
+				qrow[j] += pg.Sharpness * krow[j] / float32(targets)
+			}
+		}
+		for j := 0; j < d; j++ {
+			qrow[j] += pg.NoiseStd * float32(rng.NormFloat64())
+		}
+	}
+	return Instance{Q: q, K: k, V: v, RealLen: n, PaddedLen: n}
+}
+
+// LongDoc models streaming attention over a long document: rows are in
+// append order (feed K/V to a Stream token by token and step queries
+// alongside), each query concentrates on a trailing window of recent
+// tokens plus a few fixed global anchors — the sparse access pattern of
+// Longformer/BigBird-class models — and Len runs far past the NLP caps.
+type LongDoc struct {
+	Name string
+	// Len is the document length in tokens.
+	Len int
+	// Window is the trailing local span each query genuinely attends to.
+	Window int
+	// Anchors is how many fixed global tokens (spread over the prefix)
+	// every query also targets, CLS-style.
+	Anchors int
+	// Sharpness scales query/target alignment; Backbone the 1D positional
+	// component; NoiseStd the query perturbation. As in Dataset.
+	Sharpness float32
+	Backbone  float32
+	NoiseStd  float32
+}
+
+func (ld LongDoc) String() string {
+	return fmt.Sprintf("%s(n=%d window=%d anchors=%d)", ld.Name, ld.Len, ld.Window, ld.Anchors)
+}
+
+// Generate synthesizes one document with head dimension d: Len rows in
+// append order. Query i targets keys inside its trailing window
+// [i-Window, i] and the anchor set — positions a streaming decode loop
+// can replay causally (query i only aims at keys ≤ i).
+func (ld LongDoc) Generate(rng *rand.Rand, d int) Instance {
+	n := ld.Len
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("workload: invalid long-doc length %d, head dim %d", n, d))
+	}
+	window := ld.Window
+	if window < 1 || window > n {
+		window = n
+	}
+	v := tensor.RandomNormal(rng, n, d)
+	q := tensor.New(n, d)
+	k := tensor.New(n, d)
+
+	amp := ld.Backbone / float32(math.Sqrt(backboneComponents))
+	dirs := make([][]float32, backboneComponents)
+	phases := make([]float64, backboneComponents)
+	for f := range dirs {
+		dir := tensor.RandomNormal(rng, 1, d).Row(0)
+		tensor.Normalize(dir)
+		dirs[f] = dir
+		phases[f] = rng.Float64() * 2 * math.Pi
+	}
+	backboneAt := func(pos int, scale float32, out []float32) {
+		for f, dir := range dirs {
+			c := scale * amp * float32(math.Cos(2*math.Pi*float64(f+1)*float64(pos)/float64(n)+phases[f]))
+			for j := range out {
+				out[j] += c * dir[j]
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		row := k.Row(i)
+		backboneAt(i, 1, row)
+		for j := range row {
+			row[j] += float32(rng.NormFloat64())
+		}
+		scale := float32(0.85 + 0.3*rng.Float64())
+		for j := range row {
+			row[j] *= scale
+		}
+	}
+
+	// Anchors: fixed global positions spread over the document, every
+	// query targets all of them (softly, at half the local sharpness).
+	anchors := make([]int, 0, ld.Anchors)
+	for a := 0; a < ld.Anchors; a++ {
+		anchors = append(anchors, a*n/max(ld.Anchors, 1))
+	}
+
+	for i := 0; i < n; i++ {
+		qrow := q.Row(i)
+		backboneAt(i, 1, qrow)
+		// One genuine target inside the trailing causal window.
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		krow := k.Row(lo + rng.Intn(i-lo+1))
+		for j := 0; j < d; j++ {
+			qrow[j] += ld.Sharpness * krow[j]
+		}
+		for _, a := range anchors {
+			if a > i {
+				break // stay causal: query i only aims at keys ≤ i
+			}
+			arow := k.Row(a)
+			c := ld.Sharpness / (2 * float32(max(len(anchors), 1)))
+			for j := 0; j < d; j++ {
+				qrow[j] += c * arow[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			qrow[j] += ld.NoiseStd * float32(rng.NormFloat64())
+		}
+	}
+	return Instance{Q: q, K: k, V: v, RealLen: n, PaddedLen: n}
+}
+
+// The exact-backend workload families: a ViT-Base-sized 14×14 patch grid
+// (196 tokens, the standard 224px/16px patching) and a 4k-token streaming
+// document. Both are fixed-length, so exact-backend comparisons hold the
+// operator shape constant across backends.
+var (
+	ViTBase16 = PatchGrid{
+		Name: "ViT-B16", Grid: 14,
+		Locality: 8, QueryBackbone: 1.0, Sharpness: 0.5, TargetsPerQuery: 2, NoiseStd: 0.4,
+	}
+	LongDoc4K = LongDoc{
+		Name: "LongDoc-4k", Len: 4096, Window: 256, Anchors: 8,
+		Sharpness: 0.5, Backbone: 8, NoiseStd: 0.4,
+	}
+)

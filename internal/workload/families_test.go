@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsa/internal/tensor"
+)
+
+func TestPatchGridShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := ViTBase16.Generate(rng, 16)
+	n := ViTBase16.Len()
+	if n != 196 {
+		t.Fatalf("ViT-B/16 grid: %d tokens, want 196", n)
+	}
+	for name, m := range map[string]*tensor.Matrix{"Q": inst.Q, "K": inst.K, "V": inst.V} {
+		if m.Rows != n || m.Cols != 16 {
+			t.Errorf("%s: %dx%d, want %dx16", name, m.Rows, m.Cols, n)
+		}
+	}
+	if inst.RealLen != n || inst.PaddedLen != n {
+		t.Errorf("lengths %d/%d, want %d/%d (no padding regime)", inst.RealLen, inst.PaddedLen, n, n)
+	}
+}
+
+func TestPatchGridDeterministic(t *testing.T) {
+	a := ViTBase16.Generate(rand.New(rand.NewSource(3)), 8)
+	b := ViTBase16.Generate(rand.New(rand.NewSource(3)), 8)
+	for i := range a.Q.Data {
+		if a.Q.Data[i] != b.Q.Data[i] || a.K.Data[i] != b.K.Data[i] || a.V.Data[i] != b.V.Data[i] {
+			t.Fatalf("same seed diverged at element %d", i)
+		}
+	}
+}
+
+// TestPatchGridSpatialLocality checks the property the family exists
+// for: key/key alignment organized by 2D grid distance, so spatially
+// adjacent patches score higher against each other than patches far
+// apart on the grid, averaged over the instance.
+func TestPatchGridSpatialLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pg := ViTBase16
+	inst := pg.Generate(rng, 32)
+	g := pg.Grid
+	var near, far float64
+	var nNear, nFar int
+	for i := 0; i < inst.RealLen; i++ {
+		r, c := i/g, i%g
+		if c+1 < g {
+			near += float64(tensor.Dot(inst.K.Row(i), inst.K.Row(i+1)))
+			nNear++
+		}
+		// The patch half a grid away in both axes: maximal 2D distance
+		// under the periodic backbone.
+		j := ((r+g/2)%g)*g + (c+g/2)%g
+		far += float64(tensor.Dot(inst.K.Row(i), inst.K.Row(j)))
+		nFar++
+	}
+	near /= float64(nNear)
+	far /= float64(nFar)
+	if near <= far {
+		t.Errorf("spatial locality inverted: adjacent-patch mean dot %.3f <= distant %.3f", near, far)
+	}
+}
+
+func TestLongDocShapesAndDeterminism(t *testing.T) {
+	ld := LongDoc{Name: "t", Len: 512, Window: 64, Anchors: 4, Sharpness: 0.5, Backbone: 8, NoiseStd: 0.4}
+	a := ld.Generate(rand.New(rand.NewSource(5)), 16)
+	if a.RealLen != 512 || a.PaddedLen != 512 {
+		t.Fatalf("lengths %d/%d, want 512/512", a.RealLen, a.PaddedLen)
+	}
+	if a.Q.Rows != 512 || a.K.Rows != 512 || a.V.Rows != 512 {
+		t.Fatalf("row counts %d/%d/%d, want 512", a.Q.Rows, a.K.Rows, a.V.Rows)
+	}
+	b := ld.Generate(rand.New(rand.NewSource(5)), 16)
+	for i := range a.Q.Data {
+		if a.Q.Data[i] != b.Q.Data[i] {
+			t.Fatalf("same seed diverged at element %d", i)
+		}
+	}
+}
+
+// TestLongDocWindowConcentration checks the streaming family's access
+// pattern: a query scores higher against its trailing local window than
+// against the distant (non-anchor) middle of the document.
+func TestLongDocWindowConcentration(t *testing.T) {
+	ld := LongDoc{Name: "t", Len: 1024, Window: 64, Anchors: 2, Sharpness: 0.6, Backbone: 8, NoiseStd: 0.3}
+	inst := ld.Generate(rand.New(rand.NewSource(9)), 32)
+	n := inst.RealLen
+	var local, distant float64
+	var nLocal, nDistant int
+	for i := n / 2; i < n; i++ {
+		qrow := inst.Q.Row(i)
+		for y := i - ld.Window + 1; y <= i; y++ {
+			local += float64(tensor.Dot(qrow, inst.K.Row(y)))
+			nLocal++
+		}
+		// Distant non-anchor keys: the stretch between the anchors near
+		// the front and this query's window.
+		for y := n / 4; y < i-2*ld.Window; y += 17 {
+			distant += float64(tensor.Dot(qrow, inst.K.Row(y)))
+			nDistant++
+		}
+	}
+	local /= float64(nLocal)
+	distant /= float64(nDistant)
+	if local <= distant {
+		t.Errorf("window concentration inverted: local mean dot %.3f <= distant %.3f", local, distant)
+	}
+}

@@ -1,5 +1,7 @@
 package elsa
 
+import "fmt"
+
 // Overrides carries one operation's operating-point overrides — the
 // per-op knobs that the Go batch API (BatchOp), the streaming decode API
 // (Stream.QueryOverrides) and the serving layer's HTTP envelope all name
@@ -20,6 +22,58 @@ type Overrides struct {
 	// carried for layers that own a threshold registry — the serving
 	// front end resolves it to a Threshold before dispatch.
 	P float64
+
+	// Backend selects which exact implementation serves the op when it
+	// runs without approximation. "" (BackendAuto) keeps the default
+	// filter pipeline with the filter disabled; BackendLinearScan routes
+	// through the online-softmax linear scan — exact softmax semantics,
+	// O(d) state per query, no n×n score materialization. An exact
+	// backend is only meaningful for exact ops: call sites reject
+	// BackendLinearScan combined with an approximate operating point
+	// (p > 0 or a threshold with P > 0).
+	Backend string
+}
+
+// Exact-backend names accepted by Overrides.Backend, the v1 envelope's
+// "backend" field, and elsaserve -exact-backend.
+const (
+	// BackendAuto is the default: exact ops run the filter pipeline with
+	// the threshold disabled (full candidate set, two-pass softmax).
+	BackendAuto = ""
+	// BackendScores names the default pipeline explicitly, for callers
+	// that want to pin it against a server-level -exact-backend default.
+	BackendScores = "scores"
+	// BackendLinearScan is the exact online-softmax streaming backend.
+	BackendLinearScan = "linear-scan"
+)
+
+// ValidBackend reports whether name is a recognized exact-backend
+// selector.
+func ValidBackend(name string) bool {
+	switch name {
+	case BackendAuto, BackendScores, BackendLinearScan:
+		return true
+	}
+	return false
+}
+
+// wantsLinearScan reports whether these overrides route the op through
+// the exact linear-scan backend.
+func (o Overrides) wantsLinearScan() bool { return o.Backend == BackendLinearScan }
+
+// checkBackend validates the backend selection against the op's operating
+// point: the exact backends serve exact ops only.
+func (o Overrides) checkBackend() error {
+	if !ValidBackend(o.Backend) {
+		return fmt.Errorf("unknown backend %q (want %q or %q)", o.Backend, BackendScores, BackendLinearScan)
+	}
+	if o.Backend == BackendAuto {
+		return nil
+	}
+	if o.P != 0 || (o.Thr != nil && o.Thr.P != 0) {
+		return fmt.Errorf("backend %q requires an exact operating point (p = 0)", o.Backend)
+	}
+	return nil
 }
 
 // Resolve returns the threshold these overrides select, falling back to

@@ -50,6 +50,21 @@ echo "== autoscale loop under -race =="
 go test -race -count=1 ./internal/serve/autoscale/
 go test -race -count=1 -run 'TestAutoscale' ./internal/serve/
 
+echo "== exact linear-scan differential suite under -race =="
+# The linear-scan backend is the oracle every fidelity bound leans on, so
+# its own correctness gate runs explicitly: the seeded fuzz corpus (the
+# f.Add cases — degenerate softmax regimes included — run as regular
+# tests), the streaming ≡ batch equivalence suite across the cold-
+# watermark demotion boundary, and the cross-oracle agreement checks in
+# the experiments package. -count=1 so a -run filter above can never
+# satisfy this from cache.
+go test -race -count=1 \
+    -run 'FuzzLinearScanMatchesScores|TestLinearScan' ./internal/attention/
+go test -race -count=1 \
+    -run 'TestAblationOracleAgreement|TestFilteringKeepsFidelityOnClusteredData' \
+    ./internal/experiments/ ./internal/attention/
+go test -race -count=1 -run 'TestAttendBackendSelection|TestServerDefaultExactBackend|TestSessionBackend|TestSessionStepBackendPerEntry|TestMigrationPreservesBackend' ./internal/serve/
+
 echo "== zero-alloc hot path =="
 # The alloc assertions are the steady-state performance contract; run them
 # explicitly so they can never be skipped under -short, with -count=1 to
@@ -63,7 +78,7 @@ echo "== perf trajectory (committed files) =="
 # PERF_STRICT=1 makes it fail the build.
 # BENCH_*_serving.json files hold serving-layer rows, not the engine ns/op
 # shape the compare gate reads; keep them out of both globs.
-mapfile -t bench_files < <(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort)
+mapfile -t bench_files < <(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort -V)
 if [ "${#bench_files[@]}" -ge 2 ]; then
     prev="${bench_files[-2]}"
     newest="${bench_files[-1]}"
@@ -85,10 +100,15 @@ fi
 echo "== serving perf trajectory (committed files) =="
 # Same idea for the serving-layer trajectory: compare the two newest
 # committed BENCH_*_serving.json snapshots on ops/s per {replicas,
-# concurrency} point and on decode mean_batch per {sessions, mode} point
-# (snapshots predating decode batching skip that half of the gate).
-# Warns by default; PERF_STRICT=1 fails the build.
-mapfile -t serving_files < <(ls -1 BENCH_*_serving.json 2>/dev/null | sort)
+# concurrency} point, on decode mean_batch per {sessions, mode} point,
+# and on the exact-backend family per {workload, backend} point — the
+# memory-ceiling row (linear-scan bytes/op must stay under the scores
+# backend's), the pinned differential bound, and streaming tokens/s.
+# Families absent from either snapshot skip their slice of the gate, so
+# snapshots predating decode batching / autoscale / the exact backends
+# still compare on what they have. Warns by default; PERF_STRICT=1
+# fails the build.
+mapfile -t serving_files < <(ls -1 BENCH_*_serving.json 2>/dev/null | sort -V)
 if [ "${#serving_files[@]}" -ge 2 ]; then
     prev="${serving_files[-2]}"
     newest="${serving_files[-1]}"
@@ -111,7 +131,7 @@ echo "== perf trajectory (fresh run) =="
 # Compare ns/op against the newest committed BENCH_*.json. Measurements on
 # shared CI machines are noisy, so a >15% regression warns by default; set
 # PERF_STRICT=1 to make it fail the build.
-baseline=$(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort | tail -n 1 || true)
+baseline=$(ls -1 BENCH_*.json 2>/dev/null | grep -v '_serving\.json' | sort -V | tail -n 1 || true)
 if [ -n "$baseline" ]; then
     echo "baseline: $baseline"
     perf_json=$(mktemp /tmp/elsabench.XXXXXX.json)

@@ -137,6 +137,7 @@ type attendWire struct {
 	HashBits  int         `json:"hash_bits,omitempty"`
 	Seed      int64       `json:"seed,omitempty"`
 	Quantized bool        `json:"quantized,omitempty"`
+	Backend   string      `json:"backend,omitempty"`
 }
 
 type thresholdWire struct {
@@ -168,6 +169,7 @@ func (c *Client) Attend(ctx context.Context, q, k, v [][]float32, opts AttendOpt
 		HashBits:  opts.HashBits,
 		Seed:      opts.Seed,
 		Quantized: opts.Quantized,
+		Backend:   opts.Backend,
 	}
 	if opts.Thr != nil {
 		wire.P = opts.Thr.P

@@ -51,6 +51,7 @@ type sessionCreateWire struct {
 	P         float64  `json:"p,omitempty"`
 	T         *float64 `json:"t,omitempty"`
 	Capacity  int      `json:"capacity,omitempty"`
+	Backend   string   `json:"backend,omitempty"`
 }
 
 type sessionCreateReplyWire struct {
@@ -68,8 +69,9 @@ type sessionAppendReplyWire struct {
 }
 
 type sessionQueryWire struct {
-	Q []float32 `json:"q"`
-	T *float64  `json:"t,omitempty"`
+	Q       []float32 `json:"q"`
+	T       *float64  `json:"t,omitempty"`
+	Backend string    `json:"backend,omitempty"`
 }
 
 type sessionQueryReplyWire struct {
@@ -90,6 +92,7 @@ func (c *Client) NewSession(ctx context.Context, opts SessionOptions) (*Session,
 		Quantized: opts.Quantized,
 		P:         opts.P,
 		Capacity:  opts.Capacity,
+		Backend:   opts.Backend,
 	}
 	if opts.Thr != nil {
 		wire.P = opts.Thr.P
@@ -126,7 +129,7 @@ func (s *Session) AppendBatch(ctx context.Context, keys, values [][]float32) (in
 // Query attends q over the session's prefix. A non-nil Overrides.Thr
 // overrides the session threshold for this query only.
 func (s *Session) Query(ctx context.Context, q []float32, ov elsa.Overrides) (*QueryResult, error) {
-	wire := sessionQueryWire{Q: q}
+	wire := sessionQueryWire{Q: q, Backend: ov.Backend}
 	if ov.Thr != nil {
 		wire.T = &ov.Thr.T
 	}
@@ -158,6 +161,8 @@ type SessionState struct {
 	Quantized bool
 	P         float64
 	Threshold *elsa.Threshold
+	// Backend pins the session's exact backend ("" = server default).
+	Backend string
 }
 
 // sessionStateWire mirrors the server's export reply and import request
@@ -173,6 +178,7 @@ type sessionStateWire struct {
 	Quantized bool           `json:"quantized,omitempty"`
 	P         float64        `json:"p,omitempty"`
 	Threshold *thresholdWire `json:"threshold,omitempty"`
+	Backend   string         `json:"backend,omitempty"`
 }
 
 type sessionImportReplyWire struct {
@@ -198,6 +204,7 @@ func (s *Session) Export(ctx context.Context) (*SessionState, error) {
 		Seed:      reply.Seed,
 		Quantized: reply.Quantized,
 		P:         reply.P,
+		Backend:   reply.Backend,
 	}
 	if reply.Threshold != nil {
 		st.Threshold = &elsa.Threshold{P: reply.Threshold.P, T: reply.Threshold.T, Queries: reply.Threshold.Queries}
@@ -218,6 +225,7 @@ func (c *Client) ImportSession(ctx context.Context, st *SessionState) (*Session,
 		Seed:      st.Seed,
 		Quantized: st.Quantized,
 		P:         st.P,
+		Backend:   st.Backend,
 	}
 	if st.Threshold != nil {
 		wire.P = st.Threshold.P

@@ -101,8 +101,35 @@ func (s *Stream) QueryWith(dst []float32, q []float32, thr Threshold) ([]float32
 // against fallback — the streaming analogue of BatchOp.Overrides, so a
 // decode loop and a batch dispatch name per-op operating-point knobs the
 // same way the serving envelope does. The zero Overrides runs fallback.
+// A non-auto ov.Backend routes the query through the selected exact
+// backend instead (BackendLinearScan streams online softmax over the
+// prefix; BackendScores pins the default exact pipeline), rejecting
+// approximate operating points.
 func (s *Stream) QueryOverrides(dst []float32, q []float32, ov Overrides, fallback Threshold) ([]float32, StreamStats, error) {
+	if ov.Backend != BackendAuto {
+		if err := ov.checkBackend(); err != nil {
+			return dst, StreamStats{}, fmt.Errorf("elsa: %w", err)
+		}
+		if ov.wantsLinearScan() {
+			return s.QueryLinearScan(dst, q)
+		}
+		return s.QueryWith(dst, q, ov.Resolve(Exact()))
+	}
 	return s.QueryWith(dst, q, ov.Resolve(fallback))
+}
+
+// QueryLinearScan attends q over the current prefix through the exact
+// linear-scan backend: online softmax in one pass over hot and cold rows,
+// no filter, no n×n state. The answer is bit-identical to one-shot
+// AttendLinearScan over the materialized prefix (Rows()), including
+// across cold-watermark demotions, and a decode loop that recycles dst
+// allocates nothing in steady state.
+func (s *Stream) QueryLinearScan(dst []float32, q []float32) ([]float32, StreamStats, error) {
+	out, st, err := s.inner.QueryLinearScan(dst, q)
+	if err != nil {
+		return dst, StreamStats{}, fmt.Errorf("elsa: %w", err)
+	}
+	return out, StreamStats{Candidates: st.Candidates, Fallback: st.Fallback}, nil
 }
 
 // Keys returns a copy of the appended key vectors, one row per token —
